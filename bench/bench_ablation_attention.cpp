@@ -1,0 +1,49 @@
+// Ablation: the attention stack of mmSpaceNet (§IV-A).  Trains the reduced
+// protocol with the full two-stage channel + spatial attention and with
+// all attention disabled, then compares held-out accuracy.  DESIGN.md
+// calls this design choice out: attention should help the network focus
+// on the hand's range-angle cells.
+
+#include "bench_common.hpp"
+
+#include "mmhand/common/stats.hpp"
+
+using namespace mmhand;
+
+namespace {
+
+double evaluate_variant(const eval::ProtocolConfig& cfg) {
+  eval::Experiment experiment(cfg);
+  experiment.prepare(eval::cache_directory());
+  std::vector<double> mpjpe;
+  for (int user = 0; user < cfg.num_users; ++user)
+    mpjpe.push_back(experiment.evaluate_user(user).mpjpe_mm());
+  return mean(mpjpe);
+}
+
+}  // namespace
+
+int main() {
+  eval::print_header("Ablation — mmSpaceNet attention mechanisms");
+
+  auto with_attention = bench::ablation_protocol();
+  auto without_attention = with_attention;
+  without_attention.posenet.spacenet.attention = {false, false, false};
+  auto spatial_only = with_attention;
+  spatial_only.posenet.spacenet.attention = {false, false, true};
+
+  std::vector<std::vector<std::string>> rows{{"Variant", "MPJPE (mm)"}};
+  rows.push_back({"full attention (frame+channel+spatial)",
+                  eval::fmt(evaluate_variant(with_attention))});
+  rows.push_back({"spatial attention only",
+                  eval::fmt(evaluate_variant(spatial_only))});
+  rows.push_back({"no attention",
+                  eval::fmt(evaluate_variant(without_attention))});
+  eval::print_table(rows);
+  std::printf(
+      "\n(Reduced ablation protocol: %d users, %.0f s training each, %d "
+      "epochs.)\n",
+      with_attention.num_users, with_attention.train_duration_s,
+      with_attention.train.epochs);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Ablation: the zoom-FFT angle refinement (§III).  With zoom disabled the
+// angle spectra cover +-90 degrees at the same bin count, so the hand's
+// +-30 degree sector gets a quarter of the angular sampling density.
+
+#include "bench_common.hpp"
+
+#include "mmhand/common/stats.hpp"
+
+using namespace mmhand;
+
+namespace {
+
+double evaluate_variant(const eval::ProtocolConfig& cfg) {
+  eval::Experiment experiment(cfg);
+  experiment.prepare(eval::cache_directory());
+  std::vector<double> mpjpe;
+  for (int user = 0; user < cfg.num_users; ++user)
+    mpjpe.push_back(experiment.evaluate_user(user).mpjpe_mm());
+  return mean(mpjpe);
+}
+
+}  // namespace
+
+int main() {
+  eval::print_header("Ablation — zoom-FFT angle refinement");
+
+  auto with_zoom = bench::ablation_protocol();
+  auto without_zoom = with_zoom;
+  without_zoom.pipeline.enable_zoom_fft = false;
+
+  std::vector<std::vector<std::string>> rows{{"Variant", "MPJPE (mm)"}};
+  rows.push_back({"zoom-FFT on (+-30 deg fine grid)",
+                  eval::fmt(evaluate_variant(with_zoom))});
+  rows.push_back({"zoom-FFT off (+-90 deg coarse grid)",
+                  eval::fmt(evaluate_variant(without_zoom))});
+  eval::print_table(rows);
+  std::printf(
+      "\nExpected: the refined angle grid improves joint accuracy — the "
+      "reason §III\napplies zoom-FFT with refinement to the angle "
+      "spectra.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+#pragma once
+
+// Shared plumbing for the experiment benches: every binary loads (or
+// trains once into the shared cache) the standard-protocol fold models,
+// then evaluates its scenario sweep and prints the paper's rows.
+
+#include <cstdio>
+#include <vector>
+
+#include "mmhand/eval/model_cache.hpp"
+#include "mmhand/eval/table_printer.hpp"
+
+namespace mmhand::bench {
+
+/// Users evaluated by the sweep benches (a subset keeps each bench's
+/// runtime bounded; the per-user benches cover all ten).
+inline std::vector<int> sweep_users() { return {0, 1, 2, 3}; }
+
+/// Shorter test recordings for multi-point sweeps.
+inline constexpr double kSweepDuration = 3.0;
+
+/// Evaluates one scenario across the sweep users, merging metrics.
+inline eval::EvalAccumulator evaluate_sweep(
+    eval::Experiment& experiment,
+    const std::function<void(sim::ScenarioConfig&)>& tweak) {
+  eval::EvalAccumulator merged;
+  for (int user : sweep_users()) {
+    if (user >= experiment.config().num_users) continue;
+    sim::ScenarioConfig scenario = experiment.default_scenario(user);
+    scenario.duration_s = kSweepDuration;
+    tweak(scenario);
+    merged.merge(experiment.evaluate_scenario(scenario));
+  }
+  return merged;
+}
+
+/// A reduced protocol for ablation studies: ablations retrain a model per
+/// variant, so they run on a smaller budget than the main experiments.
+inline eval::ProtocolConfig ablation_protocol() {
+  eval::ProtocolConfig cfg = eval::ProtocolConfig::standard();
+  cfg.num_users = 4;
+  cfg.train_duration_s = 6.0;
+  cfg.test_duration_s = 4.0;
+  cfg.train.epochs = 6;
+  return cfg;
+}
+
+}  // namespace mmhand::bench

@@ -1,0 +1,43 @@
+// Reproduces Fig. 14: 3D-PCK versus error threshold (0-60 mm) for palm
+// joints, finger joints, and overall, with the AUC of each curve.
+// Paper: AUC palm 0.722, fingers 0.691, overall 0.707; overall PCK@40mm
+// reaches 95.1 %; palm beats fingers at every threshold.
+
+#include "bench_common.hpp"
+
+using namespace mmhand;
+
+int main() {
+  auto experiment = eval::prepared_standard_experiment();
+  eval::print_header("Fig. 14 — 3D-PCK vs threshold (palm / fingers / all)");
+
+  eval::EvalAccumulator acc;
+  for (int user = 0; user < experiment->config().num_users; ++user)
+    acc.merge(experiment->evaluate_user(user));
+
+  const int steps = 13;  // 0, 5, ..., 60 mm
+  const auto palm = acc.pck_curve(60.0, steps, eval::JointSubset::kPalm);
+  const auto fingers =
+      acc.pck_curve(60.0, steps, eval::JointSubset::kFingers);
+  const auto overall = acc.pck_curve(60.0, steps, eval::JointSubset::kAll);
+
+  std::vector<std::vector<std::string>> rows{
+      {"Threshold (mm)", "Palm (%)", "Fingers (%)", "Overall (%)"}};
+  for (int i = 0; i < steps; ++i)
+    rows.push_back({eval::fmt(overall[static_cast<std::size_t>(i)].threshold_mm, 0),
+                    eval::fmt(palm[static_cast<std::size_t>(i)].pck),
+                    eval::fmt(fingers[static_cast<std::size_t>(i)].pck),
+                    eval::fmt(overall[static_cast<std::size_t>(i)].pck)});
+  eval::print_table(rows);
+
+  eval::print_metric("AUC palm", acc.auc(60.0, 61, eval::JointSubset::kPalm),
+                     "(paper: 0.722)");
+  eval::print_metric("AUC fingers",
+                     acc.auc(60.0, 61, eval::JointSubset::kFingers),
+                     "(paper: 0.691)");
+  eval::print_metric("AUC overall",
+                     acc.auc(60.0, 61, eval::JointSubset::kAll),
+                     "(paper: 0.707)");
+  eval::print_metric("Overall PCK @ 40mm", acc.pck(40.0), "% (paper: 95.1)");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Reproduces Fig. 15: the cumulative distribution of per-frame MPJPE.
+// Paper: 90.2 % of predicted hand joints' MPJPE within 30 mm.
+
+#include "bench_common.hpp"
+
+#include "mmhand/common/stats.hpp"
+
+using namespace mmhand;
+
+int main() {
+  auto experiment = eval::prepared_standard_experiment();
+  eval::print_header("Fig. 15 — CDF of MPJPE");
+
+  eval::EvalAccumulator acc;
+  for (int user = 0; user < experiment->config().num_users; ++user)
+    acc.merge(experiment->evaluate_user(user));
+
+  const auto& frame_errors = acc.frame_mpjpe_mm();
+  const auto cdf = empirical_cdf(frame_errors, 13, 60.0);
+  std::vector<std::vector<std::string>> rows{{"MPJPE (mm)", "CDF"}};
+  for (const auto& p : cdf)
+    rows.push_back({eval::fmt(p.value, 0), eval::fmt(p.cumulative, 3)});
+  eval::print_table(rows);
+
+  eval::print_metric("Fraction of frames within 30 mm",
+                     100.0 * fraction_below(frame_errors, 30.0),
+                     "% (paper: 90.2)");
+  eval::print_metric("Median frame MPJPE", percentile(frame_errors, 50.0),
+                     "mm");
+  eval::print_metric("90th percentile", percentile(frame_errors, 90.0),
+                     "mm");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces Fig. 19: MPJPE and 3D-PCK for hand bearings from -45 to +45
+// degrees in 15-degree bins (distance fixed at 40 cm).
+// Paper: errors grow with |angle|, sharply past +-30 deg (the angle-FFT's
+// sensitivity falls as sin(theta) compresses); within +-30 deg the means
+// are 17.95 mm / 95.78 %.
+
+#include "bench_common.hpp"
+
+#include "mmhand/common/stats.hpp"
+
+using namespace mmhand;
+
+int main() {
+  auto experiment = eval::prepared_standard_experiment();
+  eval::print_header("Fig. 19 — MPJPE and 3D-PCK vs hand bearing");
+
+  struct Bin {
+    int lo, hi;
+  };
+  const std::vector<Bin> bins{{-45, -30}, {-30, -15}, {-15, 0},
+                              {0, 15},    {15, 30},   {30, 45}};
+  std::vector<std::vector<std::string>> rows{
+      {"Angle (deg)", "MPJPE (mm)", "PCK@40 (%)"}};
+  std::vector<double> inner_mpjpe, inner_pck;
+  for (const auto& bin : bins) {
+    const double center = 0.5 * (bin.lo + bin.hi);
+    const auto acc = bench::evaluate_sweep(
+        *experiment, [&](sim::ScenarioConfig& s) {
+          // The paper runs this at 40 cm; our training envelope tops out
+          // at ~37 cm, so the sweep uses an interior range to isolate the
+          // angle effect from range extrapolation (see EXPERIMENTS.md).
+          s.hand_distance_m = 0.30;
+          s.hand_azimuth_deg = center;
+          s.seed ^= static_cast<std::uint64_t>(bin.lo + 90);
+        });
+    rows.push_back({"(" + std::to_string(bin.lo) + "," +
+                        std::to_string(bin.hi) + ")",
+                    eval::fmt(acc.mpjpe_mm()), eval::fmt(acc.pck(40.0))});
+    if (bin.lo >= -30 && bin.hi <= 30) {
+      inner_mpjpe.push_back(acc.mpjpe_mm());
+      inner_pck.push_back(acc.pck(40.0));
+    }
+  }
+  eval::print_table(rows);
+  eval::print_metric("Mean MPJPE within +-30 deg", mean(inner_mpjpe),
+                     "mm (paper: 17.95)");
+  eval::print_metric("Mean PCK within +-30 deg", mean(inner_pck),
+                     "% (paper: 95.78)");
+  std::printf(
+      "\nExpected shape (paper): symmetric degradation as |angle| grows, "
+      "worst in the\n(-45,-30) and (30,45) bins beyond the zoom-FFT's "
+      "design span.\n");
+  return 0;
+}

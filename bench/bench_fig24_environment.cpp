@@ -1,0 +1,43 @@
+// Reproduces Fig. 24: MPJPE and 3D-PCK across the three evaluation
+// environments (playground / corridor / classroom).
+// Paper: the spread between environments is small (<= 3.2 mm) because
+// bandpass filtering localizes the hand's range band.
+
+#include "bench_common.hpp"
+
+#include "mmhand/common/stats.hpp"
+
+using namespace mmhand;
+
+int main() {
+  auto experiment = eval::prepared_standard_experiment();
+  eval::print_header("Fig. 24 — impact of environment");
+
+  std::vector<std::vector<std::string>> rows{
+      {"Environment", "MPJPE (mm)", "PCK@40 (%)"}};
+  std::vector<double> mpjpes;
+  for (const auto& [env, name] :
+       std::vector<std::pair<sim::Environment, std::string>>{
+           {sim::Environment::kPlayground, "playground"},
+           {sim::Environment::kCorridor, "corridor"},
+           {sim::Environment::kClassroom, "classroom"}}) {
+    const auto acc = bench::evaluate_sweep(
+        *experiment, [&](sim::ScenarioConfig& s) {
+          s.clutter.environment = env;
+          s.seed ^= 0xE417u;
+        });
+    mpjpes.push_back(acc.mpjpe_mm());
+    rows.push_back(
+        {name, eval::fmt(acc.mpjpe_mm()), eval::fmt(acc.pck(40.0))});
+  }
+  // Overall across all three.
+  rows.push_back({"overall", eval::fmt(mean(mpjpes)), "-"});
+  eval::print_table(rows);
+  eval::print_metric("Max environment spread",
+                     max_value(mpjpes) - min_value(mpjpes),
+                     "mm (paper: <= 3.2)");
+  std::printf(
+      "\nExpected shape (paper): insignificant differences — background "
+      "clutter sits\noutside the hand's bandpass-filtered range band.\n");
+  return 0;
+}

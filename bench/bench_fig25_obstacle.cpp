@@ -1,0 +1,37 @@
+// Reproduces Fig. 25: MPJPE and 3D-PCK with an obstacle blocking the
+// line of sight (A4 paper / cloth / thin wooden board).
+// Paper: paper 23.4 mm, cloth 25.1 mm, board 35.8 mm & 80.3 % — mmWave
+// penetrates paper and cloth with modest loss; the board costs real
+// accuracy but the system still works (unlike vision).
+
+#include "bench_common.hpp"
+
+using namespace mmhand;
+
+int main() {
+  auto experiment = eval::prepared_standard_experiment();
+  eval::print_header("Fig. 25 — impact of obstacles (none line-of-sight)");
+
+  std::vector<std::vector<std::string>> rows{
+      {"Obstacle", "MPJPE (mm)", "PCK@40 (%)", "Paper MPJPE (mm)"}};
+  for (const auto& [obstacle, name, paper] :
+       std::vector<std::tuple<sim::Obstacle, std::string, std::string>>{
+           {sim::Obstacle::kNone, "none", "18.3"},
+           {sim::Obstacle::kPaper, "A4 paper", "23.4"},
+           {sim::Obstacle::kCloth, "cloth", "25.1"},
+           {sim::Obstacle::kBoard, "wood board", "35.8"}}) {
+    const auto acc = bench::evaluate_sweep(
+        *experiment, [&](sim::ScenarioConfig& s) {
+          s.obstacle = obstacle;
+          s.seed ^= 0x0B57u;
+        });
+    rows.push_back({name, eval::fmt(acc.mpjpe_mm()),
+                    eval::fmt(acc.pck(40.0)), paper});
+  }
+  eval::print_table(rows);
+  std::printf(
+      "\nExpected shape (paper): none < paper < cloth << board — "
+      "attenuation and\nin-material scattering grow with material "
+      "thickness, but even the board leaves\na usable pose.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Reproduces §VI-G (glove study): silk and cotton gloves as test-only
+// conditions against the glove-free trained model.
+// Paper: gloves raise the overall MPJPE to 28.6 mm and drop PCK to
+// 86.3 % — degraded but still reflecting the basic pose.
+
+#include "bench_common.hpp"
+
+#include "mmhand/common/stats.hpp"
+
+using namespace mmhand;
+
+int main() {
+  auto experiment = eval::prepared_standard_experiment();
+  eval::print_header("§VI-G — impact of gloves (test-only conditions)");
+
+  std::vector<std::vector<std::string>> rows{
+      {"Condition", "MPJPE (mm)", "PCK@40 (%)"}};
+  std::vector<double> glove_m, glove_p;
+  for (const auto& [glove, name] :
+       std::vector<std::pair<sim::GloveType, std::string>>{
+           {sim::GloveType::kNone, "bare hand"},
+           {sim::GloveType::kSilk, "silk glove"},
+           {sim::GloveType::kCotton, "cotton glove"}}) {
+    const auto acc = bench::evaluate_sweep(
+        *experiment, [&](sim::ScenarioConfig& s) {
+          s.glove = glove;
+          s.seed ^= 0x6C0Eu;
+        });
+    rows.push_back(
+        {name, eval::fmt(acc.mpjpe_mm()), eval::fmt(acc.pck(40.0))});
+    if (glove != sim::GloveType::kNone) {
+      glove_m.push_back(acc.mpjpe_mm());
+      glove_p.push_back(acc.pck(40.0));
+    }
+  }
+  eval::print_table(rows);
+  eval::print_metric("Overall gloved MPJPE", mean(glove_m),
+                     "mm (paper: 28.6)");
+  eval::print_metric("Overall gloved PCK", mean(glove_p),
+                     "% (paper: 86.3)");
+  std::printf(
+      "\nExpected shape (paper): gloves cost accuracy (fabric reflections "
+      "distort the\nsensed hand) but the basic pose survives; cotton "
+      "distorts more than silk.\n");
+  return 0;
+}

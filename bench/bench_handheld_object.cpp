@@ -1,0 +1,39 @@
+// Reproduces §VI-H (handheld objects): a table-tennis ball, a headphone
+// case, a pen, and a power bank held during gestures.
+// Paper (qualitative): small palm-held objects barely interfere; the pen
+// reads as an extra finger; the power bank masks the hand and breaks the
+// estimate.
+
+#include "bench_common.hpp"
+
+using namespace mmhand;
+
+int main() {
+  auto experiment = eval::prepared_standard_experiment();
+  eval::print_header("§VI-H — impact of handheld objects");
+
+  std::vector<std::vector<std::string>> rows{
+      {"Object", "MPJPE (mm)", "PCK@40 (%)", "Finger MPJPE (mm)"}};
+  for (const auto& [object, name] :
+       std::vector<std::pair<sim::HandheldObject, std::string>>{
+           {sim::HandheldObject::kNone, "none"},
+           {sim::HandheldObject::kTableTennisBall, "table-tennis ball"},
+           {sim::HandheldObject::kHeadphoneCase, "headphone case"},
+           {sim::HandheldObject::kPen, "pen"},
+           {sim::HandheldObject::kPowerBank, "power bank"}}) {
+    const auto acc = bench::evaluate_sweep(
+        *experiment, [&](sim::ScenarioConfig& s) {
+          s.object = object;
+          s.seed ^= 0x0B1Eu;
+        });
+    rows.push_back({name, eval::fmt(acc.mpjpe_mm()),
+                    eval::fmt(acc.pck(40.0)),
+                    eval::fmt(acc.mpjpe_mm(eval::JointSubset::kFingers))});
+  }
+  eval::print_table(rows);
+  std::printf(
+      "\nExpected shape (paper): ball / headphone case ~ unaffected (small, "
+      "palm-centered);\npen inflates the finger error (mistaken for a "
+      "finger); power bank is worst (it\nshadows the hand).\n");
+  return 0;
+}

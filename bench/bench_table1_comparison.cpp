@@ -1,0 +1,114 @@
+// Reproduces Table I: MPJPE of mmHand against vision baselines (Cascade,
+// DeepPrior++-style, on MSRA-like / ICVL-like synthetic depth datasets)
+// and wireless baselines (mm4Arm-style, HandFi-style).
+//
+// Expected shape (paper): vision methods on vision-friendly depth beat
+// mmHand moderately; mm4Arm beats everything in its restricted setup but
+// collapses when the arm rotates; HandFi lands in mmHand's error class.
+
+#include "bench_common.hpp"
+
+#include "mmhand/baselines/cascade.hpp"
+#include "mmhand/baselines/deepprior.hpp"
+#include "mmhand/baselines/handfi.hpp"
+#include "mmhand/baselines/mm4arm.hpp"
+#include "mmhand/common/stats.hpp"
+
+using namespace mmhand;
+using namespace mmhand::baselines;
+
+namespace {
+
+std::vector<DepthSample> depth_data(VisionDataset variant, int samples,
+                                    std::uint64_t seed) {
+  DepthDatasetConfig cfg;
+  cfg.variant = variant;
+  cfg.samples = samples;
+  cfg.seed = seed;
+  return make_depth_dataset(cfg);
+}
+
+}  // namespace
+
+int main() {
+  auto experiment = eval::prepared_standard_experiment();
+  eval::print_header("Table I — MPJPE comparison (mm)");
+
+  // --- mmHand itself (cross-validated). ---
+  std::vector<double> user_mpjpe;
+  for (int user = 0; user < experiment->config().num_users; ++user)
+    user_mpjpe.push_back(experiment->evaluate_user(user).mpjpe_mm());
+  const double mmhand_mpjpe = mean(user_mpjpe);
+
+  std::vector<std::vector<std::string>> rows{
+      {"Method", "Dataset", "MPJPE (mm)", "Paper (mm)"}};
+
+  // --- Vision baselines on both synthetic depth variants. ---
+  const auto msra_train = depth_data(VisionDataset::kMsraLike, 500, 3);
+  const auto msra_test = depth_data(VisionDataset::kMsraLike, 150, 103);
+  const auto icvl_train = depth_data(VisionDataset::kIcvlLike, 500, 4);
+  const auto icvl_test = depth_data(VisionDataset::kIcvlLike, 150, 104);
+  const DepthCameraConfig camera;
+
+  {
+    CascadeRegressor cascade({}, camera);
+    cascade.train(msra_train);
+    rows.push_back({"Cascade", "MSRA-like",
+                    eval::fmt(cascade.evaluate_mpjpe_mm(msra_test)),
+                    "15.2"});
+  }
+  {
+    CascadeRegressor cascade({}, camera);
+    cascade.train(icvl_train);
+    rows.push_back({"Cascade", "ICVL-like",
+                    eval::fmt(cascade.evaluate_mpjpe_mm(icvl_test)), "9.9"});
+  }
+  {
+    DeepPriorConfig cfg;
+    cfg.epochs = 25;
+    DeepPriorRegressor dp(cfg, camera);
+    dp.train(msra_train);
+    rows.push_back({"DeepPrior++-style", "MSRA-like",
+                    eval::fmt(dp.evaluate_mpjpe_mm(msra_test)), "9.5"});
+  }
+  {
+    DeepPriorConfig cfg;
+    cfg.epochs = 25;
+    DeepPriorRegressor dp(cfg, camera);
+    dp.train(icvl_train);
+    rows.push_back({"DeepPrior++-style (HBE slot)", "ICVL-like",
+                    eval::fmt(dp.evaluate_mpjpe_mm(icvl_test)), "8.62"});
+  }
+
+  // --- Wireless baselines. ---
+  {
+    Mm4ArmConfig cfg;
+    cfg.train_seconds = 40;
+    cfg.epochs = 25;
+    Mm4ArmBaseline mm4arm(cfg, experiment->config().chirp,
+                          experiment->config().pipeline);
+    mm4arm.train();
+    rows.push_back({"mm4Arm-style (restricted)", "self-collected",
+                    eval::fmt(mm4arm.evaluate_restricted_mpjpe_mm()),
+                    "4.07"});
+    rows.push_back({"mm4Arm-style (arm rotated)", "self-collected",
+                    eval::fmt(mm4arm.evaluate_rotated_mpjpe_mm()),
+                    "(degrades)"});
+  }
+  {
+    HandFiBaseline handfi({});
+    handfi.train();
+    rows.push_back({"HandFi-style (WiFi CSI)", "self-collected",
+                    eval::fmt(handfi.evaluate_mpjpe_mm()), "20.7"});
+  }
+
+  rows.push_back({"mmHand (this work)", "self-collected",
+                  eval::fmt(mmhand_mpjpe), "18.3"});
+  eval::print_table(rows);
+
+  std::printf(
+      "\nExpected ordering (paper): vision < mmHand; mm4Arm(restricted) < "
+      "mmHand;\nHandFi ~ mmHand.  Absolute values differ (simulated "
+      "substrate, reduced scale);\nthe ordering is the reproduced result.\n");
+  return 0;
+}

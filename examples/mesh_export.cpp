@@ -1,0 +1,80 @@
+// Mesh reconstruction demo (§V): reconstructs MANO meshes for a set of
+// gestures and for a continuous gesture transition, writing viewable
+// Wavefront OBJ files — the "realistic 3D animations" of Fig. 10/11.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "mmhand/hand/gesture.hpp"
+#include "mmhand/hand/kinematics.hpp"
+#include "mmhand/mesh/obj_export.hpp"
+#include "mmhand/mesh/reconstruction.hpp"
+
+using namespace mmhand;
+
+int main() {
+  std::printf("mmHand mesh reconstruction demo\n");
+  std::printf("===============================\n\n");
+
+  const std::string out_dir = "mmhand_meshes";
+  std::filesystem::create_directories(out_dir);
+
+  // Train the shape/IK networks on the parametric rig (cached weights are
+  // intentionally not reused here so the demo is self-contained).
+  Rng rng(7);
+  const auto tmpl = mesh::HandTemplate::create(hand::HandProfile::reference());
+  mesh::MeshReconstructor reconstructor(tmpl, rng);
+  std::printf("training the shape/IK networks on the parametric rig...\n");
+  const double err = reconstructor.train({});
+  std::printf("held-out joint reconstruction error: %.1f mm\n\n",
+              1000.0 * err);
+
+  const auto profile = hand::HandProfile::reference();
+  const Quaternion facing{0.0, 0.0, 0.7071067811865476, 0.7071067811865476};
+
+  // --- Static gestures (Fig. 10). ---
+  for (hand::Gesture g : {hand::Gesture::kOpenPalm, hand::Gesture::kFist,
+                          hand::Gesture::kPoint, hand::Gesture::kPinch,
+                          hand::Gesture::kCount3, hand::Gesture::kOkSign}) {
+    hand::HandPose pose;
+    pose.fingers = hand::gesture_articulation(g);
+    pose.orientation = facing;
+    pose.wrist_position = Vec3{0.0, 0.30, 0.0};
+    const auto joints = hand::forward_kinematics(profile, pose);
+    auto result = reconstructor.reconstruct(joints);
+
+    const std::string name(hand::gesture_name(g));
+    mesh::write_obj(out_dir + "/" + name + ".obj", result.mesh);
+    mesh::write_skeleton_obj(out_dir + "/" + name + "_skeleton.obj", joints);
+    double fit = 0.0;
+    for (int j = 0; j < hand::kNumJoints; ++j)
+      fit += 1000.0 * distance(result.joints[static_cast<std::size_t>(j)],
+                               joints[static_cast<std::size_t>(j)]);
+    std::printf("  %-10s -> %s/%s.obj  (%zu verts, %zu faces, joint fit "
+                "%.1f mm)\n",
+                name.c_str(), out_dir.c_str(), name.c_str(),
+                result.mesh.vertices.size(), result.mesh.faces.size(),
+                fit / hand::kNumJoints);
+  }
+
+  // --- A continuous transition (Fig. 11): open palm -> fist. ---
+  std::printf("\ncontinuous open->fist transition:\n");
+  hand::HandPose open_pose, fist_pose;
+  open_pose.fingers = hand::gesture_articulation(hand::Gesture::kOpenPalm);
+  fist_pose.fingers = hand::gesture_articulation(hand::Gesture::kFist);
+  open_pose.orientation = fist_pose.orientation = facing;
+  open_pose.wrist_position = fist_pose.wrist_position = Vec3{0.0, 0.30, 0.0};
+  for (int step = 0; step <= 4; ++step) {
+    const double t = step / 4.0;
+    const auto pose = hand::HandPose::lerp(open_pose, fist_pose, t);
+    const auto joints = hand::forward_kinematics(profile, pose);
+    auto result = reconstructor.reconstruct(joints);
+    char path[128];
+    std::snprintf(path, sizeof(path), "%s/transition_%02d.obj",
+                  out_dir.c_str(), step);
+    mesh::write_obj(path, result.mesh);
+    std::printf("  t=%.2f -> %s\n", t, path);
+  }
+  std::printf("\nopen the OBJ files in any mesh viewer.\n");
+  return 0;
+}

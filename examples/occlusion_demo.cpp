@@ -1,0 +1,46 @@
+// None-line-of-sight demo (§VI-J): the property that separates mmWave
+// sensing from vision.  The same trained model estimates hand poses with
+// an A4 sheet, a cloth, and a wooden board blocking the optical path — a
+// camera would see nothing, the radar still produces skeletons.
+
+#include <cstdio>
+
+#include "mmhand/eval/experiment.hpp"
+
+using namespace mmhand;
+
+int main() {
+  std::printf("mmHand occlusion robustness demo\n");
+  std::printf("================================\n\n");
+
+  eval::ProtocolConfig config = eval::ProtocolConfig::fast();
+  config.train_duration_s = 8.0;
+  config.train.epochs = 6;
+  eval::Experiment experiment(config);
+  experiment.prepare("mmhand_cache/quickstart_occlusion");
+
+  std::printf("%-14s %-12s %-12s %s\n", "obstacle", "MPJPE (mm)",
+              "PCK@40 (%)", "camera would see");
+  for (const auto& [obstacle, name, vision] :
+       std::vector<std::tuple<sim::Obstacle, const char*, const char*>>{
+           {sim::Obstacle::kNone, "none", "the hand"},
+           {sim::Obstacle::kPaper, "A4 paper", "paper"},
+           {sim::Obstacle::kCloth, "cloth", "cloth"},
+           {sim::Obstacle::kBoard, "wood board", "wood"}}) {
+    eval::EvalAccumulator acc;
+    for (int user = 0; user < config.num_users; ++user) {
+      auto scenario = experiment.default_scenario(user);
+      scenario.obstacle = obstacle;
+      scenario.duration_s = 3.0;
+      acc.merge(experiment.evaluate_scenario(scenario));
+    }
+    std::printf("%-14s %-12.1f %-12.1f %s\n", name, acc.mpjpe_mm(),
+                acc.pck(40.0), vision);
+  }
+  std::printf(
+      "\nmmWave penetrates paper and cloth with modest attenuation and "
+      "still produces\nusable skeletons behind a thin board — the "
+      "illumination-independent, none\nline-of-sight capability of §VI-J. "
+      "A vision system fails in every occluded row.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Point-cloud diagnostic: the classic interpretable view of what the radar
+// sees.  Simulates a short gesture capture, extracts a sparse point cloud
+// per frame, tracks its centroid against the true hand position, and dumps
+// the clouds as OBJ point sets for inspection.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "mmhand/hand/gesture.hpp"
+#include "mmhand/hand/kinematics.hpp"
+#include "mmhand/radar/point_cloud.hpp"
+#include "mmhand/sim/dataset.hpp"
+
+using namespace mmhand;
+
+int main() {
+  std::printf("mmHand radar point-cloud viewer\n");
+  std::printf("===============================\n\n");
+
+  radar::ChirpConfig chirp;
+  chirp.noise_stddev = 0.008;
+  radar::PipelineConfig pipeline_config;
+  radar::AntennaArray array(chirp);
+  radar::IfSimulator if_sim(chirp, array);
+  radar::RadarPipeline pipeline(chirp, array, pipeline_config);
+
+  const std::string out_dir = "mmhand_pointclouds";
+  std::filesystem::create_directories(out_dir);
+
+  // A short continuous gesture performance.
+  hand::GestureScriptConfig script_cfg;
+  hand::GestureScript script(script_cfg, Rng(3), 2.0);
+  const auto profile = hand::HandProfile::reference();
+  sim::HandSceneConfig scene_cfg;
+  Rng scene_rng(4), noise_rng(5);
+
+  std::printf("%-6s %-8s %-26s %-26s %s\n", "frame", "points",
+              "cloud centroid (m)", "true palm center (m)", "offset (mm)");
+  const double dt = chirp.frame_period_s;
+  for (int f = 0; f < 20; ++f) {
+    const double t = f * dt * 5;  // sample every 5th frame time
+    const auto joints = hand::forward_kinematics(profile, script.pose_at(t));
+    const auto prev =
+        hand::forward_kinematics(profile, script.pose_at(std::max(0.0, t - dt)));
+    const auto scene =
+        sim::build_hand_scene(joints, prev, dt, scene_cfg, scene_rng);
+    const auto cube =
+        pipeline.process_frame(if_sim.simulate_frame(scene, 0.0, noise_rng));
+    const auto cloud = radar::extract_point_cloud(cube, pipeline);
+    const Vec3 centroid = radar::point_cloud_centroid(cloud);
+    const Vec3 palm = (joints[hand::kWrist] + joints[9]) * 0.5;
+
+    std::printf("%-6d %-8zu (%5.2f, %5.2f, %5.2f)       (%5.2f, %5.2f, "
+                "%5.2f)       %6.1f\n",
+                f, cloud.size(), centroid.x, centroid.y, centroid.z, palm.x,
+                palm.y, palm.z, 1000.0 * distance(centroid, palm));
+
+    // Dump the cloud as an OBJ point set.
+    char path[128];
+    std::snprintf(path, sizeof(path), "%s/cloud_%03d.obj", out_dir.c_str(),
+                  f);
+    std::FILE* obj = std::fopen(path, "w");
+    if (obj) {
+      for (const auto& p : cloud)
+        std::fprintf(obj, "v %f %f %f\n", p.position.x, p.position.y,
+                     p.position.z);
+      std::fclose(obj);
+    }
+  }
+  std::printf("\npoint clouds written to %s/ (OBJ vertex sets).\n",
+              out_dir.c_str());
+  std::printf("the centroid tracks the palm to within a few cm — the raw "
+              "signal the joint\nregression network refines into "
+              "millimeter-scale skeletons.\n");
+  return 0;
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Full regeneration: build, test, and reproduce every table/figure.
+# The first bench run trains the fold models into ./mmhand_cache (several
+# minutes on one core); later runs load the cache.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/bench_*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "===== $(basename "$b") ====="
+  "$b"
+done 2>&1 | tee bench_output.txt

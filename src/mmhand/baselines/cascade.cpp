@@ -1,0 +1,155 @@
+#include "mmhand/baselines/cascade.hpp"
+
+#include <algorithm>
+
+#include "mmhand/nn/loss.hpp"
+#include "mmhand/nn/optimizer.hpp"
+
+namespace mmhand::baselines {
+
+namespace {
+
+constexpr int kFeaturesPerJoint = 9;
+constexpr int kFeatureDim = hand::kNumJoints * kFeaturesPerJoint;
+
+hand::JointSet add_update(const hand::JointSet& base,
+                          const nn::Tensor& delta) {
+  hand::JointSet out = base;
+  for (int j = 0; j < hand::kNumJoints; ++j)
+    out[static_cast<std::size_t>(j)] +=
+        Vec3{delta.at(0, 3 * j), delta.at(0, 3 * j + 1),
+             delta.at(0, 3 * j + 2)};
+  return out;
+}
+
+nn::Tensor residual(const hand::JointSet& estimate,
+                    const hand::JointSet& truth) {
+  nn::Tensor r({1, 63});
+  for (int j = 0; j < hand::kNumJoints; ++j) {
+    const Vec3 d = truth[static_cast<std::size_t>(j)] -
+                   estimate[static_cast<std::size_t>(j)];
+    r.at(0, 3 * j) = static_cast<float>(d.x);
+    r.at(0, 3 * j + 1) = static_cast<float>(d.y);
+    r.at(0, 3 * j + 2) = static_cast<float>(d.z);
+  }
+  return r;
+}
+
+}  // namespace
+
+CascadeRegressor::CascadeRegressor(const CascadeConfig& config,
+                                   const DepthCameraConfig& camera)
+    : config_(config), camera_(camera) {
+  MMHAND_CHECK(config.stages >= 1, "cascade stages");
+}
+
+nn::Tensor CascadeRegressor::features(const nn::Tensor& depth,
+                                      const hand::JointSet& estimate) const {
+  static constexpr int kOffsets[kFeaturesPerJoint][2] = {
+      {0, 0}, {1, 0}, {-1, 0}, {0, 1}, {0, -1},
+      {2, 2}, {-2, 2}, {2, -2}, {-2, -2}};
+  nn::Tensor f({1, kFeatureDim});
+  for (int j = 0; j < hand::kNumJoints; ++j) {
+    int px, py;
+    project_to_pixel(estimate[static_cast<std::size_t>(j)], camera_, px, py);
+    for (int k = 0; k < kFeaturesPerJoint; ++k) {
+      const int x = std::clamp(px + kOffsets[k][0], 0, camera_.width - 1);
+      const int y = std::clamp(py + kOffsets[k][1], 0, camera_.height - 1);
+      // Background-relative depth: empty pixels contribute 0, which keeps
+      // the linear system well conditioned.
+      f.at(0, j * kFeaturesPerJoint + k) =
+          camera_.background - depth.at(0, y, x);
+    }
+  }
+  return f;
+}
+
+hand::JointSet CascadeRegressor::run_cascade(const nn::Tensor& depth,
+                                             int stages) const {
+  hand::JointSet estimate = mean_pose_;
+  for (int s = 0; s < stages && s < static_cast<int>(stages_.size()); ++s) {
+    const nn::Tensor f = features(depth, estimate);
+    const nn::Tensor delta = stages_[static_cast<std::size_t>(s)]->forward(
+        f, /*training=*/false);
+    estimate = add_update(estimate, delta);
+  }
+  return estimate;
+}
+
+void CascadeRegressor::train(const std::vector<DepthSample>& dataset) {
+  MMHAND_CHECK(!dataset.empty(), "cascade needs training data");
+  Rng rng(config_.seed);
+
+  // Mean pose initialization.
+  mean_pose_ = {};
+  for (const auto& s : dataset)
+    for (int j = 0; j < hand::kNumJoints; ++j)
+      mean_pose_[static_cast<std::size_t>(j)] +=
+          s.joints[static_cast<std::size_t>(j)];
+  for (auto& p : mean_pose_)
+    p = p / static_cast<double>(dataset.size());
+
+  stages_.clear();
+  for (int s = 0; s < config_.stages; ++s) {
+    auto stage = std::make_unique<nn::Linear>(kFeatureDim, 63, rng);
+    // Zero-init the update so an untrained stage is a no-op.
+    stage->weight().value.zero();
+    stage->bias().value.zero();
+    nn::Adam opt(stage->parameters(), {.lr = config_.lr});
+
+    // The cascade prefix is frozen while this stage trains, so the stage's
+    // inputs/targets are fixed: precompute them once.
+    std::vector<nn::Tensor> stage_features, stage_targets;
+    stage_features.reserve(dataset.size());
+    stage_targets.reserve(dataset.size());
+    for (const auto& sample : dataset) {
+      const hand::JointSet estimate = run_cascade(sample.depth, s);
+      stage_features.push_back(features(sample.depth, estimate));
+      stage_targets.push_back(residual(estimate, sample.joints));
+    }
+
+    for (int epoch = 0; epoch < config_.epochs_per_stage; ++epoch) {
+      const double lr_scale =
+          nn::cosine_decay(epoch, config_.epochs_per_stage);
+      const auto order = rng.permutation(static_cast<int>(dataset.size()));
+      int since = 0;
+      opt.zero_grad();
+      for (int idx : order) {
+        const auto i = static_cast<std::size_t>(idx);
+        const nn::Tensor pred = stage->forward(stage_features[i], true);
+        const auto loss = nn::mse_loss(pred, stage_targets[i]);
+        (void)stage->backward(loss.grad);
+        if (++since >= 8) {
+          opt.step(lr_scale);
+          opt.zero_grad();
+          since = 0;
+        }
+      }
+      if (since > 0) {
+        opt.step(lr_scale);
+        opt.zero_grad();
+      }
+    }
+    stages_.push_back(std::move(stage));
+  }
+}
+
+hand::JointSet CascadeRegressor::predict(const nn::Tensor& depth) const {
+  MMHAND_CHECK(!stages_.empty(), "cascade not trained");
+  return run_cascade(depth, static_cast<int>(stages_.size()));
+}
+
+double CascadeRegressor::evaluate_mpjpe_mm(
+    const std::vector<DepthSample>& test) const {
+  MMHAND_CHECK(!test.empty(), "cascade evaluation set empty");
+  double total = 0.0;
+  for (const auto& sample : test) {
+    const auto pred = predict(sample.depth);
+    for (int j = 0; j < hand::kNumJoints; ++j)
+      total += 1000.0 * distance(pred[static_cast<std::size_t>(j)],
+                                 sample.joints[static_cast<std::size_t>(j)]);
+  }
+  return total / (static_cast<double>(test.size()) * hand::kNumJoints);
+}
+
+}  // namespace mmhand::baselines

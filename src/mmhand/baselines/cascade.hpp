@@ -1,0 +1,50 @@
+#pragma once
+
+// Cascade baseline — a re-implementation of cascaded hand pose regression
+// in the spirit of Sun et al. (Table I's "Cascade"): starting from the
+// training-set mean pose, each stage samples depth features around the
+// currently estimated joints and applies a learned linear update.
+
+#include <vector>
+
+#include "mmhand/baselines/datasets.hpp"
+#include "mmhand/nn/linear.hpp"
+
+namespace mmhand::baselines {
+
+struct CascadeConfig {
+  int stages = 4;
+  int epochs_per_stage = 12;
+  double lr = 5e-4;
+  std::uint64_t seed = 21;
+};
+
+class CascadeRegressor {
+ public:
+  CascadeRegressor(const CascadeConfig& config,
+                   const DepthCameraConfig& camera);
+
+  /// Trains all stages sequentially on the dataset.
+  void train(const std::vector<DepthSample>& dataset);
+
+  /// Predicts the 21 joints for one depth image.
+  hand::JointSet predict(const nn::Tensor& depth) const;
+
+  /// Mean per-joint error (mm) over a test set.
+  double evaluate_mpjpe_mm(const std::vector<DepthSample>& test) const;
+
+ private:
+  /// Features: depth sampled at the projected joint pixel and a star of 8
+  /// offsets around it, for every joint (21 * 9 values).
+  nn::Tensor features(const nn::Tensor& depth,
+                      const hand::JointSet& estimate) const;
+
+  hand::JointSet run_cascade(const nn::Tensor& depth, int stages) const;
+
+  CascadeConfig config_;
+  DepthCameraConfig camera_;
+  hand::JointSet mean_pose_{};
+  std::vector<std::unique_ptr<nn::Linear>> stages_;
+};
+
+}  // namespace mmhand::baselines

@@ -1,0 +1,56 @@
+#include "mmhand/baselines/datasets.hpp"
+
+#include "mmhand/hand/kinematics.hpp"
+
+namespace mmhand::baselines {
+
+std::vector<DepthSample> make_depth_dataset(
+    const DepthDatasetConfig& config) {
+  MMHAND_CHECK(config.samples >= 1, "depth dataset size");
+  Rng rng(config.seed);
+
+  const bool msra = config.variant == VisionDataset::kMsraLike;
+  const double depth_noise = msra ? 0.020 : 0.008;   // image noise
+  const double label_noise = msra ? 0.004 : 0.0015;  // annotation noise
+  hand::GestureScriptConfig script_cfg;
+  if (!msra) {
+    // ICVL-like: narrower gesture inventory.
+    script_cfg.vocabulary = {hand::Gesture::kOpenPalm, hand::Gesture::kFist,
+                             hand::Gesture::kPoint, hand::Gesture::kPinch,
+                             hand::Gesture::kCount3};
+  }
+  script_cfg.orientation_wobble_rad = msra ? 0.20 : 0.10;
+
+  const double duration = config.samples * 0.25;
+  hand::GestureScript script(script_cfg, rng.fork(), duration);
+
+  std::vector<DepthSample> out;
+  out.reserve(static_cast<std::size_t>(config.samples));
+  for (int i = 0; i < config.samples; ++i) {
+    const double t = (static_cast<double>(i) + 0.5) * 0.25;
+    const auto pose = script.pose_at(t);
+    // Per-sample user variety, as in the multi-subject datasets.
+    const auto profile = hand::HandProfile::for_user(rng.uniform_int(0, 9));
+    const auto joints = hand::forward_kinematics(profile, pose);
+
+    DepthSample sample;
+    sample.joints = joints;
+    sample.depth = render_depth(joints, config.camera);
+    for (std::size_t e = 0; e < sample.depth.numel(); ++e)
+      sample.depth[e] += static_cast<float>(rng.normal(0.0, depth_noise));
+    sample.label = nn::Tensor({1, 63});
+    for (int j = 0; j < hand::kNumJoints; ++j) {
+      const Vec3 p = joints[static_cast<std::size_t>(j)] +
+                     Vec3{rng.normal(0.0, label_noise),
+                          rng.normal(0.0, label_noise),
+                          rng.normal(0.0, label_noise)};
+      sample.label.at(0, 3 * j) = static_cast<float>(p.x);
+      sample.label.at(0, 3 * j + 1) = static_cast<float>(p.y);
+      sample.label.at(0, 3 * j + 2) = static_cast<float>(p.z);
+    }
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+}  // namespace mmhand::baselines

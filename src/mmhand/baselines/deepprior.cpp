@@ -1,0 +1,194 @@
+#include "mmhand/baselines/deepprior.hpp"
+
+#include <cmath>
+
+#include "mmhand/nn/activations.hpp"
+#include "mmhand/nn/conv2d.hpp"
+#include "mmhand/nn/linear.hpp"
+#include "mmhand/nn/loss.hpp"
+#include "mmhand/nn/optimizer.hpp"
+
+namespace mmhand::baselines {
+
+PosePrior fit_pose_prior(const std::vector<DepthSample>& dataset,
+                         int components) {
+  MMHAND_CHECK(dataset.size() >= 4, "pose prior needs data");
+  MMHAND_CHECK(components >= 1 && components <= 63, "pca components");
+  const int n = static_cast<int>(dataset.size());
+
+  PosePrior prior;
+  prior.mean = nn::Tensor::zeros({63});
+  for (const auto& s : dataset)
+    for (int c = 0; c < 63; ++c)
+      prior.mean[static_cast<std::size_t>(c)] += s.label.at(0, c);
+  prior.mean.scale_(1.0f / static_cast<float>(n));
+
+  // Covariance of the centered labels.
+  std::vector<double> cov(63 * 63, 0.0);
+  for (const auto& s : dataset) {
+    double centered[63];
+    for (int c = 0; c < 63; ++c)
+      centered[c] = s.label.at(0, c) - prior.mean[static_cast<std::size_t>(c)];
+    for (int a = 0; a < 63; ++a)
+      for (int b = 0; b < 63; ++b)
+        cov[static_cast<std::size_t>(a) * 63 + b] +=
+            centered[a] * centered[b];
+  }
+  for (auto& v : cov) v /= n;
+
+  // Power iteration with deflation.
+  prior.components = nn::Tensor({components, 63});
+  Rng rng(97);
+  for (int k = 0; k < components; ++k) {
+    std::vector<double> v(63);
+    for (auto& x : v) x = rng.normal();
+    double eigenvalue = 0.0;
+    for (int iter = 0; iter < 200; ++iter) {
+      std::vector<double> w(63, 0.0);
+      for (int a = 0; a < 63; ++a)
+        for (int b = 0; b < 63; ++b)
+          w[static_cast<std::size_t>(a)] +=
+              cov[static_cast<std::size_t>(a) * 63 + b] *
+              v[static_cast<std::size_t>(b)];
+      double norm = 0.0;
+      for (double x : w) norm += x * x;
+      norm = std::sqrt(norm);
+      if (norm < 1e-14) break;
+      eigenvalue = norm;
+      for (int a = 0; a < 63; ++a)
+        v[static_cast<std::size_t>(a)] = w[static_cast<std::size_t>(a)] / norm;
+    }
+    for (int c = 0; c < 63; ++c)
+      prior.components.at(k, c) =
+          static_cast<float>(v[static_cast<std::size_t>(c)]);
+    // Deflate: cov -= lambda v v^T.
+    for (int a = 0; a < 63; ++a)
+      for (int b = 0; b < 63; ++b)
+        cov[static_cast<std::size_t>(a) * 63 + b] -=
+            eigenvalue * v[static_cast<std::size_t>(a)] *
+            v[static_cast<std::size_t>(b)];
+  }
+  return prior;
+}
+
+DeepPriorRegressor::DeepPriorRegressor(const DeepPriorConfig& config,
+                                       const DepthCameraConfig& camera)
+    : config_(config), camera_(camera) {}
+
+nn::Tensor DeepPriorRegressor::decode(const nn::Tensor& coeffs) const {
+  nn::Tensor out({1, 63});
+  for (int c = 0; c < 63; ++c)
+    out.at(0, c) = prior_.mean[static_cast<std::size_t>(c)];
+  for (int k = 0; k < prior_.components.dim(0); ++k) {
+    const float a = coeffs.at(0, k);
+    for (int c = 0; c < 63; ++c)
+      out.at(0, c) += a * prior_.components.at(k, c);
+  }
+  return out;
+}
+
+nn::Tensor DeepPriorRegressor::encode(const nn::Tensor& label63) const {
+  nn::Tensor coeffs({1, prior_.components.dim(0)});
+  for (int k = 0; k < prior_.components.dim(0); ++k) {
+    float acc = 0.0f;
+    for (int c = 0; c < 63; ++c)
+      acc += (label63.at(0, c) - prior_.mean[static_cast<std::size_t>(c)]) *
+             prior_.components.at(k, c);
+    coeffs.at(0, k) = acc;
+  }
+  return coeffs;
+}
+
+void DeepPriorRegressor::train(const std::vector<DepthSample>& dataset) {
+  MMHAND_CHECK(!dataset.empty(), "deepprior needs training data");
+  prior_ = fit_pose_prior(dataset, config_.pca_components);
+
+  Rng rng(config_.seed);
+  // Small CNN: two strided convs then FC into the prior space.
+  net_ = nn::Sequential();
+  net_.emplace<nn::Conv2d>(1, 8, 3, 2, 1, rng);
+  net_.emplace<nn::ReLU>();
+  net_.emplace<nn::Conv2d>(8, 16, 3, 2, 1, rng);
+  net_.emplace<nn::ReLU>();
+  const int spatial = camera_.width / 4 * (camera_.height / 4);
+  // Flattening happens via reshape around the Sequential boundary, so the
+  // trailing layers operate on [1, F].
+  nn::Adam opt(net_.parameters(), {.lr = config_.lr});
+  nn::Sequential head;
+  head.emplace<nn::Linear>(16 * spatial, 96, rng);
+  head.emplace<nn::ReLU>();
+  head.emplace<nn::Linear>(96, config_.pca_components, rng);
+  nn::Adam head_opt(head.parameters(), {.lr = config_.lr});
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    const double lr_scale = nn::cosine_decay(epoch, config_.epochs);
+    const auto order = rng.permutation(static_cast<int>(dataset.size()));
+    int since_step = 0;
+    opt.zero_grad();
+    head_opt.zero_grad();
+    for (int idx : order) {
+      const auto& sample = dataset[static_cast<std::size_t>(idx)];
+      nn::Tensor img = sample.depth.reshaped(
+          {1, 1, camera_.height, camera_.width});
+      for (std::size_t e = 0; e < img.numel(); ++e)
+        img[e] = camera_.background - img[e];
+      nn::Tensor feat = net_.forward(img, true);
+      const auto feat_shape = feat.shape();
+      nn::Tensor flat = feat.reshaped({1, 16 * spatial});
+      nn::Tensor coeffs = head.forward(flat, true);
+      const nn::Tensor target = encode(sample.label);
+      const auto loss = nn::mse_loss(coeffs, target);
+      nn::Tensor g = head.backward(loss.grad);
+      (void)net_.backward(g.reshaped(feat_shape));
+      if (++since_step >= config_.batch_size) {
+        opt.step(lr_scale);
+        head_opt.step(lr_scale);
+        opt.zero_grad();
+        head_opt.zero_grad();
+        since_step = 0;
+      }
+    }
+    if (since_step > 0) {
+      opt.step(lr_scale);
+      head_opt.step(lr_scale);
+      opt.zero_grad();
+      head_opt.zero_grad();
+    }
+  }
+  // Fold the head into the stored network for inference.
+  head_ = std::move(head);
+  trained_ = true;
+}
+
+hand::JointSet DeepPriorRegressor::predict(const nn::Tensor& depth) {
+  MMHAND_CHECK(trained_, "deepprior not trained");
+  nn::Tensor img = depth.reshaped({1, 1, camera_.height, camera_.width});
+  for (std::size_t e = 0; e < img.numel(); ++e)
+    img[e] = camera_.background - img[e];
+  nn::Tensor feat = net_.forward(img, false);
+  const int spatial = camera_.width / 4 * (camera_.height / 4);
+  nn::Tensor coeffs =
+      head_.forward(feat.reshaped({1, 16 * spatial}), false);
+  const nn::Tensor joints = decode(coeffs);
+  hand::JointSet out;
+  for (int j = 0; j < hand::kNumJoints; ++j)
+    out[static_cast<std::size_t>(j)] =
+        Vec3{joints.at(0, 3 * j), joints.at(0, 3 * j + 1),
+             joints.at(0, 3 * j + 2)};
+  return out;
+}
+
+double DeepPriorRegressor::evaluate_mpjpe_mm(
+    const std::vector<DepthSample>& test) {
+  MMHAND_CHECK(!test.empty(), "deepprior evaluation set empty");
+  double total = 0.0;
+  for (const auto& sample : test) {
+    const auto pred = predict(sample.depth);
+    for (int j = 0; j < hand::kNumJoints; ++j)
+      total += 1000.0 * distance(pred[static_cast<std::size_t>(j)],
+                                 sample.joints[static_cast<std::size_t>(j)]);
+  }
+  return total / (static_cast<double>(test.size()) * hand::kNumJoints);
+}
+
+}  // namespace mmhand::baselines

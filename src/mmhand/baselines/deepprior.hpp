@@ -1,0 +1,56 @@
+#pragma once
+
+// DeepPrior++-style baseline (Table I): a small CNN over the depth image
+// regressing into a low-dimensional PCA pose prior whose coefficients are
+// linearly decoded back to the 63-D joint vector — the defining trait of
+// the DeepPrior family.
+
+#include <vector>
+
+#include "mmhand/baselines/datasets.hpp"
+#include "mmhand/nn/sequential.hpp"
+
+namespace mmhand::baselines {
+
+struct DeepPriorConfig {
+  int pca_components = 20;
+  int epochs = 15;
+  int batch_size = 8;
+  double lr = 1e-3;
+  std::uint64_t seed = 31;
+};
+
+/// Principal components of the training labels (row-major [K, 63]) plus
+/// the mean, computed by power iteration with deflation.
+struct PosePrior {
+  nn::Tensor mean;        ///< [63]
+  nn::Tensor components;  ///< [K, 63], orthonormal rows
+};
+
+PosePrior fit_pose_prior(const std::vector<DepthSample>& dataset,
+                         int components);
+
+class DeepPriorRegressor {
+ public:
+  DeepPriorRegressor(const DeepPriorConfig& config,
+                     const DepthCameraConfig& camera);
+
+  void train(const std::vector<DepthSample>& dataset);
+  hand::JointSet predict(const nn::Tensor& depth);
+  double evaluate_mpjpe_mm(const std::vector<DepthSample>& test);
+
+  const PosePrior& prior() const { return prior_; }
+
+ private:
+  nn::Tensor decode(const nn::Tensor& coeffs) const;   ///< [1,K] -> [1,63]
+  nn::Tensor encode(const nn::Tensor& label63) const;  ///< [1,63] -> [1,K]
+
+  DeepPriorConfig config_;
+  DepthCameraConfig camera_;
+  PosePrior prior_;
+  nn::Sequential net_;   ///< conv trunk over the depth image
+  nn::Sequential head_;  ///< flattened features -> PCA coefficients
+  bool trained_ = false;
+};
+
+}  // namespace mmhand::baselines

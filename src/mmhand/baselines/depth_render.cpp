@@ -1,0 +1,72 @@
+#include "mmhand/baselines/depth_render.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mmhand/common/error.hpp"
+
+namespace mmhand::baselines {
+
+void project_to_pixel(const Vec3& p, const DepthCameraConfig& config,
+                      int& px, int& py) {
+  const double u = (p.x - config.x_min) / (config.x_max - config.x_min);
+  const double v = (p.z - config.z_min) / (config.z_max - config.z_min);
+  px = static_cast<int>(u * (config.width - 1) + 0.5);
+  // Image rows grow downward while z grows upward.
+  py = static_cast<int>((1.0 - v) * (config.height - 1) + 0.5);
+}
+
+nn::Tensor render_depth(const hand::JointSet& joints,
+                        const DepthCameraConfig& config) {
+  MMHAND_CHECK(config.width >= 8 && config.height >= 8, "depth image size");
+  nn::Tensor img = nn::Tensor::full({1, config.height, config.width},
+                                    config.background);
+
+  const double px_radius_x = config.bone_radius /
+                             (config.x_max - config.x_min) * config.width;
+  const double px_radius_y = config.bone_radius /
+                             (config.z_max - config.z_min) * config.height;
+  const int rx = std::max(1, static_cast<int>(px_radius_x));
+  const int ry = std::max(1, static_cast<int>(px_radius_y));
+
+  auto splat = [&](const Vec3& center) {
+    int cx, cy;
+    project_to_pixel(center, config, cx, cy);
+    const float depth = static_cast<float>(
+        (center.y - config.y_near) / config.y_scale);
+    for (int dy = -ry; dy <= ry; ++dy)
+      for (int dx = -rx; dx <= rx; ++dx) {
+        const int x = cx + dx, y = cy + dy;
+        if (x < 0 || x >= config.width || y < 0 || y >= config.height)
+          continue;
+        const double r2 = static_cast<double>(dx) * dx /
+                              (px_radius_x * px_radius_x) +
+                          static_cast<double>(dy) * dy /
+                              (px_radius_y * px_radius_y);
+        if (r2 > 1.0) continue;
+        float& cell = img.at(0, y, x);
+        cell = std::min(cell, depth);
+      }
+  };
+
+  // Spheres along every bone plus the palm fan.
+  for (int child = 1; child < hand::kNumJoints; ++child) {
+    const int parent = hand::joint_parent(child);
+    const Vec3 a = joints[static_cast<std::size_t>(parent)];
+    const Vec3 b = joints[static_cast<std::size_t>(child)];
+    for (int k = 0; k <= config.spheres_per_bone; ++k) {
+      const double t = static_cast<double>(k) / config.spheres_per_bone;
+      splat(a + (b - a) * t);
+    }
+  }
+  // Palm interior: wrist to each MCP.
+  const Vec3 wrist = joints[hand::kWrist];
+  for (int f = 0; f < hand::kNumFingers; ++f) {
+    const Vec3 mcp = joints[static_cast<std::size_t>(
+        hand::finger_base(static_cast<hand::Finger>(f)))];
+    for (int k = 1; k < 4; ++k) splat(wrist + (mcp - wrist) * (0.25 * k));
+  }
+  return img;
+}
+
+}  // namespace mmhand::baselines

@@ -1,0 +1,37 @@
+#pragma once
+
+// Synthetic depth camera — the substrate for the vision baselines in
+// Table I (Cascade, DeepPrior++-style).  Renders a z-buffer of the posed
+// hand by splatting spheres along each bone, imitating the depth maps the
+// MSRA / ICVL datasets provide.
+
+#include "mmhand/hand/skeleton.hpp"
+#include "mmhand/nn/tensor.hpp"
+
+namespace mmhand::baselines {
+
+struct DepthCameraConfig {
+  int width = 32;
+  int height = 32;
+  /// View volume (meters) around the hand, camera looking along +y.
+  double x_min = -0.15, x_max = 0.15;
+  double z_min = -0.10, z_max = 0.20;
+  /// Normalization: depth d -> (d - y_near) / y_scale; background value.
+  double y_near = 0.15;
+  double y_scale = 0.30;
+  float background = 1.5f;
+  /// Sphere radius splatted along bones (meters).
+  double bone_radius = 0.009;
+  int spheres_per_bone = 4;
+};
+
+/// Renders a [1, H, W] normalized depth image of the skeleton.
+nn::Tensor render_depth(const hand::JointSet& joints,
+                        const DepthCameraConfig& config = {});
+
+/// Pixel coordinates of a 3-D point under the camera (may be outside the
+/// image; callers clamp).
+void project_to_pixel(const Vec3& p, const DepthCameraConfig& config,
+                      int& px, int& py);
+
+}  // namespace mmhand::baselines

@@ -1,0 +1,187 @@
+#include "mmhand/baselines/handfi.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "mmhand/hand/kinematics.hpp"
+#include "mmhand/nn/activations.hpp"
+#include "mmhand/nn/linear.hpp"
+#include "mmhand/nn/loss.hpp"
+#include "mmhand/nn/optimizer.hpp"
+#include "mmhand/sim/scene.hpp"
+
+namespace mmhand::baselines {
+
+namespace {
+
+constexpr double kC = 299792458.0;
+
+}  // namespace
+
+std::vector<std::complex<double>> simulate_csi(const radar::Scene& scene,
+                                               const WifiConfig& config,
+                                               Rng& rng) {
+  std::vector<std::complex<double>> csi(
+      static_cast<std::size_t>(config.rx_antennas) * config.subcarriers);
+  for (int a = 0; a < config.rx_antennas; ++a) {
+    const Vec3 rx{static_cast<double>(a) * config.antenna_spacing_m, 0.0,
+                  0.0};
+    for (int k = 0; k < config.subcarriers; ++k) {
+      const double f = config.carrier_hz +
+                       (k - config.subcarriers / 2) *
+                           config.subcarrier_spacing_hz;
+      std::complex<double> h{0.0, 0.0};
+      // Static line-of-sight component.
+      const double d_los = distance(config.tx_position, rx);
+      h += std::polar(1.0, -2.0 * std::numbers::pi * f * d_los / kC);
+      // Hand multipath.
+      for (const auto& s : scene) {
+        const double d = distance(config.tx_position, s.position) +
+                         distance(s.position, rx);
+        h += std::polar(0.8 * s.observed_amplitude(),
+                        -2.0 * std::numbers::pi * f * d / kC);
+      }
+      h += std::complex<double>{rng.normal(0.0, config.noise_stddev),
+                                rng.normal(0.0, config.noise_stddev)};
+      csi[static_cast<std::size_t>(a) * config.subcarriers + k] = h;
+    }
+  }
+  return csi;
+}
+
+HandFiBaseline::HandFiBaseline(const HandFiConfig& config)
+    : config_(config) {
+  Rng rng(config_.seed);
+  net_.emplace<nn::Linear>(feature_dim(), 128, rng);
+  net_.emplace<nn::ReLU>();
+  net_.emplace<nn::Linear>(128, 128, rng);
+  net_.emplace<nn::ReLU>();
+  net_.emplace<nn::Linear>(128, 63, rng);
+}
+
+nn::Tensor HandFiBaseline::csi_features(
+    const std::vector<std::complex<double>>& csi) const {
+  const int n_ant = config_.wifi.rx_antennas;
+  const int n_sub = config_.wifi.subcarriers;
+  nn::Tensor f({1, feature_dim()});
+  int idx = 0;
+  for (int a = 0; a < n_ant; ++a)
+    for (int k = 0; k < n_sub; ++k) {
+      const auto& h = csi[static_cast<std::size_t>(a) * n_sub + k];
+      // Conjugate multiplication against antenna 0 cancels the unknown
+      // CFO (the standard CSI sanitization trick); feeding the real and
+      // imaginary parts avoids the phase-wrapping discontinuity that raw
+      // angles would introduce.
+      const auto& ref = csi[static_cast<std::size_t>(k)];
+      const auto sanitized = h * std::conj(ref);
+      f.at(0, idx++) = static_cast<float>(sanitized.real());
+      f.at(0, idx++) = static_cast<float>(sanitized.imag());
+    }
+  return f;
+}
+
+namespace {
+
+struct WifiFrame {
+  nn::Tensor features;
+  hand::JointSet joints;
+  nn::Tensor label;
+};
+
+std::vector<WifiFrame> make_frames(const HandFiConfig& config, int count,
+                                   std::uint64_t seed,
+                                   const HandFiBaseline* owner,
+                                   nn::Tensor (HandFiBaseline::*feat)(
+                                       const std::vector<std::complex<
+                                           double>>&) const) {
+  Rng rng(seed);
+  hand::GestureScriptConfig script_cfg;
+  // HandFi's setup: the hand sits between TX and RX with the body away
+  // from the link; the hand alone dominates the multipath.
+  hand::GestureScript script(script_cfg, rng.fork(), count * 0.05);
+  sim::HandSceneConfig scene_cfg;
+  Rng scene_rng = rng.fork();
+  Rng csi_rng = rng.fork();
+  Rng label_rng = rng.fork();
+
+  std::vector<WifiFrame> frames;
+  frames.reserve(static_cast<std::size_t>(count));
+  const auto profile = hand::HandProfile::for_user(0);
+  for (int i = 0; i < count; ++i) {
+    const double t = i * 0.05;
+    const auto joints =
+        hand::forward_kinematics(profile, script.pose_at(t));
+    const auto scene =
+        sim::build_hand_scene(joints, joints, 0.05, scene_cfg, scene_rng);
+    const auto csi = simulate_csi(scene, config.wifi, csi_rng);
+    WifiFrame frame;
+    frame.features = (owner->*feat)(csi);
+    frame.joints = joints;
+    frame.label = nn::Tensor({1, 63});
+    for (int j = 0; j < hand::kNumJoints; ++j) {
+      const Vec3 p = joints[static_cast<std::size_t>(j)] +
+                     Vec3{label_rng.normal(0.0, 0.0025),
+                          label_rng.normal(0.0, 0.0025),
+                          label_rng.normal(0.0, 0.0025)};
+      frame.label.at(0, 3 * j) = static_cast<float>(p.x);
+      frame.label.at(0, 3 * j + 1) = static_cast<float>(p.y);
+      frame.label.at(0, 3 * j + 2) = static_cast<float>(p.z);
+    }
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+}  // namespace
+
+void HandFiBaseline::train() {
+  const auto frames = make_frames(config_, config_.train_frames,
+                                  config_.seed ^ 0xAA, this,
+                                  &HandFiBaseline::csi_features);
+  nn::Adam opt(net_.parameters(), {.lr = config_.lr});
+  Rng rng(config_.seed ^ 0x1234);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    const double lr_scale = nn::cosine_decay(epoch, config_.epochs);
+    const auto order = rng.permutation(static_cast<int>(frames.size()));
+    int since = 0;
+    opt.zero_grad();
+    for (int idx : order) {
+      const auto& frame = frames[static_cast<std::size_t>(idx)];
+      const nn::Tensor pred = net_.forward(frame.features, true);
+      const auto loss = nn::mse_loss(pred, frame.label);
+      (void)net_.backward(loss.grad);
+      if (++since >= 8) {
+        opt.step(lr_scale);
+        opt.zero_grad();
+        since = 0;
+      }
+    }
+    if (since > 0) {
+      opt.step(lr_scale);
+      opt.zero_grad();
+    }
+  }
+  trained_ = true;
+}
+
+double HandFiBaseline::evaluate_mpjpe_mm() {
+  MMHAND_CHECK(trained_, "handfi not trained");
+  const auto frames = make_frames(config_, config_.test_frames,
+                                  config_.seed ^ 0xBB, this,
+                                  &HandFiBaseline::csi_features);
+  double total = 0.0;
+  std::size_t joints_count = 0;
+  for (const auto& frame : frames) {
+    const nn::Tensor pred = net_.forward(frame.features, false);
+    for (int j = 0; j < hand::kNumJoints; ++j) {
+      const Vec3 p{pred.at(0, 3 * j), pred.at(0, 3 * j + 1),
+                   pred.at(0, 3 * j + 2)};
+      total += 1000.0 *
+               distance(p, frame.joints[static_cast<std::size_t>(j)]);
+      ++joints_count;
+    }
+  }
+  return total / static_cast<double>(joints_count);
+}
+
+}  // namespace mmhand::baselines

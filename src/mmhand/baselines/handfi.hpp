@@ -1,0 +1,61 @@
+#pragma once
+
+// HandFi-style baseline (Table I): 3-D hand skeletons from commercial WiFi
+// CSI.  A 5.18 GHz OFDM link (30 subcarriers, 3 RX antennas) is simulated
+// against the same hand scatterer scenes; amplitude and inter-antenna
+// phase-difference features feed an MLP regressor.  WiFi's centimeter
+// wavelength and narrow bandwidth give it far coarser spatial resolution
+// than the 4 GHz mmWave sweep, which is why its MPJPE lands near 20 mm.
+
+#include <complex>
+
+#include "mmhand/hand/gesture.hpp"
+#include "mmhand/nn/sequential.hpp"
+#include "mmhand/radar/scatterer.hpp"
+
+namespace mmhand::baselines {
+
+struct WifiConfig {
+  double carrier_hz = 5.18e9;
+  double subcarrier_spacing_hz = 312.5e3;
+  int subcarriers = 30;
+  int rx_antennas = 3;
+  double antenna_spacing_m = 0.028;  ///< ~lambda/2 at 5.18 GHz
+  double noise_stddev = 0.01;
+  /// Transmitter offset from the receiver array (bistatic link).
+  Vec3 tx_position{-0.4, 0.0, 0.0};
+};
+
+/// CSI matrix H[antenna][subcarrier] for a scatterer scene.
+std::vector<std::complex<double>> simulate_csi(const radar::Scene& scene,
+                                               const WifiConfig& config,
+                                               Rng& rng);
+
+struct HandFiConfig {
+  WifiConfig wifi;
+  int train_frames = 1200;
+  int test_frames = 300;
+  int epochs = 15;
+  double lr = 1e-3;
+  std::uint64_t seed = 51;
+};
+
+class HandFiBaseline {
+ public:
+  explicit HandFiBaseline(const HandFiConfig& config);
+
+  void train();
+  double evaluate_mpjpe_mm();
+
+ private:
+  nn::Tensor csi_features(const std::vector<std::complex<double>>& csi) const;
+  int feature_dim() const {
+    return config_.wifi.rx_antennas * config_.wifi.subcarriers * 2;
+  }
+
+  HandFiConfig config_;
+  nn::Sequential net_;
+  bool trained_ = false;
+};
+
+}  // namespace mmhand::baselines

@@ -1,0 +1,56 @@
+#pragma once
+
+// Error handling for mmHand.
+//
+// The library reports contract violations and unrecoverable runtime failures
+// through mmhand::Error (derived from std::runtime_error).  MMHAND_CHECK is
+// used for input validation on public API boundaries; MMHAND_ASSERT for
+// internal invariants that indicate a library bug.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mmhand {
+
+/// Exception type thrown by all mmHand components.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_error(const char* kind, const char* expr,
+                                     const char* file, int line,
+                                     const std::string& message) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) os << " — " << message;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace mmhand
+
+/// Validates a condition on a public API boundary; throws mmhand::Error with
+/// a formatted message when the condition does not hold.
+#define MMHAND_CHECK(cond, msg)                                             \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream mmhand_check_os_;                                  \
+      mmhand_check_os_ << msg;                                              \
+      ::mmhand::detail::throw_error("check", #cond, __FILE__, __LINE__,     \
+                                    mmhand_check_os_.str());                \
+    }                                                                       \
+  } while (false)
+
+/// Internal invariant; failure indicates a bug inside the library.
+#define MMHAND_ASSERT(cond)                                                 \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::mmhand::detail::throw_error("assert", #cond, __FILE__, __LINE__,    \
+                                    "internal invariant violated");         \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,129 @@
+#include "mmhand/common/quaternion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmhand {
+
+Quaternion Quaternion::from_axis_angle(const Vec3& axis, double angle) {
+  const Vec3 u = axis.normalized();
+  const double half = 0.5 * angle;
+  const double s = std::sin(half);
+  return {std::cos(half), u.x * s, u.y * s, u.z * s};
+}
+
+Quaternion Quaternion::from_rotation_vector(const Vec3& rv) {
+  const double angle = rv.norm();
+  if (angle < 1e-12) {
+    // First-order expansion keeps the map smooth near the identity.
+    return Quaternion{1.0, 0.5 * rv.x, 0.5 * rv.y, 0.5 * rv.z}.normalized();
+  }
+  return from_axis_angle(rv, angle);
+}
+
+Quaternion Quaternion::operator*(const Quaternion& o) const {
+  return {w * o.w - x * o.x - y * o.y - z * o.z,
+          w * o.x + x * o.w + y * o.z - z * o.y,
+          w * o.y - x * o.z + y * o.w + z * o.x,
+          w * o.z + x * o.y - y * o.x + z * o.w};
+}
+
+double Quaternion::norm() const {
+  return std::sqrt(w * w + x * x + y * y + z * z);
+}
+
+Quaternion Quaternion::normalized() const {
+  const double n = norm();
+  if (n < 1e-300) return identity();
+  return {w / n, x / n, y / n, z / n};
+}
+
+Vec3 Quaternion::rotate(const Vec3& v) const {
+  // v' = v + 2*r x (r x v + w*v), with r the vector part.
+  const Vec3 r{x, y, z};
+  const Vec3 t = r.cross(v) * 2.0;
+  return v + t * w + r.cross(t);
+}
+
+Vec3 Quaternion::to_rotation_vector() const {
+  Quaternion q = normalized();
+  if (q.w < 0.0) q = {-q.w, -q.x, -q.y, -q.z};  // canonical hemisphere
+  const double sin_half = std::sqrt(q.x * q.x + q.y * q.y + q.z * q.z);
+  const double angle = 2.0 * std::atan2(sin_half, q.w);
+  if (sin_half < 1e-12) return Vec3{q.x, q.y, q.z} * 2.0;
+  const double scale = angle / sin_half;
+  return {q.x * scale, q.y * scale, q.z * scale};
+}
+
+void Quaternion::to_matrix(double m[3][3]) const {
+  const Quaternion q = normalized();
+  const double xx = q.x * q.x, yy = q.y * q.y, zz = q.z * q.z;
+  const double xy = q.x * q.y, xz = q.x * q.z, yz = q.y * q.z;
+  const double wx = q.w * q.x, wy = q.w * q.y, wz = q.w * q.z;
+  m[0][0] = 1 - 2 * (yy + zz);
+  m[0][1] = 2 * (xy - wz);
+  m[0][2] = 2 * (xz + wy);
+  m[1][0] = 2 * (xy + wz);
+  m[1][1] = 1 - 2 * (xx + zz);
+  m[1][2] = 2 * (yz - wx);
+  m[2][0] = 2 * (xz - wy);
+  m[2][1] = 2 * (yz + wx);
+  m[2][2] = 1 - 2 * (xx + yy);
+}
+
+Quaternion Quaternion::from_matrix(const double m[3][3]) {
+  // Shepperd's method: pick the largest diagonal combination for
+  // numerical stability.
+  const double trace = m[0][0] + m[1][1] + m[2][2];
+  Quaternion q;
+  if (trace > 0.0) {
+    const double s = std::sqrt(trace + 1.0) * 2.0;
+    q = {0.25 * s, (m[2][1] - m[1][2]) / s, (m[0][2] - m[2][0]) / s,
+         (m[1][0] - m[0][1]) / s};
+  } else if (m[0][0] > m[1][1] && m[0][0] > m[2][2]) {
+    const double s = std::sqrt(1.0 + m[0][0] - m[1][1] - m[2][2]) * 2.0;
+    q = {(m[2][1] - m[1][2]) / s, 0.25 * s, (m[0][1] + m[1][0]) / s,
+         (m[0][2] + m[2][0]) / s};
+  } else if (m[1][1] > m[2][2]) {
+    const double s = std::sqrt(1.0 + m[1][1] - m[0][0] - m[2][2]) * 2.0;
+    q = {(m[0][2] - m[2][0]) / s, (m[0][1] + m[1][0]) / s, 0.25 * s,
+         (m[1][2] + m[2][1]) / s};
+  } else {
+    const double s = std::sqrt(1.0 + m[2][2] - m[0][0] - m[1][1]) * 2.0;
+    q = {(m[1][0] - m[0][1]) / s, (m[0][2] + m[2][0]) / s,
+         (m[1][2] + m[2][1]) / s, 0.25 * s};
+  }
+  return q.normalized();
+}
+
+double Quaternion::angle_between(const Quaternion& a, const Quaternion& b) {
+  const Quaternion qa = a.normalized(), qb = b.normalized();
+  double dot = qa.w * qb.w + qa.x * qb.x + qa.y * qb.y + qa.z * qb.z;
+  dot = std::clamp(std::abs(dot), 0.0, 1.0);
+  return 2.0 * std::acos(dot);
+}
+
+Quaternion Quaternion::slerp(const Quaternion& a, const Quaternion& b,
+                             double t) {
+  Quaternion qa = a.normalized();
+  Quaternion qb = b.normalized();
+  double dot = qa.w * qb.w + qa.x * qb.x + qa.y * qb.y + qa.z * qb.z;
+  if (dot < 0.0) {
+    qb = {-qb.w, -qb.x, -qb.y, -qb.z};
+    dot = -dot;
+  }
+  if (dot > 0.9995) {
+    // Nearly parallel: linear interpolation avoids division by ~0.
+    return Quaternion{qa.w + t * (qb.w - qa.w), qa.x + t * (qb.x - qa.x),
+                      qa.y + t * (qb.y - qa.y), qa.z + t * (qb.z - qa.z)}
+        .normalized();
+  }
+  const double theta = std::acos(std::clamp(dot, -1.0, 1.0));
+  const double sin_theta = std::sin(theta);
+  const double wa = std::sin((1.0 - t) * theta) / sin_theta;
+  const double wb = std::sin(t * theta) / sin_theta;
+  return {wa * qa.w + wb * qb.w, wa * qa.x + wb * qb.x, wa * qa.y + wb * qb.y,
+          wa * qa.z + wb * qb.z};
+}
+
+}  // namespace mmhand

@@ -1,0 +1,58 @@
+#pragma once
+
+// Unit quaternions for joint rotations.
+//
+// mmHand's mesh module predicts joint rotations as quaternions (R^{21x4})
+// and converts them to the axis-angle representation MANO consumes (§V).
+
+#include "mmhand/common/vec3.hpp"
+
+namespace mmhand {
+
+struct Quaternion {
+  // Scalar-first convention: q = w + xi + yj + zk.
+  double w = 1.0;
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Quaternion() = default;
+  constexpr Quaternion(double w_, double x_, double y_, double z_)
+      : w(w_), x(x_), y(y_), z(z_) {}
+
+  static Quaternion identity() { return {1.0, 0.0, 0.0, 0.0}; }
+
+  /// Rotation of `angle` radians about `axis` (need not be unit length).
+  static Quaternion from_axis_angle(const Vec3& axis, double angle);
+
+  /// Rotation encoded as axis*angle (MANO's theta entries).
+  static Quaternion from_rotation_vector(const Vec3& rv);
+
+  /// Hamilton product; composes rotations (this applied after o... note
+  /// convention: (a*b).rotate(v) == a.rotate(b.rotate(v))).
+  Quaternion operator*(const Quaternion& o) const;
+
+  Quaternion conjugate() const { return {w, -x, -y, -z}; }
+  double norm() const;
+  Quaternion normalized() const;
+
+  /// Rotates a vector by this (assumed unit) quaternion.
+  Vec3 rotate(const Vec3& v) const;
+
+  /// Axis-angle (rotation vector) representation; angle in [0, pi].
+  Vec3 to_rotation_vector() const;
+
+  /// Column-major-free 3x3 rotation matrix written into m[3][3] (row major).
+  void to_matrix(double m[3][3]) const;
+
+  /// Quaternion of a (proper) rotation matrix, row major.
+  static Quaternion from_matrix(const double m[3][3]);
+
+  /// Geodesic angle between two unit quaternions (radians, in [0, pi]).
+  static double angle_between(const Quaternion& a, const Quaternion& b);
+
+  /// Spherical linear interpolation between unit quaternions.
+  static Quaternion slerp(const Quaternion& a, const Quaternion& b, double t);
+};
+
+}  // namespace mmhand

@@ -1,0 +1,36 @@
+#include "mmhand/common/rng.hpp"
+
+#include <numeric>
+
+namespace mmhand {
+
+double Rng::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  return std::uniform_int_distribution<int>(lo, hi)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+Rng Rng::fork() { return Rng(engine_()); }
+
+std::vector<int> Rng::permutation(int n) {
+  std::vector<int> idx(static_cast<std::size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0);
+  for (int i = n - 1; i > 0; --i) {
+    const int j = uniform_int(0, i);
+    std::swap(idx[static_cast<std::size_t>(i)],
+              idx[static_cast<std::size_t>(j)]);
+  }
+  return idx;
+}
+
+}  // namespace mmhand

@@ -1,0 +1,45 @@
+#pragma once
+
+// Deterministic random number generation.
+//
+// All stochastic components of mmHand (signal noise, gesture sampling,
+// weight initialization, label jitter) draw from an explicitly passed Rng so
+// experiments are reproducible from a single seed.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace mmhand {
+
+/// A seedable pseudo-random source wrapping std::mt19937_64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x6d6d48616e64ull) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi);
+
+  /// True with probability p.
+  bool bernoulli(double p);
+
+  /// A fresh Rng whose seed is derived from this stream; lets subsystems own
+  /// independent streams while staying reproducible.
+  Rng fork();
+
+  /// Fisher-Yates shuffle of indices [0, n).
+  std::vector<int> permutation(int n);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mmhand

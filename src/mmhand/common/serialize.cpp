@@ -1,0 +1,102 @@
+#include "mmhand/common/serialize.hpp"
+
+#include <filesystem>
+
+namespace mmhand {
+
+BinaryWriter::BinaryWriter(const std::string& path)
+    : out_(path, std::ios::binary), path_(path) {
+  MMHAND_CHECK(out_.good(), "cannot open for writing: " << path);
+}
+
+void BinaryWriter::write_u32(std::uint32_t v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void BinaryWriter::write_u64(std::uint64_t v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void BinaryWriter::write_f32(float v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void BinaryWriter::write_f64(double v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void BinaryWriter::write_string(const std::string& s) {
+  write_u64(s.size());
+  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void BinaryWriter::write_f32_vector(const std::vector<float>& v) {
+  write_u64(v.size());
+  out_.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+void BinaryWriter::write_i32_vector(const std::vector<int>& v) {
+  write_u64(v.size());
+  out_.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(int)));
+}
+
+void BinaryWriter::close() {
+  out_.flush();
+  MMHAND_CHECK(out_.good(), "write failure on " << path_);
+  out_.close();
+}
+
+BinaryReader::BinaryReader(const std::string& path)
+    : in_(path, std::ios::binary), path_(path) {
+  MMHAND_CHECK(in_.good(), "cannot open for reading: " << path);
+}
+
+template <typename T>
+T BinaryReader::read_pod() {
+  T v{};
+  in_.read(reinterpret_cast<char*>(&v), sizeof(v));
+  MMHAND_CHECK(in_.good(), "truncated read from " << path_);
+  return v;
+}
+
+std::uint32_t BinaryReader::read_u32() { return read_pod<std::uint32_t>(); }
+std::uint64_t BinaryReader::read_u64() { return read_pod<std::uint64_t>(); }
+float BinaryReader::read_f32() { return read_pod<float>(); }
+double BinaryReader::read_f64() { return read_pod<double>(); }
+
+std::string BinaryReader::read_string() {
+  const auto n = read_u64();
+  std::string s(n, '\0');
+  in_.read(s.data(), static_cast<std::streamsize>(n));
+  MMHAND_CHECK(in_.good(), "truncated string in " << path_);
+  return s;
+}
+
+std::vector<float> BinaryReader::read_f32_vector() {
+  const auto n = read_u64();
+  std::vector<float> v(n);
+  in_.read(reinterpret_cast<char*>(v.data()),
+           static_cast<std::streamsize>(n * sizeof(float)));
+  MMHAND_CHECK(in_.good(), "truncated f32 vector in " << path_);
+  return v;
+}
+
+std::vector<int> BinaryReader::read_i32_vector() {
+  const auto n = read_u64();
+  std::vector<int> v(n);
+  in_.read(reinterpret_cast<char*>(v.data()),
+           static_cast<std::streamsize>(n * sizeof(int)));
+  MMHAND_CHECK(in_.good(), "truncated i32 vector in " << path_);
+  return v;
+}
+
+bool BinaryReader::eof() {
+  in_.peek();
+  return in_.eof();
+}
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::is_regular_file(path, ec);
+}
+
+}  // namespace mmhand

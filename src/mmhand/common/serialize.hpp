@@ -1,0 +1,63 @@
+#pragma once
+
+// Minimal binary (de)serialization for model checkpoints and caches.
+//
+// Format: little-endian PODs written via tagged helpers.  Readers validate a
+// magic header and version so stale caches fail loudly instead of silently
+// producing garbage weights.
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "mmhand/common/error.hpp"
+
+namespace mmhand {
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path);
+
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_f32(float v);
+  void write_f64(double v);
+  void write_string(const std::string& s);
+  void write_f32_vector(const std::vector<float>& v);
+  void write_i32_vector(const std::vector<int>& v);
+
+  /// Flushes and closes; throws on I/O failure.
+  void close();
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  float read_f32();
+  double read_f64();
+  std::string read_string();
+  std::vector<float> read_f32_vector();
+  std::vector<int> read_i32_vector();
+
+  bool eof();
+
+ private:
+  template <typename T>
+  T read_pod();
+
+  std::ifstream in_;
+  std::string path_;
+};
+
+/// True when a regular file exists at `path`.
+bool file_exists(const std::string& path);
+
+}  // namespace mmhand

@@ -1,0 +1,87 @@
+#include "mmhand/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mmhand/common/error.hpp"
+
+namespace mmhand {
+
+double mean(std::span<const double> xs) {
+  MMHAND_CHECK(!xs.empty(), "mean of empty span");
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double min_value(std::span<const double> xs) {
+  MMHAND_CHECK(!xs.empty(), "min of empty span");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) {
+  MMHAND_CHECK(!xs.empty(), "max of empty span");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double percentile(std::span<const double> xs, double p) {
+  MMHAND_CHECK(!xs.empty(), "percentile of empty span");
+  MMHAND_CHECK(p >= 0.0 && p <= 100.0, "percentile p=" << p);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+double fraction_below(std::span<const double> xs, double threshold) {
+  MMHAND_CHECK(!xs.empty(), "fraction_below of empty span");
+  std::size_t n = 0;
+  for (double x : xs)
+    if (x < threshold) ++n;
+  return static_cast<double>(n) / static_cast<double>(xs.size());
+}
+
+std::vector<CdfPoint> empirical_cdf(std::span<const double> xs, int bins,
+                                    double hi) {
+  MMHAND_CHECK(!xs.empty(), "empirical_cdf of empty span");
+  MMHAND_CHECK(bins >= 2, "empirical_cdf needs >= 2 bins");
+  const double top = hi > 0.0 ? hi : max_value(xs);
+  std::vector<CdfPoint> out(static_cast<std::size_t>(bins));
+  for (int b = 0; b < bins; ++b) {
+    const double v = top * static_cast<double>(b) /
+                     static_cast<double>(bins - 1);
+    std::size_t n = 0;
+    for (double x : xs)
+      if (x <= v) ++n;
+    out[static_cast<std::size_t>(b)] = {
+        v, static_cast<double>(n) / static_cast<double>(xs.size())};
+  }
+  return out;
+}
+
+double normalized_auc(std::span<const double> xs,
+                      std::span<const double> ys) {
+  MMHAND_CHECK(xs.size() == ys.size(), "AUC spans differ in length");
+  MMHAND_CHECK(xs.size() >= 2, "AUC needs >= 2 points");
+  double area = 0.0;
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    MMHAND_CHECK(xs[i] >= xs[i - 1], "AUC x not sorted");
+    area += 0.5 * (ys[i] + ys[i - 1]) * (xs[i] - xs[i - 1]);
+  }
+  const double range = xs.back() - xs.front();
+  MMHAND_CHECK(range > 0.0, "AUC x-range is zero");
+  return area / range;
+}
+
+}  // namespace mmhand

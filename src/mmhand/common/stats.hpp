@@ -1,0 +1,39 @@
+#pragma once
+
+// Descriptive statistics used by the evaluation harness (MPJPE summaries,
+// CDFs, PCK curves and their AUC).
+
+#include <span>
+#include <vector>
+
+namespace mmhand {
+
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+double stddev(std::span<const double> xs);
+
+double min_value(std::span<const double> xs);
+double max_value(std::span<const double> xs);
+
+/// Linear-interpolation percentile, p in [0, 100].
+double percentile(std::span<const double> xs, double p);
+
+/// Fraction of samples strictly below `threshold`.
+double fraction_below(std::span<const double> xs, double threshold);
+
+struct CdfPoint {
+  double value = 0.0;
+  double cumulative = 0.0;  // in [0, 1]
+};
+
+/// Empirical CDF evaluated at `bins` evenly spaced points spanning
+/// [0, max(xs)] (or [0, hi] when hi > 0).
+std::vector<CdfPoint> empirical_cdf(std::span<const double> xs, int bins,
+                                    double hi = 0.0);
+
+/// Area under a curve y(x) by trapezoidal rule, normalized by the x-range so
+/// a curve pinned at 1.0 has AUC 1.0 (the PCK-AUC convention).
+double normalized_auc(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace mmhand

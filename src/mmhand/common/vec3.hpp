@@ -1,0 +1,75 @@
+#pragma once
+
+// 3-D vector used for joint positions, scatterer locations and geometry.
+
+#include <cmath>
+#include <ostream>
+
+namespace mmhand {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  constexpr double dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double norm() const { return std::sqrt(dot(*this)); }
+  constexpr double norm2() const { return dot(*this); }
+
+  /// Unit vector in this direction; returns zero vector for zero input.
+  Vec3 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? *this / n : Vec3{};
+  }
+
+  constexpr bool operator==(const Vec3& o) const {
+    return x == o.x && y == o.y && z == o.z;
+  }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+inline double distance(const Vec3& a, const Vec3& b) { return (a - b).norm(); }
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+}  // namespace mmhand

@@ -1,0 +1,37 @@
+#include "mmhand/dsp/cfar.hpp"
+
+#include "mmhand/common/error.hpp"
+
+namespace mmhand::dsp {
+
+std::vector<CfarDetection> cfar_1d(std::span<const double> magnitude,
+                                   const CfarConfig& config) {
+  MMHAND_CHECK(config.training_cells >= 1 && config.guard_cells >= 0,
+               "CFAR window");
+  MMHAND_CHECK(config.threshold_factor > 0.0, "CFAR threshold factor");
+  const int n = static_cast<int>(magnitude.size());
+  std::vector<CfarDetection> detections;
+  for (int i = 0; i < n; ++i) {
+    double acc = 0.0;
+    int count = 0;
+    // Leading and lagging training windows, skipping the guard band.
+    for (int side : {-1, 1}) {
+      for (int k = 1; k <= config.training_cells; ++k) {
+        const int idx = i + side * (config.guard_cells + k);
+        if (idx < 0 || idx >= n) continue;
+        acc += magnitude[static_cast<std::size_t>(idx)];
+        ++count;
+      }
+    }
+    if (count == 0) continue;
+    const double noise = acc / count;
+    if (magnitude[static_cast<std::size_t>(i)] >
+        config.threshold_factor * noise) {
+      detections.push_back({static_cast<std::size_t>(i),
+                            magnitude[static_cast<std::size_t>(i)], noise});
+    }
+  }
+  return detections;
+}
+
+}  // namespace mmhand::dsp

@@ -1,0 +1,32 @@
+#pragma once
+
+// Cell-averaging CFAR (constant false-alarm rate) detection.
+//
+// Real mmWave stacks detect targets by comparing each cell against the
+// local noise estimate from surrounding training cells.  mmHand's network
+// consumes the full cube, but the CFAR path provides an interpretable
+// detection view used by the point-cloud extractor and diagnostics.
+
+#include <span>
+#include <vector>
+
+namespace mmhand::dsp {
+
+struct CfarConfig {
+  int training_cells = 8;  ///< cells per side used for the noise estimate
+  int guard_cells = 2;     ///< cells per side excluded around the CUT
+  double threshold_factor = 3.0;  ///< detection factor over the estimate
+};
+
+struct CfarDetection {
+  std::size_t index = 0;
+  double value = 0.0;
+  double noise_estimate = 0.0;
+};
+
+/// 1-D CA-CFAR over a magnitude profile.  Edges use the available one-sided
+/// window.  Returns all cells exceeding factor * noise_estimate.
+std::vector<CfarDetection> cfar_1d(std::span<const double> magnitude,
+                                   const CfarConfig& config = {});
+
+}  // namespace mmhand::dsp

@@ -1,0 +1,155 @@
+#include "mmhand/dsp/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "mmhand/common/error.hpp"
+
+namespace mmhand::dsp {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+bool is_power_of_two(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+void fft_pow2_inplace(std::vector<Complex>& x, bool inverse) {
+  const std::size_t n = x.size();
+  MMHAND_CHECK(is_power_of_two(n), "fft_pow2 size " << n);
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = 2.0 * kPi / static_cast<double>(len) *
+                       (inverse ? 1.0 : -1.0);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = x[i + k];
+        const Complex v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& v : x) v *= inv_n;
+  }
+}
+
+std::vector<Complex> czt(std::span<const Complex> x, std::size_t m, Complex w,
+                         Complex a) {
+  // Bluestein's algorithm: X_k = w^{k^2/2} * sum_n x_n a^{-n} w^{n^2/2}
+  //                               * w^{-(k-n)^2/2}
+  // i.e. a convolution evaluated with power-of-two FFTs.
+  const std::size_t n = x.size();
+  MMHAND_CHECK(n >= 1 && m >= 1, "czt sizes n=" << n << " m=" << m);
+  const std::size_t conv = next_pow2(n + m - 1);
+
+  // Chirp factors w^{k^2/2}.  Compute via angle accumulation to avoid huge
+  // integer squares losing precision: arg(w^{k^2/2}) = k^2/2 * arg(w).
+  const double wang = std::arg(w);
+  const double wmag = std::abs(w);
+  auto chirp = [&](double k2_half) {
+    return std::polar(std::pow(wmag, k2_half), wang * k2_half);
+  };
+
+  std::vector<Complex> fa(conv, Complex{});
+  for (std::size_t i = 0; i < n; ++i) {
+    const double i2 = 0.5 * static_cast<double>(i) * static_cast<double>(i);
+    fa[i] = x[i] * std::pow(a, -static_cast<double>(i)) * chirp(i2);
+  }
+  std::vector<Complex> fb(conv, Complex{});
+  const std::size_t lim = std::max(n, m);
+  for (std::size_t i = 0; i < lim; ++i) {
+    const double i2 = 0.5 * static_cast<double>(i) * static_cast<double>(i);
+    const Complex v = chirp(-i2);
+    if (i < m) fb[i] = v;
+    if (i >= 1 && i < n) fb[conv - i] = v;
+  }
+  fft_pow2_inplace(fa, false);
+  fft_pow2_inplace(fb, false);
+  for (std::size_t i = 0; i < conv; ++i) fa[i] *= fb[i];
+  fft_pow2_inplace(fa, true);
+
+  std::vector<Complex> out(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    const double k2 = 0.5 * static_cast<double>(k) * static_cast<double>(k);
+    out[k] = fa[k] * chirp(k2);
+  }
+  return out;
+}
+
+std::vector<Complex> fft(std::span<const Complex> x) {
+  const std::size_t n = x.size();
+  MMHAND_CHECK(n >= 1, "fft of empty signal");
+  if (is_power_of_two(n)) {
+    std::vector<Complex> v(x.begin(), x.end());
+    fft_pow2_inplace(v, false);
+    return v;
+  }
+  // Bluestein: DFT == CZT with a = 1, w = exp(-2*pi*i/n).
+  const Complex w = std::polar(1.0, -2.0 * kPi / static_cast<double>(n));
+  return czt(x, n, w, Complex{1.0, 0.0});
+}
+
+std::vector<Complex> ifft(std::span<const Complex> x) {
+  const std::size_t n = x.size();
+  MMHAND_CHECK(n >= 1, "ifft of empty signal");
+  if (is_power_of_two(n)) {
+    std::vector<Complex> v(x.begin(), x.end());
+    fft_pow2_inplace(v, true);
+    return v;
+  }
+  // Conjugation trick: ifft(x) = conj(fft(conj(x))) / n.
+  std::vector<Complex> c(n);
+  for (std::size_t i = 0; i < n; ++i) c[i] = std::conj(x[i]);
+  auto y = fft(c);
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (auto& v : y) v = std::conj(v) * inv_n;
+  return y;
+}
+
+std::vector<Complex> fft_real(std::span<const double> x) {
+  std::vector<Complex> c(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) c[i] = Complex{x[i], 0.0};
+  return fft(c);
+}
+
+std::vector<Complex> fft_shift(std::span<const Complex> x) {
+  const std::size_t n = x.size();
+  std::vector<Complex> out(n);
+  const std::size_t half = (n + 1) / 2;  // index of first "negative" bin
+  for (std::size_t i = 0; i < n; ++i) out[i] = x[(i + half) % n];
+  return out;
+}
+
+std::vector<Complex> zoom_fft(std::span<const Complex> x, double f_lo,
+                              double f_hi, std::size_t bins) {
+  MMHAND_CHECK(bins >= 1, "zoom_fft needs bins >= 1");
+  MMHAND_CHECK(f_hi > f_lo, "zoom_fft band [" << f_lo << ", " << f_hi << ")");
+  const double step = (f_hi - f_lo) / static_cast<double>(bins);
+  // X_k = sum_n x_n e^{-2*pi*i*(f_lo + k*step)*n}  ==  CZT with
+  // A = e^{+2*pi*i*f_lo} (so A^{-n} gives the f_lo shift) and
+  // W = e^{-2*pi*i*step} (so W^{nk} sweeps the band).
+  const Complex a = std::polar(1.0, 2.0 * kPi * f_lo);
+  const Complex w = std::polar(1.0, -2.0 * kPi * step);
+  return czt(x, bins, w, a);
+}
+
+}  // namespace mmhand::dsp

@@ -1,0 +1,33 @@
+#pragma once
+
+// Spectrum utilities: magnitudes, peak picking, and dB conversion used by
+// the radar pipeline and by diagnostics in the examples.
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace mmhand::dsp {
+
+/// |X_k| for every bin.
+std::vector<double> magnitude(std::span<const std::complex<double>> x);
+
+/// 20*log10(|X_k| + eps).
+std::vector<double> magnitude_db(std::span<const std::complex<double>> x,
+                                 double eps = 1e-12);
+
+struct Peak {
+  std::size_t bin = 0;
+  double value = 0.0;
+};
+
+/// Local maxima above `min_value`, strongest first, at most `max_peaks`.
+/// A bin is a peak when strictly greater than both neighbours (edges
+/// compare against the single existing neighbour).
+std::vector<Peak> find_peaks(std::span<const double> mag, double min_value,
+                             std::size_t max_peaks);
+
+/// Index of the strongest bin.
+std::size_t argmax(std::span<const double> mag);
+
+}  // namespace mmhand::dsp

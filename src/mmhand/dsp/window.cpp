@@ -1,0 +1,43 @@
+#include "mmhand/dsp/window.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "mmhand/common/error.hpp"
+
+namespace mmhand::dsp {
+
+std::vector<double> make_window(WindowType type, std::size_t n) {
+  MMHAND_CHECK(n >= 1, "window length " << n);
+  std::vector<double> w(n, 1.0);
+  if (n == 1 || type == WindowType::kRect) return w;
+  const double denom = static_cast<double>(n - 1);
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / denom;
+    switch (type) {
+      case WindowType::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(kTwoPi * t);
+        break;
+      case WindowType::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(kTwoPi * t);
+        break;
+      case WindowType::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(kTwoPi * t) +
+               0.08 * std::cos(2.0 * kTwoPi * t);
+        break;
+      case WindowType::kRect:
+        break;
+    }
+  }
+  return w;
+}
+
+double coherent_gain(const std::vector<double>& w) {
+  MMHAND_CHECK(!w.empty(), "coherent_gain of empty window");
+  double s = 0.0;
+  for (double v : w) s += v;
+  return s / static_cast<double>(w.size());
+}
+
+}  // namespace mmhand::dsp

@@ -1,0 +1,24 @@
+#pragma once
+
+// Window functions applied before the range/Doppler/angle FFTs to control
+// spectral leakage from strong nearby reflectors (the user's body).
+
+#include <vector>
+
+namespace mmhand::dsp {
+
+enum class WindowType {
+  kRect,
+  kHann,
+  kHamming,
+  kBlackman,
+};
+
+/// Window of length n (symmetric form).
+std::vector<double> make_window(WindowType type, std::size_t n);
+
+/// Coherent gain of a window: mean of its samples.  Dividing a windowed
+/// spectrum by this restores amplitude calibration.
+double coherent_gain(const std::vector<double>& w);
+
+}  // namespace mmhand::dsp

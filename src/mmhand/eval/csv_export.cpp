@@ -1,0 +1,55 @@
+#include "mmhand/eval/csv_export.hpp"
+
+#include <fstream>
+
+#include "mmhand/common/error.hpp"
+#include "mmhand/eval/table_printer.hpp"
+
+namespace mmhand::eval {
+
+CsvWriter::CsvWriter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  MMHAND_CHECK(!columns_.empty(), "CSV needs columns");
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  MMHAND_CHECK(row.size() == columns_.size(),
+               "CSV row has " << row.size() << " cells, expected "
+                              << columns_.size());
+  rows_.push_back(row);
+}
+
+void CsvWriter::add_row(const std::vector<double>& row, int decimals) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) cells.push_back(fmt(v, decimals));
+  add_row(cells);
+}
+
+void CsvWriter::write(const std::string& path) const {
+  std::ofstream out(path);
+  MMHAND_CHECK(out.good(), "cannot open " << path);
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    out << (c ? "," : "") << escape(columns_[c]);
+  out << "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      out << (c ? "," : "") << escape(row[c]);
+    out << "\n";
+  }
+  out.flush();
+  MMHAND_CHECK(out.good(), "write failure on " << path);
+}
+
+}  // namespace mmhand::eval

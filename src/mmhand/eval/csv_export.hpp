@@ -1,0 +1,32 @@
+#pragma once
+
+// CSV export for benchmark series — lets downstream users replot the
+// paper's figures from the bench binaries' data without scraping stdout.
+
+#include <string>
+#include <vector>
+
+namespace mmhand::eval {
+
+/// A simple column-oriented CSV writer.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> columns);
+
+  /// Appends one row; must match the column count.
+  void add_row(const std::vector<std::string>& row);
+  void add_row(const std::vector<double>& row, int decimals = 4);
+
+  /// Writes the accumulated table; throws on I/O failure.
+  void write(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mmhand::eval

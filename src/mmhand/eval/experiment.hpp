@@ -1,0 +1,85 @@
+#pragma once
+
+// The evaluation harness: the protocol that stands in for the paper's
+// 10-volunteer, 5-fold cross-validation campaign (§VI-A), scaled to a CPU
+// (DESIGN.md §2).  Users are split into folds; each fold's model is
+// trained on the remaining users' recordings and evaluated on the fold's
+// users, so every user is tested by a model that never saw them.
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "mmhand/eval/metrics.hpp"
+#include "mmhand/pose/inference.hpp"
+#include "mmhand/sim/dataset.hpp"
+
+namespace mmhand::eval {
+
+struct ProtocolConfig {
+  radar::ChirpConfig chirp;
+  radar::PipelineConfig pipeline;
+  pose::PoseNetConfig posenet;
+  pose::TrainConfig train;
+  int num_users = 10;
+  int folds = 2;              ///< paper: 5; default scaled for CPU budget
+  double train_duration_s = 16.0;  ///< per user
+  double test_duration_s = 8.0;    ///< per user
+  int train_stride = 8;       ///< sample window hop (frames)
+  std::uint64_t seed = 2024;
+  /// Bumped whenever scenario-placement logic changes in ways the other
+  /// fields cannot capture (training data depends on default_scenario).
+  int protocol_revision = 3;
+
+  /// The standard protocol: consistent radar / cube / network geometry.
+  static ProtocolConfig standard();
+  /// A much smaller configuration for smoke tests.
+  static ProtocolConfig fast();
+
+  /// Stable fingerprint of everything that affects trained weights.
+  std::uint64_t fingerprint() const;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(const ProtocolConfig& config);
+
+  /// Trains all fold models, or loads them from `cache_dir` when a
+  /// matching checkpoint exists.  Training progress goes to stderr.
+  void prepare(const std::string& cache_dir);
+
+  /// The fold model for which `user` is a held-out test user.
+  pose::HandJointRegressor& model_for_user(int user);
+
+  /// Simulates a test recording (scenario defaults: standard placement).
+  sim::Recording record_test(const sim::ScenarioConfig& scenario) const;
+
+  /// Runs the held-out model over a scenario's recording and accumulates
+  /// metrics against the noise-free oracle joints.
+  EvalAccumulator evaluate_scenario(const sim::ScenarioConfig& scenario);
+
+  /// Standard per-user evaluation (paper's default setup: 20-40 cm, body
+  /// in front, corridor).
+  EvalAccumulator evaluate_user(int user);
+
+  /// Default scenario (standard placement) for a user; benches tweak the
+  /// returned value for their sweeps.
+  sim::ScenarioConfig default_scenario(int user) const;
+
+  /// The three placement-diverse training recordings of one user.
+  std::vector<sim::ScenarioConfig> training_scenarios(int user) const;
+
+  const ProtocolConfig& config() const { return config_; }
+  const sim::DatasetBuilder& builder() const { return builder_; }
+
+ private:
+  int fold_of(int user) const { return user % config_.folds; }
+  std::string cache_path(const std::string& dir, int fold) const;
+  std::vector<pose::PoseSample> fold_training_samples(int fold) const;
+
+  ProtocolConfig config_;
+  sim::DatasetBuilder builder_;
+  std::vector<std::unique_ptr<pose::HandJointRegressor>> fold_models_;
+};
+
+}  // namespace mmhand::eval

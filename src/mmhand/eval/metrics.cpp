@@ -1,0 +1,92 @@
+#include "mmhand/eval/metrics.hpp"
+
+#include "mmhand/common/error.hpp"
+#include "mmhand/common/stats.hpp"
+
+namespace mmhand::eval {
+
+bool EvalAccumulator::in_subset(int joint, JointSubset subset) {
+  switch (subset) {
+    case JointSubset::kAll: return true;
+    case JointSubset::kPalm: return hand::is_palm_joint(joint);
+    case JointSubset::kFingers: return !hand::is_palm_joint(joint);
+  }
+  return true;
+}
+
+void EvalAccumulator::add(const hand::JointSet& predicted,
+                          const hand::JointSet& truth) {
+  double frame_total = 0.0;
+  for (int j = 0; j < hand::kNumJoints; ++j) {
+    const double err_mm =
+        1000.0 * distance(predicted[static_cast<std::size_t>(j)],
+                          truth[static_cast<std::size_t>(j)]);
+    errors_[static_cast<std::size_t>(j)].push_back(err_mm);
+    frame_total += err_mm;
+  }
+  frame_mpjpe_.push_back(frame_total / hand::kNumJoints);
+  ++frames_;
+}
+
+void EvalAccumulator::merge(const EvalAccumulator& other) {
+  for (int j = 0; j < hand::kNumJoints; ++j) {
+    auto& dst = errors_[static_cast<std::size_t>(j)];
+    const auto& src = other.errors_[static_cast<std::size_t>(j)];
+    dst.insert(dst.end(), src.begin(), src.end());
+  }
+  frame_mpjpe_.insert(frame_mpjpe_.end(), other.frame_mpjpe_.begin(),
+                      other.frame_mpjpe_.end());
+  frames_ += other.frames_;
+}
+
+std::vector<double> EvalAccumulator::errors_mm(JointSubset subset) const {
+  std::vector<double> out;
+  for (int j = 0; j < hand::kNumJoints; ++j) {
+    if (!in_subset(j, subset)) continue;
+    const auto& e = errors_[static_cast<std::size_t>(j)];
+    out.insert(out.end(), e.begin(), e.end());
+  }
+  return out;
+}
+
+double EvalAccumulator::mpjpe_mm(JointSubset subset) const {
+  const auto errs = errors_mm(subset);
+  MMHAND_CHECK(!errs.empty(), "MPJPE over an empty accumulator");
+  return mean(errs);
+}
+
+double EvalAccumulator::pck(double threshold_mm, JointSubset subset) const {
+  const auto errs = errors_mm(subset);
+  MMHAND_CHECK(!errs.empty(), "PCK over an empty accumulator");
+  std::size_t hit = 0;
+  for (double e : errs)
+    if (e < threshold_mm) ++hit;
+  return 100.0 * static_cast<double>(hit) / static_cast<double>(errs.size());
+}
+
+std::vector<EvalAccumulator::CurvePoint> EvalAccumulator::pck_curve(
+    double max_mm, int steps, JointSubset subset) const {
+  MMHAND_CHECK(steps >= 2 && max_mm > 0.0, "pck_curve arguments");
+  std::vector<CurvePoint> curve(static_cast<std::size_t>(steps));
+  for (int i = 0; i < steps; ++i) {
+    const double thr = max_mm * static_cast<double>(i) /
+                       static_cast<double>(steps - 1);
+    curve[static_cast<std::size_t>(i)] = {thr, pck(thr, subset)};
+  }
+  return curve;
+}
+
+double EvalAccumulator::auc(double max_mm, int steps,
+                            JointSubset subset) const {
+  const auto curve = pck_curve(max_mm, steps, subset);
+  std::vector<double> xs, ys;
+  xs.reserve(curve.size());
+  ys.reserve(curve.size());
+  for (const auto& p : curve) {
+    xs.push_back(p.threshold_mm);
+    ys.push_back(p.pck / 100.0);
+  }
+  return normalized_auc(xs, ys);
+}
+
+}  // namespace mmhand::eval

@@ -1,0 +1,62 @@
+#pragma once
+
+// Evaluation metrics (§VI-A): MPJPE (Eq. 12), 3D-PCK (Eq. 13), the AUC of
+// the PCK curve, palm/finger splits (Fig. 14) and error CDFs (Fig. 15).
+
+#include <vector>
+
+#include "mmhand/hand/skeleton.hpp"
+
+namespace mmhand::eval {
+
+enum class JointSubset { kAll, kPalm, kFingers };
+
+/// Accumulates per-joint Euclidean errors across evaluated frames.
+class EvalAccumulator {
+ public:
+  /// Records one frame's prediction against its ground truth.
+  void add(const hand::JointSet& predicted, const hand::JointSet& truth);
+
+  /// Merges another accumulator's observations.
+  void merge(const EvalAccumulator& other);
+
+  std::size_t frames() const { return frames_; }
+  bool empty() const { return frames_ == 0; }
+
+  /// Mean per-joint position error in millimeters.
+  double mpjpe_mm(JointSubset subset = JointSubset::kAll) const;
+
+  /// Percentage (0-100) of joints within `threshold_mm`.
+  double pck(double threshold_mm,
+             JointSubset subset = JointSubset::kAll) const;
+
+  /// PCK curve over thresholds [0, max_mm] with `steps` points.
+  struct CurvePoint {
+    double threshold_mm = 0.0;
+    double pck = 0.0;  // 0-100
+  };
+  std::vector<CurvePoint> pck_curve(double max_mm, int steps,
+                                    JointSubset subset = JointSubset::kAll)
+      const;
+
+  /// Area under the (normalized) PCK curve, in [0, 1].
+  double auc(double max_mm, int steps,
+             JointSubset subset = JointSubset::kAll) const;
+
+  /// All per-joint errors in millimeters (for CDF plots).
+  std::vector<double> errors_mm(JointSubset subset = JointSubset::kAll)
+      const;
+
+  /// Per-frame MPJPE values in millimeters (for MPJPE CDFs).
+  const std::vector<double>& frame_mpjpe_mm() const { return frame_mpjpe_; }
+
+ private:
+  static bool in_subset(int joint, JointSubset subset);
+
+  // errors_[j] collects the error history of joint j.
+  std::array<std::vector<double>, hand::kNumJoints> errors_;
+  std::vector<double> frame_mpjpe_;
+  std::size_t frames_ = 0;
+};
+
+}  // namespace mmhand::eval

@@ -1,0 +1,47 @@
+#include "mmhand/eval/model_cache.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+namespace mmhand::eval {
+
+std::string cache_directory() {
+  if (const char* env = std::getenv("MMHAND_CACHE_DIR"); env && *env)
+    return env;
+  return "mmhand_cache";
+}
+
+std::unique_ptr<Experiment> prepared_standard_experiment() {
+  const char* fast = std::getenv("MMHAND_FAST");
+  const ProtocolConfig config = (fast && *fast == '1')
+                                    ? ProtocolConfig::fast()
+                                    : ProtocolConfig::standard();
+  auto experiment = std::make_unique<Experiment>(config);
+  experiment->prepare(cache_directory());
+  return experiment;
+}
+
+std::unique_ptr<mesh::MeshReconstructor> prepared_mesh_reconstructor() {
+  const std::string dir = cache_directory();
+  std::filesystem::create_directories(dir);
+  const std::string path =
+      (std::filesystem::path(dir) / "mesh_reconstructor.bin").string();
+  Rng rng(0x4d414e4f);  // "MANO"
+  auto recon = std::make_unique<mesh::MeshReconstructor>(
+      mesh::HandTemplate::create(hand::HandProfile::reference()), rng);
+  if (file_exists(path)) {
+    recon->load(path);
+    std::fprintf(stderr, "[mmhand] loaded cached mesh reconstructor\n");
+  } else {
+    std::fprintf(stderr, "[mmhand] training mesh reconstructor...\n");
+    const double err = recon->train(mesh::ReconstructorTrainConfig{});
+    std::fprintf(stderr,
+                 "[mmhand] mesh reconstructor held-out error: %.1f mm\n",
+                 1000.0 * err);
+    recon->save(path);
+  }
+  return recon;
+}
+
+}  // namespace mmhand::eval

@@ -1,0 +1,27 @@
+#pragma once
+
+// Shared model cache for benchmark binaries: the fold models (and the mesh
+// reconstructor) train once, land on disk, and every subsequent bench run
+// loads them.  The directory comes from $MMHAND_CACHE_DIR, defaulting to
+// ./mmhand_cache.
+
+#include <memory>
+#include <string>
+
+#include "mmhand/eval/experiment.hpp"
+#include "mmhand/mesh/reconstruction.hpp"
+
+namespace mmhand::eval {
+
+/// Cache directory resolution.
+std::string cache_directory();
+
+/// Builds the standard-protocol experiment with trained (or cached) fold
+/// models.  Set MMHAND_FAST=1 in the environment to substitute the fast
+/// smoke-test protocol (useful while iterating on bench code).
+std::unique_ptr<Experiment> prepared_standard_experiment();
+
+/// A trained mesh reconstructor on the reference template (cached).
+std::unique_ptr<mesh::MeshReconstructor> prepared_mesh_reconstructor();
+
+}  // namespace mmhand::eval

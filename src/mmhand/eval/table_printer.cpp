@@ -1,0 +1,47 @@
+#include "mmhand/eval/table_printer.hpp"
+
+#include <cstdio>
+
+namespace mmhand::eval {
+
+void print_header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+void print_metric(const std::string& label, double value,
+                  const std::string& unit) {
+  std::printf("%-40s %8.2f %s\n", label.c_str(), value, unit.c_str());
+}
+
+std::string fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+void print_table(const std::vector<std::vector<std::string>>& rows,
+                 bool header) {
+  if (rows.empty()) return;
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+    std::printf("\n");
+  };
+  print_row(rows[0]);
+  if (header) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      for (std::size_t i = 0; i < widths[c]; ++i) std::printf("-");
+      std::printf("  ");
+    }
+    std::printf("\n");
+  }
+  for (std::size_t r = 1; r < rows.size(); ++r) print_row(rows[r]);
+}
+
+}  // namespace mmhand::eval

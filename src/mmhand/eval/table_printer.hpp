@@ -1,0 +1,26 @@
+#pragma once
+
+// Small helpers for printing the paper-style tables and series the bench
+// binaries emit.
+
+#include <string>
+#include <vector>
+
+namespace mmhand::eval {
+
+/// Prints a titled rule-delimited section header to stdout.
+void print_header(const std::string& title);
+
+/// Prints one row of "label: value unit" with aligned columns.
+void print_metric(const std::string& label, double value,
+                  const std::string& unit);
+
+/// Prints an aligned table; `rows` are cell strings, first row can serve
+/// as the header (pass header=true to underline it).
+void print_table(const std::vector<std::vector<std::string>>& rows,
+                 bool header = true);
+
+/// Formats a double with fixed precision.
+std::string fmt(double value, int decimals = 1);
+
+}  // namespace mmhand::eval

@@ -1,0 +1,180 @@
+#include "mmhand/hand/gesture.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mmhand/common/error.hpp"
+
+namespace mmhand::hand {
+
+namespace {
+
+/// Articulation shorthand: a fully curled finger.
+constexpr FingerArticulation kCurled{1.45, 1.5, 0.9, 0.0};
+/// A straight finger.
+constexpr FingerArticulation kStraight{0.05, 0.05, 0.02, 0.0};
+/// Thumb tucked across the palm.
+constexpr FingerArticulation kThumbTucked{0.9, 0.9, 0.5, -0.15};
+/// Thumb relaxed alongside the hand.
+constexpr FingerArticulation kThumbOpen{0.15, 0.1, 0.05, 0.0};
+
+double smoothstep(double t) { return t * t * (3.0 - 2.0 * t); }
+
+}  // namespace
+
+std::string_view gesture_name(Gesture g) {
+  switch (g) {
+    case Gesture::kOpenPalm: return "open_palm";
+    case Gesture::kFist: return "fist";
+    case Gesture::kPoint: return "point";
+    case Gesture::kCount2: return "count2";
+    case Gesture::kCount3: return "count3";
+    case Gesture::kCount4: return "count4";
+    case Gesture::kCount5: return "count5";
+    case Gesture::kPinch: return "pinch";
+    case Gesture::kThumbsUp: return "thumbs_up";
+    case Gesture::kOkSign: return "ok_sign";
+    case Gesture::kGun: return "gun";
+    case Gesture::kRock: return "rock";
+    case Gesture::kCall: return "call";
+  }
+  throw Error("unknown gesture");
+}
+
+std::array<FingerArticulation, kNumFingers> gesture_articulation(Gesture g) {
+  // Index layout: {thumb, index, middle, ring, pinky}.
+  switch (g) {
+    case Gesture::kOpenPalm:
+      return {kThumbOpen, kStraight, kStraight, kStraight, kStraight};
+    case Gesture::kFist:
+      return {kThumbTucked, kCurled, kCurled, kCurled, kCurled};
+    case Gesture::kPoint:
+      return {kThumbTucked, kStraight, kCurled, kCurled, kCurled};
+    case Gesture::kCount2:
+      return {kThumbTucked, kStraight,
+              FingerArticulation{0.05, 0.05, 0.02, 0.12}, kCurled,
+              kCurled};
+    case Gesture::kCount3:
+      return {kThumbTucked, kStraight, kStraight,
+              FingerArticulation{0.05, 0.05, 0.02, -0.1}, kCurled};
+    case Gesture::kCount4:
+      return {kThumbTucked, kStraight, kStraight, kStraight, kStraight};
+    case Gesture::kCount5:
+      return {FingerArticulation{0.05, 0.05, 0.02, 0.2},
+              FingerArticulation{0.05, 0.05, 0.02, 0.18},
+              kStraight,
+              FingerArticulation{0.05, 0.05, 0.02, -0.18},
+              FingerArticulation{0.05, 0.05, 0.02, -0.2}};
+    case Gesture::kPinch:
+      return {FingerArticulation{0.45, 0.5, 0.25, 0.1},
+              FingerArticulation{0.75, 0.65, 0.35, 0.0},
+              FingerArticulation{0.3, 0.25, 0.1, 0.0},
+              FingerArticulation{0.35, 0.3, 0.12, 0.0},
+              FingerArticulation{0.4, 0.3, 0.12, 0.0}};
+    case Gesture::kThumbsUp:
+      return {FingerArticulation{-0.1, 0.0, 0.0, 0.15}, kCurled, kCurled,
+              kCurled, kCurled};
+    case Gesture::kOkSign:
+      return {FingerArticulation{0.5, 0.55, 0.3, 0.1},
+              FingerArticulation{0.8, 0.7, 0.4, 0.0},
+              kStraight,
+              FingerArticulation{0.05, 0.05, 0.02, -0.1},
+              FingerArticulation{0.05, 0.05, 0.02, -0.15}};
+    case Gesture::kGun:
+      return {FingerArticulation{-0.05, 0.0, 0.0, 0.2}, kStraight, kCurled,
+              kCurled, kCurled};
+    case Gesture::kRock:
+      return {kThumbTucked, kStraight, kCurled, kCurled, kStraight};
+    case Gesture::kCall:
+      return {FingerArticulation{-0.1, 0.0, 0.0, 0.2}, kCurled, kCurled,
+              kCurled, kStraight};
+  }
+  throw Error("unknown gesture");
+}
+
+std::vector<Gesture> all_gestures() {
+  std::vector<Gesture> out;
+  out.reserve(kNumGestures);
+  for (int i = 0; i < kNumGestures; ++i)
+    out.push_back(static_cast<Gesture>(i));
+  return out;
+}
+
+GestureScript::GestureScript(const GestureScriptConfig& config, Rng rng,
+                             double duration_s)
+    : config_(config), duration_(duration_s) {
+  MMHAND_CHECK(duration_s > 0.0, "script duration " << duration_s);
+  MMHAND_CHECK(config.keyframe_period_s > 0.0, "keyframe period");
+  const auto vocab =
+      config_.vocabulary.empty() ? all_gestures() : config_.vocabulary;
+  const int n_keys =
+      static_cast<int>(std::ceil(duration_s / config.keyframe_period_s)) + 2;
+  keyframes_.reserve(static_cast<std::size_t>(n_keys));
+  Gesture prev = vocab[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<int>(vocab.size()) - 1))];
+  keyframes_.push_back(prev);
+  for (int i = 1; i < n_keys; ++i) {
+    Gesture next = prev;
+    // Avoid a keyframe repeating its predecessor so the hand keeps moving.
+    for (int tries = 0; tries < 8 && next == prev; ++tries)
+      next = vocab[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(vocab.size()) - 1))];
+    keyframes_.push_back(next);
+    prev = next;
+  }
+  drift_phase_x_ = rng.uniform(0.0, 6.28);
+  drift_phase_y_ = rng.uniform(0.0, 6.28);
+  drift_phase_z_ = rng.uniform(0.0, 6.28);
+  wobble_phase_a_ = rng.uniform(0.0, 6.28);
+  wobble_phase_b_ = rng.uniform(0.0, 6.28);
+}
+
+HandPose GestureScript::pose_at(double t) const {
+  t = std::clamp(t, 0.0, duration_);
+  const double period = config_.keyframe_period_s;
+  const auto key = static_cast<std::size_t>(t / period);
+  const double local = t / period - static_cast<double>(key);
+
+  const auto a = gesture_articulation(keyframes_[key]);
+  const auto b = gesture_articulation(
+      keyframes_[std::min(key + 1, keyframes_.size() - 1)]);
+  // Hold the gesture for the first part of the period, then transition.
+  const double hold = config_.hold_fraction;
+  const double mix =
+      local <= hold ? 0.0 : smoothstep((local - hold) / (1.0 - hold));
+
+  HandPose pose;
+  for (int f = 0; f < kNumFingers; ++f) {
+    const auto fi = static_cast<std::size_t>(f);
+    pose.fingers[fi].mcp = a[fi].mcp + (b[fi].mcp - a[fi].mcp) * mix;
+    pose.fingers[fi].pip = a[fi].pip + (b[fi].pip - a[fi].pip) * mix;
+    pose.fingers[fi].dip = a[fi].dip + (b[fi].dip - a[fi].dip) * mix;
+    pose.fingers[fi].splay = a[fi].splay + (b[fi].splay - a[fi].splay) * mix;
+  }
+
+  // Slow wrist wander and orientation wobble make every frame unique.
+  const double d = config_.wrist_drift_m;
+  pose.wrist_position =
+      config_.base_wrist +
+      Vec3{d * std::sin(0.9 * t + drift_phase_x_),
+           0.6 * d * std::sin(0.6 * t + drift_phase_y_),
+           d * std::sin(0.75 * t + drift_phase_z_)};
+  const double w = config_.orientation_wobble_rad;
+  const Quaternion wobble =
+      Quaternion::from_axis_angle(Vec3{1.0, 0.0, 0.0},
+                                  w * std::sin(0.7 * t + wobble_phase_a_)) *
+      Quaternion::from_axis_angle(Vec3{0.0, 0.0, 1.0},
+                                  w * std::sin(0.5 * t + wobble_phase_b_));
+  pose.orientation = wobble * config_.base_orientation;
+  return clamp_articulation(pose);
+}
+
+Gesture GestureScript::gesture_at(double t) const {
+  t = std::clamp(t, 0.0, duration_);
+  const auto key = static_cast<std::size_t>(
+      std::min(t / config_.keyframe_period_s + 0.5,
+               static_cast<double>(keyframes_.size() - 1)));
+  return keyframes_[key];
+}
+
+}  // namespace mmhand::hand

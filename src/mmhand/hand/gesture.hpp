@@ -1,0 +1,85 @@
+#pragma once
+
+// Gesture vocabulary and continuous gesture synthesis (§VI-A).
+//
+// The paper's volunteers performed "interaction gestures and counting
+// gestures ... non-predefined and most common daily gestures" continuously.
+// GestureGenerator reproduces that: a keyframe sequence of named poses is
+// sampled per user, and the hand animates smoothly between keyframes with
+// wrist drift and orientation wobble layered on top.
+
+#include <string_view>
+#include <vector>
+
+#include "mmhand/common/rng.hpp"
+#include "mmhand/hand/kinematics.hpp"
+
+namespace mmhand::hand {
+
+enum class Gesture {
+  kOpenPalm,
+  kFist,
+  kPoint,       // counting "1"
+  kCount2,
+  kCount3,
+  kCount4,
+  kCount5,      // == open palm with spread fingers
+  kPinch,
+  kThumbsUp,
+  kOkSign,
+  kGun,
+  kRock,
+  kCall,
+};
+
+inline constexpr int kNumGestures = 13;
+
+std::string_view gesture_name(Gesture g);
+
+/// Finger articulations of a named static gesture (wrist pose untouched).
+std::array<FingerArticulation, kNumFingers> gesture_articulation(Gesture g);
+
+/// All gestures, convenient for parameterized tests.
+std::vector<Gesture> all_gestures();
+
+struct GestureScriptConfig {
+  double keyframe_period_s = 0.8;   ///< time between gesture keyframes
+  double hold_fraction = 0.35;      ///< fraction of each period held static
+  double wrist_drift_m = 0.015;     ///< amplitude of slow wrist wander
+  double orientation_wobble_rad = 0.12;
+  /// Base wrist placement; gestures wander around this point.
+  Vec3 base_wrist{0.0, 0.30, 0.0};
+  /// Base orientation (hand frame -> world).  Default faces the palm
+  /// toward the radar (-y) with fingers up (+z): a 180-degree rotation
+  /// about the (0,1,1)/sqrt(2) axis maps hand +y (fingers) to world +z and
+  /// hand +z (back of hand) to world +y.
+  Quaternion base_orientation =
+      Quaternion{0.0, 0.0, 0.7071067811865476, 0.7071067811865476};
+  /// Restrict to a subset of gestures; empty means all.
+  std::vector<Gesture> vocabulary;
+};
+
+/// A deterministic continuous gesture performance.
+class GestureScript {
+ public:
+  GestureScript(const GestureScriptConfig& config, Rng rng,
+                double duration_s);
+
+  /// Hand pose at time t (clamped to the script duration).
+  HandPose pose_at(double t) const;
+
+  /// Gesture held around time t (the nearest keyframe's label).
+  Gesture gesture_at(double t) const;
+
+  double duration() const { return duration_; }
+
+ private:
+  GestureScriptConfig config_;
+  double duration_;
+  std::vector<Gesture> keyframes_;
+  // Smooth per-script phases for drift and wobble.
+  double drift_phase_x_, drift_phase_y_, drift_phase_z_;
+  double wobble_phase_a_, wobble_phase_b_;
+};
+
+}  // namespace mmhand::hand

@@ -1,0 +1,61 @@
+#include "mmhand/hand/hand_profile.hpp"
+
+#include <cmath>
+
+#include "mmhand/common/error.hpp"
+#include "mmhand/common/rng.hpp"
+
+namespace mmhand::hand {
+
+HandProfile HandProfile::reference() {
+  HandProfile p;
+  // Anthropometric averages (meters).  x: thumb side, y: finger direction.
+  p.mcp_offsets = {
+      Vec3{0.030, 0.020, -0.004},   // thumb CMC sits low on the palm edge
+      Vec3{0.025, 0.085, 0.0},      // index MCP
+      Vec3{0.005, 0.090, 0.0},      // middle MCP
+      Vec3{-0.015, 0.085, 0.0},     // ring MCP
+      Vec3{-0.033, 0.075, 0.0},     // pinky MCP
+  };
+  p.phalange_lengths = {{
+      {0.042, 0.032, 0.028},  // thumb: metacarpal-ish, proximal, distal
+      {0.040, 0.025, 0.022},  // index
+      {0.045, 0.028, 0.024},  // middle
+      {0.041, 0.027, 0.023},  // ring
+      {0.032, 0.020, 0.019},  // pinky
+  }};
+  p.rest_splay = {0.85, 0.12, 0.0, -0.12, -0.28};  // radians
+  p.scale = 1.0;
+  return p;
+}
+
+HandProfile HandProfile::for_user(int user_id) {
+  MMHAND_CHECK(user_id >= 0, "user id " << user_id);
+  HandProfile p = reference();
+  // Deterministic per-user variation seeded by the id.
+  Rng rng(0x9e3779b97f4a7c15ull ^ static_cast<std::uint64_t>(user_id));
+  // Even ids male (scale ~1.0-1.08), odd ids female (scale ~0.88-0.96),
+  // echoing the paper's 5/5 split and 1.65-1.85 m height spread.
+  const double base = (user_id % 2 == 0) ? 1.04 : 0.92;
+  const double scale = base + rng.uniform(-0.04, 0.04);
+  p = p.scaled(scale);
+  for (int f = 0; f < kNumFingers; ++f) {
+    auto fi = static_cast<std::size_t>(f);
+    for (auto& len : p.phalange_lengths[fi])
+      len *= 1.0 + rng.uniform(-0.05, 0.05);
+    p.rest_splay[fi] += rng.uniform(-0.03, 0.03);
+  }
+  return p;
+}
+
+HandProfile HandProfile::scaled(double s) const {
+  MMHAND_CHECK(s > 0.0, "profile scale " << s);
+  HandProfile p = *this;
+  for (auto& o : p.mcp_offsets) o *= s;
+  for (auto& f : p.phalange_lengths)
+    for (auto& len : f) len *= s;
+  p.scale = scale * s;
+  return p;
+}
+
+}  // namespace mmhand::hand

@@ -1,0 +1,41 @@
+#pragma once
+
+// Per-user hand geometry — the substitute for the paper's 10 volunteers
+// (5 male, 5 female, heights 1.65-1.85 m; DESIGN.md §2).  A profile fixes
+// the MCP layout and phalange lengths; the gesture generator articulates it.
+
+#include <array>
+
+#include "mmhand/common/vec3.hpp"
+#include "mmhand/hand/skeleton.hpp"
+
+namespace mmhand::hand {
+
+struct HandProfile {
+  /// Offsets of the five MCP (thumb CMC) joints from the wrist, expressed
+  /// in the canonical hand frame: wrist at origin, middle finger +y, palm
+  /// normal +z (back of the hand), thumb side +x.  Meters.
+  std::array<Vec3, kNumFingers> mcp_offsets;
+
+  /// Phalange lengths per finger: proximal, middle, distal.  Meters.
+  std::array<std::array<double, 3>, kNumFingers> phalange_lengths;
+
+  /// Resting abduction (splay) of each finger in the palm plane, radians.
+  std::array<double, kNumFingers> rest_splay;
+
+  /// Overall scale applied on construction (1.0 = reference adult hand).
+  double scale = 1.0;
+
+  /// Reference adult hand (≈18.5 cm wrist-to-middle-tip).
+  static HandProfile reference();
+
+  /// Deterministic profile for one of the paper's 10 simulated users.
+  /// Even ids are "male" (larger), odd "female" (smaller), with per-user
+  /// length and splay perturbations.
+  static HandProfile for_user(int user_id);
+
+  /// Uniformly scaled copy.
+  HandProfile scaled(double s) const;
+};
+
+}  // namespace mmhand::hand

@@ -1,0 +1,96 @@
+#include "mmhand/hand/kinematics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmhand::hand {
+
+namespace {
+
+/// Rodrigues rotation of v about unit axis by angle.
+Vec3 rotate_about(const Vec3& v, const Vec3& axis, double angle) {
+  const double c = std::cos(angle);
+  const double s = std::sin(angle);
+  return v * c + axis.cross(v) * s + axis * (axis.dot(v) * (1.0 - c));
+}
+
+}  // namespace
+
+HandPose HandPose::lerp(const HandPose& a, const HandPose& b, double t) {
+  HandPose out;
+  out.wrist_position = a.wrist_position * (1.0 - t) + b.wrist_position * t;
+  out.orientation = Quaternion::slerp(a.orientation, b.orientation, t);
+  for (int f = 0; f < kNumFingers; ++f) {
+    const auto fi = static_cast<std::size_t>(f);
+    out.fingers[fi].mcp = a.fingers[fi].mcp * (1.0 - t) +
+                          b.fingers[fi].mcp * t;
+    out.fingers[fi].pip = a.fingers[fi].pip * (1.0 - t) +
+                          b.fingers[fi].pip * t;
+    out.fingers[fi].dip = a.fingers[fi].dip * (1.0 - t) +
+                          b.fingers[fi].dip * t;
+    out.fingers[fi].splay = a.fingers[fi].splay * (1.0 - t) +
+                            b.fingers[fi].splay * t;
+  }
+  return out;
+}
+
+JointSet local_kinematics(const HandProfile& profile, const HandPose& pose) {
+  JointSet joints{};
+  joints[kWrist] = Vec3{0.0, 0.0, 0.0};
+
+  const Vec3 palm_normal{0.0, 0.0, 1.0};  // back of the hand, hand frame
+  for (int f = 0; f < kNumFingers; ++f) {
+    const auto fi = static_cast<std::size_t>(f);
+    const FingerArticulation& art = pose.fingers[fi];
+    const Vec3 mcp = profile.mcp_offsets[fi];
+
+    // Base direction: +y splayed in the palm plane.
+    const double splay = profile.rest_splay[fi] + art.splay;
+    Vec3 dir = rotate_about(Vec3{0.0, 1.0, 0.0}, palm_normal, splay);
+    // Lateral (flexion) axis is fixed per finger, so the finger curls in a
+    // plane: positive flexion bends toward the palm (-z).
+    const Vec3 lateral = palm_normal.cross(dir).normalized();
+    if (f == static_cast<int>(Finger::kThumb)) {
+      // The thumb's column is pre-rotated out of the palm plane so it can
+      // oppose the fingers.
+      dir = rotate_about(dir, lateral, 0.45);
+    }
+
+    const std::array<double, 3> flex{art.mcp, art.pip, art.dip};
+    Vec3 cursor = mcp;
+    Vec3 bone_dir = dir;
+    double accumulated = 0.0;
+    joints[static_cast<std::size_t>(finger_joint(
+        static_cast<Finger>(f), 0))] = cursor;
+    for (int k = 0; k < 3; ++k) {
+      accumulated += flex[static_cast<std::size_t>(k)];
+      bone_dir = rotate_about(dir, lateral, accumulated);
+      cursor += bone_dir * profile.phalange_lengths[fi]
+                               [static_cast<std::size_t>(k)];
+      joints[static_cast<std::size_t>(
+          finger_joint(static_cast<Finger>(f), k + 1))] = cursor;
+    }
+  }
+  return joints;
+}
+
+JointSet forward_kinematics(const HandProfile& profile,
+                            const HandPose& pose) {
+  JointSet joints = local_kinematics(profile, pose);
+  for (auto& j : joints)
+    j = pose.wrist_position + pose.orientation.rotate(j);
+  return joints;
+}
+
+HandPose clamp_articulation(const HandPose& pose) {
+  HandPose out = pose;
+  for (auto& f : out.fingers) {
+    f.mcp = std::clamp(f.mcp, -0.25, kMaxFlexion);
+    f.pip = std::clamp(f.pip, -0.10, kMaxFlexion);
+    f.dip = std::clamp(f.dip, -0.10, 1.2);
+    f.splay = std::clamp(f.splay, -0.35, 0.35);
+  }
+  return out;
+}
+
+}  // namespace mmhand::hand

@@ -1,0 +1,49 @@
+#pragma once
+
+// Articulated hand kinematics.
+//
+// A HandPose articulates a HandProfile: per-finger flexion angles (MCP,
+// PIP, DIP) and splay, plus the global wrist position and orientation.
+// forward_kinematics produces the 21 world-space joints.  Within a finger,
+// all flexion happens about one fixed lateral axis, so the four joints of
+// each finger are exactly coplanar — the geometric property the paper's
+// kinematic loss (Eq. 9) enforces.
+
+#include <array>
+
+#include "mmhand/common/quaternion.hpp"
+#include "mmhand/hand/hand_profile.hpp"
+#include "mmhand/hand/skeleton.hpp"
+
+namespace mmhand::hand {
+
+/// Flexion/abduction state of one finger (radians).
+struct FingerArticulation {
+  double mcp = 0.0;   ///< flexion at the MCP (thumb CMC) joint
+  double pip = 0.0;   ///< flexion at the PIP (thumb MCP) joint
+  double dip = 0.0;   ///< flexion at the DIP (thumb IP) joint
+  double splay = 0.0; ///< abduction offset from the profile's rest splay
+};
+
+struct HandPose {
+  Vec3 wrist_position{0.0, 0.30, 0.0};  ///< world frame, radar at origin
+  Quaternion orientation = Quaternion::identity();  ///< hand frame -> world
+  std::array<FingerArticulation, kNumFingers> fingers{};
+
+  /// Linear interpolation of articulations + slerp of orientation.
+  static HandPose lerp(const HandPose& a, const HandPose& b, double t);
+};
+
+/// World-space joints of a posed hand.
+JointSet forward_kinematics(const HandProfile& profile, const HandPose& pose);
+
+/// Joints expressed in the canonical hand frame (wrist at origin).
+JointSet local_kinematics(const HandProfile& profile, const HandPose& pose);
+
+/// Largest absolute flexion angle that keeps fingers anatomically sane.
+inline constexpr double kMaxFlexion = 1.85;  // ~106 degrees
+
+/// Clamps all articulation angles into anatomically plausible ranges.
+HandPose clamp_articulation(const HandPose& pose);
+
+}  // namespace mmhand::hand

@@ -1,0 +1,26 @@
+#include "mmhand/hand/skeleton.hpp"
+
+#include "mmhand/common/error.hpp"
+
+namespace mmhand::hand {
+
+std::string_view joint_name(int joint) {
+  static constexpr std::array<std::string_view, kNumJoints> kNames = {
+      "wrist",      "thumb_cmc",  "thumb_mcp",  "thumb_ip",   "thumb_tip",
+      "index_mcp",  "index_pip",  "index_dip",  "index_tip",  "middle_mcp",
+      "middle_pip", "middle_dip", "middle_tip", "ring_mcp",   "ring_pip",
+      "ring_dip",   "ring_tip",   "pinky_mcp",  "pinky_pip",  "pinky_dip",
+      "pinky_tip"};
+  MMHAND_CHECK(joint >= 0 && joint < kNumJoints, "joint index " << joint);
+  return kNames[static_cast<std::size_t>(joint)];
+}
+
+double bone_length(const JointSet& joints, int child_joint) {
+  MMHAND_CHECK(child_joint >= 1 && child_joint < kNumJoints,
+               "bone child " << child_joint);
+  const int parent = joint_parent(child_joint);
+  return distance(joints[static_cast<std::size_t>(child_joint)],
+                  joints[static_cast<std::size_t>(parent)]);
+}
+
+}  // namespace mmhand::hand

@@ -1,0 +1,56 @@
+#pragma once
+
+// The 21-hand-joint model (§IV, Fig. 4): one wrist joint, 16 finger joints
+// and 4 fingertip joints... the paper counts the thumb CMC/MCP/IP chain
+// among the finger joints.  Joint ordering follows MediaPipe Hands, the
+// tool the paper uses for ground truth, so labels line up 1:1:
+//   0 wrist; then for each finger f in {thumb, index, middle, ring, pinky}:
+//   1+4f, 2+4f, 3+4f, 4+4f  =  MCP(CMC), PIP(MCP), DIP(IP), TIP.
+
+#include <array>
+#include <string_view>
+
+#include "mmhand/common/vec3.hpp"
+
+namespace mmhand::hand {
+
+inline constexpr int kNumJoints = 21;
+inline constexpr int kNumFingers = 5;
+inline constexpr int kWrist = 0;
+
+/// 3-D positions of the 21 joints (meters, radar/world frame).
+using JointSet = std::array<Vec3, kNumJoints>;
+
+enum class Finger { kThumb = 0, kIndex = 1, kMiddle = 2, kRing = 3,
+                    kPinky = 4 };
+
+/// First joint index (MCP / thumb CMC) of a finger.
+constexpr int finger_base(Finger f) { return 1 + 4 * static_cast<int>(f); }
+
+/// Joint index of the j-th joint (0=MCP..3=TIP) of finger f.
+constexpr int finger_joint(Finger f, int j) { return finger_base(f) + j; }
+
+/// True for the 4 fingertip joints.
+constexpr bool is_fingertip(int joint) { return joint >= 1 && joint % 4 == 0; }
+
+/// Palm joints: wrist + the five MCP joints.  The paper's palm/finger
+/// split (Fig. 14) uses this partition.
+constexpr bool is_palm_joint(int joint) {
+  return joint == kWrist || (joint >= 1 && joint % 4 == 1);
+}
+
+std::string_view joint_name(int joint);
+
+/// Parent joint in the kinematic tree (wrist has parent -1).
+constexpr int joint_parent(int joint) {
+  if (joint == kWrist) return -1;
+  return joint % 4 == 1 ? kWrist : joint - 1;
+}
+
+/// Bone count of the skeleton (20 bones: each non-wrist joint to parent).
+inline constexpr int kNumBones = kNumJoints - 1;
+
+/// Mean per-bone length of a joint set, phalange validity helper.
+double bone_length(const JointSet& joints, int child_joint);
+
+}  // namespace mmhand::hand

@@ -1,0 +1,186 @@
+#include "mmhand/mesh/hand_template.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "mmhand/common/error.hpp"
+#include "mmhand/hand/kinematics.hpp"
+
+namespace mmhand::mesh {
+
+namespace {
+
+constexpr int kRingResolution = 8;  ///< vertices per finger cross-section
+
+/// Orthonormal ring basis perpendicular to a bone direction.
+void ring_basis(const Vec3& dir, Vec3& u, Vec3& v) {
+  const Vec3 n{0.0, 0.0, 1.0};
+  u = dir.cross(n);
+  if (u.norm() < 1e-6) u = dir.cross(Vec3{1.0, 0.0, 0.0});
+  u = u.normalized();
+  v = u.cross(dir).normalized();
+}
+
+/// Base cross-section radius per finger (meters, before profile scale).
+double finger_radius(int finger) {
+  switch (finger) {
+    case 0: return 0.0105;  // thumb
+    case 1: return 0.0085;  // index
+    case 2: return 0.0085;  // middle
+    case 3: return 0.0080;  // ring
+    default: return 0.0070; // pinky
+  }
+}
+
+}  // namespace
+
+HandTemplate HandTemplate::create(const hand::HandProfile& profile) {
+  HandTemplate t;
+  t.profile_ = profile;
+  t.rest_joints_ = hand::local_kinematics(profile, hand::HandPose{});
+  const auto& joints = t.rest_joints_;
+
+  auto add_vertex = [&](const Vec3& p,
+                        std::vector<std::pair<int, double>> weights) {
+    t.vertices_.push_back(p);
+    t.skinning_.push_back(std::move(weights));
+    return static_cast<int>(t.vertices_.size()) - 1;
+  };
+  auto add_face = [&](int a, int b, int c) {
+    t.faces_.push_back({a, b, c});
+  };
+
+  // ---- Finger tubes. ----
+  for (int f = 0; f < hand::kNumFingers; ++f) {
+    const int j0 = hand::finger_joint(static_cast<hand::Finger>(f), 0);
+    const double r_base = finger_radius(f) * profile.scale;
+
+    // Stations along the chain: joint / midpoint / joint / ... / tip.
+    struct Station {
+      Vec3 position;
+      Vec3 direction;
+      double radius;
+      std::vector<std::pair<int, double>> weights;
+    };
+    std::vector<Station> stations;
+    for (int seg = 0; seg < 3; ++seg) {
+      const int ja = j0 + seg, jb = j0 + seg + 1;
+      const Vec3 a = joints[static_cast<std::size_t>(ja)];
+      const Vec3 b = joints[static_cast<std::size_t>(jb)];
+      const Vec3 dir = (b - a).normalized();
+      const double taper0 = 1.0 - 0.12 * seg;
+      const double taper_mid = 1.0 - 0.12 * (seg + 0.5);
+      if (seg == 0)
+        stations.push_back({a, dir, r_base * taper0,
+                            {{hand::kWrist, 0.3}, {ja, 0.7}}});
+      stations.push_back({(a + b) * 0.5, dir, r_base * taper_mid,
+                          {{ja, 1.0}}});
+      const std::vector<std::pair<int, double>> joint_w =
+          seg < 2 ? std::vector<std::pair<int, double>>{{ja, 0.5},
+                                                        {jb, 0.5}}
+                  : std::vector<std::pair<int, double>>{{ja, 0.7},
+                                                        {jb, 0.3}};
+      stations.push_back(
+          {b, dir, r_base * (1.0 - 0.12 * (seg + 1.0)), joint_w});
+    }
+
+    // Rings.
+    std::vector<std::vector<int>> rings;
+    for (const Station& st : stations) {
+      Vec3 u, v;
+      ring_basis(st.direction, u, v);
+      std::vector<int> ring;
+      for (int k = 0; k < kRingResolution; ++k) {
+        const double phi = 2.0 * std::numbers::pi * k / kRingResolution;
+        ring.push_back(add_vertex(
+            st.position + (u * std::cos(phi) + v * std::sin(phi)) * st.radius,
+            st.weights));
+      }
+      rings.push_back(std::move(ring));
+    }
+    // Tube walls.
+    for (std::size_t s = 0; s + 1 < rings.size(); ++s)
+      for (int k = 0; k < kRingResolution; ++k) {
+        const int k2 = (k + 1) % kRingResolution;
+        add_face(rings[s][static_cast<std::size_t>(k)],
+                 rings[s + 1][static_cast<std::size_t>(k)],
+                 rings[s][static_cast<std::size_t>(k2)]);
+        add_face(rings[s][static_cast<std::size_t>(k2)],
+                 rings[s + 1][static_cast<std::size_t>(k)],
+                 rings[s + 1][static_cast<std::size_t>(k2)]);
+      }
+    // Tip cap: a fan to a point just past the fingertip.
+    const int tip_joint = j0 + 3;
+    const Vec3 tip = joints[static_cast<std::size_t>(tip_joint)];
+    const Vec3 tip_dir = stations.back().direction;
+    const int cap = add_vertex(tip + tip_dir * (0.4 * r_base),
+                               {{tip_joint - 1, 0.7}, {tip_joint, 0.3}});
+    const auto& last = rings.back();
+    for (int k = 0; k < kRingResolution; ++k)
+      add_face(last[static_cast<std::size_t>(k)],
+               last[static_cast<std::size_t>((k + 1) % kRingResolution)],
+               cap);
+  }
+
+  // ---- Palm slab. ----
+  const double s = profile.scale;
+  const double half_thick = 0.009 * s;
+  std::vector<Vec3> boundary{
+      Vec3{0.045 * s, -0.012 * s, 0.0},             // thumb-side wrist corner
+      Vec3{profile.mcp_offsets[0].x, profile.mcp_offsets[0].y, 0.0},
+      Vec3{profile.mcp_offsets[1].x, profile.mcp_offsets[1].y, 0.0},
+      Vec3{profile.mcp_offsets[2].x, profile.mcp_offsets[2].y, 0.0},
+      Vec3{profile.mcp_offsets[3].x, profile.mcp_offsets[3].y, 0.0},
+      Vec3{profile.mcp_offsets[4].x, profile.mcp_offsets[4].y, 0.0},
+      Vec3{-0.048 * s, -0.012 * s, 0.0},            // pinky-side wrist corner
+  };
+  // Skinning for boundary points: corners follow the wrist, MCP points
+  // blend with their finger's base joint.
+  auto boundary_weights = [&](std::size_t i)
+      -> std::vector<std::pair<int, double>> {
+    if (i == 0 || i == boundary.size() - 1) return {{hand::kWrist, 1.0}};
+    const int finger = static_cast<int>(i) - 1;
+    return {{hand::kWrist, 0.5},
+            {hand::finger_base(static_cast<hand::Finger>(finger)), 0.5}};
+  };
+
+  std::vector<int> top, bottom;
+  for (std::size_t i = 0; i < boundary.size(); ++i) {
+    top.push_back(add_vertex(boundary[i] + Vec3{0.0, 0.0, half_thick},
+                             boundary_weights(i)));
+    bottom.push_back(add_vertex(boundary[i] - Vec3{0.0, 0.0, half_thick},
+                                boundary_weights(i)));
+  }
+  const Vec3 center{-0.003 * s, 0.038 * s, 0.0};
+  const int top_c = add_vertex(center + Vec3{0.0, 0.0, half_thick},
+                               {{hand::kWrist, 1.0}});
+  const int bottom_c = add_vertex(center - Vec3{0.0, 0.0, half_thick},
+                                  {{hand::kWrist, 1.0}});
+  const int nb = static_cast<int>(boundary.size());
+  for (int i = 0; i < nb; ++i) {
+    const int j = (i + 1) % nb;
+    // Top fan (facing +z) and bottom fan (facing -z).
+    add_face(top[static_cast<std::size_t>(i)],
+             top[static_cast<std::size_t>(j)], top_c);
+    add_face(bottom[static_cast<std::size_t>(j)],
+             bottom[static_cast<std::size_t>(i)], bottom_c);
+    // Side walls.
+    add_face(top[static_cast<std::size_t>(i)],
+             bottom[static_cast<std::size_t>(i)],
+             top[static_cast<std::size_t>(j)]);
+    add_face(top[static_cast<std::size_t>(j)],
+             bottom[static_cast<std::size_t>(i)],
+             bottom[static_cast<std::size_t>(j)]);
+  }
+
+  // Normalize skinning weights defensively.
+  for (auto& weights : t.skinning_) {
+    double total = 0.0;
+    for (const auto& [joint, w] : weights) total += w;
+    MMHAND_ASSERT(total > 0.0);
+    for (auto& [joint, w] : weights) w /= total;
+  }
+  return t;
+}
+
+}  // namespace mmhand::mesh

@@ -1,0 +1,51 @@
+#pragma once
+
+// Procedural hand template mesh — the substitute for the licensed MANO
+// asset (DESIGN.md §2).  The template is generated from a HandProfile in
+// its rest (T-)pose: finger tubes with rings at each joint station and a
+// closed palm slab, plus per-vertex linear-blend-skinning weights tied to
+// the 21-joint rig.  The functional form of MANO (Eq. 10/11) runs on this
+// template unmodified.
+
+#include <array>
+#include <utility>
+#include <vector>
+
+#include "mmhand/common/vec3.hpp"
+#include "mmhand/hand/hand_profile.hpp"
+#include "mmhand/hand/skeleton.hpp"
+
+namespace mmhand::mesh {
+
+struct HandMesh {
+  std::vector<Vec3> vertices;
+  std::vector<std::array<int, 3>> faces;
+};
+
+/// Per-vertex skinning weights: (joint index, weight) pairs summing to 1.
+using SkinWeights = std::vector<std::vector<std::pair<int, double>>>;
+
+class HandTemplate {
+ public:
+  /// Builds the template for a profile (rest articulation, hand frame).
+  static HandTemplate create(const hand::HandProfile& profile);
+
+  const std::vector<Vec3>& vertices() const { return vertices_; }
+  const std::vector<std::array<int, 3>>& faces() const { return faces_; }
+  const SkinWeights& skinning() const { return skinning_; }
+  /// Rest-pose joint locations of the rig (hand frame).
+  const hand::JointSet& rest_joints() const { return rest_joints_; }
+  const hand::HandProfile& profile() const { return profile_; }
+
+  std::size_t vertex_count() const { return vertices_.size(); }
+  std::size_t face_count() const { return faces_.size(); }
+
+ private:
+  std::vector<Vec3> vertices_;
+  std::vector<std::array<int, 3>> faces_;
+  SkinWeights skinning_;
+  hand::JointSet rest_joints_;
+  hand::HandProfile profile_;
+};
+
+}  // namespace mmhand::mesh

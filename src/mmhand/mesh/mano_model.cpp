@@ -1,0 +1,221 @@
+#include "mmhand/mesh/mano_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mmhand/common/error.hpp"
+#include "mmhand/hand/kinematics.hpp"
+
+namespace mmhand::mesh {
+
+namespace {
+
+/// Rigid transform x -> q(x) + t.
+struct Affine {
+  Quaternion q = Quaternion::identity();
+  Vec3 t;
+
+  Vec3 apply(const Vec3& x) const { return q.rotate(x) + t; }
+};
+
+Affine compose(const Affine& a, const Affine& b) {
+  return {a.q * b.q, a.q.rotate(b.t) + a.t};
+}
+
+/// Rotation about a pivot point.
+Affine about_pivot(const Quaternion& q, const Vec3& pivot) {
+  return {q, pivot - q.rotate(pivot)};
+}
+
+}  // namespace
+
+ManoHandModel::ManoHandModel(const HandTemplate& tmpl) : template_(tmpl) {
+  const double s = template_.profile().scale;
+  const double finger_y = 0.06 * s;  // y above which vertices are "fingers"
+  const Vec3 thumb_root = template_.rest_joints()[1];
+
+  // Procedural shape displacement fields.  Each returns the displacement of
+  // a point p under a unit coefficient of basis b.
+  auto field = [&](int b, const Vec3& p) -> Vec3 {
+    switch (b) {
+      case 0:  // global scale
+        return p;
+      case 1:  // finger length
+        return {0.0, std::max(0.0, p.y - finger_y), 0.0};
+      case 2:  // palm width
+        return {0.6 * p.x, 0.0, 0.0};
+      case 3:  // overall thickness
+        return {0.0, 0.0, p.z};
+      case 4:  // finger thickness
+        return p.y > finger_y ? Vec3{0.0, 0.0, 1.5 * p.z} : Vec3{};
+      case 5: {  // thumb size
+        const Vec3 d = p - thumb_root;
+        return (p.x > 0.02 * s && p.y < 0.13 * s) ? d * 0.5 : Vec3{};
+      }
+      case 6:  // pinky length
+        return (p.x < -0.02 * s)
+                   ? Vec3{0.0, std::max(0.0, p.y - finger_y), 0.0}
+                   : Vec3{};
+      case 7:  // palm length
+        return {0.0, std::clamp(p.y, 0.0, finger_y), 0.0};
+      case 8:  // finger splay spread
+        return {0.5 * (p.x >= 0 ? 1.0 : -1.0) *
+                    std::max(0.0, p.y - finger_y),
+                0.0, 0.0};
+      default:  // 9: tip taper (thinner distal segments)
+        return p.y > 0.13 * s ? Vec3{0.0, 0.0, -p.z} : Vec3{};
+    }
+  };
+
+  for (int b = 0; b < kShapeParams; ++b) {
+    auto& basis = shape_bases_[static_cast<std::size_t>(b)];
+    basis.reserve(template_.vertex_count());
+    for (const Vec3& v : template_.vertices()) basis.push_back(field(b, v));
+    for (int j = 0; j < hand::kNumJoints; ++j)
+      joint_bases_[static_cast<std::size_t>(b)][static_cast<std::size_t>(j)] =
+          field(b, template_.rest_joints()[static_cast<std::size_t>(j)]);
+  }
+}
+
+const std::vector<Vec3>& ManoHandModel::shape_basis(int index) const {
+  MMHAND_CHECK(index >= 0 && index < kShapeParams, "shape basis " << index);
+  return shape_bases_[static_cast<std::size_t>(index)];
+}
+
+hand::JointSet ManoHandModel::shaped_joints(const ShapeParams& beta) const {
+  hand::JointSet joints = template_.rest_joints();
+  for (int b = 0; b < kShapeParams; ++b) {
+    const double c = beta[static_cast<std::size_t>(b)];
+    if (c == 0.0) continue;
+    for (int j = 0; j < hand::kNumJoints; ++j)
+      joints[static_cast<std::size_t>(j)] +=
+          joint_bases_[static_cast<std::size_t>(b)]
+                      [static_cast<std::size_t>(j)] *
+          c;
+  }
+  return joints;
+}
+
+std::vector<Vec3> ManoHandModel::deformed_template(
+    const ShapeParams& beta, const PoseParams& theta) const {
+  std::vector<Vec3> verts = template_.vertices();
+  // Bs(beta): shape blend shapes.
+  for (int b = 0; b < kShapeParams; ++b) {
+    const double c = beta[static_cast<std::size_t>(b)];
+    if (c == 0.0) continue;
+    const auto& basis = shape_bases_[static_cast<std::size_t>(b)];
+    for (std::size_t v = 0; v < verts.size(); ++v) verts[v] += basis[v] * c;
+  }
+  // Bp(theta): pose correctives — a small bulge around each bending joint,
+  // scaled by the joint's rotation magnitude.
+  const auto& rest = template_.rest_joints();
+  constexpr double kBulge = 0.0006;    // meters per radian
+  constexpr double kRadius = 0.015;    // influence radius
+  for (int j = 1; j < hand::kNumJoints; ++j) {
+    const double angle = theta[static_cast<std::size_t>(j)].norm();
+    if (angle < 1e-6) continue;
+    const Vec3 center = rest[static_cast<std::size_t>(j)];
+    for (std::size_t v = 0; v < verts.size(); ++v) {
+      const Vec3 d = verts[v] - center;
+      const double r = d.norm();
+      if (r > kRadius || r < 1e-9) continue;
+      const double falloff = 1.0 - r / kRadius;
+      verts[v] += d * (kBulge * angle * falloff / r);
+    }
+  }
+  return verts;
+}
+
+hand::JointSet ManoHandModel::posed_joints(const ShapeParams& beta,
+                                           const PoseParams& theta,
+                                           const Vec3& root) const {
+  const hand::JointSet rest = shaped_joints(beta);
+  std::array<Affine, hand::kNumJoints> global;
+  for (int j = 0; j < hand::kNumJoints; ++j) {
+    const Affine local = about_pivot(
+        Quaternion::from_rotation_vector(theta[static_cast<std::size_t>(j)]),
+        rest[static_cast<std::size_t>(j)]);
+    const int parent = hand::joint_parent(j);
+    global[static_cast<std::size_t>(j)] =
+        parent < 0 ? local
+                   : compose(global[static_cast<std::size_t>(parent)], local);
+  }
+  hand::JointSet out;
+  for (int j = 0; j < hand::kNumJoints; ++j)
+    out[static_cast<std::size_t>(j)] =
+        global[static_cast<std::size_t>(j)].apply(
+            rest[static_cast<std::size_t>(j)]) +
+        root;
+  return out;
+}
+
+HandMesh ManoHandModel::pose(const ShapeParams& beta, const PoseParams& theta,
+                             const Vec3& root) const {
+  const hand::JointSet rest = shaped_joints(beta);
+  std::array<Affine, hand::kNumJoints> global;
+  for (int j = 0; j < hand::kNumJoints; ++j) {
+    const Affine local = about_pivot(
+        Quaternion::from_rotation_vector(theta[static_cast<std::size_t>(j)]),
+        rest[static_cast<std::size_t>(j)]);
+    const int parent = hand::joint_parent(j);
+    global[static_cast<std::size_t>(j)] =
+        parent < 0 ? local
+                   : compose(global[static_cast<std::size_t>(parent)], local);
+  }
+
+  const std::vector<Vec3> tp = deformed_template(beta, theta);
+  HandMesh mesh;
+  mesh.faces = template_.faces();
+  mesh.vertices.resize(tp.size());
+  const auto& skinning = template_.skinning();
+  for (std::size_t v = 0; v < tp.size(); ++v) {
+    Vec3 acc;
+    for (const auto& [joint, weight] : skinning[v])
+      acc += global[static_cast<std::size_t>(joint)].apply(tp[v]) * weight;
+    mesh.vertices[v] = acc + root;
+  }
+  return mesh;
+}
+
+PoseParams quaternions_to_pose(
+    const std::array<Quaternion, hand::kNumJoints>& q) {
+  PoseParams theta;
+  for (int j = 0; j < hand::kNumJoints; ++j)
+    theta[static_cast<std::size_t>(j)] =
+        q[static_cast<std::size_t>(j)].to_rotation_vector();
+  return theta;
+}
+
+PoseParams pose_from_articulation(const hand::HandProfile& profile,
+                                  const hand::HandPose& pose) {
+  std::array<Quaternion, hand::kNumJoints> q;
+  q.fill(Quaternion::identity());
+  q[hand::kWrist] = pose.orientation;
+
+  const Vec3 z{0.0, 0.0, 1.0};
+  for (int f = 0; f < hand::kNumFingers; ++f) {
+    const auto fi = static_cast<std::size_t>(f);
+    const auto& art = pose.fingers[fi];
+    // Rest lateral axis of the finger (same construction as the FK).
+    const Quaternion rz_rest =
+        Quaternion::from_axis_angle(z, profile.rest_splay[fi]);
+    const Vec3 dir_rest = rz_rest.rotate(Vec3{0.0, 1.0, 0.0});
+    const Vec3 lateral = z.cross(dir_rest).normalized();
+
+    const int base = hand::finger_base(static_cast<hand::Finger>(f));
+    // Local rotations expressed in rest coordinates: flexions about the
+    // shared lateral axis compose additively down the chain, which makes
+    // the rig's forward kinematics agree exactly with
+    // hand::forward_kinematics (see tests).
+    q[static_cast<std::size_t>(base)] =
+        Quaternion::from_axis_angle(z, art.splay) *
+        Quaternion::from_axis_angle(lateral, art.mcp);
+    q[static_cast<std::size_t>(base + 1)] =
+        Quaternion::from_axis_angle(lateral, art.pip);
+    q[static_cast<std::size_t>(base + 2)] =
+        Quaternion::from_axis_angle(lateral, art.dip);
+  }
+  return quaternions_to_pose(q);
+}
+
+}  // namespace mmhand::mesh

@@ -1,0 +1,76 @@
+#pragma once
+
+// MANO-style parametric hand model (§V, Eq. 10/11):
+//   M(beta, theta) = W(Tp(beta, theta), J(beta), theta, W)
+//   Tp(beta, theta) = T + Bs(beta) + Bp(theta)
+// with beta in R^10 controlling shape (PCA-like procedural bases), theta in
+// R^{21x3} the joint rotations in axis-angle, W(.) linear blend skinning,
+// and J(beta) the shaped joint locations.
+//
+// The shape basis is hand-crafted rather than learned from scans (no MANO
+// asset offline — DESIGN.md §2): each basis vector is a smooth displacement
+// field over the template (global scale, finger lengths, palm width,
+// thickness, ...).  Pose blend shapes are small per-joint bulge fields
+// scaled by rotation magnitude, a simplification of MANO's linear-in-R
+// correctives.
+
+#include <array>
+
+#include "mmhand/common/quaternion.hpp"
+#include "mmhand/hand/kinematics.hpp"
+#include "mmhand/mesh/hand_template.hpp"
+
+namespace mmhand::mesh {
+
+inline constexpr int kShapeParams = 10;
+
+using ShapeParams = std::array<double, kShapeParams>;
+/// Axis-angle rotation per joint (theta in R^{21x3}).
+using PoseParams = std::array<Vec3, hand::kNumJoints>;
+
+class ManoHandModel {
+ public:
+  explicit ManoHandModel(const HandTemplate& tmpl);
+
+  /// Shaped rest joints J(beta).
+  hand::JointSet shaped_joints(const ShapeParams& beta) const;
+
+  /// Deformed template Tp(beta, theta) before skinning (Eq. 11).
+  std::vector<Vec3> deformed_template(const ShapeParams& beta,
+                                      const PoseParams& theta) const;
+
+  /// Full model M(beta, theta) with the wrist translated to `root`.
+  HandMesh pose(const ShapeParams& beta, const PoseParams& theta,
+                const Vec3& root = {}) const;
+
+  /// Joint positions under the same posing (for IK supervision and eval).
+  hand::JointSet posed_joints(const ShapeParams& beta,
+                              const PoseParams& theta,
+                              const Vec3& root = {}) const;
+
+  const HandTemplate& hand_template() const { return template_; }
+
+  /// Displacement field of one shape basis (unit beta), for diagnostics.
+  const std::vector<Vec3>& shape_basis(int index) const;
+
+ private:
+  HandTemplate template_;
+  /// Bs: kShapeParams displacement fields over template vertices.
+  std::array<std::vector<Vec3>, kShapeParams> shape_bases_;
+  /// Same bases evaluated at the rest joints (keeps J(beta) consistent
+  /// with the shaped surface).
+  std::array<std::array<Vec3, hand::kNumJoints>, kShapeParams> joint_bases_;
+};
+
+/// Converts per-joint quaternions (the IK net's output, R^{21x4}) to the
+/// axis-angle PoseParams MANO consumes.
+PoseParams quaternions_to_pose(
+    const std::array<Quaternion, hand::kNumJoints>& q);
+
+/// Analytic rig pose for a hand articulation: the exact local joint
+/// rotations that reproduce hand::forward_kinematics' segment orientations
+/// on the LBS rig.  Used to generate IK training pairs.
+PoseParams pose_from_articulation(const hand::HandProfile& profile,
+                                  const hand::HandPose& pose);
+
+}  // namespace mmhand::mesh

@@ -1,0 +1,34 @@
+#include "mmhand/mesh/obj_export.hpp"
+
+#include <fstream>
+
+#include "mmhand/common/error.hpp"
+
+namespace mmhand::mesh {
+
+void write_obj(const std::string& path, const HandMesh& mesh) {
+  std::ofstream out(path);
+  MMHAND_CHECK(out.good(), "cannot open " << path);
+  out << "# mmHand reconstructed hand mesh\n";
+  for (const Vec3& v : mesh.vertices)
+    out << "v " << v.x << " " << v.y << " " << v.z << "\n";
+  for (const auto& f : mesh.faces)
+    out << "f " << f[0] + 1 << " " << f[1] + 1 << " " << f[2] + 1 << "\n";
+  out.flush();
+  MMHAND_CHECK(out.good(), "write failure on " << path);
+}
+
+void write_skeleton_obj(const std::string& path,
+                        const hand::JointSet& joints) {
+  std::ofstream out(path);
+  MMHAND_CHECK(out.good(), "cannot open " << path);
+  out << "# mmHand 21-joint skeleton\n";
+  for (const Vec3& j : joints)
+    out << "v " << j.x << " " << j.y << " " << j.z << "\n";
+  for (int child = 1; child < hand::kNumJoints; ++child)
+    out << "l " << hand::joint_parent(child) + 1 << " " << child + 1 << "\n";
+  out.flush();
+  MMHAND_CHECK(out.good(), "write failure on " << path);
+}
+
+}  // namespace mmhand::mesh

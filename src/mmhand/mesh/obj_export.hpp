@@ -1,0 +1,19 @@
+#pragma once
+
+// Wavefront OBJ export for reconstructed hand meshes (used by the examples
+// to dump viewable animation frames).
+
+#include <string>
+
+#include "mmhand/mesh/hand_template.hpp"
+
+namespace mmhand::mesh {
+
+/// Writes the mesh as an OBJ file (v/f records); throws on I/O failure.
+void write_obj(const std::string& path, const HandMesh& mesh);
+
+/// Appends a skeleton as an OBJ polyline set (l records) for debugging.
+void write_skeleton_obj(const std::string& path,
+                        const hand::JointSet& joints);
+
+}  // namespace mmhand::mesh

@@ -1,0 +1,285 @@
+#include "mmhand/mesh/reconstruction.hpp"
+
+#include <cmath>
+
+#include "mmhand/nn/activations.hpp"
+#include "mmhand/nn/loss.hpp"
+#include "mmhand/nn/optimizer.hpp"
+
+namespace mmhand::mesh {
+
+namespace {
+
+constexpr int kQuatOutputs = hand::kNumJoints * 4;  // 84
+
+/// Random but anatomically plausible articulation + orientation.
+hand::HandPose sample_pose(Rng& rng) {
+  hand::HandPose pose;
+  for (auto& f : pose.fingers) {
+    f.mcp = rng.uniform(-0.2, 1.5);
+    f.pip = rng.uniform(-0.1, 1.5);
+    f.dip = rng.uniform(-0.1, 1.2);
+    f.splay = rng.uniform(-0.3, 0.3);
+  }
+  // Any global orientation: the IK features are canonicalized to the hand
+  // frame, so the sampler can cover the full rotation group.
+  const Vec3 axis{rng.normal(), rng.normal(), rng.normal()};
+  pose.orientation = Quaternion::from_axis_angle(axis, rng.uniform(0.0, 3.1));
+  return pose;
+}
+
+ShapeParams sample_shape(Rng& rng) {
+  ShapeParams beta{};
+  for (auto& b : beta) b = rng.uniform(-0.12, 0.12);
+  return beta;
+}
+
+/// Orthonormal palm frame columns (a, b, n) from wrist + MCP joints.
+void palm_frame(const hand::JointSet& joints, Vec3& a, Vec3& b, Vec3& n) {
+  const Vec3 wrist = joints[hand::kWrist];
+  a = (joints[9] - wrist).normalized();                       // middle MCP
+  const Vec3 raw_n = (joints[5] - wrist).cross(joints[17] - wrist);
+  b = raw_n.normalized().cross(a).normalized();
+  n = a.cross(b);
+}
+
+/// Unit quaternions of a rig pose as a [1, 84] target row; fingers and the
+/// wrist residual are all near the identity, so the w >= 0 hemisphere is
+/// continuous over the sampling distribution.
+nn::Tensor pose_to_quat_row(const std::array<Quaternion,
+                                             hand::kNumJoints>& quats) {
+  nn::Tensor row({1, kQuatOutputs});
+  for (int j = 0; j < hand::kNumJoints; ++j) {
+    Quaternion q = quats[static_cast<std::size_t>(j)].normalized();
+    if (q.w < 0.0) q = {-q.w, -q.x, -q.y, -q.z};
+    row.at(0, 4 * j) = static_cast<float>(q.w);
+    row.at(0, 4 * j + 1) = static_cast<float>(q.x);
+    row.at(0, 4 * j + 2) = static_cast<float>(q.y);
+    row.at(0, 4 * j + 3) = static_cast<float>(q.z);
+  }
+  return row;
+}
+
+}  // namespace
+
+MeshReconstructor::MeshReconstructor(const HandTemplate& tmpl, Rng& rng)
+    : model_(tmpl) {
+  // Shape net: three FC layers with layer normalization (§V).
+  shape_net_.emplace<nn::Linear>(63, 64, rng);
+  shape_net_.emplace<nn::LayerNorm>(64);
+  shape_net_.emplace<nn::ReLU>();
+  shape_net_.emplace<nn::Linear>(64, 64, rng);
+  shape_net_.emplace<nn::LayerNorm>(64);
+  shape_net_.emplace<nn::ReLU>();
+  shape_net_.emplace<nn::Linear>(64, kShapeParams, rng);
+
+  // IK net: joints + phalange directions -> quaternions.
+  ik_net_.emplace<nn::Linear>(63 + 60, 128, rng);
+  ik_net_.emplace<nn::LayerNorm>(128);
+  ik_net_.emplace<nn::ReLU>();
+  ik_net_.emplace<nn::Linear>(128, 128, rng);
+  ik_net_.emplace<nn::LayerNorm>(128);
+  ik_net_.emplace<nn::ReLU>();
+  ik_net_.emplace<nn::Linear>(128, kQuatOutputs, rng);
+}
+
+Quaternion MeshReconstructor::estimate_global_orientation(
+    const hand::JointSet& joints) const {
+  Vec3 ar, br, nr;
+  palm_frame(model_.hand_template().rest_joints(), ar, br, nr);
+  Vec3 ao, bo, no;
+  palm_frame(joints, ao, bo, no);
+  // R maps the rest frame onto the observed frame: R = O_obs * O_rest^T.
+  const Vec3 rest_cols[3] = {ar, br, nr};
+  const Vec3 obs_cols[3] = {ao, bo, no};
+  auto comp = [](const Vec3& v, int i) {
+    return i == 0 ? v.x : (i == 1 ? v.y : v.z);
+  };
+  double m[3][3];
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 3; ++c) {
+      m[r][c] = 0.0;
+      for (int k = 0; k < 3; ++k)
+        m[r][c] += comp(obs_cols[k], r) * comp(rest_cols[k], c);
+    }
+  return Quaternion::from_matrix(m);
+}
+
+nn::Tensor MeshReconstructor::canonical_row(const hand::JointSet& joints,
+                                            const Quaternion& orientation) {
+  nn::Tensor row({1, 63});
+  const Vec3 wrist = joints[hand::kWrist];
+  const Quaternion inv = orientation.conjugate();
+  for (int j = 0; j < hand::kNumJoints; ++j) {
+    const Vec3 p = inv.rotate(joints[static_cast<std::size_t>(j)] - wrist);
+    row.at(0, 3 * j) = static_cast<float>(p.x);
+    row.at(0, 3 * j + 1) = static_cast<float>(p.y);
+    row.at(0, 3 * j + 2) = static_cast<float>(p.z);
+  }
+  return row;
+}
+
+nn::Tensor MeshReconstructor::phalange_directions(
+    const hand::JointSet& joints, const Quaternion& orientation) {
+  nn::Tensor row({1, 60});
+  const Quaternion inv = orientation.conjugate();
+  int k = 0;
+  for (int child = 1; child < hand::kNumJoints; ++child) {
+    const Vec3 d = inv.rotate(
+        (joints[static_cast<std::size_t>(child)] -
+         joints[static_cast<std::size_t>(hand::joint_parent(child))])
+            .normalized());
+    row.at(0, 3 * k) = static_cast<float>(d.x);
+    row.at(0, 3 * k + 1) = static_cast<float>(d.y);
+    row.at(0, 3 * k + 2) = static_cast<float>(d.z);
+    ++k;
+  }
+  return row;
+}
+
+nn::Tensor MeshReconstructor::ik_features(const hand::JointSet& joints,
+                                          const Quaternion& orientation)
+    const {
+  const nn::Tensor joints_row = canonical_row(joints, orientation);
+  const nn::Tensor dp = phalange_directions(joints, orientation);
+  nn::Tensor input({1, 123});
+  for (int c = 0; c < 63; ++c) input.at(0, c) = joints_row.at(0, c);
+  for (int c = 0; c < 60; ++c) input.at(0, 63 + c) = dp.at(0, c);
+  return input;
+}
+
+double MeshReconstructor::train(const ReconstructorTrainConfig& config) {
+  MMHAND_CHECK(config.samples >= 8 && config.epochs >= 1, "train config");
+  Rng rng(config.seed);
+  const auto& profile = model_.hand_template().profile();
+
+  struct Pair {
+    nn::Tensor joints_row;  // [1, 63] canonical
+    nn::Tensor ik_input;    // [1, 123]
+    nn::Tensor beta_row;    // [1, 10]
+    nn::Tensor quat_row;    // [1, 84]
+    hand::JointSet joints;  // absolute, for the holdout evaluation
+  };
+  std::vector<Pair> pairs;
+  pairs.reserve(static_cast<std::size_t>(config.samples));
+  for (int i = 0; i < config.samples; ++i) {
+    const ShapeParams beta = sample_shape(rng);
+    const hand::HandPose pose = sample_pose(rng);
+    const PoseParams theta = pose_from_articulation(profile, pose);
+    const hand::JointSet joints = model_.posed_joints(beta, theta);
+
+    const Quaternion est = estimate_global_orientation(joints);
+    std::array<Quaternion, hand::kNumJoints> targets;
+    for (int j = 0; j < hand::kNumJoints; ++j)
+      targets[static_cast<std::size_t>(j)] = Quaternion::from_rotation_vector(
+          theta[static_cast<std::size_t>(j)]);
+    // Wrist target: the residual after the analytic orientation estimate
+    // (near identity — exactly identity when beta leaves the palm rigid).
+    targets[hand::kWrist] = est.conjugate() * targets[hand::kWrist];
+
+    Pair p;
+    p.joints = joints;
+    p.joints_row = canonical_row(joints, est);
+    p.ik_input = ik_features(joints, est);
+    p.beta_row = nn::Tensor({1, kShapeParams});
+    for (int c = 0; c < kShapeParams; ++c)
+      p.beta_row.at(0, c) =
+          static_cast<float>(beta[static_cast<std::size_t>(c)]);
+    p.quat_row = pose_to_quat_row(targets);
+    pairs.push_back(std::move(p));
+  }
+
+  nn::Adam shape_opt(shape_net_.parameters(), {.lr = config.lr});
+  nn::Adam ik_opt(ik_net_.parameters(), {.lr = config.lr});
+  const int holdout = std::max(4, config.samples / 10);
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    const double lr_scale = nn::cosine_decay(epoch, config.epochs);
+    const auto order = rng.permutation(config.samples - holdout);
+    int since_step = 0;
+    shape_opt.zero_grad();
+    ik_opt.zero_grad();
+    for (int idx : order) {
+      const Pair& p = pairs[static_cast<std::size_t>(idx)];
+      const nn::Tensor beta_pred = shape_net_.forward(p.joints_row, true);
+      (void)shape_net_.backward(nn::mse_loss(beta_pred, p.beta_row).grad);
+      const nn::Tensor quat_pred = ik_net_.forward(p.ik_input, true);
+      (void)ik_net_.backward(nn::mse_loss(quat_pred, p.quat_row).grad);
+      if (++since_step >= config.batch_size) {
+        shape_opt.step(lr_scale);
+        ik_opt.step(lr_scale);
+        shape_opt.zero_grad();
+        ik_opt.zero_grad();
+        since_step = 0;
+      }
+    }
+    if (since_step > 0) {
+      shape_opt.step(lr_scale);
+      ik_opt.step(lr_scale);
+      shape_opt.zero_grad();
+      ik_opt.zero_grad();
+    }
+  }
+
+  // Held-out joint reconstruction error.
+  double total_err = 0.0;
+  int joints_count = 0;
+  for (int i = config.samples - holdout; i < config.samples; ++i) {
+    const Pair& p = pairs[static_cast<std::size_t>(i)];
+    const auto result = reconstruct(p.joints);
+    for (int j = 0; j < hand::kNumJoints; ++j) {
+      total_err += distance(result.joints[static_cast<std::size_t>(j)],
+                            p.joints[static_cast<std::size_t>(j)]);
+      ++joints_count;
+    }
+  }
+  return total_err / joints_count;
+}
+
+ReconstructionResult MeshReconstructor::reconstruct(
+    const hand::JointSet& joints) {
+  const Quaternion est = estimate_global_orientation(joints);
+  const nn::Tensor joints_row = canonical_row(joints, est);
+  const nn::Tensor ik_input = ik_features(joints, est);
+
+  const nn::Tensor beta_row = shape_net_.forward(joints_row, false);
+  const nn::Tensor quat_row = ik_net_.forward(ik_input, false);
+
+  ReconstructionResult out;
+  for (int c = 0; c < kShapeParams; ++c)
+    out.beta[static_cast<std::size_t>(c)] = beta_row.at(0, c);
+
+  std::array<Quaternion, hand::kNumJoints> quats;
+  for (int j = 0; j < hand::kNumJoints; ++j) {
+    quats[static_cast<std::size_t>(j)] =
+        Quaternion{quat_row.at(0, 4 * j), quat_row.at(0, 4 * j + 1),
+                   quat_row.at(0, 4 * j + 2), quat_row.at(0, 4 * j + 3)}
+            .normalized();
+  }
+  // Compose the analytic global orientation with the learned residual.
+  quats[hand::kWrist] = est * quats[hand::kWrist];
+  out.theta = quaternions_to_pose(quats);
+
+  const Vec3 root = joints[hand::kWrist];
+  out.joints = model_.posed_joints(out.beta, out.theta, root);
+  out.mesh = model_.pose(out.beta, out.theta, root);
+  return out;
+}
+
+void MeshReconstructor::save(const std::string& path) {
+  BinaryWriter w(path);
+  w.write_u32(0x6d6d4d31);  // "mmM1"
+  nn::save_parameters(shape_net_.parameters(), w);
+  nn::save_parameters(ik_net_.parameters(), w);
+  w.close();
+}
+
+void MeshReconstructor::load(const std::string& path) {
+  BinaryReader r(path);
+  MMHAND_CHECK(r.read_u32() == 0x6d6d4d31,
+               "not a mesh reconstructor checkpoint: " << path);
+  nn::load_parameters(shape_net_.parameters(), r);
+  nn::load_parameters(ik_net_.parameters(), r);
+}
+
+}  // namespace mmhand::mesh

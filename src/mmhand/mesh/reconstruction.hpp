@@ -1,0 +1,82 @@
+#pragma once
+
+// Mesh reconstruction (§V, Fig. 8): from a regressed 21-joint skeleton,
+// infer the MANO shape parameters beta (shape net: three FC layers with
+// layer normalization) and the joint rotations theta (IK net: FC layers
+// with layer normalization, inputs J3D + phalange directions Dp, outputs
+// rotation quaternions Q in R^{21x4} converted to axis-angle), then deform
+// the template to produce the final 3-D hand mesh.
+//
+// The global (wrist) orientation is recovered analytically from the rigid
+// palm: the wrist and the five MCP joints form a rigid triad, so frame
+// alignment against the rest pose yields the wrist rotation in closed
+// form.  The IK net then works in the canonicalized hand frame, where all
+// remaining rotations are small and continuous — predicting the raw wrist
+// quaternion instead would put its targets on the w~0 hemisphere boundary
+// where the sign flips discontinuously (see tests).
+//
+// Both networks are trained self-supervised on the parametric model
+// itself: sample (beta, theta), run the rig's forward kinematics, and
+// learn the inverse maps — this mirrors the paper's end-to-end learned
+// inverse-kinematics solution without requiring mocap data.
+
+#include <string>
+
+#include "mmhand/nn/layer_norm.hpp"
+#include "mmhand/nn/linear.hpp"
+#include "mmhand/nn/sequential.hpp"
+#include "mmhand/mesh/mano_model.hpp"
+
+namespace mmhand::mesh {
+
+struct ReconstructorTrainConfig {
+  int samples = 1500;     ///< synthetic (pose, joints) pairs
+  int epochs = 25;
+  int batch_size = 16;
+  double lr = 1e-3;
+  std::uint64_t seed = 11;
+};
+
+struct ReconstructionResult {
+  ShapeParams beta{};
+  PoseParams theta{};
+  hand::JointSet joints{};  ///< rig joints after reposing (self-check)
+  HandMesh mesh;
+};
+
+class MeshReconstructor {
+ public:
+  explicit MeshReconstructor(const HandTemplate& tmpl, Rng& rng);
+
+  /// Trains the shape and IK networks on rig-generated pairs.  Returns the
+  /// final mean joint reconstruction error (meters) on a held-out batch.
+  double train(const ReconstructorTrainConfig& config);
+
+  /// Reconstructs the mesh for a skeleton (absolute coordinates, meters).
+  ReconstructionResult reconstruct(const hand::JointSet& joints);
+
+  /// Closed-form wrist orientation from the rigid palm joints.
+  Quaternion estimate_global_orientation(const hand::JointSet& joints) const;
+
+  const ManoHandModel& model() const { return model_; }
+
+  void save(const std::string& path);
+  void load(const std::string& path);
+
+ private:
+  /// 63-vector of wrist-centered joints rotated into the hand frame.
+  static nn::Tensor canonical_row(const hand::JointSet& joints,
+                                  const Quaternion& orientation);
+  /// Phalange direction features Dp (20 x 3, unit, hand frame).
+  static nn::Tensor phalange_directions(const hand::JointSet& joints,
+                                        const Quaternion& orientation);
+  /// Assembles the IK net input [1, 123] for a skeleton.
+  nn::Tensor ik_features(const hand::JointSet& joints,
+                         const Quaternion& orientation) const;
+
+  ManoHandModel model_;
+  nn::Sequential shape_net_;  ///< 63 -> 10
+  nn::Sequential ik_net_;     ///< 63 + 60 -> 84 (21 quaternions)
+};
+
+}  // namespace mmhand::mesh

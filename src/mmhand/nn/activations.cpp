@@ -1,0 +1,60 @@
+#include "mmhand/nn/activations.hpp"
+
+#include <cmath>
+
+namespace mmhand::nn {
+
+Tensor ReLU::forward(const Tensor& x, bool training) {
+  Tensor y = x;
+  if (training) mask_ = Tensor::zeros(x.shape());
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    if (y[i] > 0.0f) {
+      if (training) mask_[i] = 1.0f;
+    } else {
+      y[i] = 0.0f;
+    }
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  MMHAND_CHECK(grad_out.same_shape(mask_), "ReLU backward shape");
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.numel(); ++i) g[i] *= mask_[i];
+  return g;
+}
+
+float sigmoid_value(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+float tanh_value(float x) { return std::tanh(x); }
+
+Tensor Sigmoid::forward(const Tensor& x, bool training) {
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.numel(); ++i) y[i] = sigmoid_value(y[i]);
+  if (training) output_ = y;
+  return y;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_out) {
+  MMHAND_CHECK(grad_out.same_shape(output_), "Sigmoid backward shape");
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.numel(); ++i)
+    g[i] *= output_[i] * (1.0f - output_[i]);
+  return g;
+}
+
+Tensor Tanh::forward(const Tensor& x, bool training) {
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.numel(); ++i) y[i] = tanh_value(y[i]);
+  if (training) output_ = y;
+  return y;
+}
+
+Tensor Tanh::backward(const Tensor& grad_out) {
+  MMHAND_CHECK(grad_out.same_shape(output_), "Tanh backward shape");
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.numel(); ++i)
+    g[i] *= 1.0f - output_[i] * output_[i];
+  return g;
+}
+
+}  // namespace mmhand::nn

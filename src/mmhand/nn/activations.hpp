@@ -1,0 +1,43 @@
+#pragma once
+
+// Pointwise activations as layers (with cached state for backward).
+
+#include "mmhand/nn/layer.hpp"
+
+namespace mmhand::nn {
+
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor mask_;  ///< 1 where x > 0
+};
+
+class Sigmoid : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "Sigmoid"; }
+
+ private:
+  Tensor output_;
+};
+
+class Tanh : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "Tanh"; }
+
+ private:
+  Tensor output_;
+};
+
+/// Functional scalar forms used inside the LSTM cell.
+float sigmoid_value(float x);
+float tanh_value(float x);
+
+}  // namespace mmhand::nn

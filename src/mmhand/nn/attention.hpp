@@ -1,0 +1,86 @@
+#pragma once
+
+// Attention mechanisms of mmSpaceNet (§IV-A, Fig. 6).
+//
+// Two-stage channel attention followed by 3-D spatial attention, applied
+// inside every residual block:
+//   stage 1 (frame channels):    a_i = sigma(MLP(TGAP(X_i) + TGMP(X_i))),
+//                                Y_i = a_i * X_i                  (Eq. 2-3)
+//   stage 2 (velocity channels): b_i = sigma(FC([GAP(Y_i), GMP(Y_i)])),
+//                                Z_i = b_i . Y_i                  (Eq. 4-5)
+//   spatial:                     C_i = sigma(Conv([MEAN(Z_i), MAX(Z_i)])),
+//                                W_i = C_i . Z_i                  (Eq. 6-7)
+// Tensors are [st, C, H, W]: the segment's frames sit in the leading dim,
+// feature channels generalize the velocity channels of the raw cube, and
+// H x W is the range-angle map.
+
+#include <memory>
+
+#include "mmhand/nn/conv2d.hpp"
+#include "mmhand/nn/linear.hpp"
+
+namespace mmhand::nn {
+
+/// Stage 1: weighs whole frames against each other.  The per-frame
+/// descriptor TGAP+TGMP (three-dimensional pooling over C, H, W) runs
+/// through a shared two-layer bottleneck ("a block with two convolutional
+/// layers" — 1x1 convs across the frame channel, i.e. a shared MLP).
+class FrameChannelAttention : public Layer {
+ public:
+  explicit FrameChannelAttention(Rng& rng, int hidden = 4);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return "FrameChannelAttention"; }
+
+  /// Attention weights of the last forward (diagnostics / ablations).
+  const Tensor& last_weights() const { return weights_; }
+
+ private:
+  Linear fc1_;
+  Linear fc2_;
+  Tensor cached_input_;
+  Tensor relu_mask_;      ///< hidden-layer ReLU mask
+  Tensor weights_;        ///< a_i, [st]
+  std::vector<std::size_t> max_index_;  ///< argmax element per frame
+};
+
+/// Stage 2: weighs feature (velocity) channels within each frame using the
+/// concatenated GAP/GMP descriptor and a single FC layer.
+class ChannelAttention : public Layer {
+ public:
+  ChannelAttention(int channels, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override { return fc_.parameters(); }
+  std::string name() const override { return "ChannelAttention"; }
+
+ private:
+  int channels_;
+  Linear fc_;  ///< [2C] -> [C]
+  Tensor cached_input_;
+  Tensor weights_;  ///< b, [N, C]
+  std::vector<std::size_t> max_index_;  ///< argmax pixel per (n, c)
+};
+
+/// 3-D spatial attention: emphasizes range-angle cells where finger joints
+/// live, from the across-channel MEAN/MAX maps.
+class SpatialAttention : public Layer {
+ public:
+  explicit SpatialAttention(Rng& rng, int kernel = 5);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override { return conv_.parameters(); }
+  std::string name() const override { return "SpatialAttention"; }
+
+ private:
+  Conv2d conv_;  ///< 2 -> 1 channels, same-size
+  Tensor cached_input_;
+  Tensor weights_;  ///< M, [N, 1, H, W]
+  std::vector<int> max_channel_;  ///< argmax channel per (n, h, w)
+};
+
+}  // namespace mmhand::nn

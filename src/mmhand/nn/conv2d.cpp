@@ -1,0 +1,292 @@
+#include "mmhand/nn/conv2d.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace mmhand::nn {
+
+namespace {
+
+/// C[m x n] += A[m x k] * B[k x n], row-major, ikj order for locality.
+void matmul_acc(const float* a, const float* b, float* c, int m, int k,
+                int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* ai = a + static_cast<std::size_t>(i) * k;
+    float* ci = c + static_cast<std::size_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      const float av = ai[p];
+      if (av == 0.0f) continue;
+      const float* bp = b + static_cast<std::size_t>(p) * n;
+      for (int j = 0; j < n; ++j) ci[j] += av * bp[j];
+    }
+  }
+}
+
+/// C[m x n] += A^T where A is [k x m]: C += A_transposed * B, with A stored
+/// row-major as [k x m].
+void matmul_at_b_acc(const float* a, const float* b, float* c, int m, int k,
+                     int n) {
+  for (int p = 0; p < k; ++p) {
+    const float* ap = a + static_cast<std::size_t>(p) * m;
+    const float* bp = b + static_cast<std::size_t>(p) * n;
+    for (int i = 0; i < m; ++i) {
+      const float av = ap[i];
+      if (av == 0.0f) continue;
+      float* ci = c + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) ci[j] += av * bp[j];
+    }
+  }
+}
+
+}  // namespace
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride,
+               int pad, Rng& rng)
+    : in_ch_(in_channels),
+      out_ch_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weight_(Tensor::randn(
+                  {out_channels, in_channels, kernel, kernel}, rng,
+                  std::sqrt(2.0 / (in_channels * kernel * kernel))),
+              "conv.weight"),
+      bias_(Tensor::zeros({out_channels}), "conv.bias") {
+  MMHAND_CHECK(in_channels >= 1 && out_channels >= 1, "Conv2d channels");
+  MMHAND_CHECK(kernel >= 1 && stride >= 1 && pad >= 0, "Conv2d geometry");
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool training) {
+  MMHAND_CHECK(x.rank() == 4 && x.dim(1) == in_ch_,
+               "Conv2d expects [N, " << in_ch_ << ", H, W]");
+  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const int oh = out_extent(h), ow = out_extent(w);
+  MMHAND_CHECK(oh >= 1 && ow >= 1, "Conv2d output collapsed");
+  if (training) cached_input_ = x;
+
+  const int col_rows = in_ch_ * kernel_ * kernel_;
+  const int col_cols = oh * ow;
+  std::vector<float> cols(static_cast<std::size_t>(col_rows) * col_cols);
+
+  Tensor y({n, out_ch_, oh, ow});
+  for (int s = 0; s < n; ++s) {
+    // im2col
+    std::size_t r = 0;
+    for (int c = 0; c < in_ch_; ++c)
+      for (int ki = 0; ki < kernel_; ++ki)
+        for (int kj = 0; kj < kernel_; ++kj) {
+          float* row = cols.data() + r * col_cols;
+          ++r;
+          std::size_t idx = 0;
+          for (int i = 0; i < oh; ++i) {
+            const int src_i = i * stride_ + ki - pad_;
+            for (int j = 0; j < ow; ++j, ++idx) {
+              const int src_j = j * stride_ + kj - pad_;
+              row[idx] = (src_i >= 0 && src_i < h && src_j >= 0 && src_j < w)
+                             ? x.at(s, c, src_i, src_j)
+                             : 0.0f;
+            }
+          }
+        }
+    // y_s = W_flat [OC x col_rows] * cols [col_rows x col_cols]
+    float* ys = y.data() +
+                static_cast<std::size_t>(s) * out_ch_ * oh * ow;
+    for (int oc = 0; oc < out_ch_; ++oc) {
+      const float b = bias_.value[static_cast<std::size_t>(oc)];
+      float* dst = ys + static_cast<std::size_t>(oc) * col_cols;
+      for (int j = 0; j < col_cols; ++j) dst[j] = b;
+    }
+    matmul_acc(weight_.value.data(), cols.data(), ys, out_ch_, col_rows,
+               col_cols);
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  MMHAND_CHECK(!cached_input_.empty(), "Conv2d backward before forward");
+  const Tensor& x = cached_input_;
+  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const int oh = out_extent(h), ow = out_extent(w);
+  MMHAND_CHECK(grad_out.rank() == 4 && grad_out.dim(0) == n &&
+                   grad_out.dim(1) == out_ch_ && grad_out.dim(2) == oh &&
+                   grad_out.dim(3) == ow,
+               "Conv2d grad shape");
+
+  const int col_rows = in_ch_ * kernel_ * kernel_;
+  const int col_cols = oh * ow;
+  std::vector<float> cols(static_cast<std::size_t>(col_rows) * col_cols);
+  std::vector<float> dcols(cols.size());
+
+  Tensor grad_in = Tensor::zeros(x.shape());
+  for (int s = 0; s < n; ++s) {
+    // Rebuild the column matrix (cheaper than caching it per sample).
+    std::size_t r = 0;
+    for (int c = 0; c < in_ch_; ++c)
+      for (int ki = 0; ki < kernel_; ++ki)
+        for (int kj = 0; kj < kernel_; ++kj) {
+          float* row = cols.data() + r * col_cols;
+          ++r;
+          std::size_t idx = 0;
+          for (int i = 0; i < oh; ++i) {
+            const int src_i = i * stride_ + ki - pad_;
+            for (int j = 0; j < ow; ++j, ++idx) {
+              const int src_j = j * stride_ + kj - pad_;
+              row[idx] = (src_i >= 0 && src_i < h && src_j >= 0 && src_j < w)
+                             ? x.at(s, c, src_i, src_j)
+                             : 0.0f;
+            }
+          }
+        }
+    const float* gs = grad_out.data() +
+                      static_cast<std::size_t>(s) * out_ch_ * oh * ow;
+    // dW += gs [OC x cols] * cols^T; computed as per-row outer products.
+    for (int oc = 0; oc < out_ch_; ++oc) {
+      const float* g = gs + static_cast<std::size_t>(oc) * col_cols;
+      float& db = bias_.grad[static_cast<std::size_t>(oc)];
+      for (int j = 0; j < col_cols; ++j) db += g[j];
+      float* dw =
+          weight_.grad.data() + static_cast<std::size_t>(oc) * col_rows;
+      for (int p = 0; p < col_rows; ++p) {
+        const float* cp = cols.data() + static_cast<std::size_t>(p) * col_cols;
+        float acc = 0.0f;
+        for (int j = 0; j < col_cols; ++j) acc += g[j] * cp[j];
+        dw[p] += acc;
+      }
+    }
+    // dcols = W^T [col_rows x OC] * gs [OC x col_cols]
+    std::fill(dcols.begin(), dcols.end(), 0.0f);
+    matmul_at_b_acc(weight_.value.data(), gs, dcols.data(), col_rows,
+                    out_ch_, col_cols);
+    // col2im accumulate into grad_in.
+    r = 0;
+    for (int c = 0; c < in_ch_; ++c)
+      for (int ki = 0; ki < kernel_; ++ki)
+        for (int kj = 0; kj < kernel_; ++kj) {
+          const float* row = dcols.data() + r * col_cols;
+          ++r;
+          std::size_t idx = 0;
+          for (int i = 0; i < oh; ++i) {
+            const int src_i = i * stride_ + ki - pad_;
+            if (src_i < 0 || src_i >= h) {
+              idx += static_cast<std::size_t>(ow);
+              continue;
+            }
+            for (int j = 0; j < ow; ++j, ++idx) {
+              const int src_j = j * stride_ + kj - pad_;
+              if (src_j >= 0 && src_j < w)
+                grad_in.at(s, c, src_i, src_j) += row[idx];
+            }
+          }
+        }
+  }
+  return grad_in;
+}
+
+ConvTranspose2d::ConvTranspose2d(int in_channels, int out_channels,
+                                 int kernel, int stride, int pad, Rng& rng)
+    : in_ch_(in_channels),
+      out_ch_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weight_(Tensor::randn(
+                  {in_channels, out_channels, kernel, kernel}, rng,
+                  std::sqrt(2.0 / (in_channels * kernel * kernel))),
+              "deconv.weight"),
+      bias_(Tensor::zeros({out_channels}), "deconv.bias") {
+  MMHAND_CHECK(in_channels >= 1 && out_channels >= 1, "deconv channels");
+  MMHAND_CHECK(kernel >= 1 && stride >= 1 && pad >= 0, "deconv geometry");
+}
+
+Tensor ConvTranspose2d::forward(const Tensor& x, bool training) {
+  MMHAND_CHECK(x.rank() == 4 && x.dim(1) == in_ch_,
+               "deconv expects [N, " << in_ch_ << ", H, W]");
+  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const int oh = out_extent(h), ow = out_extent(w);
+  MMHAND_CHECK(oh >= 1 && ow >= 1, "deconv output collapsed");
+  if (training) cached_input_ = x;
+
+  Tensor y({n, out_ch_, oh, ow});
+  for (int s = 0; s < n; ++s)
+    for (int oc = 0; oc < out_ch_; ++oc) {
+      const float b = bias_.value[static_cast<std::size_t>(oc)];
+      for (int i = 0; i < oh; ++i)
+        for (int j = 0; j < ow; ++j) y.at(s, oc, i, j) = b;
+    }
+
+  for (int s = 0; s < n; ++s)
+    for (int c = 0; c < in_ch_; ++c)
+      for (int i = 0; i < h; ++i)
+        for (int j = 0; j < w; ++j) {
+          const float v = x.at(s, c, i, j);
+          if (v == 0.0f) continue;
+          for (int oc = 0; oc < out_ch_; ++oc) {
+            const float* wk = weight_.value.data() +
+                              ((static_cast<std::size_t>(c) * out_ch_ + oc) *
+                               kernel_) *
+                                  kernel_;
+            for (int ki = 0; ki < kernel_; ++ki) {
+              const int oi = i * stride_ + ki - pad_;
+              if (oi < 0 || oi >= oh) continue;
+              for (int kj = 0; kj < kernel_; ++kj) {
+                const int oj = j * stride_ + kj - pad_;
+                if (oj < 0 || oj >= ow) continue;
+                y.at(s, oc, oi, oj) +=
+                    v * wk[static_cast<std::size_t>(ki) * kernel_ + kj];
+              }
+            }
+          }
+        }
+  return y;
+}
+
+Tensor ConvTranspose2d::backward(const Tensor& grad_out) {
+  MMHAND_CHECK(!cached_input_.empty(), "deconv backward before forward");
+  const Tensor& x = cached_input_;
+  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const int oh = out_extent(h), ow = out_extent(w);
+  MMHAND_CHECK(grad_out.rank() == 4 && grad_out.dim(0) == n &&
+                   grad_out.dim(1) == out_ch_ && grad_out.dim(2) == oh &&
+                   grad_out.dim(3) == ow,
+               "deconv grad shape");
+
+  // Bias gradient.
+  for (int s = 0; s < n; ++s)
+    for (int oc = 0; oc < out_ch_; ++oc) {
+      float acc = 0.0f;
+      for (int i = 0; i < oh; ++i)
+        for (int j = 0; j < ow; ++j) acc += grad_out.at(s, oc, i, j);
+      bias_.grad[static_cast<std::size_t>(oc)] += acc;
+    }
+
+  Tensor grad_in = Tensor::zeros(x.shape());
+  for (int s = 0; s < n; ++s)
+    for (int c = 0; c < in_ch_; ++c)
+      for (int i = 0; i < h; ++i)
+        for (int j = 0; j < w; ++j) {
+          const float xv = x.at(s, c, i, j);
+          float dx = 0.0f;
+          for (int oc = 0; oc < out_ch_; ++oc) {
+            const std::size_t wbase =
+                (static_cast<std::size_t>(c) * out_ch_ + oc) *
+                static_cast<std::size_t>(kernel_) * kernel_;
+            const float* wk = weight_.value.data() + wbase;
+            float* dwk = weight_.grad.data() + wbase;
+            for (int ki = 0; ki < kernel_; ++ki) {
+              const int oi = i * stride_ + ki - pad_;
+              if (oi < 0 || oi >= oh) continue;
+              for (int kj = 0; kj < kernel_; ++kj) {
+                const int oj = j * stride_ + kj - pad_;
+                if (oj < 0 || oj >= ow) continue;
+                const float g = grad_out.at(s, oc, oi, oj);
+                dx += g * wk[static_cast<std::size_t>(ki) * kernel_ + kj];
+                dwk[static_cast<std::size_t>(ki) * kernel_ + kj] += g * xv;
+              }
+            }
+          }
+          grad_in.at(s, c, i, j) = dx;
+        }
+  return grad_in;
+}
+
+}  // namespace mmhand::nn

@@ -1,0 +1,36 @@
+#include "mmhand/nn/dropout.hpp"
+
+namespace mmhand::nn {
+
+Dropout::Dropout(double rate, Rng& rng) : rate_(rate), rng_(rng.fork()) {
+  MMHAND_CHECK(rate >= 0.0 && rate < 1.0, "dropout rate " << rate);
+}
+
+Tensor Dropout::forward(const Tensor& x, bool training) {
+  if (!training || rate_ == 0.0) {
+    mask_ = Tensor();  // inference: backward would be a bug, flag it
+    return x;
+  }
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - rate_));
+  mask_ = Tensor::zeros(x.shape());
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    if (rng_.bernoulli(rate_)) {
+      y[i] = 0.0f;
+    } else {
+      y[i] *= keep_scale;
+      mask_[i] = keep_scale;
+    }
+  }
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  MMHAND_CHECK(!mask_.empty(), "Dropout backward without training forward");
+  MMHAND_CHECK(grad_out.same_shape(mask_), "Dropout grad shape");
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.numel(); ++i) g[i] *= mask_[i];
+  return g;
+}
+
+}  // namespace mmhand::nn

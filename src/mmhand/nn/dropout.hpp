@@ -1,0 +1,27 @@
+#pragma once
+
+// Inverted dropout: active only in training mode, identity at inference.
+// Available as a regularization option for the small training budgets the
+// CPU protocol uses (the paper does not specify its regularization).
+
+#include "mmhand/nn/layer.hpp"
+
+namespace mmhand::nn {
+
+class Dropout : public Layer {
+ public:
+  /// `rate` is the drop probability in [0, 1); the kept activations are
+  /// scaled by 1/(1-rate) so the expected magnitude is unchanged.
+  Dropout(double rate, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "Dropout"; }
+
+ private:
+  double rate_;
+  Rng rng_;
+  Tensor mask_;  ///< scaled keep mask of the last training forward
+};
+
+}  // namespace mmhand::nn

@@ -1,0 +1,28 @@
+#pragma once
+
+// Numerical gradient checking used by the test suite to pin down every
+// hand-derived backward pass.
+
+#include <functional>
+
+#include "mmhand/nn/layer.hpp"
+
+namespace mmhand::nn {
+
+struct GradCheckResult {
+  double max_abs_error = 0.0;    ///< worst |analytic - numeric|
+  double max_rel_error = 0.0;    ///< worst relative error
+  std::size_t checked = 0;
+};
+
+/// Checks dL/d(input) of `layer` for L = sum(w . forward(x)) with a fixed
+/// random weighting w.  Central differences with step `eps`.
+GradCheckResult check_input_gradient(Layer& layer, const Tensor& x,
+                                     Rng& rng, double eps = 1e-3);
+
+/// Checks dL/d(theta) for every parameter of `layer` under the same loss.
+GradCheckResult check_parameter_gradients(Layer& layer, const Tensor& x,
+                                          Rng& rng, double eps = 1e-3,
+                                          std::size_t max_entries_per_param = 64);
+
+}  // namespace mmhand::nn

@@ -1,0 +1,79 @@
+#include "mmhand/nn/layer_norm.hpp"
+
+#include <cmath>
+
+namespace mmhand::nn {
+
+LayerNorm::LayerNorm(int features, double eps)
+    : features_(features),
+      eps_(static_cast<float>(eps)),
+      gamma_(Tensor::full({features}, 1.0f), "ln.gamma"),
+      beta_(Tensor::zeros({features}), "ln.beta") {
+  MMHAND_CHECK(features >= 1, "LayerNorm features");
+}
+
+Tensor LayerNorm::forward(const Tensor& x, bool training) {
+  MMHAND_CHECK(x.rank() == 2 && x.dim(1) == features_,
+               "LayerNorm expects [N, " << features_ << "]");
+  const int n = x.dim(0);
+  Tensor y({n, features_});
+  Tensor xhat({n, features_});
+  Tensor inv_std({n});
+  for (int i = 0; i < n; ++i) {
+    const float* xi = x.data() + static_cast<std::size_t>(i) * features_;
+    float mean = 0.0f;
+    for (int f = 0; f < features_; ++f) mean += xi[f];
+    mean /= static_cast<float>(features_);
+    float var = 0.0f;
+    for (int f = 0; f < features_; ++f) {
+      const float d = xi[f] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(features_);
+    const float is = 1.0f / std::sqrt(var + eps_);
+    inv_std.at(i) = is;
+    float* xh = xhat.data() + static_cast<std::size_t>(i) * features_;
+    float* yi = y.data() + static_cast<std::size_t>(i) * features_;
+    for (int f = 0; f < features_; ++f) {
+      xh[f] = (xi[f] - mean) * is;
+      yi[f] = xh[f] * gamma_.value[static_cast<std::size_t>(f)] +
+              beta_.value[static_cast<std::size_t>(f)];
+    }
+  }
+  if (training) {
+    normalized_ = std::move(xhat);
+    inv_stddev_ = std::move(inv_std);
+  }
+  return y;
+}
+
+Tensor LayerNorm::backward(const Tensor& grad_out) {
+  MMHAND_CHECK(!normalized_.empty(), "LayerNorm backward before forward");
+  MMHAND_CHECK(grad_out.same_shape(normalized_), "LayerNorm grad shape");
+  const int n = grad_out.dim(0);
+  const float inv_f = 1.0f / static_cast<float>(features_);
+  Tensor grad_in({n, features_});
+  for (int i = 0; i < n; ++i) {
+    const float* g = grad_out.data() + static_cast<std::size_t>(i) * features_;
+    const float* xh =
+        normalized_.data() + static_cast<std::size_t>(i) * features_;
+    float* gi = grad_in.data() + static_cast<std::size_t>(i) * features_;
+    // dL/dxhat = g * gamma; accumulate gamma/beta grads.
+    float sum_gx = 0.0f, sum_gx_xhat = 0.0f;
+    for (int f = 0; f < features_; ++f) {
+      const float gx = g[f] * gamma_.value[static_cast<std::size_t>(f)];
+      sum_gx += gx;
+      sum_gx_xhat += gx * xh[f];
+      gamma_.grad[static_cast<std::size_t>(f)] += g[f] * xh[f];
+      beta_.grad[static_cast<std::size_t>(f)] += g[f];
+    }
+    const float is = inv_stddev_.at(i);
+    for (int f = 0; f < features_; ++f) {
+      const float gx = g[f] * gamma_.value[static_cast<std::size_t>(f)];
+      gi[f] = is * (gx - inv_f * sum_gx - xh[f] * inv_f * sum_gx_xhat);
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace mmhand::nn

@@ -1,0 +1,29 @@
+#pragma once
+
+// Layer normalization over the feature (last) dimension of [N, F] inputs.
+// The paper's shape and IK networks use "fully-connected layers with layer
+// normalization" (§V).
+
+#include "mmhand/nn/layer.hpp"
+
+namespace mmhand::nn {
+
+class LayerNorm : public Layer {
+ public:
+  explicit LayerNorm(int features, double eps = 1e-5);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override { return {&gamma_, &beta_}; }
+  std::string name() const override { return "LayerNorm"; }
+
+ private:
+  int features_;
+  float eps_;
+  Parameter gamma_;  ///< [F], initialized to 1
+  Parameter beta_;   ///< [F], initialized to 0
+  Tensor normalized_;   ///< cached x_hat
+  Tensor inv_stddev_;   ///< cached 1/sigma per row
+};
+
+}  // namespace mmhand::nn

@@ -1,0 +1,70 @@
+#include "mmhand/nn/linear.hpp"
+
+#include <cmath>
+
+namespace mmhand::nn {
+
+Linear::Linear(int in_features, int out_features, Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      weight_(Tensor::randn({out_features, in_features}, rng,
+                            std::sqrt(2.0 / in_features)),
+              "linear.weight"),
+      bias_(Tensor::zeros({out_features}), "linear.bias") {
+  MMHAND_CHECK(in_features >= 1 && out_features >= 1, "Linear dims");
+}
+
+Tensor Linear::forward(const Tensor& x, bool training) {
+  MMHAND_CHECK(x.rank() == 2 && x.dim(1) == in_,
+               "Linear expects [N, " << in_ << "]");
+  if (training) cached_input_ = x;
+  const int n = x.dim(0);
+  Tensor y({n, out_});
+  const float* w = weight_.value.data();
+  const float* b = bias_.value.data();
+  for (int i = 0; i < n; ++i) {
+    const float* xi = x.data() + static_cast<std::size_t>(i) * in_;
+    float* yi = y.data() + static_cast<std::size_t>(i) * out_;
+    for (int o = 0; o < out_; ++o) {
+      const float* wo = w + static_cast<std::size_t>(o) * in_;
+      float acc = b[o];
+      for (int k = 0; k < in_; ++k) acc += wo[k] * xi[k];
+      yi[o] = acc;
+    }
+  }
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  MMHAND_CHECK(!cached_input_.empty(), "Linear backward before forward");
+  MMHAND_CHECK(grad_out.rank() == 2 && grad_out.dim(1) == out_,
+               "Linear grad shape");
+  const int n = grad_out.dim(0);
+  MMHAND_CHECK(n == cached_input_.dim(0), "Linear batch mismatch");
+
+  Tensor grad_in({n, in_});
+  float* dw = weight_.grad.data();
+  float* db = bias_.grad.data();
+  const float* w = weight_.value.data();
+  for (int i = 0; i < n; ++i) {
+    const float* gi =
+        grad_out.data() + static_cast<std::size_t>(i) * out_;
+    const float* xi =
+        cached_input_.data() + static_cast<std::size_t>(i) * in_;
+    float* di = grad_in.data() + static_cast<std::size_t>(i) * in_;
+    for (int o = 0; o < out_; ++o) {
+      const float g = gi[o];
+      if (g == 0.0f) continue;
+      db[o] += g;
+      const float* wo = w + static_cast<std::size_t>(o) * in_;
+      float* dwo = dw + static_cast<std::size_t>(o) * in_;
+      for (int k = 0; k < in_; ++k) {
+        dwo[k] += g * xi[k];
+        di[k] += g * wo[k];
+      }
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace mmhand::nn

@@ -1,0 +1,31 @@
+#pragma once
+
+// Fully-connected layer: y = x W^T + b for x of shape [N, in].
+
+#include "mmhand/nn/layer.hpp"
+
+namespace mmhand::nn {
+
+class Linear : public Layer {
+ public:
+  /// He-style initialization scaled by fan-in.
+  Linear(int in_features, int out_features, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  std::string name() const override { return "Linear"; }
+
+  int in_features() const { return in_; }
+  int out_features() const { return out_; }
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  int in_, out_;
+  Parameter weight_;  ///< [out, in]
+  Parameter bias_;    ///< [out]
+  Tensor cached_input_;
+};
+
+}  // namespace mmhand::nn

@@ -1,0 +1,42 @@
+#include "mmhand/nn/loss.hpp"
+
+#include <cmath>
+
+namespace mmhand::nn {
+
+LossResult joint_l2_loss(const Tensor& pred, const Tensor& target) {
+  MMHAND_CHECK(pred.same_shape(target), "joint_l2_loss shape mismatch");
+  MMHAND_CHECK(pred.numel() % 3 == 0, "joint_l2_loss needs (x,y,z) triples");
+  LossResult out;
+  out.grad = Tensor::zeros(pred.shape());
+  const std::size_t joints = pred.numel() / 3;
+  for (std::size_t j = 0; j < joints; ++j) {
+    const std::size_t b = 3 * j;
+    const double dx = pred[b] - target[b];
+    const double dy = pred[b + 1] - target[b + 1];
+    const double dz = pred[b + 2] - target[b + 2];
+    const double dist = std::sqrt(dx * dx + dy * dy + dz * dz);
+    out.value += dist;
+    if (dist > 1e-9) {
+      out.grad[b] = static_cast<float>(dx / dist);
+      out.grad[b + 1] = static_cast<float>(dy / dist);
+      out.grad[b + 2] = static_cast<float>(dz / dist);
+    }
+  }
+  return out;
+}
+
+LossResult mse_loss(const Tensor& pred, const Tensor& target) {
+  MMHAND_CHECK(pred.same_shape(target), "mse_loss shape mismatch");
+  LossResult out;
+  out.grad = Tensor::zeros(pred.shape());
+  const double inv_n = 1.0 / static_cast<double>(pred.numel());
+  for (std::size_t i = 0; i < pred.numel(); ++i) {
+    const double d = pred[i] - target[i];
+    out.value += d * d * inv_n;
+    out.grad[i] = static_cast<float>(2.0 * d * inv_n);
+  }
+  return out;
+}
+
+}  // namespace mmhand::nn

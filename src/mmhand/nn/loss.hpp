@@ -1,0 +1,23 @@
+#pragma once
+
+// Loss functions.  The paper's L3D (§IV-B) sums per-joint Euclidean
+// distances; the kinematic loss lives in mmhand/pose (it needs the finger
+// topology).
+
+#include "mmhand/nn/tensor.hpp"
+
+namespace mmhand::nn {
+
+struct LossResult {
+  double value = 0.0;
+  Tensor grad;  ///< dL/d(prediction), same shape as the prediction
+};
+
+/// L3D = sum_j || pred_j - gt_j ||_2 over joints laid out as consecutive
+/// (x, y, z) triples.  `pred` and `target` are [J*3] or [N, J*3].
+LossResult joint_l2_loss(const Tensor& pred, const Tensor& target);
+
+/// Plain mean-squared error (used by baselines and the IK/shape nets).
+LossResult mse_loss(const Tensor& pred, const Tensor& target);
+
+}  // namespace mmhand::nn

@@ -1,0 +1,147 @@
+#include "mmhand/nn/lstm.hpp"
+
+#include <cmath>
+
+#include "mmhand/nn/activations.hpp"
+
+namespace mmhand::nn {
+
+Lstm::Lstm(int input_size, int hidden_size, Rng& rng)
+    : input_(input_size),
+      hidden_(hidden_size),
+      w_ih_(Tensor::randn({4 * hidden_size, input_size}, rng,
+                          1.0 / std::sqrt(static_cast<double>(input_size))),
+            "lstm.w_ih"),
+      w_hh_(Tensor::randn({4 * hidden_size, hidden_size}, rng,
+                          1.0 / std::sqrt(static_cast<double>(hidden_size))),
+            "lstm.w_hh"),
+      bias_(Tensor::zeros({4 * hidden_size}), "lstm.bias") {
+  MMHAND_CHECK(input_size >= 1 && hidden_size >= 1, "Lstm sizes");
+  // Forget-gate bias starts positive so early training remembers.
+  for (int i = hidden_; i < 2 * hidden_; ++i)
+    bias_.value[static_cast<std::size_t>(i)] = 1.0f;
+}
+
+Tensor Lstm::forward(const Tensor& x, bool training) {
+  MMHAND_CHECK(x.rank() == 2 && x.dim(1) == input_,
+               "Lstm expects [T, " << input_ << "]");
+  const int t_len = x.dim(0);
+  const int h = hidden_;
+  Tensor gates({t_len, 4 * h});
+  Tensor cells({t_len, h});
+  Tensor hiddens({t_len, h});
+
+  std::vector<float> h_prev(static_cast<std::size_t>(h), 0.0f);
+  std::vector<float> c_prev(static_cast<std::size_t>(h), 0.0f);
+  for (int t = 0; t < t_len; ++t) {
+    const float* xt = x.data() + static_cast<std::size_t>(t) * input_;
+    float* gt = gates.data() + static_cast<std::size_t>(t) * 4 * h;
+    // Pre-activations: W_ih x + W_hh h_prev + b.
+    for (int r = 0; r < 4 * h; ++r) {
+      const float* wi = w_ih_.value.data() + static_cast<std::size_t>(r) * input_;
+      const float* wh = w_hh_.value.data() + static_cast<std::size_t>(r) * h;
+      float acc = bias_.value[static_cast<std::size_t>(r)];
+      for (int f = 0; f < input_; ++f) acc += wi[f] * xt[f];
+      for (int j = 0; j < h; ++j) acc += wh[j] * h_prev[static_cast<std::size_t>(j)];
+      gt[r] = acc;
+    }
+    // Activations and state update.
+    float* ct = cells.data() + static_cast<std::size_t>(t) * h;
+    float* ht = hiddens.data() + static_cast<std::size_t>(t) * h;
+    for (int j = 0; j < h; ++j) {
+      const float ig = sigmoid_value(gt[j]);
+      const float fg = sigmoid_value(gt[h + j]);
+      const float gg = tanh_value(gt[2 * h + j]);
+      const float og = sigmoid_value(gt[3 * h + j]);
+      gt[j] = ig;
+      gt[h + j] = fg;
+      gt[2 * h + j] = gg;
+      gt[3 * h + j] = og;
+      ct[j] = fg * c_prev[static_cast<std::size_t>(j)] + ig * gg;
+      ht[j] = og * tanh_value(ct[j]);
+    }
+    std::copy(ht, ht + h, h_prev.begin());
+    std::copy(ct, ct + h, c_prev.begin());
+  }
+
+  if (training) {
+    cached_input_ = x;
+    gates_ = std::move(gates);
+    cells_ = std::move(cells);
+    hiddens_ = hiddens;
+    return hiddens;
+  }
+  return hiddens;
+}
+
+Tensor Lstm::backward(const Tensor& grad_out) {
+  MMHAND_CHECK(!cached_input_.empty(), "Lstm backward before forward");
+  const int t_len = cached_input_.dim(0);
+  const int h = hidden_;
+  MMHAND_CHECK(grad_out.rank() == 2 && grad_out.dim(0) == t_len &&
+                   grad_out.dim(1) == h,
+               "Lstm grad shape");
+
+  Tensor grad_in = Tensor::zeros({t_len, input_});
+  std::vector<float> dh_next(static_cast<std::size_t>(h), 0.0f);
+  std::vector<float> dc_next(static_cast<std::size_t>(h), 0.0f);
+  std::vector<float> dgates(static_cast<std::size_t>(4 * h));
+
+  for (int t = t_len - 1; t >= 0; --t) {
+    const float* gt = gates_.data() + static_cast<std::size_t>(t) * 4 * h;
+    const float* ct = cells_.data() + static_cast<std::size_t>(t) * h;
+    const float* c_prev =
+        t > 0 ? cells_.data() + static_cast<std::size_t>(t - 1) * h : nullptr;
+    const float* h_prev =
+        t > 0 ? hiddens_.data() + static_cast<std::size_t>(t - 1) * h
+              : nullptr;
+    const float* go = grad_out.data() + static_cast<std::size_t>(t) * h;
+    const float* xt =
+        cached_input_.data() + static_cast<std::size_t>(t) * input_;
+
+    for (int j = 0; j < h; ++j) {
+      const float ig = gt[j], fg = gt[h + j], gg = gt[2 * h + j],
+                  og = gt[3 * h + j];
+      const float tc = tanh_value(ct[j]);
+      const float dh = go[j] + dh_next[static_cast<std::size_t>(j)];
+      const float dc =
+          dh * og * (1.0f - tc * tc) + dc_next[static_cast<std::size_t>(j)];
+      const float cp = c_prev ? c_prev[j] : 0.0f;
+      // Gate pre-activation gradients.
+      dgates[static_cast<std::size_t>(j)] = dc * gg * ig * (1.0f - ig);
+      dgates[static_cast<std::size_t>(h + j)] = dc * cp * fg * (1.0f - fg);
+      dgates[static_cast<std::size_t>(2 * h + j)] =
+          dc * ig * (1.0f - gg * gg);
+      dgates[static_cast<std::size_t>(3 * h + j)] =
+          dh * tc * og * (1.0f - og);
+      dc_next[static_cast<std::size_t>(j)] = dc * fg;
+    }
+
+    // Parameter and input gradients; also the recurrent gradient dh_prev.
+    std::fill(dh_next.begin(), dh_next.end(), 0.0f);
+    float* dx = grad_in.data() + static_cast<std::size_t>(t) * input_;
+    for (int r = 0; r < 4 * h; ++r) {
+      const float dg = dgates[static_cast<std::size_t>(r)];
+      if (dg == 0.0f) continue;
+      bias_.grad[static_cast<std::size_t>(r)] += dg;
+      float* dwi = w_ih_.grad.data() + static_cast<std::size_t>(r) * input_;
+      const float* wi =
+          w_ih_.value.data() + static_cast<std::size_t>(r) * input_;
+      for (int f = 0; f < input_; ++f) {
+        dwi[f] += dg * xt[f];
+        dx[f] += dg * wi[f];
+      }
+      float* dwh = w_hh_.grad.data() + static_cast<std::size_t>(r) * h;
+      const float* wh = w_hh_.value.data() + static_cast<std::size_t>(r) * h;
+      if (h_prev) {
+        for (int j = 0; j < h; ++j) {
+          dwh[j] += dg * h_prev[j];
+          dh_next[static_cast<std::size_t>(j)] += dg * wh[j];
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace mmhand::nn

@@ -1,0 +1,51 @@
+#include "mmhand/nn/optimizer.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace mmhand::nn {
+
+Adam::Adam(std::vector<Parameter*> params, const AdamConfig& config)
+    : params_(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    m_.push_back(Tensor::zeros(p->value.shape()));
+    v_.push_back(Tensor::zeros(p->value.shape()));
+  }
+}
+
+void Adam::step(double lr_scale) {
+  ++t_;
+  const double lr = config_.lr * lr_scale;
+  const double b1 = config_.beta1, b2 = config_.beta2;
+  const double bc1 = 1.0 - std::pow(b1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(b2, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (std::size_t e = 0; e < p.value.numel(); ++e) {
+      double g = p.grad[e];
+      if (config_.weight_decay > 0.0) g += config_.weight_decay * p.value[e];
+      m[e] = static_cast<float>(b1 * m[e] + (1.0 - b1) * g);
+      v[e] = static_cast<float>(b2 * v[e] + (1.0 - b2) * g * g);
+      const double mhat = m[e] / bc1;
+      const double vhat = v[e] / bc2;
+      p.value[e] -= static_cast<float>(lr * mhat /
+                                       (std::sqrt(vhat) + config_.eps));
+    }
+  }
+}
+
+void Adam::zero_grad() { zero_grads(params_); }
+
+double cosine_decay(int epoch, int total_epochs) {
+  MMHAND_CHECK(total_epochs >= 1, "cosine_decay epochs");
+  if (epoch >= total_epochs) return 0.0;
+  if (epoch < 0) epoch = 0;
+  return 0.5 * (1.0 + std::cos(std::numbers::pi * static_cast<double>(epoch) /
+                               static_cast<double>(total_epochs)));
+}
+
+}  // namespace mmhand::nn

@@ -1,0 +1,44 @@
+#pragma once
+
+// Adam optimizer with the paper's cosine learning-rate decay (§VI-A:
+// initial lr 0.001, cosine schedule).
+
+#include <vector>
+
+#include "mmhand/nn/layer.hpp"
+
+namespace mmhand::nn {
+
+struct AdamConfig {
+  double lr = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double weight_decay = 0.0;
+};
+
+class Adam {
+ public:
+  Adam(std::vector<Parameter*> params, const AdamConfig& config = {});
+
+  /// Applies one update from the accumulated gradients, then the caller
+  /// typically zeroes them.  `lr_scale` multiplies the base rate (cosine
+  /// schedule hook).
+  void step(double lr_scale = 1.0);
+
+  void zero_grad();
+
+  std::size_t steps_taken() const { return t_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  AdamConfig config_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  std::size_t t_ = 0;
+};
+
+/// Cosine decay factor in [0, 1] for epoch `e` of `total` (lr0 * factor).
+double cosine_decay(int epoch, int total_epochs);
+
+}  // namespace mmhand::nn

@@ -1,0 +1,29 @@
+#include "mmhand/nn/sequential.hpp"
+
+namespace mmhand::nn {
+
+Tensor Sequential::forward(const Tensor& x, bool training) {
+  MMHAND_CHECK(!layers_.empty(), "empty Sequential");
+  Tensor y = x;
+  for (auto& layer : layers_) y = layer->forward(y, training);
+  return y;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  MMHAND_CHECK(!layers_.empty(), "empty Sequential");
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<Parameter*> Sequential::parameters() {
+  std::vector<Parameter*> out;
+  for (auto& layer : layers_) {
+    const auto p = layer->parameters();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+}  // namespace mmhand::nn

@@ -1,0 +1,121 @@
+#include "mmhand/nn/tensor.hpp"
+
+namespace mmhand::nn {
+
+namespace {
+
+std::size_t shape_numel(const std::vector<int>& shape) {
+  std::size_t n = 1;
+  for (int d : shape) {
+    MMHAND_CHECK(d >= 1, "tensor dimension " << d);
+    n *= static_cast<std::size_t>(d);
+  }
+  return n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int> shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+Tensor Tensor::zeros(std::vector<int> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::full(std::vector<int> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(std::vector<int> shape, Rng& rng, double stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.normal(0.0, stddev));
+  return t;
+}
+
+Tensor Tensor::from_vector(std::vector<int> shape, std::vector<float> data) {
+  MMHAND_CHECK(shape_numel(shape) == data.size(),
+               "from_vector: shape/data mismatch");
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(data);
+  return t;
+}
+
+int Tensor::dim(int i) const {
+  MMHAND_CHECK(i >= 0 && i < rank(), "tensor dim index " << i);
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+std::size_t Tensor::offset(int i, int j) const {
+  MMHAND_ASSERT(rank() == 2 && i >= 0 && i < shape_[0] && j >= 0 &&
+                j < shape_[1]);
+  return static_cast<std::size_t>(i) * shape_[1] + j;
+}
+
+std::size_t Tensor::offset(int i, int j, int k) const {
+  MMHAND_ASSERT(rank() == 3 && i >= 0 && i < shape_[0] && j >= 0 &&
+                j < shape_[1] && k >= 0 && k < shape_[2]);
+  return (static_cast<std::size_t>(i) * shape_[1] + j) * shape_[2] + k;
+}
+
+std::size_t Tensor::offset(int i, int j, int k, int l) const {
+  MMHAND_ASSERT(rank() == 4 && i >= 0 && i < shape_[0] && j >= 0 &&
+                j < shape_[1] && k >= 0 && k < shape_[2] && l >= 0 &&
+                l < shape_[3]);
+  return ((static_cast<std::size_t>(i) * shape_[1] + j) * shape_[2] + k) *
+             shape_[3] +
+         l;
+}
+
+float& Tensor::at(int i) {
+  MMHAND_ASSERT(rank() == 1 && i >= 0 && i < shape_[0]);
+  return data_[static_cast<std::size_t>(i)];
+}
+float& Tensor::at(int i, int j) { return data_[offset(i, j)]; }
+float& Tensor::at(int i, int j, int k) { return data_[offset(i, j, k)]; }
+float& Tensor::at(int i, int j, int k, int l) {
+  return data_[offset(i, j, k, l)];
+}
+float Tensor::at(int i) const {
+  MMHAND_ASSERT(rank() == 1 && i >= 0 && i < shape_[0]);
+  return data_[static_cast<std::size_t>(i)];
+}
+float Tensor::at(int i, int j) const { return data_[offset(i, j)]; }
+float Tensor::at(int i, int j, int k) const {
+  return data_[offset(i, j, k)];
+}
+float Tensor::at(int i, int j, int k, int l) const {
+  return data_[offset(i, j, k, l)];
+}
+
+Tensor Tensor::reshaped(std::vector<int> shape) const {
+  MMHAND_CHECK(shape_numel(shape) == numel(),
+               "reshape element count mismatch");
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::fill(float value) {
+  for (auto& v : data_) v = value;
+}
+
+void Tensor::add_(const Tensor& other) {
+  MMHAND_CHECK(same_shape(other), "add_ shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::axpy_(float alpha, const Tensor& other) {
+  MMHAND_CHECK(same_shape(other), "axpy_ shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] += alpha * other.data_[i];
+}
+
+void Tensor::scale_(float alpha) {
+  for (auto& v : data_) v *= alpha;
+}
+
+}  // namespace mmhand::nn

@@ -1,0 +1,76 @@
+#pragma once
+
+// Dense float tensor used by the neural-network stack.
+//
+// Row-major, up to 4 dimensions in practice ([N, C, H, W] for feature maps,
+// [T, F] for sequences).  Geometry stays in double precision elsewhere in
+// the library; training runs in float like the paper's GPU implementation.
+
+#include <vector>
+
+#include "mmhand/common/error.hpp"
+#include "mmhand/common/rng.hpp"
+
+namespace mmhand::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape);
+
+  static Tensor zeros(std::vector<int> shape);
+  static Tensor full(std::vector<int> shape, float value);
+  /// Gaussian init, used by layers for weight initialization.
+  static Tensor randn(std::vector<int> shape, Rng& rng, double stddev);
+  static Tensor from_vector(std::vector<int> shape, std::vector<float> data);
+
+  int rank() const { return static_cast<int>(shape_.size()); }
+  int dim(int i) const;
+  const std::vector<int>& shape() const { return shape_; }
+  std::size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  float& at(int i);
+  float& at(int i, int j);
+  float& at(int i, int j, int k);
+  float& at(int i, int j, int k, int l);
+  float at(int i) const;
+  float at(int i, int j) const;
+  float at(int i, int j, int k) const;
+  float at(int i, int j, int k, int l) const;
+
+  /// Same data, new shape (element count must match).
+  Tensor reshaped(std::vector<int> shape) const;
+
+  void fill(float value);
+  void zero() { fill(0.0f); }
+
+  /// this += other (shapes must match).
+  void add_(const Tensor& other);
+  /// this += alpha * other.
+  void axpy_(float alpha, const Tensor& other);
+  /// this *= alpha.
+  void scale_(float alpha);
+
+  bool same_shape(const Tensor& other) const {
+    return shape_ == other.shape_;
+  }
+
+ private:
+  std::size_t offset(int i, int j) const;
+  std::size_t offset(int i, int j, int k) const;
+  std::size_t offset(int i, int j, int k, int l) const;
+
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace mmhand::nn

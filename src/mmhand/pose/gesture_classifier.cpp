@@ -1,0 +1,102 @@
+#include "mmhand/pose/gesture_classifier.hpp"
+
+#include <cmath>
+
+#include "mmhand/common/error.hpp"
+
+namespace mmhand::pose {
+
+std::vector<double> GestureClassifier::descriptor(
+    const hand::JointSet& joints) {
+  static constexpr int kTips[5] = {4, 8, 12, 16, 20};
+  const Vec3 wrist = joints[hand::kWrist];
+  std::vector<double> d;
+  d.reserve(5 + 10);
+  // Fingertip reach from the wrist.
+  for (int tip : kTips)
+    d.push_back(distance(joints[static_cast<std::size_t>(tip)], wrist));
+  // Pairwise fingertip separations (splay / pinch signatures).
+  for (int a = 0; a < 5; ++a)
+    for (int b = a + 1; b < 5; ++b)
+      d.push_back(distance(joints[static_cast<std::size_t>(kTips[a])],
+                           joints[static_cast<std::size_t>(kTips[b])]));
+  return d;
+}
+
+GestureClassifier::GestureClassifier(std::vector<hand::Gesture> vocabulary)
+    : vocab_(vocabulary.empty() ? hand::all_gestures()
+                                : std::move(vocabulary)) {
+  const auto profile = hand::HandProfile::reference();
+  templates_.reserve(vocab_.size());
+  for (hand::Gesture g : vocab_) {
+    hand::HandPose pose;
+    pose.fingers = hand::gesture_articulation(g);
+    templates_.push_back(
+        descriptor(hand::forward_kinematics(profile, pose)));
+  }
+}
+
+double GestureClassifier::cost(const hand::JointSet& joints,
+                               hand::Gesture gesture) const {
+  for (std::size_t i = 0; i < vocab_.size(); ++i) {
+    if (vocab_[i] != gesture) continue;
+    const auto d = descriptor(joints);
+    double c = 0.0;
+    for (std::size_t k = 0; k < d.size(); ++k)
+      c += std::abs(d[k] - templates_[i][k]);
+    return c;
+  }
+  throw Error("gesture not in the classifier's vocabulary");
+}
+
+hand::Gesture GestureClassifier::classify(
+    const hand::JointSet& joints) const {
+  const auto d = descriptor(joints);
+  double best = 1e18;
+  hand::Gesture best_g = vocab_.front();
+  for (std::size_t i = 0; i < vocab_.size(); ++i) {
+    double c = 0.0;
+    for (std::size_t k = 0; k < d.size(); ++k)
+      c += std::abs(d[k] - templates_[i][k]);
+    if (c < best) {
+      best = c;
+      best_g = vocab_[i];
+    }
+  }
+  return best_g;
+}
+
+ConfusionMatrix::ConfusionMatrix(std::vector<hand::Gesture> vocabulary)
+    : vocab_(std::move(vocabulary)),
+      counts_(vocab_.size() * vocab_.size(), 0) {
+  MMHAND_CHECK(!vocab_.empty(), "empty confusion-matrix vocabulary");
+}
+
+int ConfusionMatrix::index_of(hand::Gesture g) const {
+  for (std::size_t i = 0; i < vocab_.size(); ++i)
+    if (vocab_[i] == g) return static_cast<int>(i);
+  throw Error("gesture outside the confusion matrix's vocabulary");
+}
+
+void ConfusionMatrix::add(hand::Gesture truth, hand::Gesture predicted) {
+  const auto t = static_cast<std::size_t>(index_of(truth));
+  const auto p = static_cast<std::size_t>(index_of(predicted));
+  ++counts_[t * vocab_.size() + p];
+  ++total_;
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < vocab_.size(); ++i)
+    hits += static_cast<std::size_t>(counts_[i * vocab_.size() + i]);
+  return static_cast<double>(hits) / static_cast<double>(total_);
+}
+
+int ConfusionMatrix::count(hand::Gesture truth,
+                           hand::Gesture predicted) const {
+  return counts_[static_cast<std::size_t>(index_of(truth)) * vocab_.size() +
+                 static_cast<std::size_t>(index_of(predicted))];
+}
+
+}  // namespace mmhand::pose

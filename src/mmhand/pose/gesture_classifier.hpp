@@ -1,0 +1,58 @@
+#pragma once
+
+// Gesture classification from predicted skeletons — the downstream
+// application the paper's introduction motivates (UI control, sign
+// language).  Matches wrist-centered joint geometry against the gesture
+// vocabulary's kinematic templates using rotation-invariant features.
+
+#include <vector>
+
+#include "mmhand/hand/gesture.hpp"
+#include "mmhand/hand/kinematics.hpp"
+
+namespace mmhand::pose {
+
+class GestureClassifier {
+ public:
+  /// Builds templates from a vocabulary (empty = all gestures) using the
+  /// reference profile.
+  explicit GestureClassifier(std::vector<hand::Gesture> vocabulary = {});
+
+  /// Nearest-template gesture for a skeleton.
+  hand::Gesture classify(const hand::JointSet& joints) const;
+
+  /// Matching cost against a specific gesture (lower = closer).
+  double cost(const hand::JointSet& joints, hand::Gesture gesture) const;
+
+  const std::vector<hand::Gesture>& vocabulary() const { return vocab_; }
+
+ private:
+  /// Rotation/translation-invariant descriptor: fingertip-to-wrist and
+  /// fingertip-to-fingertip distances.
+  static std::vector<double> descriptor(const hand::JointSet& joints);
+
+  std::vector<hand::Gesture> vocab_;
+  std::vector<std::vector<double>> templates_;
+};
+
+/// Row-normalized confusion matrix over (truth, prediction) pairs.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::vector<hand::Gesture> vocabulary);
+
+  void add(hand::Gesture truth, hand::Gesture predicted);
+  /// Overall accuracy in [0, 1]; 0 when empty.
+  double accuracy() const;
+  /// Count of (truth, predicted) cell.
+  int count(hand::Gesture truth, hand::Gesture predicted) const;
+  std::size_t total() const { return total_; }
+
+ private:
+  int index_of(hand::Gesture g) const;
+
+  std::vector<hand::Gesture> vocab_;
+  std::vector<int> counts_;  ///< row-major [truth][predicted]
+  std::size_t total_ = 0;
+};
+
+}  // namespace mmhand::pose

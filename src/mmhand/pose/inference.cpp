@@ -1,0 +1,25 @@
+#include "mmhand/pose/inference.hpp"
+
+namespace mmhand::pose {
+
+std::vector<FramePrediction> predict_recording(
+    HandJointRegressor& model, const sim::Recording& recording, int stride) {
+  const auto samples = make_pose_samples(recording, model.config(), stride);
+  std::vector<FramePrediction> out;
+  out.reserve(samples.size() *
+              static_cast<std::size_t>(model.config().sequence_segments));
+  for (const auto& sample : samples) {
+    const nn::Tensor pred = predict_sample(model, sample);
+    for (int s = 0; s < pred.dim(0); ++s) {
+      FramePrediction fp;
+      fp.frame_index = sample.label_frames[static_cast<std::size_t>(s)];
+      fp.joints = row_to_joints(pred, s);
+      fp.ground_truth = row_to_joints(sample.labels, s);
+      fp.oracle = row_to_joints(sample.oracle, s);
+      out.push_back(fp);
+    }
+  }
+  return out;
+}
+
+}  // namespace mmhand::pose

@@ -1,0 +1,23 @@
+#pragma once
+
+// Inference over continuous recordings: sliding-window prediction of 3-D
+// hand skeletons, the "3D hand skeleton generation" output of mmHand.
+
+#include "mmhand/pose/samples.hpp"
+#include "mmhand/pose/trainer.hpp"
+
+namespace mmhand::pose {
+
+struct FramePrediction {
+  int frame_index = 0;
+  hand::JointSet joints;        ///< predicted skeleton
+  hand::JointSet ground_truth;  ///< noisy label at that frame
+  hand::JointSet oracle;        ///< noise-free FK joints
+};
+
+/// Predicts skeletons for every segment-end frame of a recording.
+std::vector<FramePrediction> predict_recording(
+    HandJointRegressor& model, const sim::Recording& recording,
+    int stride = 0);
+
+}  // namespace mmhand::pose

@@ -1,0 +1,181 @@
+#include "mmhand/pose/joint_model.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace mmhand::pose {
+
+namespace {
+
+constexpr std::uint32_t kModelMagic = 0x6d6d4831;  // "mmH1"
+
+MmSpaceNetConfig resolve_spacenet(const PoseNetConfig& config) {
+  MmSpaceNetConfig sn = config.spacenet;
+  sn.input_channels = config.velocity_bins;
+  return sn;
+}
+
+}  // namespace
+
+void PoseNetConfig::validate() const {
+  MMHAND_CHECK(segment_frames >= 1 && sequence_segments >= 1,
+               "segment geometry");
+  MMHAND_CHECK(velocity_bins >= 1 && range_bins >= 4 && angle_bins >= 4,
+               "cube dims");
+  // The stem halves the extents, then each residual block's hourglass
+  // needs another factor of 4: inputs must divide by 8.
+  MMHAND_CHECK(range_bins % (2 * MmSpaceNet::kSpatialReduction) == 0 &&
+                   angle_bins % (2 * MmSpaceNet::kSpatialReduction) == 0,
+               "cube extents must divide by "
+                   << 2 * MmSpaceNet::kSpatialReduction);
+  MMHAND_CHECK(feature_dim >= 8 && lstm_hidden >= 8, "head dims");
+}
+
+namespace {
+
+std::unique_ptr<nn::Layer> make_temporal(const PoseNetConfig& config,
+                                         Rng& rng) {
+  switch (config.temporal) {
+    case TemporalKind::kLstm:
+      return std::make_unique<nn::Lstm>(config.feature_dim,
+                                        config.lstm_hidden, rng);
+    case TemporalKind::kGru:
+      return std::make_unique<nn::Gru>(config.feature_dim,
+                                       config.lstm_hidden, rng);
+    case TemporalKind::kNone:
+      return nullptr;
+  }
+  throw Error("unknown temporal kind");
+}
+
+}  // namespace
+
+HandJointRegressor::HandJointRegressor(const PoseNetConfig& config, Rng& rng)
+    : config_([&] {
+        config.validate();
+        return config;
+      }()),
+      spacenet_(resolve_spacenet(config_), rng),
+      segment_fc_(
+          config_.segment_frames * config_.spacenet.block2_channels *
+              (config_.range_bins / MmSpaceNet::kSpatialReduction) *
+              (config_.angle_bins / MmSpaceNet::kSpatialReduction),
+          config_.feature_dim, rng),
+      temporal_(make_temporal(config_, rng)),
+      head_(config_.temporal == TemporalKind::kNone ? config_.feature_dim
+                                                    : config_.lstm_hidden,
+            63, rng),
+      flat_features_(segment_fc_.in_features()) {}
+
+nn::Tensor HandJointRegressor::forward(const nn::Tensor& x, bool training) {
+  const int frames = config_.frames_per_sample();
+  MMHAND_CHECK(x.rank() == 4 && x.dim(0) == frames &&
+                   x.dim(1) == config_.velocity_bins &&
+                   x.dim(2) == config_.range_bins &&
+                   x.dim(3) == config_.angle_bins,
+               "pose input shape mismatch");
+  // Spatial features for every frame (frames are independent through the
+  // conv trunk, so the sequence is processed as one batch).
+  nn::Tensor feat = spacenet_.forward(x, training);
+  // Group frames into segments: [S, st * C2 * H' * W'].
+  nn::Tensor grouped =
+      feat.reshaped({config_.sequence_segments, flat_features_});
+  nn::Tensor seg = segment_fc_.forward(grouped, training);
+  seg = segment_act_.forward(seg, training);
+  // Temporal features over the segment sequence (identity under the
+  // no-temporal ablation).
+  if (temporal_) seg = temporal_->forward(seg, training);
+  return head_.forward(seg, training);
+}
+
+void HandJointRegressor::backward(const nn::Tensor& grad) {
+  MMHAND_CHECK(grad.rank() == 2 && grad.dim(0) == config_.sequence_segments &&
+                   grad.dim(1) == 63,
+               "pose grad shape");
+  nn::Tensor g = head_.backward(grad);
+  if (temporal_) g = temporal_->backward(g);
+  g = segment_act_.backward(g);
+  g = segment_fc_.backward(g);
+  g = g.reshaped({config_.frames_per_sample(),
+                  config_.spacenet.block2_channels,
+                  config_.range_bins / MmSpaceNet::kSpatialReduction,
+                  config_.angle_bins / MmSpaceNet::kSpatialReduction});
+  (void)spacenet_.backward(g);
+}
+
+std::vector<nn::Parameter*> HandJointRegressor::parameters() {
+  std::vector<nn::Parameter*> out = spacenet_.parameters();
+  std::vector<nn::Layer*> layers{&segment_fc_, &head_};
+  if (temporal_) layers.insert(layers.begin() + 1, temporal_.get());
+  for (nn::Layer* l : layers) {
+    const auto p = l->parameters();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+void HandJointRegressor::set_output_bias(const nn::Tensor& mean63) {
+  MMHAND_CHECK(mean63.numel() == 63, "output bias needs 63 values");
+  head_.bias().value = mean63.reshaped({63});
+}
+
+void HandJointRegressor::save(const std::string& path) {
+  BinaryWriter w(path);
+  w.write_u32(kModelMagic);
+  w.write_u32(1);  // version
+  w.write_u32(static_cast<std::uint32_t>(config_.segment_frames));
+  w.write_u32(static_cast<std::uint32_t>(config_.sequence_segments));
+  w.write_u32(static_cast<std::uint32_t>(config_.velocity_bins));
+  w.write_u32(static_cast<std::uint32_t>(config_.range_bins));
+  w.write_u32(static_cast<std::uint32_t>(config_.angle_bins));
+  w.write_u32(static_cast<std::uint32_t>(config_.temporal));
+  nn::save_parameters(parameters(), w);
+  w.close();
+}
+
+void HandJointRegressor::load(const std::string& path) {
+  BinaryReader r(path);
+  MMHAND_CHECK(r.read_u32() == kModelMagic, "not an mmHand model: " << path);
+  MMHAND_CHECK(r.read_u32() == 1, "unsupported model version in " << path);
+  MMHAND_CHECK(r.read_u32() == static_cast<std::uint32_t>(
+                                   config_.segment_frames) &&
+                   r.read_u32() == static_cast<std::uint32_t>(
+                                       config_.sequence_segments) &&
+                   r.read_u32() == static_cast<std::uint32_t>(
+                                       config_.velocity_bins) &&
+                   r.read_u32() == static_cast<std::uint32_t>(
+                                       config_.range_bins) &&
+                   r.read_u32() == static_cast<std::uint32_t>(
+                                       config_.angle_bins) &&
+                   r.read_u32() == static_cast<std::uint32_t>(
+                                       config_.temporal),
+               "checkpoint geometry differs from model config");
+  nn::load_parameters(parameters(), r);
+}
+
+void write_cube_frame(const radar::RadarCube& cube,
+                      const PoseNetConfig& config, float* dst) {
+  MMHAND_CHECK(cube.velocity_bins() == config.velocity_bins &&
+                   cube.range_bins() == config.range_bins &&
+                   cube.angle_bins() == config.angle_bins,
+               "cube dims " << cube.velocity_bins() << "x"
+                            << cube.range_bins() << "x" << cube.angle_bins()
+                            << " do not match the network config");
+  const auto& data = cube.data();
+  // Noise-floor subtraction: most cube cells hold thermal-noise speckle
+  // whose log-magnitude fluctuations would dominate the input energy; the
+  // per-frame median estimates that floor robustly (the hand occupies only
+  // a small fraction of cells), and clamping at zero leaves a sparse,
+  // signal-only tensor for the network.
+  std::vector<float> sorted(data);
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  const float floor =
+      config.noise_floor_scale * sorted[sorted.size() / 2];
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const float v = std::max(0.0f, data[i] - floor);
+    dst[i] = v * config.cube_scale + config.cube_offset;
+  }
+}
+
+}  // namespace mmhand::pose

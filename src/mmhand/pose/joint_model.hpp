@@ -1,0 +1,83 @@
+#pragma once
+
+// The full 3-D hand joint regression network (§IV, Fig. 5): mmSpaceNet
+// spatial features per frame, a per-segment feature projection, an LSTM
+// over the segment sequence, and a fully-connected head that regresses the
+// 21 joints' 3-D positions per segment.
+
+#include <memory>
+#include <string>
+
+#include "mmhand/nn/gru.hpp"
+#include "mmhand/nn/linear.hpp"
+#include "mmhand/nn/lstm.hpp"
+#include "mmhand/pose/mmspacenet.hpp"
+#include "mmhand/radar/radar_cube.hpp"
+
+namespace mmhand::pose {
+
+/// Temporal feature extractor choice.  The paper uses an LSTM (§IV-A);
+/// the alternatives exist for the temporal-model ablation.
+enum class TemporalKind { kLstm, kGru, kNone };
+
+struct PoseNetConfig {
+  int segment_frames = 2;     ///< st: consecutive frames per segment
+  int sequence_segments = 4;  ///< S: segments per LSTM sequence
+  int velocity_bins = 16;     ///< V of the radar cube
+  int range_bins = 24;        ///< D of the radar cube
+  int angle_bins = 24;        ///< A of the radar cube (azimuth + elevation)
+  int feature_dim = 160;      ///< per-segment feature vector
+  int lstm_hidden = 96;
+  TemporalKind temporal = TemporalKind::kLstm;
+  MmSpaceNetConfig spacenet;
+  /// Input normalization applied to the log1p cube values: a per-frame
+  /// median noise floor (scaled by noise_floor_scale) is subtracted and
+  /// clamped at zero, then affine-mapped by scale/offset.
+  float noise_floor_scale = 1.3f;
+  float cube_scale = 0.4f;
+  float cube_offset = -0.5f;
+
+  int frames_per_sample() const {
+    return segment_frames * sequence_segments;
+  }
+  void validate() const;
+};
+
+class HandJointRegressor {
+ public:
+  HandJointRegressor(const PoseNetConfig& config, Rng& rng);
+
+  /// x: [S*st, V, D, A] normalized cube frames of one sample.
+  /// Returns [S, 63]: 21 joints x (x, y, z) meters per segment.
+  nn::Tensor forward(const nn::Tensor& x, bool training);
+
+  /// grad: [S, 63].  Accumulates parameter gradients.
+  void backward(const nn::Tensor& grad);
+
+  std::vector<nn::Parameter*> parameters();
+
+  const PoseNetConfig& config() const { return config_; }
+
+  /// Initializes the head bias so the network starts predicting `mean`
+  /// (the training labels' mean), which centers the regression problem.
+  void set_output_bias(const nn::Tensor& mean63);
+
+  void save(const std::string& path);
+  void load(const std::string& path);
+
+ private:
+  PoseNetConfig config_;
+  MmSpaceNet spacenet_;
+  nn::Linear segment_fc_;
+  nn::ReLU segment_act_;
+  std::unique_ptr<nn::Layer> temporal_;  ///< LSTM / GRU / null (ablation)
+  nn::Linear head_;
+  int flat_features_ = 0;
+};
+
+/// Converts a radar cube into a normalized [V, D, A] tensor slice laid out
+/// for the network (the frame dimension is stacked by the sample builder).
+void write_cube_frame(const radar::RadarCube& cube,
+                      const PoseNetConfig& config, float* dst);
+
+}  // namespace mmhand::pose

@@ -1,0 +1,125 @@
+#include "mmhand/pose/kinematic_loss.hpp"
+
+#include <cmath>
+
+#include "mmhand/common/vec3.hpp"
+
+namespace mmhand::pose {
+
+namespace {
+
+Vec3 joint_of(const nn::Tensor& t, int joint) {
+  const std::size_t b = static_cast<std::size_t>(3 * joint);
+  return Vec3{t[b], t[b + 1], t[b + 2]};
+}
+
+void add_grad(nn::Tensor& grad, int joint, const Vec3& g) {
+  const std::size_t b = static_cast<std::size_t>(3 * joint);
+  grad[b] += static_cast<float>(g.x);
+  grad[b + 1] += static_cast<float>(g.y);
+  grad[b + 2] += static_cast<float>(g.z);
+}
+
+/// d|b - a| contribution: returns unit vector from a to b (grad w.r.t. b;
+/// negate for a).  Zero-safe.
+Vec3 unit_or_zero(const Vec3& v) {
+  const double n = v.norm();
+  return n > 1e-9 ? v / n : Vec3{};
+}
+
+}  // namespace
+
+bool finger_is_collinear(const nn::Tensor& gt, int finger,
+                         const KinematicLossConfig& config) {
+  MMHAND_CHECK(finger >= 0 && finger < hand::kNumFingers, "finger index");
+  const int base = 1 + 4 * finger;
+  const Vec3 a = joint_of(gt, base), b = joint_of(gt, base + 1),
+             c = joint_of(gt, base + 2), d = joint_of(gt, base + 3);
+  const double chain = distance(a, b) + distance(b, c) + distance(c, d);
+  const double direct = distance(a, d);
+  return direct > 1e-9 && chain < (1.0 + config.phi) * direct;
+}
+
+nn::LossResult kinematic_loss(const nn::Tensor& pred, const nn::Tensor& gt,
+                              const KinematicLossConfig& config) {
+  MMHAND_CHECK(pred.numel() == 63 && gt.numel() == 63,
+               "kinematic_loss expects 21x3 joints");
+  nn::LossResult out;
+  out.grad = nn::Tensor::zeros(pred.shape());
+
+  for (int f = 0; f < hand::kNumFingers; ++f) {
+    const int base = 1 + 4 * f;
+    const Vec3 a = joint_of(pred, base), b = joint_of(pred, base + 1),
+               c = joint_of(pred, base + 2), d = joint_of(pred, base + 3);
+    const Vec3 a_gt = joint_of(gt, base), b_gt = joint_of(gt, base + 1),
+               d_gt = joint_of(gt, base + 3);
+
+    if (finger_is_collinear(gt, f, config)) {
+      // --- Collinear case (Eq. 9). ---
+      const Vec3 e_d = unit_or_zero(d_gt - a_gt);
+      // Chain-length slack.
+      const double chain =
+          distance(a, b) + distance(b, c) + distance(c, d);
+      const double slack = chain - (1.0 + config.phi) * distance(a, d);
+      if (slack > 0.0) {
+        out.value += slack;
+        const Vec3 uab = unit_or_zero(b - a), ubc = unit_or_zero(c - b),
+                   ucd = unit_or_zero(d - c), uad = unit_or_zero(d - a);
+        add_grad(out.grad, base, -uab + (1.0 + config.phi) * uad);
+        add_grad(out.grad, base + 1, uab - ubc);
+        add_grad(out.grad, base + 2, ubc - ucd);
+        add_grad(out.grad, base + 3, ucd - (1.0 + config.phi) * uad);
+      }
+      // Per-phalange alignment hinges.
+      const std::array<std::pair<int, int>, 3> bones{
+          std::pair{base, base + 1}, std::pair{base + 1, base + 2},
+          std::pair{base + 2, base + 3}};
+      for (const auto& [ja, jb] : bones) {
+        const Vec3 v = joint_of(pred, jb) - joint_of(pred, ja);
+        const double n = v.norm();
+        if (n < 1e-9) continue;
+        const double cosang = v.dot(e_d) / n;
+        const double hinge = config.t - cosang;
+        if (hinge > 0.0) {
+          out.value += hinge;
+          // d(cos)/dv = e/|v| - (v.e) v / |v|^3; loss grad is its negation.
+          const Vec3 dcos = e_d / n - v * (v.dot(e_d) / (n * n * n));
+          add_grad(out.grad, ja, dcos);
+          add_grad(out.grad, jb, -dcos);
+        }
+      }
+    } else {
+      // --- Coplanar case: phalanges orthogonal to the plane normal. ---
+      const Vec3 n_raw = (b_gt - a_gt).cross(d_gt - a_gt);
+      const Vec3 e_n = unit_or_zero(n_raw);
+      if (e_n.norm() < 0.5) continue;  // degenerate ground truth
+      const std::array<std::pair<int, int>, 3> bones{
+          std::pair{base, base + 1}, std::pair{base + 1, base + 2},
+          std::pair{base + 2, base + 3}};
+      for (const auto& [ja, jb] : bones) {
+        const Vec3 v = joint_of(pred, jb) - joint_of(pred, ja);
+        const double dot = v.dot(e_n);
+        out.value += std::abs(dot);
+        const Vec3 g = (dot >= 0.0 ? e_n : -e_n);
+        add_grad(out.grad, ja, -g);
+        add_grad(out.grad, jb, g);
+      }
+    }
+  }
+  return out;
+}
+
+nn::LossResult combined_pose_loss(const nn::Tensor& pred,
+                                  const nn::Tensor& gt,
+                                  const CombinedLossConfig& config) {
+  auto l3d = nn::joint_l2_loss(pred, gt);
+  const auto kine = kinematic_loss(pred, gt, config.kine);
+  nn::LossResult out;
+  out.value = config.beta * l3d.value + config.gamma * kine.value;
+  out.grad = std::move(l3d.grad);
+  out.grad.scale_(static_cast<float>(config.beta));
+  out.grad.axpy_(static_cast<float>(config.gamma), kine.grad);
+  return out;
+}
+
+}  // namespace mmhand::pose

@@ -1,0 +1,48 @@
+#pragma once
+
+// The hand kinematic loss L_kine (§IV-B, Eq. 9 and Fig. 7).
+//
+// Fingers are chains of rigid phalanges: when straight, the four joints
+// A, B, C, D are collinear; when bent, they remain coplanar.  The loss
+// selects the case per finger from the ground-truth geometry (lambda in the
+// paper) and penalizes predictions that violate it:
+//   collinear: chain-length slack  max(|AB|+|BC|+|CD| - (1+phi)|AD|, 0)
+//              plus alignment hinges max(t - cos(bone, e_d), 0),
+//   coplanar:  |AB.e_n| + |BC.e_n| + |CD.e_n|.
+// The finger direction e_d and plane normal e_n come from the ground truth
+// (constants w.r.t. the prediction), which keeps the gradient exact; the
+// magnitudes in the coplanar term are absolute values so the loss stays
+// non-negative (the paper's signed form assumes an orientation convention).
+
+#include "mmhand/hand/skeleton.hpp"
+#include "mmhand/nn/loss.hpp"
+
+namespace mmhand::pose {
+
+struct KinematicLossConfig {
+  double phi = 0.01;  ///< chain-length slack (paper: 0.01)
+  double t = 0.99;    ///< alignment threshold cos (paper: 0.99)
+};
+
+/// Computes L_kine and its gradient for one frame.  `pred` and `gt` are
+/// 63-element tensors of 21 (x, y, z) joints in meters.
+nn::LossResult kinematic_loss(const nn::Tensor& pred, const nn::Tensor& gt,
+                              const KinematicLossConfig& config = {});
+
+/// True when the ground-truth finger is straight enough for the collinear
+/// case (the paper's lambda selector).
+bool finger_is_collinear(const nn::Tensor& gt, int finger,
+                         const KinematicLossConfig& config = {});
+
+/// Combined loss L_total = beta * L3D + gamma * L_kine (§IV-B, Eq. 8).
+struct CombinedLossConfig {
+  double beta = 1.0;
+  double gamma = 0.1;
+  KinematicLossConfig kine;
+};
+
+nn::LossResult combined_pose_loss(const nn::Tensor& pred,
+                                  const nn::Tensor& gt,
+                                  const CombinedLossConfig& config = {});
+
+}  // namespace mmhand::pose

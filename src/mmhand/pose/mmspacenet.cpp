@@ -1,0 +1,111 @@
+#include "mmhand/pose/mmspacenet.hpp"
+
+namespace mmhand::pose {
+
+ResidualAttentionBlock::ResidualAttentionBlock(
+    int in_channels, int out_channels, Rng& rng,
+    const AttentionSwitches& attention)
+    : attention_(attention),
+      skip_(in_channels, out_channels, 1, 1, 0, rng),
+      down1_(in_channels, out_channels, 3, 2, 1, rng),
+      down2_(out_channels, out_channels, 3, 2, 1, rng),
+      up1_(out_channels, out_channels, 4, 2, 1, rng),
+      up2_(out_channels, out_channels, 4, 2, 1, rng),
+      frame_att_(rng),
+      channel_att_(out_channels, rng),
+      spatial_att_(rng, 5) {}
+
+nn::Tensor ResidualAttentionBlock::forward(const nn::Tensor& x,
+                                           bool training) {
+  MMHAND_CHECK(x.rank() == 4, "block expects [N, C, H, W]");
+  MMHAND_CHECK(x.dim(2) % 4 == 0 && x.dim(3) % 4 == 0,
+               "block needs extents divisible by 4, got " << x.dim(2) << "x"
+                                                          << x.dim(3));
+  // Branch 1: 1x1 channel adjustment at full resolution.
+  nn::Tensor skip = skip_.forward(x, training);
+  // Branch 2: hourglass (down x2, up x2) for fine-grained deep features.
+  nn::Tensor h = down1_.forward(x, training);
+  h = down1_act_.forward(h, training);
+  h = down2_.forward(h, training);
+  h = down2_act_.forward(h, training);
+  h = up1_.forward(h, training);
+  h = up1_act_.forward(h, training);
+  h = up2_.forward(h, training);
+  MMHAND_ASSERT(h.same_shape(skip));
+  h.add_(skip);
+
+  if (attention_.frame) h = frame_att_.forward(h, training);
+  if (attention_.channel) h = channel_att_.forward(h, training);
+  if (attention_.spatial) h = spatial_att_.forward(h, training);
+  return out_act_.forward(h, training);
+}
+
+nn::Tensor ResidualAttentionBlock::backward(const nn::Tensor& grad_out) {
+  nn::Tensor g = out_act_.backward(grad_out);
+  if (attention_.spatial) g = spatial_att_.backward(g);
+  if (attention_.channel) g = channel_att_.backward(g);
+  if (attention_.frame) g = frame_att_.backward(g);
+
+  // The merge point: gradient flows into both branches.
+  nn::Tensor g_skip = skip_.backward(g);
+  nn::Tensor g_main = up2_.backward(g);
+  g_main = up1_act_.backward(g_main);
+  g_main = up1_.backward(g_main);
+  g_main = down2_act_.backward(g_main);
+  g_main = down2_.backward(g_main);
+  g_main = down1_act_.backward(g_main);
+  g_main = down1_.backward(g_main);
+  g_skip.add_(g_main);
+  return g_skip;
+}
+
+std::vector<nn::Parameter*> ResidualAttentionBlock::parameters() {
+  std::vector<nn::Parameter*> out;
+  for (nn::Layer* l :
+       std::initializer_list<nn::Layer*>{&skip_, &down1_, &down2_, &up1_,
+                                         &up2_, &frame_att_, &channel_att_,
+                                         &spatial_att_}) {
+    const auto p = l->parameters();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+MmSpaceNet::MmSpaceNet(const MmSpaceNetConfig& config, Rng& rng)
+    : config_(config),
+      stem_(config.input_channels, config.stem_channels, 3, 2, 1, rng),
+      block1_(config.stem_channels, config.block1_channels, rng,
+              config.attention),
+      block2_(config.block1_channels, config.block2_channels, rng,
+              config.attention),
+      reduce_(config.block2_channels, config.block2_channels, 3, 2, 1, rng) {}
+
+nn::Tensor MmSpaceNet::forward(const nn::Tensor& x, bool training) {
+  nn::Tensor h = stem_.forward(x, training);
+  h = stem_act_.forward(h, training);
+  h = block1_.forward(h, training);
+  h = block2_.forward(h, training);
+  h = reduce_.forward(h, training);
+  return reduce_act_.forward(h, training);
+}
+
+nn::Tensor MmSpaceNet::backward(const nn::Tensor& grad_out) {
+  nn::Tensor g = reduce_act_.backward(grad_out);
+  g = reduce_.backward(g);
+  g = block2_.backward(g);
+  g = block1_.backward(g);
+  g = stem_act_.backward(g);
+  return stem_.backward(g);
+}
+
+std::vector<nn::Parameter*> MmSpaceNet::parameters() {
+  std::vector<nn::Parameter*> out;
+  for (nn::Layer* l : std::initializer_list<nn::Layer*>{&stem_, &block1_,
+                                                        &block2_, &reduce_}) {
+    const auto p = l->parameters();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+}  // namespace mmhand::pose

@@ -1,0 +1,97 @@
+#pragma once
+
+// mmSpaceNet (§IV-A, Fig. 5): an attention-based hourglass network that
+// extracts multi-scale spatial features of the hand from Radar Cube frames.
+//
+// Each residual block has two branches: a 1x1 convolution that preserves
+// the current level's features, and an hourglass branch that downsamples
+// with strided convolutions and upsamples with deconvolutions to capture
+// fine-grained high-dimensional features.  Every block applies the
+// two-stage channel attention and the 3-D spatial attention.
+//
+// Frames are independent through the convolutional trunk (the frame
+// attention weighs each frame by its own pooled descriptor), so a whole
+// sequence of segments is batched as [S*st, V, D, A].
+
+#include <memory>
+
+#include "mmhand/nn/activations.hpp"
+#include "mmhand/nn/attention.hpp"
+#include "mmhand/nn/conv2d.hpp"
+#include "mmhand/nn/linear.hpp"
+
+namespace mmhand::pose {
+
+struct AttentionSwitches {
+  bool frame = true;    ///< stage-1 channel attention (frame channels)
+  bool channel = true;  ///< stage-2 channel attention (velocity channels)
+  bool spatial = true;  ///< 3-D spatial attention
+};
+
+/// One attention residual block of mmSpaceNet.
+class ResidualAttentionBlock : public nn::Layer {
+ public:
+  ResidualAttentionBlock(int in_channels, int out_channels, Rng& rng,
+                         const AttentionSwitches& attention = {});
+
+  nn::Tensor forward(const nn::Tensor& x, bool training) override;
+  nn::Tensor backward(const nn::Tensor& grad_out) override;
+  std::vector<nn::Parameter*> parameters() override;
+  std::string name() const override { return "ResidualAttentionBlock"; }
+
+ private:
+  AttentionSwitches attention_;
+  // Skip branch: preserves the current level.
+  nn::Conv2d skip_;
+  // Hourglass branch: down twice, up twice.
+  nn::Conv2d down1_;
+  nn::ReLU down1_act_;
+  nn::Conv2d down2_;
+  nn::ReLU down2_act_;
+  nn::ConvTranspose2d up1_;
+  nn::ReLU up1_act_;
+  nn::ConvTranspose2d up2_;
+  // Attention stack on the merged features.
+  nn::FrameChannelAttention frame_att_;
+  nn::ChannelAttention channel_att_;
+  nn::SpatialAttention spatial_att_;
+  nn::ReLU out_act_;
+};
+
+struct MmSpaceNetConfig {
+  int input_channels = 16;  ///< velocity bins V of the cube
+  int stem_channels = 12;
+  int block1_channels = 16;
+  int block2_channels = 20;
+  AttentionSwitches attention;
+};
+
+/// The full spatial feature extractor: stem conv, two attention residual
+/// blocks, and a final strided reduction.  Input [N, V, D, A]; output
+/// [N, C2, D/4, A/4].
+class MmSpaceNet : public nn::Layer {
+ public:
+  MmSpaceNet(const MmSpaceNetConfig& config, Rng& rng);
+
+  nn::Tensor forward(const nn::Tensor& x, bool training) override;
+  nn::Tensor backward(const nn::Tensor& grad_out) override;
+  std::vector<nn::Parameter*> parameters() override;
+  std::string name() const override { return "MmSpaceNet"; }
+
+  const MmSpaceNetConfig& config() const { return config_; }
+  /// Channels of the output feature map.
+  int out_channels() const { return config_.block2_channels; }
+  /// Spatial reduction factor (input extent / output extent).
+  static constexpr int kSpatialReduction = 4;
+
+ private:
+  MmSpaceNetConfig config_;
+  nn::Conv2d stem_;
+  nn::ReLU stem_act_;
+  ResidualAttentionBlock block1_;
+  ResidualAttentionBlock block2_;
+  nn::Conv2d reduce_;
+  nn::ReLU reduce_act_;
+};
+
+}  // namespace mmhand::pose

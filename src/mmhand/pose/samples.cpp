@@ -1,0 +1,83 @@
+#include "mmhand/pose/samples.hpp"
+
+namespace mmhand::pose {
+
+namespace {
+
+void write_joints_row(const hand::JointSet& joints, nn::Tensor& rows,
+                      int row) {
+  for (int j = 0; j < hand::kNumJoints; ++j) {
+    rows.at(row, 3 * j) = static_cast<float>(joints[static_cast<std::size_t>(j)].x);
+    rows.at(row, 3 * j + 1) =
+        static_cast<float>(joints[static_cast<std::size_t>(j)].y);
+    rows.at(row, 3 * j + 2) =
+        static_cast<float>(joints[static_cast<std::size_t>(j)].z);
+  }
+}
+
+}  // namespace
+
+std::vector<PoseSample> make_pose_samples(const sim::Recording& recording,
+                                          const PoseNetConfig& config,
+                                          int stride) {
+  config.validate();
+  const int window = config.frames_per_sample();
+  if (stride <= 0) stride = window;
+  const int n_frames = static_cast<int>(recording.frames.size());
+
+  std::vector<PoseSample> samples;
+  const std::size_t frame_elems =
+      static_cast<std::size_t>(config.velocity_bins) * config.range_bins *
+      config.angle_bins;
+  for (int start = 0; start + window <= n_frames; start += stride) {
+    PoseSample sample;
+    sample.user_id = recording.user_id;
+    sample.input = nn::Tensor({window, config.velocity_bins,
+                               config.range_bins, config.angle_bins});
+    sample.labels = nn::Tensor({config.sequence_segments, 63});
+    sample.oracle = nn::Tensor({config.sequence_segments, 63});
+    for (int f = 0; f < window; ++f) {
+      const auto& rec = recording.frames[static_cast<std::size_t>(start + f)];
+      write_cube_frame(rec.cube, config,
+                       sample.input.data() +
+                           static_cast<std::size_t>(f) * frame_elems);
+    }
+    for (int s = 0; s < config.sequence_segments; ++s) {
+      const int label_frame = start + (s + 1) * config.segment_frames - 1;
+      const auto& rec =
+          recording.frames[static_cast<std::size_t>(label_frame)];
+      write_joints_row(rec.joints, sample.labels, s);
+      write_joints_row(rec.true_joints, sample.oracle, s);
+      sample.label_frames.push_back(label_frame);
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+nn::Tensor label_mean(const std::vector<PoseSample>& samples) {
+  MMHAND_CHECK(!samples.empty(), "label_mean of empty sample set");
+  nn::Tensor mean = nn::Tensor::zeros({63});
+  std::size_t rows = 0;
+  for (const auto& s : samples) {
+    for (int r = 0; r < s.labels.dim(0); ++r) {
+      for (int c = 0; c < 63; ++c) mean[static_cast<std::size_t>(c)] +=
+          s.labels.at(r, c);
+      ++rows;
+    }
+  }
+  mean.scale_(1.0f / static_cast<float>(rows));
+  return mean;
+}
+
+hand::JointSet row_to_joints(const nn::Tensor& rows, int row) {
+  MMHAND_CHECK(rows.rank() == 2 && rows.dim(1) == 63, "row_to_joints shape");
+  hand::JointSet joints;
+  for (int j = 0; j < hand::kNumJoints; ++j)
+    joints[static_cast<std::size_t>(j)] =
+        Vec3{rows.at(row, 3 * j), rows.at(row, 3 * j + 1),
+             rows.at(row, 3 * j + 2)};
+  return joints;
+}
+
+}  // namespace mmhand::pose

@@ -1,0 +1,33 @@
+#pragma once
+
+// Converts recordings into network samples: sliding windows of
+// S segments x st frames with one 63-D joint label per segment.
+
+#include <vector>
+
+#include "mmhand/pose/joint_model.hpp"
+#include "mmhand/sim/dataset.hpp"
+
+namespace mmhand::pose {
+
+struct PoseSample {
+  nn::Tensor input;   ///< [S*st, V, D, A], normalized
+  nn::Tensor labels;  ///< [S, 63] noisy ground-truth joints (meters)
+  nn::Tensor oracle;  ///< [S, 63] noise-free joints (evaluation reference)
+  std::vector<int> label_frames;  ///< recording frame index per segment
+  int user_id = 0;
+};
+
+/// Cuts a recording into samples.  `stride` is the window hop in frames
+/// (defaults to a full non-overlapping window).
+std::vector<PoseSample> make_pose_samples(const sim::Recording& recording,
+                                          const PoseNetConfig& config,
+                                          int stride = 0);
+
+/// Mean of all labels, used to center the regression head.
+nn::Tensor label_mean(const std::vector<PoseSample>& samples);
+
+/// Converts one 63-float row into a JointSet.
+hand::JointSet row_to_joints(const nn::Tensor& rows, int row);
+
+}  // namespace mmhand::pose

@@ -1,0 +1,124 @@
+#include "mmhand/pose/sequence_matcher.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "mmhand/common/error.hpp"
+#include "mmhand/hand/kinematics.hpp"
+
+namespace mmhand::pose {
+
+std::vector<double> skeleton_descriptor(const hand::JointSet& joints) {
+  static constexpr int kTips[5] = {4, 8, 12, 16, 20};
+  const Vec3 wrist = joints[hand::kWrist];
+  std::vector<double> d;
+  d.reserve(15);
+  for (int tip : kTips)
+    d.push_back(distance(joints[static_cast<std::size_t>(tip)], wrist));
+  for (int a = 0; a < 5; ++a)
+    for (int b = a + 1; b < 5; ++b)
+      d.push_back(distance(joints[static_cast<std::size_t>(kTips[a])],
+                           joints[static_cast<std::size_t>(kTips[b])]));
+  return d;
+}
+
+namespace {
+
+double l1(const std::vector<double>& a, const std::vector<double>& b) {
+  MMHAND_CHECK(a.size() == b.size(), "descriptor size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += std::abs(a[i] - b[i]);
+  return s;
+}
+
+}  // namespace
+
+double dtw_distance(const DescriptorSequence& a,
+                    const DescriptorSequence& b) {
+  MMHAND_CHECK(!a.empty() && !b.empty(), "DTW over an empty sequence");
+  const std::size_t n = a.size(), m = b.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Rolling two-row DP over the accumulated-cost matrix; a parallel table
+  // tracks path lengths for the normalized distance.
+  std::vector<double> prev(m + 1, kInf), cur(m + 1, kInf);
+  std::vector<double> prev_len(m + 1, 0.0), cur_len(m + 1, 0.0);
+  prev[0] = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    cur[0] = kInf;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const double cost = l1(a[i - 1], b[j - 1]);
+      double best = prev[j - 1];
+      double best_len = prev_len[j - 1];
+      if (prev[j] < best) {
+        best = prev[j];
+        best_len = prev_len[j];
+      }
+      if (cur[j - 1] < best) {
+        best = cur[j - 1];
+        best_len = cur_len[j - 1];
+      }
+      cur[j] = cost + best;
+      cur_len[j] = best_len + 1.0;
+    }
+    std::swap(prev, cur);
+    std::swap(prev_len, cur_len);
+  }
+  return prev[m] / prev_len[m];
+}
+
+void SequenceMatcher::add_template(SequenceTemplate tmpl) {
+  MMHAND_CHECK(!tmpl.frames.empty(), "empty sequence template");
+  templates_.push_back(std::move(tmpl));
+}
+
+void SequenceMatcher::add_template(const std::string& name,
+                                   const std::vector<hand::Gesture>& chain,
+                                   int hold_frames, int blend_frames) {
+  MMHAND_CHECK(!chain.empty(), "empty gesture chain");
+  MMHAND_CHECK(hold_frames >= 1 && blend_frames >= 0, "template timing");
+  const auto profile = hand::HandProfile::reference();
+
+  auto pose_of = [&](hand::Gesture g) {
+    hand::HandPose pose;
+    pose.fingers = hand::gesture_articulation(g);
+    return pose;
+  };
+
+  SequenceTemplate tmpl;
+  tmpl.name = name;
+  for (std::size_t k = 0; k < chain.size(); ++k) {
+    const hand::HandPose held = pose_of(chain[k]);
+    for (int f = 0; f < hold_frames; ++f)
+      tmpl.frames.push_back(skeleton_descriptor(
+          hand::forward_kinematics(profile, held)));
+    if (k + 1 < chain.size()) {
+      const hand::HandPose next = pose_of(chain[k + 1]);
+      for (int f = 1; f <= blend_frames; ++f) {
+        const double t = static_cast<double>(f) / (blend_frames + 1);
+        tmpl.frames.push_back(skeleton_descriptor(hand::forward_kinematics(
+            profile, hand::HandPose::lerp(held, next, t))));
+      }
+    }
+  }
+  add_template(std::move(tmpl));
+}
+
+SequenceMatcher::Match SequenceMatcher::match(
+    const std::vector<hand::JointSet>& skeletons) const {
+  MMHAND_CHECK(!templates_.empty(), "matcher has no templates");
+  MMHAND_CHECK(!skeletons.empty(), "matching an empty skeleton stream");
+  DescriptorSequence query;
+  query.reserve(skeletons.size());
+  for (const auto& joints : skeletons)
+    query.push_back(skeleton_descriptor(joints));
+
+  Match best{templates_.front().name,
+             std::numeric_limits<double>::infinity()};
+  for (const auto& tmpl : templates_) {
+    const double d = dtw_distance(query, tmpl.frames);
+    if (d < best.distance) best = {tmpl.name, d};
+  }
+  return best;
+}
+
+}  // namespace mmhand::pose

@@ -1,0 +1,61 @@
+#pragma once
+
+// Dynamic-time-warping sequence matching over skeleton streams.
+//
+// The paper motivates mmHand with sign-language understanding (§I), which
+// needs more than per-frame gesture labels: a *sequence* of hand shapes
+// forms the sign.  This module matches a stream of predicted skeletons
+// against reference gesture sequences under DTW, tolerating the timing
+// variation of natural signing.
+
+#include <string>
+#include <vector>
+
+#include "mmhand/hand/gesture.hpp"
+#include "mmhand/hand/skeleton.hpp"
+
+namespace mmhand::pose {
+
+/// A skeleton descriptor sequence (one descriptor per frame).
+using DescriptorSequence = std::vector<std::vector<double>>;
+
+/// Rotation/translation-invariant per-frame descriptor (shared with the
+/// GestureClassifier's feature design).
+std::vector<double> skeleton_descriptor(const hand::JointSet& joints);
+
+/// Classic DTW distance between two descriptor sequences under the L1
+/// ground metric, normalized by the warping-path length.
+double dtw_distance(const DescriptorSequence& a, const DescriptorSequence& b);
+
+/// A named reference sequence (e.g. the sign "1-2-3" as a gesture chain).
+struct SequenceTemplate {
+  std::string name;
+  DescriptorSequence frames;
+};
+
+class SequenceMatcher {
+ public:
+  /// Registers a template built from a gesture chain: each gesture is held
+  /// for `hold_frames` with linear transitions of `blend_frames` between
+  /// consecutive gestures (reference profile kinematics).
+  void add_template(const std::string& name,
+                    const std::vector<hand::Gesture>& chain,
+                    int hold_frames = 4, int blend_frames = 3);
+
+  /// Registers a raw descriptor sequence.
+  void add_template(SequenceTemplate tmpl);
+
+  /// Name and DTW distance of the best-matching template.
+  struct Match {
+    std::string name;
+    double distance = 0.0;
+  };
+  Match match(const std::vector<hand::JointSet>& skeletons) const;
+
+  std::size_t size() const { return templates_.size(); }
+
+ private:
+  std::vector<SequenceTemplate> templates_;
+};
+
+}  // namespace mmhand::pose

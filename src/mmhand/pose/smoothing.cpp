@@ -1,0 +1,98 @@
+#include "mmhand/pose/smoothing.hpp"
+
+#include <algorithm>
+
+namespace mmhand::pose {
+
+EmaSmoother::EmaSmoother(double alpha) : alpha_(alpha) {
+  MMHAND_CHECK(alpha > 0.0 && alpha <= 1.0, "EMA alpha " << alpha);
+}
+
+hand::JointSet EmaSmoother::filter(const hand::JointSet& observation) {
+  if (!initialized_) {
+    state_ = observation;
+    initialized_ = true;
+    return state_;
+  }
+  for (int j = 0; j < hand::kNumJoints; ++j) {
+    auto& s = state_[static_cast<std::size_t>(j)];
+    const auto& o = observation[static_cast<std::size_t>(j)];
+    s = s * (1.0 - alpha_) + o * alpha_;
+  }
+  return state_;
+}
+
+JointKalmanSmoother::JointKalmanSmoother(const KalmanConfig& config)
+    : config_(config) {
+  MMHAND_CHECK(config.dt > 0.0 && config.process_noise > 0.0 &&
+                   config.measurement_noise > 0.0,
+               "Kalman config");
+}
+
+void JointKalmanSmoother::reset() {
+  initialized_ = false;
+  tracks_ = {};
+}
+
+hand::JointSet JointKalmanSmoother::filter(
+    const hand::JointSet& observation) {
+  const double dt = config_.dt;
+  const double q = config_.process_noise;
+  const double r = config_.measurement_noise;
+
+  hand::JointSet out{};
+  for (int j = 0; j < hand::kNumJoints; ++j) {
+    const Vec3& obs = observation[static_cast<std::size_t>(j)];
+    const double coords[3] = {obs.x, obs.y, obs.z};
+    double filtered[3];
+    for (int c = 0; c < 3; ++c) {
+      Track& t = tracks_[static_cast<std::size_t>(j)]
+                        [static_cast<std::size_t>(c)];
+      if (!initialized_) {
+        t.pos = coords[c];
+        t.vel = 0.0;
+        t.p00 = r;
+        t.p01 = 0.0;
+        t.p11 = 1.0;
+        filtered[c] = coords[c];
+        continue;
+      }
+      // Predict: x' = F x, P' = F P F^T + Q (white-acceleration model).
+      const double pos_pred = t.pos + dt * t.vel;
+      const double p00 = t.p00 + dt * (t.p01 + t.p01 + dt * t.p11) +
+                         q * dt * dt * dt * dt / 4.0;
+      const double p01 = t.p01 + dt * t.p11 + q * dt * dt * dt / 2.0;
+      const double p11 = t.p11 + q * dt * dt;
+      // Update with the scalar position measurement.
+      const double innovation = coords[c] - pos_pred;
+      const double s_cov = p00 + r;
+      const double k0 = p00 / s_cov;
+      const double k1 = p01 / s_cov;
+      t.pos = pos_pred + k0 * innovation;
+      t.vel = t.vel + k1 * innovation;
+      t.p00 = (1.0 - k0) * p00;
+      t.p01 = (1.0 - k0) * p01;
+      t.p11 = p11 - k1 * p01;
+      filtered[c] = t.pos;
+    }
+    out[static_cast<std::size_t>(j)] =
+        Vec3{filtered[0], filtered[1], filtered[2]};
+  }
+  initialized_ = true;
+  return out;
+}
+
+std::vector<FramePrediction> smooth_predictions(
+    const std::vector<FramePrediction>& predictions,
+    const KalmanConfig& config) {
+  std::vector<FramePrediction> sorted = predictions;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const FramePrediction& a, const FramePrediction& b) {
+              return a.frame_index < b.frame_index;
+            });
+  JointKalmanSmoother smoother(config);
+  for (auto& p : sorted) p.joints = smoother.filter(p.joints);
+  return sorted;
+}
+
+}  // namespace mmhand::pose

@@ -1,0 +1,63 @@
+#pragma once
+
+// Temporal smoothing of predicted skeletons.
+//
+// The network predicts each window independently; real interactive
+// deployments (§I's UI-control use case) smooth the stream.  Two filters
+// are provided: an exponential moving average and a per-coordinate
+// constant-velocity Kalman filter.  bench-free extension; evaluated by
+// tests and usable from the examples.
+
+#include <vector>
+
+#include "mmhand/pose/inference.hpp"
+
+namespace mmhand::pose {
+
+/// Exponential moving average over joint positions.
+class EmaSmoother {
+ public:
+  /// alpha in (0, 1]: weight of the newest observation (1 = passthrough).
+  explicit EmaSmoother(double alpha);
+
+  hand::JointSet filter(const hand::JointSet& observation);
+  void reset() { initialized_ = false; }
+
+ private:
+  double alpha_;
+  bool initialized_ = false;
+  hand::JointSet state_{};
+};
+
+/// Constant-velocity Kalman filter applied independently per joint
+/// coordinate: state [position, velocity], scalar measurements.
+struct KalmanConfig {
+  double dt = 0.04;                ///< seconds between observations
+  double process_noise = 4.0;     ///< acceleration spectral density (m/s^2)^2
+  double measurement_noise = 4e-4; ///< observation variance (m^2)
+};
+
+class JointKalmanSmoother {
+ public:
+  explicit JointKalmanSmoother(const KalmanConfig& config = {});
+
+  hand::JointSet filter(const hand::JointSet& observation);
+  void reset();
+
+ private:
+  struct Track {
+    double pos = 0.0, vel = 0.0;
+    // Covariance [p, v].
+    double p00 = 1.0, p01 = 0.0, p11 = 1.0;
+  };
+  KalmanConfig config_;
+  bool initialized_ = false;
+  std::array<std::array<Track, 3>, hand::kNumJoints> tracks_{};
+};
+
+/// Applies a smoother over a prediction stream (sorted by frame index).
+std::vector<FramePrediction> smooth_predictions(
+    const std::vector<FramePrediction>& predictions,
+    const KalmanConfig& config = {});
+
+}  // namespace mmhand::pose

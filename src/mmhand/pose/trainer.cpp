@@ -1,0 +1,66 @@
+#include "mmhand/pose/trainer.hpp"
+
+#include "mmhand/nn/optimizer.hpp"
+
+namespace mmhand::pose {
+
+TrainStats train_pose_model(HandJointRegressor& model,
+                            const std::vector<PoseSample>& samples,
+                            const TrainConfig& config) {
+  MMHAND_CHECK(!samples.empty(), "training needs samples");
+  MMHAND_CHECK(config.epochs >= 1 && config.batch_size >= 1, "train config");
+
+  // Center the regression: start the head at the label mean.
+  model.set_output_bias(label_mean(samples));
+
+  nn::Adam optimizer(model.parameters(), {.lr = config.lr});
+  Rng rng(config.seed);
+  const int s_rows = model.config().sequence_segments;
+
+  TrainStats stats;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    const double lr_scale = nn::cosine_decay(epoch, config.epochs);
+    const auto order = rng.permutation(static_cast<int>(samples.size()));
+    double epoch_loss = 0.0;
+    int since_step = 0;
+    optimizer.zero_grad();
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      const PoseSample& sample =
+          samples[static_cast<std::size_t>(order[k])];
+      nn::Tensor pred = model.forward(sample.input, /*training=*/true);
+      // Per-segment combined loss, averaged over the sequence.
+      nn::Tensor grad = nn::Tensor::zeros({s_rows, 63});
+      double sample_loss = 0.0;
+      for (int s = 0; s < s_rows; ++s) {
+        nn::Tensor pred_row({63}), gt_row({63});
+        for (int c = 0; c < 63; ++c) {
+          pred_row[static_cast<std::size_t>(c)] = pred.at(s, c);
+          gt_row[static_cast<std::size_t>(c)] = sample.labels.at(s, c);
+        }
+        const auto loss = combined_pose_loss(pred_row, gt_row, config.loss);
+        sample_loss += loss.value;
+        const float inv_rows = 1.0f / static_cast<float>(s_rows);
+        for (int c = 0; c < 63; ++c)
+          grad.at(s, c) = loss.grad[static_cast<std::size_t>(c)] * inv_rows;
+      }
+      epoch_loss += sample_loss / s_rows;
+      model.backward(grad);
+      if (++since_step >= config.batch_size || k + 1 == order.size()) {
+        optimizer.step(lr_scale);
+        optimizer.zero_grad();
+        since_step = 0;
+      }
+    }
+    epoch_loss /= static_cast<double>(samples.size());
+    stats.epoch_loss.push_back(epoch_loss);
+    if (config.on_epoch) config.on_epoch(epoch, epoch_loss);
+  }
+  return stats;
+}
+
+nn::Tensor predict_sample(HandJointRegressor& model,
+                          const PoseSample& sample) {
+  return model.forward(sample.input, /*training=*/false);
+}
+
+}  // namespace mmhand::pose

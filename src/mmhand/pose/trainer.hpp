@@ -1,0 +1,36 @@
+#pragma once
+
+// Training loop for the hand joint regressor: Adam, cosine learning-rate
+// decay, gradient accumulation over mini-batches, and the combined
+// L3D + L_kine supervision (§IV-B, §VI-A).
+
+#include <functional>
+
+#include "mmhand/pose/kinematic_loss.hpp"
+#include "mmhand/pose/samples.hpp"
+
+namespace mmhand::pose {
+
+struct TrainConfig {
+  int epochs = 10;
+  int batch_size = 8;      ///< samples per optimizer step (grad accumulation)
+  double lr = 1e-3;        ///< initial rate (paper: 0.001, cosine decay)
+  CombinedLossConfig loss;
+  std::uint64_t seed = 7;
+  /// Optional per-epoch callback (epoch index, mean training loss).
+  std::function<void(int, double)> on_epoch;
+};
+
+struct TrainStats {
+  std::vector<double> epoch_loss;  ///< mean per-sample loss per epoch
+};
+
+/// Trains the model in place on `samples`.
+TrainStats train_pose_model(HandJointRegressor& model,
+                            const std::vector<PoseSample>& samples,
+                            const TrainConfig& config);
+
+/// Runs inference on one sample; returns [S, 63].
+nn::Tensor predict_sample(HandJointRegressor& model, const PoseSample& sample);
+
+}  // namespace mmhand::pose

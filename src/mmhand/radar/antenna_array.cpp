@@ -1,0 +1,51 @@
+#include "mmhand/radar/antenna_array.hpp"
+
+#include <algorithm>
+
+#include "mmhand/common/error.hpp"
+
+namespace mmhand::radar {
+
+AntennaArray::AntennaArray(const ChirpConfig& config) {
+  MMHAND_CHECK(config.num_tx == 3 && config.num_rx == 4,
+               "AntennaArray models the IWR1443 3TX/4RX layout; got "
+                   << config.num_tx << "TX/" << config.num_rx << "RX");
+  const double lambda = config.wavelength_m();
+  spacing_ = lambda / 2.0;
+
+  // RX: 4 elements along azimuth at lambda/2 spacing.
+  rx_.reserve(4);
+  for (int i = 0; i < 4; ++i)
+    rx_.push_back(Vec3{static_cast<double>(i) * spacing_, 0.0, 0.0});
+
+  // TX: TX0 at origin, TX1 raised by lambda/2 and shifted lambda in
+  // azimuth, TX2 at 2*lambda azimuth.  TX0+TX2 against the RX row create an
+  // 8-element azimuth ULA; TX1 creates the elevation-offset row.
+  tx_ = {Vec3{0.0, 0.0, 0.0}, Vec3{2.0 * spacing_, 0.0, spacing_},
+         Vec3{4.0 * spacing_, 0.0, 0.0}};
+
+  for (int tx : {0, 2})
+    for (int rx = 0; rx < 4; ++rx) azimuth_row_.push_back({tx, rx});
+  std::sort(azimuth_row_.begin(), azimuth_row_.end(),
+            [this](const auto& a, const auto& b) {
+              return virtual_position(a.first, a.second).x <
+                     virtual_position(b.first, b.second).x;
+            });
+  for (int rx = 0; rx < 4; ++rx) elevation_row_.push_back({1, rx});
+}
+
+const Vec3& AntennaArray::tx_position(int tx) const {
+  MMHAND_CHECK(tx >= 0 && tx < num_tx(), "tx index " << tx);
+  return tx_[static_cast<std::size_t>(tx)];
+}
+
+const Vec3& AntennaArray::rx_position(int rx) const {
+  MMHAND_CHECK(rx >= 0 && rx < num_rx(), "rx index " << rx);
+  return rx_[static_cast<std::size_t>(rx)];
+}
+
+Vec3 AntennaArray::virtual_position(int tx, int rx) const {
+  return tx_position(tx) + rx_position(rx);
+}
+
+}  // namespace mmhand::radar

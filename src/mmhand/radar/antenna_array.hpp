@@ -1,0 +1,60 @@
+#pragma once
+
+// TDM-MIMO antenna geometry (§III).
+//
+// Models the IWR1443 layout: 4 RX antennas spaced lambda/2 along azimuth;
+// TX1 and TX3 spaced 2*lambda apart in azimuth, TX2 raised by lambda/2 in
+// elevation.  Activating the 3 TX in sequence against the always-on 4 RX
+// forms a virtual array with an 8-element azimuth row and a 4-element
+// elevation-offset row, which the pipeline uses to measure azimuth and
+// elevation simultaneously.
+
+#include <vector>
+
+#include "mmhand/common/vec3.hpp"
+#include "mmhand/radar/chirp_config.hpp"
+
+namespace mmhand::radar {
+
+/// Radar coordinate frame: the radar sits at the origin and boresight is
+/// +y; +x is azimuth (to the radar's right), +z is elevation (up).
+class AntennaArray {
+ public:
+  explicit AntennaArray(const ChirpConfig& config);
+
+  /// Physical TX antenna position (meters).
+  const Vec3& tx_position(int tx) const;
+  /// Physical RX antenna position (meters).
+  const Vec3& rx_position(int rx) const;
+
+  int num_tx() const { return static_cast<int>(tx_.size()); }
+  int num_rx() const { return static_cast<int>(rx_.size()); }
+  int num_virtual() const { return num_tx() * num_rx(); }
+
+  /// Virtual element position: tx_position + rx_position.
+  Vec3 virtual_position(int tx, int rx) const;
+
+  /// Indices (tx, rx) of the virtual elements forming the 8-element
+  /// azimuth row (elevation offset zero), ordered by increasing x.
+  const std::vector<std::pair<int, int>>& azimuth_row() const {
+    return azimuth_row_;
+  }
+  /// Indices of the elevation-offset row (TX2's virtual elements).
+  const std::vector<std::pair<int, int>>& elevation_row() const {
+    return elevation_row_;
+  }
+
+  /// Element spacing of the azimuth row in meters (lambda/2).
+  double azimuth_spacing_m() const { return spacing_; }
+  /// Vertical offset between the two rows in meters (lambda/2).
+  double elevation_offset_m() const { return spacing_; }
+
+ private:
+  std::vector<Vec3> tx_;
+  std::vector<Vec3> rx_;
+  std::vector<std::pair<int, int>> azimuth_row_;
+  std::vector<std::pair<int, int>> elevation_row_;
+  double spacing_ = 0.0;
+};
+
+}  // namespace mmhand::radar

@@ -1,0 +1,112 @@
+#include "mmhand/radar/if_simulator.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "mmhand/common/error.hpp"
+
+namespace mmhand::radar {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+IfFrame::IfFrame(int num_tx, int num_rx, int chirps, int samples)
+    : num_tx_(num_tx),
+      num_rx_(num_rx),
+      chirps_(chirps),
+      samples_(samples),
+      data_(static_cast<std::size_t>(num_tx) * num_rx * chirps * samples) {
+  MMHAND_CHECK(num_tx >= 1 && num_rx >= 1 && chirps >= 1 && samples >= 1,
+               "IfFrame dims");
+}
+
+std::size_t IfFrame::index(int tx, int rx, int chirp, int sample) const {
+  MMHAND_ASSERT(tx >= 0 && tx < num_tx_ && rx >= 0 && rx < num_rx_ &&
+                chirp >= 0 && chirp < chirps_ && sample >= 0 &&
+                sample < samples_);
+  return ((static_cast<std::size_t>(tx) * num_rx_ + rx) * chirps_ + chirp) *
+             samples_ +
+         sample;
+}
+
+std::complex<double>& IfFrame::at(int tx, int rx, int chirp, int sample) {
+  return data_[index(tx, rx, chirp, sample)];
+}
+const std::complex<double>& IfFrame::at(int tx, int rx, int chirp,
+                                        int sample) const {
+  return data_[index(tx, rx, chirp, sample)];
+}
+
+std::complex<double>* IfFrame::chirp_data(int tx, int rx, int chirp) {
+  return &data_[index(tx, rx, chirp, 0)];
+}
+const std::complex<double>* IfFrame::chirp_data(int tx, int rx,
+                                                int chirp) const {
+  return &data_[index(tx, rx, chirp, 0)];
+}
+
+IfSimulator::IfSimulator(const ChirpConfig& config, const AntennaArray& array)
+    : config_(config), array_(array) {
+  config_.validate();
+}
+
+IfFrame IfSimulator::simulate_frame(const Scene& scene, double frame_time,
+                                    Rng& rng) const {
+  const int n_tx = config_.num_tx;
+  const int n_rx = config_.num_rx;
+  const int n_chirp = config_.chirps_per_frame;
+  const int n_samp = config_.samples_per_chirp;
+  IfFrame frame(n_tx, n_rx, n_chirp, n_samp);
+
+  const double slope = config_.slope_hz_per_s();
+  const double f0 = config_.start_freq_hz;
+  const double dt = 1.0 / config_.sample_rate_hz();
+  const double tc = config_.chirp_duration_s;
+
+  for (const Scatterer& s : scene) {
+    const double amp = s.observed_amplitude();
+    if (amp <= 0.0) continue;
+    for (int chirp = 0; chirp < n_chirp; ++chirp) {
+      for (int tx = 0; tx < n_tx; ++tx) {
+        // TDM: within one chirp loop the TX antennas fire in sequence.
+        const double chirp_time =
+            frame_time +
+            (static_cast<double>(chirp) * n_tx + tx) * tc;
+        const Vec3 pos = s.position + s.velocity * chirp_time;
+        const double d_tx = distance(pos, array_.tx_position(tx));
+        for (int rx = 0; rx < n_rx; ++rx) {
+          const double d_rx = distance(pos, array_.rx_position(rx));
+          const double tau = (d_tx + d_rx) / kSpeedOfLight;
+          // Per-sample phase advances linearly: phi(m) = 2*pi*(f0*tau +
+          // S*tau*m*dt).  Use an incremental complex rotation so each
+          // sample costs one complex multiply.
+          const double phi0 = kTwoPi * f0 * tau;
+          const double dphi = kTwoPi * slope * tau * dt;
+          std::complex<double> phasor = std::polar(amp, phi0);
+          const std::complex<double> rot = std::polar(1.0, dphi);
+          std::complex<double>* out = frame.chirp_data(tx, rx, chirp);
+          for (int m = 0; m < n_samp; ++m) {
+            out[m] += phasor;
+            phasor *= rot;
+          }
+        }
+      }
+    }
+  }
+
+  if (config_.noise_stddev > 0.0) {
+    const double sigma = config_.noise_stddev;
+    for (int tx = 0; tx < n_tx; ++tx)
+      for (int rx = 0; rx < n_rx; ++rx)
+        for (int chirp = 0; chirp < n_chirp; ++chirp) {
+          std::complex<double>* out = frame.chirp_data(tx, rx, chirp);
+          for (int m = 0; m < n_samp; ++m)
+            out[m] += std::complex<double>{rng.normal(0.0, sigma),
+                                           rng.normal(0.0, sigma)};
+        }
+  }
+  return frame;
+}
+
+}  // namespace mmhand::radar

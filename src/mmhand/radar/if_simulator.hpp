@@ -1,0 +1,69 @@
+#pragma once
+
+// FMCW IF signal synthesis — the substitute for the IWR1443 + DCA1000
+// capture chain (DESIGN.md §2).
+//
+// For each scatterer, TX antenna, RX antenna and chirp, the round-trip
+// delay tau = (|p - p_tx| + |p - p_rx|) / c produces an IF tone (Eq.(1)):
+//   x_IF(t) = A * exp(j*2*pi*(f0*tau + S*tau*t)),
+// with S the chirp slope.  Scatterer motion between chirps makes tau vary
+// across the chirp train, which is exactly where Doppler information comes
+// from; different RX positions change tau by fractions of a wavelength,
+// which is where angle information comes from.  No approximation separates
+// the three effects — the downstream FFT pipeline recovers them just as it
+// would from real hardware.
+
+#include <complex>
+#include <vector>
+
+#include "mmhand/common/rng.hpp"
+#include "mmhand/radar/antenna_array.hpp"
+#include "mmhand/radar/chirp_config.hpp"
+#include "mmhand/radar/scatterer.hpp"
+
+namespace mmhand::radar {
+
+/// Raw IF samples of one frame, indexed [tx][rx][chirp][sample].
+class IfFrame {
+ public:
+  IfFrame(int num_tx, int num_rx, int chirps, int samples);
+
+  std::complex<double>& at(int tx, int rx, int chirp, int sample);
+  const std::complex<double>& at(int tx, int rx, int chirp,
+                                 int sample) const;
+
+  /// Contiguous samples of one chirp.
+  std::complex<double>* chirp_data(int tx, int rx, int chirp);
+  const std::complex<double>* chirp_data(int tx, int rx, int chirp) const;
+
+  int num_tx() const { return num_tx_; }
+  int num_rx() const { return num_rx_; }
+  int chirps() const { return chirps_; }
+  int samples() const { return samples_; }
+
+ private:
+  std::size_t index(int tx, int rx, int chirp, int sample) const;
+
+  int num_tx_, num_rx_, chirps_, samples_;
+  std::vector<std::complex<double>> data_;
+};
+
+/// Synthesizes IF frames from point-scatterer scenes.
+class IfSimulator {
+ public:
+  IfSimulator(const ChirpConfig& config, const AntennaArray& array);
+
+  /// Simulates one frame starting at `frame_time` seconds.  Scatterer
+  /// positions are advanced by their velocity to each chirp's timestamp.
+  /// Thermal noise with the configured stddev is added per sample.
+  IfFrame simulate_frame(const Scene& scene, double frame_time,
+                         Rng& rng) const;
+
+  const ChirpConfig& config() const { return config_; }
+
+ private:
+  ChirpConfig config_;
+  const AntennaArray& array_;
+};
+
+}  // namespace mmhand::radar

@@ -1,0 +1,207 @@
+#include "mmhand/radar/pipeline.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "mmhand/dsp/fft.hpp"
+
+namespace mmhand::radar {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+using Cd = std::complex<double>;
+
+}  // namespace
+
+RadarPipeline::RadarPipeline(const ChirpConfig& chirp,
+                             const AntennaArray& array,
+                             const PipelineConfig& config)
+    : chirp_(chirp), array_(array), config_(config) {
+  chirp_.validate();
+  config_.cube.validate();
+  MMHAND_CHECK(config_.cube.range_bins <= chirp_.samples_per_chirp,
+               "more range bins than samples per chirp");
+  MMHAND_CHECK(config_.band_lo_m < config_.band_hi_m, "bandpass band");
+  if (config_.enable_bandpass) {
+    const double fs = chirp_.sample_rate_hz();
+    const double f_lo = chirp_.beat_frequency_hz(config_.band_lo_m);
+    const double f_hi =
+        std::min(chirp_.beat_frequency_hz(config_.band_hi_m), 0.45 * fs);
+    bandpass_ = dsp::butterworth_bandpass(config_.butterworth_order, f_lo,
+                                          f_hi, fs);
+  }
+  range_window_ = dsp::make_window(
+      config_.range_window,
+      static_cast<std::size_t>(chirp_.samples_per_chirp));
+  doppler_window_ = dsp::make_window(
+      config_.doppler_window,
+      static_cast<std::size_t>(chirp_.chirps_per_frame));
+}
+
+double RadarPipeline::range_for_bin(int d) const {
+  const double bin_hz = chirp_.sample_rate_hz() /
+                        static_cast<double>(chirp_.samples_per_chirp);
+  return chirp_.range_for_beat(bin_hz * static_cast<double>(d));
+}
+
+double RadarPipeline::azimuth_for_bin(int a) const {
+  const int n = config_.cube.azimuth_bins;
+  MMHAND_CHECK(a >= 0 && a < n, "azimuth bin " << a);
+  const double span = config_.cube.angle_span_rad();
+  // Bins sample sin(theta) uniformly across [-sin(span), sin(span)].
+  const double s = -std::sin(span) +
+                   (2.0 * std::sin(span)) * (static_cast<double>(a) + 0.5) /
+                       static_cast<double>(n);
+  return std::asin(s);
+}
+
+double RadarPipeline::elevation_for_bin(int e) const {
+  const int n = config_.cube.elevation_bins;
+  MMHAND_CHECK(e >= 0 && e < n, "elevation bin " << e);
+  const double span = config_.cube.angle_span_rad();
+  const double s = -std::sin(span) +
+                   (2.0 * std::sin(span)) * (static_cast<double>(e) + 0.5) /
+                       static_cast<double>(n);
+  return std::asin(s);
+}
+
+double RadarPipeline::velocity_for_bin(int v) const {
+  const int n = chirp_.chirps_per_frame;
+  MMHAND_CHECK(v >= 0 && v < n, "doppler bin " << v);
+  const int k = v - n / 2;  // signed bin after fftshift
+  const double doppler_hz =
+      static_cast<double>(k) /
+      (static_cast<double>(n) * chirp_.tdm_chirp_period_s());
+  return doppler_hz * chirp_.wavelength_m() / 2.0;
+}
+
+std::vector<Cd> RadarPipeline::range_profiles(const IfFrame& frame) const {
+  const int n_tx = frame.num_tx();
+  const int n_rx = frame.num_rx();
+  const int n_chirp = frame.chirps();
+  const int n_samp = frame.samples();
+  const int n_range = config_.cube.range_bins;
+
+  std::vector<Cd> profiles(static_cast<std::size_t>(n_tx) * n_rx * n_chirp *
+                           n_range);
+  std::vector<Cd> chirp_buf(static_cast<std::size_t>(n_samp));
+  for (int tx = 0; tx < n_tx; ++tx)
+    for (int rx = 0; rx < n_rx; ++rx)
+      for (int c = 0; c < n_chirp; ++c) {
+        const Cd* in = frame.chirp_data(tx, rx, c);
+        chirp_buf.assign(in, in + n_samp);
+        if (config_.enable_bandpass)
+          chirp_buf = bandpass_.filtfilt(std::span<const Cd>(chirp_buf));
+        for (int m = 0; m < n_samp; ++m)
+          chirp_buf[static_cast<std::size_t>(m)] *=
+              range_window_[static_cast<std::size_t>(m)];
+        const auto spectrum = dsp::fft(chirp_buf);
+        const std::size_t base =
+            ((static_cast<std::size_t>(tx) * n_rx + rx) * n_chirp + c) *
+            n_range;
+        for (int d = 0; d < n_range; ++d)
+          profiles[base + static_cast<std::size_t>(d)] =
+              spectrum[static_cast<std::size_t>(d)];
+      }
+  return profiles;
+}
+
+RadarCube RadarPipeline::process_frame(const IfFrame& frame) const {
+  const int n_tx = frame.num_tx();
+  const int n_rx = frame.num_rx();
+  const int n_chirp = frame.chirps();
+  const int n_range = config_.cube.range_bins;
+  const int n_az = config_.cube.azimuth_bins;
+  const int n_el = config_.cube.elevation_bins;
+
+  const auto profiles = range_profiles(frame);
+  auto profile_at = [&](int tx, int rx, int c, int d) -> Cd {
+    return profiles[((static_cast<std::size_t>(tx) * n_rx + rx) * n_chirp +
+                     c) *
+                        n_range +
+                    static_cast<std::size_t>(d)];
+  };
+
+  // Doppler-FFT per (tx, rx, range bin), with fftshift and TDM phase
+  // compensation: TX i fires i*Tc later within each chirp loop, adding a
+  // Doppler-dependent phase 2*pi*f_d*i*Tc that must be removed before the
+  // angle-FFT can combine virtual channels coherently.
+  std::vector<Cd> doppler(static_cast<std::size_t>(n_tx) * n_rx * n_chirp *
+                          n_range);
+  auto doppler_at = [&](int tx, int rx, int v, int d) -> Cd& {
+    return doppler[((static_cast<std::size_t>(tx) * n_rx + rx) * n_chirp +
+                    v) *
+                       n_range +
+                   static_cast<std::size_t>(d)];
+  };
+  std::vector<Cd> seq(static_cast<std::size_t>(n_chirp));
+  for (int tx = 0; tx < n_tx; ++tx)
+    for (int rx = 0; rx < n_rx; ++rx)
+      for (int d = 0; d < n_range; ++d) {
+        for (int c = 0; c < n_chirp; ++c)
+          seq[static_cast<std::size_t>(c)] =
+              profile_at(tx, rx, c, d) *
+              doppler_window_[static_cast<std::size_t>(c)];
+        auto spec = dsp::fft_shift(dsp::fft(seq));
+        for (int v = 0; v < n_chirp; ++v) {
+          const int k = v - n_chirp / 2;
+          const double comp = -2.0 * kPi * static_cast<double>(k) *
+                              static_cast<double>(tx) /
+                              (static_cast<double>(n_chirp) * n_tx);
+          doppler_at(tx, rx, v, d) =
+              spec[static_cast<std::size_t>(v)] * std::polar(1.0, comp);
+        }
+      }
+
+  // Angle-FFTs.  The azimuth row is an 8-element lambda/2 ULA; spatial
+  // frequency f = d*sin(theta)/lambda = sin(theta)/2 cycles/element.  The
+  // zoom-FFT evaluates only the +-angle_span band on a fine grid (§III's
+  // refinement); disabling zoom widens the band to +-90 deg at the same bin
+  // count, emulating the plain angle-FFT.
+  const double span = config_.cube.angle_span_rad();
+  const double f_max =
+      config_.enable_zoom_fft ? std::sin(span) / 2.0 : 0.5;
+  const auto& az_row = array_.azimuth_row();
+  const auto& el_row = array_.elevation_row();
+
+  RadarCube cube(n_chirp, n_range, n_az + n_el);
+  std::vector<Cd> az_sig(az_row.size());
+  std::vector<Cd> el_sig(2);
+  for (int v = 0; v < n_chirp; ++v)
+    for (int d = 0; d < n_range; ++d) {
+      for (std::size_t i = 0; i < az_row.size(); ++i)
+        az_sig[i] = doppler_at(az_row[i].first, az_row[i].second, v, d);
+      // IF phase grows with path length, so elements closer to a target on
+      // the +x side have *smaller* phase: the array response is
+      // exp(-j*2*pi*f*i).  The DFT therefore peaks at -f; sweep the band
+      // from +f_max down to -f_max so bin index increases with theta.
+      auto az_spec = dsp::zoom_fft(az_sig, -f_max, f_max,
+                                   static_cast<std::size_t>(n_az));
+      for (int a = 0; a < n_az; ++a)
+        cube.at(v, d, a) = static_cast<float>(
+            std::log1p(std::abs(az_spec[static_cast<std::size_t>(
+                n_az - 1 - a)])));
+
+      // Elevation: a 2-element lambda/2 vertical aperture formed by the
+      // overlapping x-span of the base row and the raised TX2 row.
+      Cd row0{};
+      for (std::size_t i = 2; i < 6 && i < az_row.size(); ++i)
+        row0 += doppler_at(az_row[i].first, az_row[i].second, v, d);
+      row0 /= 4.0;
+      Cd row1{};
+      for (const auto& [tx, rx] : el_row) row1 += doppler_at(tx, rx, v, d);
+      row1 /= static_cast<double>(el_row.size());
+      el_sig[0] = row0;
+      el_sig[1] = row1;
+      auto el_spec = dsp::zoom_fft(el_sig, -f_max, f_max,
+                                   static_cast<std::size_t>(n_el));
+      for (int e = 0; e < n_el; ++e)
+        cube.at(v, d, n_az + e) = static_cast<float>(
+            std::log1p(std::abs(el_spec[static_cast<std::size_t>(
+                n_el - 1 - e)])));
+    }
+  return cube;
+}
+
+}  // namespace mmhand::radar

@@ -1,0 +1,74 @@
+#include "mmhand/radar/point_cloud.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mmhand/common/error.hpp"
+
+namespace mmhand::radar {
+
+std::vector<RadarPoint> extract_point_cloud(const RadarCube& cube,
+                                            const RadarPipeline& pipeline,
+                                            const PointCloudConfig& config) {
+  MMHAND_CHECK(config.max_points >= 1, "point cloud budget");
+  const int n_az = pipeline.config().cube.azimuth_bins;
+  const int n_el = pipeline.config().cube.elevation_bins;
+  MMHAND_CHECK(cube.angle_bins() == n_az + n_el,
+               "cube does not match the pipeline's angle layout");
+
+  // Threshold from the cube's global statistics.
+  double mean = 0.0;
+  for (float v : cube.data()) mean += v;
+  mean /= static_cast<double>(cube.size());
+  double var = 0.0;
+  for (float v : cube.data()) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(cube.size());
+  const double threshold = mean + config.sigma_threshold * std::sqrt(var);
+
+  std::vector<RadarPoint> points;
+  for (int v = 0; v < cube.velocity_bins(); ++v)
+    for (int d = 0; d < cube.range_bins(); ++d)
+      for (int a = 0; a < n_az; ++a) {
+        const double mag = cube.at(v, d, a);
+        if (mag <= threshold) continue;
+        // Elevation from the magnitude-weighted centroid of the elevation
+        // section at this range-Doppler cell.
+        double num = 0.0, den = 0.0;
+        for (int e = 0; e < n_el; ++e) {
+          const double m = cube.at(v, d, n_az + e);
+          num += m * pipeline.elevation_for_bin(e);
+          den += m;
+        }
+        const double elevation = den > 1e-12 ? num / den : 0.0;
+        const double range = pipeline.range_for_bin(d);
+        const double azimuth = pipeline.azimuth_for_bin(a);
+
+        RadarPoint p;
+        p.position = Vec3{range * std::cos(elevation) * std::sin(azimuth),
+                          range * std::cos(elevation) * std::cos(azimuth),
+                          range * std::sin(elevation)};
+        p.velocity = pipeline.velocity_for_bin(v);
+        p.intensity = mag;
+        points.push_back(p);
+      }
+
+  std::sort(points.begin(), points.end(),
+            [](const RadarPoint& a, const RadarPoint& b) {
+              return a.intensity > b.intensity;
+            });
+  if (points.size() > config.max_points) points.resize(config.max_points);
+  return points;
+}
+
+Vec3 point_cloud_centroid(const std::vector<RadarPoint>& points) {
+  if (points.empty()) return Vec3{};
+  Vec3 acc;
+  double total = 0.0;
+  for (const auto& p : points) {
+    acc += p.position * p.intensity;
+    total += p.intensity;
+  }
+  return total > 1e-12 ? acc / total : Vec3{};
+}
+
+}  // namespace mmhand::radar

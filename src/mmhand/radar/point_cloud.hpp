@@ -1,0 +1,39 @@
+#pragma once
+
+// Radar point-cloud extraction: turns a Radar Cube into sparse 3-D points
+// with intensity and radial velocity — the representation classic mmWave
+// perception stacks (RadHAR-style) operate on.  Used as an interpretable
+// diagnostic view of the cube and by the point-cloud centroid tracker.
+
+#include <vector>
+
+#include "mmhand/common/vec3.hpp"
+#include "mmhand/radar/pipeline.hpp"
+
+namespace mmhand::radar {
+
+struct RadarPoint {
+  Vec3 position;            ///< meters, radar frame
+  double velocity = 0.0;    ///< radial velocity, m/s
+  double intensity = 0.0;   ///< cube magnitude (log domain)
+};
+
+struct PointCloudConfig {
+  /// Keep cells whose magnitude exceeds mean + k * stddev of the cube.
+  double sigma_threshold = 2.5;
+  std::size_t max_points = 256;
+};
+
+/// Extracts the strongest cells of a cube as 3-D points.  Azimuth comes
+/// from the azimuth section of the angle axis; elevation from the
+/// magnitude-weighted centroid of the elevation section at the same
+/// range-Doppler cell.
+std::vector<RadarPoint> extract_point_cloud(
+    const RadarCube& cube, const RadarPipeline& pipeline,
+    const PointCloudConfig& config = {});
+
+/// Intensity-weighted centroid of a point cloud (the classic "where is the
+/// target" estimate); zero vector for an empty cloud.
+Vec3 point_cloud_centroid(const std::vector<RadarPoint>& points);
+
+}  // namespace mmhand::radar

@@ -1,0 +1,33 @@
+#include "mmhand/radar/radar_cube.hpp"
+
+#include <algorithm>
+
+namespace mmhand::radar {
+
+RadarCube::RadarCube(int velocity_bins, int range_bins, int angle_bins)
+    : v_(velocity_bins),
+      d_(range_bins),
+      a_(angle_bins),
+      data_(static_cast<std::size_t>(velocity_bins) * range_bins *
+            angle_bins) {
+  MMHAND_CHECK(velocity_bins >= 1 && range_bins >= 1 && angle_bins >= 1,
+               "RadarCube dims " << velocity_bins << "x" << range_bins << "x"
+                                 << angle_bins);
+}
+
+float& RadarCube::at(int v, int d, int a) {
+  MMHAND_ASSERT(v >= 0 && v < v_ && d >= 0 && d < d_ && a >= 0 && a < a_);
+  return data_[(static_cast<std::size_t>(v) * d_ + d) * a_ + a];
+}
+
+float RadarCube::at(int v, int d, int a) const {
+  MMHAND_ASSERT(v >= 0 && v < v_ && d >= 0 && d < d_ && a >= 0 && a < a_);
+  return data_[(static_cast<std::size_t>(v) * d_ + d) * a_ + a];
+}
+
+float RadarCube::max_value() const {
+  if (data_.empty()) return 0.0f;
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+}  // namespace mmhand::radar

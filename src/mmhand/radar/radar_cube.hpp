@@ -1,0 +1,38 @@
+#pragma once
+
+// The Radar Cube (§III): per-frame tensor of Doppler x Range x Angle
+// magnitudes assembled from the Range-, Doppler-, Azimuth- and
+// Elevation-Spectrums.  The azimuth and elevation spectra are concatenated
+// along the angle axis, so one frame is a V x D x (A_az + A_el) tensor.
+
+#include <vector>
+
+#include "mmhand/common/error.hpp"
+
+namespace mmhand::radar {
+
+class RadarCube {
+ public:
+  RadarCube() = default;
+  RadarCube(int velocity_bins, int range_bins, int angle_bins);
+
+  float& at(int v, int d, int a);
+  float at(int v, int d, int a) const;
+
+  int velocity_bins() const { return v_; }
+  int range_bins() const { return d_; }
+  int angle_bins() const { return a_; }
+  std::size_t size() const { return data_.size(); }
+
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& data() { return data_; }
+
+  /// Largest cell magnitude (useful for normalization and tests).
+  float max_value() const;
+
+ private:
+  int v_ = 0, d_ = 0, a_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace mmhand::radar

@@ -1,0 +1,36 @@
+#pragma once
+
+// Point-scatterer scene description consumed by the IF simulator.
+//
+// A real hand reflects mmWave energy from many small surface patches; the
+// simulator approximates the hand (and clutter such as the body or
+// furniture) as a set of point scatterers with individual reflectivities
+// and velocities.  This is the standard point-target model that underlies
+// Eq.(1) of the paper.
+
+#include <vector>
+
+#include "mmhand/common/vec3.hpp"
+
+namespace mmhand::radar {
+
+struct Scatterer {
+  Vec3 position;        ///< meters, radar at origin, boresight +y
+  Vec3 velocity;        ///< meters/second
+  double amplitude = 1.0;  ///< reflected amplitude at reference range
+
+  /// Amplitude observed at the radar after two-way propagation loss,
+  /// relative to a 30 cm reference range.  FMCW power falls with R^4, so
+  /// amplitude falls with R^2.
+  double observed_amplitude() const {
+    constexpr double kRef = 0.30;
+    const double r = position.norm();
+    if (r < 1e-3) return amplitude;
+    const double ratio = kRef / r;
+    return amplitude * ratio * ratio;
+  }
+};
+
+using Scene = std::vector<Scatterer>;
+
+}  // namespace mmhand::radar

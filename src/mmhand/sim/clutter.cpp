@@ -1,0 +1,88 @@
+#include "mmhand/sim/clutter.hpp"
+
+#include "mmhand/common/error.hpp"
+
+namespace mmhand::sim {
+
+std::string_view environment_name(Environment e) {
+  switch (e) {
+    case Environment::kPlayground: return "playground";
+    case Environment::kCorridor: return "corridor";
+    case Environment::kClassroom: return "classroom";
+  }
+  throw Error("unknown environment");
+}
+
+std::string_view body_position_name(BodyPosition p) {
+  switch (p) {
+    case BodyPosition::kNone: return "none";
+    case BodyPosition::kFront: return "front";
+    case BodyPosition::kSide: return "side";
+  }
+  throw Error("unknown body position");
+}
+
+radar::Scene build_clutter(const ClutterConfig& config, Rng& rng) {
+  radar::Scene scene;
+
+  // --- The user's body: a strong cluster of torso/arm reflections. ---
+  if (config.body != BodyPosition::kNone) {
+    const double r = config.body_range_m;
+    // Type 1 (front): torso centered behind the hand near boresight.
+    // Type 2 (side): torso offset ~35 degrees to the radar's side.
+    const double offset_x = config.body == BodyPosition::kFront
+                                ? 0.0
+                                : 0.7 * r;  // ~35 deg off boresight
+    for (int i = 0; i < 10; ++i) {
+      const Vec3 pos{offset_x + rng.uniform(-0.18, 0.18),
+                     r + rng.uniform(-0.06, 0.10),
+                     rng.uniform(-0.35, 0.25)};
+      // Breathing / small sway: a few mm/s radial drift.
+      const Vec3 vel{0.0, rng.uniform(-0.01, 0.01), 0.0};
+      scene.push_back({pos, vel, rng.uniform(1.5, 3.5)});
+    }
+  }
+
+  // --- Environment-dependent background. ---
+  switch (config.environment) {
+    case Environment::kPlayground:
+      // Large empty area: essentially no reflectors within radar reach.
+      break;
+    case Environment::kCorridor: {
+      // Empty static background (walls) with a few passersby far away.
+      for (int i = 0; i < 4; ++i) {
+        scene.push_back({Vec3{rng.uniform(-1.0, 1.0),
+                              rng.uniform(1.8, 3.0),
+                              rng.uniform(-0.5, 0.5)},
+                         Vec3{}, rng.uniform(0.8, 2.0)});
+      }
+      // One distant walker.
+      scene.push_back({Vec3{rng.uniform(-0.8, 0.8), rng.uniform(2.2, 3.0),
+                            0.0},
+                       Vec3{rng.uniform(-0.6, 0.6), rng.uniform(-0.5, 0.5),
+                            0.0},
+                       rng.uniform(2.0, 4.0)});
+      break;
+    }
+    case Environment::kClassroom: {
+      // Dense static furniture plus dynamic people moving around.
+      for (int i = 0; i < 12; ++i) {
+        scene.push_back({Vec3{rng.uniform(-1.5, 1.5),
+                              rng.uniform(1.2, 3.0),
+                              rng.uniform(-0.8, 0.8)},
+                         Vec3{}, rng.uniform(1.0, 3.0)});
+      }
+      for (int i = 0; i < 3; ++i) {
+        scene.push_back({Vec3{rng.uniform(-1.2, 1.2),
+                              rng.uniform(1.5, 2.8), 0.0},
+                         Vec3{rng.uniform(-0.8, 0.8),
+                              rng.uniform(-0.6, 0.6), 0.0},
+                         rng.uniform(2.0, 4.5)});
+      }
+      break;
+    }
+  }
+  return scene;
+}
+
+}  // namespace mmhand::sim

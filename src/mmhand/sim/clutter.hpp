@@ -1,0 +1,40 @@
+#pragma once
+
+// Environmental clutter (§VI-F, §VI-I).
+//
+// Models the three evaluation environments (playground / corridor /
+// classroom) and the two body-position types: type 1 with the user's body
+// directly behind the hand, type 2 with the body to the side of the radar.
+
+#include <string_view>
+
+#include "mmhand/common/rng.hpp"
+#include "mmhand/radar/scatterer.hpp"
+
+namespace mmhand::sim {
+
+enum class Environment { kPlayground, kCorridor, kClassroom };
+
+std::string_view environment_name(Environment e);
+
+enum class BodyPosition {
+  kNone,   ///< no body in the scene (isolated hand; unit tests)
+  kFront,  ///< type 1: body directly behind the outstretched hand
+  kSide,   ///< type 2: body to the side, hand reached in front of the radar
+};
+
+std::string_view body_position_name(BodyPosition p);
+
+struct ClutterConfig {
+  Environment environment = Environment::kCorridor;
+  BodyPosition body = BodyPosition::kFront;
+  /// Distance from radar to the user's torso (meters).
+  double body_range_m = 0.65;
+};
+
+/// Static + dynamic clutter scatterers for a scenario.  Deterministic for a
+/// given rng state; call once per recording (clutter persists over frames,
+/// so scatterer velocities carry the motion of walking people).
+radar::Scene build_clutter(const ClutterConfig& config, Rng& rng);
+
+}  // namespace mmhand::sim

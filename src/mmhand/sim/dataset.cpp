@@ -1,0 +1,93 @@
+#include "mmhand/sim/dataset.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "mmhand/common/error.hpp"
+#include "mmhand/hand/kinematics.hpp"
+
+namespace mmhand::sim {
+
+DatasetBuilder::DatasetBuilder(const radar::ChirpConfig& chirp,
+                               const radar::PipelineConfig& pipeline_config,
+                               const HandSceneConfig& hand_config,
+                               const LabelNoiseConfig& label_config)
+    : chirp_(chirp),
+      array_(chirp_),
+      if_sim_(chirp_, array_),
+      pipeline_(chirp_, array_, pipeline_config),
+      hand_config_(hand_config),
+      label_config_(label_config) {}
+
+Recording DatasetBuilder::record(const ScenarioConfig& scenario) const {
+  MMHAND_CHECK(scenario.duration_s > 0.0, "recording duration");
+  MMHAND_CHECK(scenario.hand_distance_m > 0.05 &&
+                   scenario.hand_distance_m < 1.2,
+               "hand distance " << scenario.hand_distance_m);
+
+  Rng rng(scenario.seed ^ (0x517cc1b727220a95ull +
+                           static_cast<std::uint64_t>(scenario.user_id)));
+  Rng script_rng = rng.fork();
+  Rng clutter_rng = rng.fork();
+  Rng scene_rng = rng.fork();
+  Rng noise_rng = rng.fork();
+  Rng label_rng = rng.fork();
+
+  // Place the hand at the scenario's bearing and range.
+  const double az =
+      scenario.hand_azimuth_deg * std::numbers::pi / 180.0;
+  hand::GestureScriptConfig script_config;
+  script_config.base_wrist = Vec3{scenario.hand_distance_m * std::sin(az),
+                                  scenario.hand_distance_m * std::cos(az),
+                                  0.0};
+  script_config.vocabulary = scenario.vocabulary;
+  if (scenario.wrist_drift_m >= 0.0)
+    script_config.wrist_drift_m = scenario.wrist_drift_m;
+  if (scenario.orientation_wobble_rad >= 0.0)
+    script_config.orientation_wobble_rad = scenario.orientation_wobble_rad;
+  const hand::GestureScript script(script_config, std::move(script_rng),
+                                   scenario.duration_s);
+
+  const auto profile = hand::HandProfile::for_user(scenario.user_id);
+
+  // Clutter persists across the recording; dynamic pieces advance by their
+  // velocity each frame.
+  radar::Scene clutter = build_clutter(scenario.clutter, clutter_rng);
+
+  Recording rec;
+  rec.user_id = scenario.user_id;
+  const double dt = chirp_.frame_period_s;
+  const int n_frames = static_cast<int>(scenario.duration_s / dt);
+  rec.frames.reserve(static_cast<std::size_t>(n_frames));
+
+  for (int f = 0; f < n_frames; ++f) {
+    const double t = static_cast<double>(f) * dt;
+    const auto pose = script.pose_at(t);
+    const auto prev_pose = script.pose_at(std::max(0.0, t - dt));
+    const auto joints = hand::forward_kinematics(profile, pose);
+    const auto prev_joints = hand::forward_kinematics(profile, prev_pose);
+
+    radar::Scene scene =
+        build_hand_scene(joints, prev_joints, dt, hand_config_, scene_rng);
+    apply_glove(scene, scenario.glove, scene_rng);
+    apply_handheld_object(scene, joints, scenario.object, scene_rng);
+    scene.insert(scene.end(), clutter.begin(), clutter.end());
+    apply_obstacle(scene, scenario.obstacle, scene_rng);
+
+    const auto frame = if_sim_.simulate_frame(scene, 0.0, noise_rng);
+
+    FrameRecord record;
+    record.cube = pipeline_.process_frame(frame);
+    record.true_joints = joints;
+    record.joints = apply_label_noise(joints, label_config_, label_rng);
+    record.gesture = script.gesture_at(t);
+    record.time_s = t;
+    rec.frames.push_back(std::move(record));
+
+    // Advance dynamic clutter to the next frame.
+    for (auto& s : clutter) s.position += s.velocity * dt;
+  }
+  return rec;
+}
+
+}  // namespace mmhand::sim

@@ -1,0 +1,74 @@
+#pragma once
+
+// End-to-end data generation: a scenario in, (radar cube, labeled joints)
+// frame records out — the substitute for the paper's 150,000-frame capture
+// campaign with 10 volunteers.
+
+#include <vector>
+
+#include "mmhand/hand/gesture.hpp"
+#include "mmhand/hand/hand_profile.hpp"
+#include "mmhand/radar/pipeline.hpp"
+#include "mmhand/sim/clutter.hpp"
+#include "mmhand/sim/effects.hpp"
+#include "mmhand/sim/label_noise.hpp"
+#include "mmhand/sim/scene.hpp"
+
+namespace mmhand::sim {
+
+/// A single evaluation scenario: who, where, and under which conditions.
+struct ScenarioConfig {
+  int user_id = 0;
+  double hand_distance_m = 0.30;  ///< wrist range (paper trains 20-40 cm)
+  double hand_azimuth_deg = 0.0;  ///< hand bearing (§VI-E sweeps -45..45)
+  ClutterConfig clutter;
+  GloveType glove = GloveType::kNone;
+  HandheldObject object = HandheldObject::kNone;
+  Obstacle obstacle = Obstacle::kNone;
+  double duration_s = 8.0;
+  std::uint64_t seed = 1;
+  std::vector<hand::Gesture> vocabulary;  ///< empty = full vocabulary
+  /// Optional overrides of the gesture script's motion envelope; negative
+  /// values keep the GestureScriptConfig defaults.
+  double wrist_drift_m = -1.0;
+  double orientation_wobble_rad = -1.0;
+};
+
+/// One captured frame: the pre-processed Radar Cube plus labels.
+struct FrameRecord {
+  radar::RadarCube cube;
+  hand::JointSet joints;       ///< noisy labels (simulated MediaPipe)
+  hand::JointSet true_joints;  ///< noise-free FK joints (oracle, for tests)
+  hand::Gesture gesture = hand::Gesture::kOpenPalm;
+  double time_s = 0.0;
+};
+
+/// One continuous capture session.
+struct Recording {
+  int user_id = 0;
+  std::vector<FrameRecord> frames;
+};
+
+class DatasetBuilder {
+ public:
+  DatasetBuilder(const radar::ChirpConfig& chirp,
+                 const radar::PipelineConfig& pipeline_config,
+                 const HandSceneConfig& hand_config = {},
+                 const LabelNoiseConfig& label_config = {});
+
+  /// Simulates one continuous recording of a scenario.
+  Recording record(const ScenarioConfig& scenario) const;
+
+  const radar::RadarPipeline& pipeline() const { return pipeline_; }
+  const radar::ChirpConfig& chirp() const { return chirp_; }
+
+ private:
+  radar::ChirpConfig chirp_;
+  radar::AntennaArray array_;
+  radar::IfSimulator if_sim_;
+  radar::RadarPipeline pipeline_;
+  HandSceneConfig hand_config_;
+  LabelNoiseConfig label_config_;
+};
+
+}  // namespace mmhand::sim

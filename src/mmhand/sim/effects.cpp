@@ -1,0 +1,167 @@
+#include "mmhand/sim/effects.hpp"
+
+#include <cmath>
+
+#include "mmhand/common/error.hpp"
+
+namespace mmhand::sim {
+
+std::string_view glove_name(GloveType g) {
+  switch (g) {
+    case GloveType::kNone: return "none";
+    case GloveType::kSilk: return "silk";
+    case GloveType::kCotton: return "cotton";
+  }
+  throw Error("unknown glove");
+}
+
+void apply_glove(radar::Scene& hand_scene, GloveType glove, Rng& rng) {
+  if (glove == GloveType::kNone) return;
+  // Fabric thickness and reflectivity: cotton > silk.
+  const double fuzz = glove == GloveType::kSilk ? 0.004 : 0.008;
+  const double material_amp = glove == GloveType::kSilk ? 0.10 : 0.18;
+  const std::size_t original = hand_scene.size();
+  for (std::size_t i = 0; i < original; ++i) {
+    auto& s = hand_scene[i];
+    // The fabric shifts the apparent reflection surface outward and blurs
+    // the amplitude.
+    s.position += Vec3{rng.normal(0.0, fuzz), rng.normal(0.0, fuzz),
+                       rng.normal(0.0, fuzz)};
+    s.amplitude *= 1.0 + rng.normal(0.0, 0.15);
+    if (s.amplitude < 0.0) s.amplitude = 0.0;
+    // Fabric folds add their own weak reflections near the surface.
+    if (rng.bernoulli(0.5)) {
+      hand_scene.push_back(
+          {s.position + Vec3{rng.normal(0.0, 2.0 * fuzz),
+                             rng.normal(0.0, 2.0 * fuzz),
+                             rng.normal(0.0, 2.0 * fuzz)},
+           s.velocity, material_amp * rng.uniform(0.3, 1.0)});
+    }
+  }
+}
+
+std::string_view object_name(HandheldObject o) {
+  switch (o) {
+    case HandheldObject::kNone: return "none";
+    case HandheldObject::kTableTennisBall: return "table_tennis_ball";
+    case HandheldObject::kHeadphoneCase: return "headphone_case";
+    case HandheldObject::kPen: return "pen";
+    case HandheldObject::kPowerBank: return "power_bank";
+  }
+  throw Error("unknown handheld object");
+}
+
+void apply_handheld_object(radar::Scene& scene, const hand::JointSet& joints,
+                           HandheldObject object, Rng& rng) {
+  if (object == HandheldObject::kNone) return;
+  // Palm center & grip geometry from the posed joints.
+  const Vec3 wrist = joints[hand::kWrist];
+  const Vec3 middle_mcp = joints[9];
+  const Vec3 palm_center = (wrist + middle_mcp) * 0.5;
+  const Vec3 grip_axis = (joints[8] - joints[5]).norm() > 1e-6
+                             ? (middle_mcp - wrist).normalized()
+                             : Vec3{0.0, 0.0, 1.0};
+
+  switch (object) {
+    case HandheldObject::kTableTennisBall:
+      // Small dielectric sphere: a couple of weak glints at the palm.
+      for (int i = 0; i < 3; ++i)
+        scene.push_back({palm_center + Vec3{rng.normal(0.0, 0.012),
+                                            rng.normal(0.0, 0.012),
+                                            rng.normal(0.0, 0.012)},
+                         Vec3{}, rng.uniform(0.10, 0.25)});
+      break;
+    case HandheldObject::kHeadphoneCase:
+      // Medium plastic box in the palm: moderate cluster.
+      for (int i = 0; i < 5; ++i)
+        scene.push_back({palm_center + Vec3{rng.normal(0.0, 0.02),
+                                            rng.normal(0.0, 0.02),
+                                            rng.normal(0.0, 0.02)},
+                         Vec3{}, rng.uniform(0.3, 0.7)});
+      break;
+    case HandheldObject::kPen: {
+      // An elongated reflector extending past the fingertips along the
+      // grip axis — the geometry mmHand misreads as an extra finger.
+      const Vec3 tip_region = joints[8];  // index fingertip
+      for (int i = 0; i < 6; ++i) {
+        const double t = rng.uniform(-0.02, 0.10);
+        scene.push_back({tip_region + grip_axis * t +
+                             Vec3{rng.normal(0.0, 0.003),
+                                  rng.normal(0.0, 0.003),
+                                  rng.normal(0.0, 0.003)},
+                         Vec3{}, rng.uniform(0.25, 0.5)});
+      }
+      break;
+    }
+    case HandheldObject::kPowerBank: {
+      // Large flat metal-cased plate covering the palm and fingers: strong
+      // reflections that also shadow the hand behind it.
+      for (int i = 0; i < 10; ++i)
+        scene.push_back(
+            {palm_center + grip_axis * rng.uniform(-0.02, 0.08) +
+                 Vec3{rng.normal(0.0, 0.03), rng.normal(0.0, 0.015),
+                      rng.normal(0.0, 0.03)},
+             Vec3{}, rng.uniform(1.0, 2.2)});
+      // Shadowing: the plate sits between radar and most of the hand.
+      for (auto& s : scene)
+        if (s.amplitude < 1.0) s.amplitude *= 0.45;
+      break;
+    }
+    case HandheldObject::kNone:
+      break;
+  }
+}
+
+std::string_view obstacle_name(Obstacle o) {
+  switch (o) {
+    case Obstacle::kNone: return "none";
+    case Obstacle::kPaper: return "a4_paper";
+    case Obstacle::kCloth: return "cloth";
+    case Obstacle::kBoard: return "wood_board";
+  }
+  throw Error("unknown obstacle");
+}
+
+void apply_obstacle(radar::Scene& scene, Obstacle obstacle, Rng& rng) {
+  if (obstacle == Obstacle::kNone) return;
+  double attenuation = 1.0, scatter = 0.0, self_amp = 0.0, speckle = 0.0;
+  switch (obstacle) {
+    case Obstacle::kPaper:
+      attenuation = 0.88;
+      scatter = 0.003;
+      self_amp = 0.3;
+      speckle = 0.12;
+      break;
+    case Obstacle::kCloth:
+      attenuation = 0.80;
+      scatter = 0.005;
+      self_amp = 0.4;
+      speckle = 0.20;
+      break;
+    case Obstacle::kBoard:
+      attenuation = 0.40;
+      scatter = 0.024;
+      self_amp = 1.2;
+      speckle = 0.70;
+      break;
+    case Obstacle::kNone:
+      break;
+  }
+  // Two-way penetration loss, diffuse in-material scattering (apparent
+  // position smear growing with thickness) and per-path speckle (random
+  // multipath gain inside the material).  The smear is what actually costs
+  // accuracy: log-domain attenuation alone only dims the cube uniformly.
+  for (auto& s : scene) {
+    s.amplitude *= attenuation * attenuation *
+                   std::max(0.1, 1.0 + rng.normal(0.0, speckle));
+    s.position += Vec3{rng.normal(0.0, scatter), rng.normal(0.0, scatter),
+                       rng.normal(0.0, scatter)};
+  }
+  // The obstacle's own front-face reflection ~12 cm in front of the radar.
+  for (int i = 0; i < 4; ++i)
+    scene.push_back({Vec3{rng.uniform(-0.10, 0.10), 0.12,
+                          rng.uniform(-0.10, 0.10)},
+                     Vec3{}, self_amp * rng.uniform(0.6, 1.2)});
+}
+
+}  // namespace mmhand::sim

@@ -1,0 +1,49 @@
+#pragma once
+
+// Special-situation effect models (§VI-G/H/J).
+//
+// Gloves distort the sensed hand (material reflections around the true
+// surface), handheld objects add their own reflections — a pen reads as an
+// extra finger, a power bank masks the hand — and obstacles between radar
+// and hand attenuate and scatter the signal (paper < cloth < wooden board).
+
+#include <string_view>
+
+#include "mmhand/common/rng.hpp"
+#include "mmhand/hand/skeleton.hpp"
+#include "mmhand/radar/scatterer.hpp"
+
+namespace mmhand::sim {
+
+enum class GloveType { kNone, kSilk, kCotton };
+std::string_view glove_name(GloveType g);
+
+/// Applies a glove to a hand scatterer scene: positional fuzz from the
+/// fabric surface plus extra low-amplitude material scatterers.  Cotton is
+/// thicker than silk and distorts more.
+void apply_glove(radar::Scene& hand_scene, GloveType glove, Rng& rng);
+
+enum class HandheldObject { kNone, kTableTennisBall, kHeadphoneCase, kPen,
+                            kPowerBank };
+std::string_view object_name(HandheldObject o);
+
+/// Adds a handheld object's reflections to the scene.  Needs the current
+/// joints to place the object in the palm / along the grip axis.
+/// - ball / headphone case: small clusters at the palm center (§VI-H: only
+///   slight interference);
+/// - pen: an elongated line of scatterers extending past the fingers (the
+///   paper reports mmHand mistakes it for a finger);
+/// - power bank: a large strong plate covering the hand that also shadows
+///   the hand's own reflections.
+void apply_handheld_object(radar::Scene& scene, const hand::JointSet& joints,
+                           HandheldObject object, Rng& rng);
+
+enum class Obstacle { kNone, kPaper, kCloth, kBoard };
+std::string_view obstacle_name(Obstacle o);
+
+/// Applies an obstacle between radar and hand: attenuates every scene
+/// scatterer, adds scattering jitter, and inserts the obstacle's own
+/// reflection plane close to the radar.
+void apply_obstacle(radar::Scene& scene, Obstacle obstacle, Rng& rng);
+
+}  // namespace mmhand::sim

@@ -1,0 +1,16 @@
+#include "mmhand/sim/label_noise.hpp"
+
+namespace mmhand::sim {
+
+hand::JointSet apply_label_noise(const hand::JointSet& joints,
+                                 const LabelNoiseConfig& config, Rng& rng) {
+  hand::JointSet noisy = joints;
+  if (config.stddev_m <= 0.0) return noisy;
+  for (auto& j : noisy)
+    j += Vec3{rng.normal(0.0, config.stddev_m),
+              rng.normal(0.0, config.stddev_m),
+              rng.normal(0.0, config.stddev_m)};
+  return noisy;
+}
+
+}  // namespace mmhand::sim

@@ -1,0 +1,22 @@
+#pragma once
+
+// Ground-truth label noise.
+//
+// The paper's labels come from a depth camera + MediaPipe Hands — accurate
+// but not perfect.  We jitter the forward-kinematics joints with a small
+// Gaussian so the supervision matches that "imperfect but unbiased" regime
+// (DESIGN.md §2).
+
+#include "mmhand/common/rng.hpp"
+#include "mmhand/hand/skeleton.hpp"
+
+namespace mmhand::sim {
+
+struct LabelNoiseConfig {
+  double stddev_m = 0.0025;  ///< per-axis jitter (~MediaPipe error scale)
+};
+
+hand::JointSet apply_label_noise(const hand::JointSet& joints,
+                                 const LabelNoiseConfig& config, Rng& rng);
+
+}  // namespace mmhand::sim

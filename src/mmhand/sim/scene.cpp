@@ -1,0 +1,78 @@
+#include "mmhand/sim/scene.hpp"
+
+#include <cmath>
+
+#include "mmhand/common/error.hpp"
+
+namespace mmhand::sim {
+
+namespace {
+
+/// Incidence factor: patches whose outward direction faces the radar
+/// (origin) reflect more strongly.  `normal_hint` is an approximate surface
+/// direction; the factor blends specular preference with a diffuse floor.
+double incidence_factor(const Vec3& position, const Vec3& normal_hint) {
+  const Vec3 to_radar = (-position).normalized();
+  const Vec3 n = normal_hint.normalized();
+  const double facing = std::max(0.0, to_radar.dot(n));
+  return 0.35 + 0.65 * facing;
+}
+
+}  // namespace
+
+radar::Scene build_hand_scene(const hand::JointSet& joints,
+                              const hand::JointSet& prev_joints, double dt,
+                              const HandSceneConfig& config, Rng& rng) {
+  MMHAND_CHECK(dt > 0.0, "scene dt " << dt);
+  MMHAND_CHECK(config.points_per_bone >= 1 && config.palm_points >= 1,
+               "scene point counts");
+  radar::Scene scene;
+  scene.reserve(static_cast<std::size_t>(
+      hand::kNumBones * config.points_per_bone + config.palm_points));
+
+  auto jitter = [&] { return 1.0 + rng.normal(0.0, config.roughness); };
+  auto velocity_of = [&](const Vec3& cur, const Vec3& prev) {
+    return (cur - prev) / dt;
+  };
+
+  // Palm surface: wrist-to-MCP fan.  The palm normal is approximated by the
+  // cross product of two palm edges.
+  const Vec3 wrist = joints[hand::kWrist];
+  const Vec3 wrist_prev = prev_joints[hand::kWrist];
+  const Vec3 index_mcp = joints[5], pinky_mcp = joints[17];
+  const Vec3 palm_normal =
+      (index_mcp - wrist).cross(pinky_mcp - wrist).normalized();
+  for (int i = 0; i < config.palm_points; ++i) {
+    // Barycentric spread across the wrist/index-MCP/pinky-MCP triangle.
+    const double u = rng.uniform(0.05, 0.95);
+    const double v = rng.uniform(0.05, 0.95 - u * 0.9);
+    const Vec3 pos = wrist + (index_mcp - wrist) * u + (pinky_mcp - wrist) * v;
+    const Vec3 prev = wrist_prev +
+                      (prev_joints[5] - wrist_prev) * u +
+                      (prev_joints[17] - wrist_prev) * v;
+    scene.push_back({pos, velocity_of(pos, prev),
+                     config.palm_amplitude / config.palm_points *
+                         incidence_factor(pos, palm_normal) * jitter()});
+  }
+
+  // Finger segments: points along each bone, reflectivity oriented by the
+  // bone's lateral surface (approximated with the palm normal).
+  for (int child = 1; child < hand::kNumJoints; ++child) {
+    const int parent = hand::joint_parent(child);
+    const auto ci = static_cast<std::size_t>(child);
+    const auto pi = static_cast<std::size_t>(parent);
+    for (int k = 0; k < config.points_per_bone; ++k) {
+      const double t = (static_cast<double>(k) + 0.5) /
+                       static_cast<double>(config.points_per_bone);
+      const Vec3 pos = joints[pi] + (joints[ci] - joints[pi]) * t;
+      const Vec3 prev =
+          prev_joints[pi] + (prev_joints[ci] - prev_joints[pi]) * t;
+      scene.push_back({pos, velocity_of(pos, prev),
+                       config.bone_amplitude / config.points_per_bone *
+                           incidence_factor(pos, palm_normal) * jitter()});
+    }
+  }
+  return scene;
+}
+
+}  // namespace mmhand::sim

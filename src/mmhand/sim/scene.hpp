@@ -1,0 +1,32 @@
+#pragma once
+
+// Hand-to-scatterer conversion.
+//
+// The radar sees the hand as distributed surface reflections.  We sample
+// point scatterers along each phalange and across the palm, weight them by
+// a simple incidence model (patches facing the radar reflect more), and
+// assign per-scatterer velocities from frame-to-frame joint motion — the
+// micro-Doppler signature the paper's temporal model feeds on.
+
+#include "mmhand/common/rng.hpp"
+#include "mmhand/hand/skeleton.hpp"
+#include "mmhand/radar/scatterer.hpp"
+
+namespace mmhand::sim {
+
+struct HandSceneConfig {
+  int points_per_bone = 2;        ///< scatterers per phalange
+  int palm_points = 7;            ///< scatterers across the palm surface
+  double bone_amplitude = 0.12;   ///< reflectivity per finger segment
+  double palm_amplitude = 3.0;    ///< total reflectivity of the palm plate
+  double roughness = 0.08;        ///< multiplicative amplitude jitter
+};
+
+/// Builds the scatterer scene of one hand.  `joints` is the current frame's
+/// skeleton and `prev_joints` the previous frame's (used for velocities over
+/// `dt` seconds); pass the same set twice for a static hand.
+radar::Scene build_hand_scene(const hand::JointSet& joints,
+                              const hand::JointSet& prev_joints, double dt,
+                              const HandSceneConfig& config, Rng& rng);
+
+}  // namespace mmhand::sim

@@ -1,0 +1,264 @@
+// Tests for mmhand/baselines: depth rendering, the pose prior, the four
+// comparison methods of Table I, and their expected orderings.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mmhand/baselines/cascade.hpp"
+#include "mmhand/baselines/datasets.hpp"
+#include "mmhand/baselines/deepprior.hpp"
+#include "mmhand/baselines/handfi.hpp"
+#include "mmhand/baselines/mm4arm.hpp"
+#include "mmhand/hand/kinematics.hpp"
+
+namespace mmhand::baselines {
+namespace {
+
+hand::JointSet posed_joints() {
+  hand::HandPose pose;
+  pose.wrist_position = Vec3{0.0, 0.30, 0.0};
+  return hand::forward_kinematics(hand::HandProfile::reference(), pose);
+}
+
+TEST(DepthRender, HandPixelsAreCloserThanBackground) {
+  const auto joints = posed_joints();
+  DepthCameraConfig cam;
+  const auto img = render_depth(joints, cam);
+  EXPECT_EQ(img.dim(1), cam.height);
+  EXPECT_EQ(img.dim(2), cam.width);
+  int hand_pixels = 0;
+  for (std::size_t i = 0; i < img.numel(); ++i)
+    if (img[i] < cam.background - 0.1f) ++hand_pixels;
+  // A hand at 30 cm covers a reasonable share of the 32x32 image.
+  EXPECT_GT(hand_pixels, 15);
+  EXPECT_LT(hand_pixels, 700);
+}
+
+TEST(DepthRender, DistinguishesFistFromOpenHand) {
+  hand::HandPose open_pose, fist_pose;
+  open_pose.wrist_position = fist_pose.wrist_position = Vec3{0, 0.3, 0};
+  fist_pose.fingers = hand::gesture_articulation(hand::Gesture::kFist);
+  const auto profile = hand::HandProfile::reference();
+  const auto img_open = render_depth(
+      hand::forward_kinematics(profile, open_pose), {});
+  const auto img_fist = render_depth(
+      hand::forward_kinematics(profile, fist_pose), {});
+  double diff = 0.0;
+  for (std::size_t i = 0; i < img_open.numel(); ++i)
+    diff += std::abs(img_open[i] - img_fist[i]);
+  EXPECT_GT(diff, 5.0);
+}
+
+TEST(DepthRender, ProjectionIsMonotone) {
+  DepthCameraConfig cam;
+  int x1, y1, x2, y2;
+  project_to_pixel(Vec3{-0.1, 0.3, 0.0}, cam, x1, y1);
+  project_to_pixel(Vec3{0.1, 0.3, 0.0}, cam, x2, y2);
+  EXPECT_LT(x1, x2);
+  project_to_pixel(Vec3{0.0, 0.3, -0.05}, cam, x1, y1);
+  project_to_pixel(Vec3{0.0, 0.3, 0.15}, cam, x2, y2);
+  EXPECT_GT(y1, y2);  // higher z maps to a smaller row index
+}
+
+TEST(Datasets, VariantsDiffer) {
+  DepthDatasetConfig msra;
+  msra.variant = VisionDataset::kMsraLike;
+  msra.samples = 20;
+  DepthDatasetConfig icvl = msra;
+  icvl.variant = VisionDataset::kIcvlLike;
+  const auto a = make_depth_dataset(msra);
+  const auto b = make_depth_dataset(icvl);
+  ASSERT_EQ(a.size(), 20u);
+  ASSERT_EQ(b.size(), 20u);
+  // Not byte-identical.
+  EXPECT_NE(a[0].depth[0], b[0].depth[0]);
+}
+
+TEST(Datasets, LabelsMatchJoints) {
+  DepthDatasetConfig cfg;
+  cfg.samples = 5;
+  const auto data = make_depth_dataset(cfg);
+  for (const auto& s : data) {
+    // Labels are noisy copies of the joints: within a centimeter.
+    for (int j = 0; j < hand::kNumJoints; ++j) {
+      const Vec3 label{s.label.at(0, 3 * j), s.label.at(0, 3 * j + 1),
+                       s.label.at(0, 3 * j + 2)};
+      EXPECT_LT(distance(label, s.joints[static_cast<std::size_t>(j)]),
+                0.02);
+    }
+  }
+}
+
+TEST(PosePrior, ComponentsAreOrthonormal) {
+  DepthDatasetConfig cfg;
+  cfg.samples = 120;
+  const auto data = make_depth_dataset(cfg);
+  const auto prior = fit_pose_prior(data, 8);
+  for (int a = 0; a < 8; ++a)
+    for (int b = 0; b < 8; ++b) {
+      double dot = 0.0;
+      for (int c = 0; c < 63; ++c)
+        dot += prior.components.at(a, c) * prior.components.at(b, c);
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-3) << a << "," << b;
+    }
+}
+
+TEST(PosePrior, ReconstructionBeatsMeanPose) {
+  DepthDatasetConfig cfg;
+  cfg.samples = 150;
+  const auto data = make_depth_dataset(cfg);
+  const auto prior = fit_pose_prior(data, 20);
+  double mean_err = 0.0, pca_err = 0.0;
+  for (const auto& s : data) {
+    for (int c = 0; c < 63; ++c) {
+      const double centered =
+          s.label.at(0, c) - prior.mean[static_cast<std::size_t>(c)];
+      mean_err += centered * centered;
+    }
+    // Project then reconstruct.
+    double recon[63] = {};
+    for (int k = 0; k < 20; ++k) {
+      double coeff = 0.0;
+      for (int c = 0; c < 63; ++c)
+        coeff += (s.label.at(0, c) -
+                  prior.mean[static_cast<std::size_t>(c)]) *
+                 prior.components.at(k, c);
+      for (int c = 0; c < 63; ++c)
+        recon[c] += coeff * prior.components.at(k, c);
+    }
+    for (int c = 0; c < 63; ++c) {
+      const double centered =
+          s.label.at(0, c) - prior.mean[static_cast<std::size_t>(c)];
+      pca_err += (centered - recon[c]) * (centered - recon[c]);
+    }
+  }
+  EXPECT_LT(pca_err, 0.10 * mean_err);
+}
+
+TEST(Cascade, LearnsToBeatTheMeanPose) {
+  DepthDatasetConfig cfg;
+  cfg.samples = 150;
+  auto train_set = make_depth_dataset(cfg);
+  cfg.seed = 77;
+  cfg.samples = 60;
+  const auto test_set = make_depth_dataset(cfg);
+
+  CascadeConfig ccfg;
+  ccfg.stages = 3;
+  ccfg.epochs_per_stage = 8;
+  CascadeRegressor cascade(ccfg, cfg.camera);
+  cascade.train(train_set);
+  const double mpjpe = cascade.evaluate_mpjpe_mm(test_set);
+
+  // Mean-pose reference error.
+  CascadeConfig zero_cfg;
+  zero_cfg.stages = 1;
+  zero_cfg.epochs_per_stage = 0;
+  CascadeRegressor untrained(zero_cfg, cfg.camera);
+  untrained.train(train_set);  // trains a no-op stage but fits the mean
+  const double mean_mpjpe = untrained.evaluate_mpjpe_mm(test_set);
+
+  EXPECT_LT(mpjpe, 0.85 * mean_mpjpe)
+      << "cascade " << mpjpe << " vs mean " << mean_mpjpe;
+}
+
+TEST(DeepPrior, LearnsToBeatTheMeanPose) {
+  DepthDatasetConfig cfg;
+  cfg.samples = 300;
+  auto train_set = make_depth_dataset(cfg);
+  cfg.seed = 78;
+  cfg.samples = 60;
+  const auto test_set = make_depth_dataset(cfg);
+
+  DeepPriorConfig dcfg;
+  dcfg.epochs = 15;
+  DeepPriorRegressor dp(dcfg, cfg.camera);
+  dp.train(train_set);
+  const double mpjpe = dp.evaluate_mpjpe_mm(test_set);
+
+  // Mean-pose error of the same test set.
+  hand::JointSet mean_pose{};
+  for (const auto& s : train_set)
+    for (int j = 0; j < hand::kNumJoints; ++j)
+      mean_pose[static_cast<std::size_t>(j)] +=
+          s.joints[static_cast<std::size_t>(j)];
+  for (auto& p : mean_pose) p = p / static_cast<double>(train_set.size());
+  double mean_total = 0.0;
+  for (const auto& s : test_set)
+    for (int j = 0; j < hand::kNumJoints; ++j)
+      mean_total += 1000.0 *
+                    distance(mean_pose[static_cast<std::size_t>(j)],
+                             s.joints[static_cast<std::size_t>(j)]);
+  const double mean_mpjpe =
+      mean_total / (static_cast<double>(test_set.size()) * hand::kNumJoints);
+
+  EXPECT_LT(mpjpe, 0.92 * mean_mpjpe)
+      << "deepprior " << mpjpe << " vs mean " << mean_mpjpe;
+}
+
+TEST(Mm4Arm, RestrictedSetupIsAccurateRotationDegrades) {
+  radar::ChirpConfig chirp;
+  chirp.chirps_per_frame = 8;
+  chirp.samples_per_chirp = 32;
+  chirp.frame_period_s = 0.05;
+  radar::PipelineConfig pipeline;
+  pipeline.cube.range_bins = 12;
+  pipeline.cube.azimuth_bins = 8;
+  pipeline.cube.elevation_bins = 4;
+
+  Mm4ArmConfig cfg;
+  cfg.train_seconds = 15;
+  cfg.test_seconds = 4;
+  cfg.epochs = 15;
+  Mm4ArmBaseline mm4arm(cfg, chirp, pipeline);
+  mm4arm.train();
+  const double restricted = mm4arm.evaluate_restricted_mpjpe_mm();
+  const double rotated = mm4arm.evaluate_rotated_mpjpe_mm();
+  EXPECT_LT(restricted, 45.0) << "restricted " << restricted;
+  EXPECT_GT(rotated, 1.3 * restricted)
+      << "restricted " << restricted << " rotated " << rotated;
+}
+
+TEST(HandFi, CsiRespondsToHandPose) {
+  WifiConfig wifi;
+  Rng rng(1);
+  const auto joints_open = posed_joints();
+  hand::HandPose fist;
+  fist.wrist_position = Vec3{0, 0.3, 0};
+  fist.fingers = hand::gesture_articulation(hand::Gesture::kFist);
+  const auto joints_fist =
+      hand::forward_kinematics(hand::HandProfile::reference(), fist);
+
+  sim::HandSceneConfig scfg;
+  Rng srng(2);
+  const auto scene_open =
+      sim::build_hand_scene(joints_open, joints_open, 0.05, scfg, srng);
+  const auto scene_fist =
+      sim::build_hand_scene(joints_fist, joints_fist, 0.05, scfg, srng);
+  wifi.noise_stddev = 0.0;
+  Rng r1(3), r2(3);
+  const auto csi_open = simulate_csi(scene_open, wifi, r1);
+  const auto csi_fist = simulate_csi(scene_fist, wifi, r2);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < csi_open.size(); ++i)
+    diff += std::abs(csi_open[i] - csi_fist[i]);
+  EXPECT_GT(diff, 0.1);
+}
+
+TEST(HandFi, LearnsCoarseSkeletons) {
+  HandFiConfig cfg;
+  cfg.train_frames = 600;
+  cfg.test_frames = 80;
+  cfg.epochs = 12;
+  HandFiBaseline handfi(cfg);
+  handfi.train();
+  const double mpjpe = handfi.evaluate_mpjpe_mm();
+  // Coarse (WiFi cannot resolve fingers the way a 4 GHz mmWave sweep can)
+  // but structured: well below a collapsed/unstable regressor.
+  EXPECT_LT(mpjpe, 70.0) << "handfi " << mpjpe;
+  EXPECT_GT(mpjpe, 5.0);
+}
+
+}  // namespace
+}  // namespace mmhand::baselines

@@ -1,0 +1,308 @@
+// Tests for mmhand/hand: skeleton topology, profiles, forward kinematics
+// invariants (bone lengths, finger planarity), gestures and scripts.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mmhand/common/error.hpp"
+#include "mmhand/hand/gesture.hpp"
+#include "mmhand/hand/hand_profile.hpp"
+#include "mmhand/hand/kinematics.hpp"
+#include "mmhand/hand/skeleton.hpp"
+
+namespace mmhand::hand {
+namespace {
+
+TEST(Skeleton, JointTopology) {
+  EXPECT_EQ(kNumJoints, 21);
+  EXPECT_EQ(joint_parent(kWrist), -1);
+  // MCPs attach to the wrist.
+  for (int f = 0; f < kNumFingers; ++f)
+    EXPECT_EQ(joint_parent(finger_base(static_cast<Finger>(f))), kWrist);
+  // Chain within a finger.
+  EXPECT_EQ(joint_parent(finger_joint(Finger::kIndex, 2)),
+            finger_joint(Finger::kIndex, 1));
+  EXPECT_EQ(joint_parent(finger_joint(Finger::kIndex, 3)),
+            finger_joint(Finger::kIndex, 2));
+}
+
+TEST(Skeleton, FingertipAndPalmPartition) {
+  int tips = 0, palm = 0;
+  for (int j = 0; j < kNumJoints; ++j) {
+    if (is_fingertip(j)) ++tips;
+    if (is_palm_joint(j)) ++palm;
+    EXPECT_FALSE(is_fingertip(j) && is_palm_joint(j)) << "joint " << j;
+  }
+  EXPECT_EQ(tips, 5);  // 4 fingertips + thumb tip
+  EXPECT_EQ(palm, 6);  // wrist + 5 MCP
+}
+
+TEST(Skeleton, JointNamesAreUniqueAndMediaPipeOrdered) {
+  EXPECT_EQ(joint_name(0), "wrist");
+  EXPECT_EQ(joint_name(4), "thumb_tip");
+  EXPECT_EQ(joint_name(8), "index_tip");
+  EXPECT_EQ(joint_name(20), "pinky_tip");
+  for (int i = 0; i < kNumJoints; ++i)
+    for (int j = i + 1; j < kNumJoints; ++j)
+      EXPECT_NE(joint_name(i), joint_name(j));
+  EXPECT_THROW(joint_name(21), Error);
+}
+
+TEST(HandProfile, ReferenceIsPlausiblySized) {
+  const auto p = HandProfile::reference();
+  // Wrist to middle fingertip in the open pose: 16-21 cm.
+  const double reach = p.mcp_offsets[2].norm() +
+                       p.phalange_lengths[2][0] + p.phalange_lengths[2][1] +
+                       p.phalange_lengths[2][2];
+  EXPECT_GT(reach, 0.16);
+  EXPECT_LT(reach, 0.21);
+}
+
+TEST(HandProfile, UsersAreDeterministicAndDistinct) {
+  const auto a1 = HandProfile::for_user(3);
+  const auto a2 = HandProfile::for_user(3);
+  EXPECT_DOUBLE_EQ(a1.scale, a2.scale);
+  EXPECT_EQ(a1.mcp_offsets[0], a2.mcp_offsets[0]);
+
+  const auto b = HandProfile::for_user(4);
+  EXPECT_NE(a1.scale, b.scale);
+}
+
+TEST(HandProfile, MaleLargerThanFemaleOnAverage) {
+  double male = 0.0, female = 0.0;
+  for (int u = 0; u < 10; u += 2) male += HandProfile::for_user(u).scale;
+  for (int u = 1; u < 10; u += 2) female += HandProfile::for_user(u).scale;
+  EXPECT_GT(male / 5.0, female / 5.0);
+}
+
+TEST(HandProfile, ScaledScalesEverything) {
+  const auto p = HandProfile::reference();
+  const auto s = p.scaled(2.0);
+  EXPECT_DOUBLE_EQ(s.scale, 2.0);
+  EXPECT_NEAR(s.mcp_offsets[1].norm(), 2.0 * p.mcp_offsets[1].norm(), 1e-12);
+  EXPECT_NEAR(s.phalange_lengths[2][0], 2.0 * p.phalange_lengths[2][0],
+              1e-12);
+  EXPECT_THROW(p.scaled(0.0), Error);
+}
+
+TEST(Kinematics, WristAtOriginInLocalFrame) {
+  const auto joints =
+      local_kinematics(HandProfile::reference(), HandPose{});
+  EXPECT_NEAR(joints[kWrist].norm(), 0.0, 1e-12);
+}
+
+TEST(Kinematics, BoneLengthsMatchProfileForAnyArticulation) {
+  // FK must preserve phalange lengths regardless of flexion — the rigidity
+  // property §IV's kinematic loss builds on.
+  const auto profile = HandProfile::for_user(1);
+  for (Gesture g : all_gestures()) {
+    HandPose pose;
+    pose.fingers = gesture_articulation(g);
+    const auto joints = forward_kinematics(profile, pose);
+    for (int f = 0; f < kNumFingers; ++f) {
+      const auto fi = static_cast<std::size_t>(f);
+      for (int k = 0; k < 3; ++k) {
+        const int child = finger_joint(static_cast<Finger>(f), k + 1);
+        EXPECT_NEAR(bone_length(joints, child),
+                    profile.phalange_lengths[fi][static_cast<std::size_t>(k)],
+                    1e-10)
+            << gesture_name(g) << " finger " << f << " bone " << k;
+      }
+    }
+  }
+}
+
+TEST(Kinematics, FingerJointsAreCoplanar) {
+  // The generator articulates each finger about one lateral axis, so the
+  // MCP/PIP/DIP/TIP joints must be exactly coplanar (Fig. 7's assumption).
+  const auto profile = HandProfile::reference();
+  for (Gesture g : all_gestures()) {
+    HandPose pose;
+    pose.fingers = gesture_articulation(g);
+    const auto joints = forward_kinematics(profile, pose);
+    for (int f = 0; f < kNumFingers; ++f) {
+      const Vec3 a = joints[static_cast<std::size_t>(
+          finger_joint(static_cast<Finger>(f), 0))];
+      const Vec3 b = joints[static_cast<std::size_t>(
+          finger_joint(static_cast<Finger>(f), 1))];
+      const Vec3 c = joints[static_cast<std::size_t>(
+          finger_joint(static_cast<Finger>(f), 2))];
+      const Vec3 d = joints[static_cast<std::size_t>(
+          finger_joint(static_cast<Finger>(f), 3))];
+      const Vec3 n = (b - a).cross(c - a);
+      if (n.norm() < 1e-9) continue;  // collinear: trivially coplanar
+      EXPECT_NEAR(n.normalized().dot(d - a), 0.0, 1e-9)
+          << gesture_name(g) << " finger " << f;
+    }
+  }
+}
+
+TEST(Kinematics, StraightFingerIsCollinear) {
+  const auto profile = HandProfile::reference();
+  HandPose pose;  // all articulations zero: fingers straight
+  const auto joints = forward_kinematics(profile, pose);
+  // Index finger: |AB|+|BC|+|CD| ~ |AD| (the paper's collinear criterion
+  // with phi = 0.01).
+  const Vec3 a = joints[5], b = joints[6], c = joints[7], d = joints[8];
+  const double chain = distance(a, b) + distance(b, c) + distance(c, d);
+  EXPECT_LT(chain, 1.01 * distance(a, d));
+}
+
+TEST(Kinematics, FlexionCurlsTowardPalm) {
+  const auto profile = HandProfile::reference();
+  HandPose straight, curled;
+  curled.fingers[1] = {1.2, 1.2, 0.8, 0.0};  // index
+  const auto js = local_kinematics(profile, straight);
+  const auto jc = local_kinematics(profile, curled);
+  // Palm normal is +z in the hand frame; curling moves the tip to -z.
+  EXPECT_LT(jc[8].z, js[8].z - 0.03);
+  // And shortens the wrist-to-tip distance.
+  EXPECT_LT(jc[8].norm(), js[8].norm() - 0.02);
+}
+
+TEST(Kinematics, GlobalTransformAppliesRigidly) {
+  const auto profile = HandProfile::reference();
+  HandPose pose;
+  pose.fingers = gesture_articulation(Gesture::kPinch);
+  const auto local = local_kinematics(profile, pose);
+
+  pose.wrist_position = Vec3{0.1, 0.4, -0.05};
+  pose.orientation = Quaternion::from_axis_angle({0, 0, 1}, 0.8);
+  const auto world = forward_kinematics(profile, pose);
+  for (int j = 0; j < kNumJoints; ++j) {
+    const Vec3 expected = pose.wrist_position +
+                          pose.orientation.rotate(local[static_cast<std::size_t>(j)]);
+    EXPECT_NEAR(distance(world[static_cast<std::size_t>(j)], expected), 0.0,
+                1e-12);
+  }
+}
+
+TEST(Kinematics, ClampArticulationBounds) {
+  HandPose pose;
+  pose.fingers[2] = {9.0, -3.0, 9.0, 2.0};
+  const auto clamped = clamp_articulation(pose);
+  EXPECT_LE(clamped.fingers[2].mcp, kMaxFlexion);
+  EXPECT_GE(clamped.fingers[2].pip, -0.10);
+  EXPECT_LE(clamped.fingers[2].dip, 1.2);
+  EXPECT_LE(std::abs(clamped.fingers[2].splay), 0.35);
+}
+
+TEST(Kinematics, PoseLerpEndpoints) {
+  HandPose a, b;
+  b.fingers[1].mcp = 1.0;
+  b.wrist_position = Vec3{0.1, 0.2, 0.3};
+  const auto at0 = HandPose::lerp(a, b, 0.0);
+  const auto at1 = HandPose::lerp(a, b, 1.0);
+  EXPECT_DOUBLE_EQ(at0.fingers[1].mcp, 0.0);
+  EXPECT_DOUBLE_EQ(at1.fingers[1].mcp, 1.0);
+  EXPECT_NEAR(distance(at1.wrist_position, b.wrist_position), 0.0, 1e-12);
+  const auto mid = HandPose::lerp(a, b, 0.5);
+  EXPECT_DOUBLE_EQ(mid.fingers[1].mcp, 0.5);
+}
+
+TEST(Gesture, NamesAreUnique) {
+  const auto gs = all_gestures();
+  EXPECT_EQ(gs.size(), static_cast<std::size_t>(kNumGestures));
+  for (std::size_t i = 0; i < gs.size(); ++i)
+    for (std::size_t j = i + 1; j < gs.size(); ++j)
+      EXPECT_NE(gesture_name(gs[i]), gesture_name(gs[j]));
+}
+
+class GestureDistinctness
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GestureDistinctness, DistinctGesturesYieldDistinctFingertips) {
+  const auto [gi, gj] = GetParam();
+  if (gi >= gj) GTEST_SKIP();
+  // Count4 and OpenPalm intentionally share articulations except thumb.
+  const auto profile = HandProfile::reference();
+  HandPose pa, pb;
+  pa.fingers = gesture_articulation(static_cast<Gesture>(gi));
+  pb.fingers = gesture_articulation(static_cast<Gesture>(gj));
+  const auto ja = forward_kinematics(profile, pa);
+  const auto jb = forward_kinematics(profile, pb);
+  double total = 0.0;
+  for (int j = 0; j < kNumJoints; ++j)
+    total += distance(ja[static_cast<std::size_t>(j)],
+                      jb[static_cast<std::size_t>(j)]);
+  EXPECT_GT(total, 0.01) << gesture_name(static_cast<Gesture>(gi)) << " vs "
+                         << gesture_name(static_cast<Gesture>(gj));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, GestureDistinctness,
+    ::testing::Combine(::testing::Range(0, kNumGestures),
+                       ::testing::Range(0, kNumGestures)));
+
+TEST(GestureScript, DeterministicGivenSeed) {
+  GestureScriptConfig cfg;
+  GestureScript s1(cfg, Rng(9), 10.0);
+  GestureScript s2(cfg, Rng(9), 10.0);
+  for (double t = 0.0; t < 10.0; t += 0.37) {
+    const auto p1 = s1.pose_at(t);
+    const auto p2 = s2.pose_at(t);
+    EXPECT_NEAR(distance(p1.wrist_position, p2.wrist_position), 0.0, 1e-12);
+    EXPECT_DOUBLE_EQ(p1.fingers[1].mcp, p2.fingers[1].mcp);
+  }
+}
+
+TEST(GestureScript, PosesAreContinuousInTime) {
+  GestureScriptConfig cfg;
+  GestureScript script(cfg, Rng(5), 8.0);
+  const auto profile = HandProfile::reference();
+  const double dt = 0.01;
+  for (double t = 0.0; t < 7.9; t += dt) {
+    const auto ja = forward_kinematics(profile, script.pose_at(t));
+    const auto jb = forward_kinematics(profile, script.pose_at(t + dt));
+    for (int j = 0; j < kNumJoints; ++j) {
+      // No joint moves faster than ~3 m/s during daily gestures.
+      EXPECT_LT(distance(ja[static_cast<std::size_t>(j)],
+                         jb[static_cast<std::size_t>(j)]),
+                3.0 * dt)
+          << "t=" << t << " joint " << j;
+    }
+  }
+}
+
+TEST(GestureScript, WristStaysNearBase) {
+  GestureScriptConfig cfg;
+  cfg.base_wrist = Vec3{0.0, 0.30, 0.0};
+  GestureScript script(cfg, Rng(2), 20.0);
+  for (double t = 0.0; t < 20.0; t += 0.25) {
+    const auto pose = script.pose_at(t);
+    EXPECT_LT(distance(pose.wrist_position, cfg.base_wrist),
+              3.0 * cfg.wrist_drift_m + 1e-9);
+  }
+}
+
+TEST(GestureScript, VocabularyIsRespected) {
+  GestureScriptConfig cfg;
+  cfg.vocabulary = {Gesture::kFist, Gesture::kOpenPalm};
+  GestureScript script(cfg, Rng(4), 15.0);
+  for (double t = 0.0; t < 15.0; t += 0.2) {
+    const Gesture g = script.gesture_at(t);
+    EXPECT_TRUE(g == Gesture::kFist || g == Gesture::kOpenPalm);
+  }
+}
+
+TEST(GestureScript, PalmFacesRadarByDefault) {
+  // With the default base orientation, fingers point up (+z world) and the
+  // palm normal (hand -z... the palm side) faces the radar at -y.
+  GestureScriptConfig cfg;
+  cfg.orientation_wobble_rad = 0.0;
+  cfg.wrist_drift_m = 0.0;
+  GestureScript script(cfg, Rng(1), 4.0);
+  const auto pose = script.pose_at(0.0);
+  const auto profile = HandProfile::reference();
+  const auto joints = forward_kinematics(profile, pose);
+  // Middle fingertip is above the wrist in world z when the hand is open;
+  // at minimum the MCP (rigid palm) must be.
+  EXPECT_GT(joints[9].z, joints[kWrist].z);
+  // Hand-frame back normal (+z) maps to +y world (away from radar).
+  const Vec3 back = pose.orientation.rotate(Vec3{0, 0, 1});
+  EXPECT_GT(back.y, 0.9);
+}
+
+}  // namespace
+}  // namespace mmhand::hand

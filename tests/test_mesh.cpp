@@ -1,0 +1,277 @@
+// Tests for mmhand/mesh: template geometry, blend shapes, LBS posing,
+// rig/FK agreement, IK reconstruction, and OBJ export.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "mmhand/hand/gesture.hpp"
+#include "mmhand/hand/kinematics.hpp"
+#include "mmhand/mesh/hand_template.hpp"
+#include "mmhand/mesh/mano_model.hpp"
+#include "mmhand/mesh/obj_export.hpp"
+#include "mmhand/mesh/reconstruction.hpp"
+
+namespace mmhand::mesh {
+namespace {
+
+const HandTemplate& reference_template() {
+  static const HandTemplate tmpl =
+      HandTemplate::create(hand::HandProfile::reference());
+  return tmpl;
+}
+
+TEST(HandTemplate, GeometryBudget) {
+  const auto& t = reference_template();
+  EXPECT_GT(t.vertex_count(), 250u);
+  EXPECT_GT(t.face_count(), 450u);
+  EXPECT_EQ(t.skinning().size(), t.vertex_count());
+}
+
+TEST(HandTemplate, FacesReferenceValidVertices) {
+  const auto& t = reference_template();
+  for (const auto& f : t.faces())
+    for (int idx : f) {
+      EXPECT_GE(idx, 0);
+      EXPECT_LT(idx, static_cast<int>(t.vertex_count()));
+    }
+}
+
+TEST(HandTemplate, SkinWeightsNormalizedAndValid) {
+  const auto& t = reference_template();
+  for (const auto& weights : t.skinning()) {
+    ASSERT_FALSE(weights.empty());
+    double total = 0.0;
+    for (const auto& [joint, w] : weights) {
+      EXPECT_GE(joint, 0);
+      EXPECT_LT(joint, hand::kNumJoints);
+      EXPECT_GT(w, 0.0);
+      total += w;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(HandTemplate, VerticesHugTheSkeleton) {
+  const auto& t = reference_template();
+  const auto& joints = t.rest_joints();
+  for (const Vec3& v : t.vertices()) {
+    double best = 1e9;
+    for (const Vec3& j : joints) best = std::min(best, distance(v, j));
+    EXPECT_LT(best, 0.06) << "vertex far from every joint";
+  }
+}
+
+TEST(HandTemplate, EveryJointDrivesSomeVertex) {
+  const auto& t = reference_template();
+  std::set<int> used;
+  for (const auto& weights : t.skinning())
+    for (const auto& [joint, w] : weights) used.insert(joint);
+  // All joints except possibly fingertips must appear; fingertips do too
+  // via the tip rings.
+  EXPECT_EQ(used.size(), static_cast<std::size_t>(hand::kNumJoints));
+}
+
+TEST(ManoModel, ZeroParamsReproduceTemplate) {
+  const ManoHandModel model(reference_template());
+  const HandMesh mesh = model.pose(ShapeParams{}, PoseParams{});
+  const auto& t = reference_template();
+  ASSERT_EQ(mesh.vertices.size(), t.vertex_count());
+  for (std::size_t v = 0; v < mesh.vertices.size(); ++v)
+    EXPECT_NEAR(distance(mesh.vertices[v], t.vertices()[v]), 0.0, 1e-12);
+}
+
+TEST(ManoModel, GlobalScaleBasisGrowsTheHand) {
+  const ManoHandModel model(reference_template());
+  ShapeParams beta{};
+  beta[0] = 0.2;  // +20%
+  const auto joints = model.shaped_joints(beta);
+  const auto& rest = reference_template().rest_joints();
+  EXPECT_NEAR(joints[12].norm(), 1.2 * rest[12].norm(), 1e-9);
+}
+
+TEST(ManoModel, FingerLengthBasisOnlyMovesFingers) {
+  const ManoHandModel model(reference_template());
+  ShapeParams beta{};
+  beta[1] = 0.3;
+  const auto joints = model.shaped_joints(beta);
+  const auto& rest = reference_template().rest_joints();
+  // Wrist untouched, middle fingertip longer.
+  EXPECT_NEAR(distance(joints[0], rest[0]), 0.0, 1e-12);
+  EXPECT_GT(joints[12].y, rest[12].y + 0.005);
+}
+
+TEST(ManoModel, PoseBlendShapesAreSmall) {
+  const ManoHandModel model(reference_template());
+  PoseParams theta{};
+  theta[6] = Vec3{1.0, 0.0, 0.0};  // bend the index PIP hard
+  const auto deformed = model.deformed_template(ShapeParams{}, theta);
+  const auto& rest = reference_template().vertices();
+  double max_shift = 0.0;
+  for (std::size_t v = 0; v < deformed.size(); ++v)
+    max_shift = std::max(max_shift, distance(deformed[v], rest[v]));
+  EXPECT_GT(max_shift, 0.0);
+  EXPECT_LT(max_shift, 0.003);  // correctives are millimeter-scale
+}
+
+TEST(ManoModel, RigFkMatchesHandKinematics) {
+  // The analytic rig pose must reproduce hand::forward_kinematics joints
+  // exactly — the property that lets IK training transfer to predicted
+  // skeletons (see mano_model.cpp).
+  const auto profile = hand::HandProfile::reference();
+  const ManoHandModel model(HandTemplate::create(profile));
+  for (hand::Gesture g : hand::all_gestures()) {
+    hand::HandPose pose;
+    pose.fingers = hand::gesture_articulation(g);
+    pose.wrist_position = Vec3{0.05, 0.31, -0.02};
+    pose.orientation = Quaternion::from_axis_angle({0.3, 0.2, 0.9}, 0.7);
+    const auto fk = hand::forward_kinematics(profile, pose);
+    const auto rig = model.posed_joints(
+        ShapeParams{}, pose_from_articulation(profile, pose),
+        pose.wrist_position);
+    for (int j = 0; j < hand::kNumJoints; ++j)
+      EXPECT_NEAR(distance(fk[static_cast<std::size_t>(j)],
+                           rig[static_cast<std::size_t>(j)]),
+                  0.0, 1e-9)
+          << hand::gesture_name(g) << " joint " << j;
+  }
+}
+
+TEST(ManoModel, PosingPreservesPhalangeLengths) {
+  const auto profile = hand::HandProfile::reference();
+  const ManoHandModel model(HandTemplate::create(profile));
+  hand::HandPose pose;
+  pose.fingers = hand::gesture_articulation(hand::Gesture::kPinch);
+  const auto rig = model.posed_joints(
+      ShapeParams{}, pose_from_articulation(profile, pose));
+  const auto& rest = reference_template().rest_joints();
+  for (int child = 1; child < hand::kNumJoints; ++child) {
+    const int parent = hand::joint_parent(child);
+    EXPECT_NEAR(distance(rig[static_cast<std::size_t>(child)],
+                         rig[static_cast<std::size_t>(parent)]),
+                distance(rest[static_cast<std::size_t>(child)],
+                         rest[static_cast<std::size_t>(parent)]),
+                1e-9);
+  }
+}
+
+TEST(ManoModel, FistPoseCurlsMeshVertices) {
+  const ManoHandModel model(reference_template());
+  const auto profile = hand::HandProfile::reference();
+  hand::HandPose fist;
+  fist.fingers = hand::gesture_articulation(hand::Gesture::kFist);
+  const HandMesh curled =
+      model.pose(ShapeParams{}, pose_from_articulation(profile, fist));
+  const HandMesh open = model.pose(ShapeParams{}, PoseParams{});
+  // Bounding box along y shrinks substantially when the fist closes.
+  auto max_y = [](const HandMesh& m) {
+    double best = -1e9;
+    for (const auto& v : m.vertices) best = std::max(best, v.y);
+    return best;
+  };
+  EXPECT_LT(max_y(curled), max_y(open) - 0.04);
+}
+
+TEST(ManoModel, RootTranslationIsRigid) {
+  const ManoHandModel model(reference_template());
+  const Vec3 root{0.1, 0.3, -0.05};
+  const HandMesh at_origin = model.pose(ShapeParams{}, PoseParams{});
+  const HandMesh moved = model.pose(ShapeParams{}, PoseParams{}, root);
+  for (std::size_t v = 0; v < moved.vertices.size(); ++v)
+    EXPECT_NEAR(
+        distance(moved.vertices[v], at_origin.vertices[v] + root), 0.0,
+        1e-12);
+}
+
+TEST(Reconstruction, TrainedIkRecoversRigPoses) {
+  Rng rng(1);
+  MeshReconstructor recon(reference_template(), rng);
+  ReconstructorTrainConfig cfg;
+  cfg.samples = 800;
+  cfg.epochs = 20;
+  const double holdout_err = recon.train(cfg);
+  // Held-out joint reconstruction around a centimeter on average (the
+  // full default budget reaches ~1.2 cm; this test uses a reduced one).
+  EXPECT_LT(holdout_err, 0.022) << "held-out error " << holdout_err;
+}
+
+TEST(Reconstruction, ReconstructPlacesMeshAtTheWrist) {
+  Rng rng(2);
+  MeshReconstructor recon(reference_template(), rng);
+  ReconstructorTrainConfig cfg;
+  cfg.samples = 200;
+  cfg.epochs = 5;
+  (void)recon.train(cfg);
+
+  const auto profile = hand::HandProfile::reference();
+  hand::HandPose pose;
+  pose.wrist_position = Vec3{0.02, 0.33, 0.05};
+  pose.orientation = Quaternion{0.0, 0.0, 0.7071, 0.7071}.normalized();
+  const auto joints = hand::forward_kinematics(profile, pose);
+  auto result = recon.reconstruct(joints);
+  EXPECT_NEAR(distance(result.joints[hand::kWrist], joints[hand::kWrist]),
+              0.0, 1e-6);
+  // The mesh sits around the hand, not at the origin.
+  Vec3 centroid;
+  for (const auto& v : result.mesh.vertices) centroid += v;
+  centroid = centroid / static_cast<double>(result.mesh.vertices.size());
+  EXPECT_LT(distance(centroid, joints[9]), 0.12);
+}
+
+TEST(Reconstruction, SaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/recon.bin";
+  Rng rng(3);
+  MeshReconstructor a(reference_template(), rng);
+  Rng rng2(4);
+  MeshReconstructor b(reference_template(), rng2);
+  a.save(path);
+  b.load(path);
+  const auto joints = hand::forward_kinematics(
+      hand::HandProfile::reference(), hand::HandPose{});
+  const auto ra = a.reconstruct(joints);
+  const auto rb = b.reconstruct(joints);
+  for (int j = 0; j < hand::kNumJoints; ++j)
+    EXPECT_NEAR(distance(ra.joints[static_cast<std::size_t>(j)],
+                         rb.joints[static_cast<std::size_t>(j)]),
+                0.0, 1e-9);
+  std::remove(path.c_str());
+}
+
+TEST(ObjExport, WritesValidObj) {
+  const std::string path = ::testing::TempDir() + "/hand.obj";
+  const ManoHandModel model(reference_template());
+  const HandMesh mesh = model.pose(ShapeParams{}, PoseParams{});
+  write_obj(path, mesh);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t v_count = 0, f_count = 0;
+  while (std::getline(in, line)) {
+    if (line.rfind("v ", 0) == 0) ++v_count;
+    if (line.rfind("f ", 0) == 0) ++f_count;
+  }
+  EXPECT_EQ(v_count, mesh.vertices.size());
+  EXPECT_EQ(f_count, mesh.faces.size());
+  std::remove(path.c_str());
+}
+
+TEST(ObjExport, SkeletonObjHasBones) {
+  const std::string path = ::testing::TempDir() + "/skel.obj";
+  const auto joints = hand::forward_kinematics(
+      hand::HandProfile::reference(), hand::HandPose{});
+  write_skeleton_obj(path, joints);
+  std::ifstream in(path);
+  std::string line;
+  std::size_t l_count = 0;
+  while (std::getline(in, line))
+    if (line.rfind("l ", 0) == 0) ++l_count;
+  EXPECT_EQ(l_count, static_cast<std::size_t>(hand::kNumBones));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mmhand::mesh

@@ -1,0 +1,424 @@
+// Tests for mmhand/sim: hand scatterer scenes, clutter, effect models,
+// label noise, and the end-to-end dataset builder.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mmhand/hand/kinematics.hpp"
+#include "mmhand/sim/clutter.hpp"
+#include "mmhand/sim/dataset.hpp"
+#include "mmhand/sim/effects.hpp"
+#include "mmhand/sim/label_noise.hpp"
+#include "mmhand/common/stats.hpp"
+#include "mmhand/sim/scene.hpp"
+
+namespace mmhand::sim {
+namespace {
+
+hand::JointSet posed_joints(double wrist_y = 0.30) {
+  hand::HandPose pose;
+  pose.wrist_position = Vec3{0.0, wrist_y, 0.0};
+  return hand::forward_kinematics(hand::HandProfile::reference(), pose);
+}
+
+TEST(HandScene, ScattererCountMatchesConfig) {
+  const auto joints = posed_joints();
+  HandSceneConfig cfg;
+  Rng rng(1);
+  const auto scene = build_hand_scene(joints, joints, 0.02, cfg, rng);
+  EXPECT_EQ(scene.size(),
+            static_cast<std::size_t>(hand::kNumBones * cfg.points_per_bone +
+                                     cfg.palm_points));
+}
+
+TEST(HandScene, ScatterersLieNearTheHand) {
+  const auto joints = posed_joints();
+  HandSceneConfig cfg;
+  Rng rng(2);
+  const auto scene = build_hand_scene(joints, joints, 0.02, cfg, rng);
+  const Vec3 wrist = joints[hand::kWrist];
+  for (const auto& s : scene) {
+    EXPECT_LT(distance(s.position, wrist), 0.25) << "scatterer far from hand";
+    EXPECT_GT(s.amplitude, 0.0);
+  }
+}
+
+TEST(HandScene, StaticHandHasZeroVelocity) {
+  const auto joints = posed_joints();
+  HandSceneConfig cfg;
+  Rng rng(3);
+  const auto scene = build_hand_scene(joints, joints, 0.02, cfg, rng);
+  for (const auto& s : scene) EXPECT_NEAR(s.velocity.norm(), 0.0, 1e-12);
+}
+
+TEST(HandScene, MovingHandHasFiniteDifferenceVelocity) {
+  const auto j0 = posed_joints(0.30);
+  const auto j1 = posed_joints(0.32);  // hand moved 2 cm away
+  HandSceneConfig cfg;
+  Rng rng(4);
+  const double dt = 0.02;
+  const auto scene = build_hand_scene(j1, j0, dt, cfg, rng);
+  for (const auto& s : scene) {
+    EXPECT_NEAR(s.velocity.y, 0.02 / dt, 1e-9);
+    EXPECT_NEAR(s.velocity.x, 0.0, 1e-9);
+  }
+}
+
+TEST(HandScene, PalmReflectsMoreThanFingersInTotal) {
+  const auto joints = posed_joints();
+  HandSceneConfig cfg;
+  Rng rng(5);
+  const auto scene = build_hand_scene(joints, joints, 0.02, cfg, rng);
+  double palm = 0.0, fingers = 0.0;
+  for (std::size_t i = 0; i < scene.size(); ++i) {
+    if (i < static_cast<std::size_t>(cfg.palm_points))
+      palm += scene[i].amplitude;
+    else
+      fingers += scene[i].amplitude;
+  }
+  EXPECT_GT(palm, fingers);
+}
+
+TEST(HandScene, RejectsBadArguments) {
+  const auto joints = posed_joints();
+  HandSceneConfig cfg;
+  Rng rng(6);
+  EXPECT_THROW(build_hand_scene(joints, joints, 0.0, cfg, rng), Error);
+  cfg.points_per_bone = 0;
+  EXPECT_THROW(build_hand_scene(joints, joints, 0.02, cfg, rng), Error);
+}
+
+TEST(Clutter, PlaygroundIsEmptyWithoutBody) {
+  ClutterConfig cfg;
+  cfg.environment = Environment::kPlayground;
+  cfg.body = BodyPosition::kNone;
+  Rng rng(7);
+  EXPECT_TRUE(build_clutter(cfg, rng).empty());
+}
+
+TEST(Clutter, ClassroomDenserThanCorridor) {
+  Rng rng1(8), rng2(8);
+  ClutterConfig corridor{Environment::kCorridor, BodyPosition::kNone, 0.65};
+  ClutterConfig classroom{Environment::kClassroom, BodyPosition::kNone, 0.65};
+  EXPECT_GT(build_clutter(classroom, rng1).size(),
+            build_clutter(corridor, rng2).size());
+}
+
+TEST(Clutter, BodyFrontSitsBehindHandOnBoresight) {
+  ClutterConfig cfg{Environment::kPlayground, BodyPosition::kFront, 0.65};
+  Rng rng(9);
+  const auto scene = build_clutter(cfg, rng);
+  ASSERT_FALSE(scene.empty());
+  for (const auto& s : scene) {
+    EXPECT_NEAR(s.position.y, 0.65, 0.15);
+    EXPECT_LT(std::abs(s.position.x), 0.25);
+  }
+}
+
+TEST(Clutter, BodySideSitsOffBoresight) {
+  ClutterConfig cfg{Environment::kPlayground, BodyPosition::kSide, 0.65};
+  Rng rng(10);
+  const auto scene = build_clutter(cfg, rng);
+  ASSERT_FALSE(scene.empty());
+  double mean_x = 0.0;
+  for (const auto& s : scene) mean_x += s.position.x;
+  mean_x /= static_cast<double>(scene.size());
+  EXPECT_GT(mean_x, 0.3);
+}
+
+TEST(Clutter, EnvironmentNamesResolve) {
+  EXPECT_EQ(environment_name(Environment::kPlayground), "playground");
+  EXPECT_EQ(environment_name(Environment::kClassroom), "classroom");
+  EXPECT_EQ(body_position_name(BodyPosition::kSide), "side");
+}
+
+TEST(Effects, GloveAddsMaterialScatterersAndFuzz) {
+  const auto joints = posed_joints();
+  HandSceneConfig cfg;
+  Rng rng(11);
+  auto clean = build_hand_scene(joints, joints, 0.02, cfg, rng);
+  auto gloved = clean;
+  Rng glove_rng(12);
+  apply_glove(gloved, GloveType::kCotton, glove_rng);
+  EXPECT_GT(gloved.size(), clean.size());
+  // Positions shifted by the fabric.
+  double total_shift = 0.0;
+  for (std::size_t i = 0; i < clean.size(); ++i)
+    total_shift += distance(gloved[i].position, clean[i].position);
+  EXPECT_GT(total_shift / static_cast<double>(clean.size()), 0.002);
+}
+
+TEST(Effects, CottonDistortsMoreThanSilk) {
+  const auto joints = posed_joints();
+  HandSceneConfig cfg;
+  Rng rng(13);
+  const auto clean = build_hand_scene(joints, joints, 0.02, cfg, rng);
+  auto silk = clean, cotton = clean;
+  Rng r1(14), r2(14);
+  apply_glove(silk, GloveType::kSilk, r1);
+  apply_glove(cotton, GloveType::kCotton, r2);
+  auto mean_shift = [&](const radar::Scene& s) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < clean.size(); ++i)
+      total += distance(s[i].position, clean[i].position);
+    return total / static_cast<double>(clean.size());
+  };
+  EXPECT_GT(mean_shift(cotton), mean_shift(silk));
+}
+
+TEST(Effects, NoGloveIsNoOp) {
+  const auto joints = posed_joints();
+  HandSceneConfig cfg;
+  Rng rng(15);
+  auto scene = build_hand_scene(joints, joints, 0.02, cfg, rng);
+  const auto before = scene.size();
+  Rng glove_rng(16);
+  apply_glove(scene, GloveType::kNone, glove_rng);
+  EXPECT_EQ(scene.size(), before);
+}
+
+TEST(Effects, PenExtendsPastFingertips) {
+  const auto joints = posed_joints();
+  radar::Scene scene;
+  Rng rng(17);
+  apply_handheld_object(scene, joints, HandheldObject::kPen, rng);
+  ASSERT_FALSE(scene.empty());
+  // At least one pen scatterer reaches beyond the index fingertip along
+  // the finger direction.
+  const Vec3 tip = joints[8];
+  const Vec3 dir = (joints[9] - joints[hand::kWrist]).normalized();
+  bool beyond = false;
+  for (const auto& s : scene)
+    if ((s.position - tip).dot(dir) > 0.03) beyond = true;
+  EXPECT_TRUE(beyond);
+}
+
+TEST(Effects, PowerBankShadowsHand) {
+  const auto joints = posed_joints();
+  HandSceneConfig cfg;
+  Rng rng(18);
+  auto scene = build_hand_scene(joints, joints, 0.02, cfg, rng);
+  double hand_amp_before = 0.0;
+  for (const auto& s : scene) hand_amp_before += s.amplitude;
+  const std::size_t hand_count = scene.size();
+  Rng obj_rng(19);
+  apply_handheld_object(scene, joints, HandheldObject::kPowerBank, obj_rng);
+  double hand_amp_after = 0.0;
+  for (std::size_t i = 0; i < hand_count; ++i)
+    hand_amp_after += scene[i].amplitude;
+  EXPECT_LT(hand_amp_after, 0.6 * hand_amp_before);
+  EXPECT_GT(scene.size(), hand_count);
+}
+
+TEST(Effects, BallInterferesLessThanPowerBank) {
+  const auto joints = posed_joints();
+  radar::Scene ball, bank;
+  Rng r1(20), r2(20);
+  apply_handheld_object(ball, joints, HandheldObject::kTableTennisBall, r1);
+  apply_handheld_object(bank, joints, HandheldObject::kPowerBank, r2);
+  auto total_amp = [](const radar::Scene& s) {
+    double a = 0.0;
+    for (const auto& x : s) a += x.amplitude;
+    return a;
+  };
+  EXPECT_LT(total_amp(ball), 0.3 * total_amp(bank));
+}
+
+class ObstacleAttenuation : public ::testing::TestWithParam<Obstacle> {};
+
+TEST_P(ObstacleAttenuation, AttenuatesSceneAndAddsSelfReflection) {
+  const auto joints = posed_joints();
+  HandSceneConfig cfg;
+  Rng rng(21);
+  auto scene = build_hand_scene(joints, joints, 0.02, cfg, rng);
+  double before = 0.0;
+  for (const auto& s : scene) before += s.amplitude;
+  const std::size_t n_before = scene.size();
+  Rng orng(22);
+  apply_obstacle(scene, GetParam(), orng);
+  double after = 0.0;
+  for (std::size_t i = 0; i < n_before; ++i) after += scene[i].amplitude;
+  EXPECT_LT(after, before);
+  EXPECT_GT(scene.size(), n_before);  // obstacle's own reflection
+}
+
+INSTANTIATE_TEST_SUITE_P(Materials, ObstacleAttenuation,
+                         ::testing::Values(Obstacle::kPaper, Obstacle::kCloth,
+                                           Obstacle::kBoard));
+
+TEST(Effects, BoardAttenuatesMostPaperLeast) {
+  const auto joints = posed_joints();
+  HandSceneConfig cfg;
+  Rng rng(23);
+  const auto clean = build_hand_scene(joints, joints, 0.02, cfg, rng);
+  auto attenuated_total = [&](Obstacle o) {
+    auto scene = clean;
+    Rng orng(24);
+    apply_obstacle(scene, o, orng);
+    double total = 0.0;
+    for (std::size_t i = 0; i < clean.size(); ++i)
+      total += scene[i].amplitude;
+    return total;
+  };
+  const double paper = attenuated_total(Obstacle::kPaper);
+  const double cloth = attenuated_total(Obstacle::kCloth);
+  const double board = attenuated_total(Obstacle::kBoard);
+  EXPECT_GT(paper, cloth);
+  EXPECT_GT(cloth, board);
+}
+
+TEST(LabelNoise, JitterHasConfiguredScale) {
+  const auto joints = posed_joints();
+  LabelNoiseConfig cfg{0.003};
+  Rng rng(25);
+  std::vector<double> errors;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto noisy = apply_label_noise(joints, cfg, rng);
+    for (int j = 0; j < hand::kNumJoints; ++j)
+      errors.push_back(
+          distance(noisy[static_cast<std::size_t>(j)],
+                   joints[static_cast<std::size_t>(j)]));
+  }
+  // Mean norm of a 3-D gaussian with sigma=3 mm is sigma*sqrt(8/pi)=4.8 mm.
+  EXPECT_NEAR(mean(errors), 0.0048, 0.0008);
+}
+
+TEST(LabelNoise, ZeroSigmaIsIdentity) {
+  const auto joints = posed_joints();
+  Rng rng(26);
+  const auto noisy = apply_label_noise(joints, {0.0}, rng);
+  for (int j = 0; j < hand::kNumJoints; ++j)
+    EXPECT_EQ(noisy[static_cast<std::size_t>(j)],
+              joints[static_cast<std::size_t>(j)]);
+}
+
+class DatasetBuilderTest : public ::testing::Test {
+ protected:
+  static radar::ChirpConfig fast_chirp() {
+    radar::ChirpConfig c;
+    c.chirps_per_frame = 8;
+    c.samples_per_chirp = 32;
+    c.frame_period_s = 0.05;
+    return c;
+  }
+  static radar::PipelineConfig fast_pipeline() {
+    radar::PipelineConfig pc;
+    pc.cube.range_bins = 12;
+    pc.cube.azimuth_bins = 8;
+    pc.cube.elevation_bins = 4;
+    return pc;
+  }
+};
+
+TEST_F(DatasetBuilderTest, ProducesExpectedFrameCountAndShapes) {
+  const DatasetBuilder builder(fast_chirp(), fast_pipeline());
+  ScenarioConfig scenario;
+  scenario.duration_s = 0.5;
+  const auto rec = builder.record(scenario);
+  EXPECT_EQ(rec.frames.size(), 10u);  // 0.5 s at 20 fps
+  for (const auto& f : rec.frames) {
+    EXPECT_EQ(f.cube.velocity_bins(), 8);
+    EXPECT_EQ(f.cube.range_bins(), 12);
+    EXPECT_EQ(f.cube.angle_bins(), 12);  // 8 azimuth + 4 elevation
+    EXPECT_GT(f.cube.max_value(), 0.0f);
+  }
+}
+
+TEST_F(DatasetBuilderTest, LabelsTrackTheScenarioPlacement) {
+  const DatasetBuilder builder(fast_chirp(), fast_pipeline());
+  ScenarioConfig scenario;
+  scenario.hand_distance_m = 0.35;
+  scenario.duration_s = 0.3;
+  const auto rec = builder.record(scenario);
+  for (const auto& f : rec.frames) {
+    const Vec3 wrist = f.true_joints[hand::kWrist];
+    EXPECT_NEAR(wrist.norm(), 0.35, 0.08);  // within drift of the base
+  }
+}
+
+TEST_F(DatasetBuilderTest, AzimuthPlacementRotatesTheHand) {
+  const DatasetBuilder builder(fast_chirp(), fast_pipeline());
+  ScenarioConfig scenario;
+  scenario.hand_azimuth_deg = 30.0;
+  scenario.duration_s = 0.2;
+  const auto rec = builder.record(scenario);
+  const Vec3 wrist = rec.frames.front().true_joints[hand::kWrist];
+  EXPECT_GT(wrist.x, 0.10);  // well off boresight
+}
+
+TEST_F(DatasetBuilderTest, DeterministicForFixedSeed) {
+  const DatasetBuilder builder(fast_chirp(), fast_pipeline());
+  ScenarioConfig scenario;
+  scenario.duration_s = 0.2;
+  scenario.seed = 99;
+  const auto r1 = builder.record(scenario);
+  const auto r2 = builder.record(scenario);
+  ASSERT_EQ(r1.frames.size(), r2.frames.size());
+  for (std::size_t i = 0; i < r1.frames.size(); ++i) {
+    EXPECT_EQ(r1.frames[i].cube.data(), r2.frames[i].cube.data());
+    EXPECT_EQ(r1.frames[i].joints[0], r2.frames[i].joints[0]);
+  }
+}
+
+TEST_F(DatasetBuilderTest, DifferentUsersDiffer) {
+  const DatasetBuilder builder(fast_chirp(), fast_pipeline());
+  ScenarioConfig a, b;
+  a.duration_s = b.duration_s = 0.2;
+  a.user_id = 0;
+  b.user_id = 1;
+  const auto ra = builder.record(a);
+  const auto rb = builder.record(b);
+  EXPECT_NE(ra.frames[0].joints[8], rb.frames[0].joints[8]);
+}
+
+TEST_F(DatasetBuilderTest, NoisyLabelsStayCloseToTruth) {
+  const DatasetBuilder builder(fast_chirp(), fast_pipeline());
+  ScenarioConfig scenario;
+  scenario.duration_s = 0.2;
+  const auto rec = builder.record(scenario);
+  for (const auto& f : rec.frames)
+    for (int j = 0; j < hand::kNumJoints; ++j)
+      EXPECT_LT(distance(f.joints[static_cast<std::size_t>(j)],
+                         f.true_joints[static_cast<std::size_t>(j)]),
+                0.02);
+}
+
+TEST_F(DatasetBuilderTest, RejectsBadScenario) {
+  const DatasetBuilder builder(fast_chirp(), fast_pipeline());
+  ScenarioConfig scenario;
+  scenario.duration_s = -1.0;
+  EXPECT_THROW(builder.record(scenario), Error);
+  scenario.duration_s = 0.2;
+  scenario.hand_distance_m = 2.0;
+  EXPECT_THROW(builder.record(scenario), Error);
+}
+
+TEST_F(DatasetBuilderTest, HandEnergyAppearsNearTheHandRangeBin) {
+  const DatasetBuilder builder(fast_chirp(), fast_pipeline());
+  ScenarioConfig scenario;
+  scenario.duration_s = 0.2;
+  scenario.hand_distance_m = 0.30;
+  scenario.clutter.body = BodyPosition::kNone;
+  scenario.clutter.environment = Environment::kPlayground;
+  const auto rec = builder.record(scenario);
+  const auto& cube = rec.frames.back().cube;
+  // Strongest range response within a couple of bins of 30 cm (bin width
+  // = c/(2B) * 64/32 = 7.5 cm at 32 samples ... compute from pipeline).
+  const auto& pipe = builder.pipeline();
+  int best_d = 0;
+  double best_e = -1.0;
+  for (int d = 0; d < cube.range_bins(); ++d) {
+    double e = 0.0;
+    for (int v = 0; v < cube.velocity_bins(); ++v)
+      for (int a = 0; a < cube.angle_bins(); ++a) e += cube.at(v, d, a);
+    if (e > best_e) {
+      best_e = e;
+      best_d = d;
+    }
+  }
+  EXPECT_NEAR(pipe.range_for_bin(best_d), 0.30, 0.12);
+}
+
+}  // namespace
+}  // namespace mmhand::sim
