@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_zoomfft.dir/bench_ablation_zoomfft.cpp.o"
+  "CMakeFiles/bench_ablation_zoomfft.dir/bench_ablation_zoomfft.cpp.o.d"
+  "bench_ablation_zoomfft"
+  "bench_ablation_zoomfft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_zoomfft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

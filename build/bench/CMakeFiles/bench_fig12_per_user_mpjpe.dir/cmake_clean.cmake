@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_per_user_mpjpe.dir/bench_fig12_per_user_mpjpe.cpp.o"
+  "CMakeFiles/bench_fig12_per_user_mpjpe.dir/bench_fig12_per_user_mpjpe.cpp.o.d"
+  "bench_fig12_per_user_mpjpe"
+  "bench_fig12_per_user_mpjpe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_per_user_mpjpe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_per_user_pck.dir/bench_fig13_per_user_pck.cpp.o"
+  "CMakeFiles/bench_fig13_per_user_pck.dir/bench_fig13_per_user_pck.cpp.o.d"
+  "bench_fig13_per_user_pck"
+  "bench_fig13_per_user_pck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_per_user_pck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_21_body.dir/bench_fig20_21_body.cpp.o"
+  "CMakeFiles/bench_fig20_21_body.dir/bench_fig20_21_body.cpp.o.d"
+  "bench_fig20_21_body"
+  "bench_fig20_21_body.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_21_body.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

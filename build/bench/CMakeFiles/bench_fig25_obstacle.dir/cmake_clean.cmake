@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig25_obstacle.dir/bench_fig25_obstacle.cpp.o"
+  "CMakeFiles/bench_fig25_obstacle.dir/bench_fig25_obstacle.cpp.o.d"
+  "bench_fig25_obstacle"
+  "bench_fig25_obstacle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig25_obstacle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_glove.dir/bench_glove.cpp.o"
+  "CMakeFiles/bench_glove.dir/bench_glove.cpp.o.d"
+  "bench_glove"
+  "bench_glove.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_glove.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

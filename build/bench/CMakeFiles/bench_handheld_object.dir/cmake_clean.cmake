@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_handheld_object.dir/bench_handheld_object.cpp.o"
+  "CMakeFiles/bench_handheld_object.dir/bench_handheld_object.cpp.o.d"
+  "bench_handheld_object"
+  "bench_handheld_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_handheld_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

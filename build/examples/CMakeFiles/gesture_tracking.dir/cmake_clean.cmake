@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gesture_tracking.dir/gesture_tracking.cpp.o"
+  "CMakeFiles/gesture_tracking.dir/gesture_tracking.cpp.o.d"
+  "gesture_tracking"
+  "gesture_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gesture_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_export.dir/mesh_export.cpp.o"
+  "CMakeFiles/mesh_export.dir/mesh_export.cpp.o.d"
+  "mesh_export"
+  "mesh_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

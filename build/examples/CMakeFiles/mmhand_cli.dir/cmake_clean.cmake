@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmhand_cli.dir/mmhand_cli.cpp.o"
+  "CMakeFiles/mmhand_cli.dir/mmhand_cli.cpp.o.d"
+  "mmhand_cli"
+  "mmhand_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmhand_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occlusion_demo.dir/occlusion_demo.cpp.o"
+  "CMakeFiles/occlusion_demo.dir/occlusion_demo.cpp.o.d"
+  "occlusion_demo"
+  "occlusion_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occlusion_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

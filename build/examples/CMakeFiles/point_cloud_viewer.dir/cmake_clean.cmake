@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/point_cloud_viewer.dir/point_cloud_viewer.cpp.o"
+  "CMakeFiles/point_cloud_viewer.dir/point_cloud_viewer.cpp.o.d"
+  "point_cloud_viewer"
+  "point_cloud_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/point_cloud_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

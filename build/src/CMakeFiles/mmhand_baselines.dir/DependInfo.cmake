@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mmhand/baselines/cascade.cpp" "src/CMakeFiles/mmhand_baselines.dir/mmhand/baselines/cascade.cpp.o" "gcc" "src/CMakeFiles/mmhand_baselines.dir/mmhand/baselines/cascade.cpp.o.d"
+  "/root/repo/src/mmhand/baselines/datasets.cpp" "src/CMakeFiles/mmhand_baselines.dir/mmhand/baselines/datasets.cpp.o" "gcc" "src/CMakeFiles/mmhand_baselines.dir/mmhand/baselines/datasets.cpp.o.d"
+  "/root/repo/src/mmhand/baselines/deepprior.cpp" "src/CMakeFiles/mmhand_baselines.dir/mmhand/baselines/deepprior.cpp.o" "gcc" "src/CMakeFiles/mmhand_baselines.dir/mmhand/baselines/deepprior.cpp.o.d"
+  "/root/repo/src/mmhand/baselines/depth_render.cpp" "src/CMakeFiles/mmhand_baselines.dir/mmhand/baselines/depth_render.cpp.o" "gcc" "src/CMakeFiles/mmhand_baselines.dir/mmhand/baselines/depth_render.cpp.o.d"
+  "/root/repo/src/mmhand/baselines/handfi.cpp" "src/CMakeFiles/mmhand_baselines.dir/mmhand/baselines/handfi.cpp.o" "gcc" "src/CMakeFiles/mmhand_baselines.dir/mmhand/baselines/handfi.cpp.o.d"
+  "/root/repo/src/mmhand/baselines/mm4arm.cpp" "src/CMakeFiles/mmhand_baselines.dir/mmhand/baselines/mm4arm.cpp.o" "gcc" "src/CMakeFiles/mmhand_baselines.dir/mmhand/baselines/mm4arm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmhand_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmhand_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmhand_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmhand_radar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmhand_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmhand_hand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmhand_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

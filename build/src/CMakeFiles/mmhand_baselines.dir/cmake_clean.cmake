@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmhand_baselines.dir/mmhand/baselines/cascade.cpp.o"
+  "CMakeFiles/mmhand_baselines.dir/mmhand/baselines/cascade.cpp.o.d"
+  "CMakeFiles/mmhand_baselines.dir/mmhand/baselines/datasets.cpp.o"
+  "CMakeFiles/mmhand_baselines.dir/mmhand/baselines/datasets.cpp.o.d"
+  "CMakeFiles/mmhand_baselines.dir/mmhand/baselines/deepprior.cpp.o"
+  "CMakeFiles/mmhand_baselines.dir/mmhand/baselines/deepprior.cpp.o.d"
+  "CMakeFiles/mmhand_baselines.dir/mmhand/baselines/depth_render.cpp.o"
+  "CMakeFiles/mmhand_baselines.dir/mmhand/baselines/depth_render.cpp.o.d"
+  "CMakeFiles/mmhand_baselines.dir/mmhand/baselines/handfi.cpp.o"
+  "CMakeFiles/mmhand_baselines.dir/mmhand/baselines/handfi.cpp.o.d"
+  "CMakeFiles/mmhand_baselines.dir/mmhand/baselines/mm4arm.cpp.o"
+  "CMakeFiles/mmhand_baselines.dir/mmhand/baselines/mm4arm.cpp.o.d"
+  "libmmhand_baselines.a"
+  "libmmhand_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmhand_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mmhand/common/quaternion.cpp" "src/CMakeFiles/mmhand_common.dir/mmhand/common/quaternion.cpp.o" "gcc" "src/CMakeFiles/mmhand_common.dir/mmhand/common/quaternion.cpp.o.d"
+  "/root/repo/src/mmhand/common/rng.cpp" "src/CMakeFiles/mmhand_common.dir/mmhand/common/rng.cpp.o" "gcc" "src/CMakeFiles/mmhand_common.dir/mmhand/common/rng.cpp.o.d"
+  "/root/repo/src/mmhand/common/serialize.cpp" "src/CMakeFiles/mmhand_common.dir/mmhand/common/serialize.cpp.o" "gcc" "src/CMakeFiles/mmhand_common.dir/mmhand/common/serialize.cpp.o.d"
+  "/root/repo/src/mmhand/common/stats.cpp" "src/CMakeFiles/mmhand_common.dir/mmhand/common/stats.cpp.o" "gcc" "src/CMakeFiles/mmhand_common.dir/mmhand/common/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmhand_common.dir/mmhand/common/quaternion.cpp.o"
+  "CMakeFiles/mmhand_common.dir/mmhand/common/quaternion.cpp.o.d"
+  "CMakeFiles/mmhand_common.dir/mmhand/common/rng.cpp.o"
+  "CMakeFiles/mmhand_common.dir/mmhand/common/rng.cpp.o.d"
+  "CMakeFiles/mmhand_common.dir/mmhand/common/serialize.cpp.o"
+  "CMakeFiles/mmhand_common.dir/mmhand/common/serialize.cpp.o.d"
+  "CMakeFiles/mmhand_common.dir/mmhand/common/stats.cpp.o"
+  "CMakeFiles/mmhand_common.dir/mmhand/common/stats.cpp.o.d"
+  "libmmhand_common.a"
+  "libmmhand_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmhand_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

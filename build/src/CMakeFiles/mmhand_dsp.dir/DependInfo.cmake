@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mmhand/dsp/butterworth.cpp" "src/CMakeFiles/mmhand_dsp.dir/mmhand/dsp/butterworth.cpp.o" "gcc" "src/CMakeFiles/mmhand_dsp.dir/mmhand/dsp/butterworth.cpp.o.d"
+  "/root/repo/src/mmhand/dsp/cfar.cpp" "src/CMakeFiles/mmhand_dsp.dir/mmhand/dsp/cfar.cpp.o" "gcc" "src/CMakeFiles/mmhand_dsp.dir/mmhand/dsp/cfar.cpp.o.d"
+  "/root/repo/src/mmhand/dsp/fft.cpp" "src/CMakeFiles/mmhand_dsp.dir/mmhand/dsp/fft.cpp.o" "gcc" "src/CMakeFiles/mmhand_dsp.dir/mmhand/dsp/fft.cpp.o.d"
+  "/root/repo/src/mmhand/dsp/spectrum.cpp" "src/CMakeFiles/mmhand_dsp.dir/mmhand/dsp/spectrum.cpp.o" "gcc" "src/CMakeFiles/mmhand_dsp.dir/mmhand/dsp/spectrum.cpp.o.d"
+  "/root/repo/src/mmhand/dsp/window.cpp" "src/CMakeFiles/mmhand_dsp.dir/mmhand/dsp/window.cpp.o" "gcc" "src/CMakeFiles/mmhand_dsp.dir/mmhand/dsp/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmhand_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmhand_dsp.dir/mmhand/dsp/butterworth.cpp.o"
+  "CMakeFiles/mmhand_dsp.dir/mmhand/dsp/butterworth.cpp.o.d"
+  "CMakeFiles/mmhand_dsp.dir/mmhand/dsp/cfar.cpp.o"
+  "CMakeFiles/mmhand_dsp.dir/mmhand/dsp/cfar.cpp.o.d"
+  "CMakeFiles/mmhand_dsp.dir/mmhand/dsp/fft.cpp.o"
+  "CMakeFiles/mmhand_dsp.dir/mmhand/dsp/fft.cpp.o.d"
+  "CMakeFiles/mmhand_dsp.dir/mmhand/dsp/spectrum.cpp.o"
+  "CMakeFiles/mmhand_dsp.dir/mmhand/dsp/spectrum.cpp.o.d"
+  "CMakeFiles/mmhand_dsp.dir/mmhand/dsp/window.cpp.o"
+  "CMakeFiles/mmhand_dsp.dir/mmhand/dsp/window.cpp.o.d"
+  "libmmhand_dsp.a"
+  "libmmhand_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmhand_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

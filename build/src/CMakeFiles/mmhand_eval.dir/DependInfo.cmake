@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mmhand/eval/csv_export.cpp" "src/CMakeFiles/mmhand_eval.dir/mmhand/eval/csv_export.cpp.o" "gcc" "src/CMakeFiles/mmhand_eval.dir/mmhand/eval/csv_export.cpp.o.d"
+  "/root/repo/src/mmhand/eval/experiment.cpp" "src/CMakeFiles/mmhand_eval.dir/mmhand/eval/experiment.cpp.o" "gcc" "src/CMakeFiles/mmhand_eval.dir/mmhand/eval/experiment.cpp.o.d"
+  "/root/repo/src/mmhand/eval/metrics.cpp" "src/CMakeFiles/mmhand_eval.dir/mmhand/eval/metrics.cpp.o" "gcc" "src/CMakeFiles/mmhand_eval.dir/mmhand/eval/metrics.cpp.o.d"
+  "/root/repo/src/mmhand/eval/model_cache.cpp" "src/CMakeFiles/mmhand_eval.dir/mmhand/eval/model_cache.cpp.o" "gcc" "src/CMakeFiles/mmhand_eval.dir/mmhand/eval/model_cache.cpp.o.d"
+  "/root/repo/src/mmhand/eval/table_printer.cpp" "src/CMakeFiles/mmhand_eval.dir/mmhand/eval/table_printer.cpp.o" "gcc" "src/CMakeFiles/mmhand_eval.dir/mmhand/eval/table_printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmhand_pose.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmhand_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmhand_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmhand_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmhand_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmhand_hand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmhand_radar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmhand_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmhand_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

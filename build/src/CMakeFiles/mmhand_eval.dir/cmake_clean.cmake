@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmhand_eval.dir/mmhand/eval/csv_export.cpp.o"
+  "CMakeFiles/mmhand_eval.dir/mmhand/eval/csv_export.cpp.o.d"
+  "CMakeFiles/mmhand_eval.dir/mmhand/eval/experiment.cpp.o"
+  "CMakeFiles/mmhand_eval.dir/mmhand/eval/experiment.cpp.o.d"
+  "CMakeFiles/mmhand_eval.dir/mmhand/eval/metrics.cpp.o"
+  "CMakeFiles/mmhand_eval.dir/mmhand/eval/metrics.cpp.o.d"
+  "CMakeFiles/mmhand_eval.dir/mmhand/eval/model_cache.cpp.o"
+  "CMakeFiles/mmhand_eval.dir/mmhand/eval/model_cache.cpp.o.d"
+  "CMakeFiles/mmhand_eval.dir/mmhand/eval/table_printer.cpp.o"
+  "CMakeFiles/mmhand_eval.dir/mmhand/eval/table_printer.cpp.o.d"
+  "libmmhand_eval.a"
+  "libmmhand_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmhand_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

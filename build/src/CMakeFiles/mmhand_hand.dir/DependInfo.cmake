@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mmhand/hand/gesture.cpp" "src/CMakeFiles/mmhand_hand.dir/mmhand/hand/gesture.cpp.o" "gcc" "src/CMakeFiles/mmhand_hand.dir/mmhand/hand/gesture.cpp.o.d"
+  "/root/repo/src/mmhand/hand/hand_profile.cpp" "src/CMakeFiles/mmhand_hand.dir/mmhand/hand/hand_profile.cpp.o" "gcc" "src/CMakeFiles/mmhand_hand.dir/mmhand/hand/hand_profile.cpp.o.d"
+  "/root/repo/src/mmhand/hand/kinematics.cpp" "src/CMakeFiles/mmhand_hand.dir/mmhand/hand/kinematics.cpp.o" "gcc" "src/CMakeFiles/mmhand_hand.dir/mmhand/hand/kinematics.cpp.o.d"
+  "/root/repo/src/mmhand/hand/skeleton.cpp" "src/CMakeFiles/mmhand_hand.dir/mmhand/hand/skeleton.cpp.o" "gcc" "src/CMakeFiles/mmhand_hand.dir/mmhand/hand/skeleton.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmhand_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmhand_hand.dir/mmhand/hand/gesture.cpp.o"
+  "CMakeFiles/mmhand_hand.dir/mmhand/hand/gesture.cpp.o.d"
+  "CMakeFiles/mmhand_hand.dir/mmhand/hand/hand_profile.cpp.o"
+  "CMakeFiles/mmhand_hand.dir/mmhand/hand/hand_profile.cpp.o.d"
+  "CMakeFiles/mmhand_hand.dir/mmhand/hand/kinematics.cpp.o"
+  "CMakeFiles/mmhand_hand.dir/mmhand/hand/kinematics.cpp.o.d"
+  "CMakeFiles/mmhand_hand.dir/mmhand/hand/skeleton.cpp.o"
+  "CMakeFiles/mmhand_hand.dir/mmhand/hand/skeleton.cpp.o.d"
+  "libmmhand_hand.a"
+  "libmmhand_hand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmhand_hand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mmhand/mesh/hand_template.cpp" "src/CMakeFiles/mmhand_mesh.dir/mmhand/mesh/hand_template.cpp.o" "gcc" "src/CMakeFiles/mmhand_mesh.dir/mmhand/mesh/hand_template.cpp.o.d"
+  "/root/repo/src/mmhand/mesh/mano_model.cpp" "src/CMakeFiles/mmhand_mesh.dir/mmhand/mesh/mano_model.cpp.o" "gcc" "src/CMakeFiles/mmhand_mesh.dir/mmhand/mesh/mano_model.cpp.o.d"
+  "/root/repo/src/mmhand/mesh/obj_export.cpp" "src/CMakeFiles/mmhand_mesh.dir/mmhand/mesh/obj_export.cpp.o" "gcc" "src/CMakeFiles/mmhand_mesh.dir/mmhand/mesh/obj_export.cpp.o.d"
+  "/root/repo/src/mmhand/mesh/reconstruction.cpp" "src/CMakeFiles/mmhand_mesh.dir/mmhand/mesh/reconstruction.cpp.o" "gcc" "src/CMakeFiles/mmhand_mesh.dir/mmhand/mesh/reconstruction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmhand_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmhand_hand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmhand_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmhand_mesh.dir/mmhand/mesh/hand_template.cpp.o"
+  "CMakeFiles/mmhand_mesh.dir/mmhand/mesh/hand_template.cpp.o.d"
+  "CMakeFiles/mmhand_mesh.dir/mmhand/mesh/mano_model.cpp.o"
+  "CMakeFiles/mmhand_mesh.dir/mmhand/mesh/mano_model.cpp.o.d"
+  "CMakeFiles/mmhand_mesh.dir/mmhand/mesh/obj_export.cpp.o"
+  "CMakeFiles/mmhand_mesh.dir/mmhand/mesh/obj_export.cpp.o.d"
+  "CMakeFiles/mmhand_mesh.dir/mmhand/mesh/reconstruction.cpp.o"
+  "CMakeFiles/mmhand_mesh.dir/mmhand/mesh/reconstruction.cpp.o.d"
+  "libmmhand_mesh.a"
+  "libmmhand_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmhand_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

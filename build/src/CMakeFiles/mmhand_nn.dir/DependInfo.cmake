@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mmhand/nn/activations.cpp" "src/CMakeFiles/mmhand_nn.dir/mmhand/nn/activations.cpp.o" "gcc" "src/CMakeFiles/mmhand_nn.dir/mmhand/nn/activations.cpp.o.d"
+  "/root/repo/src/mmhand/nn/attention.cpp" "src/CMakeFiles/mmhand_nn.dir/mmhand/nn/attention.cpp.o" "gcc" "src/CMakeFiles/mmhand_nn.dir/mmhand/nn/attention.cpp.o.d"
+  "/root/repo/src/mmhand/nn/conv2d.cpp" "src/CMakeFiles/mmhand_nn.dir/mmhand/nn/conv2d.cpp.o" "gcc" "src/CMakeFiles/mmhand_nn.dir/mmhand/nn/conv2d.cpp.o.d"
+  "/root/repo/src/mmhand/nn/dropout.cpp" "src/CMakeFiles/mmhand_nn.dir/mmhand/nn/dropout.cpp.o" "gcc" "src/CMakeFiles/mmhand_nn.dir/mmhand/nn/dropout.cpp.o.d"
+  "/root/repo/src/mmhand/nn/gradcheck.cpp" "src/CMakeFiles/mmhand_nn.dir/mmhand/nn/gradcheck.cpp.o" "gcc" "src/CMakeFiles/mmhand_nn.dir/mmhand/nn/gradcheck.cpp.o.d"
+  "/root/repo/src/mmhand/nn/gru.cpp" "src/CMakeFiles/mmhand_nn.dir/mmhand/nn/gru.cpp.o" "gcc" "src/CMakeFiles/mmhand_nn.dir/mmhand/nn/gru.cpp.o.d"
+  "/root/repo/src/mmhand/nn/layer.cpp" "src/CMakeFiles/mmhand_nn.dir/mmhand/nn/layer.cpp.o" "gcc" "src/CMakeFiles/mmhand_nn.dir/mmhand/nn/layer.cpp.o.d"
+  "/root/repo/src/mmhand/nn/layer_norm.cpp" "src/CMakeFiles/mmhand_nn.dir/mmhand/nn/layer_norm.cpp.o" "gcc" "src/CMakeFiles/mmhand_nn.dir/mmhand/nn/layer_norm.cpp.o.d"
+  "/root/repo/src/mmhand/nn/linear.cpp" "src/CMakeFiles/mmhand_nn.dir/mmhand/nn/linear.cpp.o" "gcc" "src/CMakeFiles/mmhand_nn.dir/mmhand/nn/linear.cpp.o.d"
+  "/root/repo/src/mmhand/nn/loss.cpp" "src/CMakeFiles/mmhand_nn.dir/mmhand/nn/loss.cpp.o" "gcc" "src/CMakeFiles/mmhand_nn.dir/mmhand/nn/loss.cpp.o.d"
+  "/root/repo/src/mmhand/nn/lstm.cpp" "src/CMakeFiles/mmhand_nn.dir/mmhand/nn/lstm.cpp.o" "gcc" "src/CMakeFiles/mmhand_nn.dir/mmhand/nn/lstm.cpp.o.d"
+  "/root/repo/src/mmhand/nn/optimizer.cpp" "src/CMakeFiles/mmhand_nn.dir/mmhand/nn/optimizer.cpp.o" "gcc" "src/CMakeFiles/mmhand_nn.dir/mmhand/nn/optimizer.cpp.o.d"
+  "/root/repo/src/mmhand/nn/sequential.cpp" "src/CMakeFiles/mmhand_nn.dir/mmhand/nn/sequential.cpp.o" "gcc" "src/CMakeFiles/mmhand_nn.dir/mmhand/nn/sequential.cpp.o.d"
+  "/root/repo/src/mmhand/nn/tensor.cpp" "src/CMakeFiles/mmhand_nn.dir/mmhand/nn/tensor.cpp.o" "gcc" "src/CMakeFiles/mmhand_nn.dir/mmhand/nn/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmhand_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmhand_nn.dir/mmhand/nn/activations.cpp.o"
+  "CMakeFiles/mmhand_nn.dir/mmhand/nn/activations.cpp.o.d"
+  "CMakeFiles/mmhand_nn.dir/mmhand/nn/attention.cpp.o"
+  "CMakeFiles/mmhand_nn.dir/mmhand/nn/attention.cpp.o.d"
+  "CMakeFiles/mmhand_nn.dir/mmhand/nn/conv2d.cpp.o"
+  "CMakeFiles/mmhand_nn.dir/mmhand/nn/conv2d.cpp.o.d"
+  "CMakeFiles/mmhand_nn.dir/mmhand/nn/dropout.cpp.o"
+  "CMakeFiles/mmhand_nn.dir/mmhand/nn/dropout.cpp.o.d"
+  "CMakeFiles/mmhand_nn.dir/mmhand/nn/gradcheck.cpp.o"
+  "CMakeFiles/mmhand_nn.dir/mmhand/nn/gradcheck.cpp.o.d"
+  "CMakeFiles/mmhand_nn.dir/mmhand/nn/gru.cpp.o"
+  "CMakeFiles/mmhand_nn.dir/mmhand/nn/gru.cpp.o.d"
+  "CMakeFiles/mmhand_nn.dir/mmhand/nn/layer.cpp.o"
+  "CMakeFiles/mmhand_nn.dir/mmhand/nn/layer.cpp.o.d"
+  "CMakeFiles/mmhand_nn.dir/mmhand/nn/layer_norm.cpp.o"
+  "CMakeFiles/mmhand_nn.dir/mmhand/nn/layer_norm.cpp.o.d"
+  "CMakeFiles/mmhand_nn.dir/mmhand/nn/linear.cpp.o"
+  "CMakeFiles/mmhand_nn.dir/mmhand/nn/linear.cpp.o.d"
+  "CMakeFiles/mmhand_nn.dir/mmhand/nn/loss.cpp.o"
+  "CMakeFiles/mmhand_nn.dir/mmhand/nn/loss.cpp.o.d"
+  "CMakeFiles/mmhand_nn.dir/mmhand/nn/lstm.cpp.o"
+  "CMakeFiles/mmhand_nn.dir/mmhand/nn/lstm.cpp.o.d"
+  "CMakeFiles/mmhand_nn.dir/mmhand/nn/optimizer.cpp.o"
+  "CMakeFiles/mmhand_nn.dir/mmhand/nn/optimizer.cpp.o.d"
+  "CMakeFiles/mmhand_nn.dir/mmhand/nn/sequential.cpp.o"
+  "CMakeFiles/mmhand_nn.dir/mmhand/nn/sequential.cpp.o.d"
+  "CMakeFiles/mmhand_nn.dir/mmhand/nn/tensor.cpp.o"
+  "CMakeFiles/mmhand_nn.dir/mmhand/nn/tensor.cpp.o.d"
+  "libmmhand_nn.a"
+  "libmmhand_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmhand_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mmhand/pose/gesture_classifier.cpp" "src/CMakeFiles/mmhand_pose.dir/mmhand/pose/gesture_classifier.cpp.o" "gcc" "src/CMakeFiles/mmhand_pose.dir/mmhand/pose/gesture_classifier.cpp.o.d"
+  "/root/repo/src/mmhand/pose/inference.cpp" "src/CMakeFiles/mmhand_pose.dir/mmhand/pose/inference.cpp.o" "gcc" "src/CMakeFiles/mmhand_pose.dir/mmhand/pose/inference.cpp.o.d"
+  "/root/repo/src/mmhand/pose/joint_model.cpp" "src/CMakeFiles/mmhand_pose.dir/mmhand/pose/joint_model.cpp.o" "gcc" "src/CMakeFiles/mmhand_pose.dir/mmhand/pose/joint_model.cpp.o.d"
+  "/root/repo/src/mmhand/pose/kinematic_loss.cpp" "src/CMakeFiles/mmhand_pose.dir/mmhand/pose/kinematic_loss.cpp.o" "gcc" "src/CMakeFiles/mmhand_pose.dir/mmhand/pose/kinematic_loss.cpp.o.d"
+  "/root/repo/src/mmhand/pose/mmspacenet.cpp" "src/CMakeFiles/mmhand_pose.dir/mmhand/pose/mmspacenet.cpp.o" "gcc" "src/CMakeFiles/mmhand_pose.dir/mmhand/pose/mmspacenet.cpp.o.d"
+  "/root/repo/src/mmhand/pose/samples.cpp" "src/CMakeFiles/mmhand_pose.dir/mmhand/pose/samples.cpp.o" "gcc" "src/CMakeFiles/mmhand_pose.dir/mmhand/pose/samples.cpp.o.d"
+  "/root/repo/src/mmhand/pose/sequence_matcher.cpp" "src/CMakeFiles/mmhand_pose.dir/mmhand/pose/sequence_matcher.cpp.o" "gcc" "src/CMakeFiles/mmhand_pose.dir/mmhand/pose/sequence_matcher.cpp.o.d"
+  "/root/repo/src/mmhand/pose/smoothing.cpp" "src/CMakeFiles/mmhand_pose.dir/mmhand/pose/smoothing.cpp.o" "gcc" "src/CMakeFiles/mmhand_pose.dir/mmhand/pose/smoothing.cpp.o.d"
+  "/root/repo/src/mmhand/pose/trainer.cpp" "src/CMakeFiles/mmhand_pose.dir/mmhand/pose/trainer.cpp.o" "gcc" "src/CMakeFiles/mmhand_pose.dir/mmhand/pose/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmhand_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmhand_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmhand_radar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmhand_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmhand_hand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmhand_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmhand_pose.dir/mmhand/pose/gesture_classifier.cpp.o"
+  "CMakeFiles/mmhand_pose.dir/mmhand/pose/gesture_classifier.cpp.o.d"
+  "CMakeFiles/mmhand_pose.dir/mmhand/pose/inference.cpp.o"
+  "CMakeFiles/mmhand_pose.dir/mmhand/pose/inference.cpp.o.d"
+  "CMakeFiles/mmhand_pose.dir/mmhand/pose/joint_model.cpp.o"
+  "CMakeFiles/mmhand_pose.dir/mmhand/pose/joint_model.cpp.o.d"
+  "CMakeFiles/mmhand_pose.dir/mmhand/pose/kinematic_loss.cpp.o"
+  "CMakeFiles/mmhand_pose.dir/mmhand/pose/kinematic_loss.cpp.o.d"
+  "CMakeFiles/mmhand_pose.dir/mmhand/pose/mmspacenet.cpp.o"
+  "CMakeFiles/mmhand_pose.dir/mmhand/pose/mmspacenet.cpp.o.d"
+  "CMakeFiles/mmhand_pose.dir/mmhand/pose/samples.cpp.o"
+  "CMakeFiles/mmhand_pose.dir/mmhand/pose/samples.cpp.o.d"
+  "CMakeFiles/mmhand_pose.dir/mmhand/pose/sequence_matcher.cpp.o"
+  "CMakeFiles/mmhand_pose.dir/mmhand/pose/sequence_matcher.cpp.o.d"
+  "CMakeFiles/mmhand_pose.dir/mmhand/pose/smoothing.cpp.o"
+  "CMakeFiles/mmhand_pose.dir/mmhand/pose/smoothing.cpp.o.d"
+  "CMakeFiles/mmhand_pose.dir/mmhand/pose/trainer.cpp.o"
+  "CMakeFiles/mmhand_pose.dir/mmhand/pose/trainer.cpp.o.d"
+  "libmmhand_pose.a"
+  "libmmhand_pose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmhand_pose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mmhand/radar/antenna_array.cpp" "src/CMakeFiles/mmhand_radar.dir/mmhand/radar/antenna_array.cpp.o" "gcc" "src/CMakeFiles/mmhand_radar.dir/mmhand/radar/antenna_array.cpp.o.d"
+  "/root/repo/src/mmhand/radar/if_simulator.cpp" "src/CMakeFiles/mmhand_radar.dir/mmhand/radar/if_simulator.cpp.o" "gcc" "src/CMakeFiles/mmhand_radar.dir/mmhand/radar/if_simulator.cpp.o.d"
+  "/root/repo/src/mmhand/radar/pipeline.cpp" "src/CMakeFiles/mmhand_radar.dir/mmhand/radar/pipeline.cpp.o" "gcc" "src/CMakeFiles/mmhand_radar.dir/mmhand/radar/pipeline.cpp.o.d"
+  "/root/repo/src/mmhand/radar/point_cloud.cpp" "src/CMakeFiles/mmhand_radar.dir/mmhand/radar/point_cloud.cpp.o" "gcc" "src/CMakeFiles/mmhand_radar.dir/mmhand/radar/point_cloud.cpp.o.d"
+  "/root/repo/src/mmhand/radar/radar_cube.cpp" "src/CMakeFiles/mmhand_radar.dir/mmhand/radar/radar_cube.cpp.o" "gcc" "src/CMakeFiles/mmhand_radar.dir/mmhand/radar/radar_cube.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmhand_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmhand_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmhand_radar.dir/mmhand/radar/antenna_array.cpp.o"
+  "CMakeFiles/mmhand_radar.dir/mmhand/radar/antenna_array.cpp.o.d"
+  "CMakeFiles/mmhand_radar.dir/mmhand/radar/if_simulator.cpp.o"
+  "CMakeFiles/mmhand_radar.dir/mmhand/radar/if_simulator.cpp.o.d"
+  "CMakeFiles/mmhand_radar.dir/mmhand/radar/pipeline.cpp.o"
+  "CMakeFiles/mmhand_radar.dir/mmhand/radar/pipeline.cpp.o.d"
+  "CMakeFiles/mmhand_radar.dir/mmhand/radar/point_cloud.cpp.o"
+  "CMakeFiles/mmhand_radar.dir/mmhand/radar/point_cloud.cpp.o.d"
+  "CMakeFiles/mmhand_radar.dir/mmhand/radar/radar_cube.cpp.o"
+  "CMakeFiles/mmhand_radar.dir/mmhand/radar/radar_cube.cpp.o.d"
+  "libmmhand_radar.a"
+  "libmmhand_radar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmhand_radar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

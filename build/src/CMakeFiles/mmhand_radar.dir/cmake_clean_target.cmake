@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmmhand_radar.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mmhand/sim/clutter.cpp" "src/CMakeFiles/mmhand_sim.dir/mmhand/sim/clutter.cpp.o" "gcc" "src/CMakeFiles/mmhand_sim.dir/mmhand/sim/clutter.cpp.o.d"
+  "/root/repo/src/mmhand/sim/dataset.cpp" "src/CMakeFiles/mmhand_sim.dir/mmhand/sim/dataset.cpp.o" "gcc" "src/CMakeFiles/mmhand_sim.dir/mmhand/sim/dataset.cpp.o.d"
+  "/root/repo/src/mmhand/sim/effects.cpp" "src/CMakeFiles/mmhand_sim.dir/mmhand/sim/effects.cpp.o" "gcc" "src/CMakeFiles/mmhand_sim.dir/mmhand/sim/effects.cpp.o.d"
+  "/root/repo/src/mmhand/sim/label_noise.cpp" "src/CMakeFiles/mmhand_sim.dir/mmhand/sim/label_noise.cpp.o" "gcc" "src/CMakeFiles/mmhand_sim.dir/mmhand/sim/label_noise.cpp.o.d"
+  "/root/repo/src/mmhand/sim/scene.cpp" "src/CMakeFiles/mmhand_sim.dir/mmhand/sim/scene.cpp.o" "gcc" "src/CMakeFiles/mmhand_sim.dir/mmhand/sim/scene.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmhand_radar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmhand_hand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmhand_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmhand_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmhand_sim.dir/mmhand/sim/clutter.cpp.o"
+  "CMakeFiles/mmhand_sim.dir/mmhand/sim/clutter.cpp.o.d"
+  "CMakeFiles/mmhand_sim.dir/mmhand/sim/dataset.cpp.o"
+  "CMakeFiles/mmhand_sim.dir/mmhand/sim/dataset.cpp.o.d"
+  "CMakeFiles/mmhand_sim.dir/mmhand/sim/effects.cpp.o"
+  "CMakeFiles/mmhand_sim.dir/mmhand/sim/effects.cpp.o.d"
+  "CMakeFiles/mmhand_sim.dir/mmhand/sim/label_noise.cpp.o"
+  "CMakeFiles/mmhand_sim.dir/mmhand/sim/label_noise.cpp.o.d"
+  "CMakeFiles/mmhand_sim.dir/mmhand/sim/scene.cpp.o"
+  "CMakeFiles/mmhand_sim.dir/mmhand/sim/scene.cpp.o.d"
+  "libmmhand_sim.a"
+  "libmmhand_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmhand_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

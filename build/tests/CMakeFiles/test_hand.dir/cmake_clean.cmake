@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hand.dir/test_hand.cpp.o"
+  "CMakeFiles/test_hand.dir/test_hand.cpp.o.d"
+  "test_hand"
+  "test_hand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_common "/root/repo/build/tests/test_common")
+set_tests_properties(test_common PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;10;mmhand_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_dsp "/root/repo/build/tests/test_dsp")
+set_tests_properties(test_dsp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;mmhand_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_radar "/root/repo/build/tests/test_radar")
+set_tests_properties(test_radar PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;12;mmhand_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_hand "/root/repo/build/tests/test_hand")
+set_tests_properties(test_hand PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;13;mmhand_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_nn "/root/repo/build/tests/test_nn")
+set_tests_properties(test_nn PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;14;mmhand_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sim "/root/repo/build/tests/test_sim")
+set_tests_properties(test_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;15;mmhand_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_pose "/root/repo/build/tests/test_pose")
+set_tests_properties(test_pose PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;16;mmhand_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_mesh "/root/repo/build/tests/test_mesh")
+set_tests_properties(test_mesh PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;17;mmhand_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_baselines "/root/repo/build/tests/test_baselines")
+set_tests_properties(test_baselines PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;18;mmhand_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_eval "/root/repo/build/tests/test_eval")
+set_tests_properties(test_eval PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;19;mmhand_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_extensions "/root/repo/build/tests/test_extensions")
+set_tests_properties(test_extensions PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;20;mmhand_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_detection "/root/repo/build/tests/test_detection")
+set_tests_properties(test_detection PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;21;mmhand_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_properties "/root/repo/build/tests/test_properties")
+set_tests_properties(test_properties PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;22;mmhand_test;/root/repo/tests/CMakeLists.txt;0;")
