@@ -1,0 +1,152 @@
+// Throughput bench for the parallel execution layer: times the radar
+// pipeline and the GEMM-backed NN layers at 1/2/N threads and writes
+// machine-readable results to BENCH_throughput.json (or argv[1]).
+//
+// Run from the repo root so the JSON lands next to CHANGES.md:
+//   ./build/bench/bench_throughput
+//
+// Thread scaling only shows up when the host actually has cores to scale
+// onto; the JSON records `hardware_concurrency` so downstream tooling can
+// interpret a flat curve on a single-core CI box.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mmhand/common/parallel.hpp"
+#include "mmhand/common/rng.hpp"
+#include "mmhand/nn/conv2d.hpp"
+#include "mmhand/nn/linear.hpp"
+#include "mmhand/nn/lstm.hpp"
+#include "mmhand/radar/antenna_array.hpp"
+#include "mmhand/radar/chirp_config.hpp"
+#include "mmhand/radar/if_simulator.hpp"
+#include "mmhand/radar/pipeline.hpp"
+
+namespace {
+
+using mmhand::Rng;
+using mmhand::Vec3;
+
+/// Median wall time of `reps` timed calls, in milliseconds.
+double time_ms(const std::function<void()>& fn, int reps) {
+  fn();  // warm caches, twiddle tables, the thread pool
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+struct OpResult {
+  std::string op;
+  int threads = 1;
+  double ms = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : "BENCH_throughput.json";
+
+  // Paper-shaped radar frame: 3 TX x 4 RX x 16 chirps x 64 samples.
+  mmhand::radar::ChirpConfig chirp;
+  chirp.noise_stddev = 0.0;
+  const mmhand::radar::AntennaArray array(chirp);
+  const mmhand::radar::IfSimulator sim(chirp, array);
+  const mmhand::radar::PipelineConfig pc;
+  const mmhand::radar::RadarPipeline pipe(chirp, array, pc);
+  mmhand::radar::Scene scene{
+      {Vec3{0.05, 0.30, 0.02}, Vec3{0.0, 0.4, 0.0}, 1.0},
+      {Vec3{-0.08, 0.45, -0.01}, Vec3{0.0, -0.2, 0.0}, 0.7},
+  };
+  Rng frame_rng(1);
+  const auto frame = sim.simulate_frame(scene, 0.0, frame_rng);
+
+  Rng rng(2);
+  mmhand::nn::Conv2d conv(8, 16, 3, 1, 1, rng);
+  const mmhand::nn::Tensor conv_x =
+      mmhand::nn::Tensor::randn({1, 8, 32, 32}, rng, 1.0);
+  mmhand::nn::Linear fc(256, 256, rng);
+  const mmhand::nn::Tensor fc_x =
+      mmhand::nn::Tensor::randn({64, 256}, rng, 1.0);
+  mmhand::nn::Lstm lstm(128, 128, rng);
+  const mmhand::nn::Tensor lstm_x =
+      mmhand::nn::Tensor::randn({1, 128}, rng, 1.0);
+
+  struct Op {
+    const char* name;
+    std::function<void()> fn;
+    int reps;
+  };
+  const std::vector<Op> ops = {
+      {"process_frame", [&] { pipe.process_frame(frame); }, 9},
+      {"conv2d_forward", [&] { conv.forward(conv_x, false); }, 15},
+      {"linear_forward", [&] { fc.forward(fc_x, false); }, 25},
+      {"lstm_step", [&] { lstm.forward(lstm_x, false); }, 25},
+  };
+
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  std::vector<int> thread_counts = {1, 2, 4};
+  if (hw > 4) thread_counts.push_back(hw);
+
+  std::vector<OpResult> results;
+  for (const int t : thread_counts) {
+    mmhand::set_num_threads(t);
+    for (const auto& op : ops) {
+      OpResult r;
+      r.op = op.name;
+      r.threads = t;
+      r.ms = time_ms(op.fn, op.reps);
+      results.push_back(r);
+      std::printf("%-16s %d thread%s  %8.3f ms\n", op.name, t,
+                  t == 1 ? " " : "s", r.ms);
+    }
+  }
+  mmhand::set_num_threads(1);
+
+  auto ms_for = [&](const std::string& op, int threads) {
+    for (const auto& r : results)
+      if (r.op == op && r.threads == threads) return r.ms;
+    return 0.0;
+  };
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"throughput\",\n");
+  std::fprintf(f, "  \"hardware_concurrency\": %d,\n", hw);
+  std::fprintf(f, "  \"thread_counts\": [");
+  for (std::size_t i = 0; i < thread_counts.size(); ++i)
+    std::fprintf(f, "%s%d", i ? ", " : "", thread_counts[i]);
+  std::fprintf(f, "],\n  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i)
+    std::fprintf(f,
+                 "    {\"op\": \"%s\", \"threads\": %d, \"ms\": %.4f}%s\n",
+                 results[i].op.c_str(), results[i].threads, results[i].ms,
+                 i + 1 < results.size() ? "," : "");
+  std::fprintf(f, "  ],\n  \"speedup_4t\": {\n");
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const double t1 = ms_for(ops[i].name, 1);
+    const double t4 = ms_for(ops[i].name, 4);
+    std::fprintf(f, "    \"%s\": %.3f%s\n", ops[i].name,
+                 t4 > 0.0 ? t1 / t4 : 0.0, i + 1 < ops.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

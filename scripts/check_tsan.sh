@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Builds the threaded tests under ThreadSanitizer and runs them.
+#
+# The parallel execution layer (mmhand/common/parallel) promises data-race
+# freedom: every parallel_for index writes a disjoint output slice.  TSan
+# verifies that promise on the pool itself and on the radar/NN hot paths.
+#
+# Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build-tsan}
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build "$BUILD_DIR" -j --target test_common test_parallel test_radar
+
+# MMHAND_THREADS forces real pool threads even on small CI boxes so TSan
+# actually sees cross-thread traffic.
+(cd "$BUILD_DIR" &&
+ MMHAND_THREADS=4 ctest --output-on-failure \
+   -R 'test_common|test_parallel|test_radar')
+echo "TSan run clean."

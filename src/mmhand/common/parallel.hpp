@@ -1,0 +1,47 @@
+#pragma once
+
+// Process-wide thread pool and deterministic parallel-for.
+//
+// The radar pipeline and the NN layers are embarrassingly parallel across
+// chirps, antennas, range bins and output rows.  `parallel_for` splits an
+// index range over a lazily-initialized pool of worker threads; callers
+// guarantee that each index writes a disjoint, pre-sized output slice, so
+// results are bitwise identical to the serial path regardless of thread
+// count — no reductions, no atomics in user code, no ordering effects.
+//
+// Thread count resolution, in priority order:
+//   1. `set_num_threads(n)` (runtime override, used by tests and benches),
+//   2. the `MMHAND_THREADS` environment variable at first use,
+//   3. `std::thread::hardware_concurrency()`.
+// `MMHAND_THREADS=1` (or `set_num_threads(1)`) forces the exact serial
+// path: `parallel_for` degenerates to a plain loop on the calling thread
+// and never touches the pool.
+
+#include <cstdint>
+#include <functional>
+
+namespace mmhand {
+
+/// Number of threads `parallel_for` currently targets (>= 1).
+int num_threads();
+
+/// Overrides the target thread count at runtime (clamped to [1, 256]).
+/// The pool grows on demand; shrinking only idles workers.  Safe to call
+/// between parallel regions; do not call from inside a `parallel_for` body.
+void set_num_threads(int n);
+
+/// True while the calling thread is executing a `parallel_for` body.
+/// Nested `parallel_for` calls observe this and fall back to serial.
+bool in_parallel_region();
+
+/// Applies `fn(i)` for every i in [begin, end).  Work is handed out in
+/// contiguous chunks of `grain` indices; chunk assignment to threads is
+/// dynamic, so `fn` must not depend on which thread runs which index.
+/// Runs serially (on the calling thread, in order) when the range is empty,
+/// fits in a single grain, the pool is limited to one thread, or the call
+/// is nested inside another parallel region.  The first exception thrown by
+/// any worker is rethrown on the calling thread after the region completes.
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t)>& fn);
+
+}  // namespace mmhand

@@ -1,7 +1,10 @@
 #include "mmhand/dsp/fft.hpp"
 
 #include <cmath>
+#include <memory>
+#include <mutex>
 #include <numbers>
+#include <unordered_map>
 
 #include "mmhand/common/error.hpp"
 
@@ -15,6 +18,28 @@ std::size_t next_pow2(std::size_t n) {
   std::size_t p = 1;
   while (p < n) p <<= 1;
   return p;
+}
+
+/// Forward twiddle factors e^{-2*pi*i*k/n} for k < n/2, cached per FFT
+/// size.  The radar pipeline runs thousands of same-size FFTs per frame;
+/// computing the table once replaces the per-butterfly `w *= wlen`
+/// recurrence (and its accumulated rounding drift).  Entries are built
+/// under a lock and never evicted, so the returned reference stays valid
+/// and FFTs can run concurrently on pool threads.
+const std::vector<Complex>& twiddle_table(std::size_t n) {
+  static std::mutex mu;
+  static std::unordered_map<std::size_t,
+                            std::unique_ptr<std::vector<Complex>>>
+      cache;
+  std::lock_guard<std::mutex> lk(mu);
+  auto& slot = cache[n];
+  if (!slot) {
+    slot = std::make_unique<std::vector<Complex>>(n / 2);
+    for (std::size_t k = 0; k < n / 2; ++k)
+      (*slot)[k] = std::polar(
+          1.0, -2.0 * kPi * static_cast<double>(k) / static_cast<double>(n));
+  }
+  return *slot;
 }
 
 }  // namespace
@@ -31,18 +56,20 @@ void fft_pow2_inplace(std::vector<Complex>& x, bool inverse) {
     j ^= bit;
     if (i < j) std::swap(x[i], x[j]);
   }
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double ang = 2.0 * kPi / static_cast<double>(len) *
-                       (inverse ? 1.0 : -1.0);
-    const Complex wlen(std::cos(ang), std::sin(ang));
-    for (std::size_t i = 0; i < n; i += len) {
-      Complex w(1.0, 0.0);
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const Complex u = x[i + k];
-        const Complex v = x[i + k + len / 2] * w;
-        x[i + k] = u + v;
-        x[i + k + len / 2] = u - v;
-        w *= wlen;
+  if (n >= 2) {
+    const auto& tw = twiddle_table(n);
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      // Stage twiddles w_len^k are the cached w_n^{k*stride}.
+      const std::size_t stride = n / len;
+      for (std::size_t i = 0; i < n; i += len) {
+        for (std::size_t k = 0; k < len / 2; ++k) {
+          const Complex w =
+              inverse ? std::conj(tw[k * stride]) : tw[k * stride];
+          const Complex u = x[i + k];
+          const Complex v = x[i + k + len / 2] * w;
+          x[i + k] = u + v;
+          x[i + k + len / 2] = u - v;
+        }
       }
     }
   }

@@ -3,42 +3,9 @@
 #include <cmath>
 #include <vector>
 
+#include "mmhand/nn/gemm.hpp"
+
 namespace mmhand::nn {
-
-namespace {
-
-/// C[m x n] += A[m x k] * B[k x n], row-major, ikj order for locality.
-void matmul_acc(const float* a, const float* b, float* c, int m, int k,
-                int n) {
-  for (int i = 0; i < m; ++i) {
-    const float* ai = a + static_cast<std::size_t>(i) * k;
-    float* ci = c + static_cast<std::size_t>(i) * n;
-    for (int p = 0; p < k; ++p) {
-      const float av = ai[p];
-      if (av == 0.0f) continue;
-      const float* bp = b + static_cast<std::size_t>(p) * n;
-      for (int j = 0; j < n; ++j) ci[j] += av * bp[j];
-    }
-  }
-}
-
-/// C[m x n] += A^T where A is [k x m]: C += A_transposed * B, with A stored
-/// row-major as [k x m].
-void matmul_at_b_acc(const float* a, const float* b, float* c, int m, int k,
-                     int n) {
-  for (int p = 0; p < k; ++p) {
-    const float* ap = a + static_cast<std::size_t>(p) * m;
-    const float* bp = b + static_cast<std::size_t>(p) * n;
-    for (int i = 0; i < m; ++i) {
-      const float av = ap[i];
-      if (av == 0.0f) continue;
-      float* ci = c + static_cast<std::size_t>(i) * n;
-      for (int j = 0; j < n; ++j) ci[j] += av * bp[j];
-    }
-  }
-}
-
-}  // namespace
 
 Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride,
                int pad, Rng& rng)
@@ -96,8 +63,8 @@ Tensor Conv2d::forward(const Tensor& x, bool training) {
       float* dst = ys + static_cast<std::size_t>(oc) * col_cols;
       for (int j = 0; j < col_cols; ++j) dst[j] = b;
     }
-    matmul_acc(weight_.value.data(), cols.data(), ys, out_ch_, col_rows,
-               col_cols);
+    gemm_acc(weight_.value.data(), cols.data(), ys, out_ch_, col_rows,
+             col_cols);
   }
   return y;
 }
@@ -139,24 +106,18 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
         }
     const float* gs = grad_out.data() +
                       static_cast<std::size_t>(s) * out_ch_ * oh * ow;
-    // dW += gs [OC x cols] * cols^T; computed as per-row outer products.
     for (int oc = 0; oc < out_ch_; ++oc) {
       const float* g = gs + static_cast<std::size_t>(oc) * col_cols;
       float& db = bias_.grad[static_cast<std::size_t>(oc)];
       for (int j = 0; j < col_cols; ++j) db += g[j];
-      float* dw =
-          weight_.grad.data() + static_cast<std::size_t>(oc) * col_rows;
-      for (int p = 0; p < col_rows; ++p) {
-        const float* cp = cols.data() + static_cast<std::size_t>(p) * col_cols;
-        float acc = 0.0f;
-        for (int j = 0; j < col_cols; ++j) acc += g[j] * cp[j];
-        dw[p] += acc;
-      }
     }
+    // dW += gs [OC x col_cols] * cols^T.
+    gemm_a_bt_acc(gs, cols.data(), weight_.grad.data(), out_ch_, col_cols,
+                  col_rows);
     // dcols = W^T [col_rows x OC] * gs [OC x col_cols]
     std::fill(dcols.begin(), dcols.end(), 0.0f);
-    matmul_at_b_acc(weight_.value.data(), gs, dcols.data(), col_rows,
-                    out_ch_, col_cols);
+    gemm_at_b_acc(weight_.value.data(), gs, dcols.data(), col_rows, out_ch_,
+                  col_cols);
     // col2im accumulate into grad_in.
     r = 0;
     for (int c = 0; c < in_ch_; ++c)

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "mmhand/nn/activations.hpp"
+#include "mmhand/nn/gemm.hpp"
 
 namespace mmhand::nn {
 
@@ -29,24 +30,27 @@ Tensor Gru::forward(const Tensor& x, bool training) {
   Tensor hh_n({t_len, h});
   Tensor hiddens({t_len, h});
 
+  // Input pre-activations for every timestep in one GEMM; the recurrent
+  // half (the candidate uses r . (W_hh h + b_hh), so the two stay separate)
+  // remains a per-step matrix-vector product.
+  Tensor pre_all({t_len, 3 * h});
+  for (int t = 0; t < t_len; ++t) {
+    float* pt = pre_all.data() + static_cast<std::size_t>(t) * 3 * h;
+    for (int r = 0; r < 3 * h; ++r)
+      pt[r] = bias_ih_.value[static_cast<std::size_t>(r)];
+  }
+  gemm_a_bt_acc(x.data(), w_ih_.value.data(), pre_all.data(), t_len, input_,
+                3 * h);
+
   std::vector<float> h_prev(static_cast<std::size_t>(h), 0.0f);
-  std::vector<float> pre(static_cast<std::size_t>(3 * h));
   std::vector<float> hh(static_cast<std::size_t>(3 * h));
   for (int t = 0; t < t_len; ++t) {
-    const float* xt = x.data() + static_cast<std::size_t>(t) * input_;
-    // Input and recurrent pre-activations kept separate: the candidate
-    // uses r . (W_hh h + b_hh).
-    for (int r = 0; r < 3 * h; ++r) {
-      const float* wi = w_ih_.value.data() + static_cast<std::size_t>(r) * input_;
-      const float* wh = w_hh_.value.data() + static_cast<std::size_t>(r) * h;
-      float acc_i = bias_ih_.value[static_cast<std::size_t>(r)];
-      for (int f = 0; f < input_; ++f) acc_i += wi[f] * xt[f];
-      float acc_h = bias_hh_.value[static_cast<std::size_t>(r)];
-      for (int j = 0; j < h; ++j)
-        acc_h += wh[j] * h_prev[static_cast<std::size_t>(j)];
-      pre[static_cast<std::size_t>(r)] = acc_i;
-      hh[static_cast<std::size_t>(r)] = acc_h;
-    }
+    const float* pre =
+        pre_all.data() + static_cast<std::size_t>(t) * 3 * h;
+    for (int r = 0; r < 3 * h; ++r)
+      hh[static_cast<std::size_t>(r)] =
+          bias_hh_.value[static_cast<std::size_t>(r)];
+    gemv_acc(w_hh_.value.data(), h_prev.data(), hh.data(), 3 * h, h);
     float* gt = gates.data() + static_cast<std::size_t>(t) * 3 * h;
     float* nh = hh_n.data() + static_cast<std::size_t>(t) * h;
     float* ht = hiddens.data() + static_cast<std::size_t>(t) * h;

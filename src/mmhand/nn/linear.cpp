@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "mmhand/nn/gemm.hpp"
+
 namespace mmhand::nn {
 
 Linear::Linear(int in_features, int out_features, Rng& rng)
@@ -20,18 +22,13 @@ Tensor Linear::forward(const Tensor& x, bool training) {
   if (training) cached_input_ = x;
   const int n = x.dim(0);
   Tensor y({n, out_});
-  const float* w = weight_.value.data();
   const float* b = bias_.value.data();
   for (int i = 0; i < n; ++i) {
-    const float* xi = x.data() + static_cast<std::size_t>(i) * in_;
     float* yi = y.data() + static_cast<std::size_t>(i) * out_;
-    for (int o = 0; o < out_; ++o) {
-      const float* wo = w + static_cast<std::size_t>(o) * in_;
-      float acc = b[o];
-      for (int k = 0; k < in_; ++k) acc += wo[k] * xi[k];
-      yi[o] = acc;
-    }
+    for (int o = 0; o < out_; ++o) yi[o] = b[o];
   }
+  // y += x [N x in] * W^T with W stored [out x in].
+  gemm_a_bt_acc(x.data(), weight_.value.data(), y.data(), n, in_, out_);
   return y;
 }
 
@@ -43,27 +40,18 @@ Tensor Linear::backward(const Tensor& grad_out) {
   MMHAND_CHECK(n == cached_input_.dim(0), "Linear batch mismatch");
 
   Tensor grad_in({n, in_});
-  float* dw = weight_.grad.data();
   float* db = bias_.grad.data();
-  const float* w = weight_.value.data();
   for (int i = 0; i < n; ++i) {
     const float* gi =
         grad_out.data() + static_cast<std::size_t>(i) * out_;
-    const float* xi =
-        cached_input_.data() + static_cast<std::size_t>(i) * in_;
-    float* di = grad_in.data() + static_cast<std::size_t>(i) * in_;
-    for (int o = 0; o < out_; ++o) {
-      const float g = gi[o];
-      if (g == 0.0f) continue;
-      db[o] += g;
-      const float* wo = w + static_cast<std::size_t>(o) * in_;
-      float* dwo = dw + static_cast<std::size_t>(o) * in_;
-      for (int k = 0; k < in_; ++k) {
-        dwo[k] += g * xi[k];
-        di[k] += g * wo[k];
-      }
-    }
+    for (int o = 0; o < out_; ++o) db[o] += gi[o];
   }
+  // dW [out x in] += dY^T [out x N] * X [N x in].
+  gemm_at_b_acc(grad_out.data(), cached_input_.data(), weight_.grad.data(),
+                out_, n, in_);
+  // dX [N x in] += dY [N x out] * W [out x in].
+  gemm_acc(grad_out.data(), weight_.value.data(), grad_in.data(), n, out_,
+           in_);
   return grad_in;
 }
 

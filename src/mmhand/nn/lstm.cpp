@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "mmhand/nn/activations.hpp"
+#include "mmhand/nn/gemm.hpp"
 
 namespace mmhand::nn {
 
@@ -31,20 +32,26 @@ Tensor Lstm::forward(const Tensor& x, bool training) {
   Tensor cells({t_len, h});
   Tensor hiddens({t_len, h});
 
+  // Input projections for every timestep in one GEMM: the x-dependent half
+  // of the gate pre-activations has no recurrence, so batching it across
+  // time turns T matrix-vector products into one [T x 4h] matrix multiply.
+  Tensor pre({t_len, 4 * h});
+  for (int t = 0; t < t_len; ++t) {
+    float* pt = pre.data() + static_cast<std::size_t>(t) * 4 * h;
+    for (int r = 0; r < 4 * h; ++r)
+      pt[r] = bias_.value[static_cast<std::size_t>(r)];
+  }
+  gemm_a_bt_acc(x.data(), w_ih_.value.data(), pre.data(), t_len, input_,
+                4 * h);
+
   std::vector<float> h_prev(static_cast<std::size_t>(h), 0.0f);
   std::vector<float> c_prev(static_cast<std::size_t>(h), 0.0f);
   for (int t = 0; t < t_len; ++t) {
-    const float* xt = x.data() + static_cast<std::size_t>(t) * input_;
     float* gt = gates.data() + static_cast<std::size_t>(t) * 4 * h;
-    // Pre-activations: W_ih x + W_hh h_prev + b.
-    for (int r = 0; r < 4 * h; ++r) {
-      const float* wi = w_ih_.value.data() + static_cast<std::size_t>(r) * input_;
-      const float* wh = w_hh_.value.data() + static_cast<std::size_t>(r) * h;
-      float acc = bias_.value[static_cast<std::size_t>(r)];
-      for (int f = 0; f < input_; ++f) acc += wi[f] * xt[f];
-      for (int j = 0; j < h; ++j) acc += wh[j] * h_prev[static_cast<std::size_t>(j)];
-      gt[r] = acc;
-    }
+    // Pre-activations: (W_ih x + b) batched above, plus W_hh h_prev.
+    const float* pt = pre.data() + static_cast<std::size_t>(t) * 4 * h;
+    std::copy(pt, pt + 4 * h, gt);
+    gemv_acc(w_hh_.value.data(), h_prev.data(), gt, 4 * h, h);
     // Activations and state update.
     float* ct = cells.data() + static_cast<std::size_t>(t) * h;
     float* ht = hiddens.data() + static_cast<std::size_t>(t) * h;

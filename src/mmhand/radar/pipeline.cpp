@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "mmhand/common/parallel.hpp"
 #include "mmhand/dsp/fft.hpp"
 
 namespace mmhand::radar {
@@ -85,12 +86,18 @@ std::vector<Cd> RadarPipeline::range_profiles(const IfFrame& frame) const {
 
   std::vector<Cd> profiles(static_cast<std::size_t>(n_tx) * n_rx * n_chirp *
                            n_range);
-  std::vector<Cd> chirp_buf(static_cast<std::size_t>(n_samp));
-  for (int tx = 0; tx < n_tx; ++tx)
-    for (int rx = 0; rx < n_rx; ++rx)
-      for (int c = 0; c < n_chirp; ++c) {
+  // One range-FFT per (tx, rx, chirp); each index owns a disjoint
+  // `n_range` slice of `profiles`, so the fan-out is deterministic.
+  parallel_for(
+      0, static_cast<std::int64_t>(n_tx) * n_rx * n_chirp, 1,
+      [&](std::int64_t idx) {
+        const int c = static_cast<int>(idx % n_chirp);
+        const int rx = static_cast<int>((idx / n_chirp) % n_rx);
+        const int tx = static_cast<int>(idx / (static_cast<std::int64_t>(
+                                                   n_chirp) *
+                                               n_rx));
         const Cd* in = frame.chirp_data(tx, rx, c);
-        chirp_buf.assign(in, in + n_samp);
+        std::vector<Cd> chirp_buf(in, in + n_samp);
         if (config_.enable_bandpass)
           chirp_buf = bandpass_.filtfilt(std::span<const Cd>(chirp_buf));
         for (int m = 0; m < n_samp; ++m)
@@ -103,7 +110,7 @@ std::vector<Cd> RadarPipeline::range_profiles(const IfFrame& frame) const {
         for (int d = 0; d < n_range; ++d)
           profiles[base + static_cast<std::size_t>(d)] =
               spectrum[static_cast<std::size_t>(d)];
-      }
+      });
   return profiles;
 }
 
@@ -135,10 +142,17 @@ RadarCube RadarPipeline::process_frame(const IfFrame& frame) const {
                        n_range +
                    static_cast<std::size_t>(d)];
   };
-  std::vector<Cd> seq(static_cast<std::size_t>(n_chirp));
-  for (int tx = 0; tx < n_tx; ++tx)
-    for (int rx = 0; rx < n_rx; ++rx)
-      for (int d = 0; d < n_range; ++d) {
+  // One Doppler-FFT per (tx, rx, range bin); each index owns the
+  // doppler(tx, rx, *, d) column.
+  parallel_for(
+      0, static_cast<std::int64_t>(n_tx) * n_rx * n_range, 1,
+      [&](std::int64_t idx) {
+        const int d = static_cast<int>(idx % n_range);
+        const int rx = static_cast<int>((idx / n_range) % n_rx);
+        const int tx = static_cast<int>(idx / (static_cast<std::int64_t>(
+                                                   n_range) *
+                                               n_rx));
+        std::vector<Cd> seq(static_cast<std::size_t>(n_chirp));
         for (int c = 0; c < n_chirp; ++c)
           seq[static_cast<std::size_t>(c)] =
               profile_at(tx, rx, c, d) *
@@ -152,7 +166,7 @@ RadarCube RadarPipeline::process_frame(const IfFrame& frame) const {
           doppler_at(tx, rx, v, d) =
               spec[static_cast<std::size_t>(v)] * std::polar(1.0, comp);
         }
-      }
+      });
 
   // Angle-FFTs.  The azimuth row is an 8-element lambda/2 ULA; spatial
   // frequency f = d*sin(theta)/lambda = sin(theta)/2 cycles/element.  The
@@ -166,10 +180,15 @@ RadarCube RadarPipeline::process_frame(const IfFrame& frame) const {
   const auto& el_row = array_.elevation_row();
 
   RadarCube cube(n_chirp, n_range, n_az + n_el);
-  std::vector<Cd> az_sig(az_row.size());
-  std::vector<Cd> el_sig(2);
-  for (int v = 0; v < n_chirp; ++v)
-    for (int d = 0; d < n_range; ++d) {
+  // One zoom angle-FFT pair per (v, d); each index owns the cube(v, d, *)
+  // fiber.
+  parallel_for(
+      0, static_cast<std::int64_t>(n_chirp) * n_range, 1,
+      [&](std::int64_t idx) {
+      const int v = static_cast<int>(idx / n_range);
+      const int d = static_cast<int>(idx % n_range);
+      std::vector<Cd> az_sig(az_row.size());
+      std::vector<Cd> el_sig(2);
       for (std::size_t i = 0; i < az_row.size(); ++i)
         az_sig[i] = doppler_at(az_row[i].first, az_row[i].second, v, d);
       // IF phase grows with path length, so elements closer to a target on
@@ -200,7 +219,7 @@ RadarCube RadarPipeline::process_frame(const IfFrame& frame) const {
         cube.at(v, d, n_az + e) = static_cast<float>(
             std::log1p(std::abs(el_spec[static_cast<std::size_t>(
                 n_el - 1 - e)])));
-    }
+      });
   return cube;
 }
 

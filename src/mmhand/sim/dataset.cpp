@@ -1,9 +1,11 @@
 #include "mmhand/sim/dataset.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
 #include "mmhand/common/error.hpp"
+#include "mmhand/common/parallel.hpp"
 #include "mmhand/hand/kinematics.hpp"
 
 namespace mmhand::sim {
@@ -60,32 +62,48 @@ Recording DatasetBuilder::record(const ScenarioConfig& scenario) const {
   const int n_frames = static_cast<int>(scenario.duration_s / dt);
   rec.frames.reserve(static_cast<std::size_t>(n_frames));
 
-  for (int f = 0; f < n_frames; ++f) {
-    const double t = static_cast<double>(f) * dt;
-    const auto pose = script.pose_at(t);
-    const auto prev_pose = script.pose_at(std::max(0.0, t - dt));
-    const auto joints = hand::forward_kinematics(profile, pose);
-    const auto prev_joints = hand::forward_kinematics(profile, prev_pose);
+  // Frames are generated in blocks: the rng-consuming stages (scene
+  // synthesis, IF simulation, label jitter) stay strictly sequential so the
+  // random streams are consumed in exactly the seed order, then the radar
+  // cubes — a pure function of the IF frames — are processed with
+  // `parallel_for`.  The block bounds peak IF-frame memory.
+  constexpr int kFrameBlock = 8;
+  std::vector<radar::IfFrame> if_frames;
+  for (int f0 = 0; f0 < n_frames; f0 += kFrameBlock) {
+    const int block = std::min(kFrameBlock, n_frames - f0);
+    if_frames.clear();
+    if_frames.reserve(static_cast<std::size_t>(block));
+    const std::size_t rec_base = rec.frames.size();
+    for (int f = f0; f < f0 + block; ++f) {
+      const double t = static_cast<double>(f) * dt;
+      const auto pose = script.pose_at(t);
+      const auto prev_pose = script.pose_at(std::max(0.0, t - dt));
+      const auto joints = hand::forward_kinematics(profile, pose);
+      const auto prev_joints = hand::forward_kinematics(profile, prev_pose);
 
-    radar::Scene scene =
-        build_hand_scene(joints, prev_joints, dt, hand_config_, scene_rng);
-    apply_glove(scene, scenario.glove, scene_rng);
-    apply_handheld_object(scene, joints, scenario.object, scene_rng);
-    scene.insert(scene.end(), clutter.begin(), clutter.end());
-    apply_obstacle(scene, scenario.obstacle, scene_rng);
+      radar::Scene scene =
+          build_hand_scene(joints, prev_joints, dt, hand_config_, scene_rng);
+      apply_glove(scene, scenario.glove, scene_rng);
+      apply_handheld_object(scene, joints, scenario.object, scene_rng);
+      scene.insert(scene.end(), clutter.begin(), clutter.end());
+      apply_obstacle(scene, scenario.obstacle, scene_rng);
 
-    const auto frame = if_sim_.simulate_frame(scene, 0.0, noise_rng);
+      if_frames.push_back(if_sim_.simulate_frame(scene, 0.0, noise_rng));
 
-    FrameRecord record;
-    record.cube = pipeline_.process_frame(frame);
-    record.true_joints = joints;
-    record.joints = apply_label_noise(joints, label_config_, label_rng);
-    record.gesture = script.gesture_at(t);
-    record.time_s = t;
-    rec.frames.push_back(std::move(record));
+      FrameRecord record;
+      record.true_joints = joints;
+      record.joints = apply_label_noise(joints, label_config_, label_rng);
+      record.gesture = script.gesture_at(t);
+      record.time_s = t;
+      rec.frames.push_back(std::move(record));
 
-    // Advance dynamic clutter to the next frame.
-    for (auto& s : clutter) s.position += s.velocity * dt;
+      // Advance dynamic clutter to the next frame.
+      for (auto& s : clutter) s.position += s.velocity * dt;
+    }
+    parallel_for(0, block, 1, [&](std::int64_t i) {
+      rec.frames[rec_base + static_cast<std::size_t>(i)].cube =
+          pipeline_.process_frame(if_frames[static_cast<std::size_t>(i)]);
+    });
   }
   return rec;
 }

@@ -1,12 +1,18 @@
-// Tests for mmhand/common: errors, rng, vec3, quaternion, stats, serialize.
+// Tests for mmhand/common: errors, rng, vec3, quaternion, stats, serialize,
+// parallel_for.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <numbers>
+#include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "mmhand/common/error.hpp"
+#include "mmhand/common/parallel.hpp"
 #include "mmhand/common/quaternion.hpp"
 #include "mmhand/common/rng.hpp"
 #include "mmhand/common/serialize.hpp"
@@ -292,6 +298,71 @@ TEST(Serialize, TruncatedReadThrows) {
 TEST(Serialize, MissingFileThrows) {
   EXPECT_THROW(BinaryReader("/nonexistent/path/file.bin"), Error);
   EXPECT_FALSE(file_exists("/nonexistent/path/file.bin"));
+}
+
+TEST(ParallelFor, EmptyRangeCallsNothing) {
+  std::atomic<int> calls{0};
+  parallel_for(5, 5, 1, [&](std::int64_t) { ++calls; });
+  parallel_for(7, 3, 1, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, RangeSmallerThanGrainRunsSeriallyInOrder) {
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::int64_t> seen;
+  parallel_for(2, 6, 100, [&](std::int64_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    seen.push_back(i);
+  });
+  EXPECT_EQ(seen, (std::vector<std::int64_t>{2, 3, 4, 5}));
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  const int prev = num_threads();
+  set_num_threads(4);
+  constexpr int kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(0, kN, 7, [&](std::int64_t i) {
+    ++hits[static_cast<std::size_t>(i)];
+  });
+  set_num_threads(prev);
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelFor, WorkerExceptionPropagatesToCaller) {
+  const int prev = num_threads();
+  set_num_threads(4);
+  EXPECT_THROW(parallel_for(0, 64, 1,
+                            [&](std::int64_t i) {
+                              if (i == 13)
+                                throw std::runtime_error("boom 13");
+                            }),
+               std::runtime_error);
+  set_num_threads(prev);
+}
+
+TEST(ParallelFor, NestedCallsFallBackToSerial) {
+  const int prev = num_threads();
+  set_num_threads(4);
+  std::atomic<int> inner_total{0};
+  std::atomic<bool> saw_region_flag{true};
+  parallel_for(0, 8, 1, [&](std::int64_t) {
+    if (!in_parallel_region()) saw_region_flag = false;
+    const auto inner_thread = std::this_thread::get_id();
+    parallel_for(0, 16, 1, [&](std::int64_t) {
+      // Serial fallback: the nested body stays on the outer worker.
+      if (std::this_thread::get_id() != inner_thread) saw_region_flag = false;
+      ++inner_total;
+    });
+  });
+  set_num_threads(prev);
+  EXPECT_TRUE(saw_region_flag.load());
+  EXPECT_EQ(inner_total.load(), 8 * 16);
+  EXPECT_FALSE(in_parallel_region());
+}
+
+TEST(ParallelFor, RejectsNonPositiveGrain) {
+  EXPECT_THROW(parallel_for(0, 4, 0, [](std::int64_t) {}), Error);
 }
 
 }  // namespace

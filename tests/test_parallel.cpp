@@ -1,0 +1,110 @@
+// Determinism of the parallel execution layer: the radar pipeline and the
+// GEMM-backed NN layers must produce bitwise-identical results at any
+// thread count, because parallel_for only partitions disjoint output
+// slices and never reorders a reduction.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "mmhand/common/parallel.hpp"
+#include "mmhand/common/rng.hpp"
+#include "mmhand/nn/conv2d.hpp"
+#include "mmhand/nn/linear.hpp"
+#include "mmhand/nn/lstm.hpp"
+#include "mmhand/radar/antenna_array.hpp"
+#include "mmhand/radar/chirp_config.hpp"
+#include "mmhand/radar/if_simulator.hpp"
+#include "mmhand/radar/pipeline.hpp"
+
+namespace mmhand {
+namespace {
+
+/// Runs `fn` with the pool pinned to `threads`, restoring the previous
+/// setting afterwards.
+template <typename Fn>
+auto with_threads(int threads, Fn&& fn) {
+  const int prev = num_threads();
+  set_num_threads(threads);
+  auto result = fn();
+  set_num_threads(prev);
+  return result;
+}
+
+std::vector<float> run_process_frame() {
+  radar::ChirpConfig chirp;
+  chirp.noise_stddev = 0.0;
+  const radar::AntennaArray array(chirp);
+  const radar::IfSimulator sim(chirp, array);
+  const radar::PipelineConfig pc;
+  const radar::RadarPipeline pipe(chirp, array, pc);
+
+  radar::Scene scene{
+      {Vec3{0.05, 0.30, 0.02}, Vec3{0.0, 0.4, 0.0}, 1.0},
+      {Vec3{-0.08, 0.45, -0.01}, Vec3{0.0, -0.2, 0.0}, 0.7},
+  };
+  Rng rng(11);
+  const auto frame = sim.simulate_frame(scene, 0.0, rng);
+  return pipe.process_frame(frame).data();
+}
+
+TEST(ParallelDeterminism, ProcessFrameBitwiseEqualAcrossThreadCounts) {
+  const auto serial = with_threads(1, run_process_frame);
+  const auto threaded = with_threads(4, run_process_frame);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    ASSERT_EQ(serial[i], threaded[i]) << "cube cell " << i;
+}
+
+struct ConvResult {
+  std::vector<float> y, grad_in, dw, db;
+};
+
+ConvResult run_conv() {
+  Rng rng(42);
+  nn::Conv2d conv(3, 8, 3, 1, 1, rng);
+  const nn::Tensor x = nn::Tensor::randn({2, 3, 16, 16}, rng, 1.0);
+  const nn::Tensor y = conv.forward(x, /*training=*/true);
+  const nn::Tensor g = nn::Tensor::randn(y.shape(), rng, 1.0);
+  const nn::Tensor grad_in = conv.backward(g);
+  const auto params = conv.parameters();
+  return {y.vec(), grad_in.vec(), params[0]->grad.vec(),
+          params[1]->grad.vec()};
+}
+
+TEST(ParallelDeterminism, Conv2dForwardBackwardBitwiseEqual) {
+  const ConvResult serial = with_threads(1, run_conv);
+  const ConvResult threaded = with_threads(4, run_conv);
+  EXPECT_EQ(serial.y, threaded.y);
+  EXPECT_EQ(serial.grad_in, threaded.grad_in);
+  EXPECT_EQ(serial.dw, threaded.dw);
+  EXPECT_EQ(serial.db, threaded.db);
+}
+
+std::tuple<std::vector<float>, std::vector<float>> run_linear() {
+  Rng rng(7);
+  nn::Linear fc(64, 48, rng);
+  const nn::Tensor x = nn::Tensor::randn({32, 64}, rng, 1.0);
+  const nn::Tensor y = fc.forward(x, /*training=*/true);
+  const nn::Tensor grad_in = fc.backward(y);
+  return {y.vec(), grad_in.vec()};
+}
+
+TEST(ParallelDeterminism, LinearBitwiseEqual) {
+  EXPECT_EQ(with_threads(1, run_linear), with_threads(4, run_linear));
+}
+
+std::vector<float> run_lstm() {
+  Rng rng(9);
+  nn::Lstm lstm(24, 32, rng);
+  const nn::Tensor x = nn::Tensor::randn({16, 24}, rng, 1.0);
+  return lstm.forward(x, /*training=*/false).vec();
+}
+
+TEST(ParallelDeterminism, LstmForwardBitwiseEqual) {
+  EXPECT_EQ(with_threads(1, run_lstm), with_threads(4, run_lstm));
+}
+
+}  // namespace
+}  // namespace mmhand
