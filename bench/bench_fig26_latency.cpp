@@ -16,6 +16,7 @@
 
 #include "bench_common.hpp"
 #include "mmhand/common/stats.hpp"
+#include "mmhand/obs/obs.hpp"
 #include "mmhand/pose/samples.hpp"
 
 using namespace mmhand;
@@ -128,5 +129,12 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   print_cdf_study();
+  if (obs::tracing_enabled()) {
+    // Flush now so the trace covers the run even if static destructors
+    // misbehave; the atexit dump rewrites the same file with any stragglers.
+    obs::write_trace();
+    std::printf("\nChrome trace written (MMHAND_TRACE); open in "
+                "chrome://tracing or ui.perfetto.dev\n");
+  }
   return 0;
 }

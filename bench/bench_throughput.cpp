@@ -22,6 +22,7 @@
 #include "mmhand/nn/conv2d.hpp"
 #include "mmhand/nn/linear.hpp"
 #include "mmhand/nn/lstm.hpp"
+#include "mmhand/obs/obs.hpp"
 #include "mmhand/radar/antenna_array.hpp"
 #include "mmhand/radar/chirp_config.hpp"
 #include "mmhand/radar/if_simulator.hpp"
@@ -114,6 +115,19 @@ int main(int argc, char** argv) {
                   t == 1 ? " " : "s", r.ms);
     }
   }
+  // Capture pass for the per-stage breakdown: re-run each op at a fixed
+  // thread count with metrics on so the span histograms (radar/* stage
+  // timings, nn/gemm call+FLOP counters, nn/lstm_step) have samples, then
+  // embed the snapshot verbatim below.
+  const int capture_threads = std::min(4, std::max(1, hw));
+  mmhand::set_num_threads(capture_threads);
+  mmhand::obs::set_metrics_enabled(true);
+  mmhand::obs::reset_metrics();
+  for (const auto& op : ops)
+    for (int r = 0; r < op.reps; ++r) op.fn();
+  std::string breakdown = mmhand::obs::metrics_json();
+  mmhand::obs::set_metrics_enabled(false);
+  while (!breakdown.empty() && breakdown.back() == '\n') breakdown.pop_back();
   mmhand::set_num_threads(1);
 
   auto ms_for = [&](const std::string& op, int threads) {
@@ -145,7 +159,9 @@ int main(int argc, char** argv) {
     std::fprintf(f, "    \"%s\": %.3f%s\n", ops[i].name,
                  t4 > 0.0 ? t1 / t4 : 0.0, i + 1 < ops.size() ? "," : "");
   }
-  std::fprintf(f, "  }\n}\n");
+  std::fprintf(f, "  },\n  \"stage_breakdown_threads\": %d,\n",
+               capture_threads);
+  std::fprintf(f, "  \"stage_breakdown\": %s\n}\n", breakdown.c_str());
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
   return 0;

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Builds the full test suite under AddressSanitizer + UBSan and runs it.
+#
+# Complements scripts/check_tsan.sh: TSan proves the pool is race-free,
+# ASan/UBSan prove the buffers it partitions are in bounds and that the
+# FFT/GEMM index arithmetic never overflows or hits UB.  The obs layer's
+# per-thread trace buffers and sharded metrics get exercised too (the
+# obs tests force tracing/metrics on).
+#
+# Usage: scripts/check_asan.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build-asan}
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -O1 -g -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build "$BUILD_DIR" -j
+
+# MMHAND_THREADS forces real pool threads so the sanitizers see the same
+# cross-thread buffer traffic production does.
+(cd "$BUILD_DIR" &&
+ MMHAND_THREADS=4 ctest --output-on-failure)
+echo "ASan/UBSan run clean."

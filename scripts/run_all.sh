@@ -11,5 +11,38 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 for b in build/bench/bench_*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   echo "===== $(basename "$b") ====="
-  "$b"
+  if [ "$(basename "$b")" = bench_fig26_latency ]; then
+    # Capture a per-stage Chrome trace from the latency bench and
+    # sanity-check the JSON (see README "Observability").
+    MMHAND_TRACE=mmhand_trace.json "$b"
+  else
+    "$b"
+  fi
 done 2>&1 | tee bench_output.txt
+
+echo "===== trace sanity check ====="
+if command -v python3 > /dev/null; then
+  python3 - <<'EOF'
+import json
+with open("mmhand_trace.json") as f:
+    trace = json.load(f)
+names = {e["name"] for e in trace["traceEvents"]}
+required = {"radar/bandpass", "radar/range_fft", "radar/doppler_fft",
+            "radar/zoom_angle_fft", "pose/joint_regression",
+            "mesh/reconstruct"}
+missing = required - names
+assert not missing, f"trace is missing spans: {sorted(missing)}"
+print(f"mmhand_trace.json OK: {len(trace['traceEvents'])} events, "
+      f"{len(names)} distinct spans")
+EOF
+else
+  grep -q '"traceEvents"' mmhand_trace.json
+  for span in radar/bandpass radar/range_fft radar/doppler_fft \
+              radar/zoom_angle_fft pose/joint_regression mesh/reconstruct; do
+    grep -q "\"$span\"" mmhand_trace.json || {
+      echo "trace missing span $span" >&2
+      exit 1
+    }
+  done
+  echo "mmhand_trace.json OK (grep check; python3 unavailable)"
+fi

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "mmhand/obs/log.hpp"
+
 namespace mmhand::eval {
 
 namespace {
@@ -184,25 +186,20 @@ void Experiment::prepare(const std::string& cache_dir) {
     const std::string path = cache_path(cache_dir, fold);
     if (file_exists(path)) {
       model->load(path);
-      std::fprintf(stderr, "[mmhand] fold %d: loaded cached model %s\n",
-                   fold, path.c_str());
+      MMHAND_INFO("fold %d: loaded cached model %s", fold, path.c_str());
     } else {
-      std::fprintf(stderr,
-                   "[mmhand] fold %d: generating training data...\n", fold);
+      MMHAND_INFO("fold %d: generating training data...", fold);
       const auto samples = fold_training_samples(fold);
-      std::fprintf(stderr,
-                   "[mmhand] fold %d: training on %zu samples, %d epochs\n",
-                   fold, samples.size(), config_.train.epochs);
+      MMHAND_INFO("fold %d: training on %zu samples, %d epochs", fold,
+                  samples.size(), config_.train.epochs);
       pose::TrainConfig tc = config_.train;
       tc.seed = config_.seed ^ (0x33AAu + static_cast<unsigned>(fold));
       tc.on_epoch = [fold](int epoch, double loss) {
-        std::fprintf(stderr, "[mmhand] fold %d epoch %d loss %.4f\n", fold,
-                     epoch, loss);
+        MMHAND_INFO("fold %d epoch %d loss %.4f", fold, epoch, loss);
       };
       pose::train_pose_model(*model, samples, tc);
       model->save(path);
-      std::fprintf(stderr, "[mmhand] fold %d: cached to %s\n", fold,
-                   path.c_str());
+      MMHAND_INFO("fold %d: cached to %s", fold, path.c_str());
     }
     fold_models_[static_cast<std::size_t>(fold)] = std::move(model);
   }

@@ -1,8 +1,9 @@
 #include "mmhand/eval/model_cache.hpp"
 
-#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+
+#include "mmhand/obs/log.hpp"
 
 namespace mmhand::eval {
 
@@ -32,13 +33,11 @@ std::unique_ptr<mesh::MeshReconstructor> prepared_mesh_reconstructor() {
       mesh::HandTemplate::create(hand::HandProfile::reference()), rng);
   if (file_exists(path)) {
     recon->load(path);
-    std::fprintf(stderr, "[mmhand] loaded cached mesh reconstructor\n");
+    MMHAND_INFO("loaded cached mesh reconstructor");
   } else {
-    std::fprintf(stderr, "[mmhand] training mesh reconstructor...\n");
+    MMHAND_INFO("training mesh reconstructor...");
     const double err = recon->train(mesh::ReconstructorTrainConfig{});
-    std::fprintf(stderr,
-                 "[mmhand] mesh reconstructor held-out error: %.1f mm\n",
-                 1000.0 * err);
+    MMHAND_INFO("mesh reconstructor held-out error: %.1f mm", 1000.0 * err);
     recon->save(path);
   }
   return recon;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "mmhand/nn/activations.hpp"
+#include "mmhand/obs/trace.hpp"
 #include "mmhand/nn/loss.hpp"
 #include "mmhand/nn/optimizer.hpp"
 
@@ -149,6 +150,7 @@ nn::Tensor MeshReconstructor::ik_features(const hand::JointSet& joints,
 }
 
 double MeshReconstructor::train(const ReconstructorTrainConfig& config) {
+  MMHAND_SPAN("mesh/train_reconstructor");
   MMHAND_CHECK(config.samples >= 8 && config.epochs >= 1, "train config");
   Rng rng(config.seed);
   const auto& profile = model_.hand_template().profile();
@@ -238,6 +240,7 @@ double MeshReconstructor::train(const ReconstructorTrainConfig& config) {
 
 ReconstructionResult MeshReconstructor::reconstruct(
     const hand::JointSet& joints) {
+  MMHAND_SPAN("mesh/reconstruct");
   const Quaternion est = estimate_global_orientation(joints);
   const nn::Tensor joints_row = canonical_row(joints, est);
   const nn::Tensor ik_input = ik_features(joints, est);

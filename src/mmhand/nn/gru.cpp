@@ -4,6 +4,7 @@
 
 #include "mmhand/nn/activations.hpp"
 #include "mmhand/nn/gemm.hpp"
+#include "mmhand/obs/trace.hpp"
 
 namespace mmhand::nn {
 
@@ -22,6 +23,7 @@ Gru::Gru(int input_size, int hidden_size, Rng& rng)
 }
 
 Tensor Gru::forward(const Tensor& x, bool training) {
+  MMHAND_SPAN("nn/gru_forward");
   MMHAND_CHECK(x.rank() == 2 && x.dim(1) == input_,
                "Gru expects [T, " << input_ << "]");
   const int t_len = x.dim(0);
@@ -83,6 +85,7 @@ Tensor Gru::forward(const Tensor& x, bool training) {
 }
 
 Tensor Gru::backward(const Tensor& grad_out) {
+  MMHAND_SPAN("nn/gru_backward");
   MMHAND_CHECK(!cached_input_.empty(), "Gru backward before forward");
   const int t_len = cached_input_.dim(0);
   const int h = hidden_;

@@ -4,6 +4,7 @@
 
 #include "mmhand/nn/activations.hpp"
 #include "mmhand/nn/gemm.hpp"
+#include "mmhand/obs/trace.hpp"
 
 namespace mmhand::nn {
 
@@ -24,6 +25,7 @@ Lstm::Lstm(int input_size, int hidden_size, Rng& rng)
 }
 
 Tensor Lstm::forward(const Tensor& x, bool training) {
+  MMHAND_SPAN("nn/lstm_forward");
   MMHAND_CHECK(x.rank() == 2 && x.dim(1) == input_,
                "Lstm expects [T, " << input_ << "]");
   const int t_len = x.dim(0);
@@ -82,6 +84,7 @@ Tensor Lstm::forward(const Tensor& x, bool training) {
 }
 
 Tensor Lstm::backward(const Tensor& grad_out) {
+  MMHAND_SPAN("nn/lstm_backward");
   MMHAND_CHECK(!cached_input_.empty(), "Lstm backward before forward");
   const int t_len = cached_input_.dim(0);
   const int h = hidden_;

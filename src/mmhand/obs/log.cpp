@@ -1,0 +1,75 @@
+#include "mmhand/obs/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace mmhand::obs {
+
+namespace {
+
+/// Effective level as int, or -1 until first resolution.
+std::atomic<int> g_level{-1};
+std::mutex g_emit_mu;
+
+int parse_level(const char* s) {
+  if (std::strcmp(s, "silent") == 0 || std::strcmp(s, "0") == 0) return 0;
+  if (std::strcmp(s, "warn") == 0 || std::strcmp(s, "1") == 0) return 1;
+  if (std::strcmp(s, "info") == 0 || std::strcmp(s, "2") == 0) return 2;
+  if (std::strcmp(s, "debug") == 0 || std::strcmp(s, "3") == 0) return 3;
+  return -1;
+}
+
+int resolve_level() {
+  int level = static_cast<int>(LogLevel::kInfo);
+  if (const char* env = std::getenv("MMHAND_LOG_LEVEL");
+      env != nullptr && *env) {
+    const int parsed = parse_level(env);
+    if (parsed >= 0) {
+      level = parsed;
+    } else {
+      std::fprintf(stderr,
+                   "[mmhand] warning: unknown MMHAND_LOG_LEVEL '%s' "
+                   "(want silent|warn|info|debug)\n",
+                   env);
+    }
+  }
+  int expected = -1;
+  g_level.compare_exchange_strong(expected, level,
+                                  std::memory_order_relaxed);
+  return g_level.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level < 0) level = resolve_level();
+  return static_cast<LogLevel>(level);
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(log_level());
+}
+
+void logf(LogLevel level, const char* fmt, ...) {
+  if (!log_enabled(level)) return;
+  // Format into a local buffer first so the lock only covers the write
+  // and concurrent lines never interleave.
+  char buf[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  std::lock_guard<std::mutex> lk(g_emit_mu);
+  std::fprintf(stderr, "[mmhand] %s%s\n",
+               level == LogLevel::kWarn ? "warning: " : "", buf);
+}
+
+}  // namespace mmhand::obs

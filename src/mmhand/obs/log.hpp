@@ -1,0 +1,57 @@
+#pragma once
+
+// Leveled logging for mmHand.
+//
+// One process-wide level gates every message; below-level calls cost a
+// single relaxed atomic load — no formatting, no allocation, no lock.
+// The level resolves lazily on first use:
+//   1. `set_log_level(...)` (runtime override, used by tools and tests),
+//   2. the `MMHAND_LOG_LEVEL` environment variable
+//      (`silent|warn|info|debug`, or `0..3`),
+//   3. default `kInfo`.
+// Messages go to stderr as `[mmhand] ...` lines (warnings as
+// `[mmhand] warning: ...`); concurrent callers never interleave within a
+// line.  Use the MMHAND_WARN/INFO/DEBUG macros so the format arguments
+// are not even evaluated when the level is off.
+
+#include <cstdarg>
+
+namespace mmhand::obs {
+
+enum class LogLevel : int {
+  kSilent = 0,  ///< nothing, ever
+  kWarn = 1,    ///< dropped data, degraded behavior
+  kInfo = 2,    ///< progress of long-running work (training, caching)
+  kDebug = 3,   ///< per-step detail
+};
+
+/// Currently effective level (resolving the environment on first call).
+LogLevel log_level();
+
+/// Overrides the level at runtime; wins over `MMHAND_LOG_LEVEL`.
+void set_log_level(LogLevel level);
+
+/// True when a message at `level` would be emitted.
+bool log_enabled(LogLevel level);
+
+/// printf-style emission at `level`; prefixes `[mmhand] `, appends '\n'.
+/// Prefer the macros below, which skip argument evaluation when disabled.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void logf(LogLevel level, const char* fmt, ...);
+
+}  // namespace mmhand::obs
+
+#define MMHAND_LOG_AT_(level_, ...)                          \
+  do {                                                       \
+    if (::mmhand::obs::log_enabled(level_))                  \
+      ::mmhand::obs::logf(level_, __VA_ARGS__);              \
+  } while (false)
+
+#define MMHAND_WARN(...) \
+  MMHAND_LOG_AT_(::mmhand::obs::LogLevel::kWarn, __VA_ARGS__)
+#define MMHAND_INFO(...) \
+  MMHAND_LOG_AT_(::mmhand::obs::LogLevel::kInfo, __VA_ARGS__)
+#define MMHAND_DEBUG(...) \
+  MMHAND_LOG_AT_(::mmhand::obs::LogLevel::kDebug, __VA_ARGS__)

@@ -1,0 +1,296 @@
+#include "mmhand/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "mmhand/obs/log.hpp"
+
+namespace mmhand::obs {
+
+namespace {
+
+/// Bucket i >= 1 covers [2^((i-1)/2), 2^(i/2)); bucket 0 catches
+/// everything below 1 and the last bucket everything above ~2^31.
+int bucket_index(double v) {
+  if (!(v >= 1.0)) return 0;  // also routes NaN and negatives to bucket 0
+  const int i = 1 + static_cast<int>(2.0 * std::log2(v));
+  return std::min(i, Histogram::kBuckets - 1);
+}
+
+double bucket_lower(int i) {
+  return i == 0 ? 0.0 : std::exp2((i - 1) / 2.0);
+}
+
+double bucket_upper(int i) { return std::exp2(i / 2.0); }
+
+/// Relaxed CAS-accumulate for the atomic-double-as-bits pattern.
+void atomic_double_add(std::atomic<std::uint64_t>& bits, double delta) {
+  std::uint64_t cur = bits.load(std::memory_order_relaxed);
+  while (!bits.compare_exchange_weak(
+      cur, std::bit_cast<std::uint64_t>(std::bit_cast<double>(cur) + delta),
+      std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_double_min(std::atomic<std::uint64_t>& bits, double v) {
+  std::uint64_t cur = bits.load(std::memory_order_relaxed);
+  while (v < std::bit_cast<double>(cur) &&
+         !bits.compare_exchange_weak(cur, std::bit_cast<std::uint64_t>(v),
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_double_max(std::atomic<std::uint64_t>& bits, double v) {
+  std::uint64_t cur = bits.load(std::memory_order_relaxed);
+  while (v > std::bit_cast<double>(cur) &&
+         !bits.compare_exchange_weak(cur, std::bit_cast<std::uint64_t>(v),
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+struct MergedHistogram {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::max();
+  double max = std::numeric_limits<double>::lowest();
+  std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+};
+
+double merged_percentile(const MergedHistogram& m, double q) {
+  if (m.count == 0) return 0.0;
+  const double target =
+      std::clamp(q, 0.0, 100.0) / 100.0 * static_cast<double>(m.count);
+  std::uint64_t cum = 0;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    if (m.buckets[static_cast<std::size_t>(i)] == 0) continue;
+    const double before = static_cast<double>(cum);
+    cum += m.buckets[static_cast<std::size_t>(i)];
+    if (static_cast<double>(cum) >= target) {
+      const double frac =
+          (target - before) /
+          static_cast<double>(m.buckets[static_cast<std::size_t>(i)]);
+      const double lo = bucket_lower(i);
+      const double hi = i == Histogram::kBuckets - 1 ? m.max
+                                                     : bucket_upper(i);
+      return std::clamp(lo + frac * (hi - lo), m.min, m.max);
+    }
+  }
+  return m.max;
+}
+
+/// %.17g survives a double round-trip; trim to something readable but
+/// still JSON-legal (never inf/nan — merged stats are finite by
+/// construction).
+std::string json_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void set_metrics_enabled(bool on) {
+  detail::set_mask_bit(detail::kMetricsBit, on);
+  if (on) detail::touch_metrics_registry();
+}
+
+std::int64_t Counter::value() const {
+  std::int64_t total = 0;
+  for (const Slot& s : slots_) total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::reset() {
+  for (Slot& s : slots_) s.v.store(0, std::memory_order_relaxed);
+}
+
+void Histogram::record(double value) {
+  Shard& shard = shards_[detail::shard_id()];
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  atomic_double_add(shard.sum_bits, value);
+  atomic_double_min(shard.min_bits, value);
+  atomic_double_max(shard.max_bits, value);
+  shard.buckets[static_cast<std::size_t>(bucket_index(value))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+HistogramStats Histogram::stats() const {
+  MergedHistogram m;
+  for (const Shard& s : shards_) {
+    m.count += s.count.load(std::memory_order_relaxed);
+    m.sum += std::bit_cast<double>(s.sum_bits.load(std::memory_order_relaxed));
+    m.min = std::min(
+        m.min,
+        std::bit_cast<double>(s.min_bits.load(std::memory_order_relaxed)));
+    m.max = std::max(
+        m.max,
+        std::bit_cast<double>(s.max_bits.load(std::memory_order_relaxed)));
+    for (int i = 0; i < kBuckets; ++i)
+      m.buckets[static_cast<std::size_t>(i)] +=
+          s.buckets[static_cast<std::size_t>(i)].load(
+              std::memory_order_relaxed);
+  }
+  HistogramStats out;
+  out.count = m.count;
+  if (m.count == 0) return out;
+  out.sum = m.sum;
+  out.min = m.min;
+  out.max = m.max;
+  out.mean = m.sum / static_cast<double>(m.count);
+  out.p50 = merged_percentile(m, 50.0);
+  out.p95 = merged_percentile(m, 95.0);
+  out.p99 = merged_percentile(m, 99.0);
+  return out;
+}
+
+double Histogram::percentile(double q) const {
+  const HistogramStats s = stats();
+  if (s.count == 0) return 0.0;
+  MergedHistogram m;
+  m.count = s.count;
+  m.min = s.min;
+  m.max = s.max;
+  for (const Shard& shard : shards_)
+    for (int i = 0; i < kBuckets; ++i)
+      m.buckets[static_cast<std::size_t>(i)] +=
+          shard.buckets[static_cast<std::size_t>(i)].load(
+              std::memory_order_relaxed);
+  return merged_percentile(m, q);
+}
+
+void Histogram::reset() {
+  for (Shard& s : shards_) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum_bits.store(0, std::memory_order_relaxed);
+    s.min_bits.store(
+        std::bit_cast<std::uint64_t>(std::numeric_limits<double>::max()),
+        std::memory_order_relaxed);
+    s.max_bits.store(
+        std::bit_cast<std::uint64_t>(std::numeric_limits<double>::lowest()),
+        std::memory_order_relaxed);
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+Counter& counter(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  auto& slot = r.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& gauge(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  auto& slot = r.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& histogram(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  auto& slot = r.histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string metrics_json() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : r.counters) {
+    os << (first ? "" : ",") << "\n    \"" << json_escape(name)
+       << "\": " << c->value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : r.gauges) {
+    os << (first ? "" : ",") << "\n    \"" << json_escape(name)
+       << "\": " << json_number(g->value());
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : r.histograms) {
+    const HistogramStats s = h->stats();
+    os << (first ? "" : ",") << "\n    \"" << json_escape(name)
+       << "\": {\"count\": " << s.count << ", \"sum\": " << json_number(s.sum)
+       << ", \"min\": " << json_number(s.min)
+       << ", \"max\": " << json_number(s.max)
+       << ", \"mean\": " << json_number(s.mean)
+       << ", \"p50\": " << json_number(s.p50)
+       << ", \"p95\": " << json_number(s.p95)
+       << ", \"p99\": " << json_number(s.p99) << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+bool write_metrics(const std::string& path) {
+  const std::string body = metrics_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    MMHAND_WARN("cannot write metrics to %s", path.c_str());
+    return false;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+void reset_metrics() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  for (auto& [name, c] : r.counters) c->reset();
+  for (auto& [name, g] : r.gauges) g->reset();
+  for (auto& [name, h] : r.histograms) h->reset();
+}
+
+namespace detail {
+
+void touch_metrics_registry() { (void)registry(); }
+
+}  // namespace detail
+
+}  // namespace mmhand::obs

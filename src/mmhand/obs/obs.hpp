@@ -1,0 +1,19 @@
+#pragma once
+
+// Umbrella header for the observability layer: scoped trace spans
+// (trace.hpp), the metrics registry (metrics.hpp), and leveled logging
+// (log.hpp).  Everything is controlled by environment variables resolved
+// lazily on first use —
+//
+//   MMHAND_TRACE=<path>      capture spans, write Chrome trace JSON at exit
+//   MMHAND_METRICS=<path>    record metrics, write a JSON snapshot at exit
+//   MMHAND_LOG_LEVEL=<level> silent|warn|info|debug (default info)
+//
+// — or by the runtime setters, which win over the environment.  With
+// everything off, every instrumentation point costs one relaxed atomic
+// load; nothing allocates, formats, or takes a lock, and no numeric
+// output ever depends on whether observability is enabled.
+
+#include "mmhand/obs/log.hpp"
+#include "mmhand/obs/metrics.hpp"
+#include "mmhand/obs/trace.hpp"

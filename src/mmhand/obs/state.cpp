@@ -1,0 +1,111 @@
+#include "mmhand/obs/state.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+
+#include "mmhand/obs/log.hpp"
+#include "mmhand/obs/metrics.hpp"
+#include "mmhand/obs/trace.hpp"
+
+namespace mmhand::obs::detail {
+
+namespace {
+
+std::mutex g_path_mu;
+std::string g_trace_path;    // guarded by g_path_mu
+std::string g_metrics_path;  // guarded by g_path_mu
+
+std::atomic<unsigned> g_next_thread_id{0};
+
+/// Dumps whatever was requested via the environment when the process
+/// exits, so `MMHAND_TRACE=t.json ./bench` needs no code changes in the
+/// binary being observed.
+void at_exit_dump() {
+  if (!trace_path().empty() && tracing_enabled()) write_trace();
+  if (!metrics_path().empty() && metrics_enabled())
+    write_metrics(metrics_path());
+}
+
+}  // namespace
+
+std::atomic<int>& mask_atomic() {
+  static std::atomic<int> mask{-1};
+  return mask;
+}
+
+int init_mask() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    (void)now_ns();  // pin the time base before any span can run
+    int m = 0;
+    if (const char* t = std::getenv("MMHAND_TRACE"); t != nullptr && *t) {
+      m |= kTraceBit;
+      std::lock_guard<std::mutex> lk(g_path_mu);
+      g_trace_path = t;
+    }
+    if (const char* p = std::getenv("MMHAND_METRICS"); p != nullptr && *p) {
+      m |= kMetricsBit;
+      std::lock_guard<std::mutex> lk(g_path_mu);
+      g_metrics_path = p;
+    }
+    if (m != 0) {
+      // Touch the sinks so their static state outlives this atexit hook
+      // (handlers run LIFO: registered later -> runs earlier).
+      touch_trace_registry();
+      touch_metrics_registry();
+      std::atexit(at_exit_dump);
+    }
+    mask_atomic().store(m, std::memory_order_relaxed);
+  });
+  return mask_atomic().load(std::memory_order_relaxed);
+}
+
+void set_mask_bit(int bit, bool on) {
+  int m = mask();  // force env resolution first
+  int desired;
+  do {
+    desired = on ? (m | bit) : (m & ~bit);
+  } while (!mask_atomic().compare_exchange_weak(m, desired,
+                                                std::memory_order_relaxed));
+}
+
+std::int64_t now_ns() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point t0 = Clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              t0)
+      .count();
+}
+
+unsigned thread_id() {
+  thread_local const unsigned id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::string trace_path() {
+  (void)mask();  // make sure the environment was consulted
+  std::lock_guard<std::mutex> lk(g_path_mu);
+  return g_trace_path;
+}
+
+void set_trace_path(const std::string& path) {
+  (void)mask();
+  std::lock_guard<std::mutex> lk(g_path_mu);
+  g_trace_path = path;
+}
+
+std::string metrics_path() {
+  (void)mask();
+  std::lock_guard<std::mutex> lk(g_path_mu);
+  return g_metrics_path;
+}
+
+void set_metrics_path(const std::string& path) {
+  (void)mask();
+  std::lock_guard<std::mutex> lk(g_path_mu);
+  g_metrics_path = path;
+}
+
+}  // namespace mmhand::obs::detail

@@ -1,0 +1,53 @@
+#pragma once
+
+// Internal shared state of the observability layer — not part of the
+// public API.  Holds the lazily-initialized enable mask (one relaxed
+// atomic gates every disabled-path check), the process time base, and
+// the per-thread shard index used by metrics and trace buffers.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace mmhand::obs::detail {
+
+inline constexpr int kTraceBit = 1;
+inline constexpr int kMetricsBit = 2;
+
+/// Number of metric shards.  Threads map onto shards round-robin; more
+/// threads than shards only costs occasional cache-line sharing, never
+/// correctness.
+inline constexpr unsigned kShards = 16;
+
+/// The enable mask; -1 until the environment has been consulted.
+std::atomic<int>& mask_atomic();
+
+/// Resolves the mask, reading MMHAND_TRACE / MMHAND_METRICS /
+/// MMHAND_LOG_LEVEL exactly once per process.
+int init_mask();
+
+/// Current mask, lazily initialized.  The fast path when observability is
+/// off is this one relaxed load plus a compare.
+inline int mask() {
+  int m = mask_atomic().load(std::memory_order_relaxed);
+  if (m < 0) m = init_mask();
+  return m;
+}
+
+void set_mask_bit(int bit, bool on);
+
+/// Nanoseconds since the first observability call in this process.
+std::int64_t now_ns();
+
+/// Stable small integer id of the calling thread (assigned on first use).
+unsigned thread_id();
+
+inline unsigned shard_id() { return thread_id() % kShards; }
+
+/// Output paths configured via environment or setters ("" when unset).
+std::string trace_path();
+void set_trace_path(const std::string& path);
+std::string metrics_path();
+void set_metrics_path(const std::string& path);
+
+}  // namespace mmhand::obs::detail

@@ -1,0 +1,177 @@
+#include "mmhand/obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mmhand/obs/log.hpp"
+#include "mmhand/obs/metrics.hpp"
+
+namespace mmhand::obs {
+
+namespace {
+
+/// Cap per-thread capture so a forgotten MMHAND_TRACE on a long training
+/// run cannot exhaust memory (~32 MB/thread at this cap).
+constexpr std::size_t kMaxEventsPerThread = 1 << 20;
+
+struct TraceEvent {
+  const char* name;
+  std::int64_t ts_ns;
+  std::int64_t dur_ns;
+};
+
+/// One buffer per thread.  The owning thread appends under `mu` (always
+/// uncontended except while a flush is copying), so `write_trace` can run
+/// at any time without tearing events.
+struct TraceBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  unsigned tid = 0;
+  std::uint64_t dropped = 0;
+};
+
+struct TraceRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+};
+
+TraceRegistry& trace_registry() {
+  static TraceRegistry r;
+  return r;
+}
+
+TraceBuffer& local_buffer() {
+  thread_local std::shared_ptr<TraceBuffer> buf = [] {
+    auto b = std::make_shared<TraceBuffer>();
+    b->tid = detail::thread_id();
+    TraceRegistry& r = trace_registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    r.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+std::string escape(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out.push_back('\\');
+    out.push_back(*s);
+  }
+  return out;
+}
+
+}  // namespace
+
+void set_tracing_enabled(bool on) {
+  detail::set_mask_bit(detail::kTraceBit, on);
+  if (on) detail::touch_trace_registry();
+}
+
+void set_trace_path(const std::string& path) {
+  detail::set_trace_path(path);
+}
+
+Histogram& SpanSite::hist() {
+  Histogram* h = hist_.load(std::memory_order_acquire);
+  if (h == nullptr) {
+    h = &histogram(name_);
+    hist_.store(h, std::memory_order_release);
+  }
+  return *h;
+}
+
+namespace detail {
+
+void record_span(SpanSite& site, std::int64_t t0_ns, std::int64_t t1_ns,
+                 int mask) {
+  if ((mask & kTraceBit) != 0) {
+    TraceBuffer& buf = local_buffer();
+    std::lock_guard<std::mutex> lk(buf.mu);
+    if (buf.events.size() < kMaxEventsPerThread)
+      buf.events.push_back({site.name(), t0_ns, t1_ns - t0_ns});
+    else
+      ++buf.dropped;
+  }
+  if ((mask & kMetricsBit) != 0)
+    site.hist().record(static_cast<double>(t1_ns - t0_ns) / 1000.0);
+}
+
+void touch_trace_registry() { (void)trace_registry(); }
+
+}  // namespace detail
+
+bool write_trace() {
+  const std::string path = detail::trace_path();
+  if (path.empty()) {
+    MMHAND_WARN("write_trace: no trace path configured "
+                "(MMHAND_TRACE or set_trace_path)");
+    return false;
+  }
+  return write_trace(path);
+}
+
+bool write_trace(const std::string& path) {
+  struct Row {
+    TraceEvent ev;
+    unsigned tid;
+  };
+  std::vector<Row> rows;
+  std::uint64_t dropped = 0;
+  {
+    TraceRegistry& r = trace_registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    for (const auto& buf : r.buffers) {
+      std::lock_guard<std::mutex> blk(buf->mu);
+      for (const TraceEvent& ev : buf->events)
+        rows.push_back({ev, buf->tid});
+      dropped += buf->dropped;
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.ev.ts_ns < b.ev.ts_ns;
+  });
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    MMHAND_WARN("cannot write trace to %s", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(
+        f,
+        "%s\n{\"name\": \"%s\", \"cat\": \"mmhand\", \"ph\": \"X\", "
+        "\"pid\": 1, \"tid\": %u, \"ts\": %lld.%03lld, "
+        "\"dur\": %lld.%03lld}",
+        i == 0 ? "" : ",", escape(row.ev.name).c_str(), row.tid,
+        static_cast<long long>(row.ev.ts_ns / 1000),
+        static_cast<long long>(row.ev.ts_ns % 1000),
+        static_cast<long long>(row.ev.dur_ns / 1000),
+        static_cast<long long>(row.ev.dur_ns % 1000));
+  }
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
+  if (dropped > 0)
+    MMHAND_WARN("trace %s is incomplete: %llu spans dropped at the "
+                "per-thread buffer cap",
+                path.c_str(), static_cast<unsigned long long>(dropped));
+  MMHAND_DEBUG("wrote %zu spans to %s", rows.size(), path.c_str());
+  return true;
+}
+
+void clear_trace() {
+  TraceRegistry& r = trace_registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  for (const auto& buf : r.buffers) {
+    std::lock_guard<std::mutex> blk(buf->mu);
+    buf->events.clear();
+    buf->dropped = 0;
+  }
+}
+
+}  // namespace mmhand::obs

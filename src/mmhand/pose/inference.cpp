@@ -1,15 +1,39 @@
 #include "mmhand/pose/inference.hpp"
 
+#include <algorithm>
+#include <chrono>
+
+#include "mmhand/obs/obs.hpp"
+
 namespace mmhand::pose {
 
 std::vector<FramePrediction> predict_recording(
     HandJointRegressor& model, const sim::Recording& recording, int stride) {
+  MMHAND_CHECK(stride >= 0,
+               "predict_recording stride " << stride
+                                           << " (0 means one window)");
+  MMHAND_SPAN("pose/predict_recording");
   const auto samples = make_pose_samples(recording, model.config(), stride);
   std::vector<FramePrediction> out;
   out.reserve(samples.size() *
               static_cast<std::size_t>(model.config().sequence_segments));
   for (const auto& sample : samples) {
+    // Per-segment inference latency: a sample predicts
+    // `sequence_segments` skeletons in one forward pass, so each
+    // segment's share is the pass time divided by the segment count.
+    const bool timed = obs::metrics_enabled();
+    const std::chrono::steady_clock::time_point t0 =
+        timed ? std::chrono::steady_clock::now()
+              : std::chrono::steady_clock::time_point{};
     const nn::Tensor pred = predict_sample(model, sample);
+    if (timed) {
+      static obs::Histogram& seg_us =
+          obs::histogram("pose/predict_segment");
+      const double us = std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      seg_us.record(us / std::max(1, pred.dim(0)));
+    }
     for (int s = 0; s < pred.dim(0); ++s) {
       FramePrediction fp;
       fp.frame_index = sample.label_frames[static_cast<std::size_t>(s)];

@@ -16,6 +16,13 @@ struct FramePrediction {
 };
 
 /// Predicts skeletons for every segment-end frame of a recording.
+///
+/// `stride` is the sliding-window hop in frames between consecutive
+/// samples.  `0` (the default) means "one full window"
+/// (`config.frames_per_sample()`): back-to-back, non-overlapping windows
+/// — the same convention as `make_pose_samples`.  Smaller positive
+/// values overlap windows for denser predictions.  Negative strides are
+/// rejected with an error.
 std::vector<FramePrediction> predict_recording(
     HandJointRegressor& model, const sim::Recording& recording,
     int stride = 0);

@@ -1,5 +1,7 @@
 #include "mmhand/pose/mmspacenet.hpp"
 
+#include "mmhand/obs/trace.hpp"
+
 namespace mmhand::pose {
 
 ResidualAttentionBlock::ResidualAttentionBlock(
@@ -81,6 +83,7 @@ MmSpaceNet::MmSpaceNet(const MmSpaceNetConfig& config, Rng& rng)
       reduce_(config.block2_channels, config.block2_channels, 3, 2, 1, rng) {}
 
 nn::Tensor MmSpaceNet::forward(const nn::Tensor& x, bool training) {
+  MMHAND_SPAN("pose/spacenet_forward");
   nn::Tensor h = stem_.forward(x, training);
   h = stem_act_.forward(h, training);
   h = block1_.forward(h, training);
@@ -90,6 +93,7 @@ nn::Tensor MmSpaceNet::forward(const nn::Tensor& x, bool training) {
 }
 
 nn::Tensor MmSpaceNet::backward(const nn::Tensor& grad_out) {
+  MMHAND_SPAN("pose/spacenet_backward");
   nn::Tensor g = reduce_act_.backward(grad_out);
   g = reduce_.backward(g);
   g = block2_.backward(g);

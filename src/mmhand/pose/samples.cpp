@@ -21,8 +21,10 @@ std::vector<PoseSample> make_pose_samples(const sim::Recording& recording,
                                           const PoseNetConfig& config,
                                           int stride) {
   config.validate();
+  MMHAND_CHECK(stride >= 0,
+               "stride " << stride << " (0 means one window)");
   const int window = config.frames_per_sample();
-  if (stride <= 0) stride = window;
+  if (stride == 0) stride = window;
   const int n_frames = static_cast<int>(recording.frames.size());
 
   std::vector<PoseSample> samples;

@@ -1,8 +1,35 @@
 #include "mmhand/pose/trainer.hpp"
 
+#include <chrono>
+
 #include "mmhand/nn/optimizer.hpp"
+#include "mmhand/obs/obs.hpp"
 
 namespace mmhand::pose {
+
+namespace {
+
+/// Per-epoch training metrics; gated on `metrics_enabled` so the default
+/// path never reads a clock or touches the registry.
+void note_epoch(int epoch, double loss, double lr_scale,
+                std::size_t samples, double seconds) {
+  if (!obs::metrics_enabled()) return;
+  static obs::Counter& epochs = obs::counter("pose/train.epochs");
+  static obs::Counter& seen = obs::counter("pose/train.samples");
+  static obs::Gauge& g_loss = obs::gauge("pose/train.loss");
+  static obs::Gauge& g_lr = obs::gauge("pose/train.lr_scale");
+  static obs::Gauge& g_rate = obs::gauge("pose/train.samples_per_s");
+  epochs.add(1);
+  seen.add(static_cast<std::int64_t>(samples));
+  g_loss.set(loss);
+  g_lr.set(lr_scale);
+  if (seconds > 0.0) g_rate.set(static_cast<double>(samples) / seconds);
+  MMHAND_DEBUG("train epoch %d loss %.6f lr_scale %.4f (%.1f samples/s)",
+               epoch, loss, lr_scale,
+               seconds > 0.0 ? static_cast<double>(samples) / seconds : 0.0);
+}
+
+}  // namespace
 
 TrainStats train_pose_model(HandJointRegressor& model,
                             const std::vector<PoseSample>& samples,
@@ -19,6 +46,10 @@ TrainStats train_pose_model(HandJointRegressor& model,
 
   TrainStats stats;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    MMHAND_SPAN("pose/train_epoch");
+    const std::chrono::steady_clock::time_point epoch_start =
+        obs::metrics_enabled() ? std::chrono::steady_clock::now()
+                               : std::chrono::steady_clock::time_point{};
     const double lr_scale = nn::cosine_decay(epoch, config.epochs);
     const auto order = rng.permutation(static_cast<int>(samples.size()));
     double epoch_loss = 0.0;
@@ -53,6 +84,11 @@ TrainStats train_pose_model(HandJointRegressor& model,
     }
     epoch_loss /= static_cast<double>(samples.size());
     stats.epoch_loss.push_back(epoch_loss);
+    if (obs::metrics_enabled())
+      note_epoch(epoch, epoch_loss, lr_scale, samples.size(),
+                 std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - epoch_start)
+                     .count());
     if (config.on_epoch) config.on_epoch(epoch, epoch_loss);
   }
   return stats;
@@ -60,6 +96,7 @@ TrainStats train_pose_model(HandJointRegressor& model,
 
 nn::Tensor predict_sample(HandJointRegressor& model,
                           const PoseSample& sample) {
+  MMHAND_SPAN("pose/joint_regression");
   return model.forward(sample.input, /*training=*/false);
 }
 

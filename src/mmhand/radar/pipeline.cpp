@@ -5,6 +5,7 @@
 
 #include "mmhand/common/parallel.hpp"
 #include "mmhand/dsp/fft.hpp"
+#include "mmhand/obs/trace.hpp"
 
 namespace mmhand::radar {
 
@@ -83,23 +84,50 @@ std::vector<Cd> RadarPipeline::range_profiles(const IfFrame& frame) const {
   const int n_chirp = frame.chirps();
   const int n_samp = frame.samples();
   const int n_range = config_.cube.range_bins;
+  const std::int64_t n_virt =
+      static_cast<std::int64_t>(n_tx) * n_rx * n_chirp;
+  auto chirp_of = [&](std::int64_t idx, int& tx, int& rx, int& c) {
+    c = static_cast<int>(idx % n_chirp);
+    rx = static_cast<int>((idx / n_chirp) % n_rx);
+    tx = static_cast<int>(idx /
+                          (static_cast<std::int64_t>(n_chirp) * n_rx));
+  };
 
+  // Stage 1: Butterworth bandpass per chirp (skipped when disabled; the
+  // per-chirp op order is the same as the fused loop, so results are
+  // unchanged).  Each index owns a disjoint `n_samp` slice of `filtered`.
+  const bool bandpass = config_.enable_bandpass;
+  std::vector<Cd> filtered;
+  if (bandpass) {
+    MMHAND_SPAN("radar/bandpass");
+    filtered.resize(static_cast<std::size_t>(n_virt) * n_samp);
+    parallel_for(0, n_virt, 1, [&](std::int64_t idx) {
+      int tx, rx, c;
+      chirp_of(idx, tx, rx, c);
+      const Cd* in = frame.chirp_data(tx, rx, c);
+      const auto out = bandpass_.filtfilt(std::span<const Cd>(in, in + n_samp));
+      std::copy(out.begin(), out.end(),
+                filtered.begin() +
+                    static_cast<std::ptrdiff_t>(idx) * n_samp);
+    });
+  }
+
+  // Stage 2: window + range-FFT per (tx, rx, chirp); each index owns a
+  // disjoint `n_range` slice of `profiles`, so the fan-out is
+  // deterministic.
+  MMHAND_SPAN("radar/range_fft");
   std::vector<Cd> profiles(static_cast<std::size_t>(n_tx) * n_rx * n_chirp *
                            n_range);
-  // One range-FFT per (tx, rx, chirp); each index owns a disjoint
-  // `n_range` slice of `profiles`, so the fan-out is deterministic.
   parallel_for(
-      0, static_cast<std::int64_t>(n_tx) * n_rx * n_chirp, 1,
+      0, n_virt, 1,
       [&](std::int64_t idx) {
-        const int c = static_cast<int>(idx % n_chirp);
-        const int rx = static_cast<int>((idx / n_chirp) % n_rx);
-        const int tx = static_cast<int>(idx / (static_cast<std::int64_t>(
-                                                   n_chirp) *
-                                               n_rx));
-        const Cd* in = frame.chirp_data(tx, rx, c);
+        int tx, rx, c;
+        chirp_of(idx, tx, rx, c);
+        const Cd* in = bandpass
+                           ? filtered.data() +
+                                 static_cast<std::size_t>(idx) * n_samp
+                           : frame.chirp_data(tx, rx, c);
         std::vector<Cd> chirp_buf(in, in + n_samp);
-        if (config_.enable_bandpass)
-          chirp_buf = bandpass_.filtfilt(std::span<const Cd>(chirp_buf));
         for (int m = 0; m < n_samp; ++m)
           chirp_buf[static_cast<std::size_t>(m)] *=
               range_window_[static_cast<std::size_t>(m)];
@@ -115,6 +143,7 @@ std::vector<Cd> RadarPipeline::range_profiles(const IfFrame& frame) const {
 }
 
 RadarCube RadarPipeline::process_frame(const IfFrame& frame) const {
+  MMHAND_SPAN("radar/process_frame");
   const int n_tx = frame.num_tx();
   const int n_rx = frame.num_rx();
   const int n_chirp = frame.chirps();
@@ -144,6 +173,8 @@ RadarCube RadarPipeline::process_frame(const IfFrame& frame) const {
   };
   // One Doppler-FFT per (tx, rx, range bin); each index owns the
   // doppler(tx, rx, *, d) column.
+  {
+  MMHAND_SPAN("radar/doppler_fft");
   parallel_for(
       0, static_cast<std::int64_t>(n_tx) * n_rx * n_range, 1,
       [&](std::int64_t idx) {
@@ -167,6 +198,7 @@ RadarCube RadarPipeline::process_frame(const IfFrame& frame) const {
               spec[static_cast<std::size_t>(v)] * std::polar(1.0, comp);
         }
       });
+  }
 
   // Angle-FFTs.  The azimuth row is an 8-element lambda/2 ULA; spatial
   // frequency f = d*sin(theta)/lambda = sin(theta)/2 cycles/element.  The
@@ -179,9 +211,15 @@ RadarCube RadarPipeline::process_frame(const IfFrame& frame) const {
   const auto& az_row = array_.azimuth_row();
   const auto& el_row = array_.elevation_row();
 
-  RadarCube cube(n_chirp, n_range, n_az + n_el);
+  // Cube assembly: allocate and zero the output tensor the angle stage
+  // fills in place.
+  RadarCube cube = [&] {
+    MMHAND_SPAN("radar/cube_assembly");
+    return RadarCube(n_chirp, n_range, n_az + n_el);
+  }();
   // One zoom angle-FFT pair per (v, d); each index owns the cube(v, d, *)
   // fiber.
+  MMHAND_SPAN("radar/zoom_angle_fft");
   parallel_for(
       0, static_cast<std::int64_t>(n_chirp) * n_range, 1,
       [&](std::int64_t idx) {

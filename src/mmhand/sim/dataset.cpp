@@ -7,6 +7,7 @@
 #include "mmhand/common/error.hpp"
 #include "mmhand/common/parallel.hpp"
 #include "mmhand/hand/kinematics.hpp"
+#include "mmhand/obs/trace.hpp"
 
 namespace mmhand::sim {
 
@@ -22,6 +23,7 @@ DatasetBuilder::DatasetBuilder(const radar::ChirpConfig& chirp,
       label_config_(label_config) {}
 
 Recording DatasetBuilder::record(const ScenarioConfig& scenario) const {
+  MMHAND_SPAN("sim/record");
   MMHAND_CHECK(scenario.duration_s > 0.0, "recording duration");
   MMHAND_CHECK(scenario.hand_distance_m > 0.05 &&
                    scenario.hand_distance_m < 1.2,
@@ -74,6 +76,7 @@ Recording DatasetBuilder::record(const ScenarioConfig& scenario) const {
     if_frames.clear();
     if_frames.reserve(static_cast<std::size_t>(block));
     const std::size_t rec_base = rec.frames.size();
+    MMHAND_SPAN("sim/synthesize_if_block");
     for (int f = f0; f < f0 + block; ++f) {
       const double t = static_cast<double>(f) * dt;
       const auto pose = script.pose_at(t);

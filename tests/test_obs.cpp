@@ -1,0 +1,357 @@
+// Observability layer: histogram percentile edge cases, thread safety of
+// counters/spans under the pool, trace JSON validity, and — the invariant
+// the instrumentation must never break — bitwise-identical numeric
+// outputs with observability on vs off.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "mmhand/common/parallel.hpp"
+#include "mmhand/common/rng.hpp"
+#include "mmhand/nn/conv2d.hpp"
+#include "mmhand/obs/obs.hpp"
+#include "mmhand/radar/antenna_array.hpp"
+#include "mmhand/radar/chirp_config.hpp"
+#include "mmhand/radar/if_simulator.hpp"
+#include "mmhand/radar/pipeline.hpp"
+
+namespace mmhand {
+namespace {
+
+/// Runs `fn` with the pool pinned to `threads`, restoring the previous
+/// setting afterwards.
+template <typename Fn>
+auto with_threads(int threads, Fn&& fn) {
+  const int prev = num_threads();
+  set_num_threads(threads);
+  auto result = fn();
+  set_num_threads(prev);
+  return result;
+}
+
+/// Scoped metrics enable; restores the disabled state afterwards.
+struct MetricsOn {
+  MetricsOn() { obs::set_metrics_enabled(true); }
+  ~MetricsOn() { obs::set_metrics_enabled(false); }
+};
+
+// ---------------------------------------------------------------------
+// Histogram percentile edge cases.
+
+TEST(ObsHistogram, EmptyIsAllZero) {
+  obs::Histogram h;
+  const obs::HistogramStats s = h.stats();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0.0);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+  EXPECT_EQ(s.p50, 0.0);
+  EXPECT_EQ(s.p99, 0.0);
+}
+
+TEST(ObsHistogram, SingleSampleIsExactAtEveryPercentile) {
+  obs::Histogram h;
+  h.record(123.5);
+  const obs::HistogramStats s = h.stats();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 123.5);
+  EXPECT_DOUBLE_EQ(s.max, 123.5);
+  EXPECT_DOUBLE_EQ(s.mean, 123.5);
+  EXPECT_DOUBLE_EQ(s.p50, 123.5);
+  EXPECT_DOUBLE_EQ(s.p95, 123.5);
+  EXPECT_DOUBLE_EQ(s.p99, 123.5);
+}
+
+TEST(ObsHistogram, AllEqualSamplesAreExact) {
+  obs::Histogram h;
+  for (int i = 0; i < 1000; ++i) h.record(42.0);
+  const obs::HistogramStats s = h.stats();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_DOUBLE_EQ(s.p50, 42.0);
+  EXPECT_DOUBLE_EQ(s.p95, 42.0);
+  EXPECT_DOUBLE_EQ(s.p99, 42.0);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+}
+
+TEST(ObsHistogram, PercentilesAreMonotonicAndBracketed) {
+  obs::Histogram h;
+  for (int i = 1; i <= 10000; ++i) h.record(static_cast<double>(i));
+  const obs::HistogramStats s = h.stats();
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_GE(s.p50, s.min);
+  EXPECT_LE(s.p99, s.max);
+  // Geometric buckets at ratio sqrt(2) bound the relative error.
+  EXPECT_NEAR(s.p50, 5000.0, 5000.0 * 0.5);
+  EXPECT_GT(s.p99, 8000.0);
+}
+
+TEST(ObsHistogram, SubUnitAndNegativeValuesLandInBucketZero) {
+  obs::Histogram h;
+  h.record(0.25);
+  h.record(-3.0);
+  const obs::HistogramStats s = h.stats();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.min, -3.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.25);
+  EXPECT_LE(s.p99, 0.25);
+}
+
+// ---------------------------------------------------------------------
+// Concurrent recording from inside the pool.
+
+TEST(ObsConcurrency, CounterFromParallelForIsExact) {
+  MetricsOn on;
+  obs::Counter& c = obs::counter("test/obs.concurrent_counter");
+  c.reset();
+  constexpr int kIters = 100000;
+  with_threads(8, [&] {
+    parallel_for(0, kIters, 64, [&](std::int64_t) { c.add(1); });
+    return 0;
+  });
+  EXPECT_EQ(c.value(), kIters);
+}
+
+TEST(ObsConcurrency, SpansFromParallelForAreAllRecorded) {
+  MetricsOn on;
+  obs::Histogram& h = obs::histogram("test/obs.concurrent_span");
+  h.reset();
+  constexpr int kIters = 5000;
+  with_threads(8, [&] {
+    parallel_for(0, kIters, 16, [&](std::int64_t) { h.record(3.0); });
+    return 0;
+  });
+  const obs::HistogramStats s = h.stats();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kIters));
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+}
+
+TEST(ObsConcurrency, SpanSitesFromEightThreadsCount) {
+  MetricsOn on;
+  static obs::SpanSite site{"test/obs.pool_span"};
+  obs::Histogram& h = site.hist();
+  h.reset();
+  constexpr int kIters = 2000;
+  with_threads(8, [&] {
+    parallel_for(0, kIters, 16,
+                 [&](std::int64_t) { obs::Span span(site); });
+    return 0;
+  });
+  EXPECT_EQ(h.stats().count, static_cast<std::uint64_t>(kIters));
+}
+
+// ---------------------------------------------------------------------
+// Trace JSON.
+
+/// Minimal structural JSON validator: balanced braces/brackets outside
+/// strings, and a final parse position at end of input.
+bool json_balanced(const std::string& text) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char ch : text) {
+    if (in_string) {
+      if (escaped)
+        escaped = false;
+      else if (ch == '\\')
+        escaped = true;
+      else if (ch == '"')
+        in_string = false;
+      continue;
+    }
+    switch (ch) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        stack.push_back(ch);
+        break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+std::string slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  std::string out;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+TEST(ObsTrace, WritesValidChromeTraceJson) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mmhand_test_trace.json")
+          .string();
+  obs::clear_trace();
+  obs::set_tracing_enabled(true);
+  {
+    MMHAND_SPAN("test/outer");
+    MMHAND_SPAN("test/inner");
+  }
+  with_threads(4, [&] {
+    parallel_for(0, 64, 1,
+                 [&](std::int64_t) { MMHAND_SPAN("test/pooled"); });
+    return 0;
+  });
+  obs::set_tracing_enabled(false);
+  ASSERT_TRUE(obs::write_trace(path));
+
+  const std::string text = slurp(path);
+  ASSERT_FALSE(text.empty());
+  EXPECT_TRUE(json_balanced(text)) << text.substr(0, 200);
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"test/outer\""), std::string::npos);
+  EXPECT_NE(text.find("\"test/inner\""), std::string::npos);
+  EXPECT_NE(text.find("\"test/pooled\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\": \"X\""), std::string::npos);
+  obs::clear_trace();
+  std::filesystem::remove(path);
+}
+
+TEST(ObsTrace, ClearDropsCapturedSpans) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mmhand_test_trace2.json")
+          .string();
+  obs::clear_trace();
+  obs::set_tracing_enabled(true);
+  { MMHAND_SPAN("test/ephemeral"); }
+  obs::clear_trace();
+  { MMHAND_SPAN("test/survivor"); }
+  obs::set_tracing_enabled(false);
+  ASSERT_TRUE(obs::write_trace(path));
+  const std::string text = slurp(path);
+  EXPECT_EQ(text.find("\"test/ephemeral\""), std::string::npos);
+  EXPECT_NE(text.find("\"test/survivor\""), std::string::npos);
+  obs::clear_trace();
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------
+// Logger.
+
+TEST(ObsLog, LevelGatesEvaluation) {
+  const obs::LogLevel prev = obs::log_level();
+  obs::set_log_level(obs::LogLevel::kSilent);
+  int evaluated = 0;
+  auto bump = [&] {
+    ++evaluated;
+    return 0;
+  };
+  MMHAND_WARN("should not evaluate %d", bump());
+  MMHAND_INFO("should not evaluate %d", bump());
+  MMHAND_DEBUG("should not evaluate %d", bump());
+  EXPECT_EQ(evaluated, 0);
+  obs::set_log_level(obs::LogLevel::kDebug);
+  EXPECT_TRUE(obs::log_enabled(obs::LogLevel::kDebug));
+  obs::set_log_level(prev);
+}
+
+// ---------------------------------------------------------------------
+// Determinism: observability must not perturb numeric outputs.
+
+std::vector<float> run_process_frame() {
+  radar::ChirpConfig chirp;
+  chirp.noise_stddev = 0.0;
+  const radar::AntennaArray array(chirp);
+  const radar::IfSimulator sim(chirp, array);
+  const radar::PipelineConfig pc;
+  const radar::RadarPipeline pipe(chirp, array, pc);
+  radar::Scene scene{
+      {Vec3{0.05, 0.30, 0.02}, Vec3{0.0, 0.4, 0.0}, 1.0},
+      {Vec3{-0.08, 0.45, -0.01}, Vec3{0.0, -0.2, 0.0}, 0.7},
+  };
+  Rng rng(11);
+  const auto frame = sim.simulate_frame(scene, 0.0, rng);
+  return pipe.process_frame(frame).data();
+}
+
+std::vector<float> run_conv() {
+  Rng rng(42);
+  nn::Conv2d conv(3, 8, 3, 1, 1, rng);
+  const nn::Tensor x = nn::Tensor::randn({2, 3, 16, 16}, rng, 1.0);
+  return conv.forward(x, /*training=*/false).vec();
+}
+
+template <typename Fn>
+auto with_obs(bool on, Fn&& fn) {
+  obs::set_tracing_enabled(on);
+  obs::set_metrics_enabled(on);
+  auto result = fn();
+  obs::set_tracing_enabled(false);
+  obs::set_metrics_enabled(false);
+  if (on) obs::clear_trace();
+  return result;
+}
+
+TEST(ObsDeterminism, ProcessFrameBitwiseEqualWithTracingOnOff) {
+  for (const int threads : {1, 4}) {
+    const auto plain =
+        with_threads(threads, [&] { return with_obs(false, run_process_frame); });
+    const auto traced =
+        with_threads(threads, [&] { return with_obs(true, run_process_frame); });
+    ASSERT_EQ(plain.size(), traced.size());
+    for (std::size_t i = 0; i < plain.size(); ++i)
+      ASSERT_EQ(plain[i], traced[i])
+          << "cube cell " << i << " at " << threads << " threads";
+  }
+}
+
+TEST(ObsDeterminism, Conv2dBitwiseEqualWithTracingOnOff) {
+  for (const int threads : {1, 4}) {
+    const auto plain =
+        with_threads(threads, [&] { return with_obs(false, run_conv); });
+    const auto traced =
+        with_threads(threads, [&] { return with_obs(true, run_conv); });
+    EXPECT_EQ(plain, traced) << "at " << threads << " threads";
+  }
+}
+
+// ---------------------------------------------------------------------
+// Metrics JSON snapshot.
+
+TEST(ObsMetrics, JsonSnapshotIsBalancedAndNamesMetrics) {
+  MetricsOn on;
+  obs::counter("test/obs.snapshot_counter").add(7);
+  obs::gauge("test/obs.snapshot_gauge").set(1.5);
+  obs::histogram("test/obs.snapshot_hist").record(10.0);
+  const std::string json = obs::metrics_json();
+  EXPECT_TRUE(json_balanced(json)) << json.substr(0, 200);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"test/obs.snapshot_counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"test/obs.snapshot_gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"test/obs.snapshot_hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(ObsMetrics, ResetZeroesButKeepsHandles) {
+  MetricsOn on;
+  obs::Counter& c = obs::counter("test/obs.reset_counter");
+  c.add(5);
+  obs::reset_metrics();
+  EXPECT_EQ(c.value(), 0);
+  c.add(2);
+  EXPECT_EQ(c.value(), 2);
+}
+
+}  // namespace
+}  // namespace mmhand
