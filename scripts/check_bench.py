@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a fresh BENCH_throughput.json against the
+committed baseline.
+
+Usage:
+    scripts/check_bench.py [--current BENCH_throughput.json]
+                           [--baseline bench/baseline/BENCH_throughput.baseline.json]
+                           [--tolerance 0.5] [--strict]
+
+Compares per-op/per-thread-count timings from ``results[]`` and per-stage
+mean latencies from ``stage_breakdown.histograms``.  A regression is a
+current value more than ``(1 + tolerance)`` times the baseline.  The default
+tolerance is deliberately generous (50%) because these are wall-clock
+micro-benches on shared CI hardware; tighten it on a quiet box.
+
+Default mode only reports.  With ``--strict`` the exit code is non-zero when
+any regression is found, so CI can gate on it.  Missing/extra ops are
+reported but never fail the gate (benches evolve).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def results_table(doc):
+    """{(op, threads): ms} from the results[] array."""
+    table = {}
+    for row in doc.get("results", []):
+        key = (row.get("op", "?"), int(row.get("threads", 0)))
+        table[key] = float(row["ms"])
+    return table
+
+
+def stage_table(doc):
+    """{stage: mean_us} from stage_breakdown histograms."""
+    hists = doc.get("stage_breakdown", {}).get("histograms", {})
+    return {name: float(h["mean"]) for name, h in hists.items() if "mean" in h}
+
+
+def compare(kind, baseline, current, tolerance, report):
+    """Appends (severity, message) rows to report; returns regression count."""
+    regressions = 0
+    for key in sorted(baseline):
+        label = f"{key[0]} @{key[1]}t" if isinstance(key, tuple) else key
+        if key not in current:
+            report.append(("note", f"{kind} {label}: missing from current run"))
+            continue
+        base, cur = baseline[key], current[key]
+        if base <= 0.0:
+            continue
+        ratio = cur / base
+        line = f"{kind} {label}: {base:.4f} -> {cur:.4f} ({ratio:.2f}x)"
+        if ratio > 1.0 + tolerance:
+            regressions += 1
+            report.append(("REGRESSION", line))
+        elif ratio < 1.0 / (1.0 + tolerance):
+            report.append(("improved", line))
+        else:
+            report.append(("ok", line))
+    for key in sorted(set(current) - set(baseline)):
+        label = f"{key[0]} @{key[1]}t" if isinstance(key, tuple) else key
+        report.append(("note", f"{kind} {label}: new (no baseline)"))
+    return regressions
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", default="BENCH_throughput.json")
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "bench", "baseline", "BENCH_throughput.baseline.json"),
+    )
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        help="allowed fractional slowdown (default 0.5 = +50%%)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero when a regression is found")
+    args = parser.parse_args()
+
+    try:
+        baseline = load(args.baseline)
+    except OSError as e:
+        print(f"check_bench: cannot read baseline: {e}", file=sys.stderr)
+        return 2
+    try:
+        current = load(args.current)
+    except OSError as e:
+        print(f"check_bench: cannot read current: {e}", file=sys.stderr)
+        return 2
+
+    report = []
+    regressions = 0
+    regressions += compare("op", results_table(baseline), results_table(current),
+                           args.tolerance, report)
+    regressions += compare("stage", stage_table(baseline), stage_table(current),
+                           args.tolerance, report)
+
+    print(f"check_bench: baseline={args.baseline}")
+    print(f"check_bench: current={args.current} tolerance=+{args.tolerance:.0%}")
+    for severity, line in report:
+        print(f"  [{severity}] {line}")
+    if regressions:
+        print(f"check_bench: {regressions} regression(s) beyond tolerance")
+        return 1 if args.strict else 0
+    print("check_bench: no regressions beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,3 +46,46 @@ else
   done
   echo "mmhand_trace.json OK (grep check; python3 unavailable)"
 fi
+
+echo "===== run-log capture ====="
+# Benches above reuse ./mmhand_cache, so force a fresh (fast-protocol)
+# training run into a throwaway cache to exercise MMHAND_RUN_LOG.
+runlog_cache="$(mktemp -d)"
+trap 'rm -rf "$runlog_cache"' EXIT
+rm -f mmhand_runlog.jsonl
+MMHAND_RUN_LOG=mmhand_runlog.jsonl MMHAND_NUMERIC_CHECK=warn \
+  MMHAND_METRICS=mmhand_metrics.json \
+  build/examples/mmhand_cli train --fast --cache "$runlog_cache"
+if command -v python3 > /dev/null; then
+  python3 - <<'EOF'
+import json
+records = []
+with open("mmhand_runlog.jsonl") as f:
+    for line in f:
+        if line.strip():
+            records.append(json.loads(line))
+assert records, "run log is empty"
+assert records[0]["kind"] == "manifest", f"first record: {records[0]['kind']}"
+epochs = [r for r in records if r["kind"] == "epoch"]
+assert epochs, "run log has no epoch records"
+assert all("grad_norm" in r and "params" in r for r in epochs)
+print(f"mmhand_runlog.jsonl OK: {len(records)} records, "
+      f"{len(epochs)} epochs, final loss {epochs[-1]['loss']:.4f}")
+EOF
+else
+  head -n 1 mmhand_runlog.jsonl | grep -q '"kind": "manifest"'
+  grep -q '"kind": "epoch"' mmhand_runlog.jsonl
+  echo "mmhand_runlog.jsonl OK (grep check; python3 unavailable)"
+fi
+
+echo "===== merged report ====="
+build/tools/mmhand_report --runlog mmhand_runlog.jsonl \
+  --metrics mmhand_metrics.json --bench BENCH_throughput.json \
+  -o mmhand_report.md
+
+echo "===== bench regression check (report-only) ====="
+if command -v python3 > /dev/null; then
+  python3 scripts/check_bench.py
+else
+  echo "python3 unavailable; skipping check_bench"
+fi

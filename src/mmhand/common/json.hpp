@@ -1,0 +1,74 @@
+#pragma once
+
+// Minimal JSON DOM: parse-only, no external dependencies.
+//
+// Exists for the consumers of this library's own JSON outputs — run-log
+// JSONL lines, MMHAND_METRICS snapshots, BENCH_*.json — so the report
+// tool and tests can read back what the emitters wrote without a
+// third-party parser.  Supports the full JSON grammar the emitters use:
+// objects, arrays, strings with escapes, numbers, booleans, null.
+// Numbers are held as double (adequate: every numeric field we emit is
+// either a double already or a counter far below 2^53).
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mmhand::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw mmhand::Error on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member lookup; returns nullptr when absent or not an object.
+  const Value* find(const std::string& key) const;
+
+  /// Convenience lookups with fallback (missing key / wrong type).
+  double number_or(const std::string& key, double fallback) const;
+  std::string string_or(const std::string& key,
+                        const std::string& fallback) const;
+
+  /// Parses one JSON document (must consume the whole input except
+  /// trailing whitespace).  On failure returns a null Value and sets
+  /// `*error` (when non-null) to a message with an offset.
+  static Value parse(const std::string& text, std::string* error = nullptr);
+
+  static Value make_bool(bool b);
+  static Value make_number(double n);
+  static Value make_string(std::string s);
+  static Value make_array(Array a);
+  static Value make_object(Object o);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  // Indirect so Value stays declarable before Array/Object complete.
+  std::shared_ptr<Array> array_;
+  std::shared_ptr<Object> object_;
+};
+
+}  // namespace mmhand::json

@@ -2,8 +2,11 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <sstream>
 
+#include "mmhand/obs/metrics.hpp"
 #include "mmhand/obs/log.hpp"
+#include "mmhand/obs/runlog.hpp"
 
 namespace mmhand::eval {
 
@@ -24,7 +27,44 @@ std::uint64_t mix(std::uint64_t h, const T& v) {
   return fnv1a(h, &v, sizeof(v));
 }
 
+/// Bumps one of the `eval/model_cache.{hits,misses,stores}` counters so
+/// cache behavior shows up in metrics snapshots.
+void note_model_cache(const char* which) {
+  if (!obs::metrics_enabled()) return;
+  obs::counter(std::string("eval/model_cache.") + which).add(1);
+}
+
 }  // namespace
+
+void append_eval_run_record(const EvalAccumulator& acc, const char* label,
+                            int user) {
+  if (!obs::runlog_enabled() || acc.empty()) return;
+  obs::RunRecord rec("eval");
+  rec.field("label", label)
+      .field("user", user)
+      .field("frames", acc.frames())
+      .field("mpjpe_mm", acc.mpjpe_mm())
+      .field("mpjpe_palm_mm", acc.mpjpe_mm(JointSubset::kPalm))
+      .field("mpjpe_fingers_mm", acc.mpjpe_mm(JointSubset::kFingers));
+  std::ostringstream pck;
+  pck << '{';
+  bool first = true;
+  for (const double thr : {20.0, 30.0, 40.0, 50.0, 60.0}) {
+    pck << (first ? "" : ", ") << "\"" << static_cast<int>(thr)
+        << "\": " << obs::detail::json_number(acc.pck(thr));
+    first = false;
+  }
+  pck << '}';
+  rec.raw("pck", pck.str());
+  std::ostringstream joints;
+  joints << '[';
+  const auto per_joint = acc.per_joint_mpjpe_mm();
+  for (std::size_t j = 0; j < per_joint.size(); ++j)
+    joints << (j ? ", " : "") << obs::detail::json_number(per_joint[j]);
+  joints << ']';
+  rec.raw("per_joint_mpjpe_mm", joints.str());
+  obs::append_run_record(rec);
+}
 
 ProtocolConfig ProtocolConfig::standard() {
   ProtocolConfig c;
@@ -186,8 +226,10 @@ void Experiment::prepare(const std::string& cache_dir) {
     const std::string path = cache_path(cache_dir, fold);
     if (file_exists(path)) {
       model->load(path);
+      note_model_cache("hits");
       MMHAND_INFO("fold %d: loaded cached model %s", fold, path.c_str());
     } else {
+      note_model_cache("misses");
       MMHAND_INFO("fold %d: generating training data...", fold);
       const auto samples = fold_training_samples(fold);
       MMHAND_INFO("fold %d: training on %zu samples, %d epochs", fold,
@@ -199,6 +241,7 @@ void Experiment::prepare(const std::string& cache_dir) {
       };
       pose::train_pose_model(*model, samples, tc);
       model->save(path);
+      note_model_cache("stores");
       MMHAND_INFO("fold %d: cached to %s", fold, path.c_str());
     }
     fold_models_[static_cast<std::size_t>(fold)] = std::move(model);
@@ -224,6 +267,7 @@ EvalAccumulator Experiment::evaluate_scenario(
   const auto predictions = pose::predict_recording(model, recording);
   EvalAccumulator acc;
   for (const auto& p : predictions) acc.add(p.joints, p.oracle);
+  append_eval_run_record(acc, "scenario", scenario.user_id);
   return acc;
 }
 

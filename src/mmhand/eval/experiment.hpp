@@ -40,6 +40,14 @@ struct ProtocolConfig {
   std::uint64_t fingerprint() const;
 };
 
+/// Appends one `kind: "eval"` run record for an accumulated evaluation
+/// (MPJPE overall/palm/fingers, per-joint breakdown, PCK at the standard
+/// thresholds) when the run log is enabled; no-op otherwise.  `label`
+/// names the evaluation ("user", "fig19_angle", ...), `user` the
+/// evaluated user id (or -1 when not user-specific).
+void append_eval_run_record(const EvalAccumulator& acc, const char* label,
+                            int user);
+
 class Experiment {
  public:
   explicit Experiment(const ProtocolConfig& config);

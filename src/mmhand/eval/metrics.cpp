@@ -49,6 +49,15 @@ std::vector<double> EvalAccumulator::errors_mm(JointSubset subset) const {
   return out;
 }
 
+std::vector<double> EvalAccumulator::per_joint_mpjpe_mm() const {
+  std::vector<double> out(hand::kNumJoints, 0.0);
+  for (int j = 0; j < hand::kNumJoints; ++j) {
+    const auto& e = errors_[static_cast<std::size_t>(j)];
+    if (!e.empty()) out[static_cast<std::size_t>(j)] = mean(e);
+  }
+  return out;
+}
+
 double EvalAccumulator::mpjpe_mm(JointSubset subset) const {
   const auto errs = errors_mm(subset);
   MMHAND_CHECK(!errs.empty(), "MPJPE over an empty accumulator");

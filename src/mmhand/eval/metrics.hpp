@@ -47,6 +47,11 @@ class EvalAccumulator {
   std::vector<double> errors_mm(JointSubset subset = JointSubset::kAll)
       const;
 
+  /// Mean error per joint in millimeters, indexed by the Fig. 4 joint
+  /// order (for run records and per-joint breakdowns).  Joints with no
+  /// observations report 0.
+  std::vector<double> per_joint_mpjpe_mm() const;
+
   /// Per-frame MPJPE values in millimeters (for MPJPE CDFs).
   const std::vector<double>& frame_mpjpe_mm() const { return frame_mpjpe_; }
 

@@ -4,8 +4,21 @@
 #include <filesystem>
 
 #include "mmhand/obs/log.hpp"
+#include "mmhand/obs/metrics.hpp"
 
 namespace mmhand::eval {
+
+namespace {
+
+/// Cache traffic counters shared with the fold-model cache in
+/// experiment.cpp; without these the cache is invisible to a
+/// MMHAND_METRICS snapshot.
+void note_cache(const char* which) {
+  if (!obs::metrics_enabled()) return;
+  obs::counter(std::string("eval/model_cache.") + which).add(1);
+}
+
+}  // namespace
 
 std::string cache_directory() {
   if (const char* env = std::getenv("MMHAND_CACHE_DIR"); env && *env)
@@ -33,12 +46,15 @@ std::unique_ptr<mesh::MeshReconstructor> prepared_mesh_reconstructor() {
       mesh::HandTemplate::create(hand::HandProfile::reference()), rng);
   if (file_exists(path)) {
     recon->load(path);
+    note_cache("hits");
     MMHAND_INFO("loaded cached mesh reconstructor");
   } else {
+    note_cache("misses");
     MMHAND_INFO("training mesh reconstructor...");
     const double err = recon->train(mesh::ReconstructorTrainConfig{});
     MMHAND_INFO("mesh reconstructor held-out error: %.1f mm", 1000.0 * err);
     recon->save(path);
+    note_cache("stores");
   }
   return recon;
 }

@@ -2,8 +2,40 @@
 
 #include <cmath>
 #include <numbers>
+#include <sstream>
+
+#include "mmhand/nn/tensor_stats.hpp"
+#include "mmhand/obs/numeric.hpp"
 
 namespace mmhand::nn {
+
+namespace {
+
+/// Magnitudes past this are treated as an exploded tensor even though
+/// the values are still technically finite (float overflows at ~3.4e38;
+/// 1e8 is far beyond any healthy weight or gradient in this stack).
+constexpr double kExplosionThreshold = 1e8;
+
+/// Watchdog pass over one tensor; reports at most one anomaly per
+/// tensor per step (the counts in `detail` carry the full extent).
+void check_tensor(const char* site, const Parameter& p, const Tensor& t,
+                  std::size_t param_index, std::size_t step) {
+  const TensorStats s = tensor_stats(t);
+  const double worst = std::max(std::abs(s.min), std::abs(s.max));
+  if (s.all_finite() && worst <= kExplosionThreshold) return;
+  std::ostringstream detail;
+  detail << "param " << param_index;
+  if (!p.name.empty()) detail << " (" << p.name << ")";
+  detail << " step " << step << ": " << s.nan_count << " nan, "
+         << s.inf_count << " inf, |max| " << worst << " of " << s.count
+         << " elements";
+  const char* what = s.nan_count > 0  ? "nan"
+                     : s.inf_count > 0 ? "inf"
+                                        : "explosion";
+  obs::report_numeric_anomaly(site, what, detail.str());
+}
+
+}  // namespace
 
 Adam::Adam(std::vector<Parameter*> params, const AdamConfig& config)
     : params_(std::move(params)), config_(config) {
@@ -17,6 +49,13 @@ Adam::Adam(std::vector<Parameter*> params, const AdamConfig& config)
 
 void Adam::step(double lr_scale) {
   ++t_;
+  // Gated watchdog: inspect the incoming gradients before they are
+  // folded into the moments, so a NaN is attributed to the step (and
+  // batch) that produced it.  Reading stats never changes the update.
+  if (obs::numeric_check_enabled()) {
+    for (std::size_t i = 0; i < params_.size(); ++i)
+      check_tensor("nn/adam.grad", *params_[i], params_[i]->grad, i, t_);
+  }
   const double lr = config_.lr * lr_scale;
   const double b1 = config_.beta1, b2 = config_.beta2;
   const double bc1 = 1.0 - std::pow(b1, static_cast<double>(t_));
@@ -35,6 +74,12 @@ void Adam::step(double lr_scale) {
       p.value[e] -= static_cast<float>(lr * mhat /
                                        (std::sqrt(vhat) + config_.eps));
     }
+  }
+  // Post-update pass: a poisoned moment or overflowing weight shows up
+  // here one step before it ruins the next forward pass.
+  if (obs::numeric_check_enabled()) {
+    for (std::size_t i = 0; i < params_.size(); ++i)
+      check_tensor("nn/adam.param", *params_[i], params_[i]->value, i, t_);
   }
 }
 

@@ -1,0 +1,51 @@
+#include "mmhand/nn/tensor_stats.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace mmhand::nn {
+
+TensorStats tensor_stats(const float* data, std::size_t n) {
+  TensorStats s;
+  s.count = n;
+  double lo = std::numeric_limits<double>::max();
+  double hi = std::numeric_limits<double>::lowest();
+  double sum_sq = 0.0;
+  std::size_t finite = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = data[i];
+    if (std::isnan(v)) {
+      ++s.nan_count;
+      continue;
+    }
+    if (std::isinf(v)) {
+      ++s.inf_count;
+      continue;
+    }
+    ++finite;
+    if (v < lo) lo = v;
+    if (v > hi) hi = v;
+    sum_sq += v * v;
+  }
+  if (finite > 0) {
+    s.min = lo;
+    s.max = hi;
+    s.rms = std::sqrt(sum_sq / static_cast<double>(finite));
+  }
+  return s;
+}
+
+double grad_l2_norm(const std::vector<Parameter*>& params) {
+  double sum_sq = 0.0;
+  for (const Parameter* p : params) {
+    const float* g = p->grad.data();
+    const std::size_t n = p->grad.numel();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = g[i];
+      if (std::isfinite(v)) sum_sq += v * v;
+    }
+  }
+  return std::sqrt(sum_sq);
+}
+
+}  // namespace mmhand::nn

@@ -1,0 +1,39 @@
+#pragma once
+
+// Cheap tensor summary statistics for the numerical-health watchdog and
+// the run log: one pass over the data computing finite min/max/RMS and
+// NaN/Inf counts.  Read-only — never modifies or reorders anything, so
+// running it cannot perturb training.
+
+#include <cstddef>
+#include <vector>
+
+#include "mmhand/nn/layer.hpp"
+#include "mmhand/nn/tensor.hpp"
+
+namespace mmhand::nn {
+
+struct TensorStats {
+  std::size_t count = 0;      ///< total elements
+  std::size_t nan_count = 0;  ///< elements that are NaN
+  std::size_t inf_count = 0;  ///< elements that are ±Inf
+  double min = 0.0;           ///< min over finite elements (0 when none)
+  double max = 0.0;           ///< max over finite elements (0 when none)
+  double rms = 0.0;           ///< sqrt(mean of squares) over finite elements
+
+  bool all_finite() const { return nan_count == 0 && inf_count == 0; }
+};
+
+/// Single pass over `data[0..n)`.
+TensorStats tensor_stats(const float* data, std::size_t n);
+
+inline TensorStats tensor_stats(const Tensor& t) {
+  return tensor_stats(t.data(), t.numel());
+}
+
+/// L2 norm over every parameter's accumulated gradient (the "global
+/// gradient norm" of a step).  Non-finite entries contribute 0 to the
+/// sum; pair with `tensor_stats` when NaN detection matters.
+double grad_l2_norm(const std::vector<Parameter*>& params);
+
+}  // namespace mmhand::nn

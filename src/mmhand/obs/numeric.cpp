@@ -1,0 +1,98 @@
+#include "mmhand/obs/numeric.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "mmhand/common/error.hpp"
+#include "mmhand/obs/log.hpp"
+#include "mmhand/obs/metrics.hpp"
+#include "mmhand/obs/runlog.hpp"
+
+namespace mmhand::obs {
+
+namespace {
+
+/// -1 until resolved; afterwards holds a NumericCheckMode value.
+std::atomic<int>& mode_atomic() {
+  static std::atomic<int> mode{-1};
+  return mode;
+}
+
+int resolve_mode() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    int m = static_cast<int>(NumericCheckMode::kOff);
+    if (const char* e = std::getenv("MMHAND_NUMERIC_CHECK");
+        e != nullptr && *e) {
+      if (std::strcmp(e, "warn") == 0 || std::strcmp(e, "1") == 0)
+        m = static_cast<int>(NumericCheckMode::kWarn);
+      else if (std::strcmp(e, "fatal") == 0 || std::strcmp(e, "2") == 0)
+        m = static_cast<int>(NumericCheckMode::kFatal);
+      else if (std::strcmp(e, "off") != 0 && std::strcmp(e, "0") != 0)
+        MMHAND_WARN("MMHAND_NUMERIC_CHECK=%s not understood; expected "
+                    "off|warn|fatal — checking stays off",
+                    e);
+    }
+    int expected = -1;
+    mode_atomic().compare_exchange_strong(expected, m,
+                                          std::memory_order_relaxed);
+  });
+  return mode_atomic().load(std::memory_order_relaxed);
+}
+
+std::atomic<std::int64_t> g_anomalies{0};
+
+}  // namespace
+
+NumericCheckMode numeric_check_mode() {
+  int m = mode_atomic().load(std::memory_order_relaxed);
+  if (m < 0) m = resolve_mode();
+  return static_cast<NumericCheckMode>(m);
+}
+
+void set_numeric_check_mode(NumericCheckMode mode) {
+  (void)resolve_mode();  // consume the environment first
+  mode_atomic().store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+bool numeric_check_enabled() {
+  return numeric_check_mode() != NumericCheckMode::kOff;
+}
+
+void report_numeric_anomaly(const char* site, const char* what,
+                            const std::string& detail) {
+  const NumericCheckMode mode = numeric_check_mode();
+  if (mode == NumericCheckMode::kOff) return;
+  g_anomalies.fetch_add(1, std::memory_order_relaxed);
+  // Anomalies are rare by definition; always count them so a later
+  // metrics snapshot (or numeric_anomaly_count()) reflects the run even
+  // when metrics were enabled after the fact.
+  counter("obs/numeric.anomalies").add(1);
+  counter(std::string("obs/numeric.") + what).add(1);
+  if (runlog_enabled()) {
+    RunRecord rec("anomaly");
+    rec.field("site", site).field("what", what).field("detail", detail);
+    append_run_record(rec);
+  }
+  MMHAND_WARN("numeric anomaly at %s: %s (%s)", site, what, detail.c_str());
+  if (mode == NumericCheckMode::kFatal) {
+    MMHAND_CHECK(false, "numeric anomaly at " << site << ": " << what
+                                              << " (" << detail << ")");
+  }
+}
+
+bool check_finite_scalar(const char* site, double v,
+                         const std::string& detail) {
+  if (std::isfinite(v)) return true;
+  report_numeric_anomaly(site, std::isnan(v) ? "nan" : "inf", detail);
+  return false;
+}
+
+std::int64_t numeric_anomaly_count() {
+  return g_anomalies.load(std::memory_order_relaxed);
+}
+
+}  // namespace mmhand::obs

@@ -1,0 +1,57 @@
+#pragma once
+
+// Numerical-health watchdog: catches NaN/Inf/explosion at the step that
+// produced it instead of at the end of a ruined training run.
+//
+// The mode resolves lazily from `MMHAND_NUMERIC_CHECK=off|warn|fatal`
+// (default `off`) or the runtime setter:
+//   - `off`   — `numeric_check_enabled()` is one relaxed atomic load and
+//               a branch; no stats pass runs anywhere;
+//   - `warn`  — anomalies log at warn level, bump the
+//               `obs/numeric.anomalies` counter (plus a per-kind
+//               counter), and append a run-log record when the run log
+//               is on; execution continues;
+//   - `fatal` — the first anomaly raises `mmhand::Error` through
+//               MMHAND_CHECK, pointing at the reporting site.
+// Checking is read-only: enabling the watchdog never changes any
+// numeric output, only whether bad numbers are noticed.
+
+#include <cstddef>
+#include <string>
+
+namespace mmhand::obs {
+
+enum class NumericCheckMode : int {
+  kOff = 0,
+  kWarn = 1,
+  kFatal = 2,
+};
+
+/// Currently effective mode (resolving the environment on first call).
+NumericCheckMode numeric_check_mode();
+
+/// Runtime override; wins over `MMHAND_NUMERIC_CHECK`.
+void set_numeric_check_mode(NumericCheckMode mode);
+
+/// True when any checking is requested.  One relaxed atomic load.
+bool numeric_check_enabled();
+
+/// Reports one detected anomaly.  `site` names the instrumented code
+/// location (`nn/adam.grad`, `pose/train.loss`, ...), `what` the anomaly
+/// class (`nan`, `inf`, `explosion`), and `detail` is a short free-form
+/// description (parameter name, offending value).  Behavior depends on
+/// the mode above; in `off` mode this is a no-op, but callers should
+/// gate their detection pass on `numeric_check_enabled()` anyway.
+void report_numeric_anomaly(const char* site, const char* what,
+                            const std::string& detail);
+
+/// Convenience check for a scalar (loss, activation summary): reports
+/// `nan`/`inf` at `site` when `v` is not finite.  Returns true when `v`
+/// was finite.  Callers gate on `numeric_check_enabled()`.
+bool check_finite_scalar(const char* site, double v,
+                         const std::string& detail);
+
+/// Total anomalies reported so far in this process (all sites).
+std::int64_t numeric_anomaly_count();
+
+}  // namespace mmhand::obs

@@ -1,13 +1,16 @@
 #pragma once
 
 // Umbrella header for the observability layer: scoped trace spans
-// (trace.hpp), the metrics registry (metrics.hpp), and leveled logging
-// (log.hpp).  Everything is controlled by environment variables resolved
-// lazily on first use —
+// (trace.hpp), the metrics registry (metrics.hpp), leveled logging
+// (log.hpp), JSONL run records (runlog.hpp), and the numerical-health
+// watchdog (numeric.hpp).  Everything is controlled by environment
+// variables resolved lazily on first use —
 //
-//   MMHAND_TRACE=<path>      capture spans, write Chrome trace JSON at exit
-//   MMHAND_METRICS=<path>    record metrics, write a JSON snapshot at exit
-//   MMHAND_LOG_LEVEL=<level> silent|warn|info|debug (default info)
+//   MMHAND_TRACE=<path>         capture spans, write Chrome trace JSON at exit
+//   MMHAND_METRICS=<path>       record metrics, write a JSON snapshot at exit
+//   MMHAND_LOG_LEVEL=<level>    silent|warn|info|debug (default info)
+//   MMHAND_RUN_LOG=<path>       append training/eval run records as JSONL
+//   MMHAND_NUMERIC_CHECK=<mode> off|warn|fatal NaN/Inf watchdog (default off)
 //
 // — or by the runtime setters, which win over the environment.  With
 // everything off, every instrumentation point costs one relaxed atomic
@@ -16,4 +19,6 @@
 
 #include "mmhand/obs/log.hpp"
 #include "mmhand/obs/metrics.hpp"
+#include "mmhand/obs/numeric.hpp"
+#include "mmhand/obs/runlog.hpp"
 #include "mmhand/obs/trace.hpp"

@@ -1,0 +1,166 @@
+#include "mmhand/obs/runlog.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+
+#include "mmhand/obs/log.hpp"
+
+namespace mmhand::obs {
+
+namespace {
+
+/// Serializes appends and guards the lazily-opened sink.
+struct Sink {
+  std::mutex mu;
+  std::FILE* file = nullptr;     // guarded by mu
+  std::string open_path;         // path `file` was opened with
+  std::deque<std::string> tail;  // recent record lines, newest last
+};
+
+constexpr std::size_t kTailCap = 256;
+
+Sink& sink() {
+  static Sink s;
+  return s;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::string json_number(double v) {
+  if (std::isnan(v)) return "\"NaN\"";
+  if (std::isinf(v)) return v > 0 ? "\"Inf\"" : "\"-Inf\"";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace detail
+
+void set_run_log_enabled(bool on) {
+  detail::set_mask_bit(detail::kRunLogBit, on);
+}
+
+void set_run_log_path(const std::string& path) {
+  detail::set_run_log_path_raw(path);
+  detail::set_mask_bit(detail::kRunLogBit, true);
+}
+
+std::string run_log_path() { return detail::run_log_path_raw(); }
+
+RunRecord::RunRecord(const char* kind) {
+  os_ << '{';
+  field("kind", kind);
+  field("t_ms", static_cast<double>(detail::now_ns()) / 1e6);
+}
+
+void RunRecord::key(const char* k) {
+  if (!first_) os_ << ", ";
+  first_ = false;
+  os_ << '"' << detail::json_escape(k) << "\": ";
+}
+
+RunRecord& RunRecord::field(const char* k, double v) {
+  key(k);
+  os_ << detail::json_number(v);
+  return *this;
+}
+
+RunRecord& RunRecord::field(const char* k, std::int64_t v) {
+  key(k);
+  os_ << v;
+  return *this;
+}
+
+RunRecord& RunRecord::field(const char* k, bool v) {
+  key(k);
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+RunRecord& RunRecord::field(const char* k, const char* v) {
+  key(k);
+  os_ << '"' << detail::json_escape(v) << '"';
+  return *this;
+}
+
+RunRecord& RunRecord::raw(const char* k, const std::string& json) {
+  key(k);
+  os_ << json;
+  return *this;
+}
+
+std::string RunRecord::json() const { return os_.str() + "}"; }
+
+void append_run_record(const RunRecord& record) {
+  if (!runlog_enabled()) return;
+  const std::string line = record.json();
+  const std::string path = detail::run_log_path_raw();
+  Sink& s = sink();
+  std::lock_guard<std::mutex> lk(s.mu);
+  s.tail.push_back(line);
+  if (s.tail.size() > kTailCap) s.tail.pop_front();
+  if (path.empty()) return;
+  if (s.file != nullptr && s.open_path != path) {
+    std::fclose(s.file);
+    s.file = nullptr;
+  }
+  if (s.file == nullptr) {
+    s.file = std::fopen(path.c_str(), "a");
+    if (s.file == nullptr) {
+      MMHAND_WARN("cannot append run log to %s", path.c_str());
+      return;
+    }
+    s.open_path = path;
+  }
+  std::fwrite(line.data(), 1, line.size(), s.file);
+  std::fputc('\n', s.file);
+  std::fflush(s.file);
+}
+
+std::string run_log_tail(std::size_t max_records) {
+  Sink& s = sink();
+  std::lock_guard<std::mutex> lk(s.mu);
+  std::string out;
+  std::size_t start =
+      s.tail.size() > max_records ? s.tail.size() - max_records : 0;
+  for (std::size_t i = start; i < s.tail.size(); ++i) {
+    out += s.tail[i];
+    out += '\n';
+  }
+  return out;
+}
+
+void reset_run_log() {
+  Sink& s = sink();
+  std::lock_guard<std::mutex> lk(s.mu);
+  s.tail.clear();
+  if (s.file != nullptr) {
+    std::fclose(s.file);
+    s.file = nullptr;
+  }
+  s.open_path.clear();
+}
+
+}  // namespace mmhand::obs

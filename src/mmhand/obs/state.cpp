@@ -15,6 +15,7 @@ namespace {
 std::mutex g_path_mu;
 std::string g_trace_path;    // guarded by g_path_mu
 std::string g_metrics_path;  // guarded by g_path_mu
+std::string g_run_log_path;  // guarded by g_path_mu
 
 std::atomic<unsigned> g_next_thread_id{0};
 
@@ -48,6 +49,11 @@ int init_mask() {
       m |= kMetricsBit;
       std::lock_guard<std::mutex> lk(g_path_mu);
       g_metrics_path = p;
+    }
+    if (const char* r = std::getenv("MMHAND_RUN_LOG"); r != nullptr && *r) {
+      m |= kRunLogBit;
+      std::lock_guard<std::mutex> lk(g_path_mu);
+      g_run_log_path = r;
     }
     if (m != 0) {
       // Touch the sinks so their static state outlives this atexit hook
@@ -106,6 +112,18 @@ void set_metrics_path(const std::string& path) {
   (void)mask();
   std::lock_guard<std::mutex> lk(g_path_mu);
   g_metrics_path = path;
+}
+
+std::string run_log_path_raw() {
+  (void)mask();
+  std::lock_guard<std::mutex> lk(g_path_mu);
+  return g_run_log_path;
+}
+
+void set_run_log_path_raw(const std::string& path) {
+  (void)mask();
+  std::lock_guard<std::mutex> lk(g_path_mu);
+  g_run_log_path = path;
 }
 
 }  // namespace mmhand::obs::detail

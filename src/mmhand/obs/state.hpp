@@ -13,6 +13,7 @@ namespace mmhand::obs::detail {
 
 inline constexpr int kTraceBit = 1;
 inline constexpr int kMetricsBit = 2;
+inline constexpr int kRunLogBit = 4;
 
 /// Number of metric shards.  Threads map onto shards round-robin; more
 /// threads than shards only costs occasional cache-line sharing, never
@@ -23,7 +24,7 @@ inline constexpr unsigned kShards = 16;
 std::atomic<int>& mask_atomic();
 
 /// Resolves the mask, reading MMHAND_TRACE / MMHAND_METRICS /
-/// MMHAND_LOG_LEVEL exactly once per process.
+/// MMHAND_RUN_LOG exactly once per process.
 int init_mask();
 
 /// Current mask, lazily initialized.  The fast path when observability is
@@ -49,5 +50,7 @@ std::string trace_path();
 void set_trace_path(const std::string& path);
 std::string metrics_path();
 void set_metrics_path(const std::string& path);
+std::string run_log_path_raw();
+void set_run_log_path_raw(const std::string& path);
 
 }  // namespace mmhand::obs::detail

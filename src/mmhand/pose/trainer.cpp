@@ -1,8 +1,13 @@
 #include "mmhand/pose/trainer.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <map>
+#include <sstream>
 
+#include "mmhand/common/parallel.hpp"
 #include "mmhand/nn/optimizer.hpp"
+#include "mmhand/nn/tensor_stats.hpp"
 #include "mmhand/obs/obs.hpp"
 
 namespace mmhand::pose {
@@ -29,6 +34,134 @@ void note_epoch(int epoch, double loss, double lr_scale,
                seconds > 0.0 ? static_cast<double>(samples) / seconds : 0.0);
 }
 
+const char* temporal_name(TemporalKind kind) {
+  switch (kind) {
+    case TemporalKind::kLstm:
+      return "lstm";
+    case TemporalKind::kGru:
+      return "gru";
+    case TemporalKind::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+const char* numeric_mode_name(obs::NumericCheckMode mode) {
+  switch (mode) {
+    case obs::NumericCheckMode::kOff:
+      return "off";
+    case obs::NumericCheckMode::kWarn:
+      return "warn";
+    case obs::NumericCheckMode::kFatal:
+      return "fatal";
+  }
+  return "?";
+}
+
+/// Opening record of a training run: everything needed to re-run or
+/// attribute it — config, model geometry, environment, build.
+void append_manifest(const HandJointRegressor& model,
+                     const TrainConfig& config, std::size_t samples,
+                     std::size_t param_count) {
+  const PoseNetConfig& net = model.config();
+  obs::RunRecord rec("manifest");
+  rec.field("run", "train_pose_model")
+      .field("seed", static_cast<std::int64_t>(config.seed))
+      .field("epochs", config.epochs)
+      .field("batch_size", config.batch_size)
+      .field("lr", config.lr)
+      .field("loss_beta", config.loss.beta)
+      .field("loss_gamma", config.loss.gamma)
+      .field("samples", samples)
+      .field("param_count", param_count)
+      .field("segment_frames", net.segment_frames)
+      .field("sequence_segments", net.sequence_segments)
+      .field("velocity_bins", net.velocity_bins)
+      .field("range_bins", net.range_bins)
+      .field("angle_bins", net.angle_bins)
+      .field("feature_dim", net.feature_dim)
+      .field("lstm_hidden", net.lstm_hidden)
+      .field("temporal", temporal_name(net.temporal))
+      .field("threads", num_threads())
+      .field("log_level", static_cast<int>(obs::log_level()))
+      .field("trace", obs::tracing_enabled())
+      .field("metrics", obs::metrics_enabled())
+      .field("numeric_check", numeric_mode_name(obs::numeric_check_mode()))
+#if defined(__VERSION__)
+      .field("compiler", __VERSION__)
+#endif
+#if defined(NDEBUG)
+      .field("assertions", false);
+#else
+      .field("assertions", true);
+#endif
+  obs::append_run_record(rec);
+}
+
+/// Tensor stats as a compact JSON object for a run record.
+std::string stats_json(const nn::TensorStats& s) {
+  std::ostringstream os;
+  os << "{\"min\": " << obs::detail::json_number(s.min)
+     << ", \"max\": " << obs::detail::json_number(s.max)
+     << ", \"rms\": " << obs::detail::json_number(s.rms)
+     << ", \"nan\": " << s.nan_count << ", \"inf\": " << s.inf_count
+     << ", \"count\": " << s.count << "}";
+  return os.str();
+}
+
+/// Folds `s` into the running group stats `into`.  Min/max merge
+/// exactly; the merged "rms" keeps the worst member RMS, which preserves
+/// the is-anything-blowing-up signal the record exists for without
+/// carrying per-member finite counts.
+void merge_stats(nn::TensorStats& into, const nn::TensorStats& s) {
+  const bool into_empty = into.count == into.nan_count + into.inf_count;
+  const bool s_empty = s.count == s.nan_count + s.inf_count;
+  into.nan_count += s.nan_count;
+  into.inf_count += s.inf_count;
+  into.count += s.count;
+  if (s_empty) return;
+  if (into_empty) {
+    into.min = s.min;
+    into.max = s.max;
+    into.rms = s.rms;
+  } else {
+    into.min = std::min(into.min, s.min);
+    into.max = std::max(into.max, s.max);
+    into.rms = std::max(into.rms, s.rms);
+  }
+}
+
+/// Weight/grad health per parameter group, where a "group" is every
+/// parameter sharing a name ("linear.weight", "conv.bias", ...): the
+/// model reuses layer types many times and per-tensor rows would bloat
+/// each epoch record ~10x without aiding diagnosis.
+std::string param_group_stats_json(
+    const std::vector<nn::Parameter*>& params) {
+  struct Group {
+    nn::TensorStats w, g;
+    int tensors = 0;
+  };
+  std::map<std::string, Group> groups;
+  for (const nn::Parameter* p : params) {
+    Group& group = groups[p->name.empty() ? "unnamed" : p->name];
+    ++group.tensors;
+    merge_stats(group.w, nn::tensor_stats(p->value));
+    merge_stats(group.g, nn::tensor_stats(p->grad));
+  }
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (const auto& [name, group] : groups) {
+    os << (first ? "" : ", ") << '"' << obs::detail::json_escape(name)
+       << "\": {\"tensors\": " << group.tensors
+       << ", \"weight\": " << stats_json(group.w)
+       << ", \"grad\": " << stats_json(group.g) << '}';
+    first = false;
+  }
+  os << '}';
+  return os.str();
+}
+
 }  // namespace
 
 TrainStats train_pose_model(HandJointRegressor& model,
@@ -44,15 +177,23 @@ TrainStats train_pose_model(HandJointRegressor& model,
   Rng rng(config.seed);
   const int s_rows = model.config().sequence_segments;
 
+  const bool record_run = obs::runlog_enabled();
+  if (record_run)
+    append_manifest(model, config, samples.size(),
+                    nn::parameter_count(model.parameters()));
+
   TrainStats stats;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     MMHAND_SPAN("pose/train_epoch");
+    const bool timed = obs::metrics_enabled() || record_run;
     const std::chrono::steady_clock::time_point epoch_start =
-        obs::metrics_enabled() ? std::chrono::steady_clock::now()
-                               : std::chrono::steady_clock::time_point{};
+        timed ? std::chrono::steady_clock::now()
+              : std::chrono::steady_clock::time_point{};
     const double lr_scale = nn::cosine_decay(epoch, config.epochs);
     const auto order = rng.permutation(static_cast<int>(samples.size()));
     double epoch_loss = 0.0;
+    double grad_norm = 0.0;          // captured at the epoch's last step
+    std::string param_stats_json;    // likewise
     int since_step = 0;
     optimizer.zero_grad();
     for (std::size_t k = 0; k < order.size(); ++k) {
@@ -74,9 +215,21 @@ TrainStats train_pose_model(HandJointRegressor& model,
         for (int c = 0; c < 63; ++c)
           grad.at(s, c) = loss.grad[static_cast<std::size_t>(c)] * inv_rows;
       }
+      if (obs::numeric_check_enabled()) {
+        std::ostringstream detail;
+        detail << "epoch " << epoch << " sample " << k;
+        obs::check_finite_scalar("pose/train.loss", sample_loss,
+                                 detail.str());
+      }
       epoch_loss += sample_loss / s_rows;
       model.backward(grad);
       if (++since_step >= config.batch_size || k + 1 == order.size()) {
+        if (record_run && k + 1 == order.size()) {
+          // Snapshot gradient health at the epoch's final accumulated
+          // batch, before step() consumes and zero_grad() clears it.
+          grad_norm = nn::grad_l2_norm(model.parameters());
+          param_stats_json = param_group_stats_json(model.parameters());
+        }
         optimizer.step(lr_scale);
         optimizer.zero_grad();
         since_step = 0;
@@ -84,11 +237,32 @@ TrainStats train_pose_model(HandJointRegressor& model,
     }
     epoch_loss /= static_cast<double>(samples.size());
     stats.epoch_loss.push_back(epoch_loss);
+    const double seconds =
+        timed ? std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - epoch_start)
+                    .count()
+              : 0.0;
     if (obs::metrics_enabled())
-      note_epoch(epoch, epoch_loss, lr_scale, samples.size(),
-                 std::chrono::duration<double>(
-                     std::chrono::steady_clock::now() - epoch_start)
-                     .count());
+      note_epoch(epoch, epoch_loss, lr_scale, samples.size(), seconds);
+    if (record_run) {
+      obs::RunRecord rec("epoch");
+      rec.field("epoch", epoch)
+          .field("loss", epoch_loss)
+          .field("lr_scale", lr_scale)
+          .field("grad_norm", grad_norm)
+          .field("wall_s", seconds)
+          .field("samples_per_s",
+                 seconds > 0.0
+                     ? static_cast<double>(samples.size()) / seconds
+                     : 0.0)
+          .raw("params", param_stats_json);
+      obs::append_run_record(rec);
+    }
+    if (obs::numeric_check_enabled()) {
+      std::ostringstream detail;
+      detail << "epoch " << epoch << " mean";
+      obs::check_finite_scalar("pose/train.loss", epoch_loss, detail.str());
+    }
     if (config.on_epoch) config.on_epoch(epoch, epoch_loss);
   }
   return stats;

@@ -1,0 +1,334 @@
+// mmhand_report — merges the observability outputs of a run into one
+// Markdown report:
+//
+//   mmhand_report [--runlog FILE] [--metrics FILE] [--bench FILE]...
+//                 [-o OUT.md]
+//
+//   --runlog   a JSONL run log written via MMHAND_RUN_LOG (manifest /
+//              epoch / eval / anomaly records)
+//   --metrics  a metrics snapshot written via MMHAND_METRICS
+//   --bench    any BENCH_*.json (repeatable); bench_throughput's format
+//              gets a per-op table, others a one-line summary
+//   -o         output path (default: stdout)
+//
+// Sections: run manifest, loss curve (per-epoch loss / lr / grad norm /
+// throughput), evaluations, numerical anomalies, stage latency breakdown
+// (from metrics histograms), and bench results.  Inputs are optional;
+// absent ones are skipped, so the tool is usable after any subset of
+// MMHAND_RUN_LOG / MMHAND_METRICS / bench runs.
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mmhand/common/json.hpp"
+
+namespace {
+
+using mmhand::json::Value;
+
+std::string slurp(const std::string& path, bool* ok) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    *ok = false;
+    return {};
+  }
+  std::string out;
+  char buf[65536];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  *ok = true;
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    if (nl > pos) lines.push_back(text.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+std::string fmt(double v, int prec = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+/// Markdown-renders one parsed run log.
+void report_runlog(const std::vector<Value>& records, std::ostream& os) {
+  // Manifest(s).
+  for (const Value& r : records) {
+    if (r.string_or("kind", "") != "manifest") continue;
+    os << "## Run manifest\n\n| field | value |\n|---|---|\n";
+    for (const auto& [key, v] : r.as_object()) {
+      if (key == "kind") continue;
+      os << "| " << key << " | ";
+      if (v.is_number())
+        os << fmt(v.as_number(), v.as_number() == static_cast<long long>(
+                                                      v.as_number())
+                                     ? 0
+                                     : 6);
+      else if (v.is_string())
+        os << v.as_string();
+      else if (v.is_bool())
+        os << (v.as_bool() ? "true" : "false");
+      os << " |\n";
+    }
+    os << "\n";
+  }
+
+  // Loss curve.
+  bool header = false;
+  for (const Value& r : records) {
+    if (r.string_or("kind", "") != "epoch") continue;
+    if (!header) {
+      os << "## Loss curve\n\n"
+         << "| epoch | loss | lr_scale | grad L2 | wall s | samples/s |"
+            " grad nan/inf |\n|---|---|---|---|---|---|---|\n";
+      header = true;
+    }
+    std::size_t nan = 0, inf = 0;
+    if (const Value* params = r.find("params"); params != nullptr &&
+                                                params->is_object()) {
+      for (const auto& [name, group] : params->as_object()) {
+        if (const Value* g = group.find("grad"); g != nullptr) {
+          nan += static_cast<std::size_t>(g->number_or("nan", 0.0));
+          inf += static_cast<std::size_t>(g->number_or("inf", 0.0));
+        }
+      }
+    }
+    os << "| " << static_cast<int>(r.number_or("epoch", -1)) << " | "
+       << fmt(r.number_or("loss", 0.0), 6) << " | "
+       << fmt(r.number_or("lr_scale", 0.0), 4) << " | "
+       << fmt(r.number_or("grad_norm", 0.0), 4) << " | "
+       << fmt(r.number_or("wall_s", 0.0), 2) << " | "
+       << fmt(r.number_or("samples_per_s", 0.0), 1) << " | " << nan << "/"
+       << inf << " |\n";
+  }
+  if (header) os << "\n";
+
+  // Evaluations.
+  header = false;
+  for (const Value& r : records) {
+    if (r.string_or("kind", "") != "eval") continue;
+    if (!header) {
+      os << "## Evaluations\n\n"
+         << "| label | user | frames | MPJPE mm | palm | fingers |"
+            " PCK@40 |\n|---|---|---|---|---|---|---|\n";
+      header = true;
+    }
+    double pck40 = 0.0;
+    if (const Value* pck = r.find("pck"); pck != nullptr)
+      pck40 = pck->number_or("40", 0.0);
+    os << "| " << r.string_or("label", "?") << " | "
+       << static_cast<int>(r.number_or("user", -1)) << " | "
+       << static_cast<int>(r.number_or("frames", 0)) << " | "
+       << fmt(r.number_or("mpjpe_mm", 0.0), 1) << " | "
+       << fmt(r.number_or("mpjpe_palm_mm", 0.0), 1) << " | "
+       << fmt(r.number_or("mpjpe_fingers_mm", 0.0), 1) << " | "
+       << fmt(pck40, 1) << " |\n";
+  }
+  if (header) os << "\n";
+
+  // Anomalies.
+  std::size_t anomalies = 0;
+  for (const Value& r : records)
+    if (r.string_or("kind", "") == "anomaly") ++anomalies;
+  os << "## Numerical anomalies\n\n";
+  if (anomalies == 0) {
+    os << "None recorded.\n\n";
+  } else {
+    os << anomalies << " anomalie(s):\n\n| t_ms | site | what | detail |\n"
+       << "|---|---|---|---|\n";
+    for (const Value& r : records) {
+      if (r.string_or("kind", "") != "anomaly") continue;
+      os << "| " << fmt(r.number_or("t_ms", 0.0), 1) << " | "
+         << r.string_or("site", "?") << " | " << r.string_or("what", "?")
+         << " | " << r.string_or("detail", "") << " |\n";
+    }
+    os << "\n";
+  }
+}
+
+/// Stage latency / counter section from a metrics snapshot.
+void report_metrics(const Value& snapshot, std::ostream& os) {
+  os << "## Metrics snapshot\n\n";
+  if (const Value* counters = snapshot.find("counters");
+      counters != nullptr && counters->is_object() &&
+      !counters->as_object().empty()) {
+    os << "| counter | value |\n|---|---|\n";
+    for (const auto& [name, v] : counters->as_object())
+      os << "| " << name << " | " << fmt(v.as_number(), 0) << " |\n";
+    os << "\n";
+  }
+  if (const Value* gauges = snapshot.find("gauges");
+      gauges != nullptr && gauges->is_object() &&
+      !gauges->as_object().empty()) {
+    os << "| gauge | value |\n|---|---|\n";
+    for (const auto& [name, v] : gauges->as_object())
+      os << "| " << name << " | " << fmt(v.as_number(), 4) << " |\n";
+    os << "\n";
+  }
+  if (const Value* hists = snapshot.find("histograms");
+      hists != nullptr && hists->is_object() &&
+      !hists->as_object().empty()) {
+    os << "### Stage latency breakdown (span histograms, µs)\n\n"
+       << "| stage | count | mean | p50 | p95 | p99 | max |\n"
+       << "|---|---|---|---|---|---|---|\n";
+    for (const auto& [name, h] : hists->as_object()) {
+      os << "| " << name << " | " << fmt(h.number_or("count", 0), 0)
+         << " | " << fmt(h.number_or("mean", 0.0), 1) << " | "
+         << fmt(h.number_or("p50", 0.0), 1) << " | "
+         << fmt(h.number_or("p95", 0.0), 1) << " | "
+         << fmt(h.number_or("p99", 0.0), 1) << " | "
+         << fmt(h.number_or("max", 0.0), 1) << " |\n";
+    }
+    os << "\n";
+  }
+}
+
+void report_bench(const std::string& path, const Value& bench,
+                  std::ostream& os) {
+  os << "## Bench: " << bench.string_or("bench", path) << "\n\n";
+  if (const Value* results = bench.find("results");
+      results != nullptr && results->is_array()) {
+    os << "| op | threads | ms |\n|---|---|---|\n";
+    for (const Value& r : results->as_array())
+      os << "| " << r.string_or("op", "?") << " | "
+         << static_cast<int>(r.number_or("threads", 0)) << " | "
+         << fmt(r.number_or("ms", 0.0), 4) << " |\n";
+    os << "\n";
+    if (const Value* speedup = bench.find("speedup_4t");
+        speedup != nullptr && speedup->is_object()) {
+      os << "| op | speedup @4t |\n|---|---|\n";
+      for (const auto& [op, s] : speedup->as_object())
+        os << "| " << op << " | " << fmt(s.as_number(), 3) << "x |\n";
+      os << "\n";
+    }
+  } else {
+    os << "(no `results` array; keys:";
+    if (bench.is_object())
+      for (const auto& [key, v] : bench.as_object()) os << " " << key;
+    os << ")\n\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string runlog_path, metrics_path, out_path;
+  std::vector<std::string> bench_paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--runlog") {
+      if (const char* v = next()) runlog_path = v;
+    } else if (arg == "--metrics") {
+      if (const char* v = next()) metrics_path = v;
+    } else if (arg == "--bench") {
+      if (const char* v = next()) bench_paths.push_back(v);
+    } else if (arg == "-o" || arg == "--out") {
+      if (const char* v = next()) out_path = v;
+    } else {
+      std::fprintf(stderr,
+                   "usage: mmhand_report [--runlog FILE] [--metrics FILE]"
+                   " [--bench FILE]... [-o OUT.md]\n");
+      return arg == "-h" || arg == "--help" ? 0 : 2;
+    }
+  }
+
+  std::ostringstream os;
+  os << "# mmHand run report\n\n";
+  int inputs = 0;
+
+  if (!runlog_path.empty()) {
+    bool ok = false;
+    const std::string text = slurp(runlog_path, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "cannot read run log %s\n", runlog_path.c_str());
+      return 1;
+    }
+    std::vector<Value> records;
+    int bad = 0;
+    for (const std::string& line : split_lines(text)) {
+      std::string err;
+      Value v = Value::parse(line, &err);
+      if (err.empty() && v.is_object())
+        records.push_back(std::move(v));
+      else
+        ++bad;
+    }
+    if (bad > 0)
+      std::fprintf(stderr, "warning: %d unparseable line(s) in %s\n", bad,
+                   runlog_path.c_str());
+    report_runlog(records, os);
+    ++inputs;
+  }
+
+  if (!metrics_path.empty()) {
+    bool ok = false;
+    const std::string text = slurp(metrics_path, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "cannot read metrics %s\n", metrics_path.c_str());
+      return 1;
+    }
+    std::string err;
+    const Value snapshot = Value::parse(text, &err);
+    if (!err.empty()) {
+      std::fprintf(stderr, "metrics %s: %s\n", metrics_path.c_str(),
+                   err.c_str());
+      return 1;
+    }
+    report_metrics(snapshot, os);
+    ++inputs;
+  }
+
+  for (const std::string& path : bench_paths) {
+    bool ok = false;
+    const std::string text = slurp(path, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "cannot read bench %s\n", path.c_str());
+      return 1;
+    }
+    std::string err;
+    const Value bench = Value::parse(text, &err);
+    if (!err.empty()) {
+      std::fprintf(stderr, "bench %s: %s\n", path.c_str(), err.c_str());
+      return 1;
+    }
+    report_bench(path, bench, os);
+    ++inputs;
+  }
+
+  if (inputs == 0) {
+    std::fprintf(stderr,
+                 "nothing to report: pass --runlog, --metrics, or"
+                 " --bench\n");
+    return 2;
+  }
+
+  const std::string body = os.str();
+  if (out_path.empty()) {
+    std::fwrite(body.data(), 1, body.size(), stdout);
+  } else {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
