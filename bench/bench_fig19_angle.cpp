@@ -33,9 +33,10 @@ int main() {
           s.hand_azimuth_deg = center;
           s.seed ^= static_cast<std::uint64_t>(bin.lo + 90);
         });
-    rows.push_back({"(" + std::to_string(bin.lo) + "," +
-                        std::to_string(bin.hi) + ")",
-                    eval::fmt(acc.mpjpe_mm()), eval::fmt(acc.pck(40.0))});
+    char label[32];
+    std::snprintf(label, sizeof(label), "(%d,%d)", bin.lo, bin.hi);
+    rows.push_back(
+        {label, eval::fmt(acc.mpjpe_mm()), eval::fmt(acc.pck(40.0))});
     if (bin.lo >= -30 && bin.hi <= 30) {
       inner_mpjpe.push_back(acc.mpjpe_mm());
       inner_pck.push_back(acc.pck(40.0));

@@ -54,9 +54,9 @@ Args parse(int argc, char** argv) {
     if (key.rfind("--", 0) != 0) continue;
     key = key.substr(2);
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      args.options[key] = argv[++i];
+      args.options.insert_or_assign(key, std::string(argv[++i]));
     } else {
-      args.options[key] = "1";
+      args.options.insert_or_assign(key, std::string("1"));
     }
   }
   return args;

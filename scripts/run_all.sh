@@ -7,6 +7,12 @@ cd "$(dirname "$0")/.."
 
 cmake -B build -G Ninja
 cmake --build build
+
+echo "===== static analysis ====="
+cmake --build build --target mmhand_lint lint_headers
+build/tools/mmhand_lint --root .
+build/tools/mmhand_lint --root . --json > mmhand_lint.json
+
 ctest --test-dir build 2>&1 | tee test_output.txt
 for b in build/bench/bench_*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
@@ -81,7 +87,7 @@ fi
 echo "===== merged report ====="
 build/tools/mmhand_report --runlog mmhand_runlog.jsonl \
   --metrics mmhand_metrics.json --bench BENCH_throughput.json \
-  -o mmhand_report.md
+  --lint mmhand_lint.json -o mmhand_report.md
 
 echo "===== bench regression check (report-only) ====="
 if command -v python3 > /dev/null; then

@@ -141,8 +141,8 @@ void gemm_a_bt_acc(const float* a, const float* b, float* c, int m, int k,
     });
   } else {
     const std::int64_t grain = tile_grain(2ll * m * k * kNB);
-    parallel_for(0, num_blocks(n, kNB), grain, [=](std::int64_t bj) {
-      const int j0 = static_cast<int>(bj) * kNB;
+    parallel_for(0, num_blocks(n, kNB), grain, [=](std::int64_t blk) {
+      const int j0 = static_cast<int>(blk) * kNB;
       const int j1 = std::min(n, j0 + kNB);
       for (int i = 0; i < m; ++i) {
         const float* ai = a + static_cast<std::size_t>(i) * k;

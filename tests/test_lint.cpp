@@ -1,0 +1,312 @@
+// Tests for tools/lint: every mmhand_lint rule against violation and
+// clean fixtures, allowlist handling, the --json report shape, and the
+// common/json error paths the linter's config loading leans on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint/lint_core.hpp"
+#include "mmhand/common/json.hpp"
+
+namespace mmhand::lint {
+namespace {
+
+/// True when some finding carries `rule`.
+bool has_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+std::vector<Finding> lint_src(const std::string& content,
+                              const std::string& path = "src/mmhand/x/f.cpp") {
+  return check_file(path, content, default_config());
+}
+
+// --- getenv-allowlist ---------------------------------------------------
+
+TEST(LintGetenv, FlagsGetenvOutsideAllowlist) {
+  const auto findings =
+      lint_src("const char* e = std::getenv(\"PATH\");\n");
+  ASSERT_TRUE(has_rule(findings, "getenv-allowlist"));
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(LintGetenv, AllowsAllowlistedFile) {
+  const auto findings = check_file("src/mmhand/obs/state.cpp",
+                                   "std::getenv(\"X\");\n",
+                                   default_config());
+  EXPECT_FALSE(has_rule(findings, "getenv-allowlist"));
+}
+
+TEST(LintGetenv, IgnoresCommentsAndStrings) {
+  EXPECT_TRUE(lint_src("// getenv here\n"
+                       "const char* s = \"getenv\";\n")
+                  .empty());
+}
+
+TEST(LintGetenv, DoesNotApplyOutsideLibrary) {
+  EXPECT_TRUE(check_file("tests/test_x.cpp", "std::getenv(\"X\");\n",
+                         default_config())
+                  .empty());
+}
+
+// --- no-direct-io -------------------------------------------------------
+
+TEST(LintDirectIo, FlagsPrintfCoutCerr) {
+  EXPECT_TRUE(has_rule(lint_src("std::printf(\"x\");\n"), "no-direct-io"));
+  EXPECT_TRUE(has_rule(lint_src("std::cout << 1;\n"), "no-direct-io"));
+  EXPECT_TRUE(has_rule(lint_src("std::cerr << 1;\n"), "no-direct-io"));
+  EXPECT_TRUE(
+      has_rule(lint_src("std::fprintf(stderr, \"x\");\n"), "no-direct-io"));
+}
+
+TEST(LintDirectIo, AllowsBufferFormattingAndFileIo) {
+  // snprintf/vsnprintf format into buffers; fprintf to a data FILE* is
+  // legitimate output, only console streams are banned.
+  EXPECT_TRUE(lint_src("std::snprintf(buf, sizeof(buf), \"%d\", 1);\n"
+                       "std::vsnprintf(buf, sizeof(buf), fmt, args);\n"
+                       "std::fprintf(file, \"%d\", 1);\n"
+                       "std::fwrite(data, 1, n, file);\n")
+                  .empty());
+}
+
+TEST(LintDirectIo, ExemptsObsAndSanctionedPrinters) {
+  const std::string io = "std::fprintf(stderr, \"x\");\n";
+  EXPECT_FALSE(has_rule(
+      check_file("src/mmhand/obs/log.cpp", io, default_config()),
+      "no-direct-io"));
+  EXPECT_FALSE(has_rule(check_file("src/mmhand/eval/table_printer.cpp",
+                                   "std::printf(\"x\");\n",
+                                   default_config()),
+                        "no-direct-io"));
+}
+
+// --- no-unseeded-rng ----------------------------------------------------
+
+TEST(LintRng, FlagsRawRandomSources) {
+  EXPECT_TRUE(has_rule(lint_src("int r = rand();\n"), "no-unseeded-rng"));
+  EXPECT_TRUE(has_rule(lint_src("std::random_device rd;\n"),
+                       "no-unseeded-rng"));
+  EXPECT_TRUE(has_rule(lint_src("srand(time(nullptr));\n"),
+                       "no-unseeded-rng"));
+  EXPECT_TRUE(has_rule(lint_src("auto seed = std::time(NULL);\n"),
+                       "no-unseeded-rng"));
+}
+
+TEST(LintRng, CleanOnSeededRngAndSimilarNames) {
+  EXPECT_TRUE(lint_src("mmhand::Rng rng(42);\n"
+                       "double x = rng.uniform(0.0, 1.0);\n"
+                       "int operand = 3;\n"   // "rand" inside identifiers
+                       "double wall_time = t1 - t0;\n")
+                  .empty());
+}
+
+TEST(LintRng, ExemptsRngImplementation) {
+  EXPECT_TRUE(check_file("src/mmhand/common/rng.cpp",
+                         "std::random_device rd;\n", default_config())
+                  .empty());
+}
+
+// --- header hygiene -----------------------------------------------------
+
+TEST(LintHeader, FlagsMissingPragmaOnce) {
+  const auto findings =
+      check_file("src/mmhand/x/f.hpp", "int f();\n", default_config());
+  EXPECT_TRUE(has_rule(findings, "pragma-once"));
+}
+
+TEST(LintHeader, FlagsUsingNamespace) {
+  const auto findings = check_file(
+      "src/mmhand/x/f.hpp", "#pragma once\nusing namespace std;\n",
+      default_config());
+  EXPECT_TRUE(has_rule(findings, "no-using-namespace"));
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintHeader, CleanHeaderPasses) {
+  EXPECT_TRUE(check_file("src/mmhand/x/f.hpp",
+                         "#pragma once\n"
+                         "// using namespace in a comment is fine\n"
+                         "using Alias = int;\n"
+                         "int f();\n",
+                         default_config())
+                  .empty());
+}
+
+TEST(LintHeader, SourceFilesNeedNoPragma) {
+  EXPECT_TRUE(check_file("src/mmhand/x/f.cpp", "int f() { return 1; }\n",
+                         default_config())
+                  .empty());
+}
+
+// --- no-raw-alloc -------------------------------------------------------
+
+TEST(LintAlloc, FlagsNakedArrayNewAndMalloc) {
+  EXPECT_TRUE(has_rule(lint_src("float* xs = new float[n];\n"),
+                       "no-raw-alloc"));
+  EXPECT_TRUE(has_rule(lint_src("auto* p = new std::uint8_t[64];\n"),
+                       "no-raw-alloc"));
+  EXPECT_TRUE(has_rule(lint_src("void* p = malloc(64);\n"), "no-raw-alloc"));
+}
+
+TEST(LintAlloc, AllowsContainersAndScalarNew) {
+  EXPECT_TRUE(lint_src("std::vector<float> xs(n);\n"
+                       "auto p = std::make_unique<Foo>();\n"
+                       "auto* q = new Foo(1, 2);\n")
+                  .empty());
+}
+
+// --- env-var-docs -------------------------------------------------------
+
+TEST(LintEnvDocs, FlagsUndocumentedLiteral) {
+  Config cfg = default_config();
+  cfg.documented_env = {"MMHAND_THREADS"};
+  const auto findings = check_file(
+      "src/mmhand/x/f.cpp", "std::string k = \"MMHAND_NOT_IN_README\";\n",
+      cfg);
+  ASSERT_TRUE(has_rule(findings, "env-var-docs"));
+  EXPECT_NE(findings[0].message.find("MMHAND_NOT_IN_README"),
+            std::string::npos);
+}
+
+TEST(LintEnvDocs, DocumentedLiteralPasses) {
+  Config cfg = default_config();
+  cfg.documented_env = {"MMHAND_THREADS"};
+  EXPECT_TRUE(check_file("src/mmhand/x/f.cpp",
+                         "const char* k = \"MMHAND_THREADS\";\n", cfg)
+                  .empty());
+}
+
+TEST(LintEnvDocs, ExtractsNamesFromReadme) {
+  const auto names = extract_documented_env(
+      "| `MMHAND_THREADS` | integer | pool size |\n"
+      "Set MMHAND_FAST=1 while iterating.\n");
+  EXPECT_EQ(names, (std::vector<std::string>{"MMHAND_FAST",
+                                             "MMHAND_THREADS"}));
+}
+
+// --- allowlist config ---------------------------------------------------
+
+TEST(LintAllowlist, JsonOverridesDefaults) {
+  Config cfg = default_config();
+  std::string error;
+  ASSERT_TRUE(parse_allowlist_json(
+      "{\"getenv\": [\"src/mmhand/x/custom.cpp\"]}", &cfg, &error))
+      << error;
+  EXPECT_EQ(cfg.getenv_allow,
+            (std::vector<std::string>{"src/mmhand/x/custom.cpp"}));
+  // Untouched keys keep their defaults.
+  EXPECT_FALSE(cfg.io_allow.empty());
+  EXPECT_TRUE(
+      check_file("src/mmhand/x/custom.cpp", "std::getenv(\"X\");\n", cfg)
+          .empty());
+  EXPECT_TRUE(has_rule(check_file("src/mmhand/obs/state.cpp",
+                                  "std::getenv(\"X\");\n", cfg),
+                       "getenv-allowlist"));
+}
+
+TEST(LintAllowlist, RejectsMalformedConfig) {
+  Config cfg = default_config();
+  std::string error;
+  EXPECT_FALSE(parse_allowlist_json("{\"getenv\": 3}", &cfg, &error));
+  EXPECT_NE(error.find("getenv"), std::string::npos);
+  EXPECT_FALSE(parse_allowlist_json("not json", &cfg, &error));
+  EXPECT_FALSE(parse_allowlist_json("{\"direct_io\": [1]}", &cfg, &error));
+}
+
+// --- --json report shape ------------------------------------------------
+
+TEST(LintJsonReport, ShapeRoundTripsThroughParser) {
+  const std::vector<Finding> findings{
+      {"src/mmhand/x/f.cpp", 3, "no-direct-io", "printf \"quoted\""},
+      {"src/mmhand/x/f.cpp", 9, "no-direct-io", "cout"},
+      {"src/mmhand/y/g.hpp", 1, "pragma-once", "missing"},
+  };
+  std::string error;
+  const json::Value v =
+      json::Value::parse(findings_to_json(findings, 42), &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(v.string_or("tool", ""), "mmhand_lint");
+  EXPECT_EQ(v.number_or("files_scanned", 0), 42.0);
+  const json::Value* counts = v.find("counts");
+  ASSERT_NE(counts, nullptr);
+  EXPECT_EQ(counts->number_or("no-direct-io", 0), 2.0);
+  EXPECT_EQ(counts->number_or("pragma-once", 0), 1.0);
+  const json::Value* arr = v.find("findings");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_EQ(arr->as_array().size(), 3u);
+  const json::Value& first = arr->as_array()[0];
+  EXPECT_EQ(first.string_or("file", ""), "src/mmhand/x/f.cpp");
+  EXPECT_EQ(first.number_or("line", 0), 3.0);
+  EXPECT_EQ(first.string_or("message", ""), "printf \"quoted\"");
+}
+
+TEST(LintJsonReport, EmptyFindingsStillValid) {
+  std::string error;
+  const json::Value v = json::Value::parse(findings_to_json({}, 7), &error);
+  ASSERT_TRUE(error.empty()) << error;
+  ASSERT_NE(v.find("findings"), nullptr);
+  EXPECT_TRUE(v.find("findings")->as_array().empty());
+}
+
+// --- comment/string stripping -------------------------------------------
+
+TEST(LintStrip, PreservesLineStructure) {
+  const std::string src = "int a; // getenv\n/* rand\n rand */ int b;\n";
+  const std::string stripped = strip_comments_and_strings(src);
+  EXPECT_EQ(std::count(src.begin(), src.end(), '\n'),
+            std::count(stripped.begin(), stripped.end(), '\n'));
+  EXPECT_EQ(stripped.find("getenv"), std::string::npos);
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_NE(stripped.find("int b;"), std::string::npos);
+}
+
+TEST(LintStrip, HandlesEscapedQuotes) {
+  const std::string stripped = strip_comments_and_strings(
+      "const char* s = \"a \\\" getenv\"; int rand_site;\n");
+  EXPECT_EQ(stripped.find("getenv"), std::string::npos);
+  EXPECT_NE(stripped.find("rand_site"), std::string::npos);
+}
+
+// --- common/json error paths (the linter's config dependency) -----------
+
+TEST(JsonErrors, TruncatedInput) {
+  for (const char* bad : {"{\"a\": ", "[1, 2", "\"unterminated", "{", "nul"}) {
+    std::string error;
+    const json::Value v = json::Value::parse(bad, &error);
+    EXPECT_FALSE(error.empty()) << "input: " << bad;
+    EXPECT_TRUE(v.is_null()) << "input: " << bad;
+  }
+}
+
+TEST(JsonErrors, BadEscape) {
+  std::string error;
+  json::Value::parse("\"bad \\q escape\"", &error);
+  EXPECT_NE(error.find("escape"), std::string::npos);
+  json::Value::parse("\"short \\u12\"", &error);
+  EXPECT_FALSE(error.empty());
+  json::Value::parse("\"bad hex \\uZZZZ\"", &error);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonErrors, TrailingGarbage) {
+  std::string error;
+  json::Value::parse("{\"a\": 1} extra", &error);
+  EXPECT_NE(error.find("trailing"), std::string::npos);
+  // Trailing whitespace is fine.
+  const json::Value v = json::Value::parse("{\"a\": 1}  \n", &error);
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_EQ(v.number_or("a", 0), 1.0);
+}
+
+TEST(JsonErrors, ErrorReportsOffset) {
+  std::string error;
+  json::Value::parse("{\"a\": @}", &error);
+  EXPECT_NE(error.find("offset"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mmhand::lint

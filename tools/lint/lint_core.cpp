@@ -1,0 +1,422 @@
+#include "lint/lint_core.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "mmhand/common/json.hpp"
+
+namespace mmhand::lint {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::char_traits<char>::length(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+bool contains(const std::vector<std::string>& list, const std::string& s) {
+  return std::find(list.begin(), list.end(), s) != list.end();
+}
+
+int line_of(const std::string& text, std::size_t pos) {
+  return 1 + static_cast<int>(std::count(text.begin(),
+                                         text.begin() +
+                                             static_cast<std::ptrdiff_t>(pos),
+                                         '\n'));
+}
+
+/// Offset of the first whole-identifier occurrence of `token` at or
+/// after `from`; npos when absent.
+std::size_t find_ident(const std::string& text, const std::string& token,
+                       std::size_t from) {
+  std::size_t pos = from;
+  while ((pos = text.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(text[pos - 1]);
+    const std::size_t after = pos + token.size();
+    const bool right_ok = after >= text.size() || !is_ident_char(text[after]);
+    if (left_ok && right_ok) return pos;
+    pos = after;
+  }
+  return std::string::npos;
+}
+
+/// The rest of the line starting at `pos` (for "does this call mention
+/// stdout/stderr" style context checks).
+std::string line_tail(const std::string& text, std::size_t pos) {
+  const std::size_t nl = text.find('\n', pos);
+  return text.substr(pos, nl == std::string::npos ? std::string::npos
+                                                  : nl - pos);
+}
+
+void add(std::vector<Finding>& out, const std::string& file, int line,
+         const char* rule, std::string message) {
+  out.push_back(Finding{file, line, rule, std::move(message)});
+}
+
+/// Flags every whole-identifier occurrence of `token`.
+void flag_all(std::vector<Finding>& out, const std::string& file,
+              const std::string& text, const std::string& token,
+              const char* rule, const std::string& message) {
+  for (std::size_t pos = 0;
+       (pos = find_ident(text, token, pos)) != std::string::npos;
+       pos += token.size())
+    add(out, file, line_of(text, pos), rule, message);
+}
+
+void check_getenv(const std::string& path, const std::string& stripped,
+                  const Config& cfg, std::vector<Finding>& out) {
+  if (contains(cfg.getenv_allow, path)) return;
+  flag_all(out, path, stripped, "getenv", "getenv-allowlist",
+           "getenv outside the allowlist; read env knobs through"
+           " obs/state (or extend scripts/lint_allowlist.json)");
+  flag_all(out, path, stripped, "secure_getenv", "getenv-allowlist",
+           "secure_getenv outside the allowlist; read env knobs through"
+           " obs/state (or extend scripts/lint_allowlist.json)");
+}
+
+void check_direct_io(const std::string& path, const std::string& stripped,
+                     const Config& cfg, std::vector<Finding>& out) {
+  if (starts_with(path, "src/mmhand/obs/")) return;
+  if (contains(cfg.io_allow, path)) return;
+  const char* rule = "no-direct-io";
+  const std::string route = "; route output through obs/log (MMHAND_WARN/"
+                            "MMHAND_INFO/MMHAND_DEBUG)";
+  // Unconditional console writers.  Identifier matching keeps
+  // snprintf/vsnprintf (buffer formatting) out of scope.
+  for (const char* token : {"printf", "vprintf", "puts", "putchar"})
+    flag_all(out, path, stripped, token, rule,
+             std::string(token) + " writes to stdout" + route);
+  for (const char* token : {"cout", "cerr", "clog"})
+    flag_all(out, path, stripped, token, rule,
+             std::string("std::") + token + " in library code" + route);
+  // FILE*-targeted writers are fine for data files; only console
+  // streams are violations.
+  for (const char* token : {"fprintf", "vfprintf", "fputs", "fputc",
+                            "fwrite"}) {
+    for (std::size_t pos = 0;
+         (pos = find_ident(stripped, token, pos)) != std::string::npos;
+         pos += std::char_traits<char>::length(token)) {
+      const std::string tail = line_tail(stripped, pos);
+      if (tail.find("stdout") != std::string::npos ||
+          tail.find("stderr") != std::string::npos)
+        add(out, path, line_of(stripped, pos), rule,
+            std::string(token) + " to stdout/stderr" + route);
+    }
+  }
+}
+
+void check_rng(const std::string& path, const std::string& stripped,
+               const Config& cfg, std::vector<Finding>& out) {
+  if (contains(cfg.rng_allow, path)) return;
+  const char* rule = "no-unseeded-rng";
+  const std::string route =
+      "; draw from an explicitly seeded mmhand::Rng (common/rng)";
+  for (const char* token : {"rand", "srand", "rand_r", "drand48",
+                            "random_device"})
+    flag_all(out, path, stripped, token, rule,
+             std::string(token) + " is not reproducible" + route);
+  // Wall-clock seeding: time(nullptr) / time(NULL) feeding an engine.
+  for (std::size_t pos = 0;
+       (pos = find_ident(stripped, "time", pos)) != std::string::npos;
+       pos += 4) {
+    std::size_t after = pos + 4;
+    while (after < stripped.size() &&
+           std::isspace(static_cast<unsigned char>(stripped[after])))
+      ++after;
+    if (after >= stripped.size() || stripped[after] != '(') continue;
+    const std::string tail = line_tail(stripped, after);
+    if (tail.find("nullptr") != std::string::npos ||
+        tail.find("NULL") != std::string::npos)
+      add(out, path, line_of(stripped, pos), rule,
+          "time-seeded randomness is not reproducible" + route);
+  }
+}
+
+void check_header_hygiene(const std::string& path, const std::string& raw,
+                          const std::string& stripped,
+                          std::vector<Finding>& out) {
+  if (raw.find("#pragma once") == std::string::npos)
+    add(out, path, 1, "pragma-once", "header is missing #pragma once");
+  for (std::size_t pos = 0;
+       (pos = find_ident(stripped, "using", pos)) != std::string::npos;
+       pos += 5) {
+    std::size_t after = pos + 5;
+    while (after < stripped.size() &&
+           std::isspace(static_cast<unsigned char>(stripped[after])))
+      ++after;
+    if (find_ident(stripped, "namespace", after) == after)
+      add(out, path, line_of(stripped, pos), "no-using-namespace",
+          "using-directive in a header leaks into every includer");
+  }
+}
+
+void check_raw_alloc(const std::string& path, const std::string& stripped,
+                     std::vector<Finding>& out) {
+  const char* rule = "no-raw-alloc";
+  for (const char* token : {"malloc", "calloc", "realloc"})
+    flag_all(out, path, stripped, token, rule,
+             std::string(token) + " in library code; use std::vector or"
+                                  " std::unique_ptr");
+  // `new <type...>[` — a naked array allocation.
+  for (std::size_t pos = 0;
+       (pos = find_ident(stripped, "new", pos)) != std::string::npos;
+       pos += 3) {
+    std::size_t i = pos + 3;
+    bool saw_type = false;
+    while (i < stripped.size()) {
+      const char c = stripped[i];
+      if (std::isspace(static_cast<unsigned char>(c)) || is_ident_char(c) ||
+          c == ':' || c == '<' || c == '>') {
+        saw_type = saw_type || is_ident_char(c);
+        ++i;
+        continue;
+      }
+      break;
+    }
+    if (saw_type && i < stripped.size() && stripped[i] == '[')
+      add(out, path, line_of(stripped, pos), rule,
+          "naked new[] in library code; use std::vector or"
+          " std::make_unique");
+  }
+}
+
+void check_env_docs(const std::string& path, const std::string& raw,
+                    const Config& cfg, std::vector<Finding>& out) {
+  // Scans the RAW text: the literals of interest live inside quotes.
+  const std::string needle = "\"MMHAND_";
+  for (std::size_t pos = 0; (pos = raw.find(needle, pos)) != std::string::npos;
+       ++pos) {
+    std::size_t start = pos + 1;  // past the opening quote
+    std::size_t end = start;
+    while (end < raw.size() &&
+           (std::isupper(static_cast<unsigned char>(raw[end])) != 0 ||
+            std::isdigit(static_cast<unsigned char>(raw[end])) != 0 ||
+            raw[end] == '_'))
+      ++end;
+    // Require a closing quote right after the name and at least one
+    // character beyond the MMHAND_ prefix, so partial prefixes (string
+    // concatenation, this very scanner) don't count as env-var uses.
+    if (end >= raw.size() || raw[end] != '"') continue;
+    const std::string name = raw.substr(start, end - start);
+    if (name.size() <= needle.size() - 1) continue;
+    if (!contains(cfg.documented_env, name))
+      add(out, path, line_of(raw, pos), "env-var-docs",
+          name + " is not documented in the README environment-variable"
+                 " table");
+  }
+}
+
+}  // namespace
+
+Config default_config() {
+  Config cfg;
+  cfg.getenv_allow = {
+      "src/mmhand/obs/state.cpp",    "src/mmhand/common/parallel.cpp",
+      "src/mmhand/obs/log.cpp",      "src/mmhand/obs/numeric.cpp",
+      "src/mmhand/eval/model_cache.cpp",
+  };
+  cfg.io_allow = {
+      "src/mmhand/eval/table_printer.cpp",
+      "src/mmhand/eval/csv_export.cpp",
+  };
+  cfg.rng_allow = {
+      "src/mmhand/common/rng.hpp",
+      "src/mmhand/common/rng.cpp",
+  };
+  return cfg;
+}
+
+bool parse_allowlist_json(const std::string& text, Config* cfg,
+                          std::string* error) {
+  std::string parse_error;
+  const json::Value root = json::Value::parse(text, &parse_error);
+  if (!parse_error.empty()) {
+    if (error != nullptr) *error = "allowlist: " + parse_error;
+    return false;
+  }
+  if (!root.is_object()) {
+    if (error != nullptr) *error = "allowlist: top level must be an object";
+    return false;
+  }
+  const auto load = [&](const char* key, std::vector<std::string>* dst,
+                        std::string* err) {
+    const json::Value* v = root.find(key);
+    if (v == nullptr) return true;  // key optional; keep defaults
+    if (!v->is_array()) {
+      *err = std::string("allowlist: \"") + key + "\" must be an array";
+      return false;
+    }
+    dst->clear();
+    for (const json::Value& item : v->as_array()) {
+      if (!item.is_string()) {
+        *err = std::string("allowlist: \"") + key +
+               "\" entries must be strings";
+        return false;
+      }
+      dst->push_back(item.as_string());
+    }
+    return true;
+  };
+  std::string err;
+  if (!load("getenv", &cfg->getenv_allow, &err) ||
+      !load("direct_io", &cfg->io_allow, &err) ||
+      !load("raw_rng", &cfg->rng_allow, &err)) {
+    if (error != nullptr) *error = err;
+    return false;
+  }
+  return true;
+}
+
+std::string strip_comments_and_strings(const std::string& src) {
+  std::string out = src;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n')
+          state = State::kCode;
+        else
+          out[i] = ' ';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char close = state == State::kString ? '"' : '\'';
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == close) {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> check_file(const std::string& path,
+                                const std::string& content,
+                                const Config& cfg) {
+  std::vector<Finding> out;
+  const bool is_header = ends_with(path, ".hpp") || ends_with(path, ".h");
+  const bool in_library = starts_with(path, "src/mmhand/");
+  const bool in_tools = starts_with(path, "tools/");
+  const std::string stripped = strip_comments_and_strings(content);
+
+  if (in_library) {
+    check_getenv(path, stripped, cfg, out);
+    check_direct_io(path, stripped, cfg, out);
+    check_rng(path, stripped, cfg, out);
+    check_raw_alloc(path, stripped, out);
+  }
+  if (is_header) check_header_hygiene(path, content, stripped, out);
+  // Env-literal documentation applies to library and tool code; tests
+  // and benches may mention made-up names in fixtures.
+  if (in_library || in_tools) check_env_docs(path, content, cfg, out);
+
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+  });
+  return out;
+}
+
+std::vector<std::string> extract_documented_env(const std::string& readme) {
+  std::vector<std::string> names;
+  const std::string prefix = "MMHAND_";
+  for (std::size_t pos = 0;
+       (pos = readme.find(prefix, pos)) != std::string::npos;) {
+    std::size_t end = pos + prefix.size();
+    while (end < readme.size() &&
+           (std::isupper(static_cast<unsigned char>(readme[end])) != 0 ||
+            std::isdigit(static_cast<unsigned char>(readme[end])) != 0 ||
+            readme[end] == '_'))
+      ++end;
+    if (end > pos + prefix.size()) {
+      const std::string name = readme.substr(pos, end - pos);
+      if (!contains(names, name)) names.push_back(name);
+    }
+    pos = end;
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::string findings_to_json(const std::vector<Finding>& findings,
+                             std::size_t files_scanned) {
+  const auto escape = [](const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  };
+  std::map<std::string, int> counts;
+  for (const Finding& f : findings) ++counts[f.rule];
+  std::ostringstream os;
+  os << "{\n  \"tool\": \"mmhand_lint\",\n  \"files_scanned\": "
+     << files_scanned << ",\n  \"counts\": {";
+  bool first = true;
+  for (const auto& [rule, n] : counts) {
+    os << (first ? "" : ", ") << "\"" << escape(rule) << "\": " << n;
+    first = false;
+  }
+  os << "},\n  \"findings\": [";
+  first = true;
+  for (const Finding& f : findings) {
+    os << (first ? "\n" : ",\n")
+       << "    {\"file\": \"" << escape(f.file) << "\", \"line\": " << f.line
+       << ", \"rule\": \"" << escape(f.rule) << "\", \"message\": \""
+       << escape(f.message) << "\"}";
+    first = false;
+  }
+  os << (findings.empty() ? "" : "\n  ") << "]\n}\n";
+  return os.str();
+}
+
+}  // namespace mmhand::lint

@@ -1,0 +1,75 @@
+#pragma once
+
+// mmhand_lint rule engine.
+//
+// Enforces the repo-specific invariants the last few PRs established by
+// convention: every env knob is read through obs/state (or one of the
+// few allowlisted readers), all console output goes through obs/log,
+// all randomness flows from common/rng, headers are self-contained and
+// guard-free, and every MMHAND_* env literal is documented in README.
+// Generic tools (clang-tidy, -W flags) cannot know these rules; this
+// engine does.
+//
+// The checks run on file *contents* passed in as strings, so tests can
+// exercise each rule on small fixtures without touching the tree.  The
+// CLI driver (tools/mmhand_lint.cpp) handles walking, allowlist
+// loading, and README parsing.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mmhand::lint {
+
+struct Finding {
+  std::string file;     ///< repo-relative path, forward slashes
+  int line = 0;         ///< 1-based
+  std::string rule;     ///< stable rule id, e.g. "no-direct-io"
+  std::string message;
+};
+
+/// Allowlists and repo facts the rules consult.  Paths are
+/// repo-relative with forward slashes, exactly as findings report them.
+struct Config {
+  /// Files permitted to call getenv (rule getenv-allowlist).
+  std::vector<std::string> getenv_allow;
+  /// Files under src/mmhand/ (beyond obs/) permitted direct console
+  /// output (rule no-direct-io) — the sanctioned eval printers.
+  std::vector<std::string> io_allow;
+  /// Files permitted raw RNG sources (rule no-unseeded-rng).
+  std::vector<std::string> rng_allow;
+  /// MMHAND_* env-var names documented in the README table
+  /// (rule env-var-docs).
+  std::vector<std::string> documented_env;
+};
+
+/// The allowlist shipped in scripts/lint_allowlist.json, compiled in as
+/// a fallback so the binary still runs without the file.
+Config default_config();
+
+/// Merges scripts/lint_allowlist.json (keys "getenv", "direct_io",
+/// "raw_rng": arrays of paths) into `cfg`.  Returns false and sets
+/// `*error` on malformed input.
+bool parse_allowlist_json(const std::string& text, Config* cfg,
+                          std::string* error);
+
+/// Replaces comments and string/char literal contents with spaces,
+/// preserving line structure, so token scans don't fire inside them.
+std::string strip_comments_and_strings(const std::string& src);
+
+/// Runs every applicable rule on one file.  `path` decides which rules
+/// apply (src/mmhand/ vs tests/ vs tools/, header vs source).
+std::vector<Finding> check_file(const std::string& path,
+                                const std::string& content,
+                                const Config& cfg);
+
+/// Extracts the MMHAND_* names mentioned anywhere in the README text —
+/// the documented set rule env-var-docs checks literals against.
+std::vector<std::string> extract_documented_env(const std::string& readme);
+
+/// Serializes findings for tooling (mmhand_report): an object with
+/// "tool", "files_scanned", per-rule "counts", and a "findings" array.
+std::string findings_to_json(const std::vector<Finding>& findings,
+                             std::size_t files_scanned);
+
+}  // namespace mmhand::lint

@@ -1,0 +1,166 @@
+// mmhand_lint — project-specific static analysis.
+//
+//   mmhand_lint [--root DIR] [--allowlist FILE] [--readme FILE]
+//               [--json] [DIR|FILE]...
+//
+// Walks src/, tests/, bench/, and tools/ (or the given paths) under the
+// repo root and enforces the invariants DESIGN.md's "Static analysis &
+// correctness gates" section catalogues: getenv only behind the
+// allowlist, no direct console I/O outside obs/ and the sanctioned eval
+// printers, no irreproducible RNG outside common/rng, #pragma once +
+// no using-directives in headers, no naked new[]/malloc, and every
+// quoted MMHAND_* literal documented in the README env-var table.
+//
+// Findings print as `file:line: rule-id: message`; exit status is 0
+// when clean, 1 with findings, 2 on usage/config errors.  --json
+// swaps the human output for a machine-readable report that
+// mmhand_report ingests via --lint.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint/lint_core.hpp"
+
+namespace fs = std::filesystem;
+using mmhand::lint::Config;
+using mmhand::lint::Finding;
+
+namespace {
+
+bool slurp(const fs::path& path, std::string* out) {
+  std::FILE* f = std::fopen(path.string().c_str(), "rb");
+  if (f == nullptr) return false;
+  out->clear();
+  char buf[65536];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+bool lintable(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h";
+}
+
+/// Repo-relative path with forward slashes (the allowlist key format).
+std::string rel_key(const fs::path& root, const fs::path& path) {
+  return fs::relative(path, root).generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::string allowlist_path;  // default: <root>/scripts/lint_allowlist.json
+  std::string readme_path;     // default: <root>/README.md
+  bool json_output = false;
+  std::vector<std::string> targets;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--root") {
+      if (const char* v = next()) root = v;
+    } else if (arg == "--allowlist") {
+      if (const char* v = next()) allowlist_path = v;
+    } else if (arg == "--readme") {
+      if (const char* v = next()) readme_path = v;
+    } else if (arg == "--json") {
+      json_output = true;
+    } else if (!arg.empty() && arg[0] != '-') {
+      targets.push_back(arg);
+    } else {
+      std::fprintf(stderr,
+                   "usage: mmhand_lint [--root DIR] [--allowlist FILE]"
+                   " [--readme FILE] [--json] [DIR|FILE]...\n");
+      return arg == "-h" || arg == "--help" ? 0 : 2;
+    }
+  }
+  if (!fs::is_directory(root)) {
+    std::fprintf(stderr, "mmhand_lint: root %s is not a directory\n",
+                 root.string().c_str());
+    return 2;
+  }
+  root = fs::canonical(root);
+  if (targets.empty()) targets = {"src", "tests", "bench", "tools"};
+
+  Config cfg = mmhand::lint::default_config();
+  {
+    const fs::path path = allowlist_path.empty()
+                              ? root / "scripts" / "lint_allowlist.json"
+                              : fs::path(allowlist_path);
+    std::string text;
+    if (slurp(path, &text)) {
+      std::string error;
+      if (!mmhand::lint::parse_allowlist_json(text, &cfg, &error)) {
+        std::fprintf(stderr, "mmhand_lint: %s: %s\n", path.string().c_str(),
+                     error.c_str());
+        return 2;
+      }
+    } else if (!allowlist_path.empty()) {
+      std::fprintf(stderr, "mmhand_lint: cannot read allowlist %s\n",
+                   path.string().c_str());
+      return 2;
+    }
+  }
+  {
+    const fs::path path = readme_path.empty() ? root / "README.md"
+                                              : fs::path(readme_path);
+    std::string text;
+    if (slurp(path, &text)) {
+      cfg.documented_env = mmhand::lint::extract_documented_env(text);
+    } else {
+      std::fprintf(stderr, "mmhand_lint: cannot read README %s\n",
+                   path.string().c_str());
+      return 2;
+    }
+  }
+
+  std::vector<fs::path> files;
+  for (const std::string& target : targets) {
+    const fs::path base = fs::path(target).is_absolute() ? fs::path(target)
+                                                         : root / target;
+    if (fs::is_regular_file(base)) {
+      files.push_back(base);
+    } else if (fs::is_directory(base)) {
+      for (const auto& entry : fs::recursive_directory_iterator(base))
+        if (entry.is_regular_file() && lintable(entry.path()))
+          files.push_back(entry.path());
+    }
+    // Absent targets are fine: a partial checkout still lints.
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  for (const fs::path& file : files) {
+    std::string content;
+    if (!slurp(file, &content)) {
+      std::fprintf(stderr, "mmhand_lint: cannot read %s\n",
+                   file.string().c_str());
+      return 2;
+    }
+    const std::vector<Finding> file_findings =
+        mmhand::lint::check_file(rel_key(root, file), content, cfg);
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+
+  if (json_output) {
+    const std::string body =
+        mmhand::lint::findings_to_json(findings, files.size());
+    std::fwrite(body.data(), 1, body.size(), stdout);
+  } else {
+    for (const Finding& f : findings)
+      std::printf("%s:%d: %s: %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+    std::fprintf(stderr, "mmhand_lint: %zu file(s), %zu finding(s)\n",
+                 files.size(), findings.size());
+  }
+  return findings.empty() ? 0 : 1;
+}

@@ -2,20 +2,23 @@
 // Markdown report:
 //
 //   mmhand_report [--runlog FILE] [--metrics FILE] [--bench FILE]...
-//                 [-o OUT.md]
+//                 [--lint FILE] [-o OUT.md]
 //
 //   --runlog   a JSONL run log written via MMHAND_RUN_LOG (manifest /
 //              epoch / eval / anomaly records)
 //   --metrics  a metrics snapshot written via MMHAND_METRICS
 //   --bench    any BENCH_*.json (repeatable); bench_throughput's format
 //              gets a per-op table, others a one-line summary
+//   --lint     a `mmhand_lint --json` report; renders a "Static
+//              analysis" section (rule counts or a zero-findings badge)
 //   -o         output path (default: stdout)
 //
 // Sections: run manifest, loss curve (per-epoch loss / lr / grad norm /
 // throughput), evaluations, numerical anomalies, stage latency breakdown
-// (from metrics histograms), and bench results.  Inputs are optional;
-// absent ones are skipped, so the tool is usable after any subset of
-// MMHAND_RUN_LOG / MMHAND_METRICS / bench runs.
+// (from metrics histograms), bench results, and static analysis.
+// Inputs are optional; absent ones are skipped, so the tool is usable
+// after any subset of MMHAND_RUN_LOG / MMHAND_METRICS / bench / lint
+// runs.
 
 #include <cstdio>
 #include <cstring>
@@ -221,10 +224,42 @@ void report_bench(const std::string& path, const Value& bench,
   }
 }
 
+/// "Static analysis" section from a `mmhand_lint --json` report.
+void report_lint(const Value& lint, std::ostream& os) {
+  os << "## Static analysis\n\n";
+  const int files = static_cast<int>(lint.number_or("files_scanned", 0));
+  const Value* findings = lint.find("findings");
+  const std::size_t total =
+      findings != nullptr && findings->is_array()
+          ? findings->as_array().size()
+          : 0;
+  if (total == 0) {
+    os << "**mmhand_lint: clean** — 0 findings across " << files
+       << " file(s).\n\n";
+    return;
+  }
+  os << "mmhand_lint: **" << total << " finding(s)** across " << files
+     << " file(s).\n\n";
+  if (const Value* counts = lint.find("counts");
+      counts != nullptr && counts->is_object()) {
+    os << "| rule | findings |\n|---|---|\n";
+    for (const auto& [rule, n] : counts->as_object())
+      os << "| " << rule << " | " << fmt(n.as_number(), 0) << " |\n";
+    os << "\n";
+  }
+  os << "| file | line | rule | message |\n|---|---|---|---|\n";
+  for (const Value& f : findings->as_array())
+    os << "| " << f.string_or("file", "?") << " | "
+       << static_cast<int>(f.number_or("line", 0)) << " | "
+       << f.string_or("rule", "?") << " | " << f.string_or("message", "")
+       << " |\n";
+  os << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string runlog_path, metrics_path, out_path;
+  std::string runlog_path, metrics_path, lint_path, out_path;
   std::vector<std::string> bench_paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -237,12 +272,14 @@ int main(int argc, char** argv) {
       if (const char* v = next()) metrics_path = v;
     } else if (arg == "--bench") {
       if (const char* v = next()) bench_paths.push_back(v);
+    } else if (arg == "--lint") {
+      if (const char* v = next()) lint_path = v;
     } else if (arg == "-o" || arg == "--out") {
       if (const char* v = next()) out_path = v;
     } else {
       std::fprintf(stderr,
                    "usage: mmhand_report [--runlog FILE] [--metrics FILE]"
-                   " [--bench FILE]... [-o OUT.md]\n");
+                   " [--bench FILE]... [--lint FILE] [-o OUT.md]\n");
       return arg == "-h" || arg == "--help" ? 0 : 2;
     }
   }
@@ -310,10 +347,28 @@ int main(int argc, char** argv) {
     ++inputs;
   }
 
+  if (!lint_path.empty()) {
+    bool ok = false;
+    const std::string text = slurp(lint_path, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "cannot read lint report %s\n",
+                   lint_path.c_str());
+      return 1;
+    }
+    std::string err;
+    const Value lint = Value::parse(text, &err);
+    if (!err.empty()) {
+      std::fprintf(stderr, "lint %s: %s\n", lint_path.c_str(), err.c_str());
+      return 1;
+    }
+    report_lint(lint, os);
+    ++inputs;
+  }
+
   if (inputs == 0) {
     std::fprintf(stderr,
-                 "nothing to report: pass --runlog, --metrics, or"
-                 " --bench\n");
+                 "nothing to report: pass --runlog, --metrics, --bench,"
+                 " or --lint\n");
     return 2;
   }
 
