@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Crash-recovery gate: trains the fast protocol once uninterrupted, then
+# again with checkpointing enabled and a SIGKILL landed mid-training, then
+# resumes the killed run and requires the fold models to come out bitwise
+# identical to the uninterrupted reference.  This is the end-to-end proof
+# behind DESIGN.md "Fault model & recovery": a dead training box costs the
+# epochs since the last checkpoint, never correctness.
+#
+# Usage: scripts/check_recovery.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build}
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j --target mmhand_cli
+
+CLI="$BUILD_DIR/examples/mmhand_cli"
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+REF="$WORK/ref"
+KILLED="$WORK/killed"
+CKPT="$WORK/ckpt"
+mkdir -p "$REF" "$KILLED" "$CKPT"
+
+echo "== reference run (uninterrupted, no checkpointing) =="
+"$CLI" train --fast --cache "$REF"
+
+echo "== victim run (SIGKILL once the first checkpoint lands) =="
+MMHAND_CHECKPOINT_DIR="$CKPT" "$CLI" train --fast --cache "$KILLED" &
+pid=$!
+for _ in $(seq 1 600); do
+  if compgen -G "$CKPT/*.ckpt" > /dev/null; then break; fi
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$pid" 2>/dev/null; then
+  kill -9 "$pid"
+  wait "$pid" 2>/dev/null || true
+  echo "SIGKILL delivered mid-training (pid $pid)"
+else
+  wait "$pid" || true
+  echo "warning: training finished before the kill landed;" \
+       "the resume path was not exercised this run" >&2
+fi
+
+echo "== resume run =="
+MMHAND_CHECKPOINT_DIR="$CKPT" "$CLI" train --fast --cache "$KILLED"
+
+echo "== compare fold models against the reference =="
+status=0
+found=0
+for ref_model in "$REF"/*.bin; do
+  [ -f "$ref_model" ] || continue
+  found=1
+  name=$(basename "$ref_model")
+  if cmp -s "$ref_model" "$KILLED/$name"; then
+    echo "  $name: identical"
+  else
+    echo "  $name: DIFFERS (or missing) after kill-and-resume" >&2
+    status=1
+  fi
+done
+if [ "$found" -eq 0 ]; then
+  echo "reference run produced no fold models" >&2
+  status=1
+fi
+# A completed run must clean up its checkpoints.
+if compgen -G "$CKPT/*.ckpt" > /dev/null; then
+  echo "stale checkpoint left behind after a completed run" >&2
+  status=1
+fi
+[ "$status" -eq 0 ] && echo "Recovery check clean."
+exit "$status"

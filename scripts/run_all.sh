@@ -89,6 +89,11 @@ build/tools/mmhand_report --runlog mmhand_runlog.jsonl \
   --metrics mmhand_metrics.json --bench BENCH_throughput.json \
   --lint mmhand_lint.json -o mmhand_report.md
 
+echo "===== crash recovery check ====="
+# Kill a checkpointed fast training mid-epoch and require the resumed run
+# to reproduce the uninterrupted fold models bit-for-bit.
+scripts/check_recovery.sh build
+
 echo "===== bench regression check (report-only) ====="
 if command -v python3 > /dev/null; then
   python3 scripts/check_bench.py

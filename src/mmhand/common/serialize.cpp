@@ -1,60 +1,61 @@
 #include "mmhand/common/serialize.hpp"
 
+#include <cstring>
 #include <filesystem>
+
+#include "mmhand/common/io_safe.hpp"
 
 namespace mmhand {
 
-BinaryWriter::BinaryWriter(const std::string& path)
-    : out_(path, std::ios::binary), path_(path) {
-  MMHAND_CHECK(out_.good(), "cannot open for writing: " << path);
+BinaryWriter::BinaryWriter(const std::string& path) : path_(path) {
+  MMHAND_CHECK(!path.empty(), "empty path for BinaryWriter");
 }
 
-void BinaryWriter::write_u32(std::uint32_t v) {
-  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+void BinaryWriter::append(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  buffer_.insert(buffer_.end(), p, p + n);
 }
-void BinaryWriter::write_u64(std::uint64_t v) {
-  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-void BinaryWriter::write_f32(float v) {
-  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-void BinaryWriter::write_f64(double v) {
-  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
+
+void BinaryWriter::write_u32(std::uint32_t v) { append(&v, sizeof(v)); }
+void BinaryWriter::write_u64(std::uint64_t v) { append(&v, sizeof(v)); }
+void BinaryWriter::write_f32(float v) { append(&v, sizeof(v)); }
+void BinaryWriter::write_f64(double v) { append(&v, sizeof(v)); }
 
 void BinaryWriter::write_string(const std::string& s) {
   write_u64(s.size());
-  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+  append(s.data(), s.size());
 }
 
 void BinaryWriter::write_f32_vector(const std::vector<float>& v) {
   write_u64(v.size());
-  out_.write(reinterpret_cast<const char*>(v.data()),
-             static_cast<std::streamsize>(v.size() * sizeof(float)));
+  append(v.data(), v.size() * sizeof(float));
 }
 
 void BinaryWriter::write_i32_vector(const std::vector<int>& v) {
   write_u64(v.size());
-  out_.write(reinterpret_cast<const char*>(v.data()),
-             static_cast<std::streamsize>(v.size() * sizeof(int)));
+  append(v.data(), v.size() * sizeof(int));
 }
 
 void BinaryWriter::close() {
-  out_.flush();
-  MMHAND_CHECK(out_.good(), "write failure on " << path_);
-  out_.close();
+  MMHAND_CHECK(!closed_, "BinaryWriter::close called twice for " << path_);
+  io_safe::write_file_durable(path_, buffer_);
+  closed_ = true;
 }
 
 BinaryReader::BinaryReader(const std::string& path)
-    : in_(path, std::ios::binary), path_(path) {
-  MMHAND_CHECK(in_.good(), "cannot open for reading: " << path);
+    : buffer_(io_safe::read_file_validated(path)), path_(path) {}
+
+void BinaryReader::take(void* dst, std::size_t n, const char* what) {
+  MMHAND_CHECK(n <= buffer_.size() - pos_,
+               "truncated " << what << " in " << path_);
+  std::memcpy(dst, buffer_.data() + pos_, n);
+  pos_ += n;
 }
 
 template <typename T>
 T BinaryReader::read_pod() {
   T v{};
-  in_.read(reinterpret_cast<char*>(&v), sizeof(v));
-  MMHAND_CHECK(in_.good(), "truncated read from " << path_);
+  take(&v, sizeof(v), "read");
   return v;
 }
 
@@ -65,34 +66,34 @@ double BinaryReader::read_f64() { return read_pod<double>(); }
 
 std::string BinaryReader::read_string() {
   const auto n = read_u64();
+  MMHAND_CHECK(n <= buffer_.size() - pos_, "truncated string in " << path_);
   std::string s(n, '\0');
-  in_.read(s.data(), static_cast<std::streamsize>(n));
-  MMHAND_CHECK(in_.good(), "truncated string in " << path_);
+  std::memcpy(s.data(), buffer_.data() + pos_, n);
+  pos_ += n;
   return s;
 }
 
 std::vector<float> BinaryReader::read_f32_vector() {
   const auto n = read_u64();
+  MMHAND_CHECK(n <= (buffer_.size() - pos_) / sizeof(float),
+               "truncated f32 vector in " << path_);
   std::vector<float> v(n);
-  in_.read(reinterpret_cast<char*>(v.data()),
-           static_cast<std::streamsize>(n * sizeof(float)));
-  MMHAND_CHECK(in_.good(), "truncated f32 vector in " << path_);
+  std::memcpy(v.data(), buffer_.data() + pos_, n * sizeof(float));
+  pos_ += n * sizeof(float);
   return v;
 }
 
 std::vector<int> BinaryReader::read_i32_vector() {
   const auto n = read_u64();
+  MMHAND_CHECK(n <= (buffer_.size() - pos_) / sizeof(int),
+               "truncated i32 vector in " << path_);
   std::vector<int> v(n);
-  in_.read(reinterpret_cast<char*>(v.data()),
-           static_cast<std::streamsize>(n * sizeof(int)));
-  MMHAND_CHECK(in_.good(), "truncated i32 vector in " << path_);
+  std::memcpy(v.data(), buffer_.data() + pos_, n * sizeof(int));
+  pos_ += n * sizeof(int);
   return v;
 }
 
-bool BinaryReader::eof() {
-  in_.peek();
-  return in_.eof();
-}
+bool BinaryReader::eof() { return pos_ >= buffer_.size(); }
 
 bool file_exists(const std::string& path) {
   std::error_code ec;

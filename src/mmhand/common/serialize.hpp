@@ -2,12 +2,14 @@
 
 // Minimal binary (de)serialization for model checkpoints and caches.
 //
-// Format: little-endian PODs written via tagged helpers.  Readers validate a
-// magic header and version so stale caches fail loudly instead of silently
-// producing garbage weights.
+// Format: little-endian PODs written via tagged helpers, carried inside
+// the common/io_safe durable envelope (magic + version + size + CRC32,
+// temp-file + fsync + atomic-rename on write).  Readers validate the
+// envelope before the first field is decoded, so a truncated,
+// bit-flipped, or stale pre-envelope cache fails loudly with
+// mmhand::Error instead of silently producing garbage weights.
 
 #include <cstdint>
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -27,16 +29,23 @@ class BinaryWriter {
   void write_f32_vector(const std::vector<float>& v);
   void write_i32_vector(const std::vector<int>& v);
 
-  /// Flushes and closes; throws on I/O failure.
+  /// Durably persists everything written so far (envelope + fsync +
+  /// atomic rename); throws on I/O failure.  Until close() succeeds the
+  /// destination path is untouched.
   void close();
 
  private:
-  std::ofstream out_;
+  void append(const void* data, std::size_t n);
+
+  std::vector<unsigned char> buffer_;
   std::string path_;
+  bool closed_ = false;
 };
 
 class BinaryReader {
  public:
+  /// Loads and validates the file's envelope up front; throws
+  /// mmhand::Error when the file is missing or corrupt.
   explicit BinaryReader(const std::string& path);
 
   std::uint32_t read_u32();
@@ -52,8 +61,10 @@ class BinaryReader {
  private:
   template <typename T>
   T read_pod();
+  void take(void* dst, std::size_t n, const char* what);
 
-  std::ifstream in_;
+  std::vector<unsigned char> buffer_;
+  std::size_t pos_ = 0;
   std::string path_;
 };
 

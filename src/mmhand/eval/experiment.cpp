@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <sstream>
 
+#include "mmhand/common/io_safe.hpp"
 #include "mmhand/obs/metrics.hpp"
 #include "mmhand/obs/log.hpp"
 #include "mmhand/obs/runlog.hpp"
@@ -224,11 +225,31 @@ void Experiment::prepare(const std::string& cache_dir) {
     auto model =
         std::make_unique<pose::HandJointRegressor>(config_.posenet, rng);
     const std::string path = cache_path(cache_dir, fold);
+    bool loaded = false;
     if (file_exists(path)) {
-      model->load(path);
-      note_model_cache("hits");
-      MMHAND_INFO("fold %d: loaded cached model %s", fold, path.c_str());
-    } else {
+      try {
+        model->load(path);
+        loaded = true;
+        note_model_cache("hits");
+        MMHAND_INFO("fold %d: loaded cached model %s", fold, path.c_str());
+      } catch (const Error& e) {
+        // Corrupt cache entry: move it aside and fall through to the
+        // retrain path.  The Rng and model are recreated from scratch so
+        // the rebuild is bitwise identical to a plain cache miss (the
+        // failed load may have partially mutated the model).
+        const std::string q = io_safe::quarantine(path);
+        note_model_cache("quarantined");
+        MMHAND_WARN("fold %d: cached model %s is unusable (%s); %s%s — "
+                    "retraining",
+                    fold, path.c_str(), e.what(),
+                    q.empty() ? "removed" : "quarantined to ",
+                    q.c_str());
+        rng = Rng(config_.seed ^ (0x5151u + static_cast<unsigned>(fold)));
+        model = std::make_unique<pose::HandJointRegressor>(config_.posenet,
+                                                           rng);
+      }
+    }
+    if (!loaded) {
       note_model_cache("misses");
       MMHAND_INFO("fold %d: generating training data...", fold);
       const auto samples = fold_training_samples(fold);

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "mmhand/common/io_safe.hpp"
 #include "mmhand/obs/log.hpp"
 #include "mmhand/obs/metrics.hpp"
 
@@ -44,11 +45,28 @@ std::unique_ptr<mesh::MeshReconstructor> prepared_mesh_reconstructor() {
   Rng rng(0x4d414e4f);  // "MANO"
   auto recon = std::make_unique<mesh::MeshReconstructor>(
       mesh::HandTemplate::create(hand::HandProfile::reference()), rng);
+  bool loaded = false;
   if (file_exists(path)) {
-    recon->load(path);
-    note_cache("hits");
-    MMHAND_INFO("loaded cached mesh reconstructor");
-  } else {
+    try {
+      recon->load(path);
+      loaded = true;
+      note_cache("hits");
+      MMHAND_INFO("loaded cached mesh reconstructor");
+    } catch (const Error& e) {
+      // Quarantine the poisoned entry and retrain from a fresh model, so
+      // the rebuild matches a plain cache miss bit for bit.
+      const std::string q = io_safe::quarantine(path);
+      note_cache("quarantined");
+      MMHAND_WARN("cached mesh reconstructor %s is unusable (%s); %s%s — "
+                  "retraining",
+                  path.c_str(), e.what(),
+                  q.empty() ? "removed" : "quarantined to ", q.c_str());
+      rng = Rng(0x4d414e4f);
+      recon = std::make_unique<mesh::MeshReconstructor>(
+          mesh::HandTemplate::create(hand::HandProfile::reference()), rng);
+    }
+  }
+  if (!loaded) {
     note_cache("misses");
     MMHAND_INFO("training mesh reconstructor...");
     const double err = recon->train(mesh::ReconstructorTrainConfig{});

@@ -1,0 +1,213 @@
+#include "mmhand/fault/fault.hpp"
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+namespace mmhand::fault {
+
+namespace {
+
+/// splitmix64: a tiny, stateless mixer with full-period 64-bit output.
+/// Used instead of mmhand::Rng so the fault streams are independent of
+/// every simulation stream — injecting a fault must never shift the
+/// random numbers the pipeline itself consumes.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+struct State {
+  std::mutex mu;
+  Spec spec;  // guarded by mu (written once at init or via set_spec)
+  std::array<std::atomic<std::uint64_t>, kNumKinds> events{};
+  std::array<std::atomic<std::uint64_t>, kNumKinds> draws{};
+  std::array<std::atomic<std::uint64_t>, kNumKinds> injected{};
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+/// -1 until MMHAND_FAULT has been consulted, then 0 (off) or 1 (on).
+std::atomic<int>& enabled_atomic() {
+  static std::atomic<int> e{-1};
+  return e;
+}
+
+int init_enabled() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    int on = 0;
+    if (const char* spec = std::getenv("MMHAND_FAULT");
+        spec != nullptr && *spec != '\0') {
+      const Spec parsed = parse_spec(spec);  // throws on a malformed spec
+      std::lock_guard<std::mutex> lk(state().mu);
+      state().spec = parsed;
+      on = 1;
+    }
+    enabled_atomic().store(on, std::memory_order_relaxed);
+  });
+  return enabled_atomic().load(std::memory_order_relaxed);
+}
+
+/// Per-kind domain separation so the event streams of two kinds with
+/// equal rates never correlate.
+std::uint64_t kind_salt(Kind kind) {
+  return 0xFA11ull + (static_cast<std::uint64_t>(kind) << 56);
+}
+
+}  // namespace
+
+const char* kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kDropFrame:
+      return "drop_frame";
+    case Kind::kGap:
+      return "gap";
+    case Kind::kSaturate:
+      return "saturate";
+    case Kind::kNanBurst:
+      return "nan_burst";
+    case Kind::kShortWrite:
+      return "short_write";
+    case Kind::kFsyncFail:
+      return "fsync_fail";
+    case Kind::kBitFlip:
+      return "bit_flip";
+  }
+  return "?";
+}
+
+Spec parse_spec(const std::string& text) {
+  Spec spec;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find(',', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string pair = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    MMHAND_CHECK(eq != std::string::npos && eq > 0 && eq + 1 < pair.size(),
+                 "MMHAND_FAULT entry '" << pair << "' is not key=value");
+    const std::string key = pair.substr(0, eq);
+    const std::string value = pair.substr(eq + 1);
+    std::size_t consumed = 0;
+    if (key == "seed") {
+      std::uint64_t seed = 0;
+      try {
+        seed = std::stoull(value, &consumed, 0);
+      } catch (const std::exception&) {
+        consumed = 0;
+      }
+      MMHAND_CHECK(consumed == value.size(),
+                   "MMHAND_FAULT seed '" << value << "' is not an integer");
+      spec.seed = seed;
+      continue;
+    }
+    int kind = -1;
+    for (int k = 0; k < kNumKinds; ++k)
+      if (key == kind_name(static_cast<Kind>(k))) kind = k;
+    MMHAND_CHECK(kind >= 0, "MMHAND_FAULT key '"
+                                << key
+                                << "' is not a fault kind (drop_frame, gap,"
+                                   " saturate, nan_burst, short_write,"
+                                   " fsync_fail, bit_flip) or 'seed'");
+    double rate = -1.0;
+    try {
+      rate = std::stod(value, &consumed);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    MMHAND_CHECK(consumed == value.size() && rate >= 0.0 && rate <= 1.0,
+                 "MMHAND_FAULT rate '" << value << "' for " << key
+                                       << " must be in [0, 1]");
+    spec.rate[kind] = rate;
+  }
+  return spec;
+}
+
+bool enabled() {
+  int e = enabled_atomic().load(std::memory_order_relaxed);
+  if (e < 0) e = init_enabled();
+  return e != 0;
+}
+
+void set_spec(const std::string& text) {
+  (void)enabled();  // resolve the environment first so init cannot race
+  if (text.empty()) {
+    enabled_atomic().store(0, std::memory_order_relaxed);
+  } else {
+    const Spec parsed = parse_spec(text);
+    std::lock_guard<std::mutex> lk(state().mu);
+    state().spec = parsed;
+    enabled_atomic().store(1, std::memory_order_relaxed);
+  }
+  reset_counts();
+}
+
+double rate(Kind kind) {
+  if (!enabled()) return 0.0;
+  std::lock_guard<std::mutex> lk(state().mu);
+  return state().spec.rate[static_cast<int>(kind)];
+}
+
+bool should_inject(Kind kind) {
+  if (!enabled()) return false;
+  State& s = state();
+  const int k = static_cast<int>(kind);
+  double r;
+  std::uint64_t seed;
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    r = s.spec.rate[k];
+    seed = s.spec.seed;
+  }
+  const std::uint64_t n = s.events[static_cast<std::size_t>(k)].fetch_add(
+      1, std::memory_order_relaxed);
+  if (r <= 0.0) return false;
+  // Top 53 bits -> uniform double in [0, 1).
+  const double u = static_cast<double>(mix64(seed ^ kind_salt(kind) ^ n) >>
+                                       11) *
+                   0x1.0p-53;
+  if (u >= r) return false;
+  s.injected[static_cast<std::size_t>(k)].fetch_add(
+      1, std::memory_order_relaxed);
+  return true;
+}
+
+std::uint64_t draw_u64(Kind kind) {
+  State& s = state();
+  const int k = static_cast<int>(kind);
+  std::uint64_t seed;
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    seed = s.spec.seed;
+  }
+  const std::uint64_t n = s.draws[static_cast<std::size_t>(k)].fetch_add(
+      1, std::memory_order_relaxed);
+  return mix64(seed ^ ~kind_salt(kind) ^ n);
+}
+
+std::uint64_t injected_count(Kind kind) {
+  return state()
+      .injected[static_cast<std::size_t>(static_cast<int>(kind))]
+      .load(std::memory_order_relaxed);
+}
+
+void reset_counts() {
+  State& s = state();
+  for (int k = 0; k < kNumKinds; ++k) {
+    s.events[static_cast<std::size_t>(k)].store(0, std::memory_order_relaxed);
+    s.draws[static_cast<std::size_t>(k)].store(0, std::memory_order_relaxed);
+    s.injected[static_cast<std::size_t>(k)].store(0,
+                                                  std::memory_order_relaxed);
+  }
+}
+
+}  // namespace mmhand::fault

@@ -1,0 +1,93 @@
+#pragma once
+
+// Seeded, env-driven fault injection (MMHAND_FAULT=<spec>).
+//
+// The production failure modes this reproduction must survive — DCA1000
+// UDP packet loss, saturated ADC frames, NaN bursts, torn writes on a
+// dying box — are rare by nature, so the recovery paths would otherwise
+// ship untested.  This module turns each of them into a deterministic,
+// seedable event stream that the input layer (sim/dataset) and the IO
+// layer (common/io_safe) consult at their fault points.
+//
+// Spec grammar (comma-separated key=value pairs):
+//
+//   MMHAND_FAULT="drop_frame=0.05,nan_burst=0.02,seed=42"
+//
+// Keys are the kind names below plus `seed`; values are Bernoulli rates
+// in [0, 1] (seed: any u64).  Unknown keys and malformed values throw
+// mmhand::Error at first use, so typos fail loudly.
+//
+// Cost model mirrors the obs layer: when MMHAND_FAULT is unset,
+// `enabled()` is one relaxed atomic load and every fault point is a
+// single branch — outputs are bitwise identical to a build without the
+// module (enforced by tests/test_fault.cpp).
+//
+// Determinism: each kind owns an event counter; event n of kind k fires
+// iff splitmix64(seed ^ k ^ n) maps below the kind's rate.  Injection
+// sites that consume faults in a fixed order therefore see the same
+// fault pattern on every run with the same seed, independent of thread
+// count.
+//
+// This module sits below `common` in the link order and depends on
+// nothing but the header-only error machinery.
+
+#include <cstdint>
+#include <string>
+
+#include "mmhand/common/error.hpp"
+
+namespace mmhand::fault {
+
+enum class Kind {
+  kDropFrame = 0,  ///< input: an entire radar cube frame lost (all zeros)
+  kGap,            ///< input: packet-loss gap — a run of dropped frames
+  kSaturate,       ///< input: ADC rail saturation (flat-topped frame)
+  kNanBurst,       ///< input: a burst of non-finite cells in a frame
+  kShortWrite,     ///< io: durable write truncated partway through
+  kFsyncFail,      ///< io: fsync reports failure before the rename
+  kBitFlip,        ///< io: one bit flipped in a payload on read
+};
+inline constexpr int kNumKinds = 7;
+
+/// Parsed fault specification: per-kind Bernoulli rates plus the stream
+/// seed.
+struct Spec {
+  double rate[kNumKinds] = {};
+  std::uint64_t seed = 0xFA17;
+};
+
+/// Stable spec-grammar name of a kind ("drop_frame", "bit_flip", ...).
+const char* kind_name(Kind kind);
+
+/// Parses the MMHAND_FAULT grammar; throws mmhand::Error on unknown
+/// keys, malformed values, or rates outside [0, 1].
+Spec parse_spec(const std::string& text);
+
+/// True when fault injection is active.  One relaxed atomic load when
+/// off; the first call resolves MMHAND_FAULT exactly once per process.
+bool enabled();
+
+/// Runtime override for tests: installs (and enables) a spec parsed
+/// from `text`, or disables injection entirely when `text` is empty.
+/// Resets all event and injection counters.
+void set_spec(const std::string& text);
+
+/// Configured rate for a kind (0 when disabled).
+double rate(Kind kind);
+
+/// Advances kind's event counter and reports whether this event is
+/// faulted.  Deterministic in (seed, kind, event index).
+bool should_inject(Kind kind);
+
+/// Deterministic parameter stream for a kind (gap lengths, bit
+/// positions, ...).  Advances an independent per-kind draw counter.
+std::uint64_t draw_u64(Kind kind);
+
+/// Number of faults injected so far for a kind (process lifetime, or
+/// since the last set_spec / reset_counts).
+std::uint64_t injected_count(Kind kind);
+
+/// Zeroes every event and injection counter (test isolation).
+void reset_counts();
+
+}  // namespace mmhand::fault

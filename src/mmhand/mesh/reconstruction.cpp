@@ -272,6 +272,7 @@ ReconstructionResult MeshReconstructor::reconstruct(
 void MeshReconstructor::save(const std::string& path) {
   BinaryWriter w(path);
   w.write_u32(0x6d6d4d31);  // "mmM1"
+  w.write_u32(1);           // format version
   nn::save_parameters(shape_net_.parameters(), w);
   nn::save_parameters(ik_net_.parameters(), w);
   w.close();
@@ -281,6 +282,10 @@ void MeshReconstructor::load(const std::string& path) {
   BinaryReader r(path);
   MMHAND_CHECK(r.read_u32() == 0x6d6d4d31,
                "not a mesh reconstructor checkpoint: " << path);
+  const std::uint32_t version = r.read_u32();
+  MMHAND_CHECK(version == 1,
+               "mesh reconstructor format version " << version << " in "
+                                                    << path);
   nn::load_parameters(shape_net_.parameters(), r);
   nn::load_parameters(ik_net_.parameters(), r);
 }

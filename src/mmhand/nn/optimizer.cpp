@@ -85,6 +85,41 @@ void Adam::step(double lr_scale) {
 
 void Adam::zero_grad() { zero_grads(params_); }
 
+void Adam::save(BinaryWriter& w) const {
+  w.write_u64(static_cast<std::uint64_t>(t_));
+  w.write_u64(m_.size());
+  for (std::size_t i = 0; i < m_.size(); ++i) {
+    w.write_f32_vector(m_[i].vec());
+    w.write_f32_vector(v_[i].vec());
+  }
+}
+
+void Adam::load(BinaryReader& r) {
+  const auto t = r.read_u64();
+  const auto n = r.read_u64();
+  MMHAND_CHECK(n == params_.size(),
+               "optimizer state has " << n << " moment pairs, expected "
+                                      << params_.size());
+  // Two-phase: parse and validate everything before assigning anything,
+  // so a mismatched checkpoint leaves the optimizer untouched.
+  std::vector<std::vector<float>> ms, vs;
+  ms.reserve(n);
+  vs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto m = r.read_f32_vector();
+    auto v = r.read_f32_vector();
+    MMHAND_CHECK(m.size() == m_[i].numel() && v.size() == v_[i].numel(),
+                 "optimizer moment " << i << " size mismatch");
+    ms.push_back(std::move(m));
+    vs.push_back(std::move(v));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    m_[i] = Tensor::from_vector(m_[i].shape(), std::move(ms[i]));
+    v_[i] = Tensor::from_vector(v_[i].shape(), std::move(vs[i]));
+  }
+  t_ = static_cast<std::size_t>(t);
+}
+
 double cosine_decay(int epoch, int total_epochs) {
   MMHAND_CHECK(total_epochs >= 1, "cosine_decay epochs");
   if (epoch >= total_epochs) return 0.0;

@@ -30,6 +30,13 @@ class Adam {
 
   std::size_t steps_taken() const { return t_; }
 
+  /// Serializes the optimizer state (step count + first/second moments)
+  /// so an interrupted training run can resume bit-for-bit.  load()
+  /// validates the moment geometry against the bound parameters and
+  /// throws mmhand::Error on mismatch.
+  void save(BinaryWriter& w) const;
+  void load(BinaryReader& r);
+
  private:
   std::vector<Parameter*> params_;
   AdamConfig config_;

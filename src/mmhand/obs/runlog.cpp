@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 #include <deque>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
 
 #include "mmhand/obs/log.hpp"
@@ -24,6 +26,41 @@ constexpr std::size_t kTailCap = 256;
 Sink& sink() {
   static Sink s;
   return s;
+}
+
+/// Repairs a torn tail before appending: a crash mid-fwrite leaves a
+/// partial final line, and every later record on that line would be
+/// unparseable JSONL.  Truncate back to the last complete line (best
+/// effort — the log is an append-only diagnostic, losing the torn
+/// record is the correct outcome).
+void repair_torn_tail(const std::string& path) {
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec || size == 0) return;
+  // A record line is far below 64 KiB; scanning one window from the end
+  // finds the last newline of any log this writer produced.
+  constexpr std::uintmax_t kWindow = 64 * 1024;
+  const std::uintmax_t start = size > kWindow ? size - kWindow : 0;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return;
+  in.seekg(static_cast<std::streamoff>(start));
+  std::string window(static_cast<std::size_t>(size - start), '\0');
+  in.read(window.data(), static_cast<std::streamsize>(window.size()));
+  if (static_cast<std::uintmax_t>(in.gcount()) != size - start) return;
+  in.close();
+  const std::size_t last_nl = window.rfind('\n');
+  if (last_nl == window.size() - 1) return;  // tail is complete
+  // No newline anywhere in the window: with start > 0 the window began
+  // mid-file and the last line boundary is unknown — leave it alone.
+  if (last_nl == std::string::npos && start > 0) return;
+  const std::uintmax_t keep =
+      last_nl == std::string::npos ? 0 : start + last_nl + 1;
+  if (keep == size) return;
+  std::filesystem::resize_file(path, keep, ec);
+  if (!ec)
+    MMHAND_WARN("run log %s had a torn final record; truncated %llu bytes",
+                path.c_str(),
+                static_cast<unsigned long long>(size - keep));
 }
 
 }  // namespace
@@ -127,6 +164,7 @@ void append_run_record(const RunRecord& record) {
     s.file = nullptr;
   }
   if (s.file == nullptr) {
+    repair_torn_tail(path);
     s.file = std::fopen(path.c_str(), "a");
     if (s.file == nullptr) {
       MMHAND_WARN("cannot append run log to %s", path.c_str());

@@ -1,0 +1,147 @@
+#include "mmhand/pose/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+#include "mmhand/common/io_safe.hpp"
+#include "mmhand/obs/log.hpp"
+
+namespace mmhand::pose {
+
+namespace {
+
+constexpr std::uint32_t kCheckpointMagic = 0x6d6d4b31;  // "mmK1"
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Geometry fields a checkpoint must agree on before any state is
+/// restored; a mismatch means the caller changed the protocol and the
+/// checkpoint is stale, not resumable.
+void write_geometry(BinaryWriter& w, const PoseNetConfig& net) {
+  w.write_u32(static_cast<std::uint32_t>(net.segment_frames));
+  w.write_u32(static_cast<std::uint32_t>(net.sequence_segments));
+  w.write_u32(static_cast<std::uint32_t>(net.velocity_bins));
+  w.write_u32(static_cast<std::uint32_t>(net.range_bins));
+  w.write_u32(static_cast<std::uint32_t>(net.angle_bins));
+  w.write_u32(static_cast<std::uint32_t>(net.temporal));
+}
+
+bool geometry_matches(BinaryReader& r, const PoseNetConfig& net) {
+  return r.read_u32() == static_cast<std::uint32_t>(net.segment_frames) &&
+         r.read_u32() == static_cast<std::uint32_t>(net.sequence_segments) &&
+         r.read_u32() == static_cast<std::uint32_t>(net.velocity_bins) &&
+         r.read_u32() == static_cast<std::uint32_t>(net.range_bins) &&
+         r.read_u32() == static_cast<std::uint32_t>(net.angle_bins) &&
+         r.read_u32() == static_cast<std::uint32_t>(net.temporal);
+}
+
+}  // namespace
+
+std::string checkpoint_directory() {
+  if (const char* env = std::getenv("MMHAND_CHECKPOINT_DIR"); env && *env)
+    return env;
+  return "";
+}
+
+std::string checkpoint_path(const std::string& dir, std::uint64_t seed) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "train_%016llx.ckpt",
+                static_cast<unsigned long long>(seed));
+  return (std::filesystem::path(dir) / buf).string();
+}
+
+void save_checkpoint(const std::string& path, HandJointRegressor& model,
+                     const nn::Adam& optimizer, Rng& rng,
+                     const TrainConfig& config, int next_epoch,
+                     const std::vector<double>& epoch_loss) {
+  BinaryWriter w(path);
+  w.write_u32(kCheckpointMagic);
+  w.write_u32(kCheckpointVersion);
+  w.write_u64(config.seed);
+  w.write_u32(static_cast<std::uint32_t>(config.epochs));
+  write_geometry(w, model.config());
+  w.write_u32(static_cast<std::uint32_t>(next_epoch));
+  w.write_u64(epoch_loss.size());
+  for (const double loss : epoch_loss) w.write_f64(loss);
+  // mt19937_64 serializes its full 312-word state as text; restoring it
+  // makes the resumed permutation stream identical to the uninterrupted
+  // one.
+  std::ostringstream engine_state;
+  engine_state << rng.engine();
+  w.write_string(engine_state.str());
+  nn::save_parameters(model.parameters(), w);
+  optimizer.save(w);
+  w.close();
+}
+
+bool load_checkpoint(const std::string& path, HandJointRegressor& model,
+                     nn::Adam& optimizer, Rng& rng,
+                     const TrainConfig& config, int* next_epoch,
+                     std::vector<double>* epoch_loss) {
+  if (!file_exists(path)) return false;
+  try {
+    BinaryReader r(path);
+    MMHAND_CHECK(r.read_u32() == kCheckpointMagic,
+                 "not an mmHand training checkpoint: " << path);
+    MMHAND_CHECK(r.read_u32() == kCheckpointVersion,
+                 "unsupported checkpoint version in " << path);
+    MMHAND_CHECK(r.read_u64() == config.seed,
+                 "checkpoint seed differs from the training config");
+    MMHAND_CHECK(r.read_u32() == static_cast<std::uint32_t>(config.epochs),
+                 "checkpoint epoch budget differs from the training config");
+    MMHAND_CHECK(geometry_matches(r, model.config()),
+                 "checkpoint geometry differs from the model config");
+    const int resume_epoch = static_cast<int>(r.read_u32());
+    MMHAND_CHECK(resume_epoch >= 0 && resume_epoch <= config.epochs,
+                 "checkpoint epoch index " << resume_epoch
+                                           << " out of range");
+    const auto n_losses = r.read_u64();
+    MMHAND_CHECK(n_losses == static_cast<std::uint64_t>(resume_epoch),
+                 "checkpoint loss history length mismatch");
+    std::vector<double> losses;
+    losses.reserve(n_losses);
+    for (std::uint64_t i = 0; i < n_losses; ++i)
+      losses.push_back(r.read_f64());
+    std::istringstream engine_state(r.read_string());
+    std::mt19937_64 engine;
+    engine_state >> engine;
+    MMHAND_CHECK(!engine_state.fail(), "corrupt RNG state in " << path);
+
+    // Parse the parameter section into temporaries before assigning
+    // anything, so a structural mismatch leaves the caller's state
+    // untouched (the envelope CRC already rules out bit rot).
+    auto params = model.parameters();
+    const auto n_params = r.read_u64();
+    MMHAND_CHECK(n_params == params.size(),
+                 "checkpoint has " << n_params << " parameters, model"
+                                   << " expects " << params.size());
+    std::vector<std::vector<float>> values;
+    values.reserve(params.size());
+    for (nn::Parameter* p : params) {
+      (void)r.read_string();  // parameter name, informational
+      const auto shape = r.read_i32_vector();
+      auto v = r.read_f32_vector();
+      MMHAND_CHECK(shape == p->value.shape(),
+                   "checkpoint parameter shape mismatch");
+      values.push_back(std::move(v));
+    }
+    optimizer.load(r);  // validates geometry before assigning
+    for (std::size_t i = 0; i < params.size(); ++i)
+      params[i]->value = nn::Tensor::from_vector(params[i]->value.shape(),
+                                                 std::move(values[i]));
+    rng.engine() = engine;
+    *next_epoch = resume_epoch;
+    *epoch_loss = std::move(losses);
+    return true;
+  } catch (const Error& e) {
+    const std::string moved = io_safe::quarantine(path);
+    MMHAND_WARN("checkpoint %s is unusable (%s); quarantined%s%s — "
+                "restarting training from scratch",
+                path.c_str(), e.what(), moved.empty() ? "" : " to ",
+                moved.c_str());
+    return false;
+  }
+}
+
+}  // namespace mmhand::pose

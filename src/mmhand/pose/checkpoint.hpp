@@ -1,0 +1,46 @@
+#pragma once
+
+// Trainer checkpoint/resume: everything `train_pose_model` needs to
+// continue an interrupted run bit-for-bit — model parameters, Adam step
+// count and moments, the training Rng's engine state, the epoch index,
+// and the loss history.  Checkpoints ride the common/io_safe durable
+// envelope, so a run killed mid-write leaves either the previous
+// checkpoint or none, never a torn one; a corrupt checkpoint is
+// quarantined (renamed to `.corrupt`) and training restarts cleanly.
+//
+// Enabled by MMHAND_CHECKPOINT_DIR (or TrainConfig::checkpoint_dir,
+// which wins).  The file name embeds the training seed, so concurrent
+// fold trainings under one directory never collide.
+
+#include <string>
+#include <vector>
+
+#include "mmhand/nn/optimizer.hpp"
+#include "mmhand/pose/trainer.hpp"
+
+namespace mmhand::pose {
+
+/// Checkpoint directory from MMHAND_CHECKPOINT_DIR ("" when unset,
+/// meaning checkpointing is off).
+std::string checkpoint_directory();
+
+/// Checkpoint file path for a training run identified by its seed.
+std::string checkpoint_path(const std::string& dir, std::uint64_t seed);
+
+/// Durably writes a checkpoint capturing the state *after*
+/// `next_epoch - 1` finished: resuming runs epochs [next_epoch, epochs).
+void save_checkpoint(const std::string& path, HandJointRegressor& model,
+                     const nn::Adam& optimizer, Rng& rng,
+                     const TrainConfig& config, int next_epoch,
+                     const std::vector<double>& epoch_loss);
+
+/// Restores a checkpoint into the given training state.  Returns false
+/// when no checkpoint exists.  A corrupt, truncated, or mismatched
+/// (different seed/epochs/geometry) checkpoint is quarantined and
+/// reported as absent — nothing is mutated in that case.
+bool load_checkpoint(const std::string& path, HandJointRegressor& model,
+                     nn::Adam& optimizer, Rng& rng,
+                     const TrainConfig& config, int* next_epoch,
+                     std::vector<double>* epoch_loss);
+
+}  // namespace mmhand::pose

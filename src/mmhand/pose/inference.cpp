@@ -2,10 +2,92 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 
 #include "mmhand/obs/obs.hpp"
 
 namespace mmhand::pose {
+
+namespace {
+
+/// Post-repair frame state, ordered by severity so a segment's status
+/// is the max over its frames.
+enum FrameState : int { kStateOk = 0, kStateRepaired = 1, kStateDegraded = 2 };
+
+/// Damage tallies from one health scan (for the obs/fault.* counters).
+struct HealthCounts {
+  std::int64_t dropped = 0;
+  std::int64_t non_finite = 0;
+  std::int64_t saturated = 0;
+};
+
+HealthCounts tally(const std::vector<FrameHealth>& health) {
+  HealthCounts c;
+  for (const FrameHealth h : health) {
+    if (h == FrameHealth::kDropped) ++c.dropped;
+    if (h == FrameHealth::kNonFinite) ++c.non_finite;
+    if (h == FrameHealth::kSaturated) ++c.saturated;
+  }
+  return c;
+}
+
+/// Cell-wise midpoint of the two healthy neighbor cubes.
+void interpolate_cube(const radar::RadarCube& prev,
+                      const radar::RadarCube& next, radar::RadarCube* dst) {
+  auto& out = dst->data();
+  const auto& a = prev.data();
+  const auto& b = next.data();
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = 0.5f * (a[i] + b[i]);
+}
+
+/// Replaces non-finite cells with zero so the network forward pass
+/// stays finite even for unrepairable frames.
+void sanitize_cube(radar::RadarCube* cube) {
+  for (float& v : cube->data())
+    if (!std::isfinite(v)) v = 0.0f;
+}
+
+}  // namespace
+
+std::vector<FrameHealth> scan_frame_health(const sim::Recording& recording) {
+  std::vector<FrameHealth> health(recording.frames.size(),
+                                  FrameHealth::kHealthy);
+  for (std::size_t f = 0; f < recording.frames.size(); ++f) {
+    const auto& data = recording.frames[f].cube.data();
+    if (data.empty()) {
+      health[f] = FrameHealth::kDropped;
+      continue;
+    }
+    bool any_non_finite = false;
+    bool all_zero = true;
+    float max_value = 0.0f;
+    for (const float v : data) {
+      if (!std::isfinite(v)) {
+        any_non_finite = true;
+        break;
+      }
+      if (v != 0.0f) all_zero = false;
+      max_value = std::max(max_value, v);
+    }
+    if (any_non_finite) {
+      health[f] = FrameHealth::kNonFinite;
+      continue;
+    }
+    if (all_zero) {
+      health[f] = FrameHealth::kDropped;
+      continue;
+    }
+    // Flat-top detection: a hand scene has one smooth peak, so a quarter
+    // of the cells pinned exactly at the maximum means the ADC railed.
+    std::size_t at_max = 0;
+    for (const float v : data)
+      if (v == max_value) ++at_max;
+    if (max_value > 0.0f && 4 * at_max >= data.size())
+      health[f] = FrameHealth::kSaturated;
+  }
+  return health;
+}
 
 std::vector<FramePrediction> predict_recording(
     HandJointRegressor& model, const sim::Recording& recording, int stride) {
@@ -13,10 +95,63 @@ std::vector<FramePrediction> predict_recording(
                "predict_recording stride " << stride
                                            << " (0 means one window)");
   MMHAND_SPAN("pose/predict_recording");
-  const auto samples = make_pose_samples(recording, model.config(), stride);
+
+  // Frame-health scan + repair.  The repaired copy is made lazily, so a
+  // healthy recording takes the exact pre-existing path (bitwise
+  // identical outputs, zero extra allocation).
+  const auto health = scan_frame_health(recording);
+  const bool any_bad =
+      std::any_of(health.begin(), health.end(), [](FrameHealth h) {
+        return h != FrameHealth::kHealthy;
+      });
+  sim::Recording repaired_storage;
+  const sim::Recording* input = &recording;
+  std::vector<int> state(health.size(), kStateOk);
+  std::int64_t repaired_frames = 0;
+  if (any_bad) {
+    repaired_storage = recording;
+    for (std::size_t f = 0; f < health.size(); ++f) {
+      if (health[f] == FrameHealth::kHealthy) continue;
+      const bool left_ok = f > 0 && health[f - 1] == FrameHealth::kHealthy;
+      const bool right_ok = f + 1 < health.size() &&
+                            health[f + 1] == FrameHealth::kHealthy;
+      auto& cube = repaired_storage.frames[f].cube;
+      if (left_ok && right_ok && !cube.data().empty()) {
+        interpolate_cube(recording.frames[f - 1].cube,
+                         recording.frames[f + 1].cube, &cube);
+        state[f] = kStateRepaired;
+        ++repaired_frames;
+      } else {
+        sanitize_cube(&cube);
+        state[f] = kStateDegraded;
+      }
+    }
+    input = &repaired_storage;
+    if (obs::metrics_enabled()) {
+      const HealthCounts c = tally(health);
+      static obs::Counter& dropped = obs::counter("fault.dropped_frames");
+      static obs::Counter& nans = obs::counter("fault.nan_frames");
+      static obs::Counter& saturated =
+          obs::counter("fault.saturated_frames");
+      static obs::Counter& repaired = obs::counter("fault.repaired_frames");
+      dropped.add(c.dropped);
+      nans.add(c.non_finite);
+      saturated.add(c.saturated);
+      repaired.add(repaired_frames);
+    }
+    MMHAND_WARN("predict_recording: %zu damaged frames (%lld repaired)",
+                static_cast<std::size_t>(std::count_if(
+                    state.begin(), state.end(),
+                    [](int s) { return s != kStateOk; })),
+                static_cast<long long>(repaired_frames));
+  }
+
+  const auto samples = make_pose_samples(*input, model.config(), stride);
+  const int segment_frames = model.config().segment_frames;
   std::vector<FramePrediction> out;
   out.reserve(samples.size() *
               static_cast<std::size_t>(model.config().sequence_segments));
+  std::int64_t degraded_segments = 0;
   for (const auto& sample : samples) {
     // Per-segment inference latency: a sample predicts
     // `sequence_segments` skeletons in one forward pass, so each
@@ -40,8 +175,22 @@ std::vector<FramePrediction> predict_recording(
       fp.joints = row_to_joints(pred, s);
       fp.ground_truth = row_to_joints(sample.labels, s);
       fp.oracle = row_to_joints(sample.oracle, s);
+      // The segment behind this prediction covers the `segment_frames`
+      // frames ending at its label frame; its status is the worst of
+      // their post-repair states.
+      int worst = kStateOk;
+      const int last = fp.frame_index;
+      for (int f = last - segment_frames + 1; f <= last; ++f)
+        if (f >= 0 && static_cast<std::size_t>(f) < state.size())
+          worst = std::max(worst, state[static_cast<std::size_t>(f)]);
+      fp.status = static_cast<FrameStatus>(worst);
+      if (fp.status == FrameStatus::kDegraded) ++degraded_segments;
       out.push_back(fp);
     }
+  }
+  if (degraded_segments > 0 && obs::metrics_enabled()) {
+    static obs::Counter& degraded = obs::counter("fault.degraded_segments");
+    degraded.add(degraded_segments);
   }
   return out;
 }

@@ -2,18 +2,47 @@
 
 // Inference over continuous recordings: sliding-window prediction of 3-D
 // hand skeletons, the "3D hand skeleton generation" output of mmHand.
+//
+// Real captures carry real damage — dropped frames from DCA1000 packet
+// loss, ADC-saturated frames, NaN bursts — so prediction treats degraded
+// input as the normal case: a frame-health scan classifies every frame,
+// isolated bad frames are repaired by interpolating their healthy
+// neighbors, and segments whose frames could not be repaired are still
+// predicted but flagged with a per-segment status instead of throwing.
 
 #include "mmhand/pose/samples.hpp"
 #include "mmhand/pose/trainer.hpp"
 
 namespace mmhand::pose {
 
+/// Health of the input frames behind one predicted segment.
+enum class FrameStatus {
+  kOk = 0,    ///< all input frames healthy
+  kRepaired,  ///< >=1 frame repaired by neighbor interpolation
+  kDegraded,  ///< >=1 frame unrepairable (sanitized); treat with caution
+};
+
 struct FramePrediction {
   int frame_index = 0;
   hand::JointSet joints;        ///< predicted skeleton
   hand::JointSet ground_truth;  ///< noisy label at that frame
   hand::JointSet oracle;        ///< noise-free FK joints
+  FrameStatus status = FrameStatus::kOk;  ///< input health of the segment
 };
+
+/// Per-frame input damage classification (see scan_frame_health).
+enum class FrameHealth {
+  kHealthy = 0,
+  kDropped,    ///< all-zero cube: lost frame / packet-loss gap
+  kNonFinite,  ///< NaN/Inf cells
+  kSaturated,  ///< flat-topped cube: ADC rail clipping
+};
+
+/// Classifies every frame of a recording.  A frame is dropped when all
+/// cells are zero, non-finite when any cell is NaN/Inf, and saturated
+/// when at least a quarter of its cells sit exactly at the frame
+/// maximum (a flat top no real scene produces).
+std::vector<FrameHealth> scan_frame_health(const sim::Recording& recording);
 
 /// Predicts skeletons for every segment-end frame of a recording.
 ///
@@ -23,6 +52,12 @@ struct FramePrediction {
 /// — the same convention as `make_pose_samples`.  Smaller positive
 /// values overlap windows for denser predictions.  Negative strides are
 /// rejected with an error.
+///
+/// Damaged frames never abort the call: isolated bad frames (healthy on
+/// both sides) are repaired by interpolation before prediction, runs of
+/// bad frames are sanitized (non-finite cells zeroed) and their
+/// segments flagged kDegraded.  With healthy input the output is
+/// bitwise identical to a scan-free implementation.
 std::vector<FramePrediction> predict_recording(
     HandJointRegressor& model, const sim::Recording& recording,
     int stride = 0);

@@ -1,6 +1,7 @@
 #include "mmhand/pose/joint_model.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 namespace mmhand::pose {
@@ -29,6 +30,13 @@ void PoseNetConfig::validate() const {
                "cube extents must divide by "
                    << 2 * MmSpaceNet::kSpatialReduction);
   MMHAND_CHECK(feature_dim >= 8 && lstm_hidden >= 8, "head dims");
+  // Normalization constants: NaN/Inf here silently poisons every input
+  // tensor, so reject up front; the noise-floor scale must also be
+  // non-negative (a negative scale adds noise back in).
+  MMHAND_CHECK(std::isfinite(noise_floor_scale) && noise_floor_scale >= 0.0f,
+               "noise_floor_scale " << noise_floor_scale);
+  MMHAND_CHECK(std::isfinite(cube_scale) && std::isfinite(cube_offset),
+               "cube normalization must be finite");
 }
 
 namespace {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <map>
 #include <sstream>
 
@@ -9,6 +10,7 @@
 #include "mmhand/nn/optimizer.hpp"
 #include "mmhand/nn/tensor_stats.hpp"
 #include "mmhand/obs/obs.hpp"
+#include "mmhand/pose/checkpoint.hpp"
 
 namespace mmhand::pose {
 
@@ -183,7 +185,20 @@ TrainStats train_pose_model(HandJointRegressor& model,
                     nn::parameter_count(model.parameters()));
 
   TrainStats stats;
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+  int start_epoch = 0;
+  std::string ckpt_path;
+  const std::string ckpt_dir = config.checkpoint_dir.empty()
+                                   ? checkpoint_directory()
+                                   : config.checkpoint_dir;
+  if (!ckpt_dir.empty()) {
+    std::filesystem::create_directories(ckpt_dir);
+    ckpt_path = checkpoint_path(ckpt_dir, config.seed);
+    if (load_checkpoint(ckpt_path, model, optimizer, rng, config,
+                        &start_epoch, &stats.epoch_loss))
+      MMHAND_INFO("resuming training from %s at epoch %d",
+                  ckpt_path.c_str(), start_epoch);
+  }
+  for (int epoch = start_epoch; epoch < config.epochs; ++epoch) {
     MMHAND_SPAN("pose/train_epoch");
     const bool timed = obs::metrics_enabled() || record_run;
     const std::chrono::steady_clock::time_point epoch_start =
@@ -263,7 +278,17 @@ TrainStats train_pose_model(HandJointRegressor& model,
       detail << "epoch " << epoch << " mean";
       obs::check_finite_scalar("pose/train.loss", epoch_loss, detail.str());
     }
+    // Persist before the user callback: whatever that callback does
+    // (logging, aborting the process), the epoch it reports is already
+    // durable and the run can resume right after it.
+    if (!ckpt_path.empty())
+      save_checkpoint(ckpt_path, model, optimizer, rng, config, epoch + 1,
+                      stats.epoch_loss);
     if (config.on_epoch) config.on_epoch(epoch, epoch_loss);
+  }
+  if (!ckpt_path.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(ckpt_path, ec);
   }
   return stats;
 }

@@ -17,6 +17,12 @@ struct TrainConfig {
   double lr = 1e-3;        ///< initial rate (paper: 0.001, cosine decay)
   CombinedLossConfig loss;
   std::uint64_t seed = 7;
+  /// Checkpoint/resume directory; "" defers to MMHAND_CHECKPOINT_DIR
+  /// (and checkpointing stays off when that is unset too).  With a
+  /// directory set, every finished epoch durably persists model + Adam
+  /// moments + RNG state, a killed run resumes from the last checkpoint
+  /// bit-for-bit, and the checkpoint is removed on completion.
+  std::string checkpoint_dir;
   /// Optional per-epoch callback (epoch index, mean training loss).
   std::function<void(int, double)> on_epoch;
 };

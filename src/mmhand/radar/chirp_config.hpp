@@ -63,6 +63,15 @@ struct ChirpConfig {
   }
 
   void validate() const {
+    // Finiteness first: a NaN slips through every `>` comparison below
+    // (NaN compares false both ways) and then poisons the whole cube.
+    MMHAND_CHECK(std::isfinite(start_freq_hz) && std::isfinite(bandwidth_hz),
+                 "chirp frequencies must be finite");
+    MMHAND_CHECK(std::isfinite(chirp_duration_s) &&
+                     std::isfinite(frame_period_s),
+                 "chirp timing must be finite");
+    MMHAND_CHECK(std::isfinite(noise_stddev) && noise_stddev >= 0,
+                 "noise stddev " << noise_stddev);
     MMHAND_CHECK(start_freq_hz > 0 && bandwidth_hz > 0, "chirp frequencies");
     MMHAND_CHECK(chirp_duration_s > 0, "chirp duration");
     MMHAND_CHECK(samples_per_chirp >= 8, "samples per chirp");
@@ -94,7 +103,10 @@ struct CubeConfig {
   void validate() const {
     MMHAND_CHECK(range_bins >= 4, "range bins");
     MMHAND_CHECK(azimuth_bins >= 4 && elevation_bins >= 2, "angle bins");
-    MMHAND_CHECK(angle_span_deg > 0 && angle_span_deg <= 60, "angle span");
+    MMHAND_CHECK(std::isfinite(angle_span_deg) && angle_span_deg > 0 &&
+                     angle_span_deg <= 60,
+                 "angle span");
+    MMHAND_CHECK(zoom_factor >= 1, "zoom factor " << zoom_factor);
   }
 };
 

@@ -4,18 +4,80 @@
 #include <cmath>
 #include <numbers>
 
+#include <limits>
+
 #include "mmhand/common/error.hpp"
 #include "mmhand/common/parallel.hpp"
+#include "mmhand/fault/fault.hpp"
 #include "mmhand/hand/kinematics.hpp"
 #include "mmhand/obs/trace.hpp"
 
 namespace mmhand::sim {
 
+namespace {
+
+void zero_cube(radar::RadarCube& cube) {
+  std::fill(cube.data().begin(), cube.data().end(), 0.0f);
+}
+
+/// Fault-injection pass over a finished recording (MMHAND_FAULT).  Runs
+/// strictly sequentially over frames so each kind's event stream is
+/// consumed in frame order — the same seed always damages the same
+/// frames regardless of thread count.  Models the input-layer failure
+/// modes of a real capture rig: single lost frames, multi-frame
+/// packet-loss gaps, ADC rail saturation, and NaN bursts.
+void inject_input_faults(Recording& rec) {
+  for (std::size_t f = 0; f < rec.frames.size(); ++f) {
+    auto& data = rec.frames[f].cube.data();
+    if (data.empty()) continue;
+    if (fault::should_inject(fault::Kind::kGap)) {
+      // A DCA1000 packet-loss gap: 2-4 consecutive frames lost.
+      const std::size_t len =
+          2 + static_cast<std::size_t>(fault::draw_u64(fault::Kind::kGap) % 3);
+      const std::size_t end = std::min(f + len, rec.frames.size());
+      for (std::size_t g = f; g < end; ++g) zero_cube(rec.frames[g].cube);
+      f = end - 1;
+      continue;
+    }
+    if (fault::should_inject(fault::Kind::kDropFrame)) {
+      zero_cube(rec.frames[f].cube);
+      continue;
+    }
+    if (fault::should_inject(fault::Kind::kSaturate)) {
+      // Rail clipping: every cell pinned at the frame maximum.
+      float mx = 0.0f;
+      for (const float v : data) mx = std::max(mx, v);
+      std::fill(data.begin(), data.end(), mx > 0.0f ? mx : 1.0f);
+      continue;
+    }
+    if (fault::should_inject(fault::Kind::kNanBurst)) {
+      const std::size_t start =
+          static_cast<std::size_t>(fault::draw_u64(fault::Kind::kNanBurst)) %
+          data.size();
+      const std::size_t len =
+          1 + static_cast<std::size_t>(
+                  fault::draw_u64(fault::Kind::kNanBurst) % 64);
+      const std::size_t end = std::min(start + len, data.size());
+      for (std::size_t c = start; c < end; ++c)
+        data[c] = std::numeric_limits<float>::quiet_NaN();
+    }
+  }
+}
+
+}  // namespace
+
 DatasetBuilder::DatasetBuilder(const radar::ChirpConfig& chirp,
                                const radar::PipelineConfig& pipeline_config,
                                const HandSceneConfig& hand_config,
                                const LabelNoiseConfig& label_config)
-    : chirp_(chirp),
+    : chirp_([&] {
+        // Reject malformed configs before any member construction: a
+        // NaN bandwidth or an impossible frame period would otherwise
+        // surface frames later as a mysteriously empty or poisoned cube.
+        chirp.validate();
+        pipeline_config.cube.validate();
+        return chirp;
+      }()),
       array_(chirp_),
       if_sim_(chirp_, array_),
       pipeline_(chirp_, array_, pipeline_config),
@@ -108,6 +170,7 @@ Recording DatasetBuilder::record(const ScenarioConfig& scenario) const {
           pipeline_.process_frame(if_frames[static_cast<std::size_t>(i)]);
     });
   }
+  if (fault::enabled()) inject_input_faults(rec);
   return rec;
 }
 

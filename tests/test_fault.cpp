@@ -1,0 +1,782 @@
+// Tests for the robustness layer: the MMHAND_FAULT injection subsystem,
+// the crash-safe durable-IO envelope, checkpoint/resume bitwise
+// determinism, cache quarantine-and-rebuild, the corrupted-artifact
+// fuzz matrix, and graceful degradation in predict_recording.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iterator>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mmhand/common/io_safe.hpp"
+#include "mmhand/common/serialize.hpp"
+#include "mmhand/eval/experiment.hpp"
+#include "mmhand/fault/fault.hpp"
+#include "mmhand/hand/kinematics.hpp"
+#include "mmhand/mesh/reconstruction.hpp"
+#include "mmhand/nn/optimizer.hpp"
+#include "mmhand/obs/obs.hpp"
+#include "mmhand/pose/checkpoint.hpp"
+#include "mmhand/pose/inference.hpp"
+
+namespace mmhand {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Restores fault-injection and crash-hook globals on scope exit so no
+/// test can leak an armed fault stream into another.
+struct FaultGuard {
+  ~FaultGuard() {
+    fault::set_spec("");
+    io_safe::set_crash_after_bytes(-1);
+    obs::set_metrics_enabled(false);
+  }
+};
+
+std::string temp_path(const std::string& name) {
+  return (fs::path(::testing::TempDir()) / name).string();
+}
+
+std::vector<unsigned char> read_raw(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_raw(const std::string& path,
+               const std::vector<unsigned char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Tiny network geometry so training tests run in milliseconds (mirrors
+/// tests/test_pose.cpp).
+pose::PoseNetConfig tiny_config() {
+  pose::PoseNetConfig cfg;
+  cfg.segment_frames = 1;
+  cfg.sequence_segments = 2;
+  cfg.velocity_bins = 4;
+  cfg.range_bins = 8;
+  cfg.angle_bins = 8;
+  cfg.feature_dim = 24;
+  cfg.lstm_hidden = 16;
+  cfg.spacenet.stem_channels = 4;
+  cfg.spacenet.block1_channels = 6;
+  cfg.spacenet.block2_channels = 6;
+  return cfg;
+}
+
+nn::Tensor random_tensor(std::vector<int> shape, Rng& rng) {
+  nn::Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+std::vector<pose::PoseSample> tiny_samples(const pose::PoseNetConfig& cfg,
+                                           std::uint64_t seed) {
+  hand::HandPose pose;
+  const auto base_joints =
+      hand::forward_kinematics(hand::HandProfile::reference(), pose);
+  Rng rng(seed);
+  std::vector<pose::PoseSample> samples;
+  for (int k = 0; k < 3; ++k) {
+    pose::PoseSample s;
+    s.input = random_tensor({cfg.frames_per_sample(), cfg.velocity_bins,
+                             cfg.range_bins, cfg.angle_bins},
+                            rng);
+    s.labels = nn::Tensor({cfg.sequence_segments, 63});
+    for (int row = 0; row < cfg.sequence_segments; ++row)
+      for (int j = 0; j < hand::kNumJoints; ++j) {
+        const Vec3 p = base_joints[static_cast<std::size_t>(j)];
+        s.labels.at(row, 3 * j) = static_cast<float>(p.x + 0.01 * k);
+        s.labels.at(row, 3 * j + 1) = static_cast<float>(p.y);
+        s.labels.at(row, 3 * j + 2) = static_cast<float>(p.z);
+      }
+    s.oracle = s.labels;
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+/// A synthetic recording whose cubes match tiny_config's geometry.
+sim::Recording tiny_recording(int n_frames, std::uint64_t seed) {
+  const auto joints =
+      hand::forward_kinematics(hand::HandProfile::reference(), {});
+  Rng rng(seed);
+  sim::Recording rec;
+  for (int f = 0; f < n_frames; ++f) {
+    sim::FrameRecord frame;
+    frame.cube = radar::RadarCube(4, 8, 8);
+    for (float& v : frame.cube.data())
+      v = static_cast<float>(rng.uniform(0.1, 1.0));
+    frame.joints = joints;
+    frame.true_joints = joints;
+    frame.time_s = 0.02 * f;
+    rec.frames.push_back(std::move(frame));
+  }
+  return rec;
+}
+
+bool params_equal(pose::HandJointRegressor& a, pose::HandJointRegressor& b) {
+  auto pa = a.parameters();
+  auto pb = b.parameters();
+  if (pa.size() != pb.size()) return false;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    if (pa[i]->value.numel() != pb[i]->value.numel()) return false;
+    for (std::size_t e = 0; e < pa[i]->value.numel(); ++e)
+      if (pa[i]->value[e] != pb[i]->value[e]) return false;
+  }
+  return true;
+}
+
+bool recordings_equal(const sim::Recording& a, const sim::Recording& b) {
+  if (a.frames.size() != b.frames.size()) return false;
+  for (std::size_t f = 0; f < a.frames.size(); ++f)
+    if (a.frames[f].cube.data() != b.frames[f].cube.data()) return false;
+  return true;
+}
+
+// --- spec parsing -------------------------------------------------------
+
+TEST(FaultSpec, ParsesRatesAndSeed) {
+  const fault::Spec s =
+      fault::parse_spec("drop_frame=0.05,nan_burst=0.02,seed=42");
+  EXPECT_DOUBLE_EQ(s.rate[static_cast<int>(fault::Kind::kDropFrame)], 0.05);
+  EXPECT_DOUBLE_EQ(s.rate[static_cast<int>(fault::Kind::kNanBurst)], 0.02);
+  EXPECT_DOUBLE_EQ(s.rate[static_cast<int>(fault::Kind::kGap)], 0.0);
+  EXPECT_EQ(s.seed, 42u);
+}
+
+TEST(FaultSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(fault::parse_spec("typo_kind=0.5"), Error);
+  EXPECT_THROW(fault::parse_spec("drop_frame=1.5"), Error);
+  EXPECT_THROW(fault::parse_spec("drop_frame=-0.1"), Error);
+  EXPECT_THROW(fault::parse_spec("drop_frame=abc"), Error);
+  EXPECT_THROW(fault::parse_spec("drop_frame"), Error);
+  EXPECT_THROW(fault::parse_spec("seed=xyz"), Error);
+}
+
+TEST(FaultSpec, KindNamesRoundTripThroughParser) {
+  for (int k = 0; k < fault::kNumKinds; ++k) {
+    const std::string spec =
+        std::string(fault::kind_name(static_cast<fault::Kind>(k))) + "=1";
+    EXPECT_DOUBLE_EQ(fault::parse_spec(spec).rate[k], 1.0) << spec;
+  }
+}
+
+// --- event streams ------------------------------------------------------
+
+TEST(FaultStream, OffByDefaultAndAfterClearing) {
+  FaultGuard guard;
+  fault::set_spec("");
+  EXPECT_FALSE(fault::enabled());
+  for (int i = 0; i < 32; ++i)
+    EXPECT_FALSE(fault::should_inject(fault::Kind::kDropFrame));
+  EXPECT_EQ(fault::injected_count(fault::Kind::kDropFrame), 0u);
+}
+
+TEST(FaultStream, DeterministicInSeedAndEventIndex) {
+  FaultGuard guard;
+  const auto pattern = [](const char* spec) {
+    fault::set_spec(spec);
+    std::vector<bool> p;
+    for (int i = 0; i < 200; ++i)
+      p.push_back(fault::should_inject(fault::Kind::kDropFrame));
+    return p;
+  };
+  const auto a = pattern("drop_frame=0.5,seed=7");
+  const auto b = pattern("drop_frame=0.5,seed=7");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, pattern("drop_frame=0.5,seed=8"));
+  // Extremes behave exactly.
+  fault::set_spec("drop_frame=1");
+  EXPECT_TRUE(fault::should_inject(fault::Kind::kDropFrame));
+  fault::set_spec("drop_frame=0,gap=1");
+  EXPECT_FALSE(fault::should_inject(fault::Kind::kDropFrame));
+  EXPECT_TRUE(fault::should_inject(fault::Kind::kGap));
+}
+
+// --- durable IO ---------------------------------------------------------
+
+TEST(IoSafe, RoundTripAndNoTempLeftBehind) {
+  const std::string path = temp_path("io_roundtrip.bin");
+  const std::vector<unsigned char> payload{1, 2, 3, 250, 0, 7};
+  io_safe::write_file_durable(path, payload);
+  EXPECT_EQ(io_safe::read_file_validated(path), payload);
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  // Overwrite with new content atomically.
+  const std::vector<unsigned char> v2{9, 9};
+  io_safe::write_file_durable(path, v2);
+  EXPECT_EQ(io_safe::read_file_validated(path), v2);
+}
+
+TEST(IoSafe, RejectsDamagedFiles) {
+  const std::string path = temp_path("io_damaged.bin");
+  io_safe::write_file_durable(path, {10, 20, 30, 40, 50});
+  const auto good = read_raw(path);
+
+  auto flipped = good;
+  flipped[good.size() - 2] ^= 0x40;  // payload byte
+  write_raw(path, flipped);
+  EXPECT_THROW(io_safe::read_file_validated(path), Error);
+
+  write_raw(path, {good.begin(), good.begin() + 10});  // inside the header
+  EXPECT_THROW(io_safe::read_file_validated(path), Error);
+
+  write_raw(path, {'n', 'o', 't', ' ', 'a', 'n', ' ', 'e', 'n', 'v', 'e',
+                   'l', 'o', 'p', 'e', '!', '!', '!', '!', '!', '!'});
+  EXPECT_THROW(io_safe::read_file_validated(path), Error);
+
+  EXPECT_THROW(io_safe::read_file_validated(temp_path("io_missing.bin")),
+               Error);
+}
+
+TEST(IoSafe, InjectedWriteFaultsNeverDamageTheOldArtifact) {
+  FaultGuard guard;
+  const std::string path = temp_path("io_write_faults.bin");
+  const std::vector<unsigned char> v1{1, 1, 2, 3, 5, 8};
+  io_safe::write_file_durable(path, v1);
+
+  fault::set_spec("short_write=1");
+  EXPECT_THROW(io_safe::write_file_durable(path, {42}), Error);
+  fault::set_spec("fsync_fail=1");
+  EXPECT_THROW(io_safe::write_file_durable(path, {43}), Error);
+  fault::set_spec("");
+
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  EXPECT_EQ(io_safe::read_file_validated(path), v1);
+}
+
+TEST(IoSafe, InjectedBitFlipIsCaughtByValidation) {
+  FaultGuard guard;
+  const std::string path = temp_path("io_bitflip.bin");
+  const std::vector<unsigned char> payload(64, 0xAB);
+  io_safe::write_file_durable(path, payload);
+  fault::set_spec("bit_flip=1");
+  EXPECT_THROW(io_safe::read_file_validated(path), Error);
+  EXPECT_GE(fault::injected_count(fault::Kind::kBitFlip), 1u);
+  fault::set_spec("");
+  // The flip happened in memory; the file itself is intact.
+  EXPECT_EQ(io_safe::read_file_validated(path), payload);
+}
+
+TEST(IoSafe, QuarantineMovesTheFileAside) {
+  const std::string path = temp_path("io_quarantine.bin");
+  io_safe::write_file_durable(path, {1});
+  const std::string moved = io_safe::quarantine(path);
+  EXPECT_EQ(moved, path + ".corrupt");
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_TRUE(fs::exists(moved));
+  fs::remove(moved);
+}
+
+TEST(IoSafeDeathTest, KillMidWriteLeavesOldArtifactReadable) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  const std::string path = temp_path("io_crash.bin");
+  const std::vector<unsigned char> v1{7, 7, 7, 7};
+  io_safe::write_file_durable(path, v1);
+  // The writer dies after 10 bytes of the temp file — a SIGKILL between
+  // two write calls.  The real artifact must be untouched.
+  EXPECT_EXIT(
+      {
+        io_safe::set_crash_after_bytes(10);
+        io_safe::write_file_durable(path, std::vector<unsigned char>(256, 5));
+      },
+      ::testing::ExitedWithCode(io_safe::kCrashExitCode), "");
+  EXPECT_EQ(io_safe::read_file_validated(path), v1);
+  // A later write recovers, replacing any leftover temp file.
+  const std::vector<unsigned char> v2{8, 8};
+  io_safe::write_file_durable(path, v2);
+  EXPECT_EQ(io_safe::read_file_validated(path), v2);
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST(IoSafe, StalePreEnvelopeFilesAreRejected) {
+  // Serialized artifacts written before the envelope era (or by foreign
+  // tools) must fail loudly, not parse as garbage.
+  const std::string path = temp_path("io_stale.bin");
+  write_raw(path, {0x01, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00,
+                   0x03, 0x00, 0x00, 0x00, 0x04, 0x00, 0x00, 0x00,
+                   0x05, 0x00, 0x00, 0x00, 0x06, 0x00, 0x00, 0x00});
+  EXPECT_THROW(BinaryReader reader(path), Error);
+}
+
+// --- corrupted-artifact fuzz matrix -------------------------------------
+
+/// Truncates at every quarter boundary and flips bits in the envelope
+/// header, payload body, and CRC field; every variant must raise Error
+/// through `load`.
+void fuzz_artifact(const std::string& path,
+                   const std::function<void(const std::string&)>& load,
+                   const char* label) {
+  const auto good = read_raw(path);
+  ASSERT_GT(good.size(), 20u) << label;
+  const std::string mutant = path + ".fuzz";
+  for (const double frac : {0.25, 0.5, 0.75}) {
+    const auto n = static_cast<std::size_t>(
+        static_cast<double>(good.size()) * frac);
+    write_raw(mutant, {good.begin(),
+                       good.begin() + static_cast<std::ptrdiff_t>(n)});
+    EXPECT_THROW(load(mutant), Error)
+        << label << " truncated to " << frac;
+  }
+  write_raw(mutant, {good.begin(), good.begin() + 8});  // below header size
+  EXPECT_THROW(load(mutant), Error) << label << " truncated below header";
+  const std::size_t flip_sites[] = {5,                // header: version
+                                    16,               // header: CRC field
+                                    good.size() / 2,  // payload body
+                                    good.size() - 1};
+  for (const std::size_t site : flip_sites) {
+    auto bytes = good;
+    bytes[site] ^= 0x10;
+    write_raw(mutant, bytes);
+    EXPECT_THROW(load(mutant), Error) << label << " bit flip at " << site;
+  }
+  write_raw(mutant, good);  // pristine copy still loads
+  EXPECT_NO_THROW(load(mutant)) << label;
+  fs::remove(mutant);
+}
+
+TEST(FuzzMatrix, PoseModelArtifact) {
+  const auto cfg = tiny_config();
+  Rng rng(11);
+  pose::HandJointRegressor model(cfg, rng);
+  const std::string path = temp_path("fuzz_pose.bin");
+  model.save(path);
+  fuzz_artifact(path,
+                [&](const std::string& p) {
+                  Rng r2(12);
+                  pose::HandJointRegressor fresh(cfg, r2);
+                  fresh.load(p);
+                },
+                "pose model");
+}
+
+TEST(FuzzMatrix, MeshReconstructorArtifact) {
+  Rng rng(13);
+  mesh::MeshReconstructor recon(
+      mesh::HandTemplate::create(hand::HandProfile::reference()), rng);
+  const std::string path = temp_path("fuzz_mesh.bin");
+  recon.save(path);
+  fuzz_artifact(path,
+                [&](const std::string& p) {
+                  Rng r2(14);
+                  mesh::MeshReconstructor fresh(
+                      mesh::HandTemplate::create(
+                          hand::HandProfile::reference()),
+                      r2);
+                  fresh.load(p);
+                },
+                "mesh reconstructor");
+}
+
+TEST(FuzzMatrix, GenericSerializedArtifact) {
+  const std::string path = temp_path("fuzz_generic.bin");
+  BinaryWriter w(path);
+  w.write_u32(0xCAFE);
+  w.write_string("payload");
+  w.write_f32_vector(std::vector<float>(64, 1.5f));
+  w.close();
+  fuzz_artifact(path,
+                [](const std::string& p) {
+                  BinaryReader r(p);
+                  (void)r.read_u32();
+                  (void)r.read_string();
+                  (void)r.read_f32_vector();
+                },
+                "generic artifact");
+}
+
+TEST(FuzzMatrix, TrainingCheckpointArtifact) {
+  const auto cfg = tiny_config();
+  Rng rng(15);
+  pose::HandJointRegressor model(cfg, rng);
+  nn::Adam optimizer(model.parameters(), {.lr = 1e-3});
+  pose::TrainConfig tc;
+  tc.epochs = 4;
+  const std::string path = temp_path("fuzz_ckpt.ckpt");
+  pose::save_checkpoint(path, model, optimizer, rng, tc, 1, {0.5});
+  // The raw envelope read throws for every mutant...
+  fuzz_artifact(
+      path,
+      [](const std::string& p) { (void)io_safe::read_file_validated(p); },
+      "training checkpoint");
+  // ...and the checkpoint loader converts that into quarantine +
+  // restart-from-scratch rather than a crash.
+  auto corrupt = read_raw(path);
+  corrupt[corrupt.size() / 2] ^= 0x01;
+  write_raw(path, corrupt);
+  int next_epoch = -1;
+  std::vector<double> losses;
+  EXPECT_FALSE(pose::load_checkpoint(path, model, optimizer, rng, tc,
+                                     &next_epoch, &losses));
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_TRUE(fs::exists(path + ".corrupt"));
+  fs::remove(path + ".corrupt");
+}
+
+// --- checkpoint / resume ------------------------------------------------
+
+TEST(Checkpoint, KillAndResumeIsBitwiseIdentical) {
+  const auto cfg = tiny_config();
+  const auto samples = tiny_samples(cfg, 21);
+  pose::TrainConfig tc;
+  tc.epochs = 4;
+  tc.batch_size = 2;
+  tc.seed = 77;
+
+  // Reference: one uninterrupted run, no checkpointing.
+  Rng rng_ref(5);
+  pose::HandJointRegressor reference(cfg, rng_ref);
+  const auto ref_stats = pose::train_pose_model(reference, samples, tc);
+
+  // Interrupted run: die (via a throwing epoch callback, which fires
+  // after the epoch's checkpoint is saved) at the end of epoch 1.
+  const std::string dir = temp_path("ckpt_resume");
+  fs::remove_all(dir);
+  pose::TrainConfig tc_ckpt = tc;
+  tc_ckpt.checkpoint_dir = dir;
+  tc_ckpt.on_epoch = [](int epoch, double) {
+    if (epoch == 1) throw std::runtime_error("simulated crash");
+  };
+  {
+    Rng rng(5);
+    pose::HandJointRegressor victim(cfg, rng);
+    EXPECT_THROW(pose::train_pose_model(victim, samples, tc_ckpt),
+                 std::runtime_error);
+  }
+  EXPECT_TRUE(fs::exists(pose::checkpoint_path(dir, tc.seed)));
+
+  // Resume in a fresh process-equivalent: new model, same config.
+  Rng rng2(5);
+  pose::HandJointRegressor resumed(cfg, rng2);
+  pose::TrainConfig tc_resume = tc;
+  tc_resume.checkpoint_dir = dir;
+  const auto res_stats = pose::train_pose_model(resumed, samples, tc_resume);
+
+  EXPECT_TRUE(params_equal(reference, resumed));
+  ASSERT_EQ(res_stats.epoch_loss.size(), ref_stats.epoch_loss.size());
+  for (std::size_t e = 0; e < ref_stats.epoch_loss.size(); ++e)
+    EXPECT_EQ(res_stats.epoch_loss[e], ref_stats.epoch_loss[e]) << e;
+  // The checkpoint is cleaned up after a completed run.
+  EXPECT_FALSE(fs::exists(pose::checkpoint_path(dir, tc.seed)));
+  fs::remove_all(dir);
+}
+
+TEST(Checkpoint, CorruptCheckpointRestartsFromScratch) {
+  const auto cfg = tiny_config();
+  const auto samples = tiny_samples(cfg, 22);
+  pose::TrainConfig tc;
+  tc.epochs = 2;
+  tc.seed = 78;
+
+  Rng rng_ref(6);
+  pose::HandJointRegressor reference(cfg, rng_ref);
+  const auto ref_stats = pose::train_pose_model(reference, samples, tc);
+
+  const std::string dir = temp_path("ckpt_corrupt");
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = pose::checkpoint_path(dir, tc.seed);
+  write_raw(path, std::vector<unsigned char>(128, 0x5A));
+
+  Rng rng(6);
+  pose::HandJointRegressor restarted(cfg, rng);
+  pose::TrainConfig tc_ckpt = tc;
+  tc_ckpt.checkpoint_dir = dir;
+  const auto stats = pose::train_pose_model(restarted, samples, tc_ckpt);
+
+  EXPECT_TRUE(fs::exists(path + ".corrupt"));
+  EXPECT_EQ(stats.epoch_loss.size(), static_cast<std::size_t>(tc.epochs));
+  EXPECT_TRUE(params_equal(reference, restarted));
+  for (std::size_t e = 0; e < ref_stats.epoch_loss.size(); ++e)
+    EXPECT_EQ(stats.epoch_loss[e], ref_stats.epoch_loss[e]) << e;
+  fs::remove_all(dir);
+}
+
+TEST(Checkpoint, StaleGeometryIsRejectedNotResumed) {
+  const auto cfg = tiny_config();
+  const auto samples = tiny_samples(cfg, 23);
+  const std::string dir = temp_path("ckpt_stale");
+  fs::remove_all(dir);
+  pose::TrainConfig tc;
+  tc.epochs = 2;
+  tc.seed = 79;
+  tc.checkpoint_dir = dir;
+  tc.on_epoch = [](int, double) { throw std::runtime_error("die"); };
+  {
+    Rng rng(7);
+    pose::HandJointRegressor victim(cfg, rng);
+    EXPECT_THROW(pose::train_pose_model(victim, samples, tc),
+                 std::runtime_error);
+  }
+  // Same seed, different geometry: the checkpoint must be treated as
+  // stale (quarantined), and training restarts clean.
+  pose::PoseNetConfig other = cfg;
+  other.lstm_hidden = 24;
+  Rng rng(7);
+  pose::HandJointRegressor model(other, rng);
+  pose::TrainConfig tc2 = tc;
+  tc2.on_epoch = nullptr;
+  const auto stats = pose::train_pose_model(model, samples, tc2);
+  EXPECT_EQ(stats.epoch_loss.size(), 2u);
+  EXPECT_TRUE(fs::exists(pose::checkpoint_path(dir, tc.seed) + ".corrupt"));
+  fs::remove_all(dir);
+}
+
+// --- cache quarantine + rebuild -----------------------------------------
+
+eval::ProtocolConfig micro_protocol() {
+  eval::ProtocolConfig c = eval::ProtocolConfig::fast();
+  c.num_users = 2;
+  c.folds = 2;
+  c.train_duration_s = 2.0;
+  c.test_duration_s = 1.0;
+  c.train.epochs = 1;
+  return c;
+}
+
+TEST(CacheQuarantine, CorruptFoldModelIsQuarantinedAndRebuiltIdentically) {
+  FaultGuard guard;
+  obs::set_metrics_enabled(true);
+  const std::string dir = temp_path("cache_quarantine");
+  fs::remove_all(dir);
+  const auto config = micro_protocol();
+  {
+    eval::Experiment experiment(config);
+    experiment.prepare(dir);
+  }
+  // Find a fold-model artifact and poison a payload byte.
+  std::string victim;
+  for (const auto& entry : fs::directory_iterator(dir))
+    if (entry.path().extension() == ".bin") {
+      victim = entry.path().string();
+      break;
+    }
+  ASSERT_FALSE(victim.empty());
+  const auto pristine = read_raw(victim);
+  auto poisoned = pristine;
+  poisoned[poisoned.size() / 2] ^= 0x08;
+  write_raw(victim, poisoned);
+
+  const std::int64_t quarantined_before =
+      obs::counter("eval/model_cache.quarantined").value();
+  {
+    eval::Experiment experiment(config);
+    experiment.prepare(dir);  // must not throw
+  }
+  EXPECT_EQ(obs::counter("eval/model_cache.quarantined").value(),
+            quarantined_before + 1);
+  EXPECT_TRUE(fs::exists(victim + ".corrupt"));
+  // The rebuilt artifact is bitwise identical to the original training
+  // product: quarantine + retrain behaves exactly like a cache miss.
+  EXPECT_EQ(read_raw(victim), pristine);
+  fs::remove_all(dir);
+}
+
+// --- graceful degradation in predict_recording --------------------------
+
+TEST(Degradation, ScanClassifiesFrameHealth) {
+  auto rec = tiny_recording(4, 31);
+  std::fill(rec.frames[1].cube.data().begin(),
+            rec.frames[1].cube.data().end(), 0.0f);
+  rec.frames[2].cube.data()[17] = std::numeric_limits<float>::quiet_NaN();
+  std::fill(rec.frames[3].cube.data().begin(),
+            rec.frames[3].cube.data().end(), 2.5f);
+  const auto health = pose::scan_frame_health(rec);
+  ASSERT_EQ(health.size(), 4u);
+  EXPECT_EQ(health[0], pose::FrameHealth::kHealthy);
+  EXPECT_EQ(health[1], pose::FrameHealth::kDropped);
+  EXPECT_EQ(health[2], pose::FrameHealth::kNonFinite);
+  EXPECT_EQ(health[3], pose::FrameHealth::kSaturated);
+}
+
+TEST(Degradation, DamagedRecordingPredictsWithStatusesInsteadOfThrowing) {
+  FaultGuard guard;
+  const auto cfg = tiny_config();
+  Rng rng(41);
+  pose::HandJointRegressor model(cfg, rng);
+
+  const auto clean = tiny_recording(8, 32);
+  const auto clean_preds = pose::predict_recording(model, clean);
+  ASSERT_EQ(clean_preds.size(), 8u);
+  for (const auto& p : clean_preds)
+    EXPECT_EQ(p.status, pose::FrameStatus::kOk);
+
+  auto damaged = clean;
+  // Frame 2: isolated NaN frame, healthy neighbors -> repairable.
+  damaged.frames[2].cube.data()[5] =
+      std::numeric_limits<float>::quiet_NaN();
+  // Frames 5-6: a dropped-frame run -> unrepairable, degraded.
+  std::fill(damaged.frames[5].cube.data().begin(),
+            damaged.frames[5].cube.data().end(), 0.0f);
+  std::fill(damaged.frames[6].cube.data().begin(),
+            damaged.frames[6].cube.data().end(), 0.0f);
+
+  obs::set_metrics_enabled(true);
+  const std::int64_t degraded_before =
+      obs::counter("fault.degraded_segments").value();
+  const std::int64_t repaired_before =
+      obs::counter("fault.repaired_frames").value();
+
+  const auto preds = pose::predict_recording(model, damaged);
+  ASSERT_EQ(preds.size(), 8u);
+  for (const auto& p : preds) {
+    for (const Vec3& joint : p.joints) {
+      EXPECT_TRUE(std::isfinite(joint.x) && std::isfinite(joint.y) &&
+                  std::isfinite(joint.z));
+    }
+  }
+  // With segment_frames = 1, each prediction's status is its own frame's
+  // post-repair state.
+  EXPECT_EQ(preds[2].status, pose::FrameStatus::kRepaired);
+  EXPECT_EQ(preds[5].status, pose::FrameStatus::kDegraded);
+  EXPECT_EQ(preds[6].status, pose::FrameStatus::kDegraded);
+  for (const std::size_t i : {0u, 1u, 3u, 4u, 7u})
+    EXPECT_EQ(preds[i].status, pose::FrameStatus::kOk) << i;
+
+  // The degraded-segment counter advances by exactly the damaged-run
+  // size; the repair counter by the one interpolated frame.
+  EXPECT_EQ(obs::counter("fault.degraded_segments").value(),
+            degraded_before + 2);
+  EXPECT_EQ(obs::counter("fault.repaired_frames").value(),
+            repaired_before + 1);
+
+  // Windows that never touch a damaged frame are bitwise unaffected.
+  for (const std::size_t i : {0u, 1u}) {
+    for (int j = 0; j < hand::kNumJoints; ++j) {
+      EXPECT_EQ(preds[i].joints[static_cast<std::size_t>(j)].x,
+                clean_preds[i].joints[static_cast<std::size_t>(j)].x);
+    }
+  }
+}
+
+// --- input-layer injection + bitwise-off guarantee ----------------------
+
+radar::ChirpConfig micro_chirp() {
+  radar::ChirpConfig chirp;
+  chirp.chirps_per_frame = 8;
+  chirp.samples_per_chirp = 32;
+  chirp.frame_period_s = 0.05;
+  return chirp;
+}
+
+TEST(InputFaults, DisabledInjectionIsBitwiseIdentical) {
+  FaultGuard guard;
+  const eval::ProtocolConfig fast = eval::ProtocolConfig::fast();
+  sim::DatasetBuilder builder(fast.chirp, fast.pipeline);
+  sim::ScenarioConfig scenario;
+  scenario.duration_s = 0.4;
+  scenario.seed = 99;
+
+  fault::set_spec("");
+  const auto baseline = builder.record(scenario);
+  // Running with a spec enabled, then disabling, must return to the
+  // exact baseline: injection may never leak into the simulation RNG.
+  fault::set_spec("drop_frame=0.5,seed=3");
+  const auto faulted = builder.record(scenario);
+  fault::set_spec("");
+  const auto again = builder.record(scenario);
+  EXPECT_TRUE(recordings_equal(baseline, again));
+  EXPECT_FALSE(recordings_equal(baseline, faulted));
+}
+
+TEST(InputFaults, InjectionIsDeterministicAndScannable) {
+  FaultGuard guard;
+  const eval::ProtocolConfig fast = eval::ProtocolConfig::fast();
+  sim::DatasetBuilder builder(fast.chirp, fast.pipeline);
+  sim::ScenarioConfig scenario;
+  scenario.duration_s = 0.4;
+  scenario.seed = 99;
+
+  fault::set_spec("drop_frame=0.5,seed=3");
+  const auto rec_a = builder.record(scenario);
+  const std::uint64_t injected =
+      fault::injected_count(fault::Kind::kDropFrame);
+  EXPECT_GE(injected, 1u);
+  fault::set_spec("drop_frame=0.5,seed=3");  // resets the event streams
+  const auto rec_b = builder.record(scenario);
+  EXPECT_TRUE(recordings_equal(rec_a, rec_b));
+
+  // Every injected drop shows up in the health scan.
+  const auto health = pose::scan_frame_health(rec_a);
+  std::uint64_t dropped = 0;
+  for (const auto h : health)
+    if (h == pose::FrameHealth::kDropped) ++dropped;
+  EXPECT_EQ(dropped, injected);
+
+  // NaN bursts surface as non-finite frames.
+  fault::set_spec("nan_burst=1,seed=3");
+  const auto rec_nan = builder.record(scenario);
+  for (const auto h : pose::scan_frame_health(rec_nan))
+    EXPECT_EQ(h, pose::FrameHealth::kNonFinite);
+
+  // Saturation rails every cell at the frame maximum.
+  fault::set_spec("saturate=1,seed=3");
+  const auto rec_sat = builder.record(scenario);
+  for (const auto h : pose::scan_frame_health(rec_sat))
+    EXPECT_EQ(h, pose::FrameHealth::kSaturated);
+
+  // Gaps drop runs of at least two consecutive frames.
+  fault::set_spec("gap=1,seed=3");
+  const auto rec_gap = builder.record(scenario);
+  for (const auto h : pose::scan_frame_health(rec_gap))
+    EXPECT_EQ(h, pose::FrameHealth::kDropped);
+}
+
+// --- config validation --------------------------------------------------
+
+TEST(ConfigValidation, RejectsNonFiniteChirpFields) {
+  radar::ChirpConfig chirp;
+  chirp.bandwidth_hz = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(chirp.validate(), Error);
+  chirp = radar::ChirpConfig{};
+  chirp.frame_period_s = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(chirp.validate(), Error);
+  chirp = radar::ChirpConfig{};
+  chirp.noise_stddev = -0.1;
+  EXPECT_THROW(chirp.validate(), Error);
+  EXPECT_NO_THROW(radar::ChirpConfig{}.validate());
+}
+
+TEST(ConfigValidation, RejectsBadCubeAndPoseNetFields) {
+  radar::CubeConfig cube;
+  cube.zoom_factor = 0;
+  EXPECT_THROW(cube.validate(), Error);
+  cube = radar::CubeConfig{};
+  cube.angle_span_deg = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(cube.validate(), Error);
+
+  pose::PoseNetConfig net = tiny_config();
+  net.cube_scale = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_THROW(net.validate(), Error);
+  net = tiny_config();
+  net.noise_floor_scale = -1.0f;
+  EXPECT_THROW(net.validate(), Error);
+  EXPECT_NO_THROW(tiny_config().validate());
+}
+
+TEST(ConfigValidation, DatasetBuilderValidatesOnConstruction) {
+  radar::ChirpConfig chirp = micro_chirp();
+  chirp.bandwidth_hz = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(sim::DatasetBuilder(chirp, radar::PipelineConfig{}), Error);
+  radar::PipelineConfig pipeline;
+  pipeline.cube.zoom_factor = -1;
+  EXPECT_THROW(sim::DatasetBuilder(micro_chirp(), pipeline), Error);
+}
+
+}  // namespace
+}  // namespace mmhand

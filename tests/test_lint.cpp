@@ -159,6 +159,45 @@ TEST(LintAlloc, AllowsContainersAndScalarNew) {
                   .empty());
 }
 
+// --- durable-write ------------------------------------------------------
+
+TEST(LintDurableWrite, FlagsBinaryWritersOutsideIoSafe) {
+  EXPECT_TRUE(has_rule(
+      lint_src("std::ofstream out(path, std::ios::binary);\n"),
+      "durable-write"));
+  EXPECT_TRUE(has_rule(
+      lint_src("std::FILE* f = std::fopen(path.c_str(), \"wb\");\n"),
+      "durable-write"));
+  EXPECT_TRUE(has_rule(lint_src("auto* f = fopen(p, \"ab\");\n"),
+                       "durable-write"));
+}
+
+TEST(LintDurableWrite, AllowsReadsTextAndIoSafeItself) {
+  // Binary reads, text writes, and the durable layer itself stay legal.
+  EXPECT_TRUE(lint_src("std::ifstream in(path, std::ios::binary);\n"
+                       "std::ofstream log(path);\n"
+                       "std::FILE* f = std::fopen(path.c_str(), \"rb\");\n"
+                       "std::FILE* g = std::fopen(path.c_str(), \"a\");\n")
+                  .empty());
+  EXPECT_FALSE(has_rule(
+      check_file("src/mmhand/common/io_safe.cpp",
+                 "std::FILE* f = std::fopen(tmp.c_str(), \"wb\");\n",
+                 default_config()),
+      "durable-write"));
+}
+
+TEST(LintDurableWrite, AllowlistExtendsViaJson) {
+  Config cfg = default_config();
+  std::string error;
+  ASSERT_TRUE(parse_allowlist_json(
+      "{\"durable_write\": [\"src/mmhand/x/f.cpp\"]}", &cfg, &error))
+      << error;
+  EXPECT_FALSE(has_rule(
+      check_file("src/mmhand/x/f.cpp",
+                 "std::FILE* f = std::fopen(p, \"wb\");\n", cfg),
+      "durable-write"));
+}
+
 // --- env-var-docs -------------------------------------------------------
 
 TEST(LintEnvDocs, FlagsUndocumentedLiteral) {

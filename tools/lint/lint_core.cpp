@@ -190,6 +190,41 @@ void check_raw_alloc(const std::string& path, const std::string& stripped,
   }
 }
 
+void check_durable_write(const std::string& path, const std::string& raw,
+                         const std::string& stripped, const Config& cfg,
+                         std::vector<Finding>& out) {
+  if (contains(cfg.durable_write_allow, path)) return;
+  const char* rule = "durable-write";
+  const std::string route =
+      "; write binary artifacts through common/serialize (BinaryWriter)"
+      " or common/io_safe so they land atomically with a validated"
+      " envelope";
+  // A binary ofstream bypasses the envelope and the atomic rename.
+  for (std::size_t pos = 0;
+       (pos = find_ident(stripped, "ofstream", pos)) != std::string::npos;
+       pos += 8) {
+    if (line_tail(stripped, pos).find("binary") != std::string::npos)
+      add(out, path, line_of(stripped, pos), rule,
+          "binary std::ofstream in library code" + route);
+  }
+  // fopen with a binary *write* mode; the mode literal lives in the RAW
+  // text (stripping blanks string contents).  Read modes stay legal.
+  for (std::size_t pos = 0;
+       (pos = find_ident(stripped, "fopen", pos)) != std::string::npos;
+       pos += 5) {
+    const std::string tail = line_tail(raw, pos);
+    for (const char* mode : {"\"wb\"", "\"w+b\"", "\"wb+\"", "\"ab\"",
+                             "\"a+b\"", "\"ab+\""}) {
+      if (tail.find(mode) != std::string::npos) {
+        add(out, path, line_of(stripped, pos), rule,
+            std::string("fopen(..., ") + mode +
+                ") writes a binary file directly" + route);
+        break;
+      }
+    }
+  }
+}
+
 void check_env_docs(const std::string& path, const std::string& raw,
                     const Config& cfg, std::vector<Finding>& out) {
   // Scans the RAW text: the literals of interest live inside quotes.
@@ -233,6 +268,9 @@ Config default_config() {
       "src/mmhand/common/rng.hpp",
       "src/mmhand/common/rng.cpp",
   };
+  cfg.durable_write_allow = {
+      "src/mmhand/common/io_safe.cpp",
+  };
   return cfg;
 }
 
@@ -270,7 +308,8 @@ bool parse_allowlist_json(const std::string& text, Config* cfg,
   std::string err;
   if (!load("getenv", &cfg->getenv_allow, &err) ||
       !load("direct_io", &cfg->io_allow, &err) ||
-      !load("raw_rng", &cfg->rng_allow, &err)) {
+      !load("raw_rng", &cfg->rng_allow, &err) ||
+      !load("durable_write", &cfg->durable_write_allow, &err)) {
     if (error != nullptr) *error = err;
     return false;
   }
@@ -347,6 +386,7 @@ std::vector<Finding> check_file(const std::string& path,
     check_direct_io(path, stripped, cfg, out);
     check_rng(path, stripped, cfg, out);
     check_raw_alloc(path, stripped, out);
+    check_durable_write(path, content, stripped, cfg, out);
   }
   if (is_header) check_header_hygiene(path, content, stripped, out);
   // Env-literal documentation applies to library and tool code; tests

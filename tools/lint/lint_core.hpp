@@ -38,6 +38,9 @@ struct Config {
   std::vector<std::string> io_allow;
   /// Files permitted raw RNG sources (rule no-unseeded-rng).
   std::vector<std::string> rng_allow;
+  /// Files permitted to open binary write streams directly (rule
+  /// durable-write) — the durable-IO layer itself.
+  std::vector<std::string> durable_write_allow;
   /// MMHAND_* env-var names documented in the README table
   /// (rule env-var-docs).
   std::vector<std::string> documented_env;
@@ -48,8 +51,8 @@ struct Config {
 Config default_config();
 
 /// Merges scripts/lint_allowlist.json (keys "getenv", "direct_io",
-/// "raw_rng": arrays of paths) into `cfg`.  Returns false and sets
-/// `*error` on malformed input.
+/// "raw_rng", "durable_write": arrays of paths) into `cfg`.  Returns
+/// false and sets `*error` on malformed input.
 bool parse_allowlist_json(const std::string& text, Config* cfg,
                           std::string* error);
 
