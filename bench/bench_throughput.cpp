@@ -27,6 +27,7 @@
 #include "mmhand/radar/chirp_config.hpp"
 #include "mmhand/radar/if_simulator.hpp"
 #include "mmhand/radar/pipeline.hpp"
+#include "mmhand/simd/simd.hpp"
 
 namespace {
 
@@ -143,6 +144,11 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f, "{\n  \"bench\": \"throughput\",\n");
   std::fprintf(f, "  \"hardware_concurrency\": %d,\n", hw);
+  // The dispatched vector ISA; check_bench.py refuses to compare runs
+  // whose ISAs differ (a scalar run would "regress" the AVX2 baseline
+  // by design).
+  std::fprintf(f, "  \"simd\": \"%s\",\n",
+               mmhand::simd::isa_name(mmhand::simd::active_isa()));
   std::fprintf(f, "  \"thread_counts\": [");
   for (std::size_t i = 0; i < thread_counts.size(); ++i)
     std::fprintf(f, "%s%d", i ? ", " : "", thread_counts[i]);

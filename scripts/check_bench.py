@@ -5,13 +5,23 @@ committed baseline.
 Usage:
     scripts/check_bench.py [--current BENCH_throughput.json]
                            [--baseline bench/baseline/BENCH_throughput.baseline.json]
-                           [--tolerance 0.5] [--strict]
+                           [--tolerance 0.5] [--strict] [--ops a,b,...]
 
 Compares per-op/per-thread-count timings from ``results[]`` and per-stage
 mean latencies from ``stage_breakdown.histograms``.  A regression is a
 current value more than ``(1 + tolerance)`` times the baseline.  The default
 tolerance is deliberately generous (50%) because these are wall-clock
 micro-benches on shared CI hardware; tighten it on a quiet box.
+
+Both JSON files carry a ``simd`` field naming the vector ISA the run
+dispatched to (scalar/avx2/neon).  When the two runs used different ISAs the
+comparison is meaningless — a scalar run on an AVX2 baseline would "regress"
+by design — so the script refuses it (exit 2).  Re-run the bench with
+``MMHAND_SIMD=<baseline isa>`` or refresh the baseline instead.
+
+``--ops`` restricts the comparison to a comma-separated set of names: op
+rows whose op matches exactly, and stage histograms whose name starts with a
+listed prefix (e.g. ``--ops process_frame,radar/``).
 
 Default mode only reports.  With ``--strict`` the exit code is non-zero when
 any regression is found, so CI can gate on it.  Missing/extra ops are
@@ -42,6 +52,18 @@ def stage_table(doc):
     """{stage: mean_us} from stage_breakdown histograms."""
     hists = doc.get("stage_breakdown", {}).get("histograms", {})
     return {name: float(h["mean"]) for name, h in hists.items() if "mean" in h}
+
+
+def filter_table(table, ops):
+    """Keeps op rows matching a name exactly and stages matching a prefix."""
+    if not ops:
+        return table
+
+    def keep(key):
+        name = key[0] if isinstance(key, tuple) else key
+        return any(name == f or name.startswith(f) for f in ops)
+
+    return {k: v for k, v in table.items() if keep(k)}
 
 
 def compare(kind, baseline, current, tolerance, report):
@@ -83,7 +105,11 @@ def main():
                         help="allowed fractional slowdown (default 0.5 = +50%%)")
     parser.add_argument("--strict", action="store_true",
                         help="exit non-zero when a regression is found")
+    parser.add_argument("--ops", default="",
+                        help="comma-separated op names / stage prefixes to"
+                             " compare (default: everything)")
     args = parser.parse_args()
+    ops = [o for o in (s.strip() for s in args.ops.split(",")) if o]
 
     try:
         baseline = load(args.baseline)
@@ -96,11 +122,28 @@ def main():
         print(f"check_bench: cannot read current: {e}", file=sys.stderr)
         return 2
 
+    base_isa = baseline.get("simd")
+    cur_isa = current.get("simd")
+    if base_isa is not None and cur_isa is not None and base_isa != cur_isa:
+        print(f"check_bench: refusing cross-ISA comparison: baseline ran"
+              f" simd={base_isa}, current ran simd={cur_isa}; rerun with"
+              f" MMHAND_SIMD={base_isa} or refresh the baseline",
+              file=sys.stderr)
+        return 2
+    if base_isa is None or cur_isa is None:
+        print("check_bench: note: missing 'simd' field in"
+              f" {'baseline' if base_isa is None else 'current'} run"
+              " (pre-SIMD bench JSON); ISA match not verified")
+
     report = []
     regressions = 0
-    regressions += compare("op", results_table(baseline), results_table(current),
+    regressions += compare("op",
+                           filter_table(results_table(baseline), ops),
+                           filter_table(results_table(current), ops),
                            args.tolerance, report)
-    regressions += compare("stage", stage_table(baseline), stage_table(current),
+    regressions += compare("stage",
+                           filter_table(stage_table(baseline), ops),
+                           filter_table(stage_table(current), ops),
                            args.tolerance, report)
 
     print(f"check_bench: baseline={args.baseline}")

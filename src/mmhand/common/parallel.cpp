@@ -17,6 +17,16 @@ namespace {
 
 constexpr int kMaxThreads = 256;
 
+/// Minimum chunks each participating thread must have a shot at.  Tiny
+/// regions (the 2-tile LSTM-gate GEMM, the 4-tile conv GEMM) used to fan
+/// out across the pool and lose to wake-up/handoff latency — the PR-1
+/// bench showed 0.81x at 4 threads on lstm_step.  Capping participants
+/// at num_chunks / kMinChunksPerThread sends those regions down the
+/// serial path while leaving real fan-outs (hundreds of chunks in the
+/// radar stages) untouched.  Results are unchanged either way: chunk
+/// assignment is already dynamic and every index writes disjoint output.
+constexpr std::int64_t kMinChunksPerThread = 4;
+
 thread_local bool tl_in_parallel = false;
 
 /// MMHAND_THREADS, or 0 when unset/garbage.
@@ -83,10 +93,11 @@ class ThreadPool {
     target_.store(std::clamp(n, 1, kMaxThreads), std::memory_order_relaxed);
   }
 
-  /// Runs one region on the pool.  Regions are serialized: a second
-  /// submitting thread waits here until the first region drains.
+  /// Runs one region on the pool with at most `max_threads`
+  /// participants.  Regions are serialized: a second submitting thread
+  /// waits here until the first region drains.
   void run(std::int64_t begin, std::int64_t end, std::int64_t grain,
-           const std::function<void(std::int64_t)>& fn) {
+           const std::function<void(std::int64_t)>& fn, int max_threads) {
     std::lock_guard<std::mutex> submit(submit_mu_);
     Job job;
     job.begin = begin;
@@ -95,7 +106,7 @@ class ThreadPool {
     job.num_chunks = (end - begin + grain - 1) / grain;
     job.fn = &fn;
     const int participants = static_cast<int>(std::min<std::int64_t>(
-        target_threads(), job.num_chunks));
+        max_threads, job.num_chunks));
     job.extra_slots.store(participants - 1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lk(mu_);
@@ -184,11 +195,15 @@ void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
   MMHAND_CHECK(grain >= 1, "parallel_for grain " << grain);
   if (end <= begin) return;
   ThreadPool& pool = ThreadPool::instance();
-  if (tl_in_parallel || end - begin <= grain || pool.target_threads() <= 1) {
+  const std::int64_t num_chunks = (end - begin + grain - 1) / grain;
+  const int max_useful = static_cast<int>(std::min<std::int64_t>(
+      num_chunks / kMinChunksPerThread, kMaxThreads));
+  const int target = std::min(pool.target_threads(), max_useful);
+  if (tl_in_parallel || end - begin <= grain || target <= 1) {
     for (std::int64_t i = begin; i < end; ++i) fn(i);
     return;
   }
-  pool.run(begin, end, grain, fn);
+  pool.run(begin, end, grain, fn, target);
 }
 
 }  // namespace mmhand

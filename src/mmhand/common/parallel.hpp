@@ -39,8 +39,12 @@ bool in_parallel_region();
 /// dynamic, so `fn` must not depend on which thread runs which index.
 /// Runs serially (on the calling thread, in order) when the range is empty,
 /// fits in a single grain, the pool is limited to one thread, or the call
-/// is nested inside another parallel region.  The first exception thrown by
-/// any worker is rethrown on the calling thread after the region completes.
+/// is nested inside another parallel region.  Participation is further
+/// capped at one thread per four chunks (minimum-grain threshold), so
+/// regions with only a handful of chunks run serially instead of paying
+/// pool wake-up latency that exceeds their work.  The first exception
+/// thrown by any worker is rethrown on the calling thread after the
+/// region completes.
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
                   const std::function<void(std::int64_t)>& fn);
 

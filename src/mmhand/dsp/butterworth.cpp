@@ -4,7 +4,10 @@
 #include <cmath>
 #include <numbers>
 
+#include "mmhand/common/aligned.hpp"
 #include "mmhand/common/error.hpp"
+#include "mmhand/common/parallel.hpp"
+#include "mmhand/simd/simd.hpp"
 
 namespace mmhand::dsp {
 
@@ -68,6 +71,82 @@ std::vector<Cd> SosFilter::filtfilt(std::span<const Cd> x) const {
   std::vector<Cd> y(x.size());
   for (std::size_t i = 0; i < x.size(); ++i) y[i] = Cd{fre[i], fim[i]};
   return y;
+}
+
+void SosFilter::filtfilt_batch(Cd* data, std::size_t len,
+                               std::size_t count) const {
+  MMHAND_CHECK(len >= 2, "filtfilt needs >= 2 samples");
+  if (count == 0) return;
+
+  if (simd::active_isa() == simd::Isa::kScalar) {
+    // Reference path: per-signal filtfilt, same op order as the
+    // pre-batch pipeline loop — scalar results stay bitwise identical.
+    parallel_for(0, static_cast<std::int64_t>(count), 1,
+                 [&](std::int64_t i) {
+                   Cd* sig = data + static_cast<std::size_t>(i) * len;
+                   const auto y = filtfilt(std::span<const Cd>(sig, len));
+                   std::copy(y.begin(), y.end(), sig);
+                 });
+    return;
+  }
+
+  // Vector path: each complex signal contributes two real channels
+  // (re, im) that occupy adjacent SIMD lanes; a block fills all
+  // `width` lanes with width/2 signals.  Block membership is fixed by
+  // index, so results do not depend on the thread count.
+  const auto& kernels = simd::kernels();
+  const std::size_t width = static_cast<std::size_t>(kernels.width);
+  const std::size_t per_block = std::max<std::size_t>(1, width / 2);
+  const std::size_t nsec = sections_.size();
+  const std::size_t pad =
+      std::min<std::size_t>(len - 1, 3 * (2 * nsec + 1));
+  const std::size_t ext = len + 2 * pad;
+  aligned_vector<double> coeffs(nsec * 5);
+  for (std::size_t s = 0; s < nsec; ++s) {
+    coeffs[5 * s + 0] = sections_[s].b0;
+    coeffs[5 * s + 1] = sections_[s].b1;
+    coeffs[5 * s + 2] = sections_[s].b2;
+    coeffs[5 * s + 3] = sections_[s].a1;
+    coeffs[5 * s + 4] = sections_[s].a2;
+  }
+
+  const std::int64_t blocks =
+      static_cast<std::int64_t>((count + per_block - 1) / per_block);
+  parallel_for(0, blocks, 1, [&](std::int64_t b) {
+    thread_local aligned_vector<double> buf;
+    if (buf.size() < ext * width) buf.resize(ext * width);
+    double* x = buf.data();
+    const std::size_t first = static_cast<std::size_t>(b) * per_block;
+    const std::size_t in_block = std::min(per_block, count - first);
+    for (std::size_t p = 0; p < per_block; ++p) {
+      // Duplicate the last signal into unused lanes so every lane holds
+      // finite data; their results are simply not written back.
+      const std::size_t sig_idx = first + std::min(p, in_block - 1);
+      const Cd* sig = data + sig_idx * len;
+      const std::size_t lr = 2 * p, li = 2 * p + 1 < width ? 2 * p + 1 : lr;
+      for (std::size_t t = 0; t < len; ++t) {
+        x[(pad + t) * width + lr] = sig[t].real();
+        x[(pad + t) * width + li] = sig[t].imag();
+      }
+      // Odd reflection around both edges, matching `filtfilt`.
+      for (std::size_t i = 0; i < pad; ++i) {
+        x[i * width + lr] = 2.0 * sig[0].real() - sig[pad - i].real();
+        x[i * width + li] = 2.0 * sig[0].imag() - sig[pad - i].imag();
+        x[(pad + len + i) * width + lr] =
+            2.0 * sig[len - 1].real() - sig[len - 2 - i].real();
+        x[(pad + len + i) * width + li] =
+            2.0 * sig[len - 1].imag() - sig[len - 2 - i].imag();
+      }
+    }
+    kernels.sos_lanes(x, ext, coeffs.data(), nsec, gain_, +1);
+    kernels.sos_lanes(x, ext, coeffs.data(), nsec, gain_, -1);
+    for (std::size_t p = 0; p < in_block; ++p) {
+      Cd* sig = data + (first + p) * len;
+      const std::size_t lr = 2 * p, li = 2 * p + 1 < width ? 2 * p + 1 : lr;
+      for (std::size_t t = 0; t < len; ++t)
+        sig[t] = Cd{x[(pad + t) * width + lr], x[(pad + t) * width + li]};
+    }
+  });
 }
 
 Cd SosFilter::response(double f) const {

@@ -38,6 +38,15 @@ class SosFilter {
   std::vector<std::complex<double>> filtfilt(
       std::span<const std::complex<double>> x) const;
 
+  /// Zero-phase filters `count` equal-length complex signals in place
+  /// (signal i occupies data[i*len, (i+1)*len)).  With the scalar ISA
+  /// this loops the per-signal `filtfilt` above — bitwise identical to
+  /// pre-batch behavior; on vector ISAs the real/imaginary components
+  /// ride the SIMD lanes of a batched biquad cascade (channel-major,
+  /// one lane per real channel), within 1e-9 relative of scalar.
+  void filtfilt_batch(std::complex<double>* data, std::size_t len,
+                      std::size_t count) const;
+
   /// Complex frequency response at normalized frequency f in cycles/sample.
   std::complex<double> response(double f) const;
 

@@ -1,12 +1,18 @@
 #include "mmhand/dsp/fft.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <numbers>
+#include <tuple>
 #include <unordered_map>
 
 #include "mmhand/common/error.hpp"
+#include "mmhand/simd/simd.hpp"
 
 namespace mmhand::dsp {
 
@@ -40,6 +46,58 @@ const std::vector<Complex>& twiddle_table(std::size_t n) {
           1.0, -2.0 * kPi * static_cast<double>(k) / static_cast<double>(n));
   }
   return *slot;
+}
+
+/// The same factors viewed as interleaved re,im doubles — the layout
+/// the lane-batched FFT kernel broadcasts from.  std::complex<double>
+/// is layout-compatible with double[2].
+const double* twiddle_interleaved(std::size_t n) {
+  return reinterpret_cast<const double*>(twiddle_table(n).data());
+}
+
+/// Per-stage twiddle tables for the SoA single-signal FFT: stage
+/// len = 2, 4, ..., n contributes len/2 contiguous entries
+/// w_n^{k * (n/len)}, so the vectorized butterfly loop loads twiddles
+/// with unit stride.  n-1 doubles per component, cached like the main
+/// table.
+struct StageTwiddles {
+  aligned_vector<double> re, im;
+};
+
+const StageTwiddles& stage_twiddles(std::size_t n) {
+  static std::mutex mu;
+  static std::unordered_map<std::size_t, std::unique_ptr<StageTwiddles>>
+      cache;
+  std::lock_guard<std::mutex> lk(mu);
+  auto& slot = cache[n];
+  if (!slot) {
+    slot = std::make_unique<StageTwiddles>();
+    slot->re.reserve(n - 1);
+    slot->im.reserve(n - 1);
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      const std::size_t stride = n / len;
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex w = std::polar(
+            1.0, -2.0 * kPi * static_cast<double>(k * stride) /
+                     static_cast<double>(n));
+        slot->re.push_back(w.real());
+        slot->im.push_back(w.imag());
+      }
+    }
+  }
+  return *slot;
+}
+
+/// Grows-on-demand per-thread scratch for the lane-batched CZT path, so
+/// the per-cell zoom transforms allocate nothing in steady state.
+double* czt_scratch(std::size_t doubles) {
+  thread_local aligned_vector<double> buf;
+  if (buf.size() < doubles) buf.resize(doubles);
+  return buf.data();
+}
+
+bool vector_isa_active() {
+  return simd::active_isa() != simd::Isa::kScalar;
 }
 
 }  // namespace
@@ -77,6 +135,19 @@ void fft_pow2_inplace(std::vector<Complex>& x, bool inverse) {
     const double inv_n = 1.0 / static_cast<double>(n);
     for (auto& v : x) v *= inv_n;
   }
+}
+
+void fft_lanes_pow2(double* re, double* im, std::size_t n, bool inverse) {
+  MMHAND_CHECK(is_power_of_two(n), "fft_lanes size " << n);
+  if (n < 2) return;
+  simd::kernels().fft_lanes(re, im, n, twiddle_interleaved(n), inverse);
+}
+
+void fft_soa_pow2(double* re, double* im, std::size_t n, bool inverse) {
+  MMHAND_CHECK(is_power_of_two(n), "fft_soa size " << n);
+  if (n < 2) return;
+  const StageTwiddles& stw = stage_twiddles(n);
+  simd::kernels().fft_soa(re, im, n, stw.re.data(), stw.im.data(), inverse);
 }
 
 std::vector<Complex> czt(std::span<const Complex> x, std::size_t m, Complex w,
@@ -122,10 +193,125 @@ std::vector<Complex> czt(std::span<const Complex> x, std::size_t m, Complex w,
   return out;
 }
 
+CztPlan::CztPlan(std::size_t n, std::size_t m, Complex w, Complex a)
+    : n_(n), m_(m), conv_(next_pow2(n + m - 1)) {
+  MMHAND_CHECK(n >= 1 && m >= 1, "czt plan sizes n=" << n << " m=" << m);
+  // Identical factor formulas to `czt` above, evaluated once.  The plan
+  // is built with the scalar reference FFT so its tables do not depend
+  // on the active ISA.
+  const double wang = std::arg(w);
+  const double wmag = std::abs(w);
+  auto chirp = [&](double k2_half) {
+    return std::polar(std::pow(wmag, k2_half), wang * k2_half);
+  };
+
+  fa_re_.resize(n);
+  fa_im_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double i2 = 0.5 * static_cast<double>(i) * static_cast<double>(i);
+    const Complex f = std::pow(a, -static_cast<double>(i)) * chirp(i2);
+    fa_re_[i] = f.real();
+    fa_im_[i] = f.imag();
+  }
+
+  std::vector<Complex> fb(conv_, Complex{});
+  const std::size_t lim = std::max(n, m);
+  for (std::size_t i = 0; i < lim; ++i) {
+    const double i2 = 0.5 * static_cast<double>(i) * static_cast<double>(i);
+    const Complex v = chirp(-i2);
+    if (i < m) fb[i] = v;
+    if (i >= 1 && i < n) fb[conv_ - i] = v;
+  }
+  fft_pow2_inplace(fb, false);
+  fb_re_.resize(conv_);
+  fb_im_.resize(conv_);
+  for (std::size_t i = 0; i < conv_; ++i) {
+    fb_re_[i] = fb[i].real();
+    fb_im_[i] = fb[i].imag();
+  }
+
+  out_re_.resize(m);
+  out_im_.resize(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    const double k2 = 0.5 * static_cast<double>(k) * static_cast<double>(k);
+    const Complex c = chirp(k2);
+    out_re_[k] = c.real();
+    out_im_[k] = c.imag();
+  }
+}
+
+std::vector<Complex> CztPlan::run(std::span<const Complex> x) const {
+  MMHAND_CHECK(x.size() == n_, "czt plan input " << x.size() << " != " << n_);
+  const auto& k = simd::kernels();
+  aligned_vector<double> re(conv_, 0.0), im(conv_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    re[i] = x[i].real();
+    im[i] = x[i].imag();
+  }
+  k.cmul(re.data(), im.data(), fa_re_.data(), fa_im_.data(), n_);
+  fft_soa_pow2(re.data(), im.data(), conv_, false);
+  k.cmul(re.data(), im.data(), fb_re_.data(), fb_im_.data(), conv_);
+  fft_soa_pow2(re.data(), im.data(), conv_, true);
+  k.cmul(re.data(), im.data(), out_re_.data(), out_im_.data(), m_);
+  std::vector<Complex> out(m_);
+  for (std::size_t i = 0; i < m_; ++i) out[i] = Complex{re[i], im[i]};
+  return out;
+}
+
+void CztPlan::run_lanes(const double* re, const double* im, double* out_re,
+                        double* out_im) const {
+  const auto& k = simd::kernels();
+  const std::size_t w = static_cast<std::size_t>(k.width);
+  double* br = czt_scratch(2 * conv_ * w);
+  double* bi = br + conv_ * w;
+  std::copy(re, re + n_ * w, br);
+  std::copy(im, im + n_ * w, bi);
+  std::fill(br + n_ * w, br + conv_ * w, 0.0);
+  std::fill(bi + n_ * w, bi + conv_ * w, 0.0);
+  k.cmul_bcast(br, bi, fa_re_.data(), fa_im_.data(), n_);
+  const double* tw = twiddle_interleaved(conv_);
+  k.fft_lanes(br, bi, conv_, tw, false);
+  k.cmul_bcast(br, bi, fb_re_.data(), fb_im_.data(), conv_);
+  k.fft_lanes(br, bi, conv_, tw, true);
+  std::copy(br, br + m_ * w, out_re);
+  std::copy(bi, bi + m_ * w, out_im);
+  k.cmul_bcast(out_re, out_im, out_re_.data(), out_im_.data(), m_);
+}
+
+const CztPlan& zoom_plan(std::size_t n, double f_lo, double f_hi,
+                         std::size_t bins) {
+  using Key = std::tuple<std::size_t, std::size_t, std::uint64_t,
+                         std::uint64_t>;
+  static std::mutex mu;
+  static std::map<Key, std::unique_ptr<CztPlan>> cache;
+  const Key key{n, bins, std::bit_cast<std::uint64_t>(f_lo),
+                std::bit_cast<std::uint64_t>(f_hi)};
+  std::lock_guard<std::mutex> lk(mu);
+  auto& slot = cache[key];
+  if (!slot) {
+    const double step = (f_hi - f_lo) / static_cast<double>(bins);
+    const Complex a = std::polar(1.0, 2.0 * kPi * f_lo);
+    const Complex w = std::polar(1.0, -2.0 * kPi * step);
+    slot = std::make_unique<CztPlan>(n, bins, w, a);
+  }
+  return *slot;
+}
+
 std::vector<Complex> fft(std::span<const Complex> x) {
   const std::size_t n = x.size();
   MMHAND_CHECK(n >= 1, "fft of empty signal");
   if (is_power_of_two(n)) {
+    if (n >= 2 && vector_isa_active()) {
+      aligned_vector<double> re(n), im(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        re[i] = x[i].real();
+        im[i] = x[i].imag();
+      }
+      fft_soa_pow2(re.data(), im.data(), n, false);
+      std::vector<Complex> v(n);
+      for (std::size_t i = 0; i < n; ++i) v[i] = Complex{re[i], im[i]};
+      return v;
+    }
     std::vector<Complex> v(x.begin(), x.end());
     fft_pow2_inplace(v, false);
     return v;
@@ -139,6 +325,17 @@ std::vector<Complex> ifft(std::span<const Complex> x) {
   const std::size_t n = x.size();
   MMHAND_CHECK(n >= 1, "ifft of empty signal");
   if (is_power_of_two(n)) {
+    if (n >= 2 && vector_isa_active()) {
+      aligned_vector<double> re(n), im(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        re[i] = x[i].real();
+        im[i] = x[i].imag();
+      }
+      fft_soa_pow2(re.data(), im.data(), n, true);
+      std::vector<Complex> v(n);
+      for (std::size_t i = 0; i < n; ++i) v[i] = Complex{re[i], im[i]};
+      return v;
+    }
     std::vector<Complex> v(x.begin(), x.end());
     fft_pow2_inplace(v, true);
     return v;
@@ -153,8 +350,45 @@ std::vector<Complex> ifft(std::span<const Complex> x) {
 }
 
 std::vector<Complex> fft_real(std::span<const double> x) {
-  std::vector<Complex> c(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) c[i] = Complex{x[i], 0.0};
+  const std::size_t n = x.size();
+  if (n >= 4 && is_power_of_two(n) && vector_isa_active()) {
+    // Real-input specialization: pack the even/odd samples into a
+    // half-size complex signal, transform, and untangle
+    //   X_k = E_k + e^{-2*pi*i*k/n} O_k
+    // where E/O are the even/odd sub-spectra recovered from the packed
+    // transform Z via E_k = (Z_k + conj(Z_{h-k}))/2,
+    // O_k = -i (Z_k - conj(Z_{h-k}))/2.  Halves the butterfly work and
+    // keeps the conjugate-symmetric upper half free.
+    const std::size_t h = n / 2;
+    aligned_vector<double> re(h), im(h);
+    for (std::size_t i = 0; i < h; ++i) {
+      re[i] = x[2 * i];
+      im[i] = x[2 * i + 1];
+    }
+    fft_soa_pow2(re.data(), im.data(), h, false);
+    const auto& tw = twiddle_table(n);  // e^{-2*pi*i*k/n}, k < n/2
+    std::vector<Complex> out(n);
+    for (std::size_t k = 0; k <= h / 2; ++k) {
+      const std::size_t kc = (h - k) % h;
+      const Complex z1{re[k], im[k]};
+      const Complex z2{re[kc], -im[kc]};
+      const Complex e = 0.5 * (z1 + z2);
+      const Complex o = Complex{0.0, -0.5} * (z1 - z2);
+      out[k] = e + tw[k] * o;
+      if (k >= 1 && k < h - k) {
+        // Mirror within the lower half: X_{h-k} = E_k' + tw O_k' with
+        // E' = conj-mirror; computed directly from the same z pair.
+        const Complex e2 = std::conj(e);
+        const Complex o2 = std::conj(o);
+        out[h - k] = e2 + tw[h - k] * o2;
+      }
+    }
+    out[h] = Complex{re[0] - im[0], 0.0};
+    for (std::size_t k = 1; k < h; ++k) out[n - k] = std::conj(out[k]);
+    return out;
+  }
+  std::vector<Complex> c(n);
+  for (std::size_t i = 0; i < n; ++i) c[i] = Complex{x[i], 0.0};
   return fft(c);
 }
 
@@ -170,6 +404,8 @@ std::vector<Complex> zoom_fft(std::span<const Complex> x, double f_lo,
                               double f_hi, std::size_t bins) {
   MMHAND_CHECK(bins >= 1, "zoom_fft needs bins >= 1");
   MMHAND_CHECK(f_hi > f_lo, "zoom_fft band [" << f_lo << ", " << f_hi << ")");
+  if (vector_isa_active())
+    return zoom_plan(x.size(), f_lo, f_hi, bins).run(x);
   const double step = (f_hi - f_lo) / static_cast<double>(bins);
   // X_k = sum_n x_n e^{-2*pi*i*(f_lo + k*step)*n}  ==  CZT with
   // A = e^{+2*pi*i*f_lo} (so A^{-n} gives the f_lo shift) and

@@ -3,12 +3,27 @@
 #include <algorithm>
 #include <cmath>
 
+#include "mmhand/common/aligned.hpp"
 #include "mmhand/common/error.hpp"
+#include "mmhand/simd/simd.hpp"
 
 namespace mmhand::dsp {
 
 std::vector<double> magnitude(std::span<const std::complex<double>> x) {
   std::vector<double> m(x.size());
+  if (simd::active_isa() != simd::Isa::kScalar && x.size() >= 8) {
+    // Split to SoA once, then one vector sqrt per lane-width of
+    // elements.  sqrt(re^2+im^2) forgoes std::abs's overflow rescaling,
+    // which is irrelevant at radar signal magnitudes (DESIGN §9).
+    const std::size_t n = x.size();
+    aligned_vector<double> re(n), im(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      re[i] = x[i].real();
+      im[i] = x[i].imag();
+    }
+    simd::kernels().vmag(re.data(), im.data(), m.data(), n);
+    return m;
+  }
   for (std::size_t i = 0; i < x.size(); ++i) m[i] = std::abs(x[i]);
   return m;
 }

@@ -3,9 +3,11 @@
 #include <cmath>
 #include <numbers>
 
+#include "mmhand/common/aligned.hpp"
 #include "mmhand/common/parallel.hpp"
 #include "mmhand/dsp/fft.hpp"
 #include "mmhand/obs/trace.hpp"
+#include "mmhand/simd/simd.hpp"
 
 namespace mmhand::radar {
 
@@ -13,6 +15,14 @@ namespace {
 
 constexpr double kPi = std::numbers::pi;
 using Cd = std::complex<double>;
+
+/// Per-thread SoA scratch for the lane-batched stages; grown on demand
+/// so steady-state frames allocate nothing.
+double* stage_scratch(std::size_t doubles) {
+  thread_local aligned_vector<double> buf;
+  if (buf.size() < doubles) buf.resize(doubles);
+  return buf.data();
+}
 
 }  // namespace
 
@@ -93,23 +103,26 @@ std::vector<Cd> RadarPipeline::range_profiles(const IfFrame& frame) const {
                           (static_cast<std::int64_t>(n_chirp) * n_rx));
   };
 
-  // Stage 1: Butterworth bandpass per chirp (skipped when disabled; the
-  // per-chirp op order is the same as the fused loop, so results are
-  // unchanged).  Each index owns a disjoint `n_samp` slice of `filtered`.
+  // Stage 1: Butterworth bandpass, all chirps in one zero-phase batch
+  // (skipped when disabled; the per-chirp op order is the same as the
+  // fused loop, so results are unchanged).  filtfilt_batch runs the
+  // per-signal reference loop under the scalar ISA and the lane-batched
+  // biquad cascade otherwise.
   const bool bandpass = config_.enable_bandpass;
   std::vector<Cd> filtered;
   if (bandpass) {
     MMHAND_SPAN("radar/bandpass");
     filtered.resize(static_cast<std::size_t>(n_virt) * n_samp);
-    parallel_for(0, n_virt, 1, [&](std::int64_t idx) {
+    for (std::int64_t idx = 0; idx < n_virt; ++idx) {
       int tx, rx, c;
       chirp_of(idx, tx, rx, c);
       const Cd* in = frame.chirp_data(tx, rx, c);
-      const auto out = bandpass_.filtfilt(std::span<const Cd>(in, in + n_samp));
-      std::copy(out.begin(), out.end(),
-                filtered.begin() +
-                    static_cast<std::ptrdiff_t>(idx) * n_samp);
-    });
+      std::copy(in, in + n_samp,
+                filtered.begin() + static_cast<std::ptrdiff_t>(idx) * n_samp);
+    }
+    bandpass_.filtfilt_batch(filtered.data(),
+                             static_cast<std::size_t>(n_samp),
+                             static_cast<std::size_t>(n_virt));
   }
 
   // Stage 2: window + range-FFT per (tx, rx, chirp); each index owns a
@@ -118,27 +131,76 @@ std::vector<Cd> RadarPipeline::range_profiles(const IfFrame& frame) const {
   MMHAND_SPAN("radar/range_fft");
   std::vector<Cd> profiles(static_cast<std::size_t>(n_tx) * n_rx * n_chirp *
                            n_range);
-  parallel_for(
-      0, n_virt, 1,
-      [&](std::int64_t idx) {
-        int tx, rx, c;
-        chirp_of(idx, tx, rx, c);
-        const Cd* in = bandpass
-                           ? filtered.data() +
-                                 static_cast<std::size_t>(idx) * n_samp
-                           : frame.chirp_data(tx, rx, c);
-        std::vector<Cd> chirp_buf(in, in + n_samp);
-        for (int m = 0; m < n_samp; ++m)
-          chirp_buf[static_cast<std::size_t>(m)] *=
-              range_window_[static_cast<std::size_t>(m)];
-        const auto spectrum = dsp::fft(chirp_buf);
-        const std::size_t base =
-            ((static_cast<std::size_t>(tx) * n_rx + rx) * n_chirp + c) *
-            n_range;
-        for (int d = 0; d < n_range; ++d)
-          profiles[base + static_cast<std::size_t>(d)] =
-              spectrum[static_cast<std::size_t>(d)];
-      });
+  const bool vec_range = simd::active_isa() != simd::Isa::kScalar &&
+                         dsp::is_power_of_two(static_cast<std::size_t>(
+                             n_samp));
+  if (!vec_range) {
+    parallel_for(
+        0, n_virt, 1,
+        [&](std::int64_t idx) {
+          int tx, rx, c;
+          chirp_of(idx, tx, rx, c);
+          const Cd* in = bandpass
+                             ? filtered.data() +
+                                   static_cast<std::size_t>(idx) * n_samp
+                             : frame.chirp_data(tx, rx, c);
+          std::vector<Cd> chirp_buf(in, in + n_samp);
+          for (int m = 0; m < n_samp; ++m)
+            chirp_buf[static_cast<std::size_t>(m)] *=
+                range_window_[static_cast<std::size_t>(m)];
+          const auto spectrum = dsp::fft(chirp_buf);
+          const std::size_t base =
+              ((static_cast<std::size_t>(tx) * n_rx + rx) * n_chirp + c) *
+              n_range;
+          for (int d = 0; d < n_range; ++d)
+            profiles[base + static_cast<std::size_t>(d)] =
+                spectrum[static_cast<std::size_t>(d)];
+        });
+    return profiles;
+  }
+
+  // Vector path: `width` chirps ride the SIMD lanes of one split-complex
+  // FFT.  Groups are fixed runs of consecutive chirp indices, so the
+  // output is independent of the thread count.
+  const auto& kernels = simd::kernels();
+  const std::size_t width = static_cast<std::size_t>(kernels.width);
+  const std::int64_t groups =
+      (n_virt + static_cast<std::int64_t>(width) - 1) /
+      static_cast<std::int64_t>(width);
+  parallel_for(0, groups, 1, [&](std::int64_t g) {
+    const std::size_t ns = static_cast<std::size_t>(n_samp);
+    double* re = stage_scratch(2 * ns * width);
+    double* im = re + ns * width;
+    const std::int64_t first = g * static_cast<std::int64_t>(width);
+    const std::size_t lanes = static_cast<std::size_t>(
+        std::min<std::int64_t>(static_cast<std::int64_t>(width),
+                               n_virt - first));
+    for (std::size_t l = 0; l < width; ++l) {
+      // Clamp trailing lanes to the last chirp; they are never scattered.
+      const std::int64_t idx =
+          first + static_cast<std::int64_t>(std::min(l, lanes - 1));
+      int tx, rx, c;
+      chirp_of(idx, tx, rx, c);
+      const Cd* in = bandpass ? filtered.data() +
+                                    static_cast<std::size_t>(idx) * ns
+                              : frame.chirp_data(tx, rx, c);
+      for (std::size_t s = 0; s < ns; ++s) {
+        re[s * width + l] = in[s].real();
+        im[s * width + l] = in[s].imag();
+      }
+    }
+    kernels.scale_bcast(re, im, range_window_.data(), ns);
+    dsp::fft_lanes_pow2(re, im, ns, false);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const std::size_t base =
+          static_cast<std::size_t>(first + static_cast<std::int64_t>(l)) *
+          n_range;
+      for (int d = 0; d < n_range; ++d)
+        profiles[base + static_cast<std::size_t>(d)] =
+            Cd{re[static_cast<std::size_t>(d) * width + l],
+               im[static_cast<std::size_t>(d) * width + l]};
+    }
+  });
   return profiles;
 }
 
@@ -150,6 +212,7 @@ RadarCube RadarPipeline::process_frame(const IfFrame& frame) const {
   const int n_range = config_.cube.range_bins;
   const int n_az = config_.cube.azimuth_bins;
   const int n_el = config_.cube.elevation_bins;
+  const bool vector_isa = simd::active_isa() != simd::Isa::kScalar;
 
   const auto profiles = range_profiles(frame);
   auto profile_at = [&](int tx, int rx, int c, int d) -> Cd {
@@ -175,29 +238,101 @@ RadarCube RadarPipeline::process_frame(const IfFrame& frame) const {
   // doppler(tx, rx, *, d) column.
   {
   MMHAND_SPAN("radar/doppler_fft");
-  parallel_for(
-      0, static_cast<std::int64_t>(n_tx) * n_rx * n_range, 1,
-      [&](std::int64_t idx) {
-        const int d = static_cast<int>(idx % n_range);
-        const int rx = static_cast<int>((idx / n_range) % n_rx);
-        const int tx = static_cast<int>(idx / (static_cast<std::int64_t>(
-                                                   n_range) *
-                                               n_rx));
-        std::vector<Cd> seq(static_cast<std::size_t>(n_chirp));
-        for (int c = 0; c < n_chirp; ++c)
-          seq[static_cast<std::size_t>(c)] =
-              profile_at(tx, rx, c, d) *
-              doppler_window_[static_cast<std::size_t>(c)];
-        auto spec = dsp::fft_shift(dsp::fft(seq));
-        for (int v = 0; v < n_chirp; ++v) {
-          const int k = v - n_chirp / 2;
-          const double comp = -2.0 * kPi * static_cast<double>(k) *
-                              static_cast<double>(tx) /
-                              (static_cast<double>(n_chirp) * n_tx);
-          doppler_at(tx, rx, v, d) =
-              spec[static_cast<std::size_t>(v)] * std::polar(1.0, comp);
+  const std::int64_t n_cols =
+      static_cast<std::int64_t>(n_tx) * n_rx * n_range;
+  const bool vec_doppler =
+      vector_isa && dsp::is_power_of_two(static_cast<std::size_t>(n_chirp));
+  if (!vec_doppler) {
+    parallel_for(
+        0, n_cols, 1,
+        [&](std::int64_t idx) {
+          const int d = static_cast<int>(idx % n_range);
+          const int rx = static_cast<int>((idx / n_range) % n_rx);
+          const int tx = static_cast<int>(idx / (static_cast<std::int64_t>(
+                                                     n_range) *
+                                                 n_rx));
+          std::vector<Cd> seq(static_cast<std::size_t>(n_chirp));
+          for (int c = 0; c < n_chirp; ++c)
+            seq[static_cast<std::size_t>(c)] =
+                profile_at(tx, rx, c, d) *
+                doppler_window_[static_cast<std::size_t>(c)];
+          auto spec = dsp::fft_shift(dsp::fft(seq));
+          for (int v = 0; v < n_chirp; ++v) {
+            const int k = v - n_chirp / 2;
+            const double comp = -2.0 * kPi * static_cast<double>(k) *
+                                static_cast<double>(tx) /
+                                (static_cast<double>(n_chirp) * n_tx);
+            doppler_at(tx, rx, v, d) =
+                spec[static_cast<std::size_t>(v)] * std::polar(1.0, comp);
+          }
+        });
+  } else {
+    // TDM compensation factors depend only on (tx, doppler bin);
+    // precompute the n_tx * n_chirp table once per frame.
+    const std::size_t nc = static_cast<std::size_t>(n_chirp);
+    aligned_vector<double> ph_re(static_cast<std::size_t>(n_tx) * nc);
+    aligned_vector<double> ph_im(static_cast<std::size_t>(n_tx) * nc);
+    for (int tx = 0; tx < n_tx; ++tx)
+      for (int v = 0; v < n_chirp; ++v) {
+        const int k = v - n_chirp / 2;
+        const double comp = -2.0 * kPi * static_cast<double>(k) *
+                            static_cast<double>(tx) /
+                            (static_cast<double>(n_chirp) * n_tx);
+        const Cd p = std::polar(1.0, comp);
+        ph_re[static_cast<std::size_t>(tx) * nc + v] = p.real();
+        ph_im[static_cast<std::size_t>(tx) * nc + v] = p.imag();
+      }
+    const auto& kernels = simd::kernels();
+    const std::size_t width = static_cast<std::size_t>(kernels.width);
+    const std::size_t half = (nc + 1) / 2;  // fft_shift offset
+    const std::int64_t groups =
+        (n_cols + static_cast<std::int64_t>(width) - 1) /
+        static_cast<std::int64_t>(width);
+    parallel_for(0, groups, 1, [&](std::int64_t g) {
+      double* re = stage_scratch(4 * nc * width);
+      double* im = re + nc * width;
+      double* pr = im + nc * width;
+      double* pi = pr + nc * width;
+      const std::int64_t first = g * static_cast<std::int64_t>(width);
+      const std::size_t lanes = static_cast<std::size_t>(
+          std::min<std::int64_t>(static_cast<std::int64_t>(width),
+                                 n_cols - first));
+      int txs[8], rxs[8], ds[8];
+      for (std::size_t l = 0; l < width; ++l) {
+        const std::int64_t idx =
+            first + static_cast<std::int64_t>(std::min(l, lanes - 1));
+        ds[l] = static_cast<int>(idx % n_range);
+        rxs[l] = static_cast<int>((idx / n_range) % n_rx);
+        txs[l] = static_cast<int>(
+            idx / (static_cast<std::int64_t>(n_range) * n_rx));
+        for (int c = 0; c < n_chirp; ++c) {
+          const Cd p = profile_at(txs[l], rxs[l], c, ds[l]);
+          re[static_cast<std::size_t>(c) * width + l] = p.real();
+          im[static_cast<std::size_t>(c) * width + l] = p.imag();
         }
-      });
+      }
+      kernels.scale_bcast(re, im, doppler_window_.data(), nc);
+      dsp::fft_lanes_pow2(re, im, nc, false);
+      // Apply the TDM phase in pre-shift row order: row r lands at
+      // shifted bin v with r = (v + half) % nc.
+      for (std::size_t r = 0; r < nc; ++r) {
+        const std::size_t v = (r + nc - half) % nc;
+        for (std::size_t l = 0; l < width; ++l) {
+          pr[r * width + l] =
+              ph_re[static_cast<std::size_t>(txs[l]) * nc + v];
+          pi[r * width + l] =
+              ph_im[static_cast<std::size_t>(txs[l]) * nc + v];
+        }
+      }
+      kernels.cmul(re, im, pr, pi, nc * width);
+      for (std::size_t l = 0; l < lanes; ++l)
+        for (std::size_t v = 0; v < nc; ++v) {
+          const std::size_t r = (v + half) % nc;
+          doppler_at(txs[l], rxs[l], static_cast<int>(v), ds[l]) =
+              Cd{re[r * width + l], im[r * width + l]};
+        }
+    });
+  }
   }
 
   // Angle-FFTs.  The azimuth row is an 8-element lambda/2 ULA; spatial
@@ -220,44 +355,120 @@ RadarCube RadarPipeline::process_frame(const IfFrame& frame) const {
   // One zoom angle-FFT pair per (v, d); each index owns the cube(v, d, *)
   // fiber.
   MMHAND_SPAN("radar/zoom_angle_fft");
-  parallel_for(
-      0, static_cast<std::int64_t>(n_chirp) * n_range, 1,
-      [&](std::int64_t idx) {
-      const int v = static_cast<int>(idx / n_range);
-      const int d = static_cast<int>(idx % n_range);
-      std::vector<Cd> az_sig(az_row.size());
-      std::vector<Cd> el_sig(2);
-      for (std::size_t i = 0; i < az_row.size(); ++i)
-        az_sig[i] = doppler_at(az_row[i].first, az_row[i].second, v, d);
-      // IF phase grows with path length, so elements closer to a target on
-      // the +x side have *smaller* phase: the array response is
-      // exp(-j*2*pi*f*i).  The DFT therefore peaks at -f; sweep the band
-      // from +f_max down to -f_max so bin index increases with theta.
-      auto az_spec = dsp::zoom_fft(az_sig, -f_max, f_max,
-                                   static_cast<std::size_t>(n_az));
-      for (int a = 0; a < n_az; ++a)
-        cube.at(v, d, a) = static_cast<float>(
-            std::log1p(std::abs(az_spec[static_cast<std::size_t>(
-                n_az - 1 - a)])));
+  const std::int64_t n_cells =
+      static_cast<std::int64_t>(n_chirp) * n_range;
+  if (!vector_isa) {
+    parallel_for(
+        0, n_cells, 1,
+        [&](std::int64_t idx) {
+        const int v = static_cast<int>(idx / n_range);
+        const int d = static_cast<int>(idx % n_range);
+        std::vector<Cd> az_sig(az_row.size());
+        std::vector<Cd> el_sig(2);
+        for (std::size_t i = 0; i < az_row.size(); ++i)
+          az_sig[i] = doppler_at(az_row[i].first, az_row[i].second, v, d);
+        // IF phase grows with path length, so elements closer to a target on
+        // the +x side have *smaller* phase: the array response is
+        // exp(-j*2*pi*f*i).  The DFT therefore peaks at -f; sweep the band
+        // from +f_max down to -f_max so bin index increases with theta.
+        auto az_spec = dsp::zoom_fft(az_sig, -f_max, f_max,
+                                     static_cast<std::size_t>(n_az));
+        for (int a = 0; a < n_az; ++a)
+          cube.at(v, d, a) = static_cast<float>(
+              std::log1p(std::abs(az_spec[static_cast<std::size_t>(
+                  n_az - 1 - a)])));
 
-      // Elevation: a 2-element lambda/2 vertical aperture formed by the
-      // overlapping x-span of the base row and the raised TX2 row.
+        // Elevation: a 2-element lambda/2 vertical aperture formed by the
+        // overlapping x-span of the base row and the raised TX2 row.
+        Cd row0{};
+        for (std::size_t i = 2; i < 6 && i < az_row.size(); ++i)
+          row0 += doppler_at(az_row[i].first, az_row[i].second, v, d);
+        row0 /= 4.0;
+        Cd row1{};
+        for (const auto& [tx, rx] : el_row) row1 += doppler_at(tx, rx, v, d);
+        row1 /= static_cast<double>(el_row.size());
+        el_sig[0] = row0;
+        el_sig[1] = row1;
+        auto el_spec = dsp::zoom_fft(el_sig, -f_max, f_max,
+                                     static_cast<std::size_t>(n_el));
+        for (int e = 0; e < n_el; ++e)
+          cube.at(v, d, n_az + e) = static_cast<float>(
+              std::log1p(std::abs(el_spec[static_cast<std::size_t>(
+                  n_el - 1 - e)])));
+        });
+    return cube;
+  }
+
+  // Vector path: `width` (v, d) cells share the lane-batched Bluestein
+  // plans — the dominant pre-SIMD cost (per-cell chirp factor and kernel
+  // FFT recomputation) is amortized into the cached plans, and the two
+  // convolution FFTs per cell run across lanes.
+  const auto& kernels = simd::kernels();
+  const std::size_t width = static_cast<std::size_t>(kernels.width);
+  const std::size_t az_n = az_row.size();
+  const dsp::CztPlan& az_plan =
+      dsp::zoom_plan(az_n, -f_max, f_max, static_cast<std::size_t>(n_az));
+  const dsp::CztPlan& el_plan =
+      dsp::zoom_plan(2, -f_max, f_max, static_cast<std::size_t>(n_el));
+  const std::int64_t groups =
+      (n_cells + static_cast<std::int64_t>(width) - 1) /
+      static_cast<std::int64_t>(width);
+  parallel_for(0, groups, 1, [&](std::int64_t g) {
+    const std::size_t na = static_cast<std::size_t>(n_az);
+    const std::size_t ne = static_cast<std::size_t>(n_el);
+    const std::size_t mag_n = std::max(na, ne) * width;
+    double* sig_re = stage_scratch(2 * az_n * width + 2 * na * width +
+                                   2 * 2 * width + 2 * ne * width + mag_n);
+    double* sig_im = sig_re + az_n * width;
+    double* out_re = sig_im + az_n * width;
+    double* out_im = out_re + na * width;
+    double* el_re = out_im + na * width;
+    double* el_im = el_re + 2 * width;
+    double* eo_re = el_im + 2 * width;
+    double* eo_im = eo_re + ne * width;
+    double* mag = eo_im + ne * width;
+    const std::int64_t first = g * static_cast<std::int64_t>(width);
+    const std::size_t lanes = static_cast<std::size_t>(
+        std::min<std::int64_t>(static_cast<std::int64_t>(width),
+                               n_cells - first));
+    int vs[8], ds[8];
+    for (std::size_t l = 0; l < width; ++l) {
+      const std::int64_t cell =
+          first + static_cast<std::int64_t>(std::min(l, lanes - 1));
+      vs[l] = static_cast<int>(cell / n_range);
+      ds[l] = static_cast<int>(cell % n_range);
+      for (std::size_t i = 0; i < az_n; ++i) {
+        const Cd s = doppler_at(az_row[i].first, az_row[i].second, vs[l],
+                                ds[l]);
+        sig_re[i * width + l] = s.real();
+        sig_im[i * width + l] = s.imag();
+      }
       Cd row0{};
-      for (std::size_t i = 2; i < 6 && i < az_row.size(); ++i)
-        row0 += doppler_at(az_row[i].first, az_row[i].second, v, d);
+      for (std::size_t i = 2; i < 6 && i < az_n; ++i)
+        row0 += doppler_at(az_row[i].first, az_row[i].second, vs[l], ds[l]);
       row0 /= 4.0;
       Cd row1{};
-      for (const auto& [tx, rx] : el_row) row1 += doppler_at(tx, rx, v, d);
+      for (const auto& [tx, rx] : el_row)
+        row1 += doppler_at(tx, rx, vs[l], ds[l]);
       row1 /= static_cast<double>(el_row.size());
-      el_sig[0] = row0;
-      el_sig[1] = row1;
-      auto el_spec = dsp::zoom_fft(el_sig, -f_max, f_max,
-                                   static_cast<std::size_t>(n_el));
+      el_re[0 * width + l] = row0.real();
+      el_im[0 * width + l] = row0.imag();
+      el_re[1 * width + l] = row1.real();
+      el_im[1 * width + l] = row1.imag();
+    }
+    az_plan.run_lanes(sig_re, sig_im, out_re, out_im);
+    kernels.vmag(out_re, out_im, mag, na * width);
+    for (std::size_t l = 0; l < lanes; ++l)
+      for (int a = 0; a < n_az; ++a)
+        cube.at(vs[l], ds[l], a) = static_cast<float>(std::log1p(
+            mag[static_cast<std::size_t>(n_az - 1 - a) * width + l]));
+    el_plan.run_lanes(el_re, el_im, eo_re, eo_im);
+    kernels.vmag(eo_re, eo_im, mag, ne * width);
+    for (std::size_t l = 0; l < lanes; ++l)
       for (int e = 0; e < n_el; ++e)
-        cube.at(v, d, n_az + e) = static_cast<float>(
-            std::log1p(std::abs(el_spec[static_cast<std::size_t>(
-                n_el - 1 - e)])));
-      });
+        cube.at(vs[l], ds[l], n_az + e) = static_cast<float>(std::log1p(
+            mag[static_cast<std::size_t>(n_el - 1 - e) * width + l]));
+  });
   return cube;
 }
 

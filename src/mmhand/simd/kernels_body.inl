@@ -1,0 +1,209 @@
+// Generic kernel bodies, parameterized over a vector type V
+// (vec_scalar/vec_avx2/vec_neon).  Included — not compiled standalone —
+// by each kernels_<isa>.cpp after it defines MMHAND_SIMD_VEC to its
+// backend type; that TU carries the ISA-specific compile flags, so the
+// template bodies here are instantiated exactly once per backend.
+//
+// Layout conventions match simd.hpp: "lanes" kernels interleave
+// V::kWidth signals element-major ([k*W + l]); "soa"/flat kernels run
+// over contiguous arrays.
+
+#include <cstddef>
+
+namespace mmhand::simd {
+namespace {
+
+using V = MMHAND_SIMD_VEC;
+constexpr int kW = V::kWidth;
+
+/// Bit-reversal permutation over rows of `width` doubles.
+inline void bit_reverse_rows(double* re, double* im, std::size_t n,
+                             std::size_t width) {
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) {
+      for (std::size_t l = 0; l < width; ++l) {
+        std::swap(re[i * width + l], re[j * width + l]);
+        std::swap(im[i * width + l], im[j * width + l]);
+      }
+    }
+  }
+}
+
+void fft_lanes_impl(double* re, double* im, std::size_t n, const double* tw,
+                    bool inverse) {
+  bit_reverse_rows(re, im, n, kW);
+  // Tables store forward twiddles e^{-2*pi*i*k/n}; the inverse transform
+  // conjugates them (matching dsp::fft_pow2_inplace).
+  const double ts = inverse ? -1.0 : 1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len / 2;
+    const std::size_t stride = n / len;
+    for (std::size_t k = 0; k < half; ++k) {
+      const V wr = V::broadcast(tw[2 * (k * stride)]);
+      const V wi = V::broadcast(ts * tw[2 * (k * stride) + 1]);
+      for (std::size_t i = 0; i < n; i += len) {
+        double* ur_p = re + (i + k) * kW;
+        double* ui_p = im + (i + k) * kW;
+        double* vr_p = re + (i + k + half) * kW;
+        double* vi_p = im + (i + k + half) * kW;
+        const V ur = V::load(ur_p), ui = V::load(ui_p);
+        const V xr = V::load(vr_p), xi = V::load(vi_p);
+        const V vr = V::fmsub(xr, wr, xi * wi);  // Re(x*w)
+        const V vi = V::fmadd(xr, wi, xi * wr);  // Im(x*w)
+        (ur + vr).store(ur_p);
+        (ui + vi).store(ui_p);
+        (ur - vr).store(vr_p);
+        (ui - vi).store(vi_p);
+      }
+    }
+  }
+  if (inverse) {
+    const V s = V::broadcast(1.0 / static_cast<double>(n));
+    for (std::size_t j = 0; j < n * kW; j += kW) {
+      (V::load(re + j) * s).store(re + j);
+      (V::load(im + j) * s).store(im + j);
+    }
+  }
+}
+
+void fft_soa_impl(double* re, double* im, std::size_t n, const double* stw_re,
+                  const double* stw_im, bool inverse) {
+  bit_reverse_rows(re, im, n, 1);
+  const double ts = inverse ? -1.0 : 1.0;  // conjugate forward twiddles
+  std::size_t off = 0;  // start of this stage's twiddle block
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < n; i += len) {
+      std::size_t k = 0;
+      for (; k + kW <= half; k += kW) {
+        const V wr = V::load(stw_re + off + k);
+        V wi = V::load(stw_im + off + k);
+        if (inverse) wi = V::zero() - wi;
+        double* ur_p = re + i + k;
+        double* ui_p = im + i + k;
+        double* vr_p = re + i + k + half;
+        double* vi_p = im + i + k + half;
+        const V ur = V::load(ur_p), ui = V::load(ui_p);
+        const V xr = V::load(vr_p), xi = V::load(vi_p);
+        const V vr = V::fmsub(xr, wr, xi * wi);
+        const V vi = V::fmadd(xr, wi, xi * wr);
+        (ur + vr).store(ur_p);
+        (ui + vi).store(ui_p);
+        (ur - vr).store(vr_p);
+        (ui - vi).store(vi_p);
+      }
+      for (; k < half; ++k) {
+        const double wr = stw_re[off + k];
+        const double wi = ts * stw_im[off + k];
+        const double xr = re[i + k + half], xi = im[i + k + half];
+        const double vr = xr * wr - xi * wi;
+        const double vi = xr * wi + xi * wr;
+        const double ur = re[i + k], ui = im[i + k];
+        re[i + k] = ur + vr;
+        im[i + k] = ui + vi;
+        re[i + k + half] = ur - vr;
+        im[i + k + half] = ui - vi;
+      }
+    }
+    off += half;
+  }
+  if (inverse) {
+    const double s = 1.0 / static_cast<double>(n);
+    const V vs = V::broadcast(s);
+    std::size_t j = 0;
+    for (; j + kW <= n; j += kW) {
+      (V::load(re + j) * vs).store(re + j);
+      (V::load(im + j) * vs).store(im + j);
+    }
+    for (; j < n; ++j) {
+      re[j] *= s;
+      im[j] *= s;
+    }
+  }
+}
+
+void cmul_bcast_impl(double* re, double* im, const double* b_re,
+                     const double* b_im, std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const V br = V::broadcast(b_re[k]);
+    const V bi = V::broadcast(b_im[k]);
+    double* pr = re + k * kW;
+    double* pi = im + k * kW;
+    const V xr = V::load(pr), xi = V::load(pi);
+    V::fmsub(xr, br, xi * bi).store(pr);
+    V::fmadd(xr, bi, xi * br).store(pi);
+  }
+}
+
+void cmul_impl(double* re, double* im, const double* b_re, const double* b_im,
+               std::size_t count) {
+  std::size_t j = 0;
+  for (; j + kW <= count; j += kW) {
+    const V br = V::load(b_re + j), bi = V::load(b_im + j);
+    const V xr = V::load(re + j), xi = V::load(im + j);
+    V::fmsub(xr, br, xi * bi).store(re + j);
+    V::fmadd(xr, bi, xi * br).store(im + j);
+  }
+  for (; j < count; ++j) {
+    const double xr = re[j], xi = im[j];
+    re[j] = xr * b_re[j] - xi * b_im[j];
+    im[j] = xr * b_im[j] + xi * b_re[j];
+  }
+}
+
+void scale_bcast_impl(double* re, double* im, const double* s, std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const V vs = V::broadcast(s[k]);
+    (V::load(re + k * kW) * vs).store(re + k * kW);
+    (V::load(im + k * kW) * vs).store(im + k * kW);
+  }
+}
+
+void sos_lanes_impl(double* x, std::size_t len, const double* coeffs,
+                    std::size_t nsec, double gain, int dir) {
+  const std::ptrdiff_t step =
+      dir >= 0 ? static_cast<std::ptrdiff_t>(kW)
+               : -static_cast<std::ptrdiff_t>(kW);
+  double* start = dir >= 0 ? x : x + (len - 1) * kW;
+  for (std::size_t s = 0; s < nsec; ++s) {
+    const V b0 = V::broadcast(coeffs[5 * s + 0]);
+    const V b1 = V::broadcast(coeffs[5 * s + 1]);
+    const V b2 = V::broadcast(coeffs[5 * s + 2]);
+    const V a1 = V::broadcast(coeffs[5 * s + 3]);
+    const V a2 = V::broadcast(coeffs[5 * s + 4]);
+    V z1 = V::zero(), z2 = V::zero();
+    double* p = start;
+    for (std::size_t t = 0; t < len; ++t, p += step) {
+      const V in = V::load(p);
+      const V out = V::fmadd(b0, in, z1);
+      z1 = V::fmadd(b1, in, z2) - a1 * out;
+      z2 = V::fmsub(b2, in, a2 * out);
+      out.store(p);
+    }
+  }
+  const V g = V::broadcast(gain);
+  for (std::size_t j = 0; j < len * kW; j += kW)
+    (V::load(x + j) * g).store(x + j);
+}
+
+void vmag_impl(const double* re, const double* im, double* out,
+               std::size_t count) {
+  std::size_t j = 0;
+  for (; j + kW <= count; j += kW) {
+    const V xr = V::load(re + j), xi = V::load(im + j);
+    V::sqrt(V::fmadd(xr, xr, xi * xi)).store(out + j);
+  }
+  for (; j < count; ++j)
+    out[j] = std::sqrt(re[j] * re[j] + im[j] * im[j]);
+}
+
+const Kernels kTable = {
+    kW,           fft_lanes_impl, fft_soa_impl, cmul_bcast_impl,
+    cmul_impl,    scale_bcast_impl, sos_lanes_impl, vmag_impl,
+};
+
+}  // namespace
+}  // namespace mmhand::simd

@@ -1,0 +1,15 @@
+#include <cmath>
+#include <utility>
+
+#include "mmhand/simd/kernels.hpp"
+#include "mmhand/simd/vec_scalar.hpp"
+
+#define MMHAND_SIMD_VEC VScalar
+#include "mmhand/simd/kernels_body.inl"
+#undef MMHAND_SIMD_VEC
+
+namespace mmhand::simd {
+
+const Kernels& scalar_kernels() { return kTable; }
+
+}  // namespace mmhand::simd

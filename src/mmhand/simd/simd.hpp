@@ -1,0 +1,108 @@
+#pragma once
+
+// Portable SIMD layer for the DSP hot path.
+//
+// One function-pointer table (`Kernels`) per instruction set; the
+// active table is chosen once by runtime CPU detection and can be
+// overridden with the `MMHAND_SIMD` environment variable
+// (`auto|avx2|neon|scalar`) or `set_isa()` from tests.  Callers above
+// this layer (dsp/, radar/) never touch intrinsics — the
+// `simd-confinement` lint rule keeps raw `_mm*`/`vld1q*` identifiers
+// inside src/mmhand/simd/.
+//
+// Data layout: all kernels work on split-complex (SoA) double arrays.
+// Lane-batched ("lanes") kernels interleave `width` independent
+// signals element-major: element k of lane l lives at [k*width + l],
+// so one vector load fetches element k of every lane.  Single-signal
+// ("soa") kernels vectorize across the element index instead.
+//
+// Numerical contract (DESIGN §9): the scalar ISA never reaches these
+// kernels — dsp/ batch entry points run the original per-signal code
+// verbatim, keeping scalar results bitwise identical to pre-SIMD
+// builds.  Vector ISAs may reassociate and fuse (FMA), and agree with
+// the scalar path to 1e-9 relative on the parity suite.
+
+#include <cstddef>
+
+namespace mmhand::simd {
+
+enum class Isa {
+  kScalar = 0,  ///< reference path; bitwise-stable across builds
+  kAvx2 = 1,    ///< x86-64 AVX2+FMA, 4 double lanes
+  kNeon = 2,    ///< aarch64 NEON, 2 double lanes
+};
+
+/// Stable lowercase name ("scalar", "avx2", "neon") for logs and the
+/// bench JSON `simd` field.
+const char* isa_name(Isa isa);
+
+/// True when this host can execute `isa`.
+bool isa_supported(Isa isa);
+
+/// Highest-throughput ISA this host supports.
+Isa best_supported_isa();
+
+/// The ISA in effect: `MMHAND_SIMD` when set to a recognized and
+/// supported value, otherwise the best supported ISA.  Unrecognized or
+/// unsupported values fall back to auto-detection (mirroring how
+/// MMHAND_THREADS ignores garbage).
+Isa active_isa();
+
+/// Overrides the active ISA at runtime (parity tests switch between
+/// scalar and vector in-process).  Returns false — leaving the active
+/// ISA unchanged — when the host cannot execute `isa`.
+bool set_isa(Isa isa);
+
+/// One entry per vectorized primitive.  `width` is the lane count of
+/// the batched layouts (4 for AVX2, 2 for NEON, 1 for scalar).
+struct Kernels {
+  int width = 1;
+
+  /// Radix-2 FFT of `width` interleaved signals of power-of-two size
+  /// n.  re/im hold n*width doubles in lane-batched layout.  `tw` is
+  /// the interleaved forward twiddle table (n/2 complex values,
+  /// re,im pairs).  When `inverse`, conjugates the twiddles and
+  /// applies the 1/n normalization.
+  void (*fft_lanes)(double* re, double* im, std::size_t n, const double* tw,
+                    bool inverse);
+
+  /// Radix-2 FFT of one signal of power-of-two size n in SoA form,
+  /// vectorized across the butterfly index.  stw_re/stw_im are the
+  /// per-stage twiddle tables (n-1 doubles each: stage len=2 first,
+  /// len/2 entries per stage, contiguous).
+  void (*fft_soa)(double* re, double* im, std::size_t n, const double* stw_re,
+                  const double* stw_im, bool inverse);
+
+  /// x[k*width+l] *= b[k] for k < n: complex multiply with a
+  /// per-element broadcast factor (chirp/spectrum tables).
+  void (*cmul_bcast)(double* re, double* im, const double* b_re,
+                     const double* b_im, std::size_t n);
+
+  /// x[j] *= b[j] for j < count: flat elementwise complex multiply.
+  void (*cmul)(double* re, double* im, const double* b_re, const double* b_im,
+               std::size_t count);
+
+  /// x[k*width+l] *= s[k] for k < n: real broadcast (window apply).
+  void (*scale_bcast)(double* re, double* im, const double* s, std::size_t n);
+
+  /// Direct-form-II-transposed biquad cascade over `width` interleaved
+  /// real channels: x[t*width+l], t < len.  `coeffs` holds nsec
+  /// sections as [b0,b1,b2,a1,a2]; `gain` is applied after the last
+  /// section.  dir=+1 filters forward in t, dir=-1 backward (the
+  /// filtfilt reverse pass without materializing the reversal).
+  void (*sos_lanes)(double* x, std::size_t len, const double* coeffs,
+                    std::size_t nsec, double gain, int dir);
+
+  /// out[j] = sqrt(re[j]^2 + im[j]^2) for j < count.
+  void (*vmag)(const double* re, const double* im, double* out,
+               std::size_t count);
+};
+
+/// Kernel table for the active ISA.
+const Kernels& kernels();
+
+/// Kernel table for a specific ISA, or nullptr when this build/host
+/// cannot run it.  Lets parity tests pin both sides explicitly.
+const Kernels* kernels_for(Isa isa);
+
+}  // namespace mmhand::simd

@@ -1,0 +1,49 @@
+#pragma once
+
+// AVX2 backend: 4 double lanes.  The whole header is guarded on
+// __AVX2__ so it stays self-contained in translation units compiled
+// without -mavx2 (the header-lint gate builds every header standalone
+// with the base toolchain flags); only kernels_avx2.cpp, which gets
+// per-file -mavx2 -mfma, sees the contents.
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+namespace mmhand::simd {
+
+struct VAvx2 {
+  static constexpr int kWidth = 4;
+  __m256d v;
+
+  static VAvx2 load(const double* p) { return {_mm256_loadu_pd(p)}; }
+  void store(double* p) const { _mm256_storeu_pd(p, v); }
+  static VAvx2 broadcast(double x) { return {_mm256_set1_pd(x)}; }
+  static VAvx2 zero() { return {_mm256_setzero_pd()}; }
+
+  friend VAvx2 operator+(VAvx2 a, VAvx2 b) {
+    return {_mm256_add_pd(a.v, b.v)};
+  }
+  friend VAvx2 operator-(VAvx2 a, VAvx2 b) {
+    return {_mm256_sub_pd(a.v, b.v)};
+  }
+  friend VAvx2 operator*(VAvx2 a, VAvx2 b) {
+    return {_mm256_mul_pd(a.v, b.v)};
+  }
+
+  /// a*b + c
+  static VAvx2 fmadd(VAvx2 a, VAvx2 b, VAvx2 c) {
+    return {_mm256_fmadd_pd(a.v, b.v, c.v)};
+  }
+  /// a*b - c
+  static VAvx2 fmsub(VAvx2 a, VAvx2 b, VAvx2 c) {
+    return {_mm256_fmsub_pd(a.v, b.v, c.v)};
+  }
+  static VAvx2 sqrt(VAvx2 a) { return {_mm256_sqrt_pd(a.v)}; }
+};
+
+}  // namespace mmhand::simd
+
+#endif  // __AVX2__ && __FMA__

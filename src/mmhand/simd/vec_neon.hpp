@@ -1,0 +1,41 @@
+#pragma once
+
+// NEON backend: 2 double lanes (aarch64 only; AArch32 NEON lacks
+// float64x2 arithmetic).  Guarded so the header stays self-contained
+// on other architectures.
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <cstddef>
+
+namespace mmhand::simd {
+
+struct VNeon {
+  static constexpr int kWidth = 2;
+  float64x2_t v;
+
+  static VNeon load(const double* p) { return {vld1q_f64(p)}; }
+  void store(double* p) const { vst1q_f64(p, v); }
+  static VNeon broadcast(double x) { return {vdupq_n_f64(x)}; }
+  static VNeon zero() { return {vdupq_n_f64(0.0)}; }
+
+  friend VNeon operator+(VNeon a, VNeon b) { return {vaddq_f64(a.v, b.v)}; }
+  friend VNeon operator-(VNeon a, VNeon b) { return {vsubq_f64(a.v, b.v)}; }
+  friend VNeon operator*(VNeon a, VNeon b) { return {vmulq_f64(a.v, b.v)}; }
+
+  /// a*b + c
+  static VNeon fmadd(VNeon a, VNeon b, VNeon c) {
+    return {vfmaq_f64(c.v, a.v, b.v)};
+  }
+  /// a*b - c
+  static VNeon fmsub(VNeon a, VNeon b, VNeon c) {
+    return {vnegq_f64(vfmsq_f64(c.v, a.v, b.v))};
+  }
+  static VNeon sqrt(VNeon a) { return {vsqrtq_f64(a.v)}; }
+};
+
+}  // namespace mmhand::simd
+
+#endif  // __aarch64__

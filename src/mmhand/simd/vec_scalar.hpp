@@ -1,0 +1,39 @@
+#pragma once
+
+// Width-1 "vector" backend: plain doubles behind the same interface as
+// vec_avx2/vec_neon, so the generic kernel bodies in kernels_body.inl
+// instantiate unchanged.  This is the table every host can run; it is
+// NOT the bitwise-stable scalar path (dsp/ keeps the original
+// per-signal code for that) — it exists so the function-pointer table
+// is total and so the generic bodies have a reference instantiation.
+
+#include <cmath>
+#include <cstddef>
+
+namespace mmhand::simd {
+
+struct VScalar {
+  static constexpr int kWidth = 1;
+  double v;
+
+  static VScalar load(const double* p) { return {*p}; }
+  void store(double* p) const { *p = v; }
+  static VScalar broadcast(double x) { return {x}; }
+  static VScalar zero() { return {0.0}; }
+
+  friend VScalar operator+(VScalar a, VScalar b) { return {a.v + b.v}; }
+  friend VScalar operator-(VScalar a, VScalar b) { return {a.v - b.v}; }
+  friend VScalar operator*(VScalar a, VScalar b) { return {a.v * b.v}; }
+
+  /// a*b + c
+  static VScalar fmadd(VScalar a, VScalar b, VScalar c) {
+    return {a.v * b.v + c.v};
+  }
+  /// a*b - c
+  static VScalar fmsub(VScalar a, VScalar b, VScalar c) {
+    return {a.v * b.v - c.v};
+  }
+  static VScalar sqrt(VScalar a) { return {std::sqrt(a.v)}; }
+};
+
+}  // namespace mmhand::simd

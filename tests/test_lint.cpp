@@ -159,6 +159,40 @@ TEST(LintAlloc, AllowsContainersAndScalarNew) {
                   .empty());
 }
 
+// --- simd-confinement ---------------------------------------------------
+
+TEST(LintSimd, FlagsIntrinsicsHeaderOutsideSimdLayer) {
+  EXPECT_TRUE(has_rule(lint_src("#include <immintrin.h>\n"),
+                       "simd-confinement"));
+  EXPECT_TRUE(has_rule(lint_src("#include <arm_neon.h>\n",
+                                "src/mmhand/dsp/fft.cpp"),
+                       "simd-confinement"));
+}
+
+TEST(LintSimd, FlagsIntrinsicIdentifiersOutsideSimdLayer) {
+  EXPECT_TRUE(has_rule(
+      lint_src("__m256d v = _mm256_loadu_pd(p);\n"), "simd-confinement"));
+  EXPECT_TRUE(has_rule(lint_src("auto v = vld1q_f64(p);\n"),
+                       "simd-confinement"));
+  EXPECT_TRUE(has_rule(lint_src("_mm_prefetch(p, _MM_HINT_T0);\n"),
+                       "simd-confinement"));
+}
+
+TEST(LintSimd, AllowsIntrinsicsUnderSimdLayer) {
+  const auto findings = check_file(
+      "src/mmhand/simd/vec_avx2.hpp",
+      "#pragma once\n#include <immintrin.h>\n"
+      "inline __m256d f(const double* p) { return _mm256_loadu_pd(p); }\n",
+      default_config());
+  EXPECT_FALSE(has_rule(findings, "simd-confinement"));
+}
+
+TEST(LintSimd, CleanOnDispatchTableCalls) {
+  EXPECT_TRUE(lint_src("const auto& k = simd::kernels();\n"
+                       "k.vmag(re.data(), im.data(), out.data(), n);\n")
+                  .empty());
+}
+
 // --- durable-write ------------------------------------------------------
 
 TEST(LintDurableWrite, FlagsBinaryWritersOutsideIoSafe) {

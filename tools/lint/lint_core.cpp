@@ -190,6 +190,39 @@ void check_raw_alloc(const std::string& path, const std::string& stripped,
   }
 }
 
+void check_simd_confinement(const std::string& path,
+                            const std::string& stripped,
+                            std::vector<Finding>& out) {
+  if (starts_with(path, "src/mmhand/simd/")) return;
+  const char* rule = "simd-confinement";
+  const std::string route =
+      "; raw SIMD lives under src/mmhand/simd/ — call through the"
+      " simd::Kernels dispatch table instead";
+  // Intrinsics headers.  Angle-bracket includes survive string stripping.
+  for (const char* hdr : {"immintrin.h", "arm_neon.h", "emmintrin.h",
+                          "xmmintrin.h"}) {
+    const std::size_t len = std::char_traits<char>::length(hdr);
+    for (std::size_t pos = 0;
+         (pos = stripped.find(hdr, pos)) != std::string::npos; pos += len)
+      add(out, path, line_of(stripped, pos), rule,
+          std::string("#include of ") + hdr + " outside the simd layer" +
+              route);
+  }
+  // Intrinsic identifiers, matched by prefix (the suffix encodes the
+  // element type: _mm256_add_pd, vld1q_f64, ...).
+  for (const char* prefix : {"_mm_", "_mm256_", "_mm512_", "vld1q_",
+                             "vst1q_"}) {
+    const std::size_t len = std::char_traits<char>::length(prefix);
+    for (std::size_t pos = 0;
+         (pos = stripped.find(prefix, pos)) != std::string::npos;
+         pos += len) {
+      if (pos > 0 && is_ident_char(stripped[pos - 1])) continue;
+      add(out, path, line_of(stripped, pos), rule,
+          std::string(prefix) + "* intrinsic outside the simd layer" + route);
+    }
+  }
+}
+
 void check_durable_write(const std::string& path, const std::string& raw,
                          const std::string& stripped, const Config& cfg,
                          std::vector<Finding>& out) {
@@ -386,6 +419,7 @@ std::vector<Finding> check_file(const std::string& path,
     check_direct_io(path, stripped, cfg, out);
     check_rng(path, stripped, cfg, out);
     check_raw_alloc(path, stripped, out);
+    check_simd_confinement(path, stripped, out);
     check_durable_write(path, content, stripped, cfg, out);
   }
   if (is_header) check_header_hygiene(path, content, stripped, out);
