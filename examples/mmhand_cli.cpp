@@ -10,6 +10,10 @@
 //       evaluate a scenario with the held-out fold model
 //   mmhand_cli mesh --gesture NAME [--out FILE]
 //       reconstruct a MANO mesh for a named gesture and write an OBJ
+//   mmhand_cli predict [--fast] [--cache DIR] [--user N] [--seconds S]
+//                      [--stride N] [--repeat R]
+//       run recording-level inference in a loop — the driver the CI
+//       telemetry job points MMHAND_TELEMETRY / MMHAND_FLIGHT at
 
 #include <cstdio>
 #include <cstring>
@@ -18,6 +22,7 @@
 
 #include "mmhand/eval/model_cache.hpp"
 #include "mmhand/mesh/obj_export.hpp"
+#include "mmhand/pose/inference.hpp"
 #include "mmhand/radar/point_cloud.hpp"
 
 using namespace mmhand;
@@ -128,6 +133,31 @@ int cmd_eval(const Args& args) {
   return 0;
 }
 
+int cmd_predict(const Args& args) {
+  eval::Experiment experiment(protocol_for(args));
+  experiment.prepare(args.get("cache", eval::cache_directory()));
+
+  sim::ScenarioConfig scenario =
+      experiment.default_scenario(args.get_int("user", 0));
+  scenario.duration_s = args.get_double("seconds", scenario.duration_s);
+  const auto recording = experiment.record_test(scenario);
+  auto& model = experiment.model_for_user(scenario.user_id);
+
+  const int stride = args.get_int("stride", 1);
+  const int repeat = args.get_int("repeat", 1);
+  std::size_t segments = 0;
+  for (int r = 0; r < repeat; ++r) {
+    const auto predictions =
+        pose::predict_recording(model, recording, stride);
+    segments += predictions.size();
+  }
+  std::printf("predicted %zu segments over %d pass%s (%zu frames, "
+              "user %d)\n",
+              segments, repeat, repeat == 1 ? "" : "es",
+              recording.frames.size(), scenario.user_id);
+  return 0;
+}
+
 int cmd_mesh(const Args& args) {
   const std::string name = args.get("gesture", "open_palm");
   hand::Gesture gesture = hand::Gesture::kOpenPalm;
@@ -168,7 +198,9 @@ void usage() {
       "  train    [--fast] [--cache DIR]\n"
       "  eval     [--fast] [--cache DIR] [--user N] [--distance M]\n"
       "           [--glove silk|cotton] [--obstacle paper|cloth|board]\n"
-      "  mesh     --gesture NAME [--out FILE]\n");
+      "  mesh     --gesture NAME [--out FILE]\n"
+      "  predict  [--fast] [--cache DIR] [--user N] [--seconds S]\n"
+      "           [--stride N] [--repeat R]\n");
 }
 
 }  // namespace
@@ -180,6 +212,7 @@ int main(int argc, char** argv) {
     if (args.command == "train") return cmd_train(args);
     if (args.command == "eval") return cmd_eval(args);
     if (args.command == "mesh") return cmd_mesh(args);
+    if (args.command == "predict") return cmd_predict(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

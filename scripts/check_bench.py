@@ -23,6 +23,14 @@ by design — so the script refuses it (exit 2).  Re-run the bench with
 rows whose op matches exactly, and stage histograms whose name starts with a
 listed prefix (e.g. ``--ops process_frame,radar/``).
 
+``--append-history bench/history.jsonl`` additionally appends one
+``{"kind": "bench_history", ...}`` record summarizing the current run, so
+trends survive baseline refreshes.  Ops are keyed ``op@<N>t+<isa>`` —  the
+ISA suffix keeps scalar and vector runs as separate series, because merging
+them would fabricate a trend.  ``--timestamp``/``--note`` stamp the record
+(timestamp defaults to now; pass it explicitly for reproducible records).
+``tools/mmhand_report --history bench/history.jsonl`` renders the trend.
+
 Default mode only reports.  With ``--strict`` the exit code is non-zero when
 any regression is found, so CI can gate on it.  Missing/extra ops are
 reported but never fail the gate (benches evolve).
@@ -32,6 +40,7 @@ import argparse
 import json
 import os
 import sys
+import time
 
 
 def load(path):
@@ -92,6 +101,35 @@ def compare(kind, baseline, current, tolerance, report):
     return regressions
 
 
+def history_record(doc, timestamp, note):
+    """One JSONL trend record from a bench run document."""
+    isa = doc.get("simd")
+    ops = {}
+    for (op, threads), ms in sorted(results_table(doc).items()):
+        key = f"{op}@{threads}t" + (f"+{isa}" if isa else "")
+        ops[key] = ms
+    record = {
+        "kind": "bench_history",
+        "timestamp": timestamp,
+        "simd": isa,
+        "hardware_concurrency": doc.get("hardware_concurrency"),
+        "ops": ops,
+    }
+    if note:
+        record["note"] = note
+    overhead = doc.get("telemetry_overhead")
+    if isinstance(overhead, dict) and "ratio" in overhead:
+        record["telemetry_overhead_ratio"] = overhead["ratio"]
+    return record
+
+
+def append_history(path, doc, timestamp, note):
+    record = history_record(doc, timestamp, note)
+    with open(path, "a", encoding="utf-8") as f:
+        f.write(json.dumps(record, sort_keys=True) + "\n")
+    print(f"check_bench: appended {len(record['ops'])} op timings to {path}")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--current", default="BENCH_throughput.json")
@@ -108,6 +146,14 @@ def main():
     parser.add_argument("--ops", default="",
                         help="comma-separated op names / stage prefixes to"
                              " compare (default: everything)")
+    parser.add_argument("--append-history", default="", metavar="JSONL",
+                        help="append a bench_history record for the current"
+                             " run to this JSONL file")
+    parser.add_argument("--timestamp", type=int, default=None,
+                        help="unix seconds to stamp the history record with"
+                             " (default: current time)")
+    parser.add_argument("--note", default="",
+                        help="free-form annotation for the history record")
     args = parser.parse_args()
     ops = [o for o in (s.strip() for s in args.ops.split(",")) if o]
 
@@ -150,6 +196,14 @@ def main():
     print(f"check_bench: current={args.current} tolerance=+{args.tolerance:.0%}")
     for severity, line in report:
         print(f"  [{severity}] {line}")
+    if args.append_history:
+        timestamp = args.timestamp if args.timestamp is not None \
+            else int(time.time())
+        try:
+            append_history(args.append_history, current, timestamp, args.note)
+        except OSError as e:
+            print(f"check_bench: cannot append history: {e}", file=sys.stderr)
+            return 2
     if regressions:
         print(f"check_bench: {regressions} regression(s) beyond tolerance")
         return 1 if args.strict else 0

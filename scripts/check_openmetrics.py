@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Validate an OpenMetrics text exposition produced by the telemetry sampler.
+
+Usage:
+    scripts/check_openmetrics.py FILE [--require fam1,fam2,...]
+
+Checks the subset of the OpenMetrics 1.0 text format that
+``src/mmhand/obs/telemetry.cpp`` emits:
+
+  * every sample line parses as ``name{labels} value`` with a legal metric
+    name, legal label names, and properly quoted/escaped label values;
+  * every sample's family was declared by a preceding ``# TYPE`` line, and
+    each family has at most one TYPE and one HELP line;
+  * counter sample names end in ``_total``; summary samples are either the
+    bare family with a ``quantile`` label or ``_count``/``_sum`` suffixed;
+  * quantile labels parse as floats in [0, 1] and every value is a finite
+    number (or the summary-quantile ``NaN`` for an empty window);
+  * the file ends with exactly one ``# EOF`` line and nothing after it.
+
+``--require`` additionally asserts the named families are present with at
+least one sample each — CI uses this to prove the sampler actually exported
+the mmhand metric families, not just a syntactically empty file.
+
+Exit codes: 0 ok, 1 validation failure, 2 usage/IO error.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+TYPES = {"counter", "gauge", "summary", "histogram", "info", "unknown"}
+
+
+def parse_labels(text, errors, where):
+    """'k="v",k2="v2"' -> dict; appends to errors on malformed input."""
+    labels = {}
+    i = 0
+    while i < len(text):
+        m = re.match(r'([a-zA-Z_][a-zA-Z0-9_]*)="', text[i:])
+        if not m:
+            errors.append(f"{where}: bad label syntax at ...{text[i:]!r}")
+            return labels
+        name = m.group(1)
+        i += m.end()
+        value = []
+        while i < len(text):
+            c = text[i]
+            if c == "\\":
+                if i + 1 >= len(text) or text[i + 1] not in '\\"n':
+                    errors.append(f"{where}: bad escape in label {name}")
+                    return labels
+                value.append({"\\": "\\", '"': '"', "n": "\n"}[text[i + 1]])
+                i += 2
+            elif c == '"':
+                i += 1
+                break
+            else:
+                value.append(c)
+                i += 1
+        else:
+            errors.append(f"{where}: unterminated label value for {name}")
+            return labels
+        labels[name] = "".join(value)
+        if i < len(text):
+            if text[i] != ",":
+                errors.append(f"{where}: expected ',' between labels")
+                return labels
+            i += 1
+    return labels
+
+
+def family_of(sample_name, declared):
+    """Longest declared family the sample name belongs to, else None."""
+    for suffix in ("", "_total", "_count", "_sum"):
+        if suffix and sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+        elif suffix:
+            continue
+        else:
+            base = sample_name
+        if base in declared:
+            return base
+    return None
+
+
+def validate(lines, require):
+    errors = []
+    declared = {}   # family -> type
+    helped = set()
+    samples = {}    # family -> count
+    saw_eof = False
+    for lineno, line in enumerate(lines, 1):
+        where = f"line {lineno}"
+        if saw_eof:
+            errors.append(f"{where}: content after # EOF")
+            break
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) != 4 or parts[3] not in TYPES:
+                errors.append(f"{where}: malformed TYPE line")
+                continue
+            fam = parts[2]
+            if not NAME_RE.match(fam):
+                errors.append(f"{where}: bad family name {fam!r}")
+            if fam in declared:
+                errors.append(f"{where}: duplicate TYPE for {fam}")
+            declared[fam] = parts[3]
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4:
+                errors.append(f"{where}: malformed HELP line")
+                continue
+            if parts[2] in helped:
+                errors.append(f"{where}: duplicate HELP for {parts[2]}")
+            helped.add(parts[2])
+            continue
+        if line.startswith("#") or not line.strip():
+            errors.append(f"{where}: unexpected comment/blank: {line!r}")
+            continue
+
+        m = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})? (\S+)$", line)
+        if not m:
+            errors.append(f"{where}: unparseable sample: {line!r}")
+            continue
+        name, label_text, value_text = m.group(1), m.group(2), m.group(3)
+        labels = parse_labels(label_text, errors, where) if label_text else {}
+        try:
+            value = float(value_text)
+        except ValueError:
+            errors.append(f"{where}: non-numeric value {value_text!r}")
+            continue
+        for lname in labels:
+            if not LABEL_NAME_RE.match(lname):
+                errors.append(f"{where}: bad label name {lname!r}")
+
+        fam = family_of(name, declared)
+        if fam is None:
+            errors.append(f"{where}: sample {name} has no preceding TYPE")
+            continue
+        samples[fam] = samples.get(fam, 0) + 1
+        ftype = declared[fam]
+        if ftype == "counter":
+            if not name.endswith("_total"):
+                errors.append(f"{where}: counter sample {name} lacks _total")
+            if value < 0:
+                errors.append(f"{where}: negative counter {name}")
+        if ftype == "summary":
+            if name == fam:
+                if "quantile" not in labels:
+                    errors.append(f"{where}: summary {name} lacks quantile")
+                else:
+                    try:
+                        q = float(labels["quantile"])
+                        if not 0.0 <= q <= 1.0:
+                            raise ValueError
+                    except ValueError:
+                        errors.append(f"{where}: bad quantile "
+                                      f"{labels['quantile']!r}")
+            elif not (name.endswith("_count") or name.endswith("_sum")):
+                errors.append(f"{where}: unexpected summary sample {name}")
+        if not math.isfinite(value) and not (
+                ftype == "summary" and name == fam):
+            errors.append(f"{where}: non-finite value for {name}")
+
+    if not saw_eof:
+        errors.append("missing terminating # EOF line")
+    for fam in require:
+        if samples.get(fam, 0) < 1:
+            errors.append(f"required family {fam} has no samples"
+                          + ("" if fam in declared else " (and no TYPE)"))
+    return errors, declared, samples
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("file")
+    parser.add_argument("--require", default="",
+                        help="comma-separated families that must have samples")
+    args = parser.parse_args()
+    require = [f for f in (s.strip() for s in args.require.split(",")) if f]
+    try:
+        with open(args.file, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"check_openmetrics: cannot read input: {e}", file=sys.stderr)
+        return 2
+    errors, declared, samples = validate(lines, require)
+    total = sum(samples.values())
+    print(f"check_openmetrics: {args.file}: {len(declared)} families,"
+          f" {total} samples")
+    for err in errors:
+        print(f"  [FAIL] {err}")
+    if errors:
+        print(f"check_openmetrics: {len(errors)} error(s)")
+        return 1
+    print("check_openmetrics: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

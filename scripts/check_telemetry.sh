@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Telemetry gate: proves the continuous-telemetry subsystem end to end.
+#
+# Pass 1 runs `mmhand_cli predict` with the 50 ms sampler attached and
+# asserts the stream is real: >= 2 interval records, each parseable JSON
+# with windowed p50/p95/p99 stage stats, plus an OpenMetrics exposition
+# that survives scripts/check_openmetrics.py and an mmhand_top render.
+#
+# Pass 2 is the crash story: a predict run with the flight recorder mapped
+# is SIGKILLed mid-stream, and the binary ring it leaves in the page cache
+# must render (via mmhand_top --flight) with the killed run's in-flight
+# span visible.  The torn telemetry JSONL tail must not poison the
+# parseable prefix.  The kill is retried a few times because a SIGKILL can
+# in principle land in the microsecond gap between two spans.
+#
+# Usage: scripts/check_telemetry.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build}
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j --target mmhand_cli mmhand_top
+
+CLI="$BUILD_DIR/examples/mmhand_cli"
+TOP="$BUILD_DIR/tools/mmhand_top"
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== pass 1: sampled predict run (50 ms interval) =="
+MMHAND_TELEMETRY="50,out=$WORK/tel.jsonl,om=$WORK/tel.om,budgets=scripts/latency_budgets.json" \
+  "$CLI" predict --fast --cache "$WORK/cache" --seconds 1.0 --repeat 5
+
+python3 - "$WORK/tel.jsonl" <<'PY'
+import json, sys
+intervals = 0
+staged = 0
+with open(sys.argv[1], encoding="utf-8") as f:
+    for line in f:
+        rec = json.loads(line)          # every line must parse: clean writer
+        if rec.get("kind") != "telemetry":
+            continue
+        intervals += 1
+        for name, h in rec.get("stages", {}).items():
+            staged += 1
+            for field in ("count", "mean_us", "p50_us", "p95_us", "p99_us"):
+                assert field in h, f"stage {name} missing {field}"
+            assert h["p50_us"] <= h["p95_us"] <= h["p99_us"], \
+                f"stage {name}: percentiles not monotone"
+assert intervals >= 2, f"expected >= 2 telemetry intervals, got {intervals}"
+assert staged > 0, "no windowed stage stats in any interval"
+print(f"telemetry stream ok: {intervals} intervals, {staged} stage windows")
+PY
+
+python3 scripts/check_openmetrics.py "$WORK/tel.om" \
+  --require mmhand_events,mmhand_stage_latency_us,mmhand_telemetry_intervals
+
+"$TOP" "$WORK/tel.jsonl" --last 20 > "$WORK/top.txt"
+grep -q "p95 trend" "$WORK/top.txt"
+echo "mmhand_top render ok"
+
+echo "== pass 2: SIGKILL mid-stream, flight ring must tell the story =="
+attempt=0
+inflight=0
+while [ "$attempt" -lt 3 ] && [ "$inflight" -eq 0 ]; do
+  attempt=$((attempt + 1))
+  rm -f "$WORK/tel2.jsonl" "$WORK/flight.ring"
+  MMHAND_TELEMETRY="25,out=$WORK/tel2.jsonl" \
+  MMHAND_FLIGHT="$WORK/flight.ring,slots=512" \
+    "$CLI" predict --fast --cache "$WORK/cache" --seconds 1.0 --repeat 2000 &
+  pid=$!
+  for _ in $(seq 1 600); do
+    lines=$(wc -l < "$WORK/tel2.jsonl" 2>/dev/null || echo 0)
+    [ "$lines" -ge 3 ] && break
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.05
+  done
+  if ! kill -9 "$pid" 2>/dev/null; then
+    echo "victim run exited before the kill landed; retrying" >&2
+    wait "$pid" 2>/dev/null || true
+    continue
+  fi
+  wait "$pid" 2>/dev/null || true
+  "$TOP" --flight "$WORK/flight.ring" > "$WORK/flight.txt"
+  grep -q "end of flight dump" "$WORK/flight.txt"
+  if grep -q "in-flight:" "$WORK/flight.txt"; then inflight=1; fi
+done
+if [ "$inflight" -ne 1 ]; then
+  echo "flight render never showed an in-flight span after $attempt kills" >&2
+  exit 1
+fi
+echo "flight ring rendered with in-flight span (attempt $attempt)"
+
+python3 - "$WORK/tel2.jsonl" <<'PY'
+import json, sys
+good = bad = 0
+with open(sys.argv[1], encoding="utf-8") as f:
+    for line in f:
+        try:
+            json.loads(line)
+            good += 1
+        except ValueError:
+            bad += 1   # at most the torn final line from the kill
+assert good >= 1, "no parseable telemetry lines survived the kill"
+assert bad <= 1, f"{bad} unparseable lines: tearing beyond the final line"
+print(f"killed-run stream ok: {good} parseable lines, {bad} torn tail")
+PY
+
+echo "Telemetry check clean."

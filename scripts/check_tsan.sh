@@ -3,7 +3,9 @@
 #
 # The parallel execution layer (mmhand/common/parallel) promises data-race
 # freedom: every parallel_for index writes a disjoint output slice.  TSan
-# verifies that promise on the pool itself and on the radar/NN hot paths.
+# verifies that promise on the pool itself and on the radar/NN hot paths,
+# plus the obs layer's concurrent metric recording (test_obs hammers one
+# histogram from 8 threads while the telemetry sampler snapshots it).
 #
 # Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -15,11 +17,12 @@ cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build "$BUILD_DIR" -j --target test_common test_parallel test_radar
+cmake --build "$BUILD_DIR" -j --target test_common test_parallel \
+  test_radar test_obs
 
 # MMHAND_THREADS forces real pool threads even on small CI boxes so TSan
 # actually sees cross-thread traffic.
 (cd "$BUILD_DIR" &&
  MMHAND_THREADS=4 ctest --output-on-failure \
-   -R 'test_common|test_parallel|test_radar')
+   -R 'test_common|test_parallel|test_radar|test_obs')
 echo "TSan run clean."

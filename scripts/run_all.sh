@@ -87,7 +87,12 @@ fi
 echo "===== merged report ====="
 build/tools/mmhand_report --runlog mmhand_runlog.jsonl \
   --metrics mmhand_metrics.json --bench BENCH_throughput.json \
-  --lint mmhand_lint.json -o mmhand_report.md
+  --lint mmhand_lint.json --history bench/history.jsonl -o mmhand_report.md
+
+echo "===== telemetry check ====="
+# Sampler stream + OpenMetrics export + SIGKILL-survivable flight ring
+# (see scripts/check_telemetry.sh and README "Observability").
+scripts/check_telemetry.sh build
 
 echo "===== crash recovery check ====="
 # Kill a checkpointed fast training mid-epoch and require the resumed run
@@ -96,7 +101,8 @@ scripts/check_recovery.sh build
 
 echo "===== bench regression check (report-only) ====="
 if command -v python3 > /dev/null; then
-  python3 scripts/check_bench.py
+  python3 scripts/check_bench.py --append-history bench/history.jsonl \
+    --note "run_all"
 else
   echo "python3 unavailable; skipping check_bench"
 fi

@@ -1,0 +1,30 @@
+#include "mmhand/common/clock.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+namespace mmhand {
+
+std::int64_t unix_time_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string format_utc(std::int64_t ms) {
+  const std::time_t secs = static_cast<std::time_t>(ms / 1000);
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &secs);
+#else
+  gmtime_r(&secs, &tm);
+#endif
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec);
+  return buf;
+}
+
+}  // namespace mmhand

@@ -1,0 +1,21 @@
+#pragma once
+
+// Wall-clock helpers for telemetry artifacts.  The library's numeric
+// paths never consult the wall clock (reproducibility); these exist for
+// observability sinks only — stamping a telemetry stream or a flight
+// recorder header so post-mortem tooling can line artifacts up with the
+// outside world.
+
+#include <cstdint>
+#include <string>
+
+namespace mmhand {
+
+/// Milliseconds since the Unix epoch (system_clock).
+std::int64_t unix_time_ms();
+
+/// `ms` since the epoch as "YYYY-MM-DDTHH:MM:SSZ" (UTC, second
+/// precision).
+std::string format_utc(std::int64_t ms);
+
+}  // namespace mmhand

@@ -198,4 +198,59 @@ void set_crash_after_bytes(std::int64_t n) {
   g_crash_after.store(n, std::memory_order_relaxed);
 }
 
+std::uint64_t repair_torn_line_tail(const std::string& path) {
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec || size == 0) return 0;
+  // A record line is far below 64 KiB; scanning one window from the end
+  // finds the last newline of any log this writer produced.
+  constexpr std::uintmax_t kWindow = 64 * 1024;
+  const std::uintmax_t start = size > kWindow ? size - kWindow : 0;
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) return 0;
+  std::string window(static_cast<std::size_t>(size - start), '\0');
+  const bool seek_failed =
+      std::fseek(in, static_cast<long>(start), SEEK_SET) != 0;
+  const std::size_t got =
+      seek_failed ? 0 : std::fread(window.data(), 1, window.size(), in);
+  std::fclose(in);
+  if (got != window.size()) return 0;
+  const std::size_t last_nl = window.rfind('\n');
+  if (last_nl == window.size() - 1) return 0;  // tail is complete
+  // No newline anywhere in the window: with start > 0 the window began
+  // mid-file and the last line boundary is unknown — leave it alone.
+  if (last_nl == std::string::npos && start > 0) return 0;
+  const std::uintmax_t keep =
+      last_nl == std::string::npos ? 0 : start + last_nl + 1;
+  if (keep == size) return 0;
+  std::filesystem::resize_file(path, keep, ec);
+  return ec ? 0 : static_cast<std::uint64_t>(size - keep);
+}
+
+bool LineWriter::open(const std::string& path) {
+  if (file_ != nullptr && path_ == path) return true;
+  close();
+  repair_torn_line_tail(path);
+  file_ = std::fopen(path.c_str(), "a");
+  if (file_ == nullptr) return false;
+  path_ = path;
+  return true;
+}
+
+bool LineWriter::append(const std::string& line) {
+  if (file_ == nullptr) return false;
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size())
+    return false;
+  if (std::fputc('\n', file_) == EOF) return false;
+  return std::fflush(file_) == 0;
+}
+
+void LineWriter::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  path_.clear();
+}
+
 }  // namespace mmhand::io_safe

@@ -56,4 +56,40 @@ void set_crash_after_bytes(std::int64_t n);
 /// Exit code used by the crash-test hook.
 inline constexpr int kCrashExitCode = 86;
 
+/// Truncates a torn final line left by a crash mid-append: scans the
+/// last 64 KiB for the final newline and resizes the file back to it,
+/// so an append-only JSONL stream stays line-parseable after any kill.
+/// Best effort — losing the torn record is the correct outcome.
+/// Returns the number of bytes truncated (0 when the tail was intact).
+std::uint64_t repair_torn_line_tail(const std::string& path);
+
+/// Append-only line sink for JSONL streams (run log, telemetry).
+/// Opening repairs a torn tail; every append is a full line plus '\n'
+/// followed by fflush, so a reader tailing the file never sees a
+/// partial record except for the final line of a crashed writer — which
+/// the next open truncates.
+class LineWriter {
+ public:
+  LineWriter() = default;
+  ~LineWriter() { close(); }
+  LineWriter(const LineWriter&) = delete;
+  LineWriter& operator=(const LineWriter&) = delete;
+
+  /// Opens `path` for appending (repairing a torn tail first).  A
+  /// second open on the same path is a no-op; a different path closes
+  /// the previous sink.  False when the file cannot be opened.
+  bool open(const std::string& path);
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  /// Appends `line` + '\n' and flushes.  False when no sink is open or
+  /// the write fails.
+  bool append(const std::string& line);
+  void close();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
 }  // namespace mmhand::io_safe

@@ -1,0 +1,59 @@
+#pragma once
+
+// Fixed-capacity ring buffer: push overwrites the oldest element once
+// the ring is full.  Single-owner container (no internal locking) —
+// the telemetry sampler guards its ring with its own mutex, matching
+// the rest of the obs layer's "lock where the state lives" convention.
+
+#include <cstddef>
+#include <vector>
+
+#include "mmhand/common/error.hpp"
+
+namespace mmhand {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : slots_(capacity) {
+    MMHAND_CHECK(capacity >= 1, "RingBuffer capacity must be >= 1");
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Appends `v`, evicting the oldest element when full.
+  void push(T v) {
+    slots_[next_] = std::move(v);
+    next_ = (next_ + 1) % slots_.size();
+    if (size_ < slots_.size()) ++size_;
+  }
+
+  /// Element `i` in age order: 0 is the oldest retained, size()-1 the
+  /// newest.
+  const T& operator[](std::size_t i) const {
+    MMHAND_CHECK(i < size_, "RingBuffer index " << i << " out of range");
+    const std::size_t oldest =
+        size_ < slots_.size() ? 0 : next_;
+    return slots_[(oldest + i) % slots_.size()];
+  }
+
+  const T& newest() const {
+    MMHAND_CHECK(size_ > 0, "RingBuffer::newest on empty ring");
+    return (*this)[size_ - 1];
+  }
+
+  void clear() {
+    next_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t next_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mmhand

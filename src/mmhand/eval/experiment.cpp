@@ -283,6 +283,10 @@ sim::Recording Experiment::record_test(
 
 EvalAccumulator Experiment::evaluate_scenario(
     const sim::ScenarioConfig& scenario) {
+  if (obs::metrics_enabled()) {
+    static obs::Counter& scenarios = obs::counter("eval/scenarios");
+    scenarios.add(1);
+  }
   auto& model = model_for_user(scenario.user_id);
   const auto recording = record_test(scenario);
   const auto predictions = pose::predict_recording(model, recording);

@@ -3,9 +3,39 @@
 #include <cmath>
 #include <vector>
 
+#include "mmhand/common/parallel.hpp"
 #include "mmhand/nn/gemm.hpp"
 
 namespace mmhand::nn {
+
+namespace {
+
+/// Gathers sample `s` of `x` into im2col layout: one row per
+/// (channel, ki, kj) triple, one column per output pixel.
+void im2col(const Tensor& x, int s, int in_ch, int kernel, int stride,
+            int pad, int oh, int ow, float* cols) {
+  const int h = x.dim(2), w = x.dim(3);
+  const int col_cols = oh * ow;
+  std::size_t r = 0;
+  for (int c = 0; c < in_ch; ++c)
+    for (int ki = 0; ki < kernel; ++ki)
+      for (int kj = 0; kj < kernel; ++kj) {
+        float* row = cols + r * col_cols;
+        ++r;
+        std::size_t idx = 0;
+        for (int i = 0; i < oh; ++i) {
+          const int src_i = i * stride + ki - pad;
+          for (int j = 0; j < ow; ++j, ++idx) {
+            const int src_j = j * stride + kj - pad;
+            row[idx] = (src_i >= 0 && src_i < h && src_j >= 0 && src_j < w)
+                           ? x.at(s, c, src_i, src_j)
+                           : 0.0f;
+          }
+        }
+      }
+}
+
+}  // namespace
 
 Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride,
                int pad, Rng& rng)
@@ -33,28 +63,21 @@ Tensor Conv2d::forward(const Tensor& x, bool training) {
 
   const int col_rows = in_ch_ * kernel_ * kernel_;
   const int col_cols = oh * ow;
-  std::vector<float> cols(static_cast<std::size_t>(col_rows) * col_cols);
 
   Tensor y({n, out_ch_, oh, ow});
-  for (int s = 0; s < n; ++s) {
-    // im2col
-    std::size_t r = 0;
-    for (int c = 0; c < in_ch_; ++c)
-      for (int ki = 0; ki < kernel_; ++ki)
-        for (int kj = 0; kj < kernel_; ++kj) {
-          float* row = cols.data() + r * col_cols;
-          ++r;
-          std::size_t idx = 0;
-          for (int i = 0; i < oh; ++i) {
-            const int src_i = i * stride_ + ki - pad_;
-            for (int j = 0; j < ow; ++j, ++idx) {
-              const int src_j = j * stride_ + kj - pad_;
-              row[idx] = (src_i >= 0 && src_i < h && src_j >= 0 && src_j < w)
-                             ? x.at(s, c, src_i, src_j)
-                             : 0.0f;
-            }
-          }
-        }
+  // Samples write disjoint output slices and each runs the exact serial
+  // arithmetic, so the batch loop parallelizes with bitwise-identical
+  // results at any thread count.  The gemm below notices the enclosing
+  // region and stays serial, avoiding nested-pool oversubscription; a
+  // single-sample batch (n == 1, the streaming-inference shape) keeps
+  // gemm's own column-chunk parallelism instead.
+  parallel_for(0, n, 1, [&](std::int64_t s64) {
+    const int s = static_cast<int>(s64);
+    thread_local std::vector<float> cols;
+    const std::size_t need =
+        static_cast<std::size_t>(col_rows) * col_cols;
+    if (cols.size() < need) cols.resize(need);
+    im2col(x, s, in_ch_, kernel_, stride_, pad_, oh, ow, cols.data());
     // y_s = W_flat [OC x col_rows] * cols [col_rows x col_cols]
     float* ys = y.data() +
                 static_cast<std::size_t>(s) * out_ch_ * oh * ow;
@@ -65,7 +88,7 @@ Tensor Conv2d::forward(const Tensor& x, bool training) {
     }
     gemm_acc(weight_.value.data(), cols.data(), ys, out_ch_, col_rows,
              col_cols);
-  }
+  });
   return y;
 }
 
@@ -85,25 +108,12 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   std::vector<float> dcols(cols.size());
 
   Tensor grad_in = Tensor::zeros(x.shape());
+  // Stays serial: every sample accumulates into the shared weight/bias
+  // gradients, and a deterministic accumulation order is part of the
+  // reproducibility contract.
   for (int s = 0; s < n; ++s) {
     // Rebuild the column matrix (cheaper than caching it per sample).
-    std::size_t r = 0;
-    for (int c = 0; c < in_ch_; ++c)
-      for (int ki = 0; ki < kernel_; ++ki)
-        for (int kj = 0; kj < kernel_; ++kj) {
-          float* row = cols.data() + r * col_cols;
-          ++r;
-          std::size_t idx = 0;
-          for (int i = 0; i < oh; ++i) {
-            const int src_i = i * stride_ + ki - pad_;
-            for (int j = 0; j < ow; ++j, ++idx) {
-              const int src_j = j * stride_ + kj - pad_;
-              row[idx] = (src_i >= 0 && src_i < h && src_j >= 0 && src_j < w)
-                             ? x.at(s, c, src_i, src_j)
-                             : 0.0f;
-            }
-          }
-        }
+    im2col(x, s, in_ch_, kernel_, stride_, pad_, oh, ow, cols.data());
     const float* gs = grad_out.data() +
                       static_cast<std::size_t>(s) * out_ch_ * oh * ow;
     for (int oc = 0; oc < out_ch_; ++oc) {
@@ -119,7 +129,7 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
     gemm_at_b_acc(weight_.value.data(), gs, dcols.data(), col_rows, out_ch_,
                   col_cols);
     // col2im accumulate into grad_in.
-    r = 0;
+    std::size_t r = 0;
     for (int c = 0; c < in_ch_; ++c)
       for (int ki = 0; ki < kernel_; ++ki)
         for (int kj = 0; kj < kernel_; ++kj) {

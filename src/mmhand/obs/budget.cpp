@@ -1,0 +1,91 @@
+#include "mmhand/obs/budget.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "mmhand/common/json.hpp"
+
+namespace mmhand::obs {
+
+namespace {
+
+bool matches(const std::string& pattern, const std::string& stage) {
+  if (!pattern.empty() && pattern.back() == '*')
+    return stage.rfind(pattern.substr(0, pattern.size() - 1), 0) == 0;
+  return pattern == stage;
+}
+
+}  // namespace
+
+BudgetSet BudgetSet::from_json(const std::string& text, std::string* error) {
+  BudgetSet out;
+  std::string parse_error;
+  const json::Value root = json::Value::parse(text, &parse_error);
+  if (!parse_error.empty()) {
+    if (error != nullptr) *error = "budgets: " + parse_error;
+    return out;
+  }
+  const json::Value* budgets = root.find("budgets");
+  if (budgets == nullptr || !budgets->is_array()) {
+    if (error != nullptr)
+      *error = "budgets: top level must be {\"budgets\": [...]}";
+    return out;
+  }
+  for (const json::Value& item : budgets->as_array()) {
+    if (!item.is_object()) {
+      if (error != nullptr) *error = "budgets: entries must be objects";
+      out.rules_.clear();
+      return out;
+    }
+    BudgetRule rule;
+    rule.stage = item.string_or("stage", "");
+    if (rule.stage.empty()) {
+      if (error != nullptr)
+        *error = "budgets: every entry needs a non-empty \"stage\"";
+      out.rules_.clear();
+      return out;
+    }
+    rule.max_mean_us = item.number_or("max_mean_us", 0.0);
+    rule.max_p50_us = item.number_or("max_p50_us", 0.0);
+    rule.max_p95_us = item.number_or("max_p95_us", 0.0);
+    rule.max_p99_us = item.number_or("max_p99_us", 0.0);
+    out.rules_.push_back(std::move(rule));
+  }
+  return out;
+}
+
+BudgetSet BudgetSet::from_file(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "budgets: cannot read " + path;
+    return BudgetSet{};
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  return from_json(os.str(), error);
+}
+
+const BudgetRule* BudgetSet::rule_for(const std::string& stage) const {
+  for (const BudgetRule& rule : rules_)
+    if (matches(rule.stage, stage)) return &rule;
+  return nullptr;
+}
+
+std::vector<BudgetBreach> BudgetSet::check(
+    const std::string& stage, const HistogramStats& window) const {
+  std::vector<BudgetBreach> breaches;
+  if (window.count == 0) return breaches;
+  const BudgetRule* rule = rule_for(stage);
+  if (rule == nullptr) return breaches;
+  const auto apply = [&](const char* field, double limit, double actual) {
+    if (limit > 0.0 && actual > limit)
+      breaches.push_back(BudgetBreach{stage, field, limit, actual});
+  };
+  apply("mean_us", rule->max_mean_us, window.mean);
+  apply("p50_us", rule->max_p50_us, window.p50);
+  apply("p95_us", rule->max_p95_us, window.p95);
+  apply("p99_us", rule->max_p99_us, window.p99);
+  return breaches;
+}
+
+}  // namespace mmhand::obs

@@ -1,0 +1,67 @@
+#pragma once
+
+// Declarative per-stage latency budgets, evaluated by the telemetry
+// sampler against each interval's windowed histogram stats.
+//
+// Budgets live in a JSON file (scripts/latency_budgets.json):
+//
+//   {"budgets": [
+//     {"stage": "radar/process_frame", "max_mean_us": 5000,
+//      "max_p95_us": 20000},
+//     {"stage": "nn/*", "max_p99_us": 500000}
+//   ]}
+//
+// A rule matches a stage histogram by exact name, or by prefix when the
+// pattern ends in '*'.  Any `max_*` field left out (or <= 0) is
+// unchecked.  Every interval in which a matched window exceeds a limit
+// produces a BudgetBreach, which the sampler turns into
+// `obs/budget.breaches` counters and a pass/fail gate for CI.
+
+#include <string>
+#include <vector>
+
+#include "mmhand/obs/metrics.hpp"
+
+namespace mmhand::obs {
+
+struct BudgetRule {
+  std::string stage;       ///< exact name, or prefix + trailing '*'
+  double max_mean_us = 0;  ///< 0 = unchecked
+  double max_p50_us = 0;
+  double max_p95_us = 0;
+  double max_p99_us = 0;
+};
+
+struct BudgetBreach {
+  std::string stage;  ///< histogram name that breached
+  std::string field;  ///< "mean_us" | "p50_us" | "p95_us" | "p99_us"
+  double limit = 0;
+  double actual = 0;
+};
+
+class BudgetSet {
+ public:
+  /// Parses the JSON grammar above.  On malformed input returns an
+  /// empty set and fills `*error` (when non-null).
+  static BudgetSet from_json(const std::string& text, std::string* error);
+  /// `from_json` over a file's contents; missing file is an error.
+  static BudgetSet from_file(const std::string& path, std::string* error);
+
+  bool empty() const { return rules_.empty(); }
+  std::size_t size() const { return rules_.size(); }
+  const std::vector<BudgetRule>& rules() const { return rules_; }
+
+  /// The first rule matching `stage` (declaration order; exact and
+  /// wildcard rules compete equally), or nullptr.
+  const BudgetRule* rule_for(const std::string& stage) const;
+
+  /// Breaches of `stage`'s window against its matching rule.  Empty
+  /// when no rule matches or the window has no samples.
+  std::vector<BudgetBreach> check(const std::string& stage,
+                                  const HistogramStats& window) const;
+
+ private:
+  std::vector<BudgetRule> rules_;
+};
+
+}  // namespace mmhand::obs

@@ -6,6 +6,8 @@
 #include <cstring>
 #include <mutex>
 
+#include "mmhand/obs/flight.hpp"
+
 namespace mmhand::obs {
 
 namespace {
@@ -67,6 +69,7 @@ void logf(LogLevel level, const char* fmt, ...) {
   va_start(args, fmt);
   std::vsnprintf(buf, sizeof(buf), fmt, args);
   va_end(args);
+  if (flight_enabled()) detail::flight_note_log(buf);
   std::lock_guard<std::mutex> lk(g_emit_mu);
   std::fprintf(stderr, "[mmhand] %s%s\n",
                level == LogLevel::kWarn ? "warning: " : "", buf);

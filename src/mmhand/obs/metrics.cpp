@@ -193,6 +193,92 @@ double Histogram::percentile(double q) const {
   return merged_percentile(m, q);
 }
 
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  double mn = std::numeric_limits<double>::max();
+  double mx = std::numeric_limits<double>::lowest();
+  for (const Shard& s : shards_) {
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum +=
+        std::bit_cast<double>(s.sum_bits.load(std::memory_order_relaxed));
+    mn = std::min(
+        mn, std::bit_cast<double>(s.min_bits.load(std::memory_order_relaxed)));
+    mx = std::max(
+        mx, std::bit_cast<double>(s.max_bits.load(std::memory_order_relaxed)));
+    for (int i = 0; i < kBuckets; ++i)
+      out.buckets[static_cast<std::size_t>(i)] +=
+          s.buckets[static_cast<std::size_t>(i)].load(
+              std::memory_order_relaxed);
+  }
+  if (out.count > 0) {
+    out.min = mn;
+    out.max = mx;
+  }
+  return out;
+}
+
+HistogramSnapshot snapshot_delta(const HistogramSnapshot& cur,
+                                 const HistogramSnapshot& prev) {
+  HistogramSnapshot d;
+  d.count = cur.count >= prev.count ? cur.count - prev.count : 0;
+  d.sum = cur.sum - prev.sum;
+  int lo = -1, hi = -1;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    const std::size_t b = static_cast<std::size_t>(i);
+    d.buckets[b] =
+        cur.buckets[b] >= prev.buckets[b] ? cur.buckets[b] - prev.buckets[b]
+                                          : 0;
+    if (d.buckets[b] > 0) {
+      if (lo < 0) lo = i;
+      hi = i;
+    }
+  }
+  if (lo >= 0) {
+    d.min = std::max(bucket_lower(lo), cur.min);
+    d.max = hi == Histogram::kBuckets - 1 ? cur.max
+                                          : std::min(bucket_upper(hi),
+                                                     cur.max);
+    d.max = std::max(d.max, d.min);
+  }
+  return d;
+}
+
+HistogramStats snapshot_stats(const HistogramSnapshot& s) {
+  HistogramStats out;
+  out.count = s.count;
+  if (s.count == 0) return out;
+  MergedHistogram m;
+  m.count = s.count;
+  m.sum = s.sum;
+  m.min = s.min;
+  m.max = s.max;
+  m.buckets = s.buckets;
+  out.sum = s.sum;
+  out.min = s.min;
+  out.max = s.max;
+  out.mean = s.sum / static_cast<double>(s.count);
+  out.p50 = merged_percentile(m, 50.0);
+  out.p95 = merged_percentile(m, 95.0);
+  out.p99 = merged_percentile(m, 99.0);
+  return out;
+}
+
+MetricsSample sample_metrics() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  MetricsSample out;
+  out.counters.reserve(r.counters.size());
+  for (const auto& [name, c] : r.counters)
+    out.counters.emplace_back(name, c->value());
+  out.gauges.reserve(r.gauges.size());
+  for (const auto& [name, g] : r.gauges)
+    out.gauges.emplace_back(name, g->value());
+  out.histograms.reserve(r.histograms.size());
+  for (const auto& [name, h] : r.histograms)
+    out.histograms.emplace_back(name, h->snapshot());
+  return out;
+}
+
 void Histogram::reset() {
   for (Shard& s : shards_) {
     s.count.store(0, std::memory_order_relaxed);

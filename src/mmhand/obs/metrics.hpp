@@ -27,6 +27,8 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "mmhand/obs/state.hpp"
 
@@ -84,6 +86,8 @@ struct HistogramStats {
   double p99 = 0.0;
 };
 
+struct HistogramSnapshot;
+
 /// Fixed-bucket distribution of non-negative values.
 class Histogram {
  public:
@@ -94,6 +98,9 @@ class Histogram {
   HistogramStats stats() const;
   /// Single percentile (q in [0, 100]) from a merged snapshot.
   double percentile(double q) const;
+  /// Raw merged bucket counts (the unit the telemetry sampler diffs
+  /// between intervals for windowed percentiles).
+  HistogramSnapshot snapshot() const;
   void reset();
 
  private:
@@ -108,6 +115,37 @@ class Histogram {
   };
   std::array<Shard, detail::kShards> shards_{};
 };
+
+/// Raw merged histogram state.  `min`/`max` are the lifetime extremes;
+/// a windowed delta reconstructs its extremes from the occupied bucket
+/// bounds (see `snapshot_delta`).
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+};
+
+/// `cur - prev`, elementwise on count/sum/buckets.  The window's
+/// min/max are approximated by the bounds of its lowest and highest
+/// occupied buckets (clamped to `cur`'s lifetime extremes), which keeps
+/// the interpolated windowed percentiles inside the observed range.
+HistogramSnapshot snapshot_delta(const HistogramSnapshot& cur,
+                                 const HistogramSnapshot& prev);
+
+/// Mean + interpolated p50/p95/p99 of any snapshot (full or windowed).
+HistogramStats snapshot_stats(const HistogramSnapshot& s);
+
+/// One pass over the registry: every metric's current value, sorted by
+/// name (map order).  Relaxed reads — values racing with writers land
+/// in this or the next sample, never torn.
+struct MetricsSample {
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+MetricsSample sample_metrics();
 
 /// Finds or creates a metric by name.  Takes the registry mutex; cache
 /// the returned reference on hot paths.

@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "mmhand/common/error.hpp"
+#include "mmhand/obs/flight.hpp"
 #include "mmhand/obs/log.hpp"
 #include "mmhand/obs/metrics.hpp"
 #include "mmhand/obs/runlog.hpp"
@@ -79,6 +80,9 @@ void report_numeric_anomaly(const char* site, const char* what,
   }
   MMHAND_WARN("numeric anomaly at %s: %s (%s)", site, what, detail.c_str());
   if (mode == NumericCheckMode::kFatal) {
+    // Capture the final moments before the fatal path unwinds: the
+    // flight dump shows which spans were in flight around the anomaly.
+    if (flight_enabled()) flight_dump("numeric-fatal");
     MMHAND_CHECK(false, "numeric anomaly at " << site << ": " << what
                                               << " (" << detail << ")");
   }

@@ -3,21 +3,21 @@
 #include <cmath>
 #include <cstdio>
 #include <deque>
-#include <filesystem>
-#include <fstream>
 #include <mutex>
 
+#include "mmhand/common/io_safe.hpp"
 #include "mmhand/obs/log.hpp"
 
 namespace mmhand::obs {
 
 namespace {
 
-/// Serializes appends and guards the lazily-opened sink.
+/// Serializes appends and guards the lazily-opened sink.  The torn-tail
+/// repair and the append/flush discipline live in io_safe::LineWriter
+/// (shared with the telemetry stream).
 struct Sink {
   std::mutex mu;
-  std::FILE* file = nullptr;     // guarded by mu
-  std::string open_path;         // path `file` was opened with
+  io_safe::LineWriter writer;    // guarded by mu
   std::deque<std::string> tail;  // recent record lines, newest last
 };
 
@@ -26,41 +26,6 @@ constexpr std::size_t kTailCap = 256;
 Sink& sink() {
   static Sink s;
   return s;
-}
-
-/// Repairs a torn tail before appending: a crash mid-fwrite leaves a
-/// partial final line, and every later record on that line would be
-/// unparseable JSONL.  Truncate back to the last complete line (best
-/// effort — the log is an append-only diagnostic, losing the torn
-/// record is the correct outcome).
-void repair_torn_tail(const std::string& path) {
-  std::error_code ec;
-  const std::uintmax_t size = std::filesystem::file_size(path, ec);
-  if (ec || size == 0) return;
-  // A record line is far below 64 KiB; scanning one window from the end
-  // finds the last newline of any log this writer produced.
-  constexpr std::uintmax_t kWindow = 64 * 1024;
-  const std::uintmax_t start = size > kWindow ? size - kWindow : 0;
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return;
-  in.seekg(static_cast<std::streamoff>(start));
-  std::string window(static_cast<std::size_t>(size - start), '\0');
-  in.read(window.data(), static_cast<std::streamsize>(window.size()));
-  if (static_cast<std::uintmax_t>(in.gcount()) != size - start) return;
-  in.close();
-  const std::size_t last_nl = window.rfind('\n');
-  if (last_nl == window.size() - 1) return;  // tail is complete
-  // No newline anywhere in the window: with start > 0 the window began
-  // mid-file and the last line boundary is unknown — leave it alone.
-  if (last_nl == std::string::npos && start > 0) return;
-  const std::uintmax_t keep =
-      last_nl == std::string::npos ? 0 : start + last_nl + 1;
-  if (keep == size) return;
-  std::filesystem::resize_file(path, keep, ec);
-  if (!ec)
-    MMHAND_WARN("run log %s had a torn final record; truncated %llu bytes",
-                path.c_str(),
-                static_cast<unsigned long long>(size - keep));
 }
 
 }  // namespace
@@ -159,22 +124,17 @@ void append_run_record(const RunRecord& record) {
   s.tail.push_back(line);
   if (s.tail.size() > kTailCap) s.tail.pop_front();
   if (path.empty()) return;
-  if (s.file != nullptr && s.open_path != path) {
-    std::fclose(s.file);
-    s.file = nullptr;
-  }
-  if (s.file == nullptr) {
-    repair_torn_tail(path);
-    s.file = std::fopen(path.c_str(), "a");
-    if (s.file == nullptr) {
+  if (!s.writer.is_open() || s.writer.path() != path) {
+    const std::uint64_t torn = io_safe::repair_torn_line_tail(path);
+    if (torn > 0)
+      MMHAND_WARN("run log %s had a torn final record; truncated %llu bytes",
+                  path.c_str(), static_cast<unsigned long long>(torn));
+    if (!s.writer.open(path)) {
       MMHAND_WARN("cannot append run log to %s", path.c_str());
       return;
     }
-    s.open_path = path;
   }
-  std::fwrite(line.data(), 1, line.size(), s.file);
-  std::fputc('\n', s.file);
-  std::fflush(s.file);
+  s.writer.append(line);
 }
 
 std::string run_log_tail(std::size_t max_records) {
@@ -194,11 +154,7 @@ void reset_run_log() {
   Sink& s = sink();
   std::lock_guard<std::mutex> lk(s.mu);
   s.tail.clear();
-  if (s.file != nullptr) {
-    std::fclose(s.file);
-    s.file = nullptr;
-  }
-  s.open_path.clear();
+  s.writer.close();
 }
 
 }  // namespace mmhand::obs

@@ -6,6 +6,7 @@
 
 #include "mmhand/obs/log.hpp"
 #include "mmhand/obs/metrics.hpp"
+#include "mmhand/obs/telemetry.hpp"
 #include "mmhand/obs/trace.hpp"
 
 namespace mmhand::obs::detail {
@@ -13,9 +14,11 @@ namespace mmhand::obs::detail {
 namespace {
 
 std::mutex g_path_mu;
-std::string g_trace_path;    // guarded by g_path_mu
-std::string g_metrics_path;  // guarded by g_path_mu
-std::string g_run_log_path;  // guarded by g_path_mu
+std::string g_trace_path;      // guarded by g_path_mu
+std::string g_metrics_path;    // guarded by g_path_mu
+std::string g_run_log_path;    // guarded by g_path_mu
+std::string g_telemetry_spec;  // guarded by g_path_mu
+std::string g_flight_spec;     // guarded by g_path_mu
 
 std::atomic<unsigned> g_next_thread_id{0};
 
@@ -23,6 +26,9 @@ std::atomic<unsigned> g_next_thread_id{0};
 /// exits, so `MMHAND_TRACE=t.json ./bench` needs no code changes in the
 /// binary being observed.
 void at_exit_dump() {
+  // The sampler thread must be joined before any static sink it reads
+  // can be destroyed; stopping also flushes the final interval.
+  stop_telemetry();
   if (!trace_path().empty() && tracing_enabled()) write_trace();
   if (!metrics_path().empty() && metrics_enabled())
     write_metrics(metrics_path());
@@ -55,6 +61,20 @@ int init_mask() {
       std::lock_guard<std::mutex> lk(g_path_mu);
       g_run_log_path = r;
     }
+    // Telemetry implies metrics: the sampler snapshots the registry, so
+    // the span histograms it windows must actually be recording.
+    if (const char* s = std::getenv("MMHAND_TELEMETRY");
+        s != nullptr && *s) {
+      m |= kTelemetryBit | kMetricsBit;
+      std::lock_guard<std::mutex> lk(g_path_mu);
+      g_telemetry_spec = s;
+    }
+    if (const char* fl = std::getenv("MMHAND_FLIGHT");
+        fl != nullptr && *fl) {
+      m |= kFlightBit;
+      std::lock_guard<std::mutex> lk(g_path_mu);
+      g_flight_spec = fl;
+    }
     if (m != 0) {
       // Touch the sinks so their static state outlives this atexit hook
       // (handlers run LIFO: registered later -> runs earlier).
@@ -64,6 +84,15 @@ int init_mask() {
     }
     mask_atomic().store(m, std::memory_order_relaxed);
   });
+  const int m = mask_atomic().load(std::memory_order_relaxed);
+  // Subsystems with background state start outside the call_once body:
+  // the sampler thread's own first obs call would otherwise deadlock
+  // against this initialization.  Both hooks are internally one-shot.
+  if ((m & kFlightBit) != 0) flight_on_mask_init();
+  if ((m & kTelemetryBit) != 0) telemetry_on_mask_init();
+  // Reload rather than returning the pre-hook snapshot: a hook that
+  // rejects its spec clears its own bit, and the first caller must see
+  // the subsystem as disabled, not just subsequent ones.
   return mask_atomic().load(std::memory_order_relaxed);
 }
 
@@ -124,6 +153,18 @@ void set_run_log_path_raw(const std::string& path) {
   (void)mask();
   std::lock_guard<std::mutex> lk(g_path_mu);
   g_run_log_path = path;
+}
+
+std::string telemetry_spec_raw() {
+  (void)mask();
+  std::lock_guard<std::mutex> lk(g_path_mu);
+  return g_telemetry_spec;
+}
+
+std::string flight_spec_raw() {
+  (void)mask();
+  std::lock_guard<std::mutex> lk(g_path_mu);
+  return g_flight_spec;
 }
 
 }  // namespace mmhand::obs::detail

@@ -14,6 +14,8 @@ namespace mmhand::obs::detail {
 inline constexpr int kTraceBit = 1;
 inline constexpr int kMetricsBit = 2;
 inline constexpr int kRunLogBit = 4;
+inline constexpr int kFlightBit = 8;
+inline constexpr int kTelemetryBit = 16;
 
 /// Number of metric shards.  Threads map onto shards round-robin; more
 /// threads than shards only costs occasional cache-line sharing, never
@@ -52,5 +54,17 @@ std::string metrics_path();
 void set_metrics_path(const std::string& path);
 std::string run_log_path_raw();
 void set_run_log_path_raw(const std::string& path);
+
+/// Raw MMHAND_TELEMETRY / MMHAND_FLIGHT spec strings ("" when unset).
+/// Parsing lives in obs/telemetry and obs/flight; state only stores the
+/// text so every environment read stays in this TU.
+std::string telemetry_spec_raw();
+std::string flight_spec_raw();
+
+/// Implemented in telemetry.cpp / flight.cpp: start the sampler thread /
+/// map the ring file when the corresponding mask bit resolved on.
+/// Called outside the call_once body (idempotent, guarded internally).
+void telemetry_on_mask_init();
+void flight_on_mask_init();
 
 }  // namespace mmhand::obs::detail

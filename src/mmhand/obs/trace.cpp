@@ -98,6 +98,7 @@ void record_span(SpanSite& site, std::int64_t t0_ns, std::int64_t t1_ns,
   }
   if ((mask & kMetricsBit) != 0)
     site.hist().record(static_cast<double>(t1_ns - t0_ns) / 1000.0);
+  if ((mask & kFlightBit) != 0) flight_span_event(site, false, t1_ns);
 }
 
 void touch_trace_registry() { (void)trace_registry(); }

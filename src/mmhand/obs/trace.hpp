@@ -56,21 +56,28 @@ bool write_trace(const std::string& path);
 void clear_trace();
 
 /// Per-call-site identity of a span: the name (a string literal — it is
-/// stored by pointer) plus a lazily resolved histogram handle.
+/// stored by pointer) plus lazily resolved sink handles (metrics
+/// histogram; flight-recorder name id, generation-tagged so remapping
+/// the ring file invalidates stale ids).
 class SpanSite {
  public:
   explicit SpanSite(const char* name) : name_(name) {}
   const char* name() const { return name_; }
   Histogram& hist();
+  std::atomic<std::uint64_t>& flight_token() { return flight_token_; }
 
  private:
   const char* name_;
   std::atomic<Histogram*> hist_{nullptr};
+  std::atomic<std::uint64_t> flight_token_{0};
 };
 
 namespace detail {
 void record_span(SpanSite& site, std::int64_t t0_ns, std::int64_t t1_ns,
                  int mask);
+/// Flight-recorder span event (implemented in flight.cpp); `begin`
+/// distinguishes scope entry from exit.
+void flight_span_event(SpanSite& site, bool begin, std::int64_t t_ns);
 void touch_trace_registry();
 }  // namespace detail
 
@@ -83,6 +90,8 @@ class Span {
     site_ = &site;
     mask_ = m;
     t0_ns_ = detail::now_ns();
+    if ((m & detail::kFlightBit) != 0)
+      detail::flight_span_event(site, true, t0_ns_);
   }
   ~Span() {
     if (site_ != nullptr)

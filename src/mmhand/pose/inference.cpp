@@ -192,6 +192,10 @@ std::vector<FramePrediction> predict_recording(
     static obs::Counter& degraded = obs::counter("fault.degraded_segments");
     degraded.add(degraded_segments);
   }
+  if (obs::metrics_enabled()) {
+    static obs::Counter& segments = obs::counter("pose/predict.segments");
+    segments.add(static_cast<std::int64_t>(out.size()));
+  }
   return out;
 }
 

@@ -248,6 +248,10 @@ TrainStats train_pose_model(HandJointRegressor& model,
         optimizer.step(lr_scale);
         optimizer.zero_grad();
         since_step = 0;
+        if (obs::metrics_enabled()) {
+          static obs::Counter& batches = obs::counter("pose/train.batches");
+          batches.add(1);
+        }
       }
     }
     epoch_loss /= static_cast<double>(samples.size());

@@ -6,6 +6,7 @@
 #include "mmhand/common/aligned.hpp"
 #include "mmhand/common/parallel.hpp"
 #include "mmhand/dsp/fft.hpp"
+#include "mmhand/obs/metrics.hpp"
 #include "mmhand/obs/trace.hpp"
 #include "mmhand/simd/simd.hpp"
 
@@ -206,6 +207,10 @@ std::vector<Cd> RadarPipeline::range_profiles(const IfFrame& frame) const {
 
 RadarCube RadarPipeline::process_frame(const IfFrame& frame) const {
   MMHAND_SPAN("radar/process_frame");
+  if (obs::metrics_enabled()) {
+    static obs::Counter& frames = obs::counter("radar/frames");
+    frames.add(1);
+  }
   const int n_tx = frame.num_tx();
   const int n_rx = frame.num_rx();
   const int n_chirp = frame.chirps();

@@ -1,17 +1,20 @@
 // Tests for mmhand/common: errors, rng, vec3, quaternion, stats, serialize,
-// parallel_for.
+// parallel_for, and the append-only line sink.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <numbers>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "mmhand/common/error.hpp"
+#include "mmhand/common/io_safe.hpp"
 #include "mmhand/common/parallel.hpp"
 #include "mmhand/common/quaternion.hpp"
 #include "mmhand/common/rng.hpp"
@@ -363,6 +366,48 @@ TEST(ParallelFor, NestedCallsFallBackToSerial) {
 
 TEST(ParallelFor, RejectsNonPositiveGrain) {
   EXPECT_THROW(parallel_for(0, 4, 0, [](std::int64_t) {}), Error);
+}
+
+// ---------------------------------------------------------------------
+// Append-only line sink (run log / telemetry streams).
+
+TEST(LineWriter, OpenRepairsTornTailAndAppendsStayParseable) {
+  namespace fs = std::filesystem;
+  const std::string path =
+      (fs::temp_directory_path() / "mmhand_linewriter_torn.jsonl").string();
+  fs::remove(path);
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "{\"seq\": 1}\n{\"seq\": 2}\n{\"seq\": 3, \"partial";  // no newline
+  }
+  EXPECT_GT(io_safe::repair_torn_line_tail(path), 0u);
+  io_safe::LineWriter writer;
+  ASSERT_TRUE(writer.open(path));
+  EXPECT_TRUE(writer.append("{\"seq\": 4}"));
+  writer.close();
+  std::ifstream f(path, std::ios::binary);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(f, line);) lines.push_back(line);
+  // The torn record is gone; the intact prefix and the new line remain.
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "{\"seq\": 1}");
+  EXPECT_EQ(lines[1], "{\"seq\": 2}");
+  EXPECT_EQ(lines[2], "{\"seq\": 4}");
+  fs::remove(path);
+}
+
+TEST(LineWriter, RepairIsANoOpOnAnIntactFile) {
+  namespace fs = std::filesystem;
+  const std::string path =
+      (fs::temp_directory_path() / "mmhand_linewriter_intact.jsonl").string();
+  fs::remove(path);
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "{\"seq\": 1}\n";
+  }
+  EXPECT_EQ(io_safe::repair_torn_line_tail(path), 0u);
+  EXPECT_EQ(fs::file_size(path), 11u);
+  fs::remove(path);
 }
 
 }  // namespace

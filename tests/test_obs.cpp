@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "mmhand/common/parallel.hpp"
@@ -129,6 +130,47 @@ TEST(ObsConcurrency, SpansFromParallelForAreAllRecorded) {
   const obs::HistogramStats s = h.stats();
   EXPECT_EQ(s.count, static_cast<std::uint64_t>(kIters));
   EXPECT_DOUBLE_EQ(s.p50, 3.0);
+}
+
+TEST(ObsConcurrency, HistogramHammeredFromEightRawThreadsStaysExact) {
+  // The telemetry sampler reads histograms while worker threads record
+  // into them; this is the TSan target for that pairing.  Eight raw
+  // threads (not the pool, so there is no grain-level serialization)
+  // each record a distinct value 10000 times while the main thread
+  // concurrently snapshots stats.  Count and sum must come out exact —
+  // every per-value sum here is integral, so floating-point accumulation
+  // has no excuse — and every concurrent snapshot must be internally
+  // monotone.
+  MetricsOn on;
+  obs::Histogram& h = obs::histogram("test/obs.hammer");
+  h.reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::atomic<int> done{0};
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        h.record(static_cast<double>(t + 1));
+      done.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  while (done.load(std::memory_order_relaxed) < kThreads) {
+    const obs::HistogramStats s = h.stats();
+    EXPECT_LE(s.p50, s.p95);
+    EXPECT_LE(s.p95, s.p99);
+    EXPECT_LE(s.count, static_cast<std::uint64_t>(kThreads * kPerThread));
+  }
+  for (std::thread& w : writers) w.join();
+  const obs::HistogramStats s = h.stats();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads * kPerThread));
+  // sum of t in 1..8, 10000 each: 10000 * 36.
+  EXPECT_DOUBLE_EQ(s.sum, 360000.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 8.0);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
 }
 
 TEST(ObsConcurrency, SpanSitesFromEightThreadsCount) {

@@ -2,26 +2,32 @@
 // Markdown report:
 //
 //   mmhand_report [--runlog FILE] [--metrics FILE] [--bench FILE]...
-//                 [--lint FILE] [-o OUT.md]
+//                 [--history FILE] [--lint FILE] [-o OUT.md]
 //
 //   --runlog   a JSONL run log written via MMHAND_RUN_LOG (manifest /
 //              epoch / eval / anomaly records)
 //   --metrics  a metrics snapshot written via MMHAND_METRICS
 //   --bench    any BENCH_*.json (repeatable); bench_throughput's format
 //              gets a per-op table, others a one-line summary
+//   --history  a bench/history.jsonl appended by
+//              `check_bench.py --append-history`; renders a per-op
+//              latency trend across runs (oldest → newest)
 //   --lint     a `mmhand_lint --json` report; renders a "Static
 //              analysis" section (rule counts or a zero-findings badge)
 //   -o         output path (default: stdout)
 //
 // Sections: run manifest, loss curve (per-epoch loss / lr / grad norm /
 // throughput), evaluations, numerical anomalies, stage latency breakdown
-// (from metrics histograms), bench results, and static analysis.
-// Inputs are optional; absent ones are skipped, so the tool is usable
-// after any subset of MMHAND_RUN_LOG / MMHAND_METRICS / bench / lint
-// runs.
+// (from metrics histograms), bench results, bench trend, and static
+// analysis.  Inputs are optional; absent ones are skipped, so the tool
+// is usable after any subset of MMHAND_RUN_LOG / MMHAND_METRICS / bench
+// / lint runs.
 
+#include <algorithm>
 #include <cstdio>
+#include <ctime>
 #include <cstring>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -224,6 +230,79 @@ void report_bench(const std::string& path, const Value& bench,
   }
 }
 
+/// ASCII trend of `values` (oldest → newest), one glyph per run:
+/// '_' bottom quartile of the observed range, '-' middle, '^' top.
+std::string trend_glyphs(const std::vector<double>& values) {
+  double lo = 1e300, hi = 0.0;
+  for (const double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::string out;
+  for (const double v : values) {
+    if (hi <= lo) {
+      out += '-';
+      continue;
+    }
+    const double t = (v - lo) / (hi - lo);
+    out += t < 0.25 ? '_' : (t > 0.75 ? '^' : '-');
+  }
+  return out;
+}
+
+/// "Bench trend" section from a history JSONL (one record per bench
+/// run; see check_bench.py --append-history for the writer).
+void report_history(const std::vector<Value>& records, std::ostream& os) {
+  os << "## Bench trend\n\n";
+  if (records.empty()) {
+    os << "No history records.\n\n";
+    return;
+  }
+  const auto day_of = [](const Value& r) -> std::string {
+    const double ts = r.number_or("timestamp", 0.0);
+    if (ts <= 0.0) return "?";
+    const std::time_t t = static_cast<std::time_t>(ts);
+    std::tm tm{};
+    if (gmtime_r(&t, &tm) == nullptr) return "?";
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", tm.tm_year + 1900,
+                  tm.tm_mon + 1, tm.tm_mday);
+    return buf;
+  };
+  os << records.size() << " run(s), " << day_of(records.front()) << " → "
+     << day_of(records.back()) << ".\n\n";
+  // Collect per-op series in first-seen order; ops are keyed
+  // "op@threads" by the writer, and runs missing an op are skipped for
+  // that series (ISA changes re-key via the simd suffix the writer
+  // adds, so incompatible runs never merge into one series).
+  std::vector<std::string> order;
+  std::map<std::string, std::vector<double>> series;
+  for (const Value& r : records) {
+    const Value* ops = r.find("ops");
+    if (ops == nullptr || !ops->is_object()) continue;
+    for (const auto& [key, v] : ops->as_object()) {
+      if (series.find(key) == series.end()) order.push_back(key);
+      series[key].push_back(v.as_number());
+    }
+  }
+  if (order.empty()) {
+    os << "(no `ops` objects in history records)\n\n";
+    return;
+  }
+  os << "| op | runs | oldest ms | newest ms | best ms | Δ newest/best |"
+        " trend |\n|---|---|---|---|---|---|---|\n";
+  for (const std::string& key : order) {
+    const std::vector<double>& v = series[key];
+    double best = 1e300;
+    for (const double ms : v) best = std::min(best, ms);
+    os << "| " << key << " | " << v.size() << " | " << fmt(v.front(), 4)
+       << " | " << fmt(v.back(), 4) << " | " << fmt(best, 4) << " | "
+       << (best > 0.0 ? fmt(v.back() / best, 2) + "x" : "?") << " | `"
+       << trend_glyphs(v) << "` |\n";
+  }
+  os << "\n";
+}
+
 /// "Static analysis" section from a `mmhand_lint --json` report.
 void report_lint(const Value& lint, std::ostream& os) {
   os << "## Static analysis\n\n";
@@ -259,7 +338,7 @@ void report_lint(const Value& lint, std::ostream& os) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string runlog_path, metrics_path, lint_path, out_path;
+  std::string runlog_path, metrics_path, lint_path, history_path, out_path;
   std::vector<std::string> bench_paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -272,6 +351,8 @@ int main(int argc, char** argv) {
       if (const char* v = next()) metrics_path = v;
     } else if (arg == "--bench") {
       if (const char* v = next()) bench_paths.push_back(v);
+    } else if (arg == "--history") {
+      if (const char* v = next()) history_path = v;
     } else if (arg == "--lint") {
       if (const char* v = next()) lint_path = v;
     } else if (arg == "-o" || arg == "--out") {
@@ -279,7 +360,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: mmhand_report [--runlog FILE] [--metrics FILE]"
-                   " [--bench FILE]... [--lint FILE] [-o OUT.md]\n");
+                   " [--bench FILE]... [--history FILE] [--lint FILE]"
+                   " [-o OUT.md]\n");
       return arg == "-h" || arg == "--help" ? 0 : 2;
     }
   }
@@ -344,6 +426,31 @@ int main(int argc, char** argv) {
       return 1;
     }
     report_bench(path, bench, os);
+    ++inputs;
+  }
+
+  if (!history_path.empty()) {
+    bool ok = false;
+    const std::string text = slurp(history_path, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "cannot read history %s\n",
+                   history_path.c_str());
+      return 1;
+    }
+    std::vector<Value> records;
+    int bad = 0;
+    for (const std::string& line : split_lines(text)) {
+      std::string err;
+      Value v = Value::parse(line, &err);
+      if (err.empty() && v.is_object())
+        records.push_back(std::move(v));
+      else
+        ++bad;
+    }
+    if (bad > 0)
+      std::fprintf(stderr, "warning: %d unparseable line(s) in %s\n", bad,
+                   history_path.c_str());
+    report_history(records, os);
     ++inputs;
   }
 
