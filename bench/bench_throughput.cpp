@@ -9,6 +9,8 @@
 // onto; the JSON records `hardware_concurrency` so downstream tooling can
 // interpret a flat curve on a single-core CI box.
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -47,6 +49,66 @@ struct OpResult {
   int threads = 1;
   double ms = 0.0;
 };
+
+/// First line of `path`, stripped of the trailing newline ("" on error).
+std::string read_line(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  char buf[256] = {0};
+  const bool ok = std::fgets(buf, sizeof(buf), f) != nullptr;
+  std::fclose(f);
+  if (!ok) return {};
+  std::string line(buf);
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
+    line.pop_back();
+  return line;
+}
+
+/// Keep provenance strings safe to splice into the JSON literal.
+std::string json_safe(std::string s) {
+  for (char& c : s)
+    if (c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20)
+      c = ' ';
+  return s;
+}
+
+/// HEAD commit of the checkout the bench ran from ("" outside a repo).
+/// Follows one level of symref ("ref: refs/heads/x") without shelling
+/// out to git, so the bench stays dependency-free.
+std::string git_head_sha() {
+  const std::string head = read_line(".git/HEAD");
+  if (head.rfind("ref: ", 0) == 0)
+    return read_line(".git/" + head.substr(5));
+  return head;
+}
+
+std::string host_name() {
+  char buf[256] = {0};
+  if (gethostname(buf, sizeof(buf) - 1) != 0) return {};
+  return buf;
+}
+
+/// "model name" line from /proc/cpuinfo ("" on non-Linux hosts).
+std::string cpu_model() {
+  std::FILE* f = std::fopen("/proc/cpuinfo", "rb");
+  if (f == nullptr) return {};
+  char buf[512];
+  std::string model;
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    std::string line(buf);
+    if (line.rfind("model name", 0) != 0) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::size_t begin = colon + 1;
+    while (begin < line.size() && line[begin] == ' ') ++begin;
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
+      line.pop_back();
+    model = line.substr(begin);
+    break;
+  }
+  std::fclose(f);
+  return model;
+}
 
 }  // namespace
 
@@ -195,6 +257,15 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f, "{\n  \"bench\": \"throughput\",\n");
   std::fprintf(f, "  \"hardware_concurrency\": %d,\n", hw);
+  // Provenance: which commit on which machine produced these numbers.
+  // bench/history.jsonl carries the same fields (check_bench.py copies
+  // them), so a cross-machine comparison is visible instead of silent.
+  std::fprintf(
+      f,
+      "  \"provenance\": {\"git_sha\": \"%s\", \"hostname\": \"%s\", "
+      "\"cpu_model\": \"%s\"},\n",
+      json_safe(git_head_sha()).c_str(), json_safe(host_name()).c_str(),
+      json_safe(cpu_model()).c_str());
   // The dispatched vector ISA; check_bench.py refuses to compare runs
   // whose ISAs differ (a scalar run would "regress" the AVX2 baseline
   // by design).

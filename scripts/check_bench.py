@@ -115,6 +115,12 @@ def history_record(doc, timestamp, note):
         "hardware_concurrency": doc.get("hardware_concurrency"),
         "ops": ops,
     }
+    # Provenance (git_sha / hostname / cpu_model) travels with every
+    # history record: a trend mixing machines or commits is then visible
+    # in the record itself instead of silently misleading.
+    provenance = doc.get("provenance")
+    if isinstance(provenance, dict):
+        record["provenance"] = provenance
     if note:
         record["note"] = note
     overhead = doc.get("telemetry_overhead")

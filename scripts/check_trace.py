@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Validate the causal-flow structure of a Chrome trace written by
+obs::write_trace.
+
+Every frame context records one flow anchor (ph "s") inside its frame
+slice, and every cross-thread worker span binds back with a ph "f"
+("bp": "e") carrying the same id.  This gate asserts the linkage is
+real, not decorative:
+
+  * at least --min-anchors anchors and --min-bindings bindings exist;
+  * every binding's id has an anchor, the anchor precedes it in time,
+    and the binding landed on a different thread than the anchor
+    (same-thread children are attributed via args, not flow events);
+  * spans tagged with args.trace_id exist, and every tagged trace_id
+    that bound a flow is one an anchor introduced.
+
+With --telemetry, also cross-checks the run's JSONL stream: the number
+of kind=="frame" records must equal the number of flow anchors (one
+FrameScope == one anchor == one frame record).
+
+Usage: check_trace.py TRACE.json [--min-anchors N] [--min-bindings N]
+                      [--telemetry TEL.jsonl]
+"""
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace")
+    ap.add_argument("--min-anchors", type=int, default=1)
+    ap.add_argument("--min-bindings", type=int, default=1)
+    ap.add_argument("--telemetry")
+    args = ap.parse_args()
+
+    with open(args.trace, encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("no traceEvents array")
+
+    anchors = {}   # id -> (ts, tid)
+    bindings = []  # (id, ts, tid)
+    tagged = 0
+    for e in events:
+        ph = e.get("ph")
+        if ph == "s":
+            if e.get("cat") != "mmhand_flow":
+                fail(f"flow anchor with cat {e.get('cat')!r}")
+            anchors[e["id"]] = (e["ts"], e["tid"])
+        elif ph == "f":
+            if e.get("bp") != "e":
+                fail("flow binding without bp:e (enclosing-slice binding)")
+            bindings.append((e["id"], e["ts"], e["tid"]))
+        if isinstance(e.get("args"), dict) and "trace_id" in e["args"]:
+            tagged += 1
+
+    if len(anchors) < args.min_anchors:
+        fail(f"{len(anchors)} flow anchors, expected >= {args.min_anchors}")
+    if len(bindings) < args.min_bindings:
+        fail(f"{len(bindings)} flow bindings, expected >= {args.min_bindings}"
+             " (is the run actually multi-threaded?)")
+    if tagged == 0:
+        fail("no spans tagged with args.trace_id")
+
+    for fid, ts, tid in bindings:
+        if fid not in anchors:
+            fail(f"binding id {fid} has no anchor")
+        a_ts, a_tid = anchors[fid]
+        if ts < a_ts:
+            fail(f"binding id {fid} at ts {ts} precedes its anchor at {a_ts}")
+        if tid == a_tid:
+            fail(f"binding id {fid} on the anchor's own thread {tid}")
+
+    if args.telemetry:
+        frames = 0
+        with open(args.telemetry, encoding="utf-8") as f:
+            for line in f:
+                try:
+                    rec = json.loads(line)
+                except ValueError:
+                    continue  # torn tail is the stream writer's contract
+                if rec.get("kind") == "frame":
+                    frames += 1
+        if frames != len(anchors):
+            fail(f"{frames} frame records vs {len(anchors)} flow anchors: "
+                 "every FrameScope must emit exactly one of each")
+        print(f"frame records consistent: {frames} == {len(anchors)} anchors")
+
+    print(f"trace flow ok: {len(anchors)} anchors, {len(bindings)} bindings "
+          f"across {len({t for _, _, t in bindings})} worker threads, "
+          f"{tagged} tagged spans")
+
+
+if __name__ == "__main__":
+    main()

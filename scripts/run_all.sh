@@ -94,6 +94,12 @@ echo "===== telemetry check ====="
 # (see scripts/check_telemetry.sh and README "Observability").
 scripts/check_telemetry.sh build
 
+echo "===== profiling check ====="
+# Flow-linked Chrome trace at 4 threads (one frame record per anchor) and
+# MMHAND_PMU graceful clock-only degradation + roofline report
+# (see scripts/check_prof.sh).
+scripts/check_prof.sh build
+
 echo "===== crash recovery check ====="
 # Kill a checkpointed fast training mid-epoch and require the resumed run
 # to reproduce the uninterrupted fold models bit-for-bit.

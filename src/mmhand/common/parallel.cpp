@@ -28,6 +28,11 @@ constexpr int kMaxThreads = 256;
 constexpr std::int64_t kMinChunksPerThread = 4;
 
 thread_local bool tl_in_parallel = false;
+thread_local void* tl_task_context = nullptr;
+
+/// Worker-side observer hooks; the pointer flips once (null -> installed)
+/// so workers pay one acquire load per region.
+std::atomic<const WorkerObserver*> g_worker_observer{nullptr};
 
 /// MMHAND_THREADS, or 0 when unset/garbage.
 int env_thread_override() {
@@ -50,6 +55,7 @@ struct Job {
   const std::function<void(std::int64_t)>* fn = nullptr;
   std::atomic<std::int64_t> next_chunk{0};
   std::atomic<int> extra_slots{0};  ///< worker participation budget
+  void* task_ctx = nullptr;  ///< submitter's task_context(), adopted by workers
   std::atomic<bool> failed{false};
   int pending = 0;  ///< workers yet to check out (guarded by pool mutex)
   std::exception_ptr error;
@@ -105,6 +111,7 @@ class ThreadPool {
     job.grain = grain;
     job.num_chunks = (end - begin + grain - 1) / grain;
     job.fn = &fn;
+    job.task_ctx = tl_task_context;
     const int participants = static_cast<int>(std::min<std::int64_t>(
         max_threads, job.num_chunks));
     job.extra_slots.store(participants - 1, std::memory_order_relaxed);
@@ -161,8 +168,17 @@ class ThreadPool {
       lk.unlock();
       // Respect the per-region participant budget so `set_num_threads(2)`
       // really runs two threads even when more workers exist.
-      if (job->extra_slots.fetch_sub(1, std::memory_order_relaxed) > 0)
+      if (job->extra_slots.fetch_sub(1, std::memory_order_relaxed) > 0) {
+        void* const prev_ctx = tl_task_context;
+        tl_task_context = job->task_ctx;
+        const WorkerObserver* obs =
+            g_worker_observer.load(std::memory_order_acquire);
+        void* token =
+            obs != nullptr && obs->begin != nullptr ? obs->begin() : nullptr;
         run_chunks(*job);
+        if (obs != nullptr && obs->end != nullptr) obs->end(token);
+        tl_task_context = prev_ctx;
+      }
       lk.lock();
       if (--job->pending == 0) done_cv_.notify_all();
     }
@@ -189,6 +205,17 @@ void set_num_threads(int n) {
 }
 
 bool in_parallel_region() { return tl_in_parallel; }
+
+void* task_context() { return tl_task_context; }
+
+void set_task_context(void* context) { tl_task_context = context; }
+
+void set_worker_observer(const WorkerObserver& observer) {
+  // Leaked on purpose: workers may race the end of main, and a static
+  // observer struct must outlive every late region.
+  g_worker_observer.store(new WorkerObserver(observer),
+                          std::memory_order_release);
+}
 
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
                   const std::function<void(std::int64_t)>& fn) {

@@ -34,6 +34,27 @@ void set_num_threads(int n);
 /// Nested `parallel_for` calls observe this and fall back to serial.
 bool in_parallel_region();
 
+/// Opaque per-task context pointer, propagated from the thread that
+/// submits a `parallel_for` region to every pool worker that
+/// participates in it (and restored when the region drains).  The pool
+/// never dereferences it; the observability layer stores its
+/// frame-scoped trace context here so spans recorded on workers can be
+/// attributed to the frame that spawned them.  Null by default.
+void* task_context();
+void set_task_context(void* context);
+
+/// Callbacks invoked on each pool worker around its participation in a
+/// region — after the submitted task context is installed, before it is
+/// restored.  `begin` returns a token passed to `end`; both may be
+/// null.  The submitting thread (which already owns the context) never
+/// triggers them.  Install-once, before the pool is busy; used by the
+/// observability layer to record per-worker spans.
+struct WorkerObserver {
+  void* (*begin)() = nullptr;
+  void (*end)(void* token) = nullptr;
+};
+void set_worker_observer(const WorkerObserver& observer);
+
 /// Applies `fn(i)` for every i in [begin, end).  Work is handed out in
 /// contiguous chunks of `grain` indices; chunk assignment to threads is
 /// dynamic, so `fn` must not depend on which thread runs which index.

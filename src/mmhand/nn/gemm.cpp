@@ -6,19 +6,26 @@
 
 #include "mmhand/common/parallel.hpp"
 #include "mmhand/obs/metrics.hpp"
+#include "mmhand/obs/trace.hpp"
 
 namespace mmhand::nn {
 
 namespace {
 
-/// Call/FLOP accounting for every GEMM variant.  Disabled cost: one
-/// relaxed atomic load; enabled cost: two sharded relaxed adds.
+/// Call/FLOP/byte accounting for every GEMM variant.  Disabled cost:
+/// one relaxed atomic load; enabled cost: three sharded relaxed adds.
+/// Bytes are the compulsory-traffic estimate (read A and B once, read+
+/// write C once, 4-byte floats) that `mmhand_report --roofline` divides
+/// flops by for arithmetic intensity; cache reuse makes real DRAM
+/// traffic lower, so the estimate is an upper bound on bytes moved.
 inline void note_gemm(std::int64_t m, std::int64_t k, std::int64_t n) {
   if (!obs::metrics_enabled()) return;
   static obs::Counter& calls = obs::counter("nn/gemm.calls");
   static obs::Counter& flops = obs::counter("nn/gemm.flops");
+  static obs::Counter& bytes = obs::counter("nn/gemm.bytes");
   calls.add(1);
   flops.add(2 * m * k * n);
+  bytes.add(4 * (m * k + k * n + 2 * m * n));
 }
 
 // Register/cache blocking.  kMB rows of C per task keep a packed stripe of
@@ -47,6 +54,7 @@ std::int64_t tile_grain(std::int64_t flops_per_tile) {
 void gemm_acc(const float* a, const float* b, float* c, int m, int k,
               int n) {
   note_gemm(m, k, n);
+  MMHAND_SPAN("nn/gemm");
   // Split C along its larger dimension so small-m multiplies (e.g. Conv2d
   // with few output channels but a wide im2col matrix) still fan out.  For
   // any split the k-loop order per output element is fixed (pp then p,
@@ -98,6 +106,7 @@ void gemm_acc(const float* a, const float* b, float* c, int m, int k,
 void gemm_at_b_acc(const float* a, const float* b, float* c, int m, int k,
                    int n) {
   note_gemm(m, k, n);
+  MMHAND_SPAN("nn/gemm");
   const std::int64_t grain = tile_grain(2ll * kMB * k * n);
   parallel_for(0, num_blocks(m, kMB), grain, [=](std::int64_t bi) {
     const int i0 = static_cast<int>(bi) * kMB;
@@ -120,6 +129,7 @@ void gemm_at_b_acc(const float* a, const float* b, float* c, int m, int k,
 void gemm_a_bt_acc(const float* a, const float* b, float* c, int m, int k,
                    int n) {
   note_gemm(m, k, n);
+  MMHAND_SPAN("nn/gemm");
   // Dot-product form: every output is one full-length k scan, accumulated
   // in a scalar before touching C, so k-blocking is unnecessary and the
   // summation order is trivially fixed.
@@ -160,6 +170,7 @@ void gemm_a_bt_acc(const float* a, const float* b, float* c, int m, int k,
 
 void gemv_acc(const float* a, const float* x, float* y, int m, int k) {
   note_gemm(m, k, 1);
+  MMHAND_SPAN("nn/gemm");
   const std::int64_t grain = std::max<std::int64_t>(
       1, kMinChunkFlops / (2 * std::max(k, 1)));
   parallel_for(0, m, grain, [=](std::int64_t i) {

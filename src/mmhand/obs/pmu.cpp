@@ -1,0 +1,166 @@
+#include "mmhand/obs/pmu.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "mmhand/obs/log.hpp"
+#include "mmhand/obs/metrics.hpp"
+#include "mmhand/obs/trace.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace mmhand::obs {
+
+namespace {
+
+/// Flips true (process-wide, sticky) on the first failed
+/// `perf_event_open`; every subsequent reading degrades to clock-only
+/// without another syscall.
+std::atomic<bool> g_unavailable{false};
+
+constexpr const char* kEventNames[kPmuEvents] = {
+    "cycles", "instructions", "cache_refs", "cache_misses",
+    "branch_misses"};
+
+/// Lazily resolved per-site handles for the five aggregate counters.
+struct PmuSiteCounters {
+  Counter* c[kPmuEvents];
+};
+
+PmuSiteCounters* site_counters(SpanSite& site) {
+  std::atomic<void*>& slot = site.pmu_cache();
+  void* p = slot.load(std::memory_order_acquire);
+  if (p == nullptr) {
+    auto* made = new PmuSiteCounters();
+    for (int i = 0; i < kPmuEvents; ++i)
+      made->c[i] = &counter(std::string("pmu/") + site.name() + "." +
+                            kEventNames[i]);
+    if (slot.compare_exchange_strong(p, made, std::memory_order_acq_rel))
+      return made;
+    delete made;  // another thread won; use its struct
+  }
+  return static_cast<PmuSiteCounters*>(p);
+}
+
+#if defined(__linux__)
+
+long perf_open(std::uint32_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.read_format = PERF_FORMAT_GROUP;
+  // Counting user-space only keeps the group usable at
+  // perf_event_paranoid=1 (the common non-root default).
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return syscall(SYS_perf_event_open, &attr, 0, -1, group_fd, 0);
+}
+
+/// Opens the calling thread's counter group, or -1 (marking the whole
+/// layer unavailable) when any member fails.
+int open_group() {
+  constexpr std::uint32_t kConfigs[kPmuEvents] = {
+      PERF_COUNT_HW_CPU_CYCLES,      PERF_COUNT_HW_INSTRUCTIONS,
+      PERF_COUNT_HW_CACHE_REFERENCES, PERF_COUNT_HW_CACHE_MISSES,
+      PERF_COUNT_HW_BRANCH_MISSES};
+  const long leader = perf_open(kConfigs[0], -1);
+  if (leader < 0) return -1;
+  for (int i = 1; i < kPmuEvents; ++i) {
+    if (perf_open(kConfigs[i], static_cast<int>(leader)) < 0) {
+      close(static_cast<int>(leader));
+      return -1;
+    }
+  }
+  return static_cast<int>(leader);
+}
+
+/// The calling thread's group fd: -2 unopened, -1 failed, >= 0 live.
+int thread_group_fd() {
+  thread_local int fd = -2;
+  if (fd == -2) {
+    if (g_unavailable.load(std::memory_order_relaxed)) {
+      fd = -1;
+    } else {
+      fd = open_group();
+      if (fd < 0 &&
+          !g_unavailable.exchange(true, std::memory_order_relaxed))
+        MMHAND_WARN(
+            "MMHAND_PMU: perf_event_open unavailable (container, "
+            "perf_event_paranoid, or unsupported host); continuing "
+            "with clock-only spans");
+    }
+  }
+  return fd;
+}
+
+#endif  // defined(__linux__)
+
+}  // namespace
+
+void set_pmu_enabled(bool on) {
+  detail::set_mask_bit(detail::kPmuBit, on);
+  if (on) detail::set_mask_bit(detail::kMetricsBit, true);
+}
+
+bool pmu_available() {
+  return !g_unavailable.load(std::memory_order_relaxed);
+}
+
+const char* pmu_event_name(int index) {
+  return index >= 0 && index < kPmuEvents ? kEventNames[index] : "";
+}
+
+namespace detail {
+
+int pmu_mask_bits() {
+  const char* s = std::getenv("MMHAND_PMU");
+  if (s == nullptr || *s == '\0' || std::strcmp(s, "0") == 0 ||
+      std::strcmp(s, "off") == 0)
+    return 0;
+  return kPmuBit | kMetricsBit;
+}
+
+PmuReading pmu_read() {
+  PmuReading r;
+#if defined(__linux__)
+  const int fd = thread_group_fd();
+  if (fd < 0) return r;
+  // PERF_FORMAT_GROUP layout: { u64 nr; u64 values[nr]; }.
+  std::uint64_t buf[1 + kPmuEvents];
+  const ssize_t n = read(fd, buf, sizeof(buf));
+  if (n != static_cast<ssize_t>(sizeof(buf)) || buf[0] != kPmuEvents) {
+    if (!g_unavailable.exchange(true, std::memory_order_relaxed))
+      MMHAND_WARN("MMHAND_PMU: short counter-group read; continuing "
+                  "with clock-only spans");
+    return r;
+  }
+  for (int i = 0; i < kPmuEvents; ++i) r.v[i] = buf[1 + i];
+  r.ok = true;
+#endif
+  return r;
+}
+
+void pmu_accumulate(SpanSite& site, const PmuReading& begin) {
+  if (!begin.ok) return;
+  const PmuReading end = pmu_read();
+  if (!end.ok) return;
+  PmuSiteCounters* sc = site_counters(site);
+  for (int i = 0; i < kPmuEvents; ++i) {
+    // Clamp rather than wrap if the kernel rescheduled the group.
+    const std::uint64_t d = end.v[i] >= begin.v[i] ? end.v[i] - begin.v[i]
+                                                   : 0;
+    sc->c[i]->add(static_cast<std::int64_t>(d));
+  }
+}
+
+}  // namespace detail
+
+}  // namespace mmhand::obs

@@ -1,0 +1,52 @@
+#pragma once
+
+// Hardware-counter (PMU) span profiling via `perf_event_open`.
+//
+// When `MMHAND_PMU` is set (any non-empty value other than `0`/`off`),
+// every `MMHAND_SPAN` additionally reads a per-thread group of five
+// hardware counters — cycles, instructions, cache references, cache
+// misses, branch misses — at scope entry and exit, and accumulates the
+// deltas into per-stage counters in the metrics registry:
+//
+//   pmu/<stage>.cycles, pmu/<stage>.instructions,
+//   pmu/<stage>.cache_refs, pmu/<stage>.cache_misses,
+//   pmu/<stage>.branch_misses
+//
+// so the usual sinks (metrics snapshot, telemetry, OpenMetrics) carry
+// them and `mmhand_report --roofline` can derive IPC and cache behavior
+// per stage.  MMHAND_PMU implies MMHAND_METRICS-style recording.
+//
+// `perf_event_open` is frequently unavailable — containers without
+// CAP_PERFMON, `kernel.perf_event_paranoid > 2`, seccomp filters,
+// non-Linux hosts.  The first failed open (per process) degrades the
+// whole layer to clock-only: spans keep their wall-clock histograms,
+// `pmu_available()` turns false, a single warning is logged, and no
+// further syscalls are attempted.  Off or degraded, the pipeline's
+// numeric outputs are bitwise identical to a fully-off run (enforced by
+// tests/test_prof.cpp); off, the cost is the span's usual single
+// relaxed mask load.
+
+#include "mmhand/obs/state.hpp"
+
+namespace mmhand::obs {
+
+/// True when PMU span profiling is requested.  One relaxed atomic load.
+inline bool pmu_enabled() {
+  return (detail::mask() & detail::kPmuBit) != 0;
+}
+
+/// Runtime override; wins over the environment.  Enabling also enables
+/// metrics (the aggregates live in the metrics registry).
+void set_pmu_enabled(bool on);
+
+/// True when the calling thread's counter group opened successfully (or
+/// has not been attempted yet and no other thread failed).  Turns false
+/// process-wide after the first failed `perf_event_open`.
+bool pmu_available();
+
+/// Number of events per group and their short names, in reading order:
+/// cycles, instructions, cache_refs, cache_misses, branch_misses.
+inline constexpr int kPmuEvents = 5;
+const char* pmu_event_name(int index);
+
+}  // namespace mmhand::obs

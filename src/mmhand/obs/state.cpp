@@ -75,6 +75,14 @@ int init_mask() {
       std::lock_guard<std::mutex> lk(g_path_mu);
       g_flight_spec = fl;
     }
+    // MMHAND_PMU is read by pmu.cpp so the perf_event plumbing (and its
+    // lint confinement) stays in one TU; it implies metrics because the
+    // per-stage counter aggregates land in the metrics registry.
+    m |= pmu_mask_bits();
+    // Frame contexts ride the thread pool's task-context slot; install
+    // the propagation hooks unconditionally (they early-out while no
+    // context is live) so runtime enablement needs no extra step.
+    context_install_hooks();
     if (m != 0) {
       // Touch the sinks so their static state outlives this atexit hook
       // (handlers run LIFO: registered later -> runs earlier).

@@ -16,6 +16,7 @@ inline constexpr int kMetricsBit = 2;
 inline constexpr int kRunLogBit = 4;
 inline constexpr int kFlightBit = 8;
 inline constexpr int kTelemetryBit = 16;
+inline constexpr int kPmuBit = 32;
 
 /// Number of metric shards.  Threads map onto shards round-robin; more
 /// threads than shards only costs occasional cache-line sharing, never
@@ -66,5 +67,24 @@ std::string flight_spec_raw();
 /// Called outside the call_once body (idempotent, guarded internally).
 void telemetry_on_mask_init();
 void flight_on_mask_init();
+
+/// One group read of the hardware counters attached to the calling
+/// thread (implemented in pmu.cpp).  `ok` is false when PMU profiling is
+/// off or `perf_event_open` is unavailable; values are raw cumulative
+/// counts, meaningful only as begin/end deltas on the same thread.
+struct PmuReading {
+  bool ok = false;
+  std::uint64_t v[5] = {0, 0, 0, 0, 0};
+};
+PmuReading pmu_read();
+
+/// Resolves MMHAND_PMU (in pmu.cpp, the one sanctioned perf_event TU)
+/// and returns the mask bits it implies: kPmuBit | kMetricsBit when
+/// enabled, 0 otherwise.  Called once from init_mask.
+int pmu_mask_bits();
+
+/// Installs the thread-pool task-context hooks that propagate frame
+/// contexts to workers (implemented in context.cpp; idempotent).
+void context_install_hooks();
 
 }  // namespace mmhand::obs::detail

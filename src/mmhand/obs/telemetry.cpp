@@ -450,6 +450,14 @@ std::vector<std::string> telemetry_ring_tail(std::size_t max_records) {
 
 namespace detail {
 
+void telemetry_emit_record(const std::string& line) {
+  if (!g_active.load(std::memory_order_acquire)) return;
+  Sampler& s = sampler();
+  std::lock_guard<std::mutex> lk(s.mu);
+  if (!s.started) return;
+  emit_locked(s, line);
+}
+
 void telemetry_on_mask_init() {
   static std::once_flag once;
   std::call_once(once, [] {

@@ -76,4 +76,12 @@ std::uint64_t telemetry_breach_total();
 /// The newest `max_records` JSONL records (oldest first).
 std::vector<std::string> telemetry_ring_tail(std::size_t max_records);
 
+namespace detail {
+/// Appends one externally-built JSONL record (e.g. a per-frame record
+/// from a closing `FrameScope`) to the telemetry stream: the in-memory
+/// ring and, when configured, the out= file.  No-op while the sampler
+/// is not started.
+void telemetry_emit_record(const std::string& line);
+}  // namespace detail
+
 }  // namespace mmhand::obs

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <vector>
 
+#include "mmhand/obs/context.hpp"
 #include "mmhand/obs/log.hpp"
 #include "mmhand/obs/metrics.hpp"
 
@@ -14,13 +15,22 @@ namespace mmhand::obs {
 namespace {
 
 /// Cap per-thread capture so a forgotten MMHAND_TRACE on a long training
-/// run cannot exhaust memory (~32 MB/thread at this cap).
+/// run cannot exhaust memory (~48 MB/thread at this cap).
 constexpr std::size_t kMaxEventsPerThread = 1 << 20;
+
+enum FlowKind : std::uint8_t {
+  kFlowNone = 0,
+  kFlowSource,  ///< frame-context anchor; emitted as a `ph:"s"` row only
+  kFlowTarget,  ///< cross-thread child; emitted as its slice plus `ph:"f"`
+};
 
 struct TraceEvent {
   const char* name;
   std::int64_t ts_ns;
   std::int64_t dur_ns;
+  std::uint64_t trace_id;  ///< 0 when no frame context was live
+  std::int64_t frame_id;
+  std::uint8_t flow;
 };
 
 /// One buffer per thread.  The owning thread appends under `mu` (always
@@ -87,18 +97,36 @@ Histogram& SpanSite::hist() {
 namespace detail {
 
 void record_span(SpanSite& site, std::int64_t t0_ns, std::int64_t t1_ns,
-                 int mask) {
+                 int mask, const PmuReading& pmu_begin) {
+  FrameContext* ctx = current_frame_context();
   if ((mask & kTraceBit) != 0) {
+    const bool cross_thread =
+        ctx != nullptr && site.flow_target() && thread_id() != ctx->origin_tid;
     TraceBuffer& buf = local_buffer();
     std::lock_guard<std::mutex> lk(buf.mu);
     if (buf.events.size() < kMaxEventsPerThread)
-      buf.events.push_back({site.name(), t0_ns, t1_ns - t0_ns});
+      buf.events.push_back({site.name(), t0_ns, t1_ns - t0_ns,
+                            ctx != nullptr ? ctx->trace_id : 0,
+                            ctx != nullptr ? ctx->frame_id : -1,
+                            cross_thread ? kFlowTarget : kFlowNone});
     else
       ++buf.dropped;
   }
   if ((mask & kMetricsBit) != 0)
     site.hist().record(static_cast<double>(t1_ns - t0_ns) / 1000.0);
+  if ((mask & kPmuBit) != 0) pmu_accumulate(site, pmu_begin);
   if ((mask & kFlightBit) != 0) flight_span_event(site, false, t1_ns);
+  if (ctx != nullptr) ctx->note_stage(site.name(), t1_ns - t0_ns);
+}
+
+void record_flow_source(const char* label, std::uint64_t trace_id,
+                        std::int64_t frame_id, std::int64_t t_ns) {
+  TraceBuffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lk(buf.mu);
+  if (buf.events.size() < kMaxEventsPerThread)
+    buf.events.push_back({label, t_ns, 0, trace_id, frame_id, kFlowSource});
+  else
+    ++buf.dropped;
 }
 
 void touch_trace_registry() { (void)trace_registry(); }
@@ -142,18 +170,54 @@ bool write_trace(const std::string& path) {
     return false;
   }
   std::fprintf(f, "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& row = rows[i];
-    std::fprintf(
-        f,
-        "%s\n{\"name\": \"%s\", \"cat\": \"mmhand\", \"ph\": \"X\", "
-        "\"pid\": 1, \"tid\": %u, \"ts\": %lld.%03lld, "
-        "\"dur\": %lld.%03lld}",
-        i == 0 ? "" : ",", escape(row.ev.name).c_str(), row.tid,
-        static_cast<long long>(row.ev.ts_ns / 1000),
-        static_cast<long long>(row.ev.ts_ns % 1000),
-        static_cast<long long>(row.ev.dur_ns / 1000),
-        static_cast<long long>(row.ev.dur_ns % 1000));
+  bool first = true;
+  const auto sep = [&] {
+    const char* s = first ? "" : ",";
+    first = false;
+    return s;
+  };
+  for (const Row& row : rows) {
+    // Frame-context tagging: every span recorded under a live context
+    // carries the trace/frame ids so slices are attributable per frame.
+    char args[96] = "";
+    if (row.ev.trace_id != 0)
+      std::snprintf(args, sizeof(args),
+                    ", \"args\": {\"trace_id\": %llu, \"frame_id\": %lld}",
+                    static_cast<unsigned long long>(row.ev.trace_id),
+                    static_cast<long long>(row.ev.frame_id));
+    if (row.ev.flow != kFlowSource)
+      std::fprintf(
+          f,
+          "%s\n{\"name\": \"%s\", \"cat\": \"mmhand\", \"ph\": \"X\", "
+          "\"pid\": 1, \"tid\": %u, \"ts\": %lld.%03lld, "
+          "\"dur\": %lld.%03lld%s}",
+          sep(), escape(row.ev.name).c_str(), row.tid,
+          static_cast<long long>(row.ev.ts_ns / 1000),
+          static_cast<long long>(row.ev.ts_ns % 1000),
+          static_cast<long long>(row.ev.dur_ns / 1000),
+          static_cast<long long>(row.ev.dur_ns % 1000), args);
+    // Flow events: one `s` anchor per frame context (inside the frame
+    // span on its origin thread), one `f` per cross-thread child slice.
+    // Viewers match them by (cat, name, id), drawing an arrow from the
+    // frame slice to each worker slice.
+    if (row.ev.flow == kFlowSource)
+      std::fprintf(
+          f,
+          "%s\n{\"name\": \"frame\", \"cat\": \"mmhand_flow\", "
+          "\"ph\": \"s\", \"id\": %llu, \"pid\": 1, \"tid\": %u, "
+          "\"ts\": %lld.%03lld%s}",
+          sep(), static_cast<unsigned long long>(row.ev.trace_id), row.tid,
+          static_cast<long long>(row.ev.ts_ns / 1000),
+          static_cast<long long>(row.ev.ts_ns % 1000), args);
+    else if (row.ev.flow == kFlowTarget)
+      std::fprintf(
+          f,
+          ",\n{\"name\": \"frame\", \"cat\": \"mmhand_flow\", "
+          "\"ph\": \"f\", \"bp\": \"e\", \"id\": %llu, \"pid\": 1, "
+          "\"tid\": %u, \"ts\": %lld.%03lld%s}",
+          static_cast<unsigned long long>(row.ev.trace_id), row.tid,
+          static_cast<long long>(row.ev.ts_ns / 1000),
+          static_cast<long long>(row.ev.ts_ns % 1000), args);
   }
   std::fprintf(f, "\n]}\n");
   std::fclose(f);

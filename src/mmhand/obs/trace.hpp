@@ -61,23 +61,39 @@ void clear_trace();
 /// the ring file invalidates stale ids).
 class SpanSite {
  public:
-  explicit SpanSite(const char* name) : name_(name) {}
+  /// `flow_target` marks sites whose trace events carry a Chrome-trace
+  /// flow binding (`ph:"f"`) back to the live frame context — used by
+  /// the pool-worker span so cross-thread children link to their frame.
+  explicit SpanSite(const char* name, bool flow_target = false)
+      : name_(name), flow_target_(flow_target) {}
   const char* name() const { return name_; }
+  bool flow_target() const { return flow_target_; }
   Histogram& hist();
   std::atomic<std::uint64_t>& flight_token() { return flight_token_; }
+  /// Lazily resolved per-site PMU counter handles (owned by pmu.cpp).
+  std::atomic<void*>& pmu_cache() { return pmu_cache_; }
 
  private:
   const char* name_;
+  bool flow_target_;
   std::atomic<Histogram*> hist_{nullptr};
   std::atomic<std::uint64_t> flight_token_{0};
+  std::atomic<void*> pmu_cache_{nullptr};
 };
 
 namespace detail {
 void record_span(SpanSite& site, std::int64_t t0_ns, std::int64_t t1_ns,
-                 int mask);
+                 int mask, const PmuReading& pmu_begin);
 /// Flight-recorder span event (implemented in flight.cpp); `begin`
 /// distinguishes scope entry from exit.
 void flight_span_event(SpanSite& site, bool begin, std::int64_t t_ns);
+/// Flow-source marker for a frame context (context.cpp -> trace buffer):
+/// the `ph:"s"` anchor every cross-thread child's `ph:"f"` binds to.
+void record_flow_source(const char* label, std::uint64_t trace_id,
+                        std::int64_t frame_id, std::int64_t t_ns);
+/// Reads the thread's PMU group again and adds the deltas from
+/// `pmu_begin` to the site's `pmu/<stage>.*` counters (pmu.cpp).
+void pmu_accumulate(SpanSite& site, const PmuReading& pmu_begin);
 void touch_trace_registry();
 }  // namespace detail
 
@@ -89,13 +105,14 @@ class Span {
     if (m == 0) return;
     site_ = &site;
     mask_ = m;
+    if ((m & detail::kPmuBit) != 0) pmu_ = detail::pmu_read();
     t0_ns_ = detail::now_ns();
     if ((m & detail::kFlightBit) != 0)
       detail::flight_span_event(site, true, t0_ns_);
   }
   ~Span() {
     if (site_ != nullptr)
-      detail::record_span(*site_, t0_ns_, detail::now_ns(), mask_);
+      detail::record_span(*site_, t0_ns_, detail::now_ns(), mask_, pmu_);
   }
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
@@ -104,6 +121,7 @@ class Span {
   SpanSite* site_ = nullptr;
   int mask_ = 0;
   std::int64_t t0_ns_ = 0;
+  detail::PmuReading pmu_;
 };
 
 }  // namespace mmhand::obs

@@ -153,6 +153,10 @@ std::vector<FramePrediction> predict_recording(
               static_cast<std::size_t>(model.config().sequence_segments));
   std::int64_t degraded_segments = 0;
   for (const auto& sample : samples) {
+    // One frame context per forward pass: every nn span (and any
+    // parallel_for worker it fans out to) is attributed to this
+    // sample's per-frame record and linked by flow events in the trace.
+    obs::FrameScope segment_scope("pose/segment");
     // Per-segment inference latency: a sample predicts
     // `sequence_segments` skeletons in one forward pass, so each
     // segment's share is the pass time divided by the segment count.

@@ -6,6 +6,7 @@
 #include "mmhand/common/aligned.hpp"
 #include "mmhand/common/parallel.hpp"
 #include "mmhand/dsp/fft.hpp"
+#include "mmhand/obs/context.hpp"
 #include "mmhand/obs/metrics.hpp"
 #include "mmhand/obs/trace.hpp"
 #include "mmhand/simd/simd.hpp"
@@ -16,6 +17,31 @@ namespace {
 
 constexpr double kPi = std::numbers::pi;
 using Cd = std::complex<double>;
+
+/// Roofline cost model for the DSP stages (`<stage>.flops` /
+/// `<stage>.bytes` counters next to the span histograms of the same
+/// name).  These are arithmetic estimates of the stage's math — 5·N·log2N
+/// per complex FFT, one CZT as three kernel FFTs, 16-byte complex
+/// doubles streamed in and out — not measurements, and deliberately
+/// identical for the scalar and SIMD paths so arithmetic intensity is a
+/// property of the algorithm, not the dispatch.
+double fft_flops(double n) {
+  return 5.0 * n * std::log2(std::max(2.0, n));
+}
+
+/// Bluestein/CZT on `n` inputs and `m` output bins: chirp multiply,
+/// forward+inverse FFT at the padded size, kernel multiply.
+double czt_flops(double n, double m) {
+  double fft_n = 2.0;
+  while (fft_n < n + m - 1.0) fft_n *= 2.0;
+  return 3.0 * fft_flops(fft_n) + 6.0 * (n + m + fft_n);
+}
+
+void note_stage_cost(const char* flops_name, const char* bytes_name,
+                     double flops, double bytes) {
+  obs::counter(flops_name).add(static_cast<std::int64_t>(flops));
+  obs::counter(bytes_name).add(static_cast<std::int64_t>(bytes));
+}
 
 /// Per-thread SoA scratch for the lane-batched stages; grown on demand
 /// so steady-state frames allocate nothing.
@@ -206,7 +232,12 @@ std::vector<Cd> RadarPipeline::range_profiles(const IfFrame& frame) const {
 }
 
 RadarCube RadarPipeline::process_frame(const IfFrame& frame) const {
+  // Span first, frame scope second: the scope's flow anchor lands inside
+  // the frame slice, and the scope closes (emitting its per-frame record)
+  // before the frame span records itself, so the frame is not a stage of
+  // its own record.
   MMHAND_SPAN("radar/process_frame");
+  obs::FrameScope frame_scope("radar/process_frame");
   if (obs::metrics_enabled()) {
     static obs::Counter& frames = obs::counter("radar/frames");
     frames.add(1);
@@ -214,10 +245,39 @@ RadarCube RadarPipeline::process_frame(const IfFrame& frame) const {
   const int n_tx = frame.num_tx();
   const int n_rx = frame.num_rx();
   const int n_chirp = frame.chirps();
+  const int n_samp = frame.samples();
   const int n_range = config_.cube.range_bins;
   const int n_az = config_.cube.azimuth_bins;
   const int n_el = config_.cube.elevation_bins;
   const bool vector_isa = simd::active_isa() != simd::Isa::kScalar;
+
+  if (obs::metrics_enabled()) {
+    // Roofline inputs, credited once per frame from the frame's geometry
+    // (cheaper and steadier than instrumenting the inner loops).
+    const double nv = static_cast<double>(n_tx) * n_rx * n_chirp;
+    const double ns = static_cast<double>(n_samp);
+    const double cols = static_cast<double>(n_tx) * n_rx * n_range;
+    const double cells = static_cast<double>(n_chirp) * n_range;
+    const double az_n = static_cast<double>(array_.azimuth_row().size());
+    if (config_.enable_bandpass) {
+      // Zero-phase cascade: forward+backward over each complex chirp,
+      // ~9 flops per biquad per real sample, two real channels.
+      const double sos = static_cast<double>(bandpass_.sections().size());
+      note_stage_cost("radar/bandpass.flops", "radar/bandpass.bytes",
+                      36.0 * sos * nv * ns, 64.0 * nv * ns);
+    }
+    note_stage_cost("radar/range_fft.flops", "radar/range_fft.bytes",
+                    nv * (fft_flops(ns) + 6.0 * ns),
+                    16.0 * nv * (ns + n_range));
+    note_stage_cost("radar/doppler_fft.flops", "radar/doppler_fft.bytes",
+                    cols * (fft_flops(n_chirp) + 12.0 * n_chirp),
+                    32.0 * cols * n_chirp);
+    note_stage_cost("radar/zoom_angle_fft.flops",
+                    "radar/zoom_angle_fft.bytes",
+                    cells * (czt_flops(az_n, n_az) + czt_flops(2.0, n_el) +
+                             10.0 * (n_az + n_el)),
+                    cells * (16.0 * (az_n + 2.0) + 4.0 * (n_az + n_el)));
+  }
 
   const auto profiles = range_profiles(frame);
   auto profile_at = [&](int tx, int rx, int c, int d) -> Cd {

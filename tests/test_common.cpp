@@ -17,6 +17,7 @@
 #include "mmhand/common/io_safe.hpp"
 #include "mmhand/common/parallel.hpp"
 #include "mmhand/common/quaternion.hpp"
+#include "mmhand/common/ring.hpp"
 #include "mmhand/common/rng.hpp"
 #include "mmhand/common/serialize.hpp"
 #include "mmhand/common/stats.hpp"
@@ -258,6 +259,50 @@ TEST(Stats, ErrorsOnEmpty) {
   const std::vector<double> empty;
   EXPECT_THROW(mean(empty), Error);
   EXPECT_THROW(percentile(empty, 50), Error);
+}
+
+// RingBuffer wraparound at exact-capacity boundaries: the eviction and
+// age-order arithmetic both hinge on the `size_ == capacity` transition.
+TEST(RingBuffer, ExactCapacityBoundaryKeepsAgeOrder) {
+  RingBuffer<int> ring(4);
+  EXPECT_TRUE(ring.empty());
+  // Fill to exactly capacity: nothing evicted, order preserved.
+  for (int i = 0; i < 4; ++i) ring.push(i);
+  ASSERT_EQ(ring.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(ring[i], static_cast<int>(i));
+  EXPECT_EQ(ring.newest(), 3);
+  // One past capacity: exactly the oldest is gone.
+  ring.push(4);
+  ASSERT_EQ(ring.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(ring[i], static_cast<int>(i + 1));
+  // A full extra lap lands back on the same slot layout.
+  for (int i = 5; i < 9; ++i) ring.push(i);
+  ASSERT_EQ(ring.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(ring[i], static_cast<int>(i + 5));
+  EXPECT_EQ(ring.newest(), 8);
+}
+
+TEST(RingBuffer, CapacityOneAlwaysHoldsNewest) {
+  RingBuffer<int> ring(1);
+  for (int i = 0; i < 3; ++i) {
+    ring.push(i);
+    ASSERT_EQ(ring.size(), 1u);
+    EXPECT_EQ(ring[0], i);
+    EXPECT_EQ(ring.newest(), i);
+  }
+}
+
+TEST(RingBuffer, ClearResetsToEmptyAndRefills) {
+  RingBuffer<int> ring(3);
+  for (int i = 0; i < 5; ++i) ring.push(i);
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  ring.push(7);
+  ASSERT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring[0], 7);
 }
 
 TEST(Serialize, RoundTrip) {

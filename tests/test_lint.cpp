@@ -193,6 +193,43 @@ TEST(LintSimd, CleanOnDispatchTableCalls) {
                   .empty());
 }
 
+// --- pmu-confinement ----------------------------------------------------
+
+TEST(LintPmu, FlagsPerfEventHeadersOutsidePmuLayer) {
+  EXPECT_TRUE(has_rule(lint_src("#include <linux/perf_event.h>\n"),
+                       "pmu-confinement"));
+  EXPECT_TRUE(has_rule(lint_src("#include <sys/syscall.h>\n",
+                                "src/mmhand/obs/trace.cpp"),
+                       "pmu-confinement"));
+}
+
+TEST(LintPmu, FlagsPerfEventIdentifiersOutsidePmuLayer) {
+  EXPECT_TRUE(has_rule(
+      lint_src("struct perf_event_attr attr = {};\n"), "pmu-confinement"));
+  EXPECT_TRUE(has_rule(
+      lint_src("long fd = syscall(SYS_perf_event_open, &a, 0, -1, g, 0);\n"),
+      "pmu-confinement"));
+}
+
+TEST(LintPmu, AllowsPerfEventUnderPmuLayer) {
+  const auto findings = check_file(
+      "src/mmhand/obs/pmu.cpp",
+      "#include <linux/perf_event.h>\n#include <sys/syscall.h>\n"
+      "long open_leader(perf_event_attr* a) {\n"
+      "  return syscall(SYS_perf_event_open, a, 0, -1, -1, 0);\n"
+      "}\n",
+      default_config());
+  EXPECT_FALSE(has_rule(findings, "pmu-confinement"));
+}
+
+TEST(LintPmu, CleanOnCommentsAndSubstrings) {
+  // Comments are stripped before the rules run, and `syscall` must match
+  // as a whole token, not inside another identifier.
+  EXPECT_TRUE(lint_src("// perf_event_open is confined to obs/pmu\n"
+                       "int raw_syscall_count = 0;\n")
+                  .empty());
+}
+
 // --- durable-write ------------------------------------------------------
 
 TEST(LintDurableWrite, FlagsBinaryWritersOutsideIoSafe) {

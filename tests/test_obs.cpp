@@ -103,6 +103,45 @@ TEST(ObsHistogram, SubUnitAndNegativeValuesLandInBucketZero) {
   EXPECT_LE(s.p99, 0.25);
 }
 
+// snapshot_delta across an intervening reset: the "previous" snapshot
+// then has higher counts than the current one.  The telemetry sampler
+// hits this when reset_metrics() runs mid-stream; the delta must clamp
+// to empty-ish, never underflow to huge unsigned counts.
+TEST(ObsHistogram, SnapshotDeltaAcrossResetClampsToZero) {
+  obs::Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(50.0);
+  const obs::HistogramSnapshot before = h.snapshot();
+  ASSERT_EQ(before.count, 100u);
+  h.reset();
+  h.record(25.0);
+  const obs::HistogramSnapshot after = h.snapshot();
+  ASSERT_EQ(after.count, 1u);
+
+  const obs::HistogramSnapshot d = obs::snapshot_delta(after, before);
+  // count clamps to 0 rather than wrapping to ~2^64.
+  EXPECT_EQ(d.count, 0u);
+  // Every bucket clamps as well: the 50 µs bucket went 100 -> 0.
+  for (const std::uint64_t b : d.buckets) EXPECT_LE(b, 1u);
+  // A clamped delta must stay renderable: stats on it cannot blow up.
+  const obs::HistogramStats s = obs::snapshot_stats(d);
+  EXPECT_EQ(s.count, 0u);
+}
+
+// The ordinary windowed path right after a reset: prev taken at the
+// reset point, so the delta is exactly the new samples.
+TEST(ObsHistogram, SnapshotDeltaFromPostResetBaselineIsExact) {
+  obs::Histogram h;
+  for (int i = 0; i < 10; ++i) h.record(100.0);
+  h.reset();
+  const obs::HistogramSnapshot base = h.snapshot();
+  for (int i = 0; i < 5; ++i) h.record(200.0);
+  const obs::HistogramSnapshot d = obs::snapshot_delta(h.snapshot(), base);
+  EXPECT_EQ(d.count, 5u);
+  const obs::HistogramStats s = obs::snapshot_stats(d);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_GT(s.p50, 100.0);
+}
+
 // ---------------------------------------------------------------------
 // Concurrent recording from inside the pool.
 

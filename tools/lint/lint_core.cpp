@@ -223,6 +223,36 @@ void check_simd_confinement(const std::string& path,
   }
 }
 
+void check_pmu_confinement(const std::string& path,
+                           const std::string& stripped,
+                           std::vector<Finding>& out) {
+  // pmu.cpp (and its header) are the one sanctioned perf_event TU; a
+  // second caller would duplicate the availability/fallback state and
+  // could race the sticky "unavailable" latch.
+  if (starts_with(path, "src/mmhand/obs/pmu")) return;
+  const char* rule = "pmu-confinement";
+  const std::string route =
+      "; perf_event access lives in src/mmhand/obs/pmu.cpp — attach"
+      " hardware counters to spans via MMHAND_PMU instead";
+  for (const char* hdr : {"linux/perf_event.h", "sys/syscall.h"}) {
+    const std::size_t len = std::char_traits<char>::length(hdr);
+    for (std::size_t pos = 0;
+         (pos = stripped.find(hdr, pos)) != std::string::npos; pos += len)
+      add(out, path, line_of(stripped, pos), rule,
+          std::string("#include of ") + hdr + " outside the pmu layer" +
+              route);
+  }
+  for (const char* ident :
+       {"perf_event_open", "perf_event_attr", "syscall"}) {
+    const std::size_t len = std::char_traits<char>::length(ident);
+    for (std::size_t pos = 0;
+         (pos = find_ident(stripped, ident, pos)) != std::string::npos;
+         pos += len)
+      add(out, path, line_of(stripped, pos), rule,
+          std::string(ident) + " outside the pmu layer" + route);
+  }
+}
+
 void check_durable_write(const std::string& path, const std::string& raw,
                          const std::string& stripped, const Config& cfg,
                          std::vector<Finding>& out) {
@@ -291,7 +321,7 @@ Config default_config() {
   cfg.getenv_allow = {
       "src/mmhand/obs/state.cpp",    "src/mmhand/common/parallel.cpp",
       "src/mmhand/obs/log.cpp",      "src/mmhand/obs/numeric.cpp",
-      "src/mmhand/eval/model_cache.cpp",
+      "src/mmhand/eval/model_cache.cpp", "src/mmhand/obs/pmu.cpp",
   };
   cfg.io_allow = {
       "src/mmhand/eval/table_printer.cpp",
@@ -420,6 +450,7 @@ std::vector<Finding> check_file(const std::string& path,
     check_rng(path, stripped, cfg, out);
     check_raw_alloc(path, stripped, out);
     check_simd_confinement(path, stripped, out);
+    check_pmu_confinement(path, stripped, out);
     check_durable_write(path, content, stripped, cfg, out);
   }
   if (is_header) check_header_hygiene(path, content, stripped, out);

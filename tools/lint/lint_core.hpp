@@ -5,8 +5,10 @@
 // Enforces the repo-specific invariants the last few PRs established by
 // convention: every env knob is read through obs/state (or one of the
 // few allowlisted readers), all console output goes through obs/log,
-// all randomness flows from common/rng, headers are self-contained and
-// guard-free, and every MMHAND_* env literal is documented in README.
+// all randomness flows from common/rng, raw SIMD stays under
+// src/mmhand/simd, perf_event access stays under src/mmhand/obs/pmu,
+// headers are self-contained and guard-free, and every MMHAND_* env
+// literal is documented in README.
 // Generic tools (clang-tidy, -W flags) cannot know these rules; this
 // engine does.
 //

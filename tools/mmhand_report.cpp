@@ -7,6 +7,12 @@
 //   --runlog   a JSONL run log written via MMHAND_RUN_LOG (manifest /
 //              epoch / eval / anomaly records)
 //   --metrics  a metrics snapshot written via MMHAND_METRICS
+//   --roofline with --metrics: add a per-stage roofline table joining
+//              span wall time with the `<stage>.flops`/`<stage>.bytes`
+//              cost counters (GFLOP/s, arithmetic intensity) and, when
+//              the run had MMHAND_PMU=1 on capable hardware, IPC and
+//              cache-miss rates from the `pmu/*` counters; clock-only
+//              otherwise (a note, never an error)
 //   --bench    any BENCH_*.json (repeatable); bench_throughput's format
 //              gets a per-op table, others a one-line summary
 //   --history  a bench/history.jsonl appended by
@@ -204,6 +210,79 @@ void report_metrics(const Value& snapshot, std::ostream& os) {
   }
 }
 
+/// Roofline / efficiency section: joins each stage's span histogram
+/// (wall time) with its `<stage>.flops` / `<stage>.bytes` cost counters
+/// and, when present, the `pmu/<stage>.*` hardware counters.  Without
+/// PMU data (perf_event unavailable, or MMHAND_PMU unset) the table
+/// degrades to the clock-only columns — a note, not an error.
+void report_roofline(const Value& snapshot, std::ostream& os) {
+  os << "## Roofline & efficiency\n\n";
+  const Value* counters = snapshot.find("counters");
+  const Value* hists = snapshot.find("histograms");
+  if (counters == nullptr || !counters->is_object() || hists == nullptr ||
+      !hists->is_object()) {
+    os << "No counters/histograms in this snapshot; run with "
+          "MMHAND_METRICS set.\n\n";
+    return;
+  }
+  const auto counter_of = [&](const std::string& name) -> double {
+    const Value* v = counters->find(name);
+    return v != nullptr && v->is_number() ? v->as_number() : 0.0;
+  };
+  // Stages are whatever published a `<stage>.flops` counter.
+  std::vector<std::string> stages;
+  for (const auto& [name, v] : counters->as_object()) {
+    const std::string suffix = ".flops";
+    if (name.size() > suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+            0)
+      stages.push_back(name.substr(0, name.size() - suffix.size()));
+  }
+  if (stages.empty()) {
+    os << "No `<stage>.flops` cost counters in this snapshot.\n\n";
+    return;
+  }
+  bool any_pmu = false;
+  for (const std::string& stage : stages)
+    if (counter_of("pmu/" + stage + ".cycles") > 0.0) any_pmu = true;
+
+  os << "| stage | wall s | GFLOP | GB | AI flop/B | GFLOP/s |";
+  if (any_pmu) os << " IPC | miss/kI |";
+  os << "\n|---|---|---|---|---|---|";
+  if (any_pmu) os << "---|---|";
+  os << "\n";
+  for (const std::string& stage : stages) {
+    const double flops = counter_of(stage + ".flops");
+    const double bytes = counter_of(stage + ".bytes");
+    double wall_s = 0.0;
+    if (const Value* h = hists->find(stage);
+        h != nullptr && h->is_object())
+      wall_s = h->number_or("count", 0.0) * h->number_or("mean", 0.0) / 1e6;
+    os << "| " << stage << " | " << fmt(wall_s, 3) << " | "
+       << fmt(flops / 1e9, 3) << " | " << fmt(bytes / 1e9, 3) << " | "
+       << (bytes > 0.0 ? fmt(flops / bytes, 2) : std::string("?")) << " | "
+       << (wall_s > 0.0 ? fmt(flops / wall_s / 1e9, 2) : std::string("?"))
+       << " |";
+    if (any_pmu) {
+      const double cycles = counter_of("pmu/" + stage + ".cycles");
+      const double instr = counter_of("pmu/" + stage + ".instructions");
+      const double misses = counter_of("pmu/" + stage + ".cache_misses");
+      os << " "
+         << (cycles > 0.0 ? fmt(instr / cycles, 2) : std::string("?"))
+         << " | "
+         << (instr > 0.0 ? fmt(misses / (instr / 1e3), 2)
+                         : std::string("?"))
+         << " |";
+    }
+    os << "\n";
+  }
+  os << "\n";
+  if (!any_pmu)
+    os << "_No `pmu/*` hardware counters in this snapshot (MMHAND_PMU "
+          "unset, or perf_event unavailable on this host) — clock-only "
+          "view._\n\n";
+}
+
 void report_bench(const std::string& path, const Value& bench,
                   std::ostream& os) {
   os << "## Bench: " << bench.string_or("bench", path) << "\n\n";
@@ -340,6 +419,7 @@ void report_lint(const Value& lint, std::ostream& os) {
 int main(int argc, char** argv) {
   std::string runlog_path, metrics_path, lint_path, history_path, out_path;
   std::vector<std::string> bench_paths;
+  bool roofline = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -349,6 +429,8 @@ int main(int argc, char** argv) {
       if (const char* v = next()) runlog_path = v;
     } else if (arg == "--metrics") {
       if (const char* v = next()) metrics_path = v;
+    } else if (arg == "--roofline") {
+      roofline = true;
     } else if (arg == "--bench") {
       if (const char* v = next()) bench_paths.push_back(v);
     } else if (arg == "--history") {
@@ -360,8 +442,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: mmhand_report [--runlog FILE] [--metrics FILE]"
-                   " [--bench FILE]... [--history FILE] [--lint FILE]"
-                   " [-o OUT.md]\n");
+                   " [--roofline] [--bench FILE]... [--history FILE]"
+                   " [--lint FILE] [-o OUT.md]\n");
       return arg == "-h" || arg == "--help" ? 0 : 2;
     }
   }
@@ -409,7 +491,12 @@ int main(int argc, char** argv) {
       return 1;
     }
     report_metrics(snapshot, os);
+    if (roofline) report_roofline(snapshot, os);
     ++inputs;
+  }
+  if (roofline && metrics_path.empty()) {
+    std::fprintf(stderr, "--roofline needs --metrics FILE\n");
+    return 2;
   }
 
   for (const std::string& path : bench_paths) {

@@ -5,199 +5,74 @@
 //       summarize the newest N sampler intervals (default 30): per-stage
 //       rates, windowed p50/p95/p99 latency with a p95 sparkline,
 //       counter rates, fault-injection activity, and budget breaches.
-//       --follow re-reads and redraws once a second (Ctrl-C to stop).
+//       --follow re-reads and redraws once a second (Ctrl-C to stop),
+//       waiting for the file if it does not exist yet.
+//   mmhand_top TELEMETRY.jsonl --tail
+//       tail-latency attribution over the per-frame records a closing
+//       FrameScope appends to the same stream: total-latency p50/p95/p99
+//       per frame label, plus which stage dominates the p95+ frames.
 //   mmhand_top --flight RING
 //       render a binary flight-recorder ring file (e.g. the artifact a
 //       SIGKILLed run leaves behind) as human-readable per-thread event
 //       history with in-flight spans.
 //
-// The JSONL input is whatever the telemetry sampler streams via
-// MMHAND_TELEMETRY's out= path; a torn final line (killed writer) is
-// skipped, not fatal.
+// A torn final JSONL line (killed writer) is benign and skipped;
+// unparseable *interior* lines are reported but never fatal.  Parsing
+// and rendering live in tools/top/top_core.* so tests can drive them.
 
-#include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <map>
 #include <string>
 #include <thread>
-#include <vector>
 
-#include "mmhand/common/json.hpp"
 #include "mmhand/obs/flight.hpp"
+#include "top/top_core.hpp"
 
 namespace {
 
-using mmhand::json::Value;
-
-std::string slurp(const std::string& path, bool* ok) {
+bool slurp(const std::string& path, std::string* out) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    *ok = false;
-    return {};
-  }
-  std::string out;
+  if (f == nullptr) return false;
+  out->clear();
   char buf[65536];
   std::size_t n = 0;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
   std::fclose(f);
-  *ok = true;
-  return out;
+  return true;
 }
 
-std::vector<std::string> split_lines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::size_t pos = 0;
-  while (pos < text.size()) {
-    std::size_t nl = text.find('\n', pos);
-    if (nl == std::string::npos) nl = text.size();
-    if (nl > pos) lines.push_back(text.substr(pos, nl - pos));
-    pos = nl + 1;
-  }
-  return lines;
+int usage(bool error) {
+  std::fprintf(error ? stderr : stdout,
+               "usage: mmhand_top TELEMETRY.jsonl [--last N] [--follow] "
+               "[--tail]\n       mmhand_top --flight RING\n");
+  return error ? 2 : 0;
 }
 
-/// 8-level unicode sparkline of `values` normalized to their own max.
-std::string sparkline(const std::vector<double>& values) {
-  static const char* kBlocks[8] = {"▁", "▂", "▃", "▄",
-                                   "▅", "▆", "▇", "█"};
-  double hi = 0.0;
-  for (const double v : values) hi = std::max(hi, v);
-  std::string out;
-  for (const double v : values) {
-    if (hi <= 0.0) {
-      out += kBlocks[0];
-      continue;
+/// One render pass.  Missing file is an error in one-shot mode but just
+/// "not yet" under --follow (the writer may not have started).
+int render_once(const std::string& path, std::size_t last, bool tail,
+                bool follow, bool clear_screen) {
+  std::string text;
+  if (!slurp(path, &text)) {
+    if (!follow) {
+      std::fprintf(stderr, "mmhand_top: cannot read %s\n", path.c_str());
+      return 1;
     }
-    const int level = std::min(
-        7, static_cast<int>(v / hi * 7.999));
-    out += kBlocks[level];
-  }
-  return out;
-}
-
-struct StageWindow {
-  std::vector<double> p95_series;  ///< one point per interval (0 = idle)
-  double count = 0.0, mean_us = 0.0, p50_us = 0.0, p95_us = 0.0,
-         p99_us = 0.0, max_us = 0.0;  ///< newest active interval
-  double total_count = 0.0;          ///< events across the window
-};
-
-int render_telemetry(const std::string& path, std::size_t last,
-                     bool clear_screen) {
-  bool ok = false;
-  const std::string text = slurp(path, &ok);
-  if (!ok) {
-    std::fprintf(stderr, "mmhand_top: cannot read %s\n", path.c_str());
-    return 1;
-  }
-  std::vector<Value> records;
-  for (const std::string& line : split_lines(text)) {
-    std::string err;
-    Value v = Value::parse(line, &err);
-    // A torn final line from a killed writer parses with an error; skip.
-    if (err.empty() && v.is_object() &&
-        v.string_or("kind", "") == "telemetry")
-      records.push_back(std::move(v));
-  }
-  if (clear_screen) std::printf("\x1b[2J\x1b[H");
-  if (records.empty()) {
-    std::printf("%s: no telemetry intervals yet\n", path.c_str());
+    if (clear_screen) std::printf("\x1b[2J\x1b[H");
+    std::printf("%s: waiting for stream...\n", path.c_str());
     return 0;
   }
-  const std::size_t begin = records.size() > last ? records.size() - last : 0;
-  const std::vector<Value> window(records.begin() +
-                                      static_cast<std::ptrdiff_t>(begin),
-                                  records.end());
-  const Value& newest = window.back();
-  double window_ms = 0.0;
-  for (const Value& r : window) window_ms += r.number_or("dt_ms", 0.0);
-
-  std::printf("%s — interval %zu..%zu of %zu, window %.1f s, "
-              "breach_total %lld\n\n",
-              path.c_str(), begin + 1, records.size(), records.size(),
-              window_ms / 1e3,
-              static_cast<long long>(newest.number_or("breach_total", 0)));
-
-  // Stage table with a p95 sparkline across the window.
-  std::map<std::string, StageWindow> stages;
-  for (std::size_t i = 0; i < window.size(); ++i) {
-    const Value* st = window[i].find("stages");
-    if (st == nullptr || !st->is_object()) continue;
-    for (const auto& [name, h] : st->as_object()) {
-      StageWindow& w = stages[name];
-      w.p95_series.resize(window.size(), 0.0);
-      w.p95_series[i] = h.number_or("p95_us", 0.0);
-      w.count = h.number_or("count", 0.0);
-      w.mean_us = h.number_or("mean_us", 0.0);
-      w.p50_us = h.number_or("p50_us", 0.0);
-      w.p95_us = h.number_or("p95_us", 0.0);
-      w.p99_us = h.number_or("p99_us", 0.0);
-      w.max_us = h.number_or("max_us", 0.0);
-      w.total_count += h.number_or("count", 0.0);
-    }
+  const mmhand::top::ParsedStream stream = mmhand::top::parse_jsonl(text);
+  const std::string body =
+      tail ? mmhand::top::render_tail(stream, path)
+           : mmhand::top::render_intervals(stream, path, last);
+  if (clear_screen) std::printf("\x1b[2J\x1b[H");
+  if (body.empty()) {
+    std::printf("%s: no %s records yet\n", path.c_str(),
+                tail ? "per-frame" : "telemetry interval");
+    return 0;
   }
-  if (!stages.empty()) {
-    std::printf("%-28s %8s %9s %9s %9s %9s  %s\n", "stage", "ev/s",
-                "mean us", "p50 us", "p95 us", "p99 us", "p95 trend");
-    for (auto& [name, w] : stages) {
-      w.p95_series.resize(window.size(), 0.0);
-      const double rate =
-          window_ms > 0.0 ? w.total_count / (window_ms / 1e3) : 0.0;
-      std::printf("%-28s %8.1f %9.1f %9.1f %9.1f %9.1f  %s\n",
-                  name.c_str(), rate, w.mean_us, w.p50_us, w.p95_us,
-                  w.p99_us, sparkline(w.p95_series).c_str());
-    }
-    std::printf("\n");
-  }
-
-  // Counter rates over the window (delta sums / wall time).
-  std::map<std::string, std::pair<double, double>> counters;  // total, delta
-  for (const Value& r : window) {
-    const Value* cs = r.find("counters");
-    if (cs == nullptr || !cs->is_object()) continue;
-    for (const auto& [name, c] : cs->as_object()) {
-      counters[name].first = c.number_or("total", 0.0);
-      counters[name].second += c.number_or("delta", 0.0);
-    }
-  }
-  if (!counters.empty()) {
-    std::printf("%-28s %12s %10s\n", "counter", "total", "per s");
-    for (const auto& [name, tc] : counters)
-      std::printf("%-28s %12.0f %10.1f\n", name.c_str(), tc.first,
-                  window_ms > 0.0 ? tc.second / (window_ms / 1e3) : 0.0);
-    std::printf("\n");
-  }
-
-  // Fault injections, when the fault harness is live.
-  if (const Value* faults = newest.find("faults");
-      faults != nullptr && faults->is_object() &&
-      !faults->as_object().empty()) {
-    std::printf("%-28s %12s\n", "fault kind", "injected");
-    for (const auto& [name, fv] : faults->as_object())
-      std::printf("%-28s %12.0f\n", name.c_str(),
-                  fv.number_or("total", 0.0));
-    std::printf("\n");
-  }
-
-  // Budget breaches anywhere in the window.
-  std::size_t breaches = 0;
-  for (const Value& r : window) {
-    const Value* bs = r.find("breaches");
-    if (bs == nullptr || !bs->is_array()) continue;
-    for (const Value& b : bs->as_array()) {
-      if (breaches == 0)
-        std::printf("%-28s %-10s %12s %12s\n", "budget breach", "field",
-                    "limit us", "actual us");
-      ++breaches;
-      std::printf("%-28s %-10s %12.1f %12.1f\n",
-                  b.string_or("stage", "?").c_str(),
-                  b.string_or("field", "?").c_str(),
-                  b.number_or("limit", 0.0), b.number_or("actual", 0.0));
-    }
-  }
-  if (breaches == 0)
-    std::printf("no budget breaches in window\n");
+  std::fwrite(body.data(), 1, body.size(), stdout);
   return 0;
 }
 
@@ -207,22 +82,22 @@ int main(int argc, char** argv) {
   std::string jsonl_path, flight_path;
   std::size_t last = 30;
   bool follow = false;
+  bool tail = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--flight") {
       if (i + 1 < argc) flight_path = argv[++i];
     } else if (arg == "--last") {
-      if (i + 1 < argc) last = static_cast<std::size_t>(
-                             std::max(1, std::atoi(argv[++i])));
+      if (i + 1 < argc)
+        last = static_cast<std::size_t>(std::max(1, std::atoi(argv[++i])));
     } else if (arg == "--follow") {
       follow = true;
+    } else if (arg == "--tail") {
+      tail = true;
     } else if (arg.rfind("-", 0) != 0 && jsonl_path.empty()) {
       jsonl_path = arg;
     } else {
-      std::fprintf(stderr,
-                   "usage: mmhand_top TELEMETRY.jsonl [--last N] "
-                   "[--follow]\n       mmhand_top --flight RING\n");
-      return arg == "-h" || arg == "--help" ? 0 : 2;
+      return usage(!(arg == "-h" || arg == "--help"));
     }
   }
 
@@ -237,15 +112,10 @@ int main(int argc, char** argv) {
     std::fwrite(rendered.data(), 1, rendered.size(), stdout);
     return 0;
   }
-  if (jsonl_path.empty()) {
-    std::fprintf(stderr,
-                 "usage: mmhand_top TELEMETRY.jsonl [--last N] [--follow]\n"
-                 "       mmhand_top --flight RING\n");
-    return 2;
-  }
-  if (!follow) return render_telemetry(jsonl_path, last, false);
+  if (jsonl_path.empty()) return usage(true);
+  if (!follow) return render_once(jsonl_path, last, tail, false, false);
   for (;;) {
-    const int rc = render_telemetry(jsonl_path, last, true);
+    const int rc = render_once(jsonl_path, last, tail, true, true);
     if (rc != 0) return rc;
     std::fflush(stdout);
     std::this_thread::sleep_for(std::chrono::seconds(1));

@@ -1,0 +1,274 @@
+#include "top/top_core.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+namespace mmhand::top {
+
+namespace {
+
+using mmhand::json::Value;
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out.append(buf, std::min(static_cast<std::size_t>(n),
+                                      sizeof(buf) - 1));
+}
+
+/// 8-level unicode sparkline of `values` normalized to their own max.
+std::string sparkline(const std::vector<double>& values) {
+  static const char* kBlocks[8] = {"▁", "▂", "▃", "▄",
+                                   "▅", "▆", "▇", "█"};
+  double hi = 0.0;
+  for (const double v : values) hi = std::max(hi, v);
+  std::string out;
+  for (const double v : values) {
+    if (hi <= 0.0) {
+      out += kBlocks[0];
+      continue;
+    }
+    out += kBlocks[std::min(7, static_cast<int>(v / hi * 7.999))];
+  }
+  return out;
+}
+
+/// Nearest-rank percentile of an already-sorted sample.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+struct StageWindow {
+  std::vector<double> p95_series;  ///< one point per interval (0 = idle)
+  double count = 0.0, mean_us = 0.0, p50_us = 0.0, p95_us = 0.0,
+         p99_us = 0.0, max_us = 0.0;  ///< newest active interval
+  double total_count = 0.0;           ///< events across the window
+};
+
+}  // namespace
+
+ParsedStream parse_jsonl(const std::string& text) {
+  ParsedStream out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    const bool terminated = nl != std::string::npos;
+    if (!terminated) nl = text.size();
+    if (nl > pos) {
+      const std::string line = text.substr(pos, nl - pos);
+      std::string err;
+      Value v = Value::parse(line, &err);
+      if (err.empty() && v.is_object()) {
+        out.records.push_back(std::move(v));
+      } else if (!terminated) {
+        out.torn_tail = true;
+      } else {
+        ++out.bad_lines;
+      }
+    }
+    pos = nl + 1;
+  }
+  return out;
+}
+
+std::string render_intervals(const ParsedStream& stream,
+                             const std::string& source, std::size_t last) {
+  std::vector<const Value*> records;
+  for (const Value& v : stream.records)
+    if (v.string_or("kind", "") == "telemetry") records.push_back(&v);
+  if (records.empty()) return {};
+
+  std::string out;
+  const std::size_t begin = records.size() > last ? records.size() - last : 0;
+  const std::vector<const Value*> window(
+      records.begin() + static_cast<std::ptrdiff_t>(begin), records.end());
+  const Value& newest = *window.back();
+  double window_ms = 0.0;
+  for (const Value* r : window) window_ms += r->number_or("dt_ms", 0.0);
+
+  appendf(out,
+          "%s — interval %zu..%zu of %zu, window %.1f s, "
+          "breach_total %lld\n",
+          source.c_str(), begin + 1, records.size(), records.size(),
+          window_ms / 1e3,
+          static_cast<long long>(newest.number_or("breach_total", 0)));
+  if (stream.bad_lines > 0)
+    appendf(out, "warning: %zu unparseable interior line%s skipped\n",
+            stream.bad_lines, stream.bad_lines == 1 ? "" : "s");
+  out += "\n";
+
+  // Stage table with a p95 sparkline across the window.
+  std::map<std::string, StageWindow> stages;
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    const Value* st = window[i]->find("stages");
+    if (st == nullptr || !st->is_object()) continue;
+    for (const auto& [name, h] : st->as_object()) {
+      StageWindow& w = stages[name];
+      w.p95_series.resize(window.size(), 0.0);
+      w.p95_series[i] = h.number_or("p95_us", 0.0);
+      w.count = h.number_or("count", 0.0);
+      w.mean_us = h.number_or("mean_us", 0.0);
+      w.p50_us = h.number_or("p50_us", 0.0);
+      w.p95_us = h.number_or("p95_us", 0.0);
+      w.p99_us = h.number_or("p99_us", 0.0);
+      w.max_us = h.number_or("max_us", 0.0);
+      w.total_count += h.number_or("count", 0.0);
+    }
+  }
+  if (!stages.empty()) {
+    appendf(out, "%-28s %8s %9s %9s %9s %9s  %s\n", "stage", "ev/s",
+            "mean us", "p50 us", "p95 us", "p99 us", "p95 trend");
+    for (auto& [name, w] : stages) {
+      w.p95_series.resize(window.size(), 0.0);
+      const double rate =
+          window_ms > 0.0 ? w.total_count / (window_ms / 1e3) : 0.0;
+      appendf(out, "%-28s %8.1f %9.1f %9.1f %9.1f %9.1f  %s\n",
+              name.c_str(), rate, w.mean_us, w.p50_us, w.p95_us, w.p99_us,
+              sparkline(w.p95_series).c_str());
+    }
+    out += "\n";
+  }
+
+  // Counter rates over the window (delta sums / wall time).
+  std::map<std::string, std::pair<double, double>> counters;  // total, delta
+  for (const Value* r : window) {
+    const Value* cs = r->find("counters");
+    if (cs == nullptr || !cs->is_object()) continue;
+    for (const auto& [name, c] : cs->as_object()) {
+      counters[name].first = c.number_or("total", 0.0);
+      counters[name].second += c.number_or("delta", 0.0);
+    }
+  }
+  if (!counters.empty()) {
+    appendf(out, "%-28s %12s %10s\n", "counter", "total", "per s");
+    for (const auto& [name, tc] : counters)
+      appendf(out, "%-28s %12.0f %10.1f\n", name.c_str(), tc.first,
+              window_ms > 0.0 ? tc.second / (window_ms / 1e3) : 0.0);
+    out += "\n";
+  }
+
+  // Fault injections, when the fault harness is live.
+  if (const Value* faults = newest.find("faults");
+      faults != nullptr && faults->is_object() &&
+      !faults->as_object().empty()) {
+    appendf(out, "%-28s %12s\n", "fault kind", "injected");
+    for (const auto& [name, fv] : faults->as_object())
+      appendf(out, "%-28s %12.0f\n", name.c_str(),
+              fv.number_or("total", 0.0));
+    out += "\n";
+  }
+
+  // Budget breaches anywhere in the window.
+  std::size_t breaches = 0;
+  for (const Value* r : window) {
+    const Value* bs = r->find("breaches");
+    if (bs == nullptr || !bs->is_array()) continue;
+    for (const Value& b : bs->as_array()) {
+      if (breaches == 0)
+        appendf(out, "%-28s %-10s %12s %12s\n", "budget breach", "field",
+                "limit us", "actual us");
+      ++breaches;
+      appendf(out, "%-28s %-10s %12.1f %12.1f\n",
+              b.string_or("stage", "?").c_str(),
+              b.string_or("field", "?").c_str(), b.number_or("limit", 0.0),
+              b.number_or("actual", 0.0));
+    }
+  }
+  if (breaches == 0) out += "no budget breaches in window\n";
+  return out;
+}
+
+std::string render_tail(const ParsedStream& stream,
+                        const std::string& source) {
+  // One frame record = {frame_id, label, total_us, stages:{name:{us}}}.
+  struct Frame {
+    double total_us = 0.0;
+    const Value* stages = nullptr;
+  };
+  std::map<std::string, std::vector<Frame>> by_label;
+  for (const Value& v : stream.records) {
+    if (v.string_or("kind", "") != "frame") continue;
+    by_label[v.string_or("label", "?")].push_back(
+        {v.number_or("total_us", 0.0), v.find("stages")});
+  }
+  if (by_label.empty()) return {};
+
+  std::string out;
+  std::size_t total_frames = 0;
+  for (const auto& [label, frames] : by_label) total_frames += frames.size();
+  appendf(out, "%s — tail attribution over %zu frame record%s\n",
+          source.c_str(), total_frames, total_frames == 1 ? "" : "s");
+  if (stream.bad_lines > 0)
+    appendf(out, "warning: %zu unparseable interior line%s skipped\n",
+            stream.bad_lines, stream.bad_lines == 1 ? "" : "s");
+  out += "\n";
+
+  for (const auto& [label, frames] : by_label) {
+    std::vector<double> totals;
+    totals.reserve(frames.size());
+    for (const Frame& f : frames) totals.push_back(f.total_us);
+    std::sort(totals.begin(), totals.end());
+    const double p50 = percentile(totals, 0.50);
+    const double p95 = percentile(totals, 0.95);
+    const double p99 = percentile(totals, 0.99);
+    appendf(out,
+            "%-28s %6zu frames  p50 %9.1f us  p95 %9.1f us  "
+            "p99 %9.1f us\n",
+            label.c_str(), frames.size(), p50, p95, p99);
+
+    // Attribute the slow tail: for every frame at or beyond p95, which
+    // stage took the largest share of its wall time?
+    struct Attribution {
+      std::size_t frames = 0;
+      double share_sum = 0.0;  ///< dominant stage's fraction of the frame
+    };
+    std::map<std::string, Attribution> dominant;
+    std::size_t tail_frames = 0;
+    for (const Frame& f : frames) {
+      if (f.total_us < p95 || f.stages == nullptr || !f.stages->is_object())
+        continue;
+      ++tail_frames;
+      std::string worst;
+      double worst_us = -1.0;
+      for (const auto& [name, st] : f.stages->as_object()) {
+        const double us = st.number_or("us", 0.0);
+        if (us > worst_us) {
+          worst_us = us;
+          worst = name;
+        }
+      }
+      if (worst.empty()) continue;
+      Attribution& a = dominant[worst];
+      ++a.frames;
+      a.share_sum += f.total_us > 0.0 ? worst_us / f.total_us : 0.0;
+    }
+    // Most-frequent dominant stage first.
+    std::vector<std::pair<std::string, Attribution>> ranked(
+        dominant.begin(), dominant.end());
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      return a.second.frames != b.second.frames
+                 ? a.second.frames > b.second.frames
+                 : a.first < b.first;
+    });
+    for (const auto& [stage, a] : ranked)
+      appendf(out,
+              "  p95+ dominated by %-24s %4zu/%zu frames "
+              "(avg %2.0f%% of frame)\n",
+              stage.c_str(), a.frames, tail_frames,
+              100.0 * a.share_sum / static_cast<double>(a.frames));
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mmhand::top
