@@ -8,19 +8,4 @@
 # obs tests force tracing/metrics on).
 #
 # Usage: scripts/check_asan.sh [build-dir]   (default: build-asan)
-set -euo pipefail
-cd "$(dirname "$0")/.."
-
-BUILD_DIR=${1:-build-asan}
-
-cmake -B "$BUILD_DIR" -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -O1 -g -fno-omit-frame-pointer" \
-  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
-cmake --build "$BUILD_DIR" -j
-
-# MMHAND_THREADS forces real pool threads so the sanitizers see the same
-# cross-thread buffer traffic production does.
-(cd "$BUILD_DIR" &&
- MMHAND_THREADS=4 ctest --output-on-failure)
-echo "ASan/UBSan run clean."
+exec "$(dirname "$0")/check_sanitizer.sh" asan "${1:-build-asan}"

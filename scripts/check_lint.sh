@@ -20,6 +20,9 @@ cmake --build "$BUILD_DIR" -j --target mmhand_lint lint_headers
 echo "===== mmhand_lint ====="
 "$BUILD_DIR"/tools/mmhand_lint --root .
 
+echo "===== mmhand_lint --purity ====="
+"$BUILD_DIR"/tools/mmhand_lint --root . --purity
+
 echo "===== clang-tidy ====="
 if command -v clang-tidy > /dev/null; then
   # shellcheck disable=SC2046

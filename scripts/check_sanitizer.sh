@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Shared driver behind the sanitizer gates.  check_asan.sh,
+# check_tsan.sh, and check_ubsan.sh are thin wrappers over this; the
+# only things that differ per sanitizer are the compile flags, which
+# targets are worth building, and the ctest filter — so those live in
+# one case table instead of three drifting copies.
+#
+# Usage: scripts/check_sanitizer.sh {asan|tsan|ubsan} [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# No braces in the message: a literal `}` would terminate the ${1:?...}
+# expansion early.
+MODE=${1:?usage: check_sanitizer.sh asan|tsan|ubsan [build-dir]}
+BUILD_DIR=${2:-build-$MODE}
+
+# TARGETS/FILTER empty means "everything".
+case "$MODE" in
+  asan)
+    SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+    TARGETS=""
+    FILTER=""
+    LABEL="ASan/UBSan"
+    ;;
+  tsan)
+    # TSan's interest is the pool and the layers that share buffers
+    # across it, so only the threaded suites are built and run.
+    SAN_FLAGS="-fsanitize=thread"
+    TARGETS="test_common test_parallel test_radar test_obs"
+    FILTER="test_common|test_parallel|test_radar|test_obs"
+    LABEL="TSan"
+    ;;
+  ubsan)
+    # UBSan alone (no ASan) keeps shadow-memory overhead out so this
+    # gate stays fast enough to run the full suite on every PR.
+    SAN_FLAGS="-fsanitize=undefined -fno-sanitize-recover=all"
+    TARGETS=""
+    FILTER=""
+    LABEL="UBSan"
+    ;;
+  *)
+    echo "check_sanitizer.sh: unknown mode '$MODE'" >&2
+    exit 2
+    ;;
+esac
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="$SAN_FLAGS -O1 -g -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
+if [ -n "$TARGETS" ]; then
+  # shellcheck disable=SC2086
+  cmake --build "$BUILD_DIR" -j --target $TARGETS
+else
+  cmake --build "$BUILD_DIR" -j
+fi
+
+# MMHAND_THREADS forces real pool threads even on small CI boxes so the
+# sanitizers see the same cross-thread buffer traffic production does.
+if [ -n "$FILTER" ]; then
+  (cd "$BUILD_DIR" && MMHAND_THREADS=4 ctest --output-on-failure -R "$FILTER")
+else
+  (cd "$BUILD_DIR" && MMHAND_THREADS=4 ctest --output-on-failure)
+fi
+echo "$LABEL run clean."

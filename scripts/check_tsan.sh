@@ -8,21 +8,4 @@
 # histogram from 8 threads while the telemetry sampler snapshots it).
 #
 # Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
-set -euo pipefail
-cd "$(dirname "$0")/.."
-
-BUILD_DIR=${1:-build-tsan}
-
-cmake -B "$BUILD_DIR" -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g -fno-omit-frame-pointer" \
-  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build "$BUILD_DIR" -j --target test_common test_parallel \
-  test_radar test_obs
-
-# MMHAND_THREADS forces real pool threads even on small CI boxes so TSan
-# actually sees cross-thread traffic.
-(cd "$BUILD_DIR" &&
- MMHAND_THREADS=4 ctest --output-on-failure \
-   -R 'test_common|test_parallel|test_radar|test_obs')
-echo "TSan run clean."
+exec "$(dirname "$0")/check_sanitizer.sh" tsan "${1:-build-tsan}"

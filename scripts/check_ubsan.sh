@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Builds the full test suite under UndefinedBehaviorSanitizer and runs
+# it, with every finding fatal (-fno-sanitize-recover=all).
+#
+# ASan already rides with UBSan in check_asan.sh; this standalone gate
+# exists because UBSan without ASan's shadow memory is cheap enough to
+# run the whole suite on every PR, and because signed-overflow /
+# misaligned-load findings in the FFT and GEMM index arithmetic matter
+# independently of memory safety.
+#
+# Usage: scripts/check_ubsan.sh [build-dir]   (default: build-ubsan)
+exec "$(dirname "$0")/check_sanitizer.sh" ubsan "${1:-build-ubsan}"

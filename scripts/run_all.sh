@@ -12,6 +12,8 @@ echo "===== static analysis ====="
 cmake --build build --target mmhand_lint lint_headers
 build/tools/mmhand_lint --root .
 build/tools/mmhand_lint --root . --json > mmhand_lint.json
+build/tools/mmhand_lint --root . --purity --json > mmhand_purity.json
+build/tools/mmhand_lint --root . --purity
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 for b in build/bench/bench_*; do
@@ -84,10 +86,17 @@ else
   echo "mmhand_runlog.jsonl OK (grep check; python3 unavailable)"
 fi
 
+echo "===== purity check ====="
+# Static closure walk plus the runtime interposer probe at 1 and 4
+# threads (see scripts/check_purity.sh and DESIGN.md §12).
+scripts/check_purity.sh build
+build/tools/mmhand_purity_probe --json > mmhand_probe.json
+
 echo "===== merged report ====="
 build/tools/mmhand_report --runlog mmhand_runlog.jsonl \
   --metrics mmhand_metrics.json --bench BENCH_throughput.json \
-  --lint mmhand_lint.json --history bench/history.jsonl -o mmhand_report.md
+  --lint mmhand_lint.json --purity mmhand_purity.json \
+  --probe mmhand_probe.json --history bench/history.jsonl -o mmhand_report.md
 
 echo "===== telemetry check ====="
 # Sampler stream + OpenMetrics export + SIGKILL-survivable flight ring

@@ -52,7 +52,7 @@ struct Job {
   std::int64_t grain = 1;
   std::int64_t end = 0;
   std::int64_t num_chunks = 0;
-  const std::function<void(std::int64_t)>* fn = nullptr;
+  const FunctionRef<void(std::int64_t)>* fn = nullptr;
   std::atomic<std::int64_t> next_chunk{0};
   std::atomic<int> extra_slots{0};  ///< worker participation budget
   void* task_ctx = nullptr;  ///< submitter's task_context(), adopted by workers
@@ -103,7 +103,7 @@ class ThreadPool {
   /// participants.  Regions are serialized: a second submitting thread
   /// waits here until the first region drains.
   void run(std::int64_t begin, std::int64_t end, std::int64_t grain,
-           const std::function<void(std::int64_t)>& fn, int max_threads) {
+           const FunctionRef<void(std::int64_t)>& fn, int max_threads) {
     std::lock_guard<std::mutex> submit(submit_mu_);
     Job job;
     job.begin = begin;
@@ -218,7 +218,7 @@ void set_worker_observer(const WorkerObserver& observer) {
 }
 
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                  const std::function<void(std::int64_t)>& fn) {
+                  FunctionRef<void(std::int64_t)> fn) {
   MMHAND_CHECK(grain >= 1, "parallel_for grain " << grain);
   if (end <= begin) return;
   ThreadPool& pool = ThreadPool::instance();

@@ -18,7 +18,8 @@
 // and never touches the pool.
 
 #include <cstdint>
-#include <functional>
+
+#include "mmhand/common/function_ref.hpp"
 
 namespace mmhand {
 
@@ -66,7 +67,12 @@ void set_worker_observer(const WorkerObserver& observer);
 /// pool wake-up latency that exceeds their work.  The first exception
 /// thrown by any worker is rethrown on the calling thread after the
 /// region completes.
+///
+/// `fn` is taken as a non-owning `FunctionRef`, so lambda temporaries
+/// in the call expression bind without a heap-backed `std::function`
+/// copy; the callable only has to live until `parallel_for` returns,
+/// which the blocking submit guarantees.
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                  const std::function<void(std::int64_t)>& fn);
+                  FunctionRef<void(std::int64_t)> fn);
 
 }  // namespace mmhand

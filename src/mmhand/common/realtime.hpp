@@ -1,0 +1,24 @@
+#pragma once
+
+// Hot-path purity annotation.
+//
+// `MMHAND_REALTIME` marks a function definition as a real-time root: in
+// steady state it must not allocate, take locks, throw, perform I/O, or
+// enter blocking syscalls.  The macro expands to nothing — the compiler
+// never sees it — but `mmhand_lint --purity` (tools/lint/purity_core)
+// builds a call graph over src/mmhand/** and walks the transitive
+// closure of every annotated root, reporting any reachable deny-set
+// token with the full call chain.  Functions with an audited exception
+// (grow-on-demand scratch, init-once caches, cold asserts) are listed
+// in scripts/purity_allowlist.json with a reason.
+//
+// Annotate the *definition*, directly before the declaration head:
+//
+//   MMHAND_REALTIME
+//   RadarCube RadarPipeline::process_frame(const IfFrame& frame) const {
+//
+// The runtime cross-check lives in obs/alloc: a counting operator
+// new/delete interposer that scripts/check_purity.sh uses to assert
+// zero allocations per steady-state frame (see DESIGN "Real-time
+// safety & purity analysis").
+#define MMHAND_REALTIME

@@ -7,6 +7,7 @@
 #include "mmhand/common/aligned.hpp"
 #include "mmhand/common/error.hpp"
 #include "mmhand/common/parallel.hpp"
+#include "mmhand/common/realtime.hpp"
 #include "mmhand/simd/simd.hpp"
 
 namespace mmhand::dsp {
@@ -16,10 +17,28 @@ namespace {
 constexpr double kPi = std::numbers::pi;
 using Cd = std::complex<double>;
 
+/// Grows-on-demand per-thread scratch for the lane-batched biquad
+/// cascade: allocation-free once warmed up (audited in
+/// scripts/purity_allowlist.json).
+double* biquad_scratch(std::size_t doubles) {
+  thread_local aligned_vector<double> buf;
+  if (buf.size() < doubles) buf.resize(doubles);
+  return buf.data();
+}
+
 }  // namespace
 
 SosFilter::SosFilter(std::vector<Biquad> sections, double gain)
-    : sections_(std::move(sections)), gain_(gain) {}
+    : sections_(std::move(sections)), gain_(gain) {
+  packed_coeffs_.resize(sections_.size() * 5);
+  for (std::size_t s = 0; s < sections_.size(); ++s) {
+    packed_coeffs_[5 * s + 0] = sections_[s].b0;
+    packed_coeffs_[5 * s + 1] = sections_[s].b1;
+    packed_coeffs_[5 * s + 2] = sections_[s].b2;
+    packed_coeffs_[5 * s + 3] = sections_[s].a1;
+    packed_coeffs_[5 * s + 4] = sections_[s].a2;
+  }
+}
 
 std::vector<double> SosFilter::filter(std::span<const double> x) const {
   std::vector<double> y(x.begin(), x.end());
@@ -73,6 +92,7 @@ std::vector<Cd> SosFilter::filtfilt(std::span<const Cd> x) const {
   return y;
 }
 
+MMHAND_REALTIME
 void SosFilter::filtfilt_batch(Cd* data, std::size_t len,
                                std::size_t count) const {
   MMHAND_CHECK(len >= 2, "filtfilt needs >= 2 samples");
@@ -101,21 +121,12 @@ void SosFilter::filtfilt_batch(Cd* data, std::size_t len,
   const std::size_t pad =
       std::min<std::size_t>(len - 1, 3 * (2 * nsec + 1));
   const std::size_t ext = len + 2 * pad;
-  aligned_vector<double> coeffs(nsec * 5);
-  for (std::size_t s = 0; s < nsec; ++s) {
-    coeffs[5 * s + 0] = sections_[s].b0;
-    coeffs[5 * s + 1] = sections_[s].b1;
-    coeffs[5 * s + 2] = sections_[s].b2;
-    coeffs[5 * s + 3] = sections_[s].a1;
-    coeffs[5 * s + 4] = sections_[s].a2;
-  }
+  const double* coeffs = packed_coeffs_.data();
 
   const std::int64_t blocks =
       static_cast<std::int64_t>((count + per_block - 1) / per_block);
   parallel_for(0, blocks, 1, [&](std::int64_t b) {
-    thread_local aligned_vector<double> buf;
-    if (buf.size() < ext * width) buf.resize(ext * width);
-    double* x = buf.data();
+    double* x = biquad_scratch(ext * width);
     const std::size_t first = static_cast<std::size_t>(b) * per_block;
     const std::size_t in_block = std::min(per_block, count - first);
     for (std::size_t p = 0; p < per_block; ++p) {
@@ -138,8 +149,8 @@ void SosFilter::filtfilt_batch(Cd* data, std::size_t len,
             2.0 * sig[len - 1].imag() - sig[len - 2 - i].imag();
       }
     }
-    kernels.sos_lanes(x, ext, coeffs.data(), nsec, gain_, +1);
-    kernels.sos_lanes(x, ext, coeffs.data(), nsec, gain_, -1);
+    kernels.sos_lanes(x, ext, coeffs, nsec, gain_, +1);
+    kernels.sos_lanes(x, ext, coeffs, nsec, gain_, -1);
     for (std::size_t p = 0; p < in_block; ++p) {
       Cd* sig = data + (first + p) * len;
       const std::size_t lr = 2 * p, li = 2 * p + 1 < width ? 2 * p + 1 : lr;

@@ -12,6 +12,8 @@
 #include <span>
 #include <vector>
 
+#include "mmhand/common/aligned.hpp"
+
 namespace mmhand::dsp {
 
 /// One second-order section (biquad), normalized so a0 == 1.
@@ -56,6 +58,10 @@ class SosFilter {
  private:
   std::vector<Biquad> sections_;
   double gain_ = 1.0;
+  /// Sections flattened to [b0 b1 b2 a1 a2] runs for the lane-batched
+  /// kernel, packed once at construction so `filtfilt_batch` stays
+  /// allocation-free per call.
+  aligned_vector<double> packed_coeffs_;
 };
 
 /// Designs a digital Butterworth bandpass via the bilinear transform.

@@ -1,17 +1,16 @@
 #include "mmhand/dsp/fft.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <numbers>
-#include <tuple>
-#include <unordered_map>
 
 #include "mmhand/common/error.hpp"
+#include "mmhand/common/realtime.hpp"
 #include "mmhand/simd/simd.hpp"
 
 namespace mmhand::dsp {
@@ -26,26 +25,40 @@ std::size_t next_pow2(std::size_t n) {
   return p;
 }
 
+/// Both twiddle caches are keyed by power-of-two FFT size, so instead
+/// of a map probe under a mutex on *every* lookup (a lock the purity
+/// analyzer rightly flags on the frame path), each cache is a fixed
+/// array of atomic slots indexed by log2(n).  Steady state is one
+/// acquire load; misses build the table under a mutex and publish with
+/// a release store.  Entries are never evicted, so the returned
+/// reference stays valid and FFTs run concurrently on pool threads.
+constexpr std::size_t kMaxLog2 = 64;
+std::atomic<const std::vector<Complex>*> g_twiddle_slots[kMaxLog2];
+std::mutex g_twiddle_mu;
+
 /// Forward twiddle factors e^{-2*pi*i*k/n} for k < n/2, cached per FFT
 /// size.  The radar pipeline runs thousands of same-size FFTs per frame;
 /// computing the table once replaces the per-butterfly `w *= wlen`
-/// recurrence (and its accumulated rounding drift).  Entries are built
-/// under a lock and never evicted, so the returned reference stays valid
-/// and FFTs can run concurrently on pool threads.
+/// recurrence (and its accumulated rounding drift).
 const std::vector<Complex>& twiddle_table(std::size_t n) {
-  static std::mutex mu;
-  static std::unordered_map<std::size_t,
-                            std::unique_ptr<std::vector<Complex>>>
-      cache;
-  std::lock_guard<std::mutex> lk(mu);
-  auto& slot = cache[n];
-  if (!slot) {
-    slot = std::make_unique<std::vector<Complex>>(n / 2);
-    for (std::size_t k = 0; k < n / 2; ++k)
-      (*slot)[k] = std::polar(
-          1.0, -2.0 * kPi * static_cast<double>(k) / static_cast<double>(n));
-  }
-  return *slot;
+  MMHAND_ASSERT(is_power_of_two(n));
+  const unsigned idx = static_cast<unsigned>(std::countr_zero(n));
+  if (const auto* t =
+          g_twiddle_slots[idx].load(std::memory_order_acquire))
+    return *t;
+  std::lock_guard<std::mutex> lk(g_twiddle_mu);
+  if (const auto* t =
+          g_twiddle_slots[idx].load(std::memory_order_relaxed))
+    return *t;
+  auto table = std::make_unique<std::vector<Complex>>(n / 2);
+  for (std::size_t k = 0; k < n / 2; ++k)
+    (*table)[k] = std::polar(
+        1.0, -2.0 * kPi * static_cast<double>(k) / static_cast<double>(n));
+  // Released, never reclaimed: the cache owns one table per size for
+  // the process lifetime, exactly as the map-of-unique_ptr did.
+  const auto* published = table.release();
+  g_twiddle_slots[idx].store(published, std::memory_order_release);
+  return *published;
 }
 
 /// The same factors viewed as interleaved re,im doubles — the layout
@@ -64,28 +77,33 @@ struct StageTwiddles {
   aligned_vector<double> re, im;
 };
 
+std::atomic<const StageTwiddles*> g_stage_slots[kMaxLog2];
+std::mutex g_stage_mu;
+
 const StageTwiddles& stage_twiddles(std::size_t n) {
-  static std::mutex mu;
-  static std::unordered_map<std::size_t, std::unique_ptr<StageTwiddles>>
-      cache;
-  std::lock_guard<std::mutex> lk(mu);
-  auto& slot = cache[n];
-  if (!slot) {
-    slot = std::make_unique<StageTwiddles>();
-    slot->re.reserve(n - 1);
-    slot->im.reserve(n - 1);
-    for (std::size_t len = 2; len <= n; len <<= 1) {
-      const std::size_t stride = n / len;
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const Complex w = std::polar(
-            1.0, -2.0 * kPi * static_cast<double>(k * stride) /
-                     static_cast<double>(n));
-        slot->re.push_back(w.real());
-        slot->im.push_back(w.imag());
-      }
+  MMHAND_ASSERT(is_power_of_two(n));
+  const unsigned idx = static_cast<unsigned>(std::countr_zero(n));
+  if (const auto* t = g_stage_slots[idx].load(std::memory_order_acquire))
+    return *t;
+  std::lock_guard<std::mutex> lk(g_stage_mu);
+  if (const auto* t = g_stage_slots[idx].load(std::memory_order_relaxed))
+    return *t;
+  auto table = std::make_unique<StageTwiddles>();
+  table->re.reserve(n - 1);
+  table->im.reserve(n - 1);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t stride = n / len;
+    for (std::size_t k = 0; k < len / 2; ++k) {
+      const Complex w = std::polar(
+          1.0, -2.0 * kPi * static_cast<double>(k * stride) /
+                   static_cast<double>(n));
+      table->re.push_back(w.real());
+      table->im.push_back(w.imag());
     }
   }
-  return *slot;
+  const auto* published = table.release();
+  g_stage_slots[idx].store(published, std::memory_order_release);
+  return *published;
 }
 
 /// Grows-on-demand per-thread scratch for the lane-batched CZT path, so
@@ -137,12 +155,14 @@ void fft_pow2_inplace(std::vector<Complex>& x, bool inverse) {
   }
 }
 
+MMHAND_REALTIME
 void fft_lanes_pow2(double* re, double* im, std::size_t n, bool inverse) {
   MMHAND_CHECK(is_power_of_two(n), "fft_lanes size " << n);
   if (n < 2) return;
   simd::kernels().fft_lanes(re, im, n, twiddle_interleaved(n), inverse);
 }
 
+MMHAND_REALTIME
 void fft_soa_pow2(double* re, double* im, std::size_t n, bool inverse) {
   MMHAND_CHECK(is_power_of_two(n), "fft_soa size " << n);
   if (n < 2) return;
@@ -258,6 +278,7 @@ std::vector<Complex> CztPlan::run(std::span<const Complex> x) const {
   return out;
 }
 
+MMHAND_REALTIME
 void CztPlan::run_lanes(const double* re, const double* im, double* out_re,
                         double* out_im) const {
   const auto& k = simd::kernels();
@@ -278,23 +299,55 @@ void CztPlan::run_lanes(const double* re, const double* im, double* out_re,
   k.cmul_bcast(out_re, out_im, out_re_.data(), out_im_.data(), m_);
 }
 
+namespace {
+
+/// Append-only plan cache with a lock-free read path.  Keys are
+/// arbitrary (size, bins, band) tuples, so there is no slot array to
+/// index; instead published plans live on a singly-linked list whose
+/// head is an atomic pointer.  A handful of distinct zoom geometries
+/// exist per process, so the linear walk is shorter than the old
+/// std::map probe — and it takes no lock.  Nodes are never removed,
+/// preserving the reference-stays-valid contract.
+struct PlanNode {
+  std::size_t n;
+  std::size_t bins;
+  std::uint64_t f_lo_bits;
+  std::uint64_t f_hi_bits;
+  CztPlan plan;
+  PlanNode* next;
+};
+
+std::atomic<PlanNode*> g_plan_head{nullptr};
+std::mutex g_plan_mu;
+
+}  // namespace
+
 const CztPlan& zoom_plan(std::size_t n, double f_lo, double f_hi,
                          std::size_t bins) {
-  using Key = std::tuple<std::size_t, std::size_t, std::uint64_t,
-                         std::uint64_t>;
-  static std::mutex mu;
-  static std::map<Key, std::unique_ptr<CztPlan>> cache;
-  const Key key{n, bins, std::bit_cast<std::uint64_t>(f_lo),
-                std::bit_cast<std::uint64_t>(f_hi)};
-  std::lock_guard<std::mutex> lk(mu);
-  auto& slot = cache[key];
-  if (!slot) {
-    const double step = (f_hi - f_lo) / static_cast<double>(bins);
-    const Complex a = std::polar(1.0, 2.0 * kPi * f_lo);
-    const Complex w = std::polar(1.0, -2.0 * kPi * step);
-    slot = std::make_unique<CztPlan>(n, bins, w, a);
-  }
-  return *slot;
+  const std::uint64_t lo = std::bit_cast<std::uint64_t>(f_lo);
+  const std::uint64_t hi = std::bit_cast<std::uint64_t>(f_hi);
+  for (const PlanNode* p = g_plan_head.load(std::memory_order_acquire);
+       p != nullptr; p = p->next)
+    if (p->n == n && p->bins == bins && p->f_lo_bits == lo &&
+        p->f_hi_bits == hi)
+      return p->plan;
+  std::lock_guard<std::mutex> lk(g_plan_mu);
+  // Re-scan under the lock: another thread may have published the plan
+  // between the lock-free miss and acquiring the mutex.
+  for (const PlanNode* p = g_plan_head.load(std::memory_order_relaxed);
+       p != nullptr; p = p->next)
+    if (p->n == n && p->bins == bins && p->f_lo_bits == lo &&
+        p->f_hi_bits == hi)
+      return p->plan;
+  const double step = (f_hi - f_lo) / static_cast<double>(bins);
+  const Complex a = std::polar(1.0, 2.0 * kPi * f_lo);
+  const Complex w = std::polar(1.0, -2.0 * kPi * step);
+  auto node = std::make_unique<PlanNode>(
+      PlanNode{n, bins, lo, hi, CztPlan(n, bins, w, a),
+               g_plan_head.load(std::memory_order_relaxed)});
+  const PlanNode* published = node.get();
+  g_plan_head.store(node.release(), std::memory_order_release);
+  return published->plan;
 }
 
 std::vector<Complex> fft(std::span<const Complex> x) {

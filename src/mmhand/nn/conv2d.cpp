@@ -35,6 +35,15 @@ void im2col(const Tensor& x, int s, int in_ch, int kernel, int stride,
       }
 }
 
+/// Per-thread im2col staging, grown on demand: steady-state inference
+/// forwards allocate nothing here (audited in
+/// scripts/purity_allowlist.json).
+float* im2col_scratch(std::size_t floats) {
+  thread_local std::vector<float> buf;
+  if (buf.size() < floats) buf.resize(floats);
+  return buf.data();
+}
+
 }  // namespace
 
 Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride,
@@ -73,11 +82,9 @@ Tensor Conv2d::forward(const Tensor& x, bool training) {
   // gemm's own column-chunk parallelism instead.
   parallel_for(0, n, 1, [&](std::int64_t s64) {
     const int s = static_cast<int>(s64);
-    thread_local std::vector<float> cols;
-    const std::size_t need =
-        static_cast<std::size_t>(col_rows) * col_cols;
-    if (cols.size() < need) cols.resize(need);
-    im2col(x, s, in_ch_, kernel_, stride_, pad_, oh, ow, cols.data());
+    float* cols = im2col_scratch(static_cast<std::size_t>(col_rows) *
+                                 col_cols);
+    im2col(x, s, in_ch_, kernel_, stride_, pad_, oh, ow, cols);
     // y_s = W_flat [OC x col_rows] * cols [col_rows x col_cols]
     float* ys = y.data() +
                 static_cast<std::size_t>(s) * out_ch_ * oh * ow;
@@ -86,7 +93,7 @@ Tensor Conv2d::forward(const Tensor& x, bool training) {
       float* dst = ys + static_cast<std::size_t>(oc) * col_cols;
       for (int j = 0; j < col_cols; ++j) dst[j] = b;
     }
-    gemm_acc(weight_.value.data(), cols.data(), ys, out_ch_, col_rows,
+    gemm_acc(weight_.value.data(), cols, ys, out_ch_, col_rows,
              col_cols);
   });
   return y;

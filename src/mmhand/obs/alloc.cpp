@@ -1,0 +1,169 @@
+#include "mmhand/obs/alloc.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+// Replacements for the global allocation functions ([new.delete]);
+// defining any of them replaces the library versions for the whole
+// program.  Every form funnels into malloc/free (aligned forms through
+// posix_memalign) so new/delete pairs may mix forms freely, and the
+// counters see every path.
+//
+// Constraints honored here: constant-initialized gate (no static-init
+// order hazard: counting works from the first allocation the process
+// makes), no locks, no allocation inside the interposer itself, and the
+// standard new-handler retry loop on exhaustion.
+
+namespace mmhand::obs {
+
+namespace {
+
+std::atomic<bool> g_track{false};
+std::atomic<std::int64_t> g_allocs{0};
+std::atomic<std::int64_t> g_frees{0};
+std::atomic<std::int64_t> g_bytes{0};
+
+inline void note_alloc(std::size_t size) {
+  if (!g_track.load(std::memory_order_relaxed)) return;
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(static_cast<std::int64_t>(size),
+                    std::memory_order_relaxed);
+}
+
+inline void note_free(void* p) {
+  if (p == nullptr) return;
+  if (!g_track.load(std::memory_order_relaxed)) return;
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// malloc with the required new-handler retry loop; returns nullptr
+/// only when no handler is installed (nothrow callers) — throwing
+/// callers turn that into bad_alloc.
+void* alloc_loop(std::size_t size) {
+  if (size == 0) size = 1;  // unique pointer per [basic.stc.dynamic]
+  for (;;) {
+    void* p = std::malloc(size);
+    if (p != nullptr) return p;
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) return nullptr;
+    handler();
+  }
+}
+
+void* aligned_alloc_loop(std::size_t size, std::size_t align) {
+  if (size == 0) size = 1;
+  if (align < sizeof(void*)) align = sizeof(void*);  // posix_memalign min
+  for (;;) {
+    void* p = nullptr;
+    if (posix_memalign(&p, align, size) == 0) return p;
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) return nullptr;
+    handler();
+  }
+}
+
+}  // namespace
+
+void set_alloc_tracking(bool on) {
+  g_track.store(on, std::memory_order_relaxed);
+}
+
+bool alloc_tracking_enabled() {
+  return g_track.load(std::memory_order_relaxed);
+}
+
+AllocCounts alloc_counts() {
+  AllocCounts c;
+  c.allocs = g_allocs.load(std::memory_order_relaxed);
+  c.frees = g_frees.load(std::memory_order_relaxed);
+  c.bytes = g_bytes.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace mmhand::obs
+
+namespace {
+
+void* throwing_new(std::size_t size) {
+  void* p = mmhand::obs::alloc_loop(size);
+  if (p == nullptr) throw std::bad_alloc();
+  mmhand::obs::note_alloc(size);
+  return p;
+}
+
+void* throwing_new(std::size_t size, std::align_val_t align) {
+  void* p = mmhand::obs::aligned_alloc_loop(
+      size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  mmhand::obs::note_alloc(size);
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return throwing_new(size); }
+void* operator new[](std::size_t size) { return throwing_new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return throwing_new(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return throwing_new(size, align);
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  void* p = mmhand::obs::alloc_loop(size);
+  if (p != nullptr) mmhand::obs::note_alloc(size);
+  return p;
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  void* p = mmhand::obs::alloc_loop(size);
+  if (p != nullptr) mmhand::obs::note_alloc(size);
+  return p;
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  void* p = mmhand::obs::aligned_alloc_loop(
+      size, static_cast<std::size_t>(align));
+  if (p != nullptr) mmhand::obs::note_alloc(size);
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  void* p = mmhand::obs::aligned_alloc_loop(
+      size, static_cast<std::size_t>(align));
+  if (p != nullptr) mmhand::obs::note_alloc(size);
+  return p;
+}
+
+// All deletes funnel into free(); size/alignment variants forward.
+void operator delete(void* p) noexcept {
+  mmhand::obs::note_free(p);
+  std::free(p);
+}
+void operator delete[](void* p) noexcept {
+  mmhand::obs::note_free(p);
+  std::free(p);
+}
+void operator delete(void* p, std::size_t) noexcept { operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept {
+  operator delete[](p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  operator delete(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  operator delete[](p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  operator delete(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  operator delete[](p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  operator delete(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  operator delete[](p);
+}

@@ -1,0 +1,40 @@
+#pragma once
+
+// Heap-allocation tracking: a debug interposer over the global
+// `operator new` / `operator delete` family that counts allocations,
+// frees, and requested bytes in process-wide relaxed atomics.
+//
+// The runtime half of the purity story (`mmhand_lint --purity` is the
+// static half): scripts/check_purity.sh runs warmed-up pipeline frames
+// with tracking on and asserts the per-frame allocation delta is zero,
+// which catches what a token-level analyzer cannot see (value-returned
+// temporaries, allocation inside opaque calls).
+//
+// Tracking is off by default and gated by one constant-initialized
+// relaxed atomic, so the disabled interposer adds a single predictable
+// branch over the plain allocator and changes no allocation behavior.
+// Enable it per process with MMHAND_ALLOC_TRACK=1 (read in state.cpp
+// with the other MMHAND_* switches) or at runtime with
+// `set_alloc_tracking(true)`.
+
+#include <cstdint>
+
+namespace mmhand::obs {
+
+struct AllocCounts {
+  std::int64_t allocs = 0;  ///< operator-new calls while tracking
+  std::int64_t frees = 0;   ///< operator-delete calls while tracking
+  std::int64_t bytes = 0;   ///< total requested bytes while tracking
+};
+
+/// Turns allocation counting on or off (idempotent, thread-safe).
+void set_alloc_tracking(bool on);
+
+/// True when allocation counting is currently on.
+bool alloc_tracking_enabled();
+
+/// Snapshot of the process-wide counters.  Counters are cumulative and
+/// never reset; measure an interval by differencing two snapshots.
+AllocCounts alloc_counts();
+
+}  // namespace mmhand::obs

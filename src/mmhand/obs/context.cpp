@@ -1,5 +1,7 @@
 #include "mmhand/obs/context.hpp"
 
+#include "mmhand/obs/alloc.hpp"
+
 #include <atomic>
 #include <cinttypes>
 #include <cstdio>
@@ -41,12 +43,17 @@ void worker_end(void* token) { delete static_cast<Span*>(token); }
 
 /// Builds the per-frame JSONL record from the accumulated stage vector.
 std::string frame_record_json(const detail::FrameContext& ctx,
-                              double total_us) {
+                              double total_us, std::int64_t allocs) {
   RunRecord rec("frame");
   rec.field("frame_id", ctx.frame_id)
       .field("trace_id", static_cast<std::int64_t>(ctx.trace_id))
       .field("label", ctx.label)
       .field("total_us", total_us);
+  // Allocation attribution needs the interposer switched on
+  // (MMHAND_ALLOC_TRACK=1); without it the delta reads as zero, which
+  // would be indistinguishable from a genuinely pure frame, so the
+  // field is emitted only while tracking.
+  if (allocs >= 0) rec.field("allocs", allocs);
   std::ostringstream os;
   os << "{";
   for (std::size_t i = 0; i < ctx.stages.size(); ++i) {
@@ -105,6 +112,7 @@ FrameScope::FrameScope(const char* label, std::int64_t frame_id) {
   ctx->label = label;
   ctx->origin_tid = detail::thread_id();
   ctx->t0_ns = detail::now_ns();
+  ctx->allocs0 = alloc_tracking_enabled() ? alloc_counts().allocs : -1;
   prev_ = mmhand::task_context();
   mmhand::set_task_context(ctx);
   ctx_ = ctx;
@@ -120,8 +128,15 @@ FrameScope::~FrameScope() {
   const double total_us =
       static_cast<double>(t1 - ctx_->t0_ns) / 1000.0;
   g_records_emitted.fetch_add(1, std::memory_order_relaxed);
+  // Process-wide counter, so concurrent frames each absorb the other's
+  // allocations; the purity gate runs frames serially where the delta
+  // is exact.
+  const std::int64_t allocs =
+      ctx_->allocs0 >= 0 && alloc_tracking_enabled()
+          ? alloc_counts().allocs - ctx_->allocs0
+          : -1;
   // No further spans can reach this context: safe to read unlocked.
-  detail::telemetry_emit_record(frame_record_json(*ctx_, total_us));
+  detail::telemetry_emit_record(frame_record_json(*ctx_, total_us, allocs));
   if ((detail::mask() & detail::kFlightBit) != 0) {
     const char* worst = "";
     std::int64_t worst_ns = -1;

@@ -49,6 +49,8 @@ struct FrameContext {
   const char* label = nullptr;
   unsigned origin_tid = 0;
   std::int64_t t0_ns = 0;
+  /// Allocation counter at frame start, -1 when tracking is off.
+  std::int64_t allocs0 = -1;
 
   struct StageAcc {
     const char* name;

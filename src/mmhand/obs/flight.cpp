@@ -19,6 +19,7 @@
 #endif
 
 #include "mmhand/common/clock.hpp"
+#include "mmhand/common/realtime.hpp"
 #include "mmhand/obs/log.hpp"
 #include "mmhand/obs/trace.hpp"
 
@@ -150,6 +151,7 @@ char* name_slot(const Mapping* m, std::uint32_t id) {
   return reinterpret_cast<char*>(m->base + names_offset() + id * kNameBytes);
 }
 
+MMHAND_REALTIME
 void write_record(std::uint8_t kind, std::uint32_t name_id, const char* text,
                   std::int64_t t_ns) {
   Mapping* m = g_mapping.load(std::memory_order_acquire);
@@ -545,11 +547,13 @@ std::string flight_render_file(const std::string& path, std::string* error) {
 
 namespace detail {
 
+MMHAND_REALTIME
 void flight_span_event(SpanSite& site, bool begin, std::int64_t t_ns) {
   write_record(begin ? kKindBegin : kKindEnd, site_name_id(site), nullptr,
                t_ns);
 }
 
+MMHAND_REALTIME
 void flight_note_log(const char* line) {
   write_record(kKindLog, kNoName, line, now_ns());
 }

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "mmhand/obs/alloc.hpp"
 #include "mmhand/obs/log.hpp"
 #include "mmhand/obs/metrics.hpp"
 #include "mmhand/obs/telemetry.hpp"
@@ -74,6 +75,12 @@ int init_mask() {
       m |= kFlightBit;
       std::lock_guard<std::mutex> lk(g_path_mu);
       g_flight_spec = fl;
+    }
+    // Allocation counting is orthogonal to the mask bits: it gates the
+    // operator-new interposer in alloc.cpp, not an observability sink.
+    if (const char* a = std::getenv("MMHAND_ALLOC_TRACK");
+        a != nullptr && *a && *a != '0') {
+      set_alloc_tracking(true);
     }
     // MMHAND_PMU is read by pmu.cpp so the perf_event plumbing (and its
     // lint confinement) stays in one TU; it implies metrics because the

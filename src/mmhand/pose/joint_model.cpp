@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "mmhand/common/realtime.hpp"
+
 namespace mmhand::pose {
 
 namespace {
@@ -75,6 +77,7 @@ HandJointRegressor::HandJointRegressor(const PoseNetConfig& config, Rng& rng)
             63, rng),
       flat_features_(segment_fc_.in_features()) {}
 
+MMHAND_REALTIME
 nn::Tensor HandJointRegressor::forward(const nn::Tensor& x, bool training) {
   const int frames = config_.frames_per_sample();
   MMHAND_CHECK(x.rank() == 4 && x.dim(0) == frames &&

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "mmhand/common/parallel.hpp"
+#include "mmhand/common/realtime.hpp"
 #include "mmhand/nn/optimizer.hpp"
 #include "mmhand/nn/tensor_stats.hpp"
 #include "mmhand/obs/obs.hpp"
@@ -297,6 +298,7 @@ TrainStats train_pose_model(HandJointRegressor& model,
   return stats;
 }
 
+MMHAND_REALTIME
 nn::Tensor predict_sample(HandJointRegressor& model,
                           const PoseSample& sample) {
   MMHAND_SPAN("pose/joint_regression");

@@ -1,10 +1,12 @@
 #include "mmhand/radar/pipeline.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
 #include "mmhand/common/aligned.hpp"
 #include "mmhand/common/parallel.hpp"
+#include "mmhand/common/realtime.hpp"
 #include "mmhand/dsp/fft.hpp"
 #include "mmhand/obs/context.hpp"
 #include "mmhand/obs/metrics.hpp"
@@ -115,7 +117,74 @@ double RadarPipeline::velocity_for_bin(int v) const {
   return doppler_hz * chirp_.wavelength_m() / 2.0;
 }
 
-std::vector<Cd> RadarPipeline::range_profiles(const IfFrame& frame) const {
+
+namespace {
+
+/// Per-thread frame workspace: every per-frame intermediate (bandpass
+/// staging, range profiles, Doppler volume, TDM phase table) lives
+/// here, grown on demand and reused across frames, so a warm
+/// `process_frame_into` performs no heap allocation on vector ISAs
+/// (audited in scripts/purity_allowlist.json; scripts/check_purity.sh
+/// asserts it at runtime).
+struct FrameWorkspace {
+  aligned_vector<Cd> filtered;
+  aligned_vector<Cd> profiles;
+  aligned_vector<Cd> doppler;
+  aligned_vector<double> ph_re, ph_im;
+};
+
+FrameWorkspace& frame_workspace(std::size_t filtered_n,
+                                std::size_t profiles_n,
+                                std::size_t doppler_n,
+                                std::size_t phase_n) {
+  thread_local FrameWorkspace ws;
+  if (ws.filtered.size() < filtered_n) ws.filtered.resize(filtered_n);
+  if (ws.profiles.size() < profiles_n) ws.profiles.resize(profiles_n);
+  if (ws.doppler.size() < doppler_n) ws.doppler.resize(doppler_n);
+  if (ws.ph_re.size() < phase_n) ws.ph_re.resize(phase_n);
+  if (ws.ph_im.size() < phase_n) ws.ph_im.resize(phase_n);
+  return ws;
+}
+
+}  // namespace
+
+void RadarPipeline::range_fft_scalar(const IfFrame& frame,
+                                     const Cd* filtered,
+                                     Cd* profiles) const {
+  const int n_rx = frame.num_rx();
+  const int n_chirp = frame.chirps();
+  const int n_samp = frame.samples();
+  const int n_range = config_.cube.range_bins;
+  const std::int64_t n_virt =
+      static_cast<std::int64_t>(frame.num_tx()) * n_rx * n_chirp;
+  parallel_for(
+      0, n_virt, 1,
+      [&](std::int64_t idx) {
+        const int c = static_cast<int>(idx % n_chirp);
+        const int rx = static_cast<int>((idx / n_chirp) % n_rx);
+        const int tx = static_cast<int>(
+            idx / (static_cast<std::int64_t>(n_chirp) * n_rx));
+        const Cd* in = filtered != nullptr
+                           ? filtered +
+                                 static_cast<std::size_t>(idx) * n_samp
+                           : frame.chirp_data(tx, rx, c);
+        std::vector<Cd> chirp_buf(in, in + n_samp);
+        for (int m = 0; m < n_samp; ++m)
+          chirp_buf[static_cast<std::size_t>(m)] *=
+              range_window_[static_cast<std::size_t>(m)];
+        const auto spectrum = dsp::fft(chirp_buf);
+        const std::size_t base =
+            ((static_cast<std::size_t>(tx) * n_rx + rx) * n_chirp + c) *
+            n_range;
+        for (int d = 0; d < n_range; ++d)
+          profiles[base + static_cast<std::size_t>(d)] =
+              spectrum[static_cast<std::size_t>(d)];
+      });
+}
+
+MMHAND_REALTIME
+void RadarPipeline::range_profiles_into(const IfFrame& frame, Cd* filtered,
+                                        Cd* profiles) const {
   const int n_tx = frame.num_tx();
   const int n_rx = frame.num_rx();
   const int n_chirp = frame.chirps();
@@ -136,19 +205,16 @@ std::vector<Cd> RadarPipeline::range_profiles(const IfFrame& frame) const {
   // per-signal reference loop under the scalar ISA and the lane-batched
   // biquad cascade otherwise.
   const bool bandpass = config_.enable_bandpass;
-  std::vector<Cd> filtered;
   if (bandpass) {
     MMHAND_SPAN("radar/bandpass");
-    filtered.resize(static_cast<std::size_t>(n_virt) * n_samp);
     for (std::int64_t idx = 0; idx < n_virt; ++idx) {
       int tx, rx, c;
       chirp_of(idx, tx, rx, c);
       const Cd* in = frame.chirp_data(tx, rx, c);
       std::copy(in, in + n_samp,
-                filtered.begin() + static_cast<std::ptrdiff_t>(idx) * n_samp);
+                filtered + static_cast<std::ptrdiff_t>(idx) * n_samp);
     }
-    bandpass_.filtfilt_batch(filtered.data(),
-                             static_cast<std::size_t>(n_samp),
+    bandpass_.filtfilt_batch(filtered, static_cast<std::size_t>(n_samp),
                              static_cast<std::size_t>(n_virt));
   }
 
@@ -156,34 +222,12 @@ std::vector<Cd> RadarPipeline::range_profiles(const IfFrame& frame) const {
   // disjoint `n_range` slice of `profiles`, so the fan-out is
   // deterministic.
   MMHAND_SPAN("radar/range_fft");
-  std::vector<Cd> profiles(static_cast<std::size_t>(n_tx) * n_rx * n_chirp *
-                           n_range);
   const bool vec_range = simd::active_isa() != simd::Isa::kScalar &&
                          dsp::is_power_of_two(static_cast<std::size_t>(
                              n_samp));
   if (!vec_range) {
-    parallel_for(
-        0, n_virt, 1,
-        [&](std::int64_t idx) {
-          int tx, rx, c;
-          chirp_of(idx, tx, rx, c);
-          const Cd* in = bandpass
-                             ? filtered.data() +
-                                   static_cast<std::size_t>(idx) * n_samp
-                             : frame.chirp_data(tx, rx, c);
-          std::vector<Cd> chirp_buf(in, in + n_samp);
-          for (int m = 0; m < n_samp; ++m)
-            chirp_buf[static_cast<std::size_t>(m)] *=
-                range_window_[static_cast<std::size_t>(m)];
-          const auto spectrum = dsp::fft(chirp_buf);
-          const std::size_t base =
-              ((static_cast<std::size_t>(tx) * n_rx + rx) * n_chirp + c) *
-              n_range;
-          for (int d = 0; d < n_range; ++d)
-            profiles[base + static_cast<std::size_t>(d)] =
-                spectrum[static_cast<std::size_t>(d)];
-        });
-    return profiles;
+    range_fft_scalar(frame, bandpass ? filtered : nullptr, profiles);
+    return;
   }
 
   // Vector path: `width` chirps ride the SIMD lanes of one split-complex
@@ -208,7 +252,7 @@ std::vector<Cd> RadarPipeline::range_profiles(const IfFrame& frame) const {
           first + static_cast<std::int64_t>(std::min(l, lanes - 1));
       int tx, rx, c;
       chirp_of(idx, tx, rx, c);
-      const Cd* in = bandpass ? filtered.data() +
+      const Cd* in = bandpass ? filtered +
                                     static_cast<std::size_t>(idx) * ns
                               : frame.chirp_data(tx, rx, c);
       for (std::size_t s = 0; s < ns; ++s) {
@@ -228,10 +272,112 @@ std::vector<Cd> RadarPipeline::range_profiles(const IfFrame& frame) const {
                im[static_cast<std::size_t>(d) * width + l]};
     }
   });
-  return profiles;
 }
 
-RadarCube RadarPipeline::process_frame(const IfFrame& frame) const {
+void RadarPipeline::doppler_fft_scalar(const IfFrame& frame,
+                                       const Cd* profiles,
+                                       Cd* doppler) const {
+  const int n_tx = frame.num_tx();
+  const int n_rx = frame.num_rx();
+  const int n_chirp = frame.chirps();
+  const int n_range = config_.cube.range_bins;
+  auto profile_at = [&](int tx, int rx, int c, int d) -> Cd {
+    return profiles[((static_cast<std::size_t>(tx) * n_rx + rx) * n_chirp +
+                     c) *
+                        n_range +
+                    static_cast<std::size_t>(d)];
+  };
+  const std::int64_t n_cols =
+      static_cast<std::int64_t>(n_tx) * n_rx * n_range;
+  parallel_for(
+      0, n_cols, 1,
+      [&](std::int64_t idx) {
+        const int d = static_cast<int>(idx % n_range);
+        const int rx = static_cast<int>((idx / n_range) % n_rx);
+        const int tx = static_cast<int>(idx / (static_cast<std::int64_t>(
+                                                   n_range) *
+                                               n_rx));
+        std::vector<Cd> seq(static_cast<std::size_t>(n_chirp));
+        for (int c = 0; c < n_chirp; ++c)
+          seq[static_cast<std::size_t>(c)] =
+              profile_at(tx, rx, c, d) *
+              doppler_window_[static_cast<std::size_t>(c)];
+        auto spec = dsp::fft_shift(dsp::fft(seq));
+        for (int v = 0; v < n_chirp; ++v) {
+          const int k = v - n_chirp / 2;
+          const double comp = -2.0 * kPi * static_cast<double>(k) *
+                              static_cast<double>(tx) /
+                              (static_cast<double>(n_chirp) * n_tx);
+          doppler[((static_cast<std::size_t>(tx) * n_rx + rx) * n_chirp +
+                   v) *
+                      n_range +
+                  static_cast<std::size_t>(d)] =
+              spec[static_cast<std::size_t>(v)] * std::polar(1.0, comp);
+        }
+      });
+}
+
+void RadarPipeline::angle_fft_scalar(const IfFrame& frame,
+                                     const Cd* doppler, double f_max,
+                                     RadarCube* cube) const {
+  const int n_rx = frame.num_rx();
+  const int n_chirp = frame.chirps();
+  const int n_range = config_.cube.range_bins;
+  const int n_az = config_.cube.azimuth_bins;
+  const int n_el = config_.cube.elevation_bins;
+  const auto& az_row = array_.azimuth_row();
+  const auto& el_row = array_.elevation_row();
+  auto doppler_at = [&](int tx, int rx, int v, int d) -> Cd {
+    return doppler[((static_cast<std::size_t>(tx) * n_rx + rx) * n_chirp +
+                    v) *
+                       n_range +
+                   static_cast<std::size_t>(d)];
+  };
+  const std::int64_t n_cells =
+      static_cast<std::int64_t>(n_chirp) * n_range;
+  parallel_for(
+      0, n_cells, 1,
+      [&](std::int64_t idx) {
+        const int v = static_cast<int>(idx / n_range);
+        const int d = static_cast<int>(idx % n_range);
+        std::vector<Cd> az_sig(az_row.size());
+        std::vector<Cd> el_sig(2);
+        for (std::size_t i = 0; i < az_row.size(); ++i)
+          az_sig[i] = doppler_at(az_row[i].first, az_row[i].second, v, d);
+        // IF phase grows with path length, so elements closer to a target on
+        // the +x side have *smaller* phase: the array response is
+        // exp(-j*2*pi*f*i).  The DFT therefore peaks at -f; sweep the band
+        // from +f_max down to -f_max so bin index increases with theta.
+        auto az_spec = dsp::zoom_fft(az_sig, -f_max, f_max,
+                                     static_cast<std::size_t>(n_az));
+        for (int a = 0; a < n_az; ++a)
+          cube->at(v, d, a) = static_cast<float>(
+              std::log1p(std::abs(az_spec[static_cast<std::size_t>(
+                  n_az - 1 - a)])));
+
+        // Elevation: a 2-element lambda/2 vertical aperture formed by the
+        // overlapping x-span of the base row and the raised TX2 row.
+        Cd row0{};
+        for (std::size_t i = 2; i < 6 && i < az_row.size(); ++i)
+          row0 += doppler_at(az_row[i].first, az_row[i].second, v, d);
+        row0 /= 4.0;
+        Cd row1{};
+        for (const auto& [tx, rx] : el_row) row1 += doppler_at(tx, rx, v, d);
+        row1 /= static_cast<double>(el_row.size());
+        el_sig[0] = row0;
+        el_sig[1] = row1;
+        auto el_spec = dsp::zoom_fft(el_sig, -f_max, f_max,
+                                     static_cast<std::size_t>(n_el));
+        for (int e = 0; e < n_el; ++e)
+          cube->at(v, d, n_az + e) = static_cast<float>(
+              std::log1p(std::abs(el_spec[static_cast<std::size_t>(
+                  n_el - 1 - e)])));
+      });
+}
+
+MMHAND_REALTIME
+void RadarPipeline::process_frame_into(const IfFrame& frame,
+                                       RadarCube* out) const {
   // Span first, frame scope second: the scope's flow anchor lands inside
   // the frame slice, and the scope closes (emitting its per-frame record)
   // before the frame span records itself, so the frame is not a stage of
@@ -279,7 +425,22 @@ RadarCube RadarPipeline::process_frame(const IfFrame& frame) const {
                     cells * (16.0 * (az_n + 2.0) + 4.0 * (n_az + n_el)));
   }
 
-  const auto profiles = range_profiles(frame);
+  // All per-frame intermediates live in the per-thread workspace; the
+  // first frame on a thread sizes it, later frames stage into warm
+  // storage.
+  const std::int64_t n_virt =
+      static_cast<std::int64_t>(n_tx) * n_rx * n_chirp;
+  const std::size_t profile_n =
+      static_cast<std::size_t>(n_virt) * n_range;
+  FrameWorkspace& ws = frame_workspace(
+      config_.enable_bandpass
+          ? static_cast<std::size_t>(n_virt) * n_samp
+          : 0,
+      profile_n, profile_n,
+      static_cast<std::size_t>(n_tx) * n_chirp);
+
+  range_profiles_into(frame, ws.filtered.data(), ws.profiles.data());
+  const Cd* profiles = ws.profiles.data();
   auto profile_at = [&](int tx, int rx, int c, int d) -> Cd {
     return profiles[((static_cast<std::size_t>(tx) * n_rx + rx) * n_chirp +
                      c) *
@@ -291,8 +452,7 @@ RadarCube RadarPipeline::process_frame(const IfFrame& frame) const {
   // compensation: TX i fires i*Tc later within each chirp loop, adding a
   // Doppler-dependent phase 2*pi*f_d*i*Tc that must be removed before the
   // angle-FFT can combine virtual channels coherently.
-  std::vector<Cd> doppler(static_cast<std::size_t>(n_tx) * n_rx * n_chirp *
-                          n_range);
+  Cd* doppler = ws.doppler.data();
   auto doppler_at = [&](int tx, int rx, int v, int d) -> Cd& {
     return doppler[((static_cast<std::size_t>(tx) * n_rx + rx) * n_chirp +
                     v) *
@@ -308,35 +468,13 @@ RadarCube RadarPipeline::process_frame(const IfFrame& frame) const {
   const bool vec_doppler =
       vector_isa && dsp::is_power_of_two(static_cast<std::size_t>(n_chirp));
   if (!vec_doppler) {
-    parallel_for(
-        0, n_cols, 1,
-        [&](std::int64_t idx) {
-          const int d = static_cast<int>(idx % n_range);
-          const int rx = static_cast<int>((idx / n_range) % n_rx);
-          const int tx = static_cast<int>(idx / (static_cast<std::int64_t>(
-                                                     n_range) *
-                                                 n_rx));
-          std::vector<Cd> seq(static_cast<std::size_t>(n_chirp));
-          for (int c = 0; c < n_chirp; ++c)
-            seq[static_cast<std::size_t>(c)] =
-                profile_at(tx, rx, c, d) *
-                doppler_window_[static_cast<std::size_t>(c)];
-          auto spec = dsp::fft_shift(dsp::fft(seq));
-          for (int v = 0; v < n_chirp; ++v) {
-            const int k = v - n_chirp / 2;
-            const double comp = -2.0 * kPi * static_cast<double>(k) *
-                                static_cast<double>(tx) /
-                                (static_cast<double>(n_chirp) * n_tx);
-            doppler_at(tx, rx, v, d) =
-                spec[static_cast<std::size_t>(v)] * std::polar(1.0, comp);
-          }
-        });
+    doppler_fft_scalar(frame, profiles, doppler);
   } else {
     // TDM compensation factors depend only on (tx, doppler bin);
-    // precompute the n_tx * n_chirp table once per frame.
+    // recompute the n_tx * n_chirp table into the workspace each frame.
     const std::size_t nc = static_cast<std::size_t>(n_chirp);
-    aligned_vector<double> ph_re(static_cast<std::size_t>(n_tx) * nc);
-    aligned_vector<double> ph_im(static_cast<std::size_t>(n_tx) * nc);
+    double* ph_re = ws.ph_re.data();
+    double* ph_im = ws.ph_im.data();
     for (int tx = 0; tx < n_tx; ++tx)
       for (int v = 0; v < n_chirp; ++v) {
         const int k = v - n_chirp / 2;
@@ -411,57 +549,21 @@ RadarCube RadarPipeline::process_frame(const IfFrame& frame) const {
   const auto& az_row = array_.azimuth_row();
   const auto& el_row = array_.elevation_row();
 
-  // Cube assembly: allocate and zero the output tensor the angle stage
-  // fills in place.
-  RadarCube cube = [&] {
+  // Cube assembly: shape (or reshape) and zero the output tensor the
+  // angle stage fills in place; same-shaped reuse keeps the storage.
+  {
     MMHAND_SPAN("radar/cube_assembly");
-    return RadarCube(n_chirp, n_range, n_az + n_el);
-  }();
+    out->reset(n_chirp, n_range, n_az + n_el);
+  }
+  RadarCube& cube = *out;
   // One zoom angle-FFT pair per (v, d); each index owns the cube(v, d, *)
   // fiber.
   MMHAND_SPAN("radar/zoom_angle_fft");
   const std::int64_t n_cells =
       static_cast<std::int64_t>(n_chirp) * n_range;
   if (!vector_isa) {
-    parallel_for(
-        0, n_cells, 1,
-        [&](std::int64_t idx) {
-        const int v = static_cast<int>(idx / n_range);
-        const int d = static_cast<int>(idx % n_range);
-        std::vector<Cd> az_sig(az_row.size());
-        std::vector<Cd> el_sig(2);
-        for (std::size_t i = 0; i < az_row.size(); ++i)
-          az_sig[i] = doppler_at(az_row[i].first, az_row[i].second, v, d);
-        // IF phase grows with path length, so elements closer to a target on
-        // the +x side have *smaller* phase: the array response is
-        // exp(-j*2*pi*f*i).  The DFT therefore peaks at -f; sweep the band
-        // from +f_max down to -f_max so bin index increases with theta.
-        auto az_spec = dsp::zoom_fft(az_sig, -f_max, f_max,
-                                     static_cast<std::size_t>(n_az));
-        for (int a = 0; a < n_az; ++a)
-          cube.at(v, d, a) = static_cast<float>(
-              std::log1p(std::abs(az_spec[static_cast<std::size_t>(
-                  n_az - 1 - a)])));
-
-        // Elevation: a 2-element lambda/2 vertical aperture formed by the
-        // overlapping x-span of the base row and the raised TX2 row.
-        Cd row0{};
-        for (std::size_t i = 2; i < 6 && i < az_row.size(); ++i)
-          row0 += doppler_at(az_row[i].first, az_row[i].second, v, d);
-        row0 /= 4.0;
-        Cd row1{};
-        for (const auto& [tx, rx] : el_row) row1 += doppler_at(tx, rx, v, d);
-        row1 /= static_cast<double>(el_row.size());
-        el_sig[0] = row0;
-        el_sig[1] = row1;
-        auto el_spec = dsp::zoom_fft(el_sig, -f_max, f_max,
-                                     static_cast<std::size_t>(n_el));
-        for (int e = 0; e < n_el; ++e)
-          cube.at(v, d, n_az + e) = static_cast<float>(
-              std::log1p(std::abs(el_spec[static_cast<std::size_t>(
-                  n_el - 1 - e)])));
-        });
-    return cube;
+    angle_fft_scalar(frame, doppler, f_max, out);
+    return;
   }
 
   // Vector path: `width` (v, d) cells share the lane-batched Bluestein
@@ -534,6 +636,12 @@ RadarCube RadarPipeline::process_frame(const IfFrame& frame) const {
         cube.at(vs[l], ds[l], n_az + e) = static_cast<float>(std::log1p(
             mag[static_cast<std::size_t>(n_el - 1 - e) * width + l]));
   });
+}
+
+MMHAND_REALTIME
+RadarCube RadarPipeline::process_frame(const IfFrame& frame) const {
+  RadarCube cube;
+  process_frame_into(frame, &cube);
   return cube;
 }
 

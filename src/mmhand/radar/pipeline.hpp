@@ -38,6 +38,14 @@ class RadarPipeline {
   /// Full pre-processing of one frame.
   RadarCube process_frame(const IfFrame& frame) const;
 
+  /// Steady-state variant: assembles the cube into `*out`, reusing its
+  /// storage when the shape is unchanged, and staging every
+  /// intermediate in grow-on-demand per-thread scratch.  On vector ISAs
+  /// a warmed-up call performs zero heap allocations
+  /// (scripts/check_purity.sh asserts this at runtime; `mmhand_lint
+  /// --purity` proves it statically from the MMHAND_REALTIME root).
+  void process_frame_into(const IfFrame& frame, RadarCube* out) const;
+
   /// Range represented by range bin d (meters).
   double range_for_bin(int d) const;
   /// Azimuth angle of azimuth bin a (radians); bins ordered left to right.
@@ -52,9 +60,27 @@ class RadarPipeline {
 
  private:
   /// Range profiles for every (tx, rx, chirp): bandpass + window + FFT,
-  /// cropped to the configured range bins.
-  std::vector<std::complex<double>> range_profiles(
-      const IfFrame& frame) const;
+  /// cropped to the configured range bins.  `filtered` stages the
+  /// bandpass batch (num_virtual * samples values, untouched when the
+  /// bandpass is disabled); `profiles` receives num_virtual * range_bins
+  /// values.
+  void range_profiles_into(const IfFrame& frame,
+                           std::complex<double>* filtered,
+                           std::complex<double>* profiles) const;
+
+  /// Scalar-ISA reference stages, split out so their per-item
+  /// allocations (dsp::fft and friends return vectors) stay audited
+  /// cold paths instead of leaking into the hot-path purity closure.
+  /// Op order matches the pre-SIMD pipeline bit-for-bit.
+  void range_fft_scalar(const IfFrame& frame,
+                        const std::complex<double>* filtered,
+                        std::complex<double>* profiles) const;
+  void doppler_fft_scalar(const IfFrame& frame,
+                          const std::complex<double>* profiles,
+                          std::complex<double>* doppler) const;
+  void angle_fft_scalar(const IfFrame& frame,
+                        const std::complex<double>* doppler, double f_max,
+                        RadarCube* cube) const;
 
   ChirpConfig chirp_;
   const AntennaArray& array_;

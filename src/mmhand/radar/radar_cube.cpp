@@ -15,6 +15,20 @@ RadarCube::RadarCube(int velocity_bins, int range_bins, int angle_bins)
                                  << angle_bins);
 }
 
+void RadarCube::reset(int velocity_bins, int range_bins, int angle_bins) {
+  MMHAND_CHECK(velocity_bins >= 1 && range_bins >= 1 && angle_bins >= 1,
+               "RadarCube dims " << velocity_bins << "x" << range_bins << "x"
+                                 << angle_bins);
+  v_ = velocity_bins;
+  d_ = range_bins;
+  a_ = angle_bins;
+  const std::size_t n =
+      static_cast<std::size_t>(v_) * static_cast<std::size_t>(d_) *
+      static_cast<std::size_t>(a_);
+  if (data_.size() != n) data_.resize(n);
+  std::fill(data_.begin(), data_.end(), 0.0f);
+}
+
 float& RadarCube::at(int v, int d, int a) {
   MMHAND_ASSERT(v >= 0 && v < v_ && d >= 0 && d < d_ && a >= 0 && a < a_);
   return data_[(static_cast<std::size_t>(v) * d_ + d) * a_ + a];

@@ -16,6 +16,13 @@ class RadarCube {
   RadarCube() = default;
   RadarCube(int velocity_bins, int range_bins, int angle_bins);
 
+  /// Reshapes to the given dims and zero-fills, reusing the existing
+  /// storage when the element count is unchanged.  Grow-only in
+  /// practice: re-processing same-shaped frames into one cube performs
+  /// no allocation after the first call (audited in
+  /// scripts/purity_allowlist.json).
+  void reset(int velocity_bins, int range_bins, int angle_bins);
+
   float& at(int v, int d, int a);
   float at(int v, int d, int a) const;
 

@@ -10,6 +10,8 @@
 
 #include <cstddef>
 
+#include "mmhand/common/realtime.hpp"
+
 namespace mmhand::simd {
 namespace {
 
@@ -32,6 +34,7 @@ inline void bit_reverse_rows(double* re, double* im, std::size_t n,
   }
 }
 
+MMHAND_REALTIME
 void fft_lanes_impl(double* re, double* im, std::size_t n, const double* tw,
                     bool inverse) {
   bit_reverse_rows(re, im, n, kW);
@@ -69,6 +72,7 @@ void fft_lanes_impl(double* re, double* im, std::size_t n, const double* tw,
   }
 }
 
+MMHAND_REALTIME
 void fft_soa_impl(double* re, double* im, std::size_t n, const double* stw_re,
                   const double* stw_im, bool inverse) {
   bit_reverse_rows(re, im, n, 1);
@@ -125,6 +129,7 @@ void fft_soa_impl(double* re, double* im, std::size_t n, const double* stw_re,
   }
 }
 
+MMHAND_REALTIME
 void cmul_bcast_impl(double* re, double* im, const double* b_re,
                      const double* b_im, std::size_t n) {
   for (std::size_t k = 0; k < n; ++k) {
@@ -138,6 +143,7 @@ void cmul_bcast_impl(double* re, double* im, const double* b_re,
   }
 }
 
+MMHAND_REALTIME
 void cmul_impl(double* re, double* im, const double* b_re, const double* b_im,
                std::size_t count) {
   std::size_t j = 0;
@@ -154,6 +160,7 @@ void cmul_impl(double* re, double* im, const double* b_re, const double* b_im,
   }
 }
 
+MMHAND_REALTIME
 void scale_bcast_impl(double* re, double* im, const double* s, std::size_t n) {
   for (std::size_t k = 0; k < n; ++k) {
     const V vs = V::broadcast(s[k]);
@@ -162,6 +169,7 @@ void scale_bcast_impl(double* re, double* im, const double* s, std::size_t n) {
   }
 }
 
+MMHAND_REALTIME
 void sos_lanes_impl(double* x, std::size_t len, const double* coeffs,
                     std::size_t nsec, double gain, int dir) {
   const std::ptrdiff_t step =
@@ -189,6 +197,7 @@ void sos_lanes_impl(double* x, std::size_t len, const double* coeffs,
     (V::load(x + j) * g).store(x + j);
 }
 
+MMHAND_REALTIME
 void vmag_impl(const double* re, const double* im, double* out,
                std::size_t count) {
   std::size_t j = 0;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "lint/lint_core.hpp"
+#include "lint/purity_core.hpp"
 #include "mmhand/common/json.hpp"
 
 namespace mmhand::lint {
@@ -416,6 +417,329 @@ TEST(JsonErrors, ErrorReportsOffset) {
   std::string error;
   json::Value::parse("{\"a\": @}", &error);
   EXPECT_NE(error.find("offset"), std::string::npos);
+}
+
+// --- tokenizer: raw strings ---------------------------------------------
+
+TEST(LintStrip, BlanksRawStringContents) {
+  const std::string stripped = strip_comments_and_strings(
+      "const char* s = R\"(std::getenv(\"PATH\") and rand())\";\n"
+      "int keep_me;\n");
+  EXPECT_EQ(stripped.find("getenv"), std::string::npos);
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_NE(stripped.find("keep_me"), std::string::npos);
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'), 2);
+}
+
+TEST(LintStrip, RawStringQuoteDoesNotDesyncLexer) {
+  // The classic raw-string trap: `R"(")"` holds a lone quote.  A lexer
+  // without raw-string states pairs that inner quote with the closing
+  // one and swallows the *next* statement as string text — hiding the
+  // getenv call below from every rule.
+  const std::string src =
+      "const char* s = R\"(\")\";\n"
+      "std::getenv(\"PATH\");\n";
+  EXPECT_NE(strip_comments_and_strings(src).find("getenv"),
+            std::string::npos);
+  EXPECT_TRUE(has_rule(lint_src(src), "getenv-allowlist"));
+}
+
+TEST(LintStrip, RawStringDelimitersAndPrefixes) {
+  // Custom delimiter: an embedded `)"` is content, not a terminator.
+  const std::string custom = strip_comments_and_strings(
+      "auto s = R\"x(inner )\" quote rand())x\"; int after;\n");
+  EXPECT_EQ(custom.find("rand"), std::string::npos);
+  EXPECT_NE(custom.find("after"), std::string::npos);
+  // Encoding prefixes reach the same state.
+  EXPECT_EQ(strip_comments_and_strings("auto s = u8R\"(rand())\";\n")
+                .find("rand"),
+            std::string::npos);
+  // An identifier merely ending in R is not a raw-string prefix.
+  EXPECT_NE(strip_comments_and_strings("int VAR = f(\"x\");\n").find("VAR"),
+            std::string::npos);
+}
+
+TEST(LintStrip, MultiLineRawStringKeepsLineNumbers) {
+  const std::string src =
+      "auto s = R\"(line one\nline two rand())\";\nstd::getenv(\"P\");\n";
+  const auto findings = lint_src(src);
+  ASSERT_TRUE(has_rule(findings, "getenv-allowlist"));
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+// --- tokenizer: line-continuation comments ------------------------------
+
+TEST(LintStrip, BackslashContinuationExtendsLineComment) {
+  // A trailing backslash splices the next line into the comment
+  // (translation phase 2 runs before comment removal), so the getenv
+  // "call" below is comment text, not code.
+  EXPECT_TRUE(lint_src("// disabled: \\\nstd::getenv(\"PATH\");\n").empty());
+  // Without the backslash the same layout is a real call.
+  EXPECT_TRUE(has_rule(lint_src("// disabled:\nstd::getenv(\"PATH\");\n"),
+                       "getenv-allowlist"));
+}
+
+TEST(LintStrip, ContinuationChainsAcrossLines) {
+  EXPECT_TRUE(
+      lint_src("// a \\\n b \\\n std::system(\"rm\");\nint ok;\n").empty());
+}
+
+// --- raw-alloc allowlist ------------------------------------------------
+
+TEST(LintAlloc, InterposerFileIsExemptFromRawAlloc) {
+  const std::string src = "void* p = std::malloc(n);\n";
+  EXPECT_TRUE(has_rule(lint_src(src), "no-raw-alloc"));
+  EXPECT_FALSE(has_rule(
+      check_file("src/mmhand/obs/alloc.cpp", src, default_config()),
+      "no-raw-alloc"));
+}
+
+TEST(LintAlloc, RawAllocAllowlistExtendsViaJson) {
+  Config cfg = default_config();
+  std::string error;
+  ASSERT_TRUE(parse_allowlist_json(
+      "{\"raw_alloc\": [\"src/mmhand/x/pool.cpp\"]}", &cfg, &error))
+      << error;
+  EXPECT_FALSE(has_rule(
+      check_file("src/mmhand/x/pool.cpp", "std::malloc(8);\n", cfg),
+      "no-raw-alloc"));
+}
+
+// --- purity analyzer ----------------------------------------------------
+
+using Files = std::vector<std::pair<std::string, std::string>>;
+
+PurityReport purity(const Files& files, PurityConfig cfg = {}) {
+  return analyze_purity(files, cfg);
+}
+
+/// The single root of a one-root report.
+const PurityRoot& only_root(const PurityReport& r) {
+  EXPECT_EQ(r.roots.size(), 1u);
+  return r.roots.front();
+}
+
+TEST(Purity, FlagsHeapAllocWithCallChain) {
+  const auto report = purity({{"src/mmhand/x/a.cpp",
+                               "namespace mmhand::x {\n"
+                               "void helper(std::vector<int>& v) {\n"
+                               "  v.push_back(1);\n"
+                               "}\n"
+                               "MMHAND_REALTIME void hot() {\n"
+                               "  std::vector<int> v;\n"
+                               "  helper(v);\n"
+                               "}\n"
+                               "}\n"}});
+  const PurityRoot& root = only_root(report);
+  EXPECT_EQ(root.name, "mmhand::x::hot");
+  ASSERT_FALSE(root.hits.empty());
+  const PurityHit& hit = root.hits.front();
+  EXPECT_EQ(hit.category, "heap-alloc");
+  EXPECT_EQ(hit.token, "push_back");
+  EXPECT_EQ(hit.function, "mmhand::x::helper");
+  EXPECT_EQ(hit.line, 3);
+  ASSERT_EQ(hit.chain.size(), 2u);
+  EXPECT_EQ(hit.chain[0], "mmhand::x::hot");
+  EXPECT_EQ(hit.chain[1], "mmhand::x::helper");
+  EXPECT_FALSE(purity_clean(report));
+}
+
+TEST(Purity, FlagsNewExpressionInRootItself) {
+  const auto report = purity(
+      {{"src/mmhand/x/a.cpp",
+        "MMHAND_REALTIME int* hot() { return new int(3); }\n"}});
+  const PurityRoot& root = only_root(report);
+  ASSERT_EQ(root.hits.size(), 1u);
+  EXPECT_EQ(root.hits[0].category, "heap-alloc");
+  EXPECT_EQ(root.hits[0].token, "new");
+  EXPECT_EQ(root.hits[0].chain.size(), 1u);
+}
+
+TEST(Purity, FlagsLocks) {
+  const auto report = purity({{"src/mmhand/x/a.cpp",
+                               "void guard() {\n"
+                               "  std::lock_guard<std::mutex> lk(mu);\n"
+                               "}\n"
+                               "MMHAND_REALTIME void hot() { guard(); }\n"}});
+  const PurityRoot& root = only_root(report);
+  ASSERT_FALSE(root.hits.empty());
+  EXPECT_EQ(root.hits[0].category, "lock");
+  EXPECT_EQ(root.hits[0].function, "guard");
+}
+
+TEST(Purity, FlagsThrow) {
+  const auto report = purity(
+      {{"src/mmhand/x/a.cpp",
+        "void fail() { throw std::runtime_error(\"x\"); }\n"
+        "MMHAND_REALTIME void hot() { fail(); }\n"}});
+  ASSERT_FALSE(only_root(report).hits.empty());
+  EXPECT_EQ(only_root(report).hits[0].category, "throw");
+  EXPECT_EQ(only_root(report).hits[0].token, "throw");
+}
+
+TEST(Purity, FlagsIoAndSyscalls) {
+  const auto io = purity(
+      {{"src/mmhand/x/a.cpp",
+        "void log_it() { std::fprintf(stderr, \"x\"); }\n"
+        "MMHAND_REALTIME void hot() { log_it(); }\n"}});
+  ASSERT_FALSE(only_root(io).hits.empty());
+  EXPECT_EQ(only_root(io).hits[0].category, "io");
+
+  const auto sys = purity(
+      {{"src/mmhand/x/a.cpp",
+        "void pause_it() { std::this_thread::sleep_for(ms); }\n"
+        "MMHAND_REALTIME void hot() { pause_it(); }\n"}});
+  ASSERT_FALSE(only_root(sys).hits.empty());
+  EXPECT_EQ(only_root(sys).hits[0].category, "syscall");
+  EXPECT_EQ(only_root(sys).hits[0].token, "sleep_for");
+}
+
+TEST(Purity, ChainsSpanFiles) {
+  const auto report = purity(
+      {{"src/mmhand/x/a.cpp",
+        "MMHAND_REALTIME void hot() { mid(); }\n"},
+       {"src/mmhand/x/b.cpp", "void mid() { deep(); }\n"},
+       {"src/mmhand/x/c.cpp", "void deep() { malloc(8); }\n"}});
+  const PurityRoot& root = only_root(report);
+  ASSERT_FALSE(root.hits.empty());
+  const PurityHit& hit = root.hits.front();
+  EXPECT_EQ(hit.file, "src/mmhand/x/c.cpp");
+  ASSERT_EQ(hit.chain.size(), 3u);
+  EXPECT_EQ(hit.chain[1], "mid");
+  EXPECT_EQ(hit.chain[2], "deep");
+}
+
+TEST(Purity, AuditedFunctionsAreOpaque) {
+  const Files files = {{"src/mmhand/x/a.cpp",
+                        "namespace mmhand::x {\n"
+                        "float* scratch(std::size_t n) {\n"
+                        "  static thread_local std::vector<float> v;\n"
+                        "  if (v.size() < n) v.resize(n);\n"
+                        "  return v.data();\n"
+                        "}\n"
+                        "MMHAND_REALTIME void hot() { scratch(16); }\n"
+                        "}\n"}};
+  EXPECT_FALSE(purity_clean(purity(files)));
+
+  PurityConfig cfg;
+  cfg.audited.push_back({"x::scratch", "grow-on-demand scratch"});
+  const auto report = purity(files, cfg);
+  EXPECT_TRUE(purity_clean(report));
+  EXPECT_EQ(only_root(report).audited, 1u);
+}
+
+TEST(Purity, AuditedRootIsStillScanned) {
+  // Auditing prunes traversal *into* a function reached from a root; a
+  // root's own body is always scanned.
+  PurityConfig cfg;
+  cfg.audited.push_back({"hot", "should not exempt the root itself"});
+  const auto report = purity(
+      {{"src/mmhand/x/a.cpp",
+        "MMHAND_REALTIME void hot() { malloc(8); }\n"}},
+      cfg);
+  EXPECT_FALSE(purity_clean(report));
+}
+
+TEST(Purity, AmbiguousTerminalsDoNotResolve) {
+  // `state.load(...)` must not edge into an unrelated impure `load`.
+  const auto report = purity(
+      {{"src/mmhand/x/a.cpp",
+        "MMHAND_REALTIME int hot() { return g_state.load(); }\n"},
+       {"src/mmhand/x/b.cpp",
+        "void CheckpointReader::load() { std::fopen(\"f\", \"r\"); }\n"}});
+  EXPECT_TRUE(purity_clean(report));
+  EXPECT_GE(report.unresolved_calls, 1u);
+}
+
+TEST(Purity, QualifiedCallsPreferExactMatch) {
+  // Two `init` definitions; the qualified call resolves to ns_b only,
+  // so ns_a's impure body stays out of the closure.
+  const auto report = purity(
+      {{"src/mmhand/x/a.cpp",
+        "namespace ns_a { void init() { malloc(8); } }\n"
+        "namespace ns_b { void init() { } }\n"
+        "MMHAND_REALTIME void hot() { ns_b::init(); }\n"}});
+  EXPECT_TRUE(purity_clean(report));
+}
+
+TEST(Purity, MacroBodiesJoinTheGraph) {
+  const auto report = purity(
+      {{"src/mmhand/x/a.hpp",
+        "#define X_FAIL(msg) \\\n"
+        "  do { throw std::runtime_error(msg); } while (0)\n"},
+       {"src/mmhand/x/a.cpp",
+        "MMHAND_REALTIME void hot() { X_FAIL(\"boom\"); }\n"}});
+  const PurityRoot& root = only_root(report);
+  ASSERT_FALSE(root.hits.empty());
+  EXPECT_EQ(root.hits[0].category, "throw");
+  EXPECT_EQ(root.hits[0].function, "X_FAIL");
+  EXPECT_EQ(root.hits[0].file, "src/mmhand/x/a.hpp");
+}
+
+TEST(Purity, CommentsStringsAndRawStringsAreInvisible) {
+  const auto report = purity(
+      {{"src/mmhand/x/a.cpp",
+        "MMHAND_REALTIME void hot() {\n"
+        "  // malloc(8) would be bad here\n"
+        "  const char* s = \"malloc\";\n"
+        "  const char* r = R\"(throw new std::mutex)\";\n"
+        "  use(s, r);\n"
+        "}\n"}});
+  EXPECT_TRUE(purity_clean(report));
+}
+
+TEST(Purity, CleanTreeReportsRootsAndCounts) {
+  const auto report = purity(
+      {{"src/mmhand/x/a.cpp",
+        "int square(int v) { return v * v; }\n"
+        "MMHAND_REALTIME int hot(int v) { return square(v); }\n"}});
+  EXPECT_TRUE(purity_clean(report));
+  const PurityRoot& root = only_root(report);
+  EXPECT_EQ(root.reachable, 2u);
+  EXPECT_EQ(root.line, 2);
+  EXPECT_EQ(report.functions_indexed, 2u);
+  EXPECT_EQ(report.files_scanned, 1u);
+}
+
+TEST(Purity, DefaultConfigAndJsonParsing) {
+  EXPECT_FALSE(default_purity_config().audited.empty());
+
+  PurityConfig cfg;
+  std::string error;
+  ASSERT_TRUE(parse_purity_allowlist_json(
+      "{\"audited\": [{\"function\": \"x::f\", \"reason\": \"why\"}]}",
+      &cfg, &error))
+      << error;
+  ASSERT_EQ(cfg.audited.size(), 1u);
+  EXPECT_EQ(cfg.audited[0].function, "x::f");
+  EXPECT_EQ(cfg.audited[0].reason, "why");
+
+  EXPECT_FALSE(parse_purity_allowlist_json("{\"audited\": [{}]}",
+                                           &cfg, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(parse_purity_allowlist_json("not json", &cfg, &error));
+}
+
+TEST(Purity, JsonReportShape) {
+  const auto report = purity(
+      {{"src/mmhand/x/a.cpp",
+        "void leak() { malloc(8); }\n"
+        "MMHAND_REALTIME void hot() { leak(); }\n"}});
+  std::string error;
+  const json::Value v = json::Value::parse(purity_to_json(report), &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(v.string_or("tool", ""), "mmhand_purity");
+  EXPECT_EQ(v.number_or("total_hits", 0), 1.0);
+  const json::Value* roots = v.find("roots");
+  ASSERT_NE(roots, nullptr);
+  ASSERT_TRUE(roots->is_array());
+  ASSERT_EQ(roots->as_array().size(), 1u);
+  const json::Value& root = roots->as_array()[0];
+  EXPECT_EQ(root.string_or("root", ""), "hot");
+  const json::Value* hits = root.find("hits");
+  ASSERT_NE(hits, nullptr);
+  ASSERT_EQ(hits->as_array().size(), 1u);
+  EXPECT_EQ(hits->as_array()[0].string_or("category", ""), "heap-alloc");
 }
 
 }  // namespace

@@ -161,8 +161,9 @@ void check_header_hygiene(const std::string& path, const std::string& raw,
 }
 
 void check_raw_alloc(const std::string& path, const std::string& stripped,
-                     std::vector<Finding>& out) {
+                     const Config& cfg, std::vector<Finding>& out) {
   const char* rule = "no-raw-alloc";
+  if (contains(cfg.raw_alloc_allow, path)) return;
   for (const char* token : {"malloc", "calloc", "realloc"})
     flag_all(out, path, stripped, token, rule,
              std::string(token) + " in library code; use std::vector or"
@@ -334,6 +335,9 @@ Config default_config() {
   cfg.durable_write_allow = {
       "src/mmhand/common/io_safe.cpp",
   };
+  cfg.raw_alloc_allow = {
+      "src/mmhand/obs/alloc.cpp",
+  };
   return cfg;
 }
 
@@ -372,17 +376,46 @@ bool parse_allowlist_json(const std::string& text, Config* cfg,
   if (!load("getenv", &cfg->getenv_allow, &err) ||
       !load("direct_io", &cfg->io_allow, &err) ||
       !load("raw_rng", &cfg->rng_allow, &err) ||
-      !load("durable_write", &cfg->durable_write_allow, &err)) {
+      !load("durable_write", &cfg->durable_write_allow, &err) ||
+      !load("raw_alloc", &cfg->raw_alloc_allow, &err)) {
     if (error != nullptr) *error = err;
     return false;
   }
   return true;
 }
 
+namespace {
+
+/// True when the `"` at `i` opens a raw string literal: immediately
+/// preceded by `R` with an optional `u8`/`u`/`U`/`L` encoding prefix,
+/// and that prefix is not the tail of a longer identifier
+/// (`FooR"..."` is not a raw string).
+bool is_raw_string_quote(const std::string& src, std::size_t i) {
+  if (i == 0 || src[i - 1] != 'R') return false;
+  std::size_t p = i - 1;  // index of 'R'
+  if (p >= 2 && src[p - 2] == 'u' && src[p - 1] == '8') {
+    p -= 2;
+  } else if (p >= 1 &&
+             (src[p - 1] == 'u' || src[p - 1] == 'U' || src[p - 1] == 'L')) {
+    p -= 1;
+  }
+  return p == 0 || !is_ident_char(src[p - 1]);
+}
+
+}  // namespace
+
 std::string strip_comments_and_strings(const std::string& src) {
   std::string out = src;
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString
+  };
   State state = State::kCode;
+  std::string raw_close;  // ")delim\"" of the open raw string
   for (std::size_t i = 0; i < src.size(); ++i) {
     const char c = src[i];
     const char next = i + 1 < src.size() ? src[i + 1] : '\0';
@@ -394,17 +427,45 @@ std::string strip_comments_and_strings(const std::string& src) {
         } else if (c == '/' && next == '*') {
           state = State::kBlockComment;
           out[i] = ' ';
+        } else if (c == '"' && is_raw_string_quote(src, i)) {
+          // R"delim( ... )delim": no escapes inside; the literal ends
+          // only at the matching close sequence.
+          std::size_t open = src.find('(', i + 1);
+          if (open == std::string::npos) break;  // ill-formed; give up
+          raw_close = ")" + src.substr(i + 1, open - i - 1) + "\"";
+          for (std::size_t j = i + 1; j <= open; ++j)
+            if (src[j] != '\n') out[j] = ' ';
+          i = open;
+          state = State::kRawString;
         } else if (c == '"') {
           state = State::kString;
         } else if (c == '\'') {
           state = State::kChar;
         }
         break;
-      case State::kLineComment:
-        if (c == '\n')
+      case State::kRawString:
+        if (c == ')' && src.compare(i, raw_close.size(), raw_close) == 0) {
+          // Blank the close delimiter too, leaving only the final quote
+          // so downstream scans still see a string ended here.
+          for (std::size_t j = i; j + 1 < i + raw_close.size(); ++j)
+            if (src[j] != '\n') out[j] = ' ';
+          i += raw_close.size() - 1;
           state = State::kCode;
-        else
+        } else if (c != '\n') {
           out[i] = ' ';
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\\' && next == '\n') {
+          // Backslash-newline splices the next line into this comment
+          // ([lex.phases]); the comment does not end at this newline.
+          out[i] = ' ';
+          ++i;  // keep the newline char, stay in the comment
+        } else if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
         break;
       case State::kBlockComment:
         if (c == '*' && next == '/') {
@@ -448,7 +509,7 @@ std::vector<Finding> check_file(const std::string& path,
     check_getenv(path, stripped, cfg, out);
     check_direct_io(path, stripped, cfg, out);
     check_rng(path, stripped, cfg, out);
-    check_raw_alloc(path, stripped, out);
+    check_raw_alloc(path, stripped, cfg, out);
     check_simd_confinement(path, stripped, out);
     check_pmu_confinement(path, stripped, out);
     check_durable_write(path, content, stripped, cfg, out);

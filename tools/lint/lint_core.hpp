@@ -43,6 +43,9 @@ struct Config {
   /// Files permitted to open binary write streams directly (rule
   /// durable-write) — the durable-IO layer itself.
   std::vector<std::string> durable_write_allow;
+  /// Files permitted raw malloc/free (rule no-raw-alloc) — the
+  /// operator-new interposer, which must not allocate through itself.
+  std::vector<std::string> raw_alloc_allow;
   /// MMHAND_* env-var names documented in the README table
   /// (rule env-var-docs).
   std::vector<std::string> documented_env;
@@ -53,7 +56,8 @@ struct Config {
 Config default_config();
 
 /// Merges scripts/lint_allowlist.json (keys "getenv", "direct_io",
-/// "raw_rng", "durable_write": arrays of paths) into `cfg`.  Returns
+/// "raw_rng", "durable_write", "raw_alloc": arrays of paths) into
+/// `cfg`.  Returns
 /// false and sets `*error` on malformed input.
 bool parse_allowlist_json(const std::string& text, Config* cfg,
                           std::string* error);

@@ -343,7 +343,7 @@ void report_history(const std::vector<Value>& records, std::ostream& os) {
     const std::time_t t = static_cast<std::time_t>(ts);
     std::tm tm{};
     if (gmtime_r(&t, &tm) == nullptr) return "?";
-    char buf[16];
+    char buf[32];
     std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", tm.tm_year + 1900,
                   tm.tm_mon + 1, tm.tm_mday);
     return buf;
@@ -414,10 +414,84 @@ void report_lint(const Value& lint, std::ostream& os) {
   os << "\n";
 }
 
+/// "Hot-path purity" section from `mmhand_lint --purity --json` plus an
+/// optional `mmhand_purity_probe --json` runtime figure.
+void report_purity(const Value& purity, const Value* probe,
+                   std::ostream& os) {
+  os << "## Hot-path purity\n\n";
+  const int hits = static_cast<int>(purity.number_or("total_hits", 0));
+  const Value* roots = purity.find("roots");
+  const std::size_t n_roots =
+      roots != nullptr && roots->is_array() ? roots->as_array().size() : 0;
+  if (hits == 0) {
+    os << "**mmhand_lint --purity: clean** — no deny-class token reachable"
+       << " from any of the " << n_roots << " MMHAND_REALTIME root(s).\n\n";
+  } else {
+    os << "mmhand_lint --purity: **" << hits << " deny hit(s)** across "
+       << n_roots << " root(s).\n\n";
+  }
+  if (n_roots > 0) {
+    os << "| root | file | reachable | audited | deny hits |\n"
+       << "|---|---|---|---|---|\n";
+    for (const Value& r : roots->as_array()) {
+      const Value* rh = r.find("hits");
+      const std::size_t nh =
+          rh != nullptr && rh->is_array() ? rh->as_array().size() : 0;
+      os << "| `" << r.string_or("root", "?") << "` | "
+         << r.string_or("file", "?") << " | "
+         << static_cast<int>(r.number_or("reachable", 0)) << " | "
+         << static_cast<int>(r.number_or("audited", 0)) << " | " << nh
+         << (nh == 0 ? " ✓" : " ✗") << " |\n";
+    }
+    os << "\n";
+    for (const Value& r : roots->as_array()) {
+      const Value* rh = r.find("hits");
+      if (rh == nullptr || !rh->is_array()) continue;
+      for (const Value& h : rh->as_array()) {
+        os << "- `" << h.string_or("token", "?") << "` ("
+           << h.string_or("category", "?") << ") at "
+           << h.string_or("file", "?") << ":"
+           << static_cast<int>(h.number_or("line", 0)) << " via `";
+        if (const Value* chain = h.find("chain");
+            chain != nullptr && chain->is_array()) {
+          bool first = true;
+          for (const Value& link : chain->as_array()) {
+            if (!first) os << " -> ";
+            os << link.string_or("", "?");
+            first = false;
+          }
+        }
+        os << "`\n";
+      }
+    }
+    if (hits > 0) os << "\n";
+  }
+  if (probe != nullptr) {
+    const Value* radar = probe->find("radar");
+    const Value* pose = probe->find("pose");
+    const int frames =
+        std::max(1, static_cast<int>(probe->number_or("frames", 1)));
+    os << "Runtime probe (`mmhand_purity_probe`, isa "
+       << probe->string_or("isa", "?") << ", " << frames
+       << " steady-state frame(s)): radar "
+       << fmt(radar != nullptr ? radar->number_or("allocs", -1) /
+                                     static_cast<double>(frames)
+                               : -1.0,
+              3)
+       << " alloc(s)/frame, pose "
+       << fmt(pose != nullptr ? pose->number_or("allocs", -1) /
+                                    static_cast<double>(frames)
+                              : -1.0,
+              1)
+       << " alloc(s)/forward (reported, not gated).\n\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string runlog_path, metrics_path, lint_path, history_path, out_path;
+  std::string purity_path, probe_path;
   std::vector<std::string> bench_paths;
   bool roofline = false;
   for (int i = 1; i < argc; ++i) {
@@ -437,13 +511,18 @@ int main(int argc, char** argv) {
       if (const char* v = next()) history_path = v;
     } else if (arg == "--lint") {
       if (const char* v = next()) lint_path = v;
+    } else if (arg == "--purity") {
+      if (const char* v = next()) purity_path = v;
+    } else if (arg == "--probe") {
+      if (const char* v = next()) probe_path = v;
     } else if (arg == "-o" || arg == "--out") {
       if (const char* v = next()) out_path = v;
     } else {
       std::fprintf(stderr,
                    "usage: mmhand_report [--runlog FILE] [--metrics FILE]"
                    " [--roofline] [--bench FILE]... [--history FILE]"
-                   " [--lint FILE] [-o OUT.md]\n");
+                   " [--lint FILE] [--purity FILE] [--probe FILE]"
+                   " [-o OUT.md]\n");
       return arg == "-h" || arg == "--help" ? 0 : 2;
     }
   }
@@ -559,10 +638,49 @@ int main(int argc, char** argv) {
     ++inputs;
   }
 
+  if (!purity_path.empty()) {
+    bool ok = false;
+    const std::string text = slurp(purity_path, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "cannot read purity report %s\n",
+                   purity_path.c_str());
+      return 1;
+    }
+    std::string err;
+    const Value purity = Value::parse(text, &err);
+    if (!err.empty()) {
+      std::fprintf(stderr, "purity %s: %s\n", purity_path.c_str(),
+                   err.c_str());
+      return 1;
+    }
+    Value probe;
+    bool have_probe = false;
+    if (!probe_path.empty()) {
+      const std::string probe_text = slurp(probe_path, &ok);
+      if (!ok) {
+        std::fprintf(stderr, "cannot read probe report %s\n",
+                     probe_path.c_str());
+        return 1;
+      }
+      probe = Value::parse(probe_text, &err);
+      if (!err.empty()) {
+        std::fprintf(stderr, "probe %s: %s\n", probe_path.c_str(),
+                     err.c_str());
+        return 1;
+      }
+      have_probe = true;
+    }
+    report_purity(purity, have_probe ? &probe : nullptr, os);
+    ++inputs;
+  } else if (!probe_path.empty()) {
+    std::fprintf(stderr, "--probe needs --purity FILE\n");
+    return 2;
+  }
+
   if (inputs == 0) {
     std::fprintf(stderr,
                  "nothing to report: pass --runlog, --metrics, --bench,"
-                 " or --lint\n");
+                 " --lint, or --purity\n");
     return 2;
   }
 
