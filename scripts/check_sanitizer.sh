@@ -26,8 +26,8 @@ case "$MODE" in
     # TSan's interest is the pool and the layers that share buffers
     # across it, so only the threaded suites are built and run.
     SAN_FLAGS="-fsanitize=thread"
-    TARGETS="test_common test_parallel test_radar test_obs"
-    FILTER="test_common|test_parallel|test_radar|test_obs"
+    TARGETS="test_common test_parallel test_radar test_obs test_serve"
+    FILTER="test_common|test_parallel|test_radar|test_obs|test_serve"
     LABEL="TSan"
     ;;
   ubsan)

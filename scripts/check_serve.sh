@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# Serving gate: proves the streaming multi-session layer end to end.
+#
+# Leg 1 is the seeded chaos soak from the acceptance bar: 32 sessions at
+# 2x the steady frame rate with MMHAND_FAULT churn/burst/stall injecting
+# client chaos.  mmhand_soak exits non-zero unless every invariant holds
+# (bounded queues, zero starved sessions, clean drain, p99 deadline
+# compliance); the JSON is re-checked here so a silent driver bug can't
+# fake a pass.
+#
+# Leg 2 pushes far past capacity (40x) under both shedding policies and
+# requires the control plane to actually engage: drop_oldest must shed,
+# reject_new must provoke client retries — while the invariants above
+# still hold.
+#
+# Leg 3 is drained-server parity: every pose a drained server delivered
+# must be bitwise identical to the offline pipeline at 1 thread and at 4
+# threads (cross-session batching and the tensor pool must not perturb a
+# single ULP).
+#
+# Leg 4 is the crash story: a long soak with the flight recorder mapped
+# is SIGKILLed mid-batch and the binary ring it leaves behind must
+# render (mmhand_top --flight) with serve-layer spans in the history.
+#
+# Usage: scripts/check_serve.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build}
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j --target mmhand_soak mmhand_top
+
+SOAK="$BUILD_DIR/tools/mmhand_soak"
+TOP="$BUILD_DIR/tools/mmhand_top"
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+FAULTS="churn=0.01,burst=0.05,stall=0.02,seed=9"
+
+echo "== leg 1: seeded chaos soak (32 sessions, 2x overload) =="
+MMHAND_FAULT="$FAULTS" \
+  "$SOAK" soak --sessions 32 --overload 2 --seconds 2.0 \
+  --json "$WORK/soak.json"
+python3 - "$WORK/soak.json" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["pass"], f"soak invariants failed: {r}"
+assert r["starved_sessions"] == 0, r
+assert r["bounded"] and r["drained"], r
+assert r["churns"] + r["bursts"] + r["stalls"] > 0, \
+    f"fault injection never fired: {r}"
+print(f"chaos soak ok: {r['completed']} windows, compliance "
+      f"{r['compliance']:.4f}, p99 {r['e2e_p99_us']:.0f} us, "
+      f"{r['churns']} churns / {r['bursts']} bursts / {r['stalls']} stalls")
+PY
+
+echo "== leg 2: overload control plane must engage (40x) =="
+MMHAND_FAULT="$FAULTS" \
+  "$SOAK" soak --sessions 8 --overload 40 --seconds 1.5 \
+  --policy drop_oldest --json "$WORK/shed.json"
+MMHAND_FAULT="$FAULTS" \
+  "$SOAK" soak --sessions 8 --overload 40 --seconds 1.5 \
+  --policy reject_new --json "$WORK/reject.json"
+python3 - "$WORK/shed.json" "$WORK/reject.json" <<'PY'
+import json, sys
+shed = json.load(open(sys.argv[1]))
+rej = json.load(open(sys.argv[2]))
+assert shed["pass"], f"drop_oldest leg failed invariants: {shed}"
+assert rej["pass"], f"reject_new leg failed invariants: {rej}"
+assert shed["shed"] > 0, f"drop_oldest never shed at 40x: {shed}"
+assert rej["retries"] > 0, f"reject_new never provoked a retry: {rej}"
+print(f"overload ok: drop_oldest shed {shed['shed']} windows "
+      f"(degraded {shed['degraded']}), reject_new drove "
+      f"{rej['retries']} client retries")
+PY
+
+echo "== leg 3: drained-server bitwise parity (1 and 4 threads) =="
+for t in 1 4; do
+  "$SOAK" parity --sessions 3 --threads "$t" --json "$WORK/parity$t.json"
+done
+python3 - "$WORK/parity1.json" "$WORK/parity4.json" <<'PY'
+import json, sys
+for path in sys.argv[1:]:
+    r = json.load(open(path))
+    assert r["pass"] and r["mismatched"] == 0, f"parity broke: {r}"
+    print(f"parity ok at {r['threads']} thread(s): {r['compared']} floats, "
+          f"0 mismatches")
+PY
+
+echo "== leg 4: SIGKILL mid-soak, flight ring must tell the story =="
+rendered=0
+for attempt in 1 2 3; do
+  rm -f "$WORK/flight.ring"
+  MMHAND_FAULT="$FAULTS" MMHAND_FLIGHT="$WORK/flight.ring,slots=512" \
+    "$SOAK" soak --sessions 8 --overload 4 --seconds 30 --json - &
+  pid=$!
+  sleep 1
+  if ! kill -9 "$pid" 2>/dev/null; then
+    echo "victim soak exited before the kill landed; retrying" >&2
+    wait "$pid" 2>/dev/null || true
+    continue
+  fi
+  wait "$pid" 2>/dev/null || true
+  "$TOP" --flight "$WORK/flight.ring" > "$WORK/flight.txt" || continue
+  if grep -q "end of flight dump" "$WORK/flight.txt" &&
+     grep -q "serve/" "$WORK/flight.txt"; then
+    rendered=1
+    break
+  fi
+done
+if [ "$rendered" -ne 1 ]; then
+  echo "flight ring never rendered serve spans after a SIGKILL" >&2
+  exit 1
+fi
+echo "flight ring rendered serve spans after SIGKILL (attempt $attempt)"
+
+echo "Serve check clean."

@@ -92,9 +92,22 @@ echo "===== purity check ====="
 scripts/check_purity.sh build
 build/tools/mmhand_purity_probe --json > mmhand_probe.json
 
+echo "===== serving check ====="
+# Seeded chaos soak (32 sessions, churn+burst+stall, 2x overload),
+# 40x overload shedding under both policies, drained-server bitwise
+# parity at 1 and 4 threads, and a SIGKILL flight-ring render
+# (see scripts/check_serve.sh and DESIGN.md §13).
+scripts/check_serve.sh build
+# Keep one soak + parity report for the merged markdown below.
+build/tools/mmhand_soak soak --sessions 8 --overload 2 --seconds 1.0 \
+  --json mmhand_soak.json
+build/tools/mmhand_soak parity --threads 4 --json mmhand_parity.json
+
 echo "===== merged report ====="
 build/tools/mmhand_report --runlog mmhand_runlog.jsonl \
   --metrics mmhand_metrics.json --bench BENCH_throughput.json \
+  --bench BENCH_serve.json \
+  --serve mmhand_soak.json --serve mmhand_parity.json \
   --lint mmhand_lint.json --purity mmhand_purity.json \
   --probe mmhand_probe.json --history bench/history.jsonl -o mmhand_report.md
 
@@ -118,6 +131,9 @@ echo "===== bench regression check (report-only) ====="
 if command -v python3 > /dev/null; then
   python3 scripts/check_bench.py --append-history bench/history.jsonl \
     --note "run_all"
+  python3 scripts/check_bench.py --current BENCH_serve.json \
+    --baseline bench/baseline/BENCH_serve.baseline.json \
+    --append-history bench/history.jsonl --note "run_all serve"
 else
   echo "python3 unavailable; skipping check_bench"
 fi

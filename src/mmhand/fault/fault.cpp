@@ -79,6 +79,12 @@ const char* kind_name(Kind kind) {
       return "fsync_fail";
     case Kind::kBitFlip:
       return "bit_flip";
+    case Kind::kChurn:
+      return "churn";
+    case Kind::kBurst:
+      return "burst";
+    case Kind::kStall:
+      return "stall";
   }
   return "?";
 }
@@ -117,7 +123,8 @@ Spec parse_spec(const std::string& text) {
                                 << key
                                 << "' is not a fault kind (drop_frame, gap,"
                                    " saturate, nan_burst, short_write,"
-                                   " fsync_fail, bit_flip) or 'seed'");
+                                   " fsync_fail, bit_flip, churn, burst,"
+                                   " stall) or 'seed'");
     double rate = -1.0;
     try {
       rate = std::stod(value, &consumed);

@@ -46,8 +46,11 @@ enum class Kind {
   kShortWrite,     ///< io: durable write truncated partway through
   kFsyncFail,      ///< io: fsync reports failure before the rename
   kBitFlip,        ///< io: one bit flipped in a payload on read
+  kChurn,          ///< serve: a client leaves and rejoins mid-stream
+  kBurst,          ///< serve: a client floods extra frames at once
+  kStall,          ///< serve: a client goes silent for a run of ticks
 };
-inline constexpr int kNumKinds = 7;
+inline constexpr int kNumKinds = 10;
 
 /// Parsed fault specification: per-kind Bernoulli rates plus the stream
 /// seed.

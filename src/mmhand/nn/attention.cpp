@@ -19,9 +19,12 @@ Tensor FrameChannelAttention::forward(const Tensor& x, bool training) {
   const int st = x.dim(0);
   const std::size_t frame_elems = x.numel() / static_cast<std::size_t>(st);
 
-  // Per-frame descriptor: TGAP + TGMP over (C, H, W).
+  // Per-frame descriptor: TGAP + TGMP over (C, H, W).  The argmax
+  // positions only feed the backward pass, so inference skips the
+  // index buffer (keeps the forward allocation-free under pooling).
   Tensor desc({st, 1});
-  std::vector<std::size_t> max_idx(static_cast<std::size_t>(st));
+  std::vector<std::size_t> max_idx(
+      training ? static_cast<std::size_t>(st) : 0);
   for (int i = 0; i < st; ++i) {
     const float* xi = x.data() + static_cast<std::size_t>(i) * frame_elems;
     float sum = 0.0f, best = xi[0];
@@ -34,7 +37,7 @@ Tensor FrameChannelAttention::forward(const Tensor& x, bool training) {
       }
     }
     desc.at(i, 0) = sum / static_cast<float>(frame_elems) + best;
-    max_idx[static_cast<std::size_t>(i)] = best_idx;
+    if (training) max_idx[static_cast<std::size_t>(i)] = best_idx;
   }
 
   Tensor hidden = fc1_.forward(desc, training);
@@ -120,7 +123,8 @@ Tensor ChannelAttention::forward(const Tensor& x, bool training) {
   const std::size_t hw = static_cast<std::size_t>(h) * w;
 
   Tensor desc({n, 2 * channels_});
-  std::vector<std::size_t> max_idx(static_cast<std::size_t>(n) * channels_);
+  std::vector<std::size_t> max_idx(
+      training ? static_cast<std::size_t>(n) * channels_ : 0);
   for (int s = 0; s < n; ++s)
     for (int c = 0; c < channels_; ++c) {
       const float* xc = x.data() +
@@ -136,7 +140,8 @@ Tensor ChannelAttention::forward(const Tensor& x, bool training) {
       }
       desc.at(s, c) = sum / static_cast<float>(hw);
       desc.at(s, channels_ + c) = best;
-      max_idx[static_cast<std::size_t>(s) * channels_ + c] = best_idx;
+      if (training)
+        max_idx[static_cast<std::size_t>(s) * channels_ + c] = best_idx;
     }
 
   Tensor logits = fc_.forward(desc, training);
@@ -211,7 +216,8 @@ Tensor SpatialAttention::forward(const Tensor& x, bool training) {
   const int n = x.dim(0), c_dim = x.dim(1), h = x.dim(2), w = x.dim(3);
 
   Tensor maps({n, 2, h, w});
-  std::vector<int> max_channel(static_cast<std::size_t>(n) * h * w);
+  std::vector<int> max_channel(
+      training ? static_cast<std::size_t>(n) * h * w : 0);
   for (int s = 0; s < n; ++s)
     for (int i = 0; i < h; ++i)
       for (int j = 0; j < w; ++j) {
@@ -227,7 +233,9 @@ Tensor SpatialAttention::forward(const Tensor& x, bool training) {
         }
         maps.at(s, 0, i, j) = sum / static_cast<float>(c_dim);
         maps.at(s, 1, i, j) = best;
-        max_channel[(static_cast<std::size_t>(s) * h + i) * w + j] = best_c;
+        if (training)
+          max_channel[(static_cast<std::size_t>(s) * h + i) * w + j] =
+              best_c;
       }
 
   Tensor pre = conv_.forward(maps, training);

@@ -1,12 +1,29 @@
 #include "mmhand/nn/lstm.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "mmhand/nn/activations.hpp"
 #include "mmhand/nn/gemm.hpp"
 #include "mmhand/obs/trace.hpp"
 
 namespace mmhand::nn {
+
+namespace {
+
+/// Per-thread recurrent-state staging, grown on demand: steady-state
+/// inference forwards allocate nothing here (audited in
+/// scripts/purity_allowlist.json).  Slot selects between the disjoint
+/// buffers one forward needs live at once (h_prev, c_prev, step gates).
+float* lstm_scratch(int slot, std::size_t floats) {
+  thread_local std::vector<float> buf[3];
+  auto& b = buf[slot];
+  if (b.size() < floats) b.resize(floats);
+  return b.data();
+}
+
+}  // namespace
 
 Lstm::Lstm(int input_size, int hidden_size, Rng& rng)
     : input_(input_size),
@@ -46,14 +63,16 @@ Tensor Lstm::forward(const Tensor& x, bool training) {
   gemm_a_bt_acc(x.data(), w_ih_.value.data(), pre.data(), t_len, input_,
                 4 * h);
 
-  std::vector<float> h_prev(static_cast<std::size_t>(h), 0.0f);
-  std::vector<float> c_prev(static_cast<std::size_t>(h), 0.0f);
+  float* h_prev = lstm_scratch(0, static_cast<std::size_t>(h));
+  float* c_prev = lstm_scratch(1, static_cast<std::size_t>(h));
+  std::fill(h_prev, h_prev + h, 0.0f);
+  std::fill(c_prev, c_prev + h, 0.0f);
   for (int t = 0; t < t_len; ++t) {
     float* gt = gates.data() + static_cast<std::size_t>(t) * 4 * h;
     // Pre-activations: (W_ih x + b) batched above, plus W_hh h_prev.
     const float* pt = pre.data() + static_cast<std::size_t>(t) * 4 * h;
     std::copy(pt, pt + 4 * h, gt);
-    gemv_acc(w_hh_.value.data(), h_prev.data(), gt, 4 * h, h);
+    gemv_acc(w_hh_.value.data(), h_prev, gt, 4 * h, h);
     // Activations and state update.
     float* ct = cells.data() + static_cast<std::size_t>(t) * h;
     float* ht = hiddens.data() + static_cast<std::size_t>(t) * h;
@@ -69,8 +88,8 @@ Tensor Lstm::forward(const Tensor& x, bool training) {
       ct[j] = fg * c_prev[static_cast<std::size_t>(j)] + ig * gg;
       ht[j] = og * tanh_value(ct[j]);
     }
-    std::copy(ht, ht + h, h_prev.begin());
-    std::copy(ct, ct + h, c_prev.begin());
+    std::copy(ht, ht + h, h_prev);
+    std::copy(ct, ct + h, c_prev);
   }
 
   if (training) {
@@ -79,6 +98,69 @@ Tensor Lstm::forward(const Tensor& x, bool training) {
     cells_ = std::move(cells);
     hiddens_ = hiddens;
     return hiddens;
+  }
+  return hiddens;
+}
+
+Tensor Lstm::forward_sequences(const Tensor& x, int sequences) {
+  MMHAND_SPAN("nn/lstm_forward");
+  MMHAND_CHECK(x.rank() == 2 && x.dim(1) == input_,
+               "Lstm expects [B*T, " << input_ << "]");
+  MMHAND_CHECK(sequences >= 1 && x.dim(0) % sequences == 0,
+               "Lstm forward_sequences: dim0 " << x.dim(0)
+                                               << " not divisible into "
+                                               << sequences
+                                               << " sequences");
+  const int bsz = sequences;
+  const int t_len = x.dim(0) / bsz;
+  const int h = hidden_;
+  Tensor hiddens({bsz * t_len, h});
+
+  // Input projections for every (sample, timestep) row in one GEMM —
+  // per row this is the exact arithmetic of the single-sample pass.
+  Tensor pre({bsz * t_len, 4 * h});
+  for (int r0 = 0; r0 < bsz * t_len; ++r0) {
+    float* pt = pre.data() + static_cast<std::size_t>(r0) * 4 * h;
+    for (int r = 0; r < 4 * h; ++r)
+      pt[r] = bias_.value[static_cast<std::size_t>(r)];
+  }
+  gemm_a_bt_acc(x.data(), w_ih_.value.data(), pre.data(), bsz * t_len,
+                input_, 4 * h);
+
+  float* h_prev = lstm_scratch(0, static_cast<std::size_t>(bsz) * h);
+  float* c_prev = lstm_scratch(1, static_cast<std::size_t>(bsz) * h);
+  float* step = lstm_scratch(2, static_cast<std::size_t>(bsz) * 4 * h);
+  std::fill(h_prev, h_prev + static_cast<std::size_t>(bsz) * h, 0.0f);
+  std::fill(c_prev, c_prev + static_cast<std::size_t>(bsz) * h, 0.0f);
+  for (int t = 0; t < t_len; ++t) {
+    // Gather this timestep's pre-activations into a contiguous [B, 4H]
+    // block, then add the recurrent projection for all samples at once.
+    // gemm_a_bt_acc accumulates each output as one ascending-k scalar
+    // dot product — the same order gemv_acc uses in the single-sample
+    // path, so the sums round identically.
+    for (int b = 0; b < bsz; ++b) {
+      const float* pt =
+          pre.data() +
+          (static_cast<std::size_t>(b) * t_len + t) * 4 * h;
+      std::copy(pt, pt + 4 * h, step + static_cast<std::size_t>(b) * 4 * h);
+    }
+    gemm_a_bt_acc(h_prev, w_hh_.value.data(), step, bsz, h, 4 * h);
+    for (int b = 0; b < bsz; ++b) {
+      float* gt = step + static_cast<std::size_t>(b) * 4 * h;
+      float* cb = c_prev + static_cast<std::size_t>(b) * h;
+      float* hb = h_prev + static_cast<std::size_t>(b) * h;
+      float* ht = hiddens.data() +
+                  (static_cast<std::size_t>(b) * t_len + t) * h;
+      for (int j = 0; j < h; ++j) {
+        const float ig = sigmoid_value(gt[j]);
+        const float fg = sigmoid_value(gt[h + j]);
+        const float gg = tanh_value(gt[2 * h + j]);
+        const float og = sigmoid_value(gt[3 * h + j]);
+        cb[j] = fg * cb[j] + ig * gg;
+        ht[j] = og * tanh_value(cb[j]);
+        hb[j] = ht[j];
+      }
+    }
   }
   return hiddens;
 }

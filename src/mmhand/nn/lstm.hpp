@@ -18,6 +18,13 @@ class Lstm : public Layer {
   /// (sequences are independent samples).
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
+  /// Cross-sequence batched inference: x is [B*T, input] with sample b
+  /// owning rows [b*T, (b+1)*T).  One big input-projection GEMM plus a
+  /// per-timestep [B x 4H] recurrent GEMM replace B independent scans;
+  /// every per-element summation order matches the single-sample path,
+  /// so each sample's rows are bitwise identical to forward() on that
+  /// sample alone (asserted by tests/test_serve.cpp).
+  Tensor forward_sequences(const Tensor& x, int sequences) override;
   std::vector<Parameter*> parameters() override {
     return {&w_ih_, &w_hh_, &bias_};
   }

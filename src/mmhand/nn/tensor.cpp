@@ -1,44 +1,195 @@
 #include "mmhand/nn/tensor.hpp"
 
+#include <atomic>
+#include <utility>
+
 namespace mmhand::nn {
 
 namespace {
 
-std::size_t shape_numel(const std::vector<int>& shape) {
-  std::size_t n = 1;
-  for (int d : shape) {
-    MMHAND_CHECK(d >= 1, "tensor dimension " << d);
-    n *= static_cast<std::size_t>(d);
-  }
-  return n;
+std::atomic<bool> g_pool_enabled{false};
+
+/// Bounded per-thread free list of float buffers.  `alive` is tracked
+/// through a raw thread_local pointer so releases that race thread
+/// teardown (static-duration tensors destroyed after the pool) degrade
+/// to plain deallocation instead of touching a dead object.
+struct FreeList {
+  // Enough slots for every live activation of a pose forward pass plus
+  // the serving layer's per-session workspaces; overflow buffers are
+  // freed normally (counted in `dropped`).
+  static constexpr std::size_t kMaxParked = 512;
+  std::vector<std::vector<float>> parked;
+  TensorPoolStats stats;
+};
+
+thread_local FreeList* t_free_list = nullptr;
+
+FreeList* ensure_free_list() {
+  struct Guard {
+    FreeList list;
+    Guard() { t_free_list = &list; }
+    ~Guard() { t_free_list = nullptr; }
+  };
+  thread_local Guard guard;
+  return t_free_list;
 }
 
 }  // namespace
 
-Tensor::Tensor(std::vector<int> shape)
-    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
-
-Tensor Tensor::zeros(std::vector<int> shape) {
-  return Tensor(std::move(shape));
+void set_tensor_pool_enabled(bool on) {
+  g_pool_enabled.store(on, std::memory_order_relaxed);
 }
 
-Tensor Tensor::full(std::vector<int> shape, float value) {
-  Tensor t(std::move(shape));
+bool tensor_pool_enabled() {
+  return g_pool_enabled.load(std::memory_order_relaxed);
+}
+
+TensorPoolStats tensor_pool_stats() {
+  const FreeList* fl = t_free_list;
+  if (fl == nullptr) return {};
+  TensorPoolStats s = fl->stats;
+  s.parked = fl->parked.size();
+  return s;
+}
+
+void tensor_pool_clear() {
+  FreeList* fl = t_free_list;
+  if (fl != nullptr) {
+    fl->parked.clear();
+    fl->parked.shrink_to_fit();
+  }
+}
+
+namespace detail {
+
+/// Fills `dst` with `n` zeros, reusing a parked buffer when the pool is
+/// on.  Audited in scripts/purity_allowlist.json: once the free list
+/// holds a buffer of every size a forward pass requests, this touches
+/// no heap.
+void tensor_pool_acquire(std::vector<float>* dst, std::size_t n) {
+  if (tensor_pool_enabled() && dst->capacity() < n) {
+    FreeList* fl = ensure_free_list();
+    if (fl != nullptr) {
+      // Smallest parked buffer that fits, so big buffers stay available
+      // for big requests.
+      std::size_t best = fl->parked.size();
+      for (std::size_t i = 0; i < fl->parked.size(); ++i) {
+        const std::size_t cap = fl->parked[i].capacity();
+        if (cap < n) continue;
+        if (best == fl->parked.size() ||
+            cap < fl->parked[best].capacity())
+          best = i;
+      }
+      if (best < fl->parked.size()) {
+        *dst = std::move(fl->parked[best]);
+        fl->parked[best] = std::move(fl->parked.back());
+        fl->parked.pop_back();
+        ++fl->stats.hits;
+        dst->assign(n, 0.0f);
+        return;
+      }
+      ++fl->stats.misses;
+    }
+  }
+  dst->assign(n, 0.0f);
+}
+
+/// Copies `src` into `dst` through the pool (same reuse rules as
+/// tensor_pool_acquire).
+void tensor_pool_copy(std::vector<float>* dst, const std::vector<float>& src) {
+  if (dst == &src) return;
+  const std::size_t n = src.size();
+  if (tensor_pool_enabled() && dst->capacity() < n) {
+    FreeList* fl = ensure_free_list();
+    if (fl != nullptr) {
+      std::size_t best = fl->parked.size();
+      for (std::size_t i = 0; i < fl->parked.size(); ++i) {
+        const std::size_t cap = fl->parked[i].capacity();
+        if (cap < n) continue;
+        if (best == fl->parked.size() ||
+            cap < fl->parked[best].capacity())
+          best = i;
+      }
+      if (best < fl->parked.size()) {
+        *dst = std::move(fl->parked[best]);
+        fl->parked[best] = std::move(fl->parked.back());
+        fl->parked.pop_back();
+        ++fl->stats.hits;
+        dst->assign(src.begin(), src.end());
+        return;
+      }
+      ++fl->stats.misses;
+    }
+  }
+  dst->assign(src.begin(), src.end());
+}
+
+/// Parks `buf` on the calling thread's free list (or frees it when the
+/// pool is off, the list is full, or the thread is tearing down).
+void tensor_pool_release(std::vector<float>* buf) noexcept {
+  if (buf->capacity() == 0) return;
+  if (!tensor_pool_enabled()) return;  // vector dtor frees as usual
+  FreeList* fl = t_free_list;
+  if (fl == nullptr) fl = ensure_free_list();
+  if (fl == nullptr || fl->parked.size() >= FreeList::kMaxParked) {
+    if (fl != nullptr) ++fl->stats.dropped;
+    return;
+  }
+  try {
+    fl->parked.push_back(std::move(*buf));
+  } catch (...) {
+    // push_back allocation failure: drop the buffer instead.
+  }
+}
+
+}  // namespace detail
+
+Tensor::Tensor(Shape shape) : shape_(shape) {
+  detail::tensor_pool_acquire(&data_, shape_.numel());
+}
+
+Tensor::~Tensor() { detail::tensor_pool_release(&data_); }
+
+Tensor::Tensor(const Tensor& other) : shape_(other.shape_) {
+  detail::tensor_pool_copy(&data_, other.data_);
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this != &other) {
+    shape_ = other.shape_;
+    detail::tensor_pool_copy(&data_, other.data_);
+  }
+  return *this;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this != &other) {
+    detail::tensor_pool_release(&data_);
+    shape_ = other.shape_;
+    data_ = std::move(other.data_);
+  }
+  return *this;
+}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(shape); }
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(shape);
   t.fill(value);
   return t;
 }
 
-Tensor Tensor::randn(std::vector<int> shape, Rng& rng, double stddev) {
-  Tensor t(std::move(shape));
+Tensor Tensor::randn(Shape shape, Rng& rng, double stddev) {
+  Tensor t(shape);
   for (auto& v : t.data_) v = static_cast<float>(rng.normal(0.0, stddev));
   return t;
 }
 
-Tensor Tensor::from_vector(std::vector<int> shape, std::vector<float> data) {
-  MMHAND_CHECK(shape_numel(shape) == data.size(),
+Tensor Tensor::from_vector(Shape shape, std::vector<float> data) {
+  MMHAND_CHECK(shape.numel() == data.size(),
                "from_vector: shape/data mismatch");
   Tensor t;
-  t.shape_ = std::move(shape);
+  t.shape_ = shape;
   t.data_ = std::move(data);
   return t;
 }
@@ -90,12 +241,11 @@ float Tensor::at(int i, int j, int k, int l) const {
   return data_[offset(i, j, k, l)];
 }
 
-Tensor Tensor::reshaped(std::vector<int> shape) const {
-  MMHAND_CHECK(shape_numel(shape) == numel(),
-               "reshape element count mismatch");
+Tensor Tensor::reshaped(Shape shape) const {
+  MMHAND_CHECK(shape.numel() == numel(), "reshape element count mismatch");
   Tensor t;
-  t.shape_ = std::move(shape);
-  t.data_ = data_;
+  t.shape_ = shape;
+  detail::tensor_pool_copy(&t.data_, data_);
   return t;
 }
 

@@ -122,7 +122,7 @@ bool load_checkpoint(const std::string& path, HandJointRegressor& model,
       (void)r.read_string();  // parameter name, informational
       const auto shape = r.read_i32_vector();
       auto v = r.read_f32_vector();
-      MMHAND_CHECK(shape == p->value.shape(),
+      MMHAND_CHECK(nn::Shape(shape) == p->value.shape(),
                    "checkpoint parameter shape mismatch");
       values.push_back(std::move(v));
     }

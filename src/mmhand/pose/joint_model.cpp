@@ -18,6 +18,15 @@ MmSpaceNetConfig resolve_spacenet(const PoseNetConfig& config) {
   return sn;
 }
 
+/// Per-thread staging for the per-frame median (nth_element mutates its
+/// input).  Grown on demand; capacity is retained so steady-state frame
+/// normalization never allocates.
+std::vector<float>& cube_median_scratch(std::size_t floats) {
+  thread_local std::vector<float> buf;
+  if (buf.capacity() < floats) buf.reserve(floats);
+  return buf;
+}
+
 }  // namespace
 
 void PoseNetConfig::validate() const {
@@ -99,6 +108,29 @@ nn::Tensor HandJointRegressor::forward(const nn::Tensor& x, bool training) {
   return head_.forward(seg, training);
 }
 
+MMHAND_REALTIME
+nn::Tensor HandJointRegressor::forward_batch(const nn::Tensor& x,
+                                             int batch) {
+  const int frames = config_.frames_per_sample();
+  MMHAND_CHECK(batch >= 1, "forward_batch batch " << batch);
+  MMHAND_CHECK(x.rank() == 4 && x.dim(0) == batch * frames &&
+                   x.dim(1) == config_.velocity_bins &&
+                   x.dim(2) == config_.range_bins &&
+                   x.dim(3) == config_.angle_bins,
+               "pose batch input shape mismatch");
+  // One conv-trunk pass over every frame of every sample: frames are
+  // independent through mmSpaceNet (per-frame attention pooling, per-
+  // sample conv batch loop), so the stacked pass equals per-sample
+  // passes bitwise.
+  nn::Tensor feat = spacenet_.forward(x, false);
+  nn::Tensor grouped = feat.reshaped(
+      {batch * config_.sequence_segments, flat_features_});
+  nn::Tensor seg = segment_fc_.forward(grouped, false);
+  seg = segment_act_.forward(seg, false);
+  if (temporal_) seg = temporal_->forward_sequences(seg, batch);
+  return head_.forward(seg, false);
+}
+
 void HandJointRegressor::backward(const nn::Tensor& grad) {
   MMHAND_CHECK(grad.rank() == 2 && grad.dim(0) == config_.sequence_segments &&
                    grad.dim(1) == 63,
@@ -177,8 +209,12 @@ void write_cube_frame(const radar::RadarCube& cube,
   // whose log-magnitude fluctuations would dominate the input energy; the
   // per-frame median estimates that floor robustly (the hand occupies only
   // a small fraction of cells), and clamping at zero leaves a sparse,
-  // signal-only tensor for the network.
-  std::vector<float> sorted(data);
+  // signal-only tensor for the network.  The nth_element staging buffer
+  // is per-thread grow-on-demand scratch (audited in
+  // scripts/purity_allowlist.json) so steady-state serving ingests
+  // frames without allocating.
+  std::vector<float>& sorted = cube_median_scratch(data.size());
+  sorted.assign(data.begin(), data.end());
   std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
                    sorted.end());
   const float floor =

@@ -51,6 +51,15 @@ class HandJointRegressor {
   /// Returns [S, 63]: 21 joints x (x, y, z) meters per segment.
   nn::Tensor forward(const nn::Tensor& x, bool training);
 
+  /// Cross-session batched inference: x is [B*S*st, V, D, A] with sample
+  /// b owning frame rows [b*S*st, (b+1)*S*st).  Returns [B*S, 63].  The
+  /// conv trunk treats frames independently, the per-segment projection
+  /// and head treat rows independently, and the temporal layer runs its
+  /// batched-sequence path, so each sample's output rows are bitwise
+  /// identical to forward() on that sample alone — the invariant behind
+  /// the serving layer's drained-parity guarantee.
+  nn::Tensor forward_batch(const nn::Tensor& x, int batch);
+
   /// grad: [S, 63].  Accumulates parameter gradients.
   void backward(const nn::Tensor& grad);
 

@@ -1,0 +1,58 @@
+#pragma once
+
+// Deterministic client-side retry backoff.
+//
+// Rejected submissions (admission, reject_new shedding) carry a
+// RetryAfter hint from the server; clients wait at least that long and
+// add jittered exponential backoff on consecutive rejections so a
+// thundering herd of synchronized retries cannot re-overload the
+// server the instant pressure clears.
+//
+// The jitter stream is a pure function of (seed, session, attempt) —
+// no global state, no wall clock — so every retry schedule is
+// reproducible and tests can assert exact delays.
+
+#include <cstdint>
+
+namespace mmhand::serve {
+
+namespace detail {
+
+/// splitmix64 mixer: stateless, full-period.  Same construction as the
+/// fault-injection streams so serving jitter never perturbs any
+/// simulation RNG stream.
+inline std::uint64_t backoff_mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace detail
+
+/// Delay in milliseconds before retry number `attempt` (0-based count
+/// of consecutive rejections) for a session's jitter stream.
+///
+/// The backoff window doubles per attempt from `base_ms` up to
+/// `cap_ms`; the delay is drawn uniformly from the window's upper half
+/// [window/2, window) — "equal jitter", which decorrelates clients
+/// while keeping a floor of half the window.  The result never drops
+/// below `retry_after_ms`, the server's hint.
+inline double backoff_delay_ms(std::uint64_t seed, std::uint64_t session,
+                               int attempt, double base_ms, double cap_ms,
+                               double retry_after_ms) {
+  if (attempt < 0) attempt = 0;
+  double window = base_ms;
+  for (int a = 0; a < attempt && window < cap_ms; ++a) window *= 2.0;
+  if (window > cap_ms) window = cap_ms;
+  const std::uint64_t draw = detail::backoff_mix64(
+      seed ^ (session * 0x9E3779B97F4A7C15ull) ^
+      (static_cast<std::uint64_t>(attempt) << 48));
+  // Top 53 bits -> uniform double in [0, 1).
+  const double u = static_cast<double>(draw >> 11) * 0x1.0p-53;
+  double delay = window * (0.5 + 0.5 * u);
+  if (delay < retry_after_ms) delay = retry_after_ms;
+  return delay;
+}
+
+}  // namespace mmhand::serve

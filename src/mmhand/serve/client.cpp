@@ -1,0 +1,125 @@
+#include "mmhand/serve/client.hpp"
+
+#include "mmhand/fault/fault.hpp"
+#include "mmhand/serve/backoff.hpp"
+
+namespace mmhand::serve {
+
+SimClient::SimClient(Server& server, const sim::Recording& recording,
+                     ClientConfig config)
+    : server_(server), recording_(recording), config_(config) {
+  MMHAND_CHECK(!recording_.frames.empty(), "SimClient needs frames");
+  MMHAND_CHECK(config_.frames_per_tick >= 1 && config_.tick_ms > 0.0,
+               "SimClient config");
+  (void)try_join();
+}
+
+void SimClient::poll_results() {
+  if (!have_session_) return;
+  static thread_local std::vector<WindowResult> results;
+  results.clear();
+  server_.poll(id_, &results);
+  for (const WindowResult& r : results) {
+    switch (r.disposition) {
+      case Disposition::kCompleted:
+        ++stats_.completed;
+        break;
+      case Disposition::kShed:
+        ++stats_.shed;
+        break;
+      case Disposition::kDeadlineMissed:
+        ++stats_.missed;
+        break;
+    }
+  }
+}
+
+bool SimClient::try_join() {
+  const JoinResult j = server_.join();
+  if (j.admitted) {
+    id_ = j.id;
+    have_session_ = true;
+    attempt_ = 0;
+    next_try_ms_ = now_ms_;
+    return true;
+  }
+  ++stats_.join_failures;
+  next_try_ms_ =
+      now_ms_ + backoff_delay_ms(config_.seed, id_ + 1, attempt_,
+                                 config_.base_ms, config_.cap_ms,
+                                 j.retry_after_ms);
+  ++attempt_;
+  return false;
+}
+
+bool SimClient::offer_frame() {
+  const radar::RadarCube& cube =
+      recording_.frames[cursor_ % recording_.frames.size()].cube;
+  ++stats_.submitted;
+  if (attempt_ > 0) ++stats_.retries;
+  const SubmitResult r = server_.submit(id_, cube);
+  if (r.accepted) {
+    ++cursor_;
+    ++stats_.accepted;
+    attempt_ = 0;
+    return true;
+  }
+  if (r.session_unknown) {
+    // The server forgot us (e.g. it was torn down and rebuilt around a
+    // live client): rejoin on a later tick.
+    have_session_ = false;
+    return false;
+  }
+  ++stats_.rejected;
+  next_try_ms_ =
+      now_ms_ + backoff_delay_ms(config_.seed, id_, attempt_,
+                                 config_.base_ms, config_.cap_ms,
+                                 r.retry_after_ms);
+  ++attempt_;
+  return false;
+}
+
+void SimClient::tick() {
+  now_ms_ += config_.tick_ms;
+  poll_results();
+
+  if (stall_left_ > 0) {
+    --stall_left_;
+    return;
+  }
+  if (fault::should_inject(fault::Kind::kStall)) {
+    stall_left_ = 1 + static_cast<int>(
+                          fault::draw_u64(fault::Kind::kStall) %
+                          static_cast<std::uint64_t>(
+                              config_.stall_ticks_max));
+    ++stats_.stalls;
+    return;
+  }
+  if (have_session_ && fault::should_inject(fault::Kind::kChurn)) {
+    server_.leave(id_);
+    have_session_ = false;
+    ++stats_.churns;
+    // Partial-window frames died with the session; rejoin below starts
+    // a fresh window, exactly like a reconnecting capture rig.
+  }
+  if (now_ms_ < next_try_ms_) return;  // backing off
+  if (!have_session_ && !try_join()) return;
+
+  int frames = config_.frames_per_tick;
+  if (fault::should_inject(fault::Kind::kBurst)) {
+    frames += config_.burst_frames;
+    ++stats_.bursts;
+  }
+  for (int f = 0; f < frames; ++f)
+    if (!offer_frame()) break;
+}
+
+void SimClient::finish() {
+  poll_results();
+  if (have_session_) {
+    server_.leave(id_);
+    have_session_ = false;
+  }
+}
+
+}  // namespace mmhand::serve

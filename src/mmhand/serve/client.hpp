@@ -1,0 +1,95 @@
+#pragma once
+
+// Simulated streaming client for soaks, benchmarks, and chaos tests.
+//
+// A SimClient replays one recording's radar cubes into a Server as if
+// it were a live capture session, driven by virtual ticks (one tick ~
+// one frame period).  It honors the server's control plane the way a
+// well-behaved production client would:
+//
+//   - rejected submissions and refused joins are retried with
+//     jittered exponential backoff (serve/backoff.hpp), never before
+//     the server's RetryAfter hint;
+//   - rejected frames are buffered and re-sent, so a survivable
+//     overload sheds work by server policy, not by client data loss.
+//
+// Chaos hooks: each tick consults the fault plane (MMHAND_FAULT) for
+// the serving fault kinds — churn= (leave and rejoin mid-stream),
+// burst= (a flood of extra frames in one tick), stall= (a run of
+// silent ticks).  All three draw from the deterministic per-kind
+// fault streams, so a soak replays bit-for-bit under a fixed seed and
+// single-threaded driving.
+
+#include <cstdint>
+
+#include "mmhand/serve/server.hpp"
+#include "mmhand/sim/dataset.hpp"
+
+namespace mmhand::serve {
+
+struct ClientConfig {
+  /// Frames offered per tick.  1 matches the capture rate; 2 models a
+  /// 2x overload (every client offering double-rate traffic).
+  int frames_per_tick = 1;
+  double tick_ms = 10.0;   ///< virtual tick duration for backoff math
+  double base_ms = 5.0;    ///< backoff window floor
+  double cap_ms = 80.0;    ///< backoff window ceiling
+  std::uint64_t seed = 1;  ///< jitter stream seed (shared per fleet)
+  int burst_frames = 4;    ///< extra frames injected by a burst fault
+  int stall_ticks_max = 8; ///< stall run length upper bound
+};
+
+struct ClientStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t completed = 0;  ///< windows with a delivered pose
+  std::uint64_t shed = 0;
+  std::uint64_t missed = 0;     ///< deadline-missed windows
+  std::uint64_t churns = 0;
+  std::uint64_t bursts = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t join_failures = 0;
+};
+
+class SimClient {
+ public:
+  /// The server and recording must outlive the client.  Joins
+  /// immediately; a refused join is retried with backoff on later
+  /// ticks.
+  SimClient(Server& server, const sim::Recording& recording,
+            ClientConfig config = {});
+
+  /// One virtual tick: poll results, consume chaos faults, offer
+  /// frames (cycling through the recording), retrying per backoff.
+  void tick();
+
+  /// Final poll + leave.  Safe to call once after the driving loop.
+  void finish();
+
+  const ClientStats& stats() const { return stats_; }
+  bool session_live() const { return have_session_; }
+  SessionId session() const { return id_; }
+
+ private:
+  void poll_results();
+  bool try_join();
+  /// Submits the cursor frame; advances on accept.  Returns false on a
+  /// rejection (backoff armed, stop offering this tick).
+  bool offer_frame();
+
+  Server& server_;
+  const sim::Recording& recording_;
+  const ClientConfig config_;
+  ClientStats stats_;
+  SessionId id_ = 0;
+  bool have_session_ = false;
+  std::size_t cursor_ = 0;   ///< next recording frame to stream
+  double now_ms_ = 0.0;      ///< virtual clock
+  double next_try_ms_ = 0.0; ///< earliest retry time (backoff)
+  int attempt_ = 0;          ///< consecutive rejections
+  int stall_left_ = 0;       ///< remaining silent ticks
+};
+
+}  // namespace mmhand::serve

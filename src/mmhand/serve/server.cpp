@@ -1,0 +1,461 @@
+#include "mmhand/serve/server.hpp"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "mmhand/obs/obs.hpp"
+#include "mmhand/pose/samples.hpp"
+
+namespace mmhand::serve {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Per-session latency histograms, folded onto a bounded set of slots
+/// so session churn cannot grow the metrics registry without bound.
+constexpr int kSessionSlots = 32;
+
+obs::Histogram& slot_histogram(SessionId id) {
+  static std::array<obs::Histogram*, kSessionSlots> slots = [] {
+    std::array<obs::Histogram*, kSessionSlots> a{};
+    for (int i = 0; i < kSessionSlots; ++i) {
+      a[static_cast<std::size_t>(i)] = &obs::histogram(
+          "serve/e2e/s" + std::to_string(i / 10) + std::to_string(i % 10));
+    }
+    return a;
+  }();
+  return *slots[id % kSessionSlots];
+}
+
+struct ServeCounters {
+  obs::Counter& admitted = obs::counter("serve/admitted");
+  obs::Counter& rejected = obs::counter("serve/rejected");
+  obs::Counter& shed = obs::counter("serve/shed");
+  obs::Counter& deadline_missed = obs::counter("serve/deadline_missed");
+  obs::Counter& degraded = obs::counter("serve/degraded");
+  obs::Counter& completed = obs::counter("serve/completed");
+  obs::Counter& batches = obs::counter("serve/batches");
+  obs::Gauge& sessions = obs::gauge("serve/sessions");
+  obs::Gauge& queue_depth = obs::gauge("serve/queue_depth");
+  obs::Gauge& inflight = obs::gauge("serve/inflight");
+  obs::Gauge& tier = obs::gauge("serve/tier");
+  obs::Histogram& e2e = obs::histogram("serve/e2e");
+};
+
+ServeCounters& counters() {
+  static ServeCounters c;
+  return c;
+}
+
+}  // namespace
+
+Server::Server(const ServeConfig& config, pose::HandJointRegressor& model,
+               Options options)
+    : config_([&] {
+        config.validate();
+        return config;
+      }()),
+      model_(model),
+      options_(options),
+      frames_per_window_(model.config().frames_per_sample()),
+      frame_elems_(static_cast<std::size_t>(model.config().velocity_bins) *
+                   static_cast<std::size_t>(model.config().range_bins) *
+                   static_cast<std::size_t>(model.config().angle_bins)) {
+  // Serving mode is steady-state by definition: with the tensor pool
+  // on, every per-batch activation tensor recycles a parked buffer, so
+  // the batched NN step settles to zero allocations (gated by
+  // mmhand_purity_probe).  The pool is process-global and sticky —
+  // values are unchanged either way.
+  nn::set_tensor_pool_enabled(true);
+  if (!options_.manual_step)
+    scheduler_ = std::thread([this] { scheduler_loop(); });
+}
+
+Server::~Server() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  if (scheduler_.joinable()) scheduler_.join();
+}
+
+std::uint64_t Server::now_ns() const {
+  return options_.clock != nullptr ? options_.clock() : steady_now_ns();
+}
+
+double Server::pressure_locked() const {
+  const std::size_t capacity =
+      std::max<std::size_t>(1, sessions_.size() *
+                                   static_cast<std::size_t>(config_.queue_cap));
+  return static_cast<double>(ready_.size()) / static_cast<double>(capacity);
+}
+
+JoinResult Server::join() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (static_cast<int>(sessions_.size()) >= config_.max_sessions) {
+    ++stats_.sessions_rejected;
+    if (obs::metrics_enabled()) counters().rejected.add(1);
+    return {false, 0, config_.retry_ms * (1.0 + pressure_locked())};
+  }
+  auto session = std::make_unique<Session>();
+  session->id = next_id_++;
+  session->window = nn::Tensor({frames_per_window_,
+                                model_.config().velocity_bins,
+                                model_.config().range_bins,
+                                model_.config().angle_bins});
+  const SessionId id = session->id;
+  sessions_.emplace(id, std::move(session));
+  ++stats_.sessions_admitted;
+  if (obs::metrics_enabled()) {
+    counters().admitted.add(1);
+    counters().sessions.set(static_cast<double>(sessions_.size()));
+  }
+  return {true, id, 0.0};
+}
+
+void Server::leave(SessionId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  // Abandon the session's queued windows: nobody is left to poll them.
+  ready_.erase(std::remove_if(ready_.begin(), ready_.end(),
+                              [id](const ReadyWindow& w) {
+                                return w.session == id;
+                              }),
+               ready_.end());
+  sessions_.erase(it);
+  ++stats_.sessions_left;
+  if (obs::metrics_enabled())
+    counters().sessions.set(static_cast<double>(sessions_.size()));
+}
+
+void Server::resolve_locked(Session* session, WindowResult result) {
+  switch (result.disposition) {
+    case Disposition::kCompleted:
+      ++stats_.windows_completed;
+      if (obs::metrics_enabled()) counters().completed.add(1);
+      break;
+    case Disposition::kShed:
+      ++stats_.windows_shed;
+      if (obs::metrics_enabled()) counters().shed.add(1);
+      break;
+    case Disposition::kDeadlineMissed:
+      ++stats_.windows_missed;
+      if (obs::metrics_enabled()) counters().deadline_missed.add(1);
+      break;
+  }
+  if (result.disposition != Disposition::kShed && obs::metrics_enabled()) {
+    const double us = result.e2e_ms * 1000.0;
+    counters().e2e.record(us);
+    if (session != nullptr) slot_histogram(session->id).record(us);
+  }
+  if (session != nullptr)
+    session->delivered.push_back(std::move(result));
+}
+
+void Server::shed_ready_locked(std::size_t index, bool degraded) {
+  ReadyWindow w = std::move(ready_[index]);
+  ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(index));
+  auto it = sessions_.find(w.session);
+  Session* s = it == sessions_.end() ? nullptr : it->second.get();
+  if (s != nullptr) --s->queued;
+  if (degraded) {
+    ++stats_.degraded_drops;
+    if (obs::metrics_enabled()) counters().degraded.add(1);
+  }
+  WindowResult r;
+  r.seq = w.seq;
+  r.disposition = Disposition::kShed;
+  r.tier = tier_;
+  r.first_frame = w.first_frame;
+  r.last_frame = w.last_frame;
+  resolve_locked(s, std::move(r));
+}
+
+SubmitResult Server::submit(SessionId id, const radar::RadarCube& cube) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return {false, true, 0.0};
+  Session& s = *it->second;
+
+  const bool completes = s.frames_filled + 1 == frames_per_window_;
+  const bool session_full = s.queued >= config_.queue_cap;
+  const bool global_full =
+      static_cast<int>(ready_.size()) + inflight_ >= config_.max_inflight;
+  if (completes && (session_full || global_full) &&
+      config_.policy == ShedPolicy::kRejectNew) {
+    ++stats_.frames_rejected;
+    if (obs::metrics_enabled()) counters().rejected.add(1);
+    return {false, false, config_.retry_ms * (1.0 + pressure_locked())};
+  }
+
+  if (s.frames_filled == 0) s.first_frame = s.next_frame;
+  write_cube_frame(cube, model_.config(),
+                   s.window.data() +
+                       static_cast<std::size_t>(s.frames_filled) *
+                           frame_elems_);
+  ++s.frames_filled;
+  ++s.next_frame;
+  ++stats_.frames_accepted;
+  if (!completes) return {true, false, 0.0};
+
+  // A full window.  Under the kPoseOnly tier every other window per
+  // session is shed before it ever queues (half window density).
+  s.frames_filled = 0;
+  const std::uint64_t seq = s.next_seq++;
+  if (tier_ == Tier::kPoseOnly) {
+    s.drop_toggle = !s.drop_toggle;
+    if (s.drop_toggle) {
+      ++stats_.degraded_drops;
+      if (obs::metrics_enabled()) counters().degraded.add(1);
+      WindowResult r;
+      r.seq = seq;
+      r.disposition = Disposition::kShed;
+      r.tier = tier_;
+      r.first_frame = s.first_frame;
+      r.last_frame = s.next_frame - 1;
+      resolve_locked(&s, std::move(r));
+      return {true, false, 0.0};
+    }
+  }
+
+  // Bounds: shed the stalest queued window (own session first, then the
+  // global head) to make room under kDropOldest.
+  if (session_full || global_full) {
+    std::size_t victim = ready_.size();
+    if (session_full) {
+      for (std::size_t i = 0; i < ready_.size(); ++i)
+        if (ready_[i].session == id) {
+          victim = i;
+          break;
+        }
+    }
+    if (victim == ready_.size() && !ready_.empty()) victim = 0;
+    if (victim < ready_.size()) shed_ready_locked(victim, false);
+  }
+
+  ReadyWindow w;
+  w.session = id;
+  w.seq = seq;
+  w.ready_ns = now_ns();
+  w.deadline_ns =
+      w.ready_ns + static_cast<std::uint64_t>(config_.deadline_ms * 1e6);
+  w.first_frame = s.first_frame;
+  w.last_frame = s.next_frame - 1;
+  w.input = s.window;
+  ready_.push_back(std::move(w));
+  ++s.queued;
+  stats_.max_ready_depth =
+      std::max<std::uint64_t>(stats_.max_ready_depth, ready_.size());
+  if (obs::metrics_enabled())
+    counters().queue_depth.set(static_cast<double>(ready_.size()));
+  work_cv_.notify_one();
+  return {true, false, 0.0};
+}
+
+std::size_t Server::poll(SessionId id, std::vector<WindowResult>* out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return 0;
+  Session& s = *it->second;
+  const std::size_t n = s.delivered.size();
+  if (out != nullptr)
+    for (auto& r : s.delivered) out->push_back(std::move(r));
+  s.delivered.clear();
+  return n;
+}
+
+void Server::tier_tick_locked() {
+  const double p = pressure_locked();
+  if (p > config_.shed_hi) {
+    ++hi_streak_;
+    lo_streak_ = 0;
+    if (hi_streak_ >= config_.hold_ticks && tier_ != Tier::kPoseOnly) {
+      tier_ = static_cast<Tier>(static_cast<int>(tier_) + 1);
+      hi_streak_ = 0;
+    }
+  } else if (p < config_.shed_lo) {
+    ++lo_streak_;
+    hi_streak_ = 0;
+    if (lo_streak_ >= config_.hold_ticks && tier_ != Tier::kFull) {
+      tier_ = static_cast<Tier>(static_cast<int>(tier_) - 1);
+      lo_streak_ = 0;
+    }
+  } else {
+    hi_streak_ = 0;
+    lo_streak_ = 0;
+  }
+  if (obs::metrics_enabled()) {
+    counters().tier.set(static_cast<double>(tier_));
+    counters().queue_depth.set(static_cast<double>(ready_.size()));
+    counters().inflight.set(static_cast<double>(inflight_));
+  }
+}
+
+int Server::expire_deadlines_locked(std::uint64_t now) {
+  int expired = 0;
+  // Windows enter in ready order and share one deadline offset, so the
+  // expired set is always a prefix of the FIFO.
+  while (!ready_.empty() && ready_.front().deadline_ns <= now) {
+    ReadyWindow w = std::move(ready_.front());
+    ready_.pop_front();
+    auto it = sessions_.find(w.session);
+    Session* s = it == sessions_.end() ? nullptr : it->second.get();
+    if (s != nullptr) --s->queued;
+    WindowResult r;
+    r.seq = w.seq;
+    r.disposition = Disposition::kDeadlineMissed;
+    r.tier = tier_;
+    r.e2e_ms = static_cast<double>(now - w.ready_ns) / 1e6;
+    r.first_frame = w.first_frame;
+    r.last_frame = w.last_frame;
+    resolve_locked(s, std::move(r));
+    ++expired;
+  }
+  return expired;
+}
+
+int Server::step() {
+  std::vector<ReadyWindow> batch;
+  Tier batch_tier = Tier::kFull;
+  int resolved = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::uint64_t now = now_ns();
+    tier_tick_locked();
+    resolved += expire_deadlines_locked(now);
+    const int take = std::min<int>(config_.batch_max,
+                                   static_cast<int>(ready_.size()));
+    batch.reserve(static_cast<std::size_t>(take));
+    for (int i = 0; i < take; ++i) {
+      ReadyWindow w = std::move(ready_.front());
+      ready_.pop_front();
+      auto it = sessions_.find(w.session);
+      if (it != sessions_.end()) --it->second->queued;
+      batch.push_back(std::move(w));
+    }
+    inflight_ += static_cast<int>(batch.size());
+    batch_tier = tier_;
+  }
+  if (batch.empty()) {
+    if (resolved > 0) drain_cv_.notify_all();
+    return resolved;
+  }
+
+  // The batched NN step runs outside the lock: submissions keep landing
+  // while the model executes.
+  const int b_count = static_cast<int>(batch.size());
+  const auto& pc = model_.config();
+  const int segments = pc.sequence_segments;
+  nn::Tensor out;
+  std::vector<mesh::ReconstructionResult> meshes(
+      static_cast<std::size_t>(b_count));
+  std::vector<char> mesh_done(static_cast<std::size_t>(b_count), 0);
+  {
+    obs::FrameScope frame("serve/batch");
+    MMHAND_SPAN("serve/forward_batch");
+    nn::Tensor input({b_count * frames_per_window_, pc.velocity_bins,
+                      pc.range_bins, pc.angle_bins});
+    const std::size_t window_floats =
+        static_cast<std::size_t>(frames_per_window_) * frame_elems_;
+    for (int b = 0; b < b_count; ++b)
+      std::copy(batch[static_cast<std::size_t>(b)].input.data(),
+                batch[static_cast<std::size_t>(b)].input.data() +
+                    window_floats,
+                input.data() + static_cast<std::size_t>(b) * window_floats);
+    out = model_.forward_batch(input, b_count);
+    if (batch_tier == Tier::kFull && options_.mesh != nullptr) {
+      MMHAND_SPAN("serve/mesh");
+      for (int b = 0; b < b_count; ++b) {
+        meshes[static_cast<std::size_t>(b)] = options_.mesh->reconstruct(
+            pose::row_to_joints(out, (b + 1) * segments - 1));
+        mesh_done[static_cast<std::size_t>(b)] = 1;
+      }
+    }
+  }
+
+  const std::uint64_t done = now_ns();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (int b = 0; b < b_count; ++b) {
+      ReadyWindow& w = batch[static_cast<std::size_t>(b)];
+      WindowResult r;
+      r.seq = w.seq;
+      r.disposition = done > w.deadline_ns ? Disposition::kDeadlineMissed
+                                           : Disposition::kCompleted;
+      r.tier = batch_tier;
+      nn::Tensor pose({segments, 63});
+      std::copy(out.data() + static_cast<std::size_t>(b) * segments * 63,
+                out.data() +
+                    static_cast<std::size_t>(b + 1) * segments * 63,
+                pose.data());
+      r.pose = std::move(pose);
+      r.mesh_done = mesh_done[static_cast<std::size_t>(b)] != 0;
+      if (r.mesh_done) r.mesh = std::move(meshes[static_cast<std::size_t>(b)]);
+      r.e2e_ms = static_cast<double>(done - w.ready_ns) / 1e6;
+      r.first_frame = w.first_frame;
+      r.last_frame = w.last_frame;
+      auto it = sessions_.find(w.session);
+      resolve_locked(it == sessions_.end() ? nullptr : it->second.get(),
+                     std::move(r));
+    }
+    inflight_ -= b_count;
+    ++stats_.batches;
+    if (obs::metrics_enabled()) counters().batches.add(1);
+    resolved += b_count;
+  }
+  drain_cv_.notify_all();
+  return resolved;
+}
+
+void Server::drain() {
+  if (options_.manual_step) {
+    while (true) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (ready_.empty() && inflight_ == 0) return;
+      }
+      step();
+    }
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  work_cv_.notify_all();
+  drain_cv_.wait(lk, [this] { return ready_.empty() && inflight_ == 0; });
+}
+
+void Server::scheduler_loop() {
+  while (true) {
+    step();
+    std::unique_lock<std::mutex> lk(mu_);
+    if (stop_) break;
+    if (ready_.empty())
+      work_cv_.wait_for(lk, std::chrono::microseconds(200));
+  }
+}
+
+Tier Server::tier() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return tier_;
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ServerStats s = stats_;
+  s.live_sessions = static_cast<int>(sessions_.size());
+  s.ready_depth = static_cast<int>(ready_.size());
+  s.inflight = inflight_;
+  s.tier = tier_;
+  return s;
+}
+
+}  // namespace mmhand::serve

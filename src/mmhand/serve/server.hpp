@@ -1,0 +1,214 @@
+#pragma once
+
+// Streaming multi-session inference server.
+//
+// Many concurrent clients stream radar cube frames; the server
+// assembles each session's frames into non-overlapping pose windows
+// (exactly the `make_pose_samples` convention, so a drained server is
+// bitwise identical to the offline pipeline), coalesces ready windows
+// across sessions into one batched network step
+// (`HandJointRegressor::forward_batch`), and degrades gracefully under
+// overload instead of collapsing:
+//
+//   - admission control: at most max_sessions concurrent sessions and
+//     max_inflight queued windows; excess joins/frames are refused
+//     with a RetryAfter hint;
+//   - bounded queues: each session holds at most queue_cap ready
+//     windows; overflow is shed per the configured policy
+//     (drop-oldest or reject-new), so memory is bounded by
+//     construction;
+//   - deadlines: a window unresolved past deadline_ms is delivered as
+//     kDeadlineMissed rather than serving stale poses;
+//   - degradation tiers: sustained queue pressure above shed_hi for
+//     hold consecutive scheduler ticks escalates kFull -> kNoMesh ->
+//     kPoseOnly (half window density); sustained pressure below
+//     shed_lo de-escalates.  The hold hysteresis prevents flapping.
+//
+// Fairness: ready windows dispatch strictly oldest-first across
+// sessions (one global FIFO), so no session can be starved while the
+// server makes progress.
+//
+// Threading: one mutex guards all queue state; the batched NN step
+// runs outside the lock (only the scheduler executes it).  With
+// Options.manual_step the server runs no thread and tests drive
+// `step()` with an injected clock for full determinism.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <condition_variable>
+#include <mutex>
+
+#include "mmhand/mesh/reconstruction.hpp"
+#include "mmhand/pose/joint_model.hpp"
+#include "mmhand/serve/config.hpp"
+
+namespace mmhand::serve {
+
+using SessionId = std::uint64_t;
+
+/// Terminal disposition of one pose window.
+enum class Disposition {
+  kCompleted = 0,   ///< pose delivered within deadline
+  kShed,            ///< dropped by load shedding / tier degradation
+  kDeadlineMissed,  ///< resolved after its deadline (stale)
+};
+
+/// One resolved window, delivered via poll().
+struct WindowResult {
+  std::uint64_t seq = 0;  ///< per-session window index (0, 1, ...)
+  Disposition disposition = Disposition::kCompleted;
+  Tier tier = Tier::kFull;   ///< tier the window was served at
+  nn::Tensor pose;           ///< [S, 63] joints (completed windows)
+  bool mesh_done = false;    ///< mesh reconstructed (kFull tier only)
+  mesh::ReconstructionResult mesh;  ///< valid when mesh_done
+  double e2e_ms = 0.0;       ///< window-ready -> resolution latency
+  int first_frame = 0;       ///< first recording frame of the window
+  int last_frame = 0;        ///< last recording frame of the window
+};
+
+struct JoinResult {
+  bool admitted = false;
+  SessionId id = 0;           ///< valid when admitted
+  double retry_after_ms = 0.0;  ///< backoff hint when refused
+};
+
+struct SubmitResult {
+  bool accepted = false;
+  bool session_unknown = false;  ///< id never joined or already left
+  double retry_after_ms = 0.0;   ///< backoff hint when rejected
+};
+
+/// Monotonic counters and instantaneous state, snapshotted under the
+/// server lock.
+struct ServerStats {
+  std::uint64_t sessions_admitted = 0;
+  std::uint64_t sessions_rejected = 0;
+  std::uint64_t sessions_left = 0;
+  std::uint64_t frames_accepted = 0;
+  std::uint64_t frames_rejected = 0;
+  std::uint64_t windows_completed = 0;
+  std::uint64_t windows_shed = 0;
+  std::uint64_t windows_missed = 0;     ///< deadline missed
+  std::uint64_t degraded_drops = 0;     ///< shed by the kPoseOnly tier
+  std::uint64_t batches = 0;
+  std::uint64_t max_ready_depth = 0;    ///< high-water mark (bound proof)
+  int live_sessions = 0;
+  int ready_depth = 0;
+  int inflight = 0;
+  Tier tier = Tier::kFull;
+};
+
+/// Injectable monotonic clock (nanoseconds).  Tests install a fake.
+using ClockFn = std::uint64_t (*)();
+
+struct ServerOptions {
+  bool manual_step = false;  ///< no scheduler thread; tests call step()
+  ClockFn clock = nullptr;   ///< defaults to steady_clock
+  /// Trained reconstructor for the kFull tier; nullptr serves
+  /// pose-only at every tier.
+  mesh::MeshReconstructor* mesh = nullptr;
+};
+
+class Server {
+ public:
+  using Options = ServerOptions;
+
+  /// The model reference must outlive the server.  Only the scheduler
+  /// (or the single step() caller in manual mode) runs the model.
+  Server(const ServeConfig& config, pose::HandJointRegressor& model,
+         Options options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Admission control.  Session ids are unique for the life of the
+  /// server (a churned client that rejoins gets a fresh id).
+  JoinResult join();
+
+  /// Ends a session: its queued windows and undelivered results are
+  /// discarded.  Unknown ids are ignored (idempotent).
+  void leave(SessionId id);
+
+  /// Streams one radar cube frame into a session's current window.
+  /// When the frame completes a window, the window enters the ready
+  /// queue (or is shed per policy if bounds are hit).
+  SubmitResult submit(SessionId id, const radar::RadarCube& cube);
+
+  /// Moves all resolved windows for a session into `out` (appended in
+  /// resolution order).  Returns the number delivered.
+  std::size_t poll(SessionId id, std::vector<WindowResult>* out);
+
+  /// One scheduler pass: expire deadlines, run the tier state machine,
+  /// dispatch one batched NN step.  Returns the number of windows
+  /// resolved.  Called internally by the scheduler thread; call it
+  /// directly only with Options.manual_step.
+  int step();
+
+  /// Blocks until every queued and inflight window is resolved.  In
+  /// manual mode this steps inline.
+  void drain();
+
+  Tier tier() const;
+  ServerStats stats() const;
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  struct ReadyWindow {
+    SessionId session = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t ready_ns = 0;
+    std::uint64_t deadline_ns = 0;
+    int first_frame = 0;
+    int last_frame = 0;
+    nn::Tensor input;  ///< [S*st, V, D, A]
+  };
+
+  struct Session {
+    SessionId id = 0;
+    int frames_filled = 0;       ///< partial-window fill level
+    int first_frame = 0;         ///< recording index of the fill start
+    int next_frame = 0;          ///< frames submitted so far
+    std::uint64_t next_seq = 0;
+    int queued = 0;              ///< this session's ready-queue share
+    bool drop_toggle = false;    ///< kPoseOnly half-density alternator
+    nn::Tensor window;           ///< fill buffer [S*st, V, D, A]
+    std::vector<WindowResult> delivered;
+  };
+
+  std::uint64_t now_ns() const;
+  double pressure_locked() const;
+  void tier_tick_locked();
+  void resolve_locked(Session* session, WindowResult result);
+  void shed_ready_locked(std::size_t index, bool degraded);
+  void scheduler_loop();
+  int expire_deadlines_locked(std::uint64_t now);
+
+  const ServeConfig config_;
+  pose::HandJointRegressor& model_;
+  const Options options_;
+  const int frames_per_window_;
+  const std::size_t frame_elems_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;    ///< signals the scheduler
+  std::condition_variable drain_cv_;   ///< signals drain() waiters
+  std::unordered_map<SessionId, std::unique_ptr<Session>> sessions_;
+  std::deque<ReadyWindow> ready_;      ///< global FIFO across sessions
+  SessionId next_id_ = 1;
+  int inflight_ = 0;
+  bool stop_ = false;
+  Tier tier_ = Tier::kFull;
+  int hi_streak_ = 0;
+  int lo_streak_ = 0;
+  ServerStats stats_;
+
+  std::thread scheduler_;  ///< absent under Options.manual_step
+};
+
+}  // namespace mmhand::serve

@@ -487,12 +487,67 @@ void report_purity(const Value& purity, const Value* probe,
   }
 }
 
+/// "Serving" section from mmhand_soak JSON reports (soak and/or parity
+/// mode; scripts/check_serve.sh gates on the same fields).
+void report_serve(const std::vector<std::pair<std::string, Value>>& runs,
+                  std::ostream& os) {
+  os << "## Serving\n\n";
+  for (const auto& [path, r] : runs) {
+    const Value* pv = r.find("pass");
+    const bool pass = pv != nullptr && pv->is_bool() && pv->as_bool();
+    const std::string mode = r.string_or("mode", "?");
+    if (mode == "soak") {
+      os << "**Chaos soak** (`" << path << "`): "
+         << (pass ? "all invariants hold" : "**INVARIANT VIOLATION**")
+         << "\n\n| field | value |\n|---|---|\n"
+         << "| sessions x overload | "
+         << static_cast<int>(r.number_or("sessions", 0)) << " x "
+         << static_cast<int>(r.number_or("overload", 0)) << " |\n"
+         << "| windows completed / shed / missed | "
+         << static_cast<long long>(r.number_or("completed", 0)) << " / "
+         << static_cast<long long>(r.number_or("shed", 0)) << " / "
+         << static_cast<long long>(r.number_or("missed", 0)) << " |\n"
+         << "| degraded drops / client retries | "
+         << static_cast<long long>(r.number_or("degraded", 0)) << " / "
+         << static_cast<long long>(r.number_or("retries", 0)) << " |\n"
+         << "| faults (churn/burst/stall) | "
+         << static_cast<long long>(r.number_or("churns", 0)) << " / "
+         << static_cast<long long>(r.number_or("bursts", 0)) << " / "
+         << static_cast<long long>(r.number_or("stalls", 0)) << " |\n"
+         << "| deadline compliance | "
+         << fmt(r.number_or("compliance", 0.0), 4) << " |\n"
+         << "| e2e p50 / p95 / p99 (µs) | "
+         << fmt(r.number_or("e2e_p50_us", 0.0), 1) << " / "
+         << fmt(r.number_or("e2e_p95_us", 0.0), 1) << " / "
+         << fmt(r.number_or("e2e_p99_us", 0.0), 1) << " |\n"
+         << "| max ready depth / starved sessions | "
+         << static_cast<long long>(r.number_or("max_ready_depth", 0))
+         << " / "
+         << static_cast<long long>(r.number_or("starved_sessions", 0))
+         << " |\n\n";
+    } else if (mode == "parity") {
+      os << "**Drained parity** (`" << path << "`, "
+         << static_cast<int>(r.number_or("threads", 0)) << " thread(s)): "
+         << static_cast<long long>(r.number_or("compared", 0))
+         << " floats compared, "
+         << static_cast<long long>(r.number_or("mismatched", 0))
+         << " mismatched — "
+         << (pass ? "bitwise identical to the offline pipeline"
+                  : "**PARITY BROKEN**")
+         << "\n\n";
+    } else {
+      os << "(`" << path << "`: unknown mode \"" << mode << "\")\n\n";
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string runlog_path, metrics_path, lint_path, history_path, out_path;
   std::string purity_path, probe_path;
   std::vector<std::string> bench_paths;
+  std::vector<std::string> serve_paths;
   bool roofline = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -507,6 +562,8 @@ int main(int argc, char** argv) {
       roofline = true;
     } else if (arg == "--bench") {
       if (const char* v = next()) bench_paths.push_back(v);
+    } else if (arg == "--serve") {
+      if (const char* v = next()) serve_paths.push_back(v);
     } else if (arg == "--history") {
       if (const char* v = next()) history_path = v;
     } else if (arg == "--lint") {
@@ -520,9 +577,9 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: mmhand_report [--runlog FILE] [--metrics FILE]"
-                   " [--roofline] [--bench FILE]... [--history FILE]"
-                   " [--lint FILE] [--purity FILE] [--probe FILE]"
-                   " [-o OUT.md]\n");
+                   " [--roofline] [--bench FILE]... [--serve FILE]..."
+                   " [--history FILE] [--lint FILE] [--purity FILE]"
+                   " [--probe FILE] [-o OUT.md]\n");
       return arg == "-h" || arg == "--help" ? 0 : 2;
     }
   }
@@ -592,6 +649,27 @@ int main(int argc, char** argv) {
       return 1;
     }
     report_bench(path, bench, os);
+    ++inputs;
+  }
+
+  if (!serve_paths.empty()) {
+    std::vector<std::pair<std::string, Value>> runs;
+    for (const std::string& path : serve_paths) {
+      bool ok = false;
+      const std::string text = slurp(path, &ok);
+      if (!ok) {
+        std::fprintf(stderr, "cannot read serve report %s\n", path.c_str());
+        return 1;
+      }
+      std::string err;
+      Value v = Value::parse(text, &err);
+      if (!err.empty()) {
+        std::fprintf(stderr, "serve %s: %s\n", path.c_str(), err.c_str());
+        return 1;
+      }
+      runs.emplace_back(path, std::move(v));
+    }
+    report_serve(runs, os);
     ++inputs;
   }
 

@@ -1,0 +1,339 @@
+// Serving-layer soak driver and drained-parity checker.
+//
+// Two modes, both exercised by scripts/check_serve.sh:
+//
+//   mmhand_soak soak [--sessions N] [--seconds S] [--overload F]
+//                     [--deadline-ms D] [--threads T] [--json PATH]
+//
+//     Runs a chaos soak: N simulated clients stream a recording into a
+//     live (threaded) server at F times the capture rate, with the
+//     MMHAND_FAULT churn/burst/stall kinds injecting client chaos.  On
+//     exit it drains the server and emits a JSON invariant report:
+//     bounded queues, zero starved sessions, clean drain, and deadline
+//     compliance.  Exit code 0 iff every invariant holds.
+//
+//   mmhand_soak parity [--sessions N] [--threads T] [--json PATH]
+//
+//     Streams one recording through the server as N concurrent
+//     sessions (frames interleaved round-robin so windows coalesce
+//     into cross-session batches), drains, and compares every
+//     delivered pose bitwise against the offline pipeline
+//     (make_pose_samples + predict_sample, the predict_recording
+//     healthy path).  Exit code 0 iff every float matches.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mmhand/common/parallel.hpp"
+#include "mmhand/obs/obs.hpp"
+#include "mmhand/pose/trainer.hpp"
+#include "mmhand/serve/client.hpp"
+#include "mmhand/serve/server.hpp"
+#include "mmhand/sim/dataset.hpp"
+
+using namespace mmhand;
+
+namespace {
+
+pose::PoseNetConfig serve_net_config() {
+  pose::PoseNetConfig cfg;
+  cfg.segment_frames = 2;
+  cfg.sequence_segments = 2;
+  cfg.velocity_bins = 4;
+  cfg.range_bins = 8;
+  cfg.angle_bins = 8;
+  cfg.feature_dim = 24;
+  cfg.lstm_hidden = 16;
+  cfg.spacenet.stem_channels = 4;
+  cfg.spacenet.block1_channels = 6;
+  cfg.spacenet.block2_channels = 6;
+  return cfg;
+}
+
+sim::Recording serve_recording(int frames) {
+  radar::ChirpConfig chirp;
+  chirp.chirps_per_frame = 4;
+  chirp.samples_per_chirp = 16;
+  chirp.frame_period_s = 0.05;
+  radar::PipelineConfig pc;
+  pc.cube.range_bins = 8;
+  pc.cube.azimuth_bins = 6;
+  pc.cube.elevation_bins = 2;
+  const sim::DatasetBuilder builder(chirp, pc);
+  sim::ScenarioConfig scenario;
+  scenario.duration_s = frames * chirp.frame_period_s;
+  return builder.record(scenario);
+}
+
+struct Args {
+  std::string mode;
+  int sessions = 8;
+  double seconds = 2.0;
+  int overload = 1;
+  double deadline_ms = 250.0;
+  int threads = 2;
+  double min_compliance = 0.99;
+  std::string policy = "drop_oldest";
+  std::string json;
+};
+
+bool parse_args(int argc, char** argv, Args* args) {
+  if (argc < 2) return false;
+  args->mode = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](double* out) {
+      if (i + 1 >= argc) return false;
+      *out = std::atof(argv[++i]);
+      return true;
+    };
+    double v = 0.0;
+    if (a == "--sessions" && next(&v)) {
+      args->sessions = static_cast<int>(v);
+    } else if (a == "--seconds" && next(&v)) {
+      args->seconds = v;
+    } else if (a == "--overload" && next(&v)) {
+      args->overload = static_cast<int>(v);
+    } else if (a == "--deadline-ms" && next(&v)) {
+      args->deadline_ms = v;
+    } else if (a == "--threads" && next(&v)) {
+      args->threads = static_cast<int>(v);
+    } else if (a == "--min-compliance" && next(&v)) {
+      args->min_compliance = v;
+    } else if (a == "--policy" && i + 1 < argc) {
+      args->policy = argv[++i];
+    } else if (a == "--json" && i + 1 < argc) {
+      args->json = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+      return false;
+    }
+  }
+  return args->mode == "soak" || args->mode == "parity";
+}
+
+void write_json(const std::string& path, const std::string& body) {
+  if (path.empty() || path == "-") {
+    std::printf("%s\n", body.c_str());
+    return;
+  }
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "%s\n", body.c_str());
+  std::fclose(f);
+}
+
+int run_soak(const Args& args) {
+  obs::set_metrics_enabled(true);
+  const auto net = serve_net_config();
+  Rng rng(41);
+  pose::HandJointRegressor model(net, rng);
+  const sim::Recording recording = serve_recording(24);
+
+  serve::ServeConfig cfg;
+  cfg.deadline_ms = args.deadline_ms;
+  cfg.max_sessions = args.sessions;
+  cfg.max_inflight = 64;
+  cfg.queue_cap = 4;
+  cfg.batch_max = 8;
+  cfg.policy = args.policy == "reject_new" ? serve::ShedPolicy::kRejectNew
+                                           : serve::ShedPolicy::kDropOldest;
+  serve::Server server(cfg, model);
+
+  std::vector<std::unique_ptr<serve::SimClient>> clients;
+  clients.reserve(static_cast<std::size_t>(args.sessions));
+  for (int s = 0; s < args.sessions; ++s) {
+    serve::ClientConfig cc;
+    cc.frames_per_tick = args.overload;
+    cc.seed = 7 + static_cast<std::uint64_t>(s);
+    clients.push_back(
+        std::make_unique<serve::SimClient>(server, recording, cc));
+  }
+
+  // T driver threads, each owning a disjoint client slice (a client is
+  // only ever ticked by its owner, so client state needs no locking).
+  const int drivers = std::max(1, std::min(args.threads, args.sessions));
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> ticks{0};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < drivers; ++t) {
+    pool.emplace_back([&, t] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (int c = t; c < args.sessions; c += drivers)
+          clients[static_cast<std::size_t>(c)]->tick();
+        ticks.fetch_add(1, std::memory_order_relaxed);
+        // Pace at roughly one tick per millisecond so the soak models a
+        // frame stream rather than a pure CPU spin.
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<long>(args.seconds * 1000)));
+  stop.store(true);
+  for (auto& th : pool) th.join();
+  server.drain();
+  for (auto& c : clients) c->finish();
+
+  const serve::ServerStats stats = server.stats();
+  const obs::HistogramStats e2e = obs::histogram("serve/e2e").stats();
+
+  int starved = 0;
+  for (const auto& c : clients)
+    if (c->stats().completed == 0) ++starved;
+  std::uint64_t retries = 0, churns = 0, bursts = 0, stalls = 0;
+  for (const auto& c : clients) {
+    retries += c->stats().retries;
+    churns += c->stats().churns;
+    bursts += c->stats().bursts;
+    stalls += c->stats().stalls;
+  }
+
+  const std::uint64_t resolved = stats.windows_completed +
+                                 stats.windows_missed;
+  const double compliance =
+      resolved == 0 ? 1.0
+                    : static_cast<double>(stats.windows_completed) /
+                          static_cast<double>(resolved);
+  const bool bounded =
+      stats.max_ready_depth <= static_cast<std::uint64_t>(cfg.max_inflight);
+  const bool drained = stats.ready_depth == 0 && stats.inflight == 0;
+  const bool served = stats.windows_completed > 0;
+  const bool pass = bounded && drained && served && starved == 0 &&
+                    compliance >= args.min_compliance;
+
+  char buf[2048];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"mode\": \"soak\", \"sessions\": %d, \"overload\": %d,"
+      " \"deadline_ms\": %.1f, \"ticks\": %llu, \"completed\": %llu,"
+      " \"shed\": %llu, \"missed\": %llu, \"degraded\": %llu,"
+      " \"retries\": %llu, \"churns\": %llu, \"bursts\": %llu,"
+      " \"stalls\": %llu, \"batches\": %llu, \"max_ready_depth\": %llu,"
+      " \"starved_sessions\": %d, \"compliance\": %.4f,"
+      " \"e2e_p50_us\": %.1f, \"e2e_p95_us\": %.1f, \"e2e_p99_us\": %.1f,"
+      " \"bounded\": %s, \"drained\": %s, \"pass\": %s}",
+      args.sessions, args.overload, args.deadline_ms,
+      static_cast<unsigned long long>(ticks.load()),
+      static_cast<unsigned long long>(stats.windows_completed),
+      static_cast<unsigned long long>(stats.windows_shed),
+      static_cast<unsigned long long>(stats.windows_missed),
+      static_cast<unsigned long long>(stats.degraded_drops),
+      static_cast<unsigned long long>(retries),
+      static_cast<unsigned long long>(churns),
+      static_cast<unsigned long long>(bursts),
+      static_cast<unsigned long long>(stalls),
+      static_cast<unsigned long long>(stats.batches),
+      static_cast<unsigned long long>(stats.max_ready_depth), starved,
+      compliance, e2e.p50, e2e.p95, e2e.p99, bounded ? "true" : "false",
+      drained ? "true" : "false", pass ? "true" : "false");
+  write_json(args.json, buf);
+  return pass ? 0 : 1;
+}
+
+int run_parity(const Args& args) {
+  set_num_threads(args.threads);
+  const auto net = serve_net_config();
+  Rng rng(41);
+  pose::HandJointRegressor model(net, rng);
+  const sim::Recording recording = serve_recording(40);
+
+  // Offline reference: the exact non-overlapping windows the server
+  // rebuilds, predicted one sample at a time.
+  const auto samples = pose::make_pose_samples(recording, net);
+  std::vector<nn::Tensor> expected;
+  expected.reserve(samples.size());
+  for (const auto& s : samples)
+    expected.push_back(pose::predict_sample(model, s));
+
+  serve::ServeConfig cfg;
+  cfg.deadline_ms = 1e9;  // parity measures values, not latency
+  cfg.max_sessions = args.sessions;
+  cfg.max_inflight = args.sessions * 64;
+  cfg.queue_cap = 64;
+  cfg.batch_max = 6;  // odd size forces batches that span sessions
+  serve::Server::Options opts;
+  opts.manual_step = true;
+  serve::Server server(cfg, model, opts);
+
+  std::vector<serve::SessionId> ids;
+  for (int s = 0; s < args.sessions; ++s) {
+    const auto j = server.join();
+    if (!j.admitted) {
+      std::fprintf(stderr, "join %d refused\n", s);
+      return 1;
+    }
+    ids.push_back(j.id);
+  }
+  // Round-robin interleave so ready windows from different sessions
+  // land in the same batched NN step.
+  for (const auto& frame : recording.frames)
+    for (const auto id : ids)
+      if (!server.submit(id, frame.cube).accepted) {
+        std::fprintf(stderr, "submit rejected\n");
+        return 1;
+      }
+  server.drain();
+
+  std::uint64_t compared = 0, mismatched = 0;
+  bool counts_ok = true;
+  for (const auto id : ids) {
+    std::vector<serve::WindowResult> results;
+    server.poll(id, &results);
+    if (results.size() != samples.size()) counts_ok = false;
+    for (const auto& r : results) {
+      if (r.disposition != serve::Disposition::kCompleted ||
+          r.seq >= expected.size()) {
+        counts_ok = false;
+        continue;
+      }
+      const nn::Tensor& want = expected[static_cast<std::size_t>(r.seq)];
+      for (std::size_t e = 0; e < want.numel(); ++e) {
+        ++compared;
+        if (r.pose[e] != want[e]) ++mismatched;
+      }
+    }
+  }
+  const bool pass = counts_ok && compared > 0 && mismatched == 0;
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\"mode\": \"parity\", \"sessions\": %d, \"threads\": %d,"
+                " \"windows\": %zu, \"compared\": %llu, \"mismatched\":"
+                " %llu, \"counts_ok\": %s, \"pass\": %s}",
+                args.sessions, args.threads, samples.size(),
+                static_cast<unsigned long long>(compared),
+                static_cast<unsigned long long>(mismatched),
+                counts_ok ? "true" : "false", pass ? "true" : "false");
+  write_json(args.json, buf);
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, &args)) {
+    std::fprintf(stderr,
+                 "usage: mmhand_soak soak [--sessions N] [--seconds S]"
+                 " [--overload F] [--deadline-ms D] [--threads T]"
+                 " [--min-compliance C] [--json PATH]\n"
+                 "       mmhand_soak parity [--sessions N] [--threads T]"
+                 " [--json PATH]\n");
+    return 2;
+  }
+  try {
+    return args.mode == "soak" ? run_soak(args) : run_parity(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mmhand_soak: %s\n", e.what());
+    return 1;
+  }
+}

@@ -7,6 +7,10 @@
 //       counter rates, fault-injection activity, and budget breaches.
 //       --follow re-reads and redraws once a second (Ctrl-C to stop),
 //       waiting for the file if it does not exist yet.
+//   mmhand_top TELEMETRY.jsonl --serve
+//       serving-plane view over the same stream: serve/* counters and
+//       gauges (live sessions, queue depth, inflight, degradation tier)
+//       plus the cross-session and per-session e2e latency histograms.
 //   mmhand_top TELEMETRY.jsonl --tail
 //       tail-latency attribution over the per-frame records a closing
 //       FrameScope appends to the same stream: total-latency p50/p95/p99
@@ -44,14 +48,14 @@ bool slurp(const std::string& path, std::string* out) {
 int usage(bool error) {
   std::fprintf(error ? stderr : stdout,
                "usage: mmhand_top TELEMETRY.jsonl [--last N] [--follow] "
-               "[--tail]\n       mmhand_top --flight RING\n");
+               "[--tail] [--serve]\n       mmhand_top --flight RING\n");
   return error ? 2 : 0;
 }
 
 /// One render pass.  Missing file is an error in one-shot mode but just
 /// "not yet" under --follow (the writer may not have started).
 int render_once(const std::string& path, std::size_t last, bool tail,
-                bool follow, bool clear_screen) {
+                bool serve, bool follow, bool clear_screen) {
   std::string text;
   if (!slurp(path, &text)) {
     if (!follow) {
@@ -64,12 +68,13 @@ int render_once(const std::string& path, std::size_t last, bool tail,
   }
   const mmhand::top::ParsedStream stream = mmhand::top::parse_jsonl(text);
   const std::string body =
-      tail ? mmhand::top::render_tail(stream, path)
-           : mmhand::top::render_intervals(stream, path, last);
+      serve ? mmhand::top::render_serve(stream, path, last)
+      : tail ? mmhand::top::render_tail(stream, path)
+             : mmhand::top::render_intervals(stream, path, last);
   if (clear_screen) std::printf("\x1b[2J\x1b[H");
   if (body.empty()) {
     std::printf("%s: no %s records yet\n", path.c_str(),
-                tail ? "per-frame" : "telemetry interval");
+                serve ? "serve/*" : tail ? "per-frame" : "telemetry interval");
     return 0;
   }
   std::fwrite(body.data(), 1, body.size(), stdout);
@@ -83,6 +88,7 @@ int main(int argc, char** argv) {
   std::size_t last = 30;
   bool follow = false;
   bool tail = false;
+  bool serve = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--flight") {
@@ -94,6 +100,8 @@ int main(int argc, char** argv) {
       follow = true;
     } else if (arg == "--tail") {
       tail = true;
+    } else if (arg == "--serve") {
+      serve = true;
     } else if (arg.rfind("-", 0) != 0 && jsonl_path.empty()) {
       jsonl_path = arg;
     } else {
@@ -113,9 +121,10 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (jsonl_path.empty()) return usage(true);
-  if (!follow) return render_once(jsonl_path, last, tail, false, false);
+  if (!follow)
+    return render_once(jsonl_path, last, tail, serve, false, false);
   for (;;) {
-    const int rc = render_once(jsonl_path, last, tail, true, true);
+    const int rc = render_once(jsonl_path, last, tail, serve, true, true);
     if (rc != 0) return rc;
     std::fflush(stdout);
     std::this_thread::sleep_for(std::chrono::seconds(1));

@@ -188,6 +188,111 @@ std::string render_intervals(const ParsedStream& stream,
   return out;
 }
 
+std::string render_serve(const ParsedStream& stream,
+                         const std::string& source, std::size_t last) {
+  std::vector<const Value*> records;
+  for (const Value& v : stream.records)
+    if (v.string_or("kind", "") == "telemetry") records.push_back(&v);
+  if (records.empty()) return {};
+
+  const std::size_t begin = records.size() > last ? records.size() - last : 0;
+  const std::vector<const Value*> window(
+      records.begin() + static_cast<std::ptrdiff_t>(begin), records.end());
+  const Value& newest = *window.back();
+  double window_ms = 0.0;
+  for (const Value* r : window) window_ms += r->number_or("dt_ms", 0.0);
+
+  const auto is_serve = [](const std::string& name) {
+    return name.rfind("serve/", 0) == 0;
+  };
+
+  // Stage windows restricted to the serving plane.
+  std::map<std::string, StageWindow> stages;
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    const Value* st = window[i]->find("stages");
+    if (st == nullptr || !st->is_object()) continue;
+    for (const auto& [name, h] : st->as_object()) {
+      if (!is_serve(name)) continue;
+      StageWindow& w = stages[name];
+      w.p95_series.resize(window.size(), 0.0);
+      w.p95_series[i] = h.number_or("p95_us", 0.0);
+      w.count = h.number_or("count", 0.0);
+      w.mean_us = h.number_or("mean_us", 0.0);
+      w.p50_us = h.number_or("p50_us", 0.0);
+      w.p95_us = h.number_or("p95_us", 0.0);
+      w.p99_us = h.number_or("p99_us", 0.0);
+      w.total_count += h.number_or("count", 0.0);
+    }
+  }
+
+  std::map<std::string, std::pair<double, double>> counters;  // total, delta
+  for (const Value* r : window) {
+    const Value* cs = r->find("counters");
+    if (cs == nullptr || !cs->is_object()) continue;
+    for (const auto& [name, c] : cs->as_object()) {
+      if (!is_serve(name)) continue;
+      counters[name].first = c.number_or("total", 0.0);
+      counters[name].second += c.number_or("delta", 0.0);
+    }
+  }
+
+  std::map<std::string, double> gauges;
+  if (const Value* gs = newest.find("gauges");
+      gs != nullptr && gs->is_object())
+    for (const auto& [name, gv] : gs->as_object())
+      if (is_serve(name) && gv.is_number()) gauges[name] = gv.as_number();
+
+  if (stages.empty() && counters.empty() && gauges.empty()) return {};
+
+  std::string out;
+  appendf(out, "%s — serving plane, interval %zu..%zu of %zu, "
+               "window %.1f s\n",
+          source.c_str(), begin + 1, records.size(), records.size(),
+          window_ms / 1e3);
+  if (stream.bad_lines > 0)
+    appendf(out, "warning: %zu unparseable interior line%s skipped\n",
+            stream.bad_lines, stream.bad_lines == 1 ? "" : "s");
+  out += "\n";
+
+  if (!gauges.empty()) {
+    static const char* kTierNames[] = {"full", "no_mesh", "pose_only"};
+    appendf(out, "%-28s %12s\n", "gauge", "now");
+    for (const auto& [name, v] : gauges) {
+      if (name == "serve/tier") {
+        const int t = static_cast<int>(v);
+        appendf(out, "%-28s %12s\n", name.c_str(),
+                t >= 0 && t < 3 ? kTierNames[t] : "?");
+      } else {
+        appendf(out, "%-28s %12.0f\n", name.c_str(), v);
+      }
+    }
+    out += "\n";
+  }
+
+  if (!counters.empty()) {
+    appendf(out, "%-28s %12s %10s\n", "counter", "total", "per s");
+    for (const auto& [name, tc] : counters)
+      appendf(out, "%-28s %12.0f %10.1f\n", name.c_str(), tc.first,
+              window_ms > 0.0 ? tc.second / (window_ms / 1e3) : 0.0);
+    out += "\n";
+  }
+
+  if (!stages.empty()) {
+    appendf(out, "%-28s %8s %9s %9s %9s %9s  %s\n", "latency", "ev/s",
+            "mean us", "p50 us", "p95 us", "p99 us", "p95 trend");
+    for (auto& [name, w] : stages) {
+      w.p95_series.resize(window.size(), 0.0);
+      const double rate =
+          window_ms > 0.0 ? w.total_count / (window_ms / 1e3) : 0.0;
+      appendf(out, "%-28s %8.1f %9.1f %9.1f %9.1f %9.1f  %s\n",
+              name.c_str(), rate, w.mean_us, w.p50_us, w.p95_us, w.p99_us,
+              sparkline(w.p95_series).c_str());
+    }
+    out += "\n";
+  }
+  return out;
+}
+
 std::string render_tail(const ParsedStream& stream,
                         const std::string& source) {
   // One frame record = {frame_id, label, total_us, stages:{name:{us}}}.

@@ -38,6 +38,15 @@ ParsedStream parse_jsonl(const std::string& text);
 std::string render_intervals(const ParsedStream& stream,
                              const std::string& source, std::size_t last);
 
+/// Renders the serving-plane view: serve/* counters with window rates,
+/// the serve gauges (live sessions, queue depth, inflight, degradation
+/// tier by name), and the serve/* latency histograms — the cross-session
+/// e2e plus the bounded per-session slots — with a p95 sparkline.
+/// Returns "" when the window carries no serve/* records at all (the
+/// stream came from a non-serving run).
+std::string render_serve(const ParsedStream& stream,
+                         const std::string& source, std::size_t last);
+
 /// Renders tail-latency attribution over the per-frame records
 /// (kind "frame"): per label, total-latency p50/p95/p99 plus which
 /// stage dominates the frames at or beyond p95 — the "why are the slow
